@@ -1,0 +1,48 @@
+// Helpers shared by the per-table / per-figure benchmark binaries.
+
+#ifndef DYNMIS_BENCH_BENCH_COMMON_H_
+#define DYNMIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace dynmis {
+namespace bench {
+
+// Scales update counts by the DYNMIS_BENCH_SCALE environment variable
+// (default 1.0), so the full suite can be made quicker or more thorough
+// without recompiling.
+inline int ScaledUpdates(int base) {
+  static const double scale = [] {
+    const char* env = std::getenv("DYNMIS_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double parsed = std::atof(env);
+    return parsed > 0 ? parsed : 1.0;
+  }();
+  const int scaled = static_cast<int>(base * scale);
+  return scaled < 1 ? 1 : scaled;
+}
+
+// Update-batch sizes relative to a dataset's edge count. The paper uses
+// absolute counts (100k / 1M) across graphs spanning 400k..3.4B edges; at
+// stand-in scale the comparable regimes are a light batch (~10% of m, like
+// Table II's mid-size graphs) and a heavy batch (~50% of m, the "number of
+// updates is huge, even equals the number of vertices" scenario).
+inline int SmallBatch(int64_t m) {
+  return ScaledUpdates(static_cast<int>(m / 10));
+}
+inline int LargeBatch(int64_t m) {
+  return ScaledUpdates(static_cast<int>(m / 2));
+}
+
+inline void PrintScaleNote() {
+  std::printf(
+      "note: synthetic stand-ins at laptop scale; absolute numbers differ "
+      "from the paper,\n      the comparison *shape* is the reproduction "
+      "target (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace bench
+}  // namespace dynmis
+
+#endif  // DYNMIS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Fig 5: (a) response time for the small update batch on all 13 easy
+// graphs, (b) structure memory usage, (c) response time for the large
+// update batch on the last seven easy graphs.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/util/table.h"
+
+namespace dynmis {
+namespace {
+
+const std::vector<AlgoKind> kAlgos = {
+    AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
+    AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap};
+
+void RunBatch(const std::vector<DatasetSpec>& specs, bool heavy,
+              const char* title, bool with_memory) {
+  std::printf("\n--- %s ---\n", title);
+  std::vector<std::string> headers = {"Graph", "#upd"};
+  for (AlgoKind kind : kAlgos) headers.push_back(AlgoKindName(kind));
+  TablePrinter time_table(headers);
+  TablePrinter mem_table(headers);
+  for (const DatasetSpec& spec : specs) {
+    const EdgeListGraph base = GenerateDataset(spec);
+    ExperimentConfig config;
+    config.initial = InitialSolution::kArw;
+    config.arw_iterations = 200;
+    config.num_updates = heavy ? bench::LargeBatch(base.NumEdges())
+                               : bench::SmallBatch(base.NumEdges());
+    config.stream.seed = spec.seed * 577 + 29;
+    config.stream.bias = EndpointBias::kDegreeProportional;
+    const ExperimentResult result = RunExperiment(base, kAlgos, config);
+    std::vector<std::string> time_row = {spec.name,
+                                         FormatCount(config.num_updates)};
+    std::vector<std::string> mem_row = {spec.name,
+                                        FormatCount(config.num_updates)};
+    for (AlgoKind kind : kAlgos) {
+      const AlgoRunResult& run = FindRun(result, AlgoKindName(kind));
+      time_row.push_back(TimeCell(run));
+      mem_row.push_back(MemoryCell(run));
+    }
+    time_table.AddRow(std::move(time_row));
+    mem_table.AddRow(std::move(mem_row));
+  }
+  std::printf("response time:\n");
+  time_table.Print(stdout);
+  if (with_memory) {
+    std::printf("\nmemory usage (Fig 5(b)):\n");
+    mem_table.Print(stdout);
+  }
+}
+
+void Run() {
+  std::printf("=== Fig 5: response time & memory on easy graphs ===\n");
+  bench::PrintScaleNote();
+  RunBatch(EasyDatasets(), /*heavy=*/false,
+           "Fig 5(a,b): all easy graphs, light batch", /*with_memory=*/true);
+  const auto& easy = EasyDatasets();
+  const std::vector<DatasetSpec> last7(easy.begin() + 6, easy.end());
+  RunBatch(last7, /*heavy=*/true,
+           "Fig 5(c): last seven easy graphs, heavy batch",
+           /*with_memory=*/false);
+  std::printf(
+      "\nExpected shape (paper): DyOneSwap fastest; DyARW slightly slower "
+      "(ordered-structure upkeep);\nDyTwoSwap a little above DyOneSwap; DG* "
+      "slowest on dense graphs and growing with batch size;\nmemory: Dy* > "
+      "DG*, DyTwoSwap > DyOneSwap.\n");
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main() {
+  dynmis::Run();
+  return 0;
+}

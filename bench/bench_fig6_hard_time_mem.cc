@@ -1,0 +1,67 @@
+// Fig 6: (a) response time for the large update batch on the hard graphs
+// (with the DG* algorithms running under the same wall-clock budget as in
+// Table IV - the paper reports them DNF on the largest five), and (b)
+// structure memory usage.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/util/table.h"
+
+namespace dynmis {
+namespace {
+
+const std::vector<AlgoKind> kAlgos = {
+    AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
+    AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap};
+
+void Run() {
+  std::printf(
+      "=== Fig 6: response time & memory on hard graphs (heavy batch) ===\n");
+  bench::PrintScaleNote();
+  std::vector<std::string> headers = {"Graph", "#upd"};
+  for (AlgoKind kind : kAlgos) headers.push_back(AlgoKindName(kind));
+  TablePrinter time_table(headers);
+  TablePrinter mem_table(headers);
+  for (const DatasetSpec& spec : HardDatasets()) {
+    const EdgeListGraph base = GenerateDataset(spec);
+    ExperimentConfig config;
+    config.initial = InitialSolution::kArw;
+    config.arw_iterations = 200;
+    config.num_updates = bench::LargeBatch(base.NumEdges());
+    config.stream.seed = spec.seed * 769 + 5;
+    config.stream.bias = EndpointBias::kDegreeProportional;
+    config.time_limit_seconds = 10.0;
+    const ExperimentResult result = RunExperiment(base, kAlgos, config);
+    std::vector<std::string> time_row = {spec.name,
+                                         FormatCount(config.num_updates)};
+    std::vector<std::string> mem_row = {spec.name,
+                                        FormatCount(config.num_updates)};
+    for (AlgoKind kind : kAlgos) {
+      const AlgoRunResult& run = FindRun(result, AlgoKindName(kind));
+      time_row.push_back(TimeCell(run));
+      mem_row.push_back(MemoryCell(run));
+    }
+    time_table.AddRow(std::move(time_row));
+    mem_table.AddRow(std::move(mem_row));
+  }
+  std::printf("response time (Fig 6(a)):\n");
+  time_table.Print(stdout);
+  std::printf("\nmemory usage (Fig 6(b)):\n");
+  mem_table.Print(stdout);
+  std::printf(
+      "\nExpected shape (paper): Dy* well under the budget everywhere; DG* "
+      "slow or DNF on the\nlargest graphs; memory ordering DyTwoSwap > "
+      "DyOneSwap ~ DyARW > DG*.\n");
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main() {
+  dynmis::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig 8: scalability in the number of updates on hollywood and
+// soc-LiveJournal: response time (a, c) and gap & accuracy (b, d) as
+// #updates sweeps from the small batch to the large batch.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/util/table.h"
+
+namespace dynmis {
+namespace {
+
+const std::vector<AlgoKind> kAlgos = {
+    AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
+    AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap};
+
+void RunGraph(const std::string& name) {
+  const DatasetSpec* spec = FindDataset(name);
+  const EdgeListGraph base = GenerateDataset(*spec);
+  std::printf("\n--- %s ---\n", name.c_str());
+  std::vector<std::string> headers = {"#updates"};
+  for (AlgoKind kind : kAlgos) headers.push_back(AlgoKindName(kind));
+  TablePrinter time_table(headers);
+  TablePrinter gap_table(headers);
+  TablePrinter acc_table(headers);
+  for (const int base_updates : {5000, 10000, 20000, 35000, 50000}) {
+    const int updates = bench::ScaledUpdates(base_updates);
+    ExperimentConfig config;
+    config.initial = InitialSolution::kArw;
+    config.arw_iterations = 200;
+    config.num_updates = updates;
+    config.stream.seed = spec->seed * 11 + static_cast<uint64_t>(base_updates);
+    config.stream.bias = EndpointBias::kDegreeProportional;
+    config.compute_final_alpha = true;
+    config.compute_final_best = true;  // Fallback reference (marked "~").
+    config.arw_iterations = 1000;
+    const ExperimentResult result = RunExperiment(base, kAlgos, config);
+    const bool have_alpha = result.final_alpha >= 0;
+    const std::string upd_label =
+        FormatCount(updates) + (have_alpha ? "" : "~");
+    std::vector<std::string> time_row = {upd_label};
+    std::vector<std::string> gap_row = {upd_label};
+    std::vector<std::string> acc_row = {upd_label};
+    const int64_t alpha = have_alpha ? result.final_alpha : result.final_best;
+    for (AlgoKind kind : kAlgos) {
+      const AlgoRunResult& run = FindRun(result, AlgoKindName(kind));
+      time_row.push_back(TimeCell(run));
+      gap_row.push_back(GapCell(run, alpha));
+      acc_row.push_back(AccuracyCell(run, alpha));
+    }
+    time_table.AddRow(std::move(time_row));
+    gap_table.AddRow(std::move(gap_row));
+    acc_table.AddRow(std::move(acc_row));
+  }
+  std::printf("response time:\n");
+  time_table.Print(stdout);
+  std::printf("\ngap to alpha:\n");
+  gap_table.Print(stdout);
+  std::printf("\naccuracy:\n");
+  acc_table.Print(stdout);
+}
+
+void Run() {
+  std::printf("=== Fig 8: scalability in #updates ===\n");
+  bench::PrintScaleNote();
+  RunGraph("hollywood");
+  RunGraph("soc-LiveJournal");
+  std::printf(
+      "\nExpected shape (paper): time grows ~linearly in #updates for all; "
+      "every algorithm's\ngap grows with #updates but Dy* degrade slower "
+      "than DG*.\n");
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main() {
+  dynmis::Run();
+  return 0;
+}

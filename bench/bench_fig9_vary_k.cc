@@ -1,0 +1,56 @@
+// Fig 9: effect of the user parameter k (the framework knob) on response
+// time and solution quality, via the generic KSwap maintainer with
+// k = 1..4 over a fixed graph and update stream.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/util/table.h"
+
+namespace dynmis {
+namespace {
+
+void Run() {
+  const int updates = bench::ScaledUpdates(10000);
+  std::printf("=== Fig 9: effect of k (%d updates) ===\n", updates);
+  bench::PrintScaleNote();
+  const DatasetSpec* spec = FindDataset("com-lj");
+  const EdgeListGraph base = GenerateDataset(*spec);
+  ExperimentConfig config;
+  config.initial = InitialSolution::kArw;
+  config.arw_iterations = 200;
+  config.num_updates = updates;
+  config.stream.seed = 987654;
+    config.stream.bias = EndpointBias::kDegreeProportional;
+  config.compute_final_alpha = true;
+  const ExperimentResult result = RunExperiment(
+      base,
+      {AlgoKind::kKSwap1, AlgoKind::kKSwap2, AlgoKind::kKSwap3,
+       AlgoKind::kKSwap4},
+      config);
+  TablePrinter table({"k", "time", "size", "gap", "accuracy"});
+  for (int k = 1; k <= 4; ++k) {
+    const AlgoRunResult& run =
+        FindRun(result, "KSwap(" + std::to_string(k) + ")");
+    table.AddRow({std::to_string(k), TimeCell(run),
+                  FormatCount(run.final_size),
+                  GapCell(run, result.final_alpha),
+                  AccuracyCell(run, result.final_alpha)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nExpected shape (paper): larger k -> larger solutions and higher "
+      "time; accuracy already\nstrong at k = 1 (the theoretical guarantee "
+      "does not improve past k = 1, Theorem 3).\n");
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main() {
+  dynmis::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) of the core operations: per-update
+// latency of each maintainer on a power-law graph, graph mutation
+// primitives, and the static solvers used for initialization.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/dgdis.h"
+#include "src/baselines/dyarw.h"
+#include "src/core/one_swap.h"
+#include "src/core/two_swap.h"
+#include "src/graph/generators.h"
+#include "src/graph/update_stream.h"
+#include "src/static_mis/arw.h"
+#include "src/static_mis/exact.h"
+#include "src/static_mis/greedy.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace {
+
+EdgeListGraph BenchGraph(int n) {
+  Rng rng(123);
+  return ChungLuPowerLaw(n, 2.3, 12.0, &rng);
+}
+
+void BM_DynamicGraphEdgeChurn(benchmark::State& state) {
+  const EdgeListGraph base = BenchGraph(static_cast<int>(state.range(0)));
+  DynamicGraph g = base.ToDynamic();
+  Rng rng(7);
+  std::vector<std::pair<VertexId, VertexId>> edges = base.edges;
+  for (auto _ : state) {
+    const auto& [u, v] = edges[rng.NextBounded(edges.size())];
+    if (g.HasEdge(u, v)) {
+      g.RemoveEdgeBetween(u, v);
+    } else {
+      g.AddEdge(u, v);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicGraphEdgeChurn)->Arg(10000);
+
+template <typename Maintainer>
+void UpdateLatency(benchmark::State& state) {
+  const EdgeListGraph base = BenchGraph(static_cast<int>(state.range(0)));
+  DynamicGraph g = base.ToDynamic();
+  Maintainer algo(&g);
+  algo.Initialize({});
+  UpdateStreamOptions options;
+  options.seed = 99;
+  UpdateStreamGenerator gen(options);
+  for (auto _ : state) {
+    algo.Apply(gen.Next(g));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_DyOneSwapUpdate(benchmark::State& state) {
+  UpdateLatency<DyOneSwap>(state);
+}
+BENCHMARK(BM_DyOneSwapUpdate)->Arg(10000)->Arg(40000);
+
+void BM_DyTwoSwapUpdate(benchmark::State& state) {
+  UpdateLatency<DyTwoSwap>(state);
+}
+BENCHMARK(BM_DyTwoSwapUpdate)->Arg(10000)->Arg(40000);
+
+void BM_DyArwUpdate(benchmark::State& state) { UpdateLatency<DyArw>(state); }
+BENCHMARK(BM_DyArwUpdate)->Arg(10000)->Arg(40000);
+
+void BM_DgOneDisUpdate(benchmark::State& state) {
+  const EdgeListGraph base = BenchGraph(static_cast<int>(state.range(0)));
+  DynamicGraph g = base.ToDynamic();
+  DgDis algo(&g, 1);
+  algo.Initialize({});
+  UpdateStreamOptions options;
+  options.seed = 99;
+  UpdateStreamGenerator gen(options);
+  for (auto _ : state) {
+    algo.Apply(gen.Next(g));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DgOneDisUpdate)->Arg(10000);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const StaticGraph g = BenchGraph(static_cast<int>(state.range(0))).ToStatic();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMis(g));
+  }
+}
+BENCHMARK(BM_GreedyMis)->Arg(10000);
+
+void BM_ArwMis(benchmark::State& state) {
+  const StaticGraph g = BenchGraph(static_cast<int>(state.range(0))).ToStatic();
+  ArwOptions options;
+  options.iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ArwMis(g, options));
+  }
+}
+BENCHMARK(BM_ArwMis)->Arg(10000);
+
+void BM_ExactSolve(benchmark::State& state) {
+  const StaticGraph g = BenchGraph(static_cast<int>(state.range(0))).ToStatic();
+  ExactMisOptions options;
+  options.max_seconds = 5.0;
+  int64_t solved = 0;
+  for (auto _ : state) {
+    ExactMisResult result = SolveExactMis(g, options);
+    solved += result.solved ? 1 : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["solved"] = static_cast<double>(solved);
+}
+BENCHMARK(BM_ExactSolve)->Arg(4000)->Iterations(3);
+
+}  // namespace
+}  // namespace dynmis

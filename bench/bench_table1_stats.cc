@@ -1,0 +1,44 @@
+// Table I: statistics of graphs. Prints, for every dataset stand-in, the
+// generated n / m / average degree next to the original graph's published
+// statistics, plus the fitted power-law exponent (the paper's premise that
+// these graphs are power-law bounded with beta > 2).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/graph/datasets.h"
+#include "src/graph/degree_stats.h"
+#include "src/util/table.h"
+
+namespace dynmis {
+namespace {
+
+void AddRows(TablePrinter* table, const std::vector<DatasetSpec>& specs) {
+  for (const DatasetSpec& spec : specs) {
+    const EdgeListGraph g = GenerateDataset(spec);
+    const DegreeStats stats = ComputeDegreeStats(g.ToStatic());
+    const double beta = EstimatePowerLawExponent(stats);
+    table->AddRow({spec.name, FormatCount(g.n), FormatCount(g.NumEdges()),
+                   FormatDouble(g.AverageDegree(), 2), FormatDouble(beta, 2),
+                   FormatCount(spec.paper_n), FormatCount(spec.paper_m),
+                   FormatDouble(spec.paper_avg_degree, 2)});
+  }
+}
+
+void Run() {
+  std::printf("=== Table I: statistics of graphs ===\n");
+  bench::PrintScaleNote();
+  TablePrinter table({"Graph", "n", "m", "avg-deg", "beta-fit", "paper-n",
+                      "paper-m", "paper-avg"});
+  AddRows(&table, EasyDatasets());
+  AddRows(&table, HardDatasets());
+  table.Print(stdout);
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main() {
+  dynmis::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Automated map labeling (another application from the paper's intro,
+// after Gemsa et al.): each point of interest has a candidate label;
+// labels whose boxes overlap conflict, and the labels actually drawn must
+// form an independent set of the conflict graph - the more, the better.
+// As the user pans and zooms, POIs enter and leave the viewport and
+// conflicts change: a dynamic MaxIS keeps the label set near-maximum
+// without re-solving per frame.
+//
+//   $ ./map_labeling
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/one_swap.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/util/random.h"
+#include "src/util/table.h"
+
+namespace {
+
+struct Poi {
+  double x, y;
+  dynmis::VertexId vertex = dynmis::kInvalidVertex;  // Invalid = off-screen.
+};
+
+constexpr double kLabelW = 0.06;
+constexpr double kLabelH = 0.03;
+
+bool Conflicts(const Poi& a, const Poi& b) {
+  return std::abs(a.x - b.x) < kLabelW && std::abs(a.y - b.y) < kLabelH;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dynmis;
+  Rng rng(314);
+  // 4000 POIs on the unit square.
+  std::vector<Poi> pois(4000);
+  for (Poi& p : pois) {
+    p.x = rng.NextDouble();
+    p.y = rng.NextDouble();
+  }
+
+  DynamicGraph g;
+  DyOneSwap labels(&g);
+  labels.InitializeEmpty();
+
+  // A viewport sliding left-to-right across the map.
+  TablePrinter table({"viewport", "visible POIs", "conflicts",
+                      "labels drawn", "label rate"});
+  double window_left = 0.0;
+  const double window_width = 0.35;
+  std::vector<int> on_screen;  // Indices of visible POIs.
+  for (int frame = 0; frame <= 6; ++frame, window_left += 0.1) {
+    const double window_right = window_left + window_width;
+    // POIs leaving the viewport.
+    for (size_t i = 0; i < pois.size(); ++i) {
+      Poi& p = pois[i];
+      const bool visible = p.x >= window_left && p.x <= window_right;
+      if (!visible && p.vertex != kInvalidVertex) {
+        labels.DeleteVertex(p.vertex);
+        p.vertex = kInvalidVertex;
+      }
+    }
+    // POIs entering the viewport, with their conflict edges.
+    for (size_t i = 0; i < pois.size(); ++i) {
+      Poi& p = pois[i];
+      const bool visible = p.x >= window_left && p.x <= window_right;
+      if (visible && p.vertex == kInvalidVertex) {
+        std::vector<VertexId> conflicts;
+        for (const Poi& q : pois) {
+          if (q.vertex != kInvalidVertex && Conflicts(p, q)) {
+            conflicts.push_back(q.vertex);
+          }
+        }
+        p.vertex = labels.InsertVertex(conflicts);
+      }
+    }
+    char window[64];
+    std::snprintf(window, sizeof(window), "[%.2f, %.2f]", window_left,
+                  window_right);
+    const double rate = g.NumVertices() == 0
+                            ? 1.0
+                            : static_cast<double>(labels.SolutionSize()) /
+                                  g.NumVertices();
+    table.AddRow({window, FormatCount(g.NumVertices()),
+                  FormatCount(g.NumEdges()),
+                  FormatCount(labels.SolutionSize()), FormatPercent(rate)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nEach pan step touches only the POIs crossing the viewport edge; "
+      "the label set stays\n1-maximal (no single swap can add two labels) "
+      "throughout.\n");
+  return 0;
+}

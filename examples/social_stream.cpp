@@ -1,0 +1,72 @@
+// Social-network stream: the motivating scenario of the paper's
+// introduction. A power-law "social network" receives a hot-topic burst of
+// updates comparable in size to the whole network (friendships added and
+// removed, users joining and leaving). We maintain an approximate MaxIS -
+// e.g. a maximum set of mutually non-interacting users for unbiased
+// sampling / influence seeding - with DyOneSwap and DyTwoSwap, and compare
+// against recomputing from scratch at intervals.
+//
+//   $ ./social_stream [n] [updates]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/baselines/recompute.h"
+#include "src/core/one_swap.h"
+#include "src/core/two_swap.h"
+#include "src/graph/generators.h"
+#include "src/graph/update_stream.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace dynmis;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 20000;
+  const int updates = argc > 2 ? std::atoi(argv[2]) : n;  // Burst ~ network.
+
+  Rng rng(2022);
+  const EdgeListGraph base = ChungLuPowerLaw(n, 2.3, 10.0, &rng);
+  std::printf("social network: n=%d m=%lld (power-law, beta=2.3)\n", base.n,
+              static_cast<long long>(base.NumEdges()));
+  std::printf("hot-topic burst: %d updates (~ the size of the network)\n\n",
+              updates);
+
+  UpdateStreamOptions stream;
+  stream.seed = 5;
+  stream.edge_op_fraction = 0.85;  // Mostly friendship churn, some users.
+  const std::vector<GraphUpdate> burst =
+      MakeUpdateSequence(base.ToDynamic(), updates, stream);
+
+  TablePrinter table(
+      {"maintainer", "final |I|", "total time", "per update", "memory"});
+
+  auto run = [&](auto&& make_algo) {
+    DynamicGraph g = base.ToDynamic();
+    auto algo = make_algo(&g);
+    algo->Initialize({});
+    Timer timer;
+    for (const GraphUpdate& update : burst) algo->Apply(update);
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({algo->Name(), FormatCount(algo->SolutionSize()),
+                  FormatDouble(seconds, 3) + "s",
+                  FormatDouble(seconds / updates * 1e6, 2) + "us",
+                  FormatBytes(algo->MemoryUsageBytes())});
+  };
+
+  run([](DynamicGraph* g) { return std::make_unique<DyOneSwap>(g); });
+  run([](DynamicGraph* g) { return std::make_unique<DyTwoSwap>(g); });
+  // Recompute-from-scratch once per 100 updates: still far slower in total
+  // and its solution is stale between recomputes.
+  run([](DynamicGraph* g) {
+    return std::make_unique<RecomputeGreedy>(g, /*every=*/100);
+  });
+
+  table.Print(stdout);
+  std::printf(
+      "\nDy* keep a guaranteed (Delta/2+1)-approximation continuously at "
+      "microseconds per update;\nrecomputation is orders of magnitude more "
+      "expensive even when amortized 100x, and is\nunboundedly stale "
+      "in-between.\n");
+  return 0;
+}

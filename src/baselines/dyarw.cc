@@ -1,0 +1,322 @@
+#include "src/baselines/dyarw.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+DyArw::DyArw(DynamicGraph* g) : g_(g) {
+  EnsureCapacity();
+  // Mirror the existing adjacency in sorted form.
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (!g_->IsVertexAlive(v)) continue;
+    sorted_adj_[v] = g_->Neighbors(v);
+    std::sort(sorted_adj_[v].begin(), sorted_adj_[v].end());
+  }
+}
+
+void DyArw::EnsureCapacity() {
+  const size_t vcap = g_->VertexCapacity();
+  if (status_.size() < vcap) {
+    sorted_adj_.resize(vcap);
+    status_.resize(vcap, 0);
+    count_.resize(vcap, 0);
+    in_queue_.resize(vcap, 0);
+    cand_of_.resize(vcap);
+    cand_owner_.resize(vcap, kInvalidVertex);
+  }
+}
+
+void DyArw::ResetVertexSlots(VertexId v) {
+  EnsureCapacity();
+  sorted_adj_[v].clear();
+  status_[v] = 0;
+  count_[v] = 0;
+  in_queue_[v] = 0;
+  for (VertexId u : cand_of_[v]) {
+    if (cand_owner_[u] == v) cand_owner_[u] = kInvalidVertex;
+  }
+  cand_of_[v].clear();
+  cand_owner_[v] = kInvalidVertex;
+}
+
+void DyArw::SortedInsert(VertexId v, VertexId u) {
+  auto& list = sorted_adj_[v];
+  list.insert(std::lower_bound(list.begin(), list.end(), u), u);
+}
+
+void DyArw::SortedErase(VertexId v, VertexId u) {
+  auto& list = sorted_adj_[v];
+  auto it = std::lower_bound(list.begin(), list.end(), u);
+  DYNMIS_DCHECK(it != list.end() && *it == u);
+  list.erase(it);
+}
+
+VertexId DyArw::OwnerOf(VertexId u) const {
+  for (VertexId w : sorted_adj_[u]) {
+    if (status_[w]) return w;
+  }
+  DYNMIS_CHECK(false);
+  return kInvalidVertex;
+}
+
+void DyArw::MoveIn(VertexId v) {
+  DYNMIS_DCHECK(!status_[v] && count_[v] == 0);
+  status_[v] = 1;
+  ++size_;
+  for (VertexId u : sorted_adj_[v]) ++count_[u];
+}
+
+void DyArw::MoveOut(VertexId v) {
+  DYNMIS_DCHECK(status_[v] != 0);
+  status_[v] = 0;
+  --size_;
+  int own = 0;
+  for (VertexId u : sorted_adj_[v]) {
+    if (status_[u]) {
+      ++own;
+    } else {
+      --count_[u];
+    }
+  }
+  count_[v] = own;
+}
+
+void DyArw::ExtendAround(const std::vector<VertexId>& candidates) {
+  for (VertexId w : candidates) {
+    if (g_->IsVertexAlive(w) && !status_[w] && count_[w] == 0) MoveIn(w);
+  }
+}
+
+void DyArw::EnqueueCandidate(VertexId owner, VertexId u) {
+  if (cand_owner_[u] == owner) return;
+  cand_owner_[u] = owner;
+  cand_of_[owner].push_back(u);
+  if (!in_queue_[owner]) {
+    in_queue_[owner] = 1;
+    queue_.push_back(owner);
+  }
+}
+
+void DyArw::CollectTightAround(VertexId v) {
+  // Enqueue every 1-tight vertex in N[v] under its owner.
+  auto consider = [&](VertexId w) {
+    if (g_->IsVertexAlive(w) && !status_[w] && count_[w] == 1) {
+      EnqueueCandidate(OwnerOf(w), w);
+    }
+  };
+  consider(v);
+  for (VertexId w : sorted_adj_[v]) consider(w);
+}
+
+void DyArw::Initialize(const std::vector<VertexId>& initial) {
+  for (VertexId v : initial) {
+    DYNMIS_CHECK(g_->IsVertexAlive(v) && !status_[v]);
+    DYNMIS_CHECK_EQ(count_[v], 0);
+    MoveIn(v);
+  }
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && !status_[v] && count_[v] == 0) MoveIn(v);
+  }
+  for (VertexId u = 0; u < g_->VertexCapacity(); ++u) {
+    if (g_->IsVertexAlive(u) && !status_[u] && count_[u] == 1) {
+      EnqueueCandidate(OwnerOf(u), u);
+    }
+  }
+  ProcessQueue();
+}
+
+void DyArw::ProcessQueue() {
+  std::vector<VertexId> tight;
+  std::vector<VertexId> kept;
+  while (!queue_.empty()) {
+    const VertexId v = queue_.back();
+    queue_.pop_back();
+    in_queue_[v] = 0;
+    std::vector<VertexId> cands = std::move(cand_of_[v]);
+    cand_of_[v].clear();
+    const bool v_valid = g_->IsVertexAlive(v) && status_[v];
+    kept.clear();
+    for (VertexId u : cands) {
+      if (cand_owner_[u] != v) continue;
+      cand_owner_[u] = kInvalidVertex;
+      if (!v_valid || !g_->IsVertexAlive(u) || status_[u] || count_[u] != 1) {
+        continue;
+      }
+      kept.push_back(u);
+    }
+    if (kept.empty()) continue;
+    // bar1(v) in sorted order (sorted_adj_[v] is sorted).
+    tight.clear();
+    for (VertexId w : sorted_adj_[v]) {
+      if (!status_[w] && count_[w] == 1) tight.push_back(w);
+    }
+    const int tight_size = static_cast<int>(tight.size());
+    for (VertexId u : kept) {
+      // Double-pointer scan: |N(u) cap bar1(v)| over two sorted arrays.
+      int inter = 1;  // u itself.
+      const auto& nu = sorted_adj_[u];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nu.size() && j < tight.size()) {
+        if (nu[i] < tight[j]) {
+          ++i;
+        } else if (nu[i] > tight[j]) {
+          ++j;
+        } else {
+          ++inter;
+          ++i;
+          ++j;
+        }
+      }
+      if (inter >= tight_size) continue;
+      // Swap: v out, u in, freed tight vertices in.
+      MoveOut(v);
+      MoveIn(u);
+      ExtendAround(tight);
+      CollectTightAround(v);
+      break;
+    }
+  }
+}
+
+void DyArw::InsertEdge(VertexId u, VertexId v) {
+  const bool u_in = status_[u];
+  const bool v_in = status_[v];
+  g_->AddEdge(u, v);
+  EnsureCapacity();
+  SortedInsert(u, v);
+  SortedInsert(v, u);
+  if (u_in && v_in) {
+    VertexId loser = g_->Degree(u) >= g_->Degree(v) ? u : v;
+    // Prefer an endpoint with a 1-tight neighbour (replacement guaranteed).
+    auto has_tight = [&](VertexId x) {
+      for (VertexId w : sorted_adj_[x]) {
+        if (!status_[w] && count_[w] == 1) return true;
+      }
+      return false;
+    };
+    const bool tu = has_tight(u);
+    const bool tv = has_tight(v);
+    if (tu != tv) loser = tu ? u : v;
+    MoveOut(loser);
+    ExtendAround(sorted_adj_[loser]);
+    CollectTightAround(loser);
+  } else if (u_in || v_in) {
+    const VertexId other = u_in ? v : u;
+    ++count_[other];
+    if (count_[other] == 1) EnqueueCandidate(OwnerOf(other), other);
+  }
+  ProcessQueue();
+}
+
+void DyArw::DeleteEdge(VertexId u, VertexId v) {
+  const bool removed = g_->RemoveEdgeBetween(u, v);
+  DYNMIS_CHECK(removed);
+  SortedErase(u, v);
+  SortedErase(v, u);
+  const bool u_in = status_[u];
+  const bool v_in = status_[v];
+  if (u_in || v_in) {
+    const VertexId other = u_in ? v : u;
+    --count_[other];
+    if (count_[other] == 0) {
+      MoveIn(other);
+    } else if (count_[other] == 1) {
+      EnqueueCandidate(OwnerOf(other), other);
+    }
+  } else if (count_[u] == 1 && count_[v] == 1) {
+    const VertexId wu = OwnerOf(u);
+    if (wu == OwnerOf(v)) {
+      std::vector<VertexId> tight;
+      for (VertexId w : sorted_adj_[wu]) {
+        if (!status_[w] && count_[w] == 1) tight.push_back(w);
+      }
+      MoveOut(wu);
+      DYNMIS_DCHECK(count_[u] == 0);
+      MoveIn(u);
+      if (count_[v] == 0) MoveIn(v);
+      ExtendAround(tight);
+      CollectTightAround(wu);
+    }
+  }
+  ProcessQueue();
+}
+
+VertexId DyArw::InsertVertex(const std::vector<VertexId>& neighbors) {
+  const VertexId v = g_->AddVertex();
+  EnsureCapacity();
+  ResetVertexSlots(v);
+  for (VertexId u : neighbors) {
+    g_->AddEdge(u, v);
+    EnsureCapacity();
+    SortedInsert(u, v);
+    SortedInsert(v, u);
+    if (status_[u]) ++count_[v];
+  }
+  if (count_[v] == 0) {
+    MoveIn(v);
+  } else if (count_[v] == 1) {
+    EnqueueCandidate(OwnerOf(v), v);
+  }
+  ProcessQueue();
+  return v;
+}
+
+void DyArw::DeleteVertex(VertexId v) {
+  DYNMIS_CHECK(g_->IsVertexAlive(v));
+  std::vector<VertexId> neighbors = sorted_adj_[v];
+  const bool was_in = status_[v];
+  if (was_in) MoveOut(v);
+  for (VertexId u : neighbors) SortedErase(u, v);
+  g_->RemoveVertex(v);
+  ResetVertexSlots(v);
+  if (was_in) {
+    ExtendAround(neighbors);
+    for (VertexId w : neighbors) {
+      if (g_->IsVertexAlive(w) && !status_[w] && count_[w] == 1) {
+        EnqueueCandidate(OwnerOf(w), w);
+      }
+    }
+  }
+  ProcessQueue();
+}
+
+std::vector<VertexId> DyArw::Solution() const {
+  std::vector<VertexId> out;
+  out.reserve(static_cast<size_t>(size_));
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && status_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+size_t DyArw::MemoryUsageBytes() const {
+  return NestedVectorBytes(sorted_adj_) + VectorBytes(status_) +
+         VectorBytes(count_) + VectorBytes(queue_) + VectorBytes(in_queue_) +
+         NestedVectorBytes(cand_of_) + VectorBytes(cand_owner_);
+}
+
+void DyArw::CheckConsistency() const {
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (!g_->IsVertexAlive(v)) continue;
+    int solution_neighbors = 0;
+    for (VertexId u : sorted_adj_[v]) {
+      if (status_[u]) ++solution_neighbors;
+    }
+    if (status_[v]) {
+      DYNMIS_CHECK_EQ(solution_neighbors, 0);
+    } else {
+      DYNMIS_CHECK_EQ(count_[v], solution_neighbors);
+      DYNMIS_CHECK_GE(count_[v], 1);
+    }
+    // The mirror matches the graph.
+    std::vector<VertexId> expected = g_->Neighbors(v);
+    std::sort(expected.begin(), expected.end());
+    DYNMIS_CHECK(expected == sorted_adj_[v]);
+  }
+}
+
+}  // namespace dynmis

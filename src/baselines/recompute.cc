@@ -1,0 +1,61 @@
+#include "src/baselines/recompute.h"
+
+#include "src/graph/static_graph.h"
+#include "src/static_mis/greedy.h"
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+RecomputeGreedy::RecomputeGreedy(DynamicGraph* g, int every)
+    : g_(g), every_(every) {
+  DYNMIS_CHECK_GE(every, 1);
+}
+
+void RecomputeGreedy::Recompute() {
+  const StaticGraph snapshot = StaticGraph::FromDynamic(*g_);
+  solution_ = snapshot.ToOriginalIds(GreedyMis(snapshot));
+  in_solution_.assign(g_->VertexCapacity(), 0);
+  for (VertexId v : solution_) in_solution_[v] = 1;
+}
+
+void RecomputeGreedy::OnUpdate() {
+  if (++pending_ >= every_) {
+    pending_ = 0;
+    Recompute();
+  }
+}
+
+void RecomputeGreedy::Initialize(const std::vector<VertexId>&) { Recompute(); }
+
+void RecomputeGreedy::InsertEdge(VertexId u, VertexId v) {
+  g_->AddEdge(u, v);
+  OnUpdate();
+}
+
+void RecomputeGreedy::DeleteEdge(VertexId u, VertexId v) {
+  const bool removed = g_->RemoveEdgeBetween(u, v);
+  DYNMIS_CHECK(removed);
+  OnUpdate();
+}
+
+VertexId RecomputeGreedy::InsertVertex(const std::vector<VertexId>& neighbors) {
+  const VertexId v = g_->AddVertex();
+  for (VertexId u : neighbors) g_->AddEdge(u, v);
+  OnUpdate();
+  return v;
+}
+
+void RecomputeGreedy::DeleteVertex(VertexId v) {
+  g_->RemoveVertex(v);
+  OnUpdate();
+}
+
+bool RecomputeGreedy::InSolution(VertexId v) const {
+  return v < static_cast<VertexId>(in_solution_.size()) && in_solution_[v];
+}
+
+size_t RecomputeGreedy::MemoryUsageBytes() const {
+  return VectorBytes(solution_) + VectorBytes(in_solution_);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,81 @@
+// DynamicMisMaintainer: the common interface of all dynamic independent-set
+// algorithms in the library (DyOneSwap, DyTwoSwap, the generic k-maximal
+// maintainer, and the baselines DyARW / DGOneDIS / DGTwoDIS / recompute).
+//
+// A maintainer owns the *mutation* of its DynamicGraph: callers route every
+// graph update through the maintainer so the independent set and the graph
+// stay consistent. The benchmark driver gives each algorithm its own copy of
+// the input graph and replays one shared update sequence through all of them
+// (vertex ids stay aligned because DynamicGraph id allocation is
+// deterministic).
+
+#ifndef DYNMIS_SRC_CORE_MAINTAINER_H_
+#define DYNMIS_SRC_CORE_MAINTAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/dynamic_graph.h"
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+
+class DynamicMisMaintainer {
+ public:
+  virtual ~DynamicMisMaintainer() = default;
+
+  // Builds the maintained state from `initial`, which must be an independent
+  // set of the current graph. The maintainer extends it to a maximal
+  // (and, for the swap-based algorithms, k-maximal) solution.
+  virtual void Initialize(const std::vector<VertexId>& initial) = 0;
+
+  // Update operations. Preconditions mirror DynamicGraph's: inserted edges
+  // must not exist, deleted edges/vertices must exist.
+  virtual void InsertEdge(VertexId u, VertexId v) = 0;
+  virtual void DeleteEdge(VertexId u, VertexId v) = 0;
+  virtual VertexId InsertVertex(const std::vector<VertexId>& neighbors) = 0;
+  virtual void DeleteVertex(VertexId v) = 0;
+
+  // Current solution.
+  virtual bool InSolution(VertexId v) const = 0;
+  virtual int64_t SolutionSize() const = 0;
+  virtual std::vector<VertexId> Solution() const = 0;
+
+  // Bytes used by the maintainer's own data structures (graph excluded).
+  virtual size_t MemoryUsageBytes() const = 0;
+
+  virtual std::string Name() const = 0;
+
+  // Applies a block of updates as one transaction. The default processes
+  // them one at a time; maintainers that support deferred swap restoration
+  // (DyOneSwap, DyTwoSwap) override this to run the graph mutations and
+  // maximality fixes for the whole block first and a single swap-
+  // restoration pass at the end, which amortizes overlapping cascades. The
+  // k-maximality guarantee holds at the *end* of the batch (intermediate
+  // states are only maximal).
+  virtual void ApplyBatch(const std::vector<GraphUpdate>& updates) {
+    for (const GraphUpdate& update : updates) Apply(update);
+  }
+
+  // Dispatches a GraphUpdate to the typed operations above.
+  VertexId Apply(const GraphUpdate& update) {
+    switch (update.kind) {
+      case UpdateKind::kInsertEdge:
+        InsertEdge(update.u, update.v);
+        return kInvalidVertex;
+      case UpdateKind::kDeleteEdge:
+        DeleteEdge(update.u, update.v);
+        return kInvalidVertex;
+      case UpdateKind::kInsertVertex:
+        return InsertVertex(update.neighbors);
+      case UpdateKind::kDeleteVertex:
+        DeleteVertex(update.u);
+        return kInvalidVertex;
+    }
+    return kInvalidVertex;
+  }
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_CORE_MAINTAINER_H_

@@ -1,0 +1,99 @@
+// DyOneSwap (paper Algorithm 2): maintains a 1-maximal independent set over
+// a dynamic graph in O(m_t) worst-case time per update cascade, which yields
+// a (Delta/2 + 1)-approximate MaxIS at all times (Theorem 2/6), and a
+// parameter-dependent constant approximation on power-law bounded graphs
+// (Theorem 4).
+//
+// Invariant maintained: for every solution vertex v, G[bar1(v)] is a clique,
+// where bar1(v) is the set of v's 1-tight neighbours. Updates enqueue
+// "candidate" pairs (v, C(v)) - C(v) holds vertices newly added to bar1(v) -
+// and the processing loop checks |N[u] cap bar1(v)| < |bar1(v)| for each
+// candidate u; a failed clique test triggers the 1-swap: v leaves, u enters,
+// and every freed vertex of bar1(v) enters (so the solution strictly grows).
+
+#ifndef DYNMIS_SRC_CORE_ONE_SWAP_H_
+#define DYNMIS_SRC_CORE_ONE_SWAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/maintainer.h"
+#include "src/core/options.h"
+#include "src/core/solution.h"
+
+namespace dynmis {
+
+class DyOneSwap : public DynamicMisMaintainer {
+ public:
+  // `g` must outlive the maintainer; the maintainer is the sole mutator.
+  explicit DyOneSwap(DynamicGraph* g, MaintainerOptions options = {});
+
+  void Initialize(const std::vector<VertexId>& initial) override;
+
+  // Convenience: initialize from the empty set (greedy maximal + swaps).
+  void InitializeEmpty() { Initialize({}); }
+
+  void InsertEdge(VertexId u, VertexId v) override;
+  void DeleteEdge(VertexId u, VertexId v) override;
+  VertexId InsertVertex(const std::vector<VertexId>& neighbors) override;
+  void DeleteVertex(VertexId v) override;
+
+  // Deferred-restoration batch processing (see DynamicMisMaintainer).
+  void ApplyBatch(const std::vector<GraphUpdate>& updates) override;
+
+  bool InSolution(VertexId v) const override { return state_.InSolution(v); }
+  int64_t SolutionSize() const override { return state_.SolutionSize(); }
+  std::vector<VertexId> Solution() const override { return state_.Solution(); }
+  size_t MemoryUsageBytes() const override;
+  std::string Name() const override;
+
+  // Test hook: validates all internal invariants (O(n + m)).
+  void CheckConsistency() const { state_.CheckConsistency(/*expect_maximal=*/true); }
+
+  struct Stats {
+    int64_t one_swaps = 0;
+    int64_t candidates_processed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void EnsureCapacity();
+  void ResetVertexSlots(VertexId v);
+  // Moves every count-0 vertex in `candidates` into the solution (in degree
+  // order under perturbation).
+  void ExtendSolution(std::vector<VertexId> candidates);
+  void EnqueueCandidate(VertexId owner, VertexId u);
+  void DrainTransitions();
+  void ProcessQueue();
+  void PerformOneSwap(VertexId v, VertexId u,
+                      const std::vector<VertexId>& bar1_snapshot);
+  void NewEpoch() { ++epoch_; }
+  void Mark(VertexId v) { mark_[v] = epoch_; }
+  bool Marked(VertexId v) const { return mark_[v] == epoch_; }
+
+  DynamicGraph* g_;
+  MaintainerOptions options_;
+  MisState state_;
+  // True while inside ApplyBatch: update handlers enqueue candidates but
+  // defer the swap-restoration loop to the end of the batch.
+  bool deferred_ = false;
+
+  // Candidate queue C1: solution vertices with pending candidate lists.
+  std::vector<VertexId> queue_;
+  std::vector<uint8_t> in_queue_;
+  std::vector<std::vector<VertexId>> cand_of_;
+  // cand_owner_[u]: owner under which u is currently enqueued, or invalid.
+  std::vector<VertexId> cand_owner_;
+
+  // Epoch-stamped scratch marks.
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> bar1_scratch_;
+
+  Stats stats_;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_CORE_ONE_SWAP_H_

@@ -1,0 +1,23 @@
+// Shared configuration for the dynamic MIS maintainers.
+
+#ifndef DYNMIS_SRC_CORE_OPTIONS_H_
+#define DYNMIS_SRC_CORE_OPTIONS_H_
+
+namespace dynmis {
+
+struct MaintainerOptions {
+  // Lazy collection (paper, Section III-B "Optimization Techniques" #1):
+  // keep only count(v) per vertex and rebuild tightness sets by scanning
+  // neighborhoods on demand. Cuts memory sharply; the time trade-off
+  // depends on k (Fig 7).
+  bool lazy = false;
+
+  // Perturbation (paper, optimization #2): prefer swapping a solution
+  // vertex with its smallest-degree eligible neighbour, since high-degree
+  // vertices are unlikely to appear in a MaxIS. Reported as gap* columns.
+  bool perturb = false;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_CORE_OPTIONS_H_

@@ -1,0 +1,422 @@
+#include "src/core/solution.h"
+
+#include <algorithm>
+
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+MisState::MisState(DynamicGraph* g, int k, bool lazy)
+    : g_(g), k_(k), lazy_(lazy) {
+  DYNMIS_CHECK_GE(k, 1);
+  EnsureCapacity();
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) OnVertexAdded(v);
+}
+
+void MisState::EnsureCapacity() {
+  const size_t vcap = g_->VertexCapacity();
+  if (status_.size() < vcap) {
+    status_.resize(vcap, 0);
+    count_.resize(vcap, 0);
+    if (!lazy_) {
+      inb_head_.resize(vcap, kInvalidEdge);
+      bar1_head_.resize(vcap, kInvalidEdge);
+      bar1_size_.resize(vcap, 0);
+      bar1_edge_.resize(vcap, kInvalidEdge);
+      if (k_ >= 2) {
+        bar2_head_.resize(vcap, kInvalidEdge);
+        bar2_edge0_.resize(vcap, kInvalidEdge);
+        bar2_edge1_.resize(vcap, kInvalidEdge);
+      }
+    }
+  }
+  if (!lazy_) {
+    const size_t ecap = 2 * static_cast<size_t>(g_->EdgeCapacity());
+    if (inb_next_.size() < ecap) {
+      inb_next_.resize(ecap, kInvalidEdge);
+      inb_prev_.resize(ecap, kInvalidEdge);
+      bar1_next_.resize(ecap, kInvalidEdge);
+      bar1_prev_.resize(ecap, kInvalidEdge);
+      if (k_ >= 2) {
+        bar2_next_.resize(ecap, kInvalidEdge);
+        bar2_prev_.resize(ecap, kInvalidEdge);
+      }
+    }
+  }
+}
+
+void MisState::OnVertexAdded(VertexId v) {
+  EnsureCapacity();
+  status_[v] = 0;
+  count_[v] = 0;
+  if (!lazy_) {
+    inb_head_[v] = kInvalidEdge;
+    bar1_head_[v] = kInvalidEdge;
+    bar1_size_[v] = 0;
+    bar1_edge_[v] = kInvalidEdge;
+    if (k_ >= 2) {
+      bar2_head_[v] = kInvalidEdge;
+      bar2_edge0_[v] = kInvalidEdge;
+      bar2_edge1_[v] = kInvalidEdge;
+    }
+  }
+}
+
+std::vector<VertexId> MisState::Solution() const {
+  std::vector<VertexId> out;
+  out.reserve(static_cast<size_t>(solution_size_));
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && status_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+VertexId MisState::OwnerOf(VertexId u) const {
+  DYNMIS_DCHECK(count_[u] >= 1);
+  if (!lazy_) {
+    DYNMIS_DCHECK(inb_head_[u] != kInvalidEdge);
+    return g_->Other(inb_head_[u], u);
+  }
+  VertexId owner = kInvalidVertex;
+  for (EdgeId e = g_->FirstIncident(u); e != kInvalidEdge;
+       e = g_->NextIncident(e, u)) {
+    const VertexId w = g_->Other(e, u);
+    if (status_[w]) {
+      owner = w;
+      break;
+    }
+  }
+  DYNMIS_DCHECK(owner != kInvalidVertex);
+  return owner;
+}
+
+void MisState::OwnersOf2(VertexId u, VertexId* a, VertexId* b) const {
+  DYNMIS_DCHECK(count_[u] == 2);
+  VertexId first = kInvalidVertex;
+  VertexId second = kInvalidVertex;
+  ForEachSolutionNeighbor(u, [&](VertexId w) {
+    if (first == kInvalidVertex) {
+      first = w;
+    } else if (second == kInvalidVertex) {
+      second = w;
+    }
+  });
+  DYNMIS_DCHECK(first != kInvalidVertex && second != kInvalidVertex);
+  if (first > second) std::swap(first, second);
+  *a = first;
+  *b = second;
+}
+
+int MisState::Bar1Size(VertexId v) const {
+  DYNMIS_DCHECK(InSolution(v));
+  if (!lazy_) return bar1_size_[v];
+  int size = 0;
+  g_->ForEachIncident(v, [&](VertexId u, EdgeId) {
+    if (count_[u] == 1) ++size;
+  });
+  return size;
+}
+
+void MisState::CollectBar1(VertexId v, std::vector<VertexId>* out) const {
+  DYNMIS_DCHECK(InSolution(v));
+  if (!lazy_) {
+    for (EdgeId e = bar1_head_[v]; e != kInvalidEdge;
+         e = bar1_next_[Slot(e, v)]) {
+      out->push_back(g_->Other(e, v));
+    }
+    return;
+  }
+  // Lazy: u in N(v) with count(u) == 1 necessarily has v as its unique
+  // solution neighbour, so a single scan of N(v) suffices.
+  g_->ForEachIncident(v, [&](VertexId u, EdgeId) {
+    if (!status_[u] && count_[u] == 1) out->push_back(u);
+  });
+}
+
+void MisState::CollectBar2(VertexId v, std::vector<VertexId>* out) const {
+  DYNMIS_DCHECK(InSolution(v));
+  DYNMIS_CHECK_GE(k_, 2);
+  if (!lazy_) {
+    for (EdgeId e = bar2_head_[v]; e != kInvalidEdge;
+         e = bar2_next_[Slot(e, v)]) {
+      out->push_back(g_->Other(e, v));
+    }
+    return;
+  }
+  g_->ForEachIncident(v, [&](VertexId u, EdgeId) {
+    if (!status_[u] && count_[u] == 2) out->push_back(u);
+  });
+}
+
+void MisState::CollectBar2Pair(VertexId x, VertexId y,
+                               std::vector<VertexId>* out) const {
+  DYNMIS_CHECK_GE(k_, 2);
+  DYNMIS_DCHECK(InSolution(x) && InSolution(y));
+  // Enumerate one owner's bar2 list and keep members whose second solution
+  // neighbour is the other owner; in lazy mode scan the lower-degree owner.
+  if (lazy_ && g_->Degree(x) > g_->Degree(y)) std::swap(x, y);
+  std::vector<VertexId> side;
+  CollectBar2(x, &side);
+  for (VertexId u : side) {
+    VertexId a, b;
+    OwnersOf2(u, &a, &b);
+    const VertexId other = a == x ? b : a;
+    if (other == y) out->push_back(u);
+  }
+}
+
+void MisState::Link(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
+                    std::vector<EdgeId>& prev, EdgeId e, VertexId owner) {
+  const int slot = Slot(e, owner);
+  next[slot] = head[owner];
+  prev[slot] = kInvalidEdge;
+  if (head[owner] != kInvalidEdge) {
+    prev[Slot(head[owner], owner)] = e;
+  }
+  head[owner] = e;
+}
+
+void MisState::Unlink(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
+                      std::vector<EdgeId>& prev, EdgeId e, VertexId owner) {
+  const int slot = Slot(e, owner);
+  const EdgeId p = prev[slot];
+  const EdgeId n = next[slot];
+  if (p != kInvalidEdge) {
+    next[Slot(p, owner)] = n;
+  } else {
+    DYNMIS_DCHECK(head[owner] == e);
+    head[owner] = n;
+  }
+  if (n != kInvalidEdge) prev[Slot(n, owner)] = p;
+  next[slot] = kInvalidEdge;
+  prev[slot] = kInvalidEdge;
+}
+
+void MisState::ClearTightness(VertexId u) {
+  if (lazy_) return;
+  if (bar1_edge_[u] != kInvalidEdge) {
+    const EdgeId e = bar1_edge_[u];
+    const VertexId owner = g_->Other(e, u);
+    Unlink(bar1_head_, bar1_next_, bar1_prev_, e, owner);
+    --bar1_size_[owner];
+    bar1_edge_[u] = kInvalidEdge;
+  }
+  if (k_ >= 2) {
+    for (EdgeId* slot : {&bar2_edge0_[u], &bar2_edge1_[u]}) {
+      if (*slot != kInvalidEdge) {
+        const EdgeId e = *slot;
+        const VertexId owner = g_->Other(e, u);
+        Unlink(bar2_head_, bar2_next_, bar2_prev_, e, owner);
+        *slot = kInvalidEdge;
+      }
+    }
+  }
+}
+
+void MisState::SetTightnessAndLog(VertexId u) {
+  if (status_[u]) return;
+  const int c = count_[u];
+  if (!lazy_) {
+    if (c == 1) {
+      const EdgeId e = inb_head_[u];
+      DYNMIS_DCHECK(e != kInvalidEdge);
+      const VertexId owner = g_->Other(e, u);
+      Link(bar1_head_, bar1_next_, bar1_prev_, e, owner);
+      ++bar1_size_[owner];
+      bar1_edge_[u] = e;
+    } else if (c == 2 && k_ >= 2) {
+      const EdgeId e0 = inb_head_[u];
+      DYNMIS_DCHECK(e0 != kInvalidEdge);
+      const EdgeId e1 = inb_next_[Slot(e0, u)];
+      DYNMIS_DCHECK(e1 != kInvalidEdge);
+      Link(bar2_head_, bar2_next_, bar2_prev_, e0, g_->Other(e0, u));
+      Link(bar2_head_, bar2_next_, bar2_prev_, e1, g_->Other(e1, u));
+      bar2_edge0_[u] = e0;
+      bar2_edge1_[u] = e1;
+    }
+  }
+  if (c >= 1 && c <= k_) transitions_.push_back(u);
+}
+
+void MisState::MoveIn(VertexId v) {
+  DYNMIS_CHECK(g_->IsVertexAlive(v));
+  DYNMIS_CHECK(!status_[v]);
+  DYNMIS_CHECK_EQ(count_[v], 0);
+  ClearTightness(v);  // count == 0 implies no membership; cheap safety.
+  status_[v] = 1;
+  ++solution_size_;
+  for (EdgeId e = g_->FirstIncident(v); e != kInvalidEdge;
+       e = g_->NextIncident(e, v)) {
+    const VertexId u = g_->Other(e, v);
+    DYNMIS_DCHECK(!status_[u]);
+    ClearTightness(u);
+    if (!lazy_) Link(inb_head_, inb_next_, inb_prev_, e, u);
+    ++count_[u];
+    SetTightnessAndLog(u);
+  }
+}
+
+void MisState::MoveOut(VertexId v) {
+  DYNMIS_CHECK(status_[v] != 0);
+  status_[v] = 0;
+  --solution_size_;
+  int own_count = 0;
+  for (EdgeId e = g_->FirstIncident(v); e != kInvalidEdge;
+       e = g_->NextIncident(e, v)) {
+    const VertexId u = g_->Other(e, v);
+    if (status_[u]) {
+      // Transient both-in-I situation (edge-insert handling): v gains u as
+      // a solution neighbour.
+      if (!lazy_) Link(inb_head_, inb_next_, inb_prev_, e, v);
+      ++own_count;
+    } else {
+      ClearTightness(u);
+      if (!lazy_) Unlink(inb_head_, inb_next_, inb_prev_, e, u);
+      --count_[u];
+      SetTightnessAndLog(u);
+    }
+  }
+  DYNMIS_DCHECK(lazy_ || bar1_head_[v] == kInvalidEdge);
+  DYNMIS_DCHECK(lazy_ || k_ < 2 || bar2_head_[v] == kInvalidEdge);
+  count_[v] = own_count;
+  SetTightnessAndLog(v);
+}
+
+void MisState::OnEdgeAdded(EdgeId e) {
+  EnsureCapacity();
+  const auto [a, b] = g_->Endpoints(e);
+  if (!lazy_) {
+    // Reset recycled link slots.
+    for (int s = 0; s < 2; ++s) {
+      inb_next_[2 * e + s] = kInvalidEdge;
+      inb_prev_[2 * e + s] = kInvalidEdge;
+      bar1_next_[2 * e + s] = kInvalidEdge;
+      bar1_prev_[2 * e + s] = kInvalidEdge;
+      if (k_ >= 2) {
+        bar2_next_[2 * e + s] = kInvalidEdge;
+        bar2_prev_[2 * e + s] = kInvalidEdge;
+      }
+    }
+  }
+  if (status_[a] && status_[b]) return;  // Caller must MoveOut one endpoint.
+  VertexId in_i = kInvalidVertex;
+  VertexId other = kInvalidVertex;
+  if (status_[a]) {
+    in_i = a;
+    other = b;
+  } else if (status_[b]) {
+    in_i = b;
+    other = a;
+  } else {
+    return;
+  }
+  (void)in_i;
+  ClearTightness(other);
+  if (!lazy_) Link(inb_head_, inb_next_, inb_prev_, e, other);
+  ++count_[other];
+  SetTightnessAndLog(other);
+}
+
+void MisState::OnEdgeRemoving(EdgeId e) {
+  const auto [a, b] = g_->Endpoints(e);
+  DYNMIS_DCHECK(!(status_[a] && status_[b]));
+  VertexId other = kInvalidVertex;
+  if (status_[a]) {
+    other = b;
+  } else if (status_[b]) {
+    other = a;
+  } else {
+    return;
+  }
+  ClearTightness(other);
+  if (!lazy_) Unlink(inb_head_, inb_next_, inb_prev_, e, other);
+  --count_[other];
+  SetTightnessAndLog(other);
+}
+
+void MisState::OnVertexRemoving(VertexId v) {
+  DYNMIS_CHECK(!status_[v]);
+  ClearTightness(v);
+  if (!lazy_) {
+    for (EdgeId e = g_->FirstIncident(v); e != kInvalidEdge;
+         e = g_->NextIncident(e, v)) {
+      const VertexId u = g_->Other(e, v);
+      if (status_[u]) {
+        Unlink(inb_head_, inb_next_, inb_prev_, e, v);
+      }
+    }
+    DYNMIS_DCHECK(inb_head_[v] == kInvalidEdge);
+  }
+  count_[v] = 0;
+}
+
+size_t MisState::MemoryUsageBytes() const {
+  return VectorBytes(status_) + VectorBytes(count_) + VectorBytes(inb_head_) +
+         VectorBytes(inb_next_) + VectorBytes(inb_prev_) +
+         VectorBytes(bar1_head_) + VectorBytes(bar1_next_) +
+         VectorBytes(bar1_prev_) + VectorBytes(bar2_head_) +
+         VectorBytes(bar2_next_) + VectorBytes(bar2_prev_) +
+         VectorBytes(bar1_size_) + VectorBytes(bar1_edge_) +
+         VectorBytes(bar2_edge0_) + VectorBytes(bar2_edge1_) +
+         VectorBytes(transitions_);
+}
+
+void MisState::CheckConsistency(bool expect_maximal) const {
+  int64_t in_solution = 0;
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (!g_->IsVertexAlive(v)) continue;
+    int solution_neighbors = 0;
+    g_->ForEachIncident(v, [&](VertexId u, EdgeId) {
+      if (status_[u]) ++solution_neighbors;
+    });
+    if (status_[v]) {
+      ++in_solution;
+      DYNMIS_CHECK_EQ(solution_neighbors, 0);  // Independence.
+      DYNMIS_CHECK_EQ(count_[v], 0);
+    } else {
+      DYNMIS_CHECK_EQ(count_[v], solution_neighbors);
+      if (expect_maximal) DYNMIS_CHECK_GE(count_[v], 1);  // Maximality.
+    }
+  }
+  DYNMIS_CHECK_EQ(in_solution, solution_size_);
+  if (lazy_) return;
+  // List consistency: bar1(v) == {u in N(v) : count(u) == 1} and
+  // bar2(v) == {u in N(v) : count(u) == 2} for every solution vertex, and
+  // inb(u) == u's solution neighbours for every non-solution vertex.
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (!g_->IsVertexAlive(v)) continue;
+    if (status_[v]) {
+      std::vector<VertexId> listed;
+      CollectBar1(v, &listed);
+      DYNMIS_CHECK_EQ(static_cast<int>(listed.size()), bar1_size_[v]);
+      std::vector<VertexId> expected;
+      g_->ForEachIncident(v, [&](VertexId u, EdgeId) {
+        if (!status_[u] && count_[u] == 1) expected.push_back(u);
+      });
+      std::sort(listed.begin(), listed.end());
+      std::sort(expected.begin(), expected.end());
+      DYNMIS_CHECK(listed == expected);
+      if (k_ >= 2) {
+        std::vector<VertexId> listed2;
+        CollectBar2(v, &listed2);
+        std::vector<VertexId> expected2;
+        g_->ForEachIncident(v, [&](VertexId u, EdgeId) {
+          if (!status_[u] && count_[u] == 2) expected2.push_back(u);
+        });
+        std::sort(listed2.begin(), listed2.end());
+        std::sort(expected2.begin(), expected2.end());
+        DYNMIS_CHECK(listed2 == expected2);
+      }
+    } else {
+      std::vector<VertexId> owners;
+      ForEachSolutionNeighbor(v, [&](VertexId w) { owners.push_back(w); });
+      DYNMIS_CHECK_EQ(static_cast<int>(owners.size()), count_[v]);
+      for (VertexId w : owners) {
+        DYNMIS_CHECK(status_[w] != 0);
+        DYNMIS_CHECK(g_->HasEdge(v, w));
+      }
+    }
+  }
+}
+
+}  // namespace dynmis

@@ -1,0 +1,184 @@
+// MisState: the bookkeeping shared by the paper's maintenance framework
+// (Section III-B) and both instantiations (DyOneSwap, DyTwoSwap).
+//
+// Maintained per vertex v:
+//   * status(v)  - whether v is in the current solution I.
+//   * count(v)   - |N(v) cap I| (0 for solution vertices).
+// In eager mode additionally, realized as intrusive doubly-linked lists
+// threaded through per-edge link slots (the paper's "I(v) can be updated in
+// constant time if it is implemented by a doubly-linked list and a pointer
+// to v in I(v) is recorded in edge (v, u)"):
+//   * I(v)       - v's solution neighbours ("inb" list, owner v).
+//   * bar1(v)    - for v in I: neighbours u with count(u) == 1 whose unique
+//                  solution neighbour is v (the paper's bar_I1(v)).
+//   * bar2(v)    - for v in I, only when k >= 2: neighbours u with
+//                  count(u) == 2 having v as one of their two solution
+//                  neighbours. The paper's hierarchical bucket bar_I2(S) for
+//                  S = {x, y} is recovered as a filter of the smaller of
+//                  bar2(x), bar2(y), preserving the complexity analysis
+//                  (tau = max_v |bar_I2(v)| bounds the filter cost).
+//
+// In lazy mode (paper optimization 1) only status/count are kept; the
+// Collect* methods fall back to neighborhood scans.
+//
+// Every count transition into 1 (and into 2 when k >= 2) of a non-solution
+// vertex is appended to a transition log. The algorithms drain the log to
+// build their candidate queues C1/C2; entries are validated at drain time,
+// so stale entries are harmless. This realizes the framework's "collect
+// candidates around op" soundly (Theorem 5).
+
+#ifndef DYNMIS_SRC_CORE_SOLUTION_H_
+#define DYNMIS_SRC_CORE_SOLUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/dynamic_graph.h"
+
+namespace dynmis {
+
+class MisState {
+ public:
+  // `k` in {1, 2}: whether count-2 tightness (bar2 lists) is tracked.
+  // `lazy` selects the lazy-collection mode.
+  MisState(DynamicGraph* g, int k, bool lazy);
+
+  // Resizes the per-vertex / per-edge side arrays to the graph's current
+  // capacities. Call after any operation that may have grown them.
+  void EnsureCapacity();
+
+  // Resets the state slots of a vertex id that was just (re)allocated.
+  void OnVertexAdded(VertexId v);
+
+  bool InSolution(VertexId v) const { return status_[v] != 0; }
+  int Count(VertexId v) const { return count_[v]; }
+  int64_t SolutionSize() const { return solution_size_; }
+  std::vector<VertexId> Solution() const;
+
+  bool lazy() const { return lazy_; }
+  int k() const { return k_; }
+  DynamicGraph* graph() const { return g_; }
+
+  // The unique solution neighbour of `u`; requires count(u) >= 1. O(1) in
+  // eager mode, O(deg(u)) in lazy mode. When count(u) > 1 returns one of the
+  // solution neighbours (the list head in eager mode).
+  VertexId OwnerOf(VertexId u) const;
+
+  // The two solution neighbours of `u`; requires count(u) == 2. Results are
+  // ordered (first < second).
+  void OwnersOf2(VertexId u, VertexId* a, VertexId* b) const;
+
+  // Calls fn(w) for each solution neighbour w of `u`.
+  template <typename Fn>
+  void ForEachSolutionNeighbor(VertexId u, Fn&& fn) const {
+    if (!lazy_) {
+      for (EdgeId e = inb_head_[u]; e != kInvalidEdge;
+           e = inb_next_[Slot(e, u)]) {
+        fn(g_->Other(e, u));
+      }
+    } else {
+      g_->ForEachIncident(u, [&](VertexId w, EdgeId) {
+        if (InSolution(w)) fn(w);
+      });
+    }
+  }
+
+  // --- Tightness sets ---------------------------------------------------------
+
+  // |bar1(v)| for a solution vertex v. O(1) eager, O(deg(v)) lazy.
+  int Bar1Size(VertexId v) const;
+
+  // Appends the members of bar1(v) to `out` (not cleared).
+  void CollectBar1(VertexId v, std::vector<VertexId>* out) const;
+
+  // Appends the members of bar2(v) (count-2 vertices with v as a solution
+  // neighbour) to `out`. Requires k == 2.
+  void CollectBar2(VertexId v, std::vector<VertexId>* out) const;
+
+  // Appends bar_I2({x, y}): count-2 vertices whose solution neighbours are
+  // exactly {x, y}. Requires k == 2; x and y must be solution vertices.
+  void CollectBar2Pair(VertexId x, VertexId y, std::vector<VertexId>* out) const;
+
+  // --- Status transitions -----------------------------------------------------
+
+  // Moves `v` into the solution. Requires: alive, not in I, count(v) == 0.
+  void MoveIn(VertexId v);
+
+  // Moves `v` out of the solution. Recomputes count(v) and relinks v's own
+  // tightness membership. Tolerates neighbours currently in I (the
+  // transient state during the both-endpoints-in-I edge insertion case).
+  void MoveOut(VertexId v);
+
+  // --- Edge event hooks -------------------------------------------------------
+
+  // Call immediately after g->AddEdge(e). Handles the at-most-one-endpoint-
+  // in-I cases; with both endpoints in I it is a no-op (the caller must
+  // MoveOut one endpoint right after).
+  void OnEdgeAdded(EdgeId e);
+
+  // Call immediately *before* g->RemoveEdge(e).
+  void OnEdgeRemoving(EdgeId e);
+
+  // Call immediately before g->RemoveVertex(v) *after* the caller has moved
+  // v out of the solution (if it was in). Detaches v's incident edges from
+  // all state lists and updates neighbour counts.
+  void OnVertexRemoving(VertexId v);
+
+  // --- Transition log ----------------------------------------------------------
+
+  // Vertices whose count transitioned into 1 (or 2 when k == 2) since the
+  // last Take. Entries may be stale; consumers must re-validate.
+  std::vector<VertexId> TakeTransitions() {
+    std::vector<VertexId> out = std::move(transitions_);
+    transitions_.clear();
+    return out;
+  }
+
+  // --- Introspection ------------------------------------------------------------
+
+  size_t MemoryUsageBytes() const;
+
+  // Full O(n + m) invariant validation: independence, count correctness,
+  // list consistency, maximality. Aborts on violation. Test-only.
+  void CheckConsistency(bool expect_maximal) const;
+
+ private:
+  // Flat index of edge e's link slot on the side of vertex v.
+  int Slot(EdgeId e, VertexId v) const { return 2 * e + g_->Side(e, v); }
+
+  // Intrusive list plumbing. `head` is indexed by the owner vertex; the
+  // link arrays by Slot(e, owner).
+  void Link(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
+            std::vector<EdgeId>& prev, EdgeId e, VertexId owner);
+  void Unlink(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
+              std::vector<EdgeId>& prev, EdgeId e, VertexId owner);
+
+  // Removes u from whatever bar1/bar2 lists it occupies.
+  void ClearTightness(VertexId u);
+  // (Re)inserts u into the bar list matching its current count, and appends
+  // it to the transition log when it lands on a tracked tightness level.
+  void SetTightnessAndLog(VertexId u);
+
+  DynamicGraph* g_;
+  int k_;
+  bool lazy_;
+
+  std::vector<uint8_t> status_;
+  std::vector<int32_t> count_;
+  int64_t solution_size_ = 0;
+
+  // Eager-mode intrusive lists (sized 2 * edge capacity; empty when lazy).
+  std::vector<EdgeId> inb_head_, inb_next_, inb_prev_;
+  std::vector<EdgeId> bar1_head_, bar1_next_, bar1_prev_;
+  std::vector<EdgeId> bar2_head_, bar2_next_, bar2_prev_;
+  std::vector<int32_t> bar1_size_;
+  // Membership records: by which edge is u linked into an owner's list.
+  std::vector<EdgeId> bar1_edge_;
+  std::vector<EdgeId> bar2_edge0_, bar2_edge1_;
+
+  std::vector<VertexId> transitions_;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_CORE_SOLUTION_H_

@@ -1,0 +1,484 @@
+#include "src/core/two_swap.h"
+
+#include <algorithm>
+
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+DyTwoSwap::DyTwoSwap(DynamicGraph* g, MaintainerOptions options)
+    : g_(g), options_(options), state_(g, /*k=*/2, options.lazy) {
+  EnsureCapacity();
+}
+
+uint64_t DyTwoSwap::PairKey(VertexId x, VertexId y) {
+  if (x > y) std::swap(x, y);
+  // +1 keeps 0 free as the "not enqueued" sentinel.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(x + 1)) << 32) |
+         static_cast<uint32_t>(y + 1);
+}
+
+void DyTwoSwap::UnpackPair(uint64_t key, VertexId* x, VertexId* y) {
+  *x = static_cast<VertexId>(key >> 32) - 1;
+  *y = static_cast<VertexId>(key & 0xffffffffu) - 1;
+}
+
+void DyTwoSwap::EnsureCapacity() {
+  state_.EnsureCapacity();
+  const size_t vcap = g_->VertexCapacity();
+  if (in_c1_.size() < vcap) {
+    in_c1_.resize(vcap, 0);
+    cand_of_.resize(vcap);
+    cand_owner_.resize(vcap, kInvalidVertex);
+    cand2_key_.resize(vcap, 0);
+    mark_.resize(vcap, 0);
+  }
+}
+
+void DyTwoSwap::ResetVertexSlots(VertexId v) {
+  EnsureCapacity();
+  state_.OnVertexAdded(v);
+  in_c1_[v] = 0;
+  for (VertexId u : cand_of_[v]) {
+    if (cand_owner_[u] == v) cand_owner_[u] = kInvalidVertex;
+  }
+  cand_of_[v].clear();
+  cand_owner_[v] = kInvalidVertex;
+  cand2_key_[v] = 0;
+  mark_[v] = 0;
+}
+
+void DyTwoSwap::Initialize(const std::vector<VertexId>& initial) {
+  for (VertexId v : initial) {
+    DYNMIS_CHECK(g_->IsVertexAlive(v));
+    state_.MoveIn(v);
+  }
+  std::vector<VertexId> free;
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && !state_.InSolution(v) && state_.Count(v) == 0) {
+      free.push_back(v);
+    }
+  }
+  ExtendSolution(std::move(free));
+  // Establish 2-maximality: every 1-tight vertex seeds C1 and every 2-tight
+  // vertex seeds C2 (a 2-swap's triple must contain a 2-tight vertex once
+  // the solution is 1-maximal, so this is complete).
+  (void)state_.TakeTransitions();
+  for (VertexId u = 0; u < g_->VertexCapacity(); ++u) {
+    if (!g_->IsVertexAlive(u) || state_.InSolution(u)) continue;
+    if (state_.Count(u) == 1) {
+      EnqueueC1(state_.OwnerOf(u), u);
+    } else if (state_.Count(u) == 2) {
+      VertexId a, b;
+      state_.OwnersOf2(u, &a, &b);
+      EnqueueC2(PairKey(a, b), u);
+    }
+  }
+  ProcessQueues();
+}
+
+void DyTwoSwap::ExtendSolution(std::vector<VertexId> candidates) {
+  if (options_.perturb) {
+    std::sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
+      return g_->Degree(a) != g_->Degree(b) ? g_->Degree(a) < g_->Degree(b)
+                                            : a < b;
+    });
+  }
+  for (VertexId w : candidates) {
+    if (g_->IsVertexAlive(w) && !state_.InSolution(w) && state_.Count(w) == 0) {
+      state_.MoveIn(w);
+    }
+  }
+}
+
+void DyTwoSwap::EnqueueC1(VertexId owner, VertexId u) {
+  if (cand_owner_[u] == owner) return;
+  cand_owner_[u] = owner;
+  cand_of_[owner].push_back(u);
+  if (!in_c1_[owner]) {
+    in_c1_[owner] = 1;
+    c1_queue_.push_back(owner);
+  }
+}
+
+void DyTwoSwap::EnqueueC2(uint64_t pair_key, VertexId x) {
+  if (cand2_key_[x] == pair_key) return;
+  cand2_key_[x] = pair_key;
+  auto [it, inserted] = c2_cands_.try_emplace(pair_key);
+  it->second.push_back(x);
+  if (inserted) c2_queue_.push_back(pair_key);
+}
+
+void DyTwoSwap::DrainTransitions() {
+  for (VertexId u : state_.TakeTransitions()) {
+    if (!g_->IsVertexAlive(u) || state_.InSolution(u)) continue;
+    if (state_.Count(u) == 1) {
+      EnqueueC1(state_.OwnerOf(u), u);
+    } else if (state_.Count(u) == 2) {
+      VertexId a, b;
+      state_.OwnersOf2(u, &a, &b);
+      EnqueueC2(PairKey(a, b), u);
+    }
+  }
+}
+
+void DyTwoSwap::ApplyBatch(const std::vector<GraphUpdate>& updates) {
+  deferred_ = true;
+  for (const GraphUpdate& update : updates) Apply(update);
+  deferred_ = false;
+  ProcessQueues();
+}
+
+void DyTwoSwap::ProcessQueues() {
+  if (deferred_) return;
+  while (!c1_queue_.empty() || !c2_queue_.empty()) {
+    if (!c1_queue_.empty()) {
+      FindOneSwapStep();
+    } else {
+      FindTwoSwapStep();
+    }
+  }
+}
+
+void DyTwoSwap::FindOneSwapStep() {
+  const VertexId v = c1_queue_.back();
+  c1_queue_.pop_back();
+  in_c1_[v] = 0;
+  std::vector<VertexId> cands = std::move(cand_of_[v]);
+  cand_of_[v].clear();
+  const bool v_valid = g_->IsVertexAlive(v) && state_.InSolution(v);
+  std::vector<VertexId> kept;
+  for (VertexId u : cands) {
+    if (cand_owner_[u] != v) continue;
+    cand_owner_[u] = kInvalidVertex;
+    if (!v_valid || !g_->IsVertexAlive(u) || state_.InSolution(u) ||
+        state_.Count(u) != 1 || state_.OwnerOf(u) != v) {
+      continue;
+    }
+    kept.push_back(u);
+  }
+  if (kept.empty()) return;
+  stats_.candidates_processed += static_cast<int64_t>(kept.size());
+
+  std::vector<VertexId> bar1;
+  state_.CollectBar1(v, &bar1);
+  const int bar1_size = static_cast<int>(bar1.size());
+  NewEpoch();
+  for (VertexId w : bar1) Mark(w);
+
+  VertexId chosen = kInvalidVertex;
+  for (VertexId u : kept) {
+    int inter = 1;
+    g_->ForEachIncident(u, [&](VertexId w, EdgeId) {
+      if (Marked(w)) ++inter;
+    });
+    if (inter < bar1_size) {
+      if (!options_.perturb) {
+        chosen = u;
+        break;
+      }
+      if (chosen == kInvalidVertex || g_->Degree(u) < g_->Degree(chosen)) {
+        chosen = u;
+      }
+    }
+  }
+  if (chosen != kInvalidVertex) {
+    PerformOneSwap(v, chosen, bar1);
+    return;
+  }
+  if (options_.perturb && !bar1.empty()) {
+    // Plateau rotation toward the smallest-degree 1-tight neighbour (see
+    // DyOneSwap); size-neutral because G[bar1(v)] is a clique, and the
+    // strictly decreasing solution degree guarantees termination.
+    VertexId best = bar1.front();
+    for (VertexId w : bar1) {
+      if (g_->Degree(w) < g_->Degree(best)) best = w;
+    }
+    if (g_->Degree(best) < g_->Degree(v)) {
+      state_.MoveOut(v);
+      DYNMIS_DCHECK(state_.Count(best) == 0);
+      state_.MoveIn(best);
+      DrainTransitions();
+      return;
+    }
+  }
+  // No 1-swap for v (Alg 3, lines 14-17): the new bar1(v) members may still
+  // enable a 2-swap for a pair {v, z}. A 2-tight neighbour x of v is a
+  // useful pair witness only if it misses at least one member of C(v).
+  NewEpoch();
+  for (VertexId u : kept) Mark(u);
+  std::vector<VertexId> bar2;
+  state_.CollectBar2(v, &bar2);
+  const int kept_size = static_cast<int>(kept.size());
+  for (VertexId x : bar2) {
+    int inter = 0;
+    g_->ForEachIncident(x, [&](VertexId w, EdgeId) {
+      if (Marked(w)) ++inter;
+    });
+    if (inter < kept_size) {
+      VertexId a, b;
+      state_.OwnersOf2(x, &a, &b);
+      EnqueueC2(PairKey(a, b), x);
+    }
+  }
+}
+
+void DyTwoSwap::FindTwoSwapStep() {
+  const uint64_t key = c2_queue_.back();
+  c2_queue_.pop_back();
+  auto it = c2_cands_.find(key);
+  DYNMIS_DCHECK(it != c2_cands_.end());
+  std::vector<VertexId> cands = std::move(it->second);
+  c2_cands_.erase(it);
+  VertexId x, y;
+  UnpackPair(key, &x, &y);
+  const bool pair_valid = g_->IsVertexAlive(x) && g_->IsVertexAlive(y) &&
+                          state_.InSolution(x) && state_.InSolution(y);
+  std::vector<VertexId> kept;
+  for (VertexId w : cands) {
+    if (cand2_key_[w] != key) continue;
+    cand2_key_[w] = 0;
+    if (!pair_valid || !g_->IsVertexAlive(w) || state_.InSolution(w) ||
+        state_.Count(w) != 2) {
+      continue;
+    }
+    VertexId a, b;
+    state_.OwnersOf2(w, &a, &b);
+    if (PairKey(a, b) != key) continue;
+    kept.push_back(w);
+  }
+  if (kept.empty()) return;
+  stats_.pair_candidates_processed += static_cast<int64_t>(kept.size());
+
+  std::vector<VertexId> bar1x, bar1y, bar2s;
+  state_.CollectBar1(x, &bar1x);
+  state_.CollectBar1(y, &bar1y);
+  state_.CollectBar2Pair(x, y, &bar2s);
+
+  std::vector<VertexId> cy, cz;
+  for (VertexId w : kept) {
+    // Cy = bar1(x) u bar2(S) \ N[w];  Cz = bar1(y) u bar2(S) \ N[w].
+    NewEpoch();
+    Mark(w);
+    g_->ForEachIncident(w, [&](VertexId z, EdgeId) { Mark(z); });
+    cy.clear();
+    cz.clear();
+    for (VertexId z : bar1x) {
+      if (!Marked(z)) cy.push_back(z);
+    }
+    for (VertexId z : bar2s) {
+      if (!Marked(z)) cy.push_back(z);
+    }
+    for (VertexId z : bar1y) {
+      if (!Marked(z)) cz.push_back(z);
+    }
+    for (VertexId z : bar2s) {
+      if (!Marked(z)) cz.push_back(z);
+    }
+    if (cy.empty() || cz.empty()) continue;
+    // Look for non-adjacent (a, b) with a in Cy, b in Cz, a != b.
+    NewEpoch();
+    for (VertexId z : cz) Mark(z);
+    const int cz_size = static_cast<int>(cz.size());
+    for (VertexId a : cy) {
+      int inter = Marked(a) ? 1 : 0;  // a may itself lie in Cz.
+      g_->ForEachIncident(a, [&](VertexId z, EdgeId) {
+        if (Marked(z)) ++inter;
+      });
+      if (inter >= cz_size) continue;
+      // A witness exists; find it explicitly.
+      NewEpoch();
+      Mark(a);
+      g_->ForEachIncident(a, [&](VertexId z, EdgeId) { Mark(z); });
+      VertexId b = kInvalidVertex;
+      for (VertexId z : cz) {
+        if (!Marked(z)) {
+          b = z;
+          break;
+        }
+      }
+      DYNMIS_CHECK(b != kInvalidVertex);
+      std::vector<VertexId> region;
+      region.reserve(bar1x.size() + bar1y.size() + bar2s.size());
+      region.insert(region.end(), bar1x.begin(), bar1x.end());
+      region.insert(region.end(), bar1y.begin(), bar1y.end());
+      region.insert(region.end(), bar2s.begin(), bar2s.end());
+      PerformTwoSwap(x, y, w, a, b, std::move(region));
+      return;
+    }
+  }
+}
+
+void DyTwoSwap::PerformOneSwap(VertexId v, VertexId u,
+                               const std::vector<VertexId>& bar1_snapshot) {
+  ++stats_.one_swaps;
+  std::vector<VertexId> snapshot = bar1_snapshot;
+  state_.MoveOut(v);
+  state_.MoveIn(u);
+  ExtendSolution(std::move(snapshot));
+  DrainTransitions();
+}
+
+void DyTwoSwap::PerformTwoSwap(VertexId x, VertexId y, VertexId in_a,
+                               VertexId in_b, VertexId in_c,
+                               std::vector<VertexId> region_snapshot) {
+  ++stats_.two_swaps;
+  state_.MoveOut(x);
+  state_.MoveOut(y);
+  DYNMIS_DCHECK(state_.Count(in_a) == 0);
+  state_.MoveIn(in_a);
+  DYNMIS_DCHECK(state_.Count(in_b) == 0);
+  state_.MoveIn(in_b);
+  if (state_.Count(in_c) == 0) state_.MoveIn(in_c);
+  ExtendSolution(std::move(region_snapshot));
+  DrainTransitions();
+}
+
+void DyTwoSwap::InsertEdge(VertexId u, VertexId v) {
+  const bool u_in = state_.InSolution(u);
+  const bool v_in = state_.InSolution(v);
+  const EdgeId e = g_->AddEdge(u, v);
+  EnsureCapacity();
+  state_.OnEdgeAdded(e);
+  if (u_in && v_in) {
+    VertexId loser;
+    const bool bu = state_.Bar1Size(u) > 0;
+    const bool bv = state_.Bar1Size(v) > 0;
+    if (bu != bv) {
+      loser = bu ? u : v;
+    } else {
+      loser = g_->Degree(u) >= g_->Degree(v) ? u : v;
+    }
+    state_.MoveOut(loser);
+    std::vector<VertexId> freed;
+    g_->ForEachIncident(loser, [&](VertexId w, EdgeId) {
+      if (!state_.InSolution(w) && state_.Count(w) == 0) freed.push_back(w);
+    });
+    ExtendSolution(std::move(freed));
+  }
+  DrainTransitions();
+  ProcessQueues();
+}
+
+void DyTwoSwap::DeleteEdge(VertexId u, VertexId v) {
+  const EdgeId e = g_->FindEdge(u, v);
+  DYNMIS_CHECK(e != kInvalidEdge);
+  state_.OnEdgeRemoving(e);
+  g_->RemoveEdge(e);
+  const bool u_in = state_.InSolution(u);
+  const bool v_in = state_.InSolution(v);
+  if (u_in || v_in) {
+    const VertexId other = u_in ? v : u;
+    if (!state_.InSolution(other) && state_.Count(other) == 0) {
+      state_.MoveIn(other);
+    }
+  } else if (state_.Count(u) == 1 && state_.Count(v) == 1) {
+    const VertexId wu = state_.OwnerOf(u);
+    const VertexId wv = state_.OwnerOf(v);
+    if (wu == wv) {
+      // Deletion case ii.a: swap the shared owner with {u, v}.
+      ++stats_.one_swaps;
+      std::vector<VertexId> snapshot;
+      state_.CollectBar1(wu, &snapshot);
+      state_.MoveOut(wu);
+      DYNMIS_DCHECK(state_.Count(u) == 0);
+      state_.MoveIn(u);
+      if (state_.Count(v) == 0) state_.MoveIn(v);
+      ExtendSolution(std::move(snapshot));
+    } else {
+      // Deletion case ii.b: S = {wu, wv} with swap-in {u, v, w} for a
+      // 2-tight w of the pair that misses both u and v.
+      NewEpoch();
+      Mark(u);
+      Mark(v);
+      g_->ForEachIncident(u, [&](VertexId z, EdgeId) { Mark(z); });
+      g_->ForEachIncident(v, [&](VertexId z, EdgeId) { Mark(z); });
+      std::vector<VertexId> pair_tight;
+      state_.CollectBar2Pair(wu, wv, &pair_tight);
+      VertexId w = kInvalidVertex;
+      for (VertexId z : pair_tight) {
+        if (!Marked(z)) {
+          w = z;
+          break;
+        }
+      }
+      if (w != kInvalidVertex) {
+        std::vector<VertexId> region;
+        state_.CollectBar1(wu, &region);
+        state_.CollectBar1(wv, &region);
+        region.insert(region.end(), pair_tight.begin(), pair_tight.end());
+        state_.MoveOut(wu);
+        state_.MoveOut(wv);
+        ++stats_.two_swaps;
+        DYNMIS_DCHECK(state_.Count(u) == 0);
+        state_.MoveIn(u);
+        DYNMIS_DCHECK(state_.Count(v) == 0);
+        state_.MoveIn(v);
+        if (state_.Count(w) == 0) state_.MoveIn(w);
+        ExtendSolution(std::move(region));
+      }
+    }
+  } else {
+    // Deletion case ii.c: when one endpoint is 2-tight and the other's
+    // owners are a subset of its pair, the pair gains a usable candidate.
+    for (const auto& [p, q] : {std::pair{u, v}, std::pair{v, u}}) {
+      if (state_.Count(q) != 2 || state_.Count(p) < 1 || state_.Count(p) > 2) {
+        continue;
+      }
+      VertexId a, b;
+      state_.OwnersOf2(q, &a, &b);
+      bool subset = true;
+      state_.ForEachSolutionNeighbor(p, [&](VertexId s) {
+        if (s != a && s != b) subset = false;
+      });
+      if (subset) EnqueueC2(PairKey(a, b), q);
+    }
+  }
+  DrainTransitions();
+  ProcessQueues();
+}
+
+VertexId DyTwoSwap::InsertVertex(const std::vector<VertexId>& neighbors) {
+  const VertexId v = g_->AddVertex();
+  EnsureCapacity();
+  ResetVertexSlots(v);
+  for (VertexId u : neighbors) {
+    DYNMIS_CHECK_NE(u, v);
+    const EdgeId e = g_->AddEdge(u, v);
+    EnsureCapacity();
+    state_.OnEdgeAdded(e);
+  }
+  if (state_.Count(v) == 0) state_.MoveIn(v);
+  DrainTransitions();
+  ProcessQueues();
+  return v;
+}
+
+void DyTwoSwap::DeleteVertex(VertexId v) {
+  DYNMIS_CHECK(g_->IsVertexAlive(v));
+  std::vector<VertexId> neighbors = g_->Neighbors(v);
+  if (state_.InSolution(v)) state_.MoveOut(v);
+  state_.OnVertexRemoving(v);
+  g_->RemoveVertex(v);
+  ResetVertexSlots(v);
+  ExtendSolution(std::move(neighbors));
+  DrainTransitions();
+  ProcessQueues();
+}
+
+size_t DyTwoSwap::MemoryUsageBytes() const {
+  return state_.MemoryUsageBytes() + VectorBytes(c1_queue_) +
+         VectorBytes(in_c1_) + NestedVectorBytes(cand_of_) +
+         VectorBytes(cand_owner_) + VectorBytes(c2_queue_) +
+         UnorderedMapBytes(c2_cands_) + VectorBytes(cand2_key_) +
+         VectorBytes(mark_) + VectorBytes(scratch_);
+}
+
+std::string DyTwoSwap::Name() const {
+  std::string name = "DyTwoSwap";
+  if (options_.lazy) name += "-lazy";
+  if (options_.perturb) name += "*";
+  return name;
+}
+
+}  // namespace dynmis

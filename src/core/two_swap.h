@@ -1,0 +1,108 @@
+// DyTwoSwap (paper Algorithm 3): maintains a 2-maximal independent set over
+// a dynamic graph. The worst-case approximation ratio is the same
+// (Delta/2 + 1) as DyOneSwap (Theorem 3 shows larger k cannot improve it),
+// but eliminating 2-swaps yields measurably larger solutions in practice at
+// near-linear expected cost on power-law bounded graphs (Lemma 2).
+//
+// Processing is bottom-up: the candidate queue C1 (1-swaps) is always
+// drained before C2 (2-swaps), so when a pair S = {u, v} is examined the
+// solution is already 1-maximal. This justifies the paper's refinement of
+// the swap-in search: a valid 2-swap needs an independent triple
+// {x, y, z} with x in bar_I2(S), y in bar_I1(u) u bar_I2(S) \ N[x] and
+// z in bar_I1(v) u bar_I2(S) \ N[x].
+
+#ifndef DYNMIS_SRC_CORE_TWO_SWAP_H_
+#define DYNMIS_SRC_CORE_TWO_SWAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/maintainer.h"
+#include "src/core/options.h"
+#include "src/core/solution.h"
+
+namespace dynmis {
+
+class DyTwoSwap : public DynamicMisMaintainer {
+ public:
+  explicit DyTwoSwap(DynamicGraph* g, MaintainerOptions options = {});
+
+  void Initialize(const std::vector<VertexId>& initial) override;
+  void InitializeEmpty() { Initialize({}); }
+
+  void InsertEdge(VertexId u, VertexId v) override;
+  void DeleteEdge(VertexId u, VertexId v) override;
+  VertexId InsertVertex(const std::vector<VertexId>& neighbors) override;
+  void DeleteVertex(VertexId v) override;
+
+  // Deferred-restoration batch processing (see DynamicMisMaintainer).
+  void ApplyBatch(const std::vector<GraphUpdate>& updates) override;
+
+  bool InSolution(VertexId v) const override { return state_.InSolution(v); }
+  int64_t SolutionSize() const override { return state_.SolutionSize(); }
+  std::vector<VertexId> Solution() const override { return state_.Solution(); }
+  size_t MemoryUsageBytes() const override;
+  std::string Name() const override;
+
+  void CheckConsistency() const { state_.CheckConsistency(/*expect_maximal=*/true); }
+
+  struct Stats {
+    int64_t one_swaps = 0;
+    int64_t two_swaps = 0;
+    int64_t candidates_processed = 0;
+    int64_t pair_candidates_processed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Pair key for C2: packs the ordered solution pair {x < y}.
+  static uint64_t PairKey(VertexId x, VertexId y);
+  static void UnpackPair(uint64_t key, VertexId* x, VertexId* y);
+
+  void EnsureCapacity();
+  void ResetVertexSlots(VertexId v);
+  void ExtendSolution(std::vector<VertexId> candidates);
+  void EnqueueC1(VertexId owner, VertexId u);
+  void EnqueueC2(uint64_t pair_key, VertexId x);
+  void DrainTransitions();
+  void ProcessQueues();
+  void FindOneSwapStep();
+  void FindTwoSwapStep();
+  void PerformOneSwap(VertexId v, VertexId u,
+                      const std::vector<VertexId>& bar1_snapshot);
+  void PerformTwoSwap(VertexId x, VertexId y, VertexId in_a, VertexId in_b,
+                      VertexId in_c, std::vector<VertexId> region_snapshot);
+  void NewEpoch() { ++epoch_; }
+  void Mark(VertexId v) { mark_[v] = epoch_; }
+  bool Marked(VertexId v) const { return mark_[v] == epoch_; }
+
+  DynamicGraph* g_;
+  MaintainerOptions options_;
+  MisState state_;
+  // True while inside ApplyBatch: handlers defer ProcessQueues to batch end.
+  bool deferred_ = false;
+
+  // C1: per-solution-vertex candidate lists.
+  std::vector<VertexId> c1_queue_;
+  std::vector<uint8_t> in_c1_;
+  std::vector<std::vector<VertexId>> cand_of_;
+  std::vector<VertexId> cand_owner_;
+
+  // C2: per-solution-pair candidate lists, keyed by packed pair.
+  std::vector<uint64_t> c2_queue_;
+  std::unordered_map<uint64_t, std::vector<VertexId>> c2_cands_;
+  // cand2_key_[x]: pair key under which x is enqueued, 0 when none.
+  std::vector<uint64_t> cand2_key_;
+
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> scratch_;
+
+  Stats stats_;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_CORE_TWO_SWAP_H_

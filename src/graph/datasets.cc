@@ -1,0 +1,120 @@
+#include "src/graph/datasets.h"
+
+#include <cmath>
+
+#include "src/graph/generators.h"
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace {
+
+DatasetSpec Spec(const char* name, bool easy, int n, double avg, double beta,
+                 DatasetKind kind, uint64_t seed, int64_t paper_n,
+                 int64_t paper_m, double paper_avg) {
+  DatasetSpec s;
+  s.name = name;
+  s.easy = easy;
+  s.n = n;
+  s.avg_degree = avg;
+  s.beta = beta;
+  s.kind = kind;
+  s.seed = seed;
+  s.paper_n = paper_n;
+  s.paper_m = paper_m;
+  s.paper_avg_degree = paper_avg;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& EasyDatasets() {
+  static const std::vector<DatasetSpec>* const kSpecs =
+      new std::vector<DatasetSpec>{
+          Spec("Epinions", true, 1800, 10.7, 2.2, DatasetKind::kChungLu, 101,
+               75879, 405740, 10.69),
+          Spec("Slashdot", true, 2000, 12.3, 2.2, DatasetKind::kChungLu, 102,
+               82168, 504230, 12.27),
+          Spec("Email", true, 3000, 2.8, 2.6, DatasetKind::kChungLu, 103,
+               265214, 364481, 2.75),
+          Spec("com-dblp", true, 3200, 6.6, 2.4, DatasetKind::kBarabasiAlbert,
+               104, 317080, 1049866, 6.62),
+          Spec("com-amazon", true, 3400, 5.5, 2.5,
+               DatasetKind::kBarabasiAlbert, 105, 334863, 925872, 5.53),
+          Spec("web-Google", true, 4500, 9.9, 2.3, DatasetKind::kChungLu, 106,
+               875713, 4322051, 9.87),
+          Spec("web-BerkStan", true, 4200, 19.4, 2.1, DatasetKind::kChungLu,
+               107, 685230, 6649470, 19.41),
+          Spec("in-2004", true, 5000, 19.7, 2.1, DatasetKind::kChungLu, 108,
+               1382870, 13591473, 19.66),
+          Spec("as-skitter", true, 5500, 13.1, 2.2, DatasetKind::kChungLu,
+               109, 1696415, 11095298, 13.08),
+          Spec("hollywood", true, 6000, 20.0, 2.15, DatasetKind::kChungLu, 110,
+               1985306, 114492816, 115.34),
+          Spec("WikiTalk", true, 6500, 3.9, 2.5, DatasetKind::kChungLu, 111,
+               2394385, 4659565, 3.89),
+          Spec("com-lj", true, 8000, 15.0, 2.15, DatasetKind::kChungLu, 112,
+               3997962, 34681189, 17.35),
+          Spec("soc-LiveJournal", true, 9000, 15.5, 2.15,
+               DatasetKind::kChungLu, 113, 4847571, 42851237, 17.68),
+      };
+  return *kSpecs;
+}
+
+const std::vector<DatasetSpec>& HardDatasets() {
+  static const std::vector<DatasetSpec>* const kSpecs =
+      new std::vector<DatasetSpec>{
+          Spec("soc-pokec", false, 10000, 27.3, 2.2, DatasetKind::kChungLu,
+               201, 1632803, 22301964, 27.32),
+          Spec("wiki-topcats", false, 10500, 28.4, 2.2, DatasetKind::kChungLu,
+               202, 1791489, 25444207, 28.41),
+          Spec("com-orkut", false, 11000, 45.0, 2.15, DatasetKind::kChungLu,
+               203, 3072441, 117185083, 76.28),
+          Spec("cit-Patents", false, 11500, 8.8, 2.4,
+               DatasetKind::kBarabasiAlbert, 204, 3774768, 16518947, 8.75),
+          Spec("uk-2005", false, 14000, 35.0, 2.1, DatasetKind::kChungLu, 205,
+               39454746, 783027125, 39.70),
+          Spec("it-2004", false, 15000, 40.0, 2.1, DatasetKind::kChungLu, 206,
+               41290682, 1027474947, 49.77),
+          Spec("twitter-2010", false, 16000, 45.0, 2.1, DatasetKind::kRMat,
+               207, 41652230, 1468365182, 70.51),
+          Spec("Friendster", false, 18000, 40.0, 2.2, DatasetKind::kChungLu,
+               208, 65608366, 1806067135, 55.06),
+          Spec("uk-2007", false, 20000, 42.0, 2.1, DatasetKind::kRMat, 209,
+               109499800, 3448528200, 62.99),
+      };
+  return *kSpecs;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  for (const auto& spec : EasyDatasets()) {
+    if (spec.name == name) return &spec;
+  }
+  for (const auto& spec : HardDatasets()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+EdgeListGraph GenerateDataset(const DatasetSpec& spec) {
+  Rng rng(SplitMix64(spec.seed));
+  switch (spec.kind) {
+    case DatasetKind::kChungLu:
+      return ChungLuPowerLaw(spec.n, spec.beta, spec.avg_degree, &rng);
+    case DatasetKind::kBarabasiAlbert: {
+      const int per_vertex =
+          std::max(1, static_cast<int>(std::lround(spec.avg_degree / 2.0)));
+      return BarabasiAlbert(spec.n, per_vertex, &rng);
+    }
+    case DatasetKind::kRMat: {
+      int scale = 1;
+      while ((1 << scale) < spec.n) ++scale;
+      const auto m =
+          static_cast<int64_t>(spec.avg_degree * (1 << scale) / 2.0);
+      return RMat(scale, m, 0.57, 0.19, 0.19, &rng);
+    }
+  }
+  DYNMIS_CHECK(false);
+  return {};
+}
+
+}  // namespace dynmis

@@ -1,0 +1,124 @@
+#include "src/graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace {
+
+int FloorLog2(int x) {
+  DYNMIS_CHECK_GT(x, 0);
+  int b = 0;
+  while ((1 << (b + 1)) <= x) ++b;
+  return b;
+}
+
+// Expected bucket mass of Definition 2 without the c constant:
+// n (t+1)^{beta-1} sum_{i=2^b}^{2^{b+1}-1} (i+t)^{-beta}.
+double BucketModelMass(int n, int bucket, double beta, double t) {
+  double sum = 0;
+  const int64_t lo = int64_t{1} << bucket;
+  const int64_t hi = (int64_t{1} << (bucket + 1)) - 1;
+  for (int64_t i = lo; i <= hi; ++i) {
+    sum += std::pow(static_cast<double>(i) + t, -beta);
+  }
+  return n * std::pow(t + 1.0, beta - 1.0) * sum;
+}
+
+}  // namespace
+
+DegreeStats ComputeDegreeStats(const StaticGraph& g) {
+  DegreeStats stats;
+  stats.n = g.NumVertices();
+  stats.m = g.NumEdges();
+  stats.avg_degree = g.AverageDegree();
+  stats.max_degree = g.MaxDegree();
+  stats.min_degree = stats.n == 0 ? 0 : stats.max_degree;
+  stats.counts.assign(static_cast<size_t>(stats.max_degree) + 1, 0);
+  stats.min_positive_degree = stats.max_degree;
+  for (int v = 0; v < stats.n; ++v) {
+    const int d = g.Degree(v);
+    stats.min_degree = std::min(stats.min_degree, d);
+    if (d > 0) stats.min_positive_degree = std::min(stats.min_positive_degree, d);
+    ++stats.counts[d];
+  }
+  if (stats.max_degree == 0) stats.min_positive_degree = 0;
+  if (stats.max_degree > 0) {
+    stats.bucket_counts.assign(FloorLog2(stats.max_degree) + 1, 0);
+    for (int d = 1; d <= stats.max_degree; ++d) {
+      if (stats.counts[d] > 0) stats.bucket_counts[FloorLog2(d)] += stats.counts[d];
+    }
+  }
+  return stats;
+}
+
+double EstimatePowerLawExponent(const DegreeStats& stats) {
+  // Fit log(count / width) = alpha - beta * log(mid-degree) by least squares
+  // over non-empty dyadic buckets.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (size_t b = 0; b < stats.bucket_counts.size(); ++b) {
+    if (stats.bucket_counts[b] == 0) continue;
+    const double width = static_cast<double>(int64_t{1} << b);
+    const double mid = 1.5 * width;
+    xs.push_back(std::log(mid));
+    ys.push_back(std::log(static_cast<double>(stats.bucket_counts[b]) / width));
+  }
+  if (xs.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double k = static_cast<double>(xs.size());
+  const double denom = k * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  const double slope = (k * sxy - sx * sy) / denom;
+  return -slope;
+}
+
+bool IsPowerLawBounded(const DegreeStats& stats, double beta, double t,
+                       double c1, double c2) {
+  if (stats.min_positive_degree <= 0 || stats.max_degree <= 0) return false;
+  const int lo = FloorLog2(stats.min_positive_degree);
+  const int hi = FloorLog2(stats.max_degree);
+  for (int b = lo; b <= hi; ++b) {
+    const double model = BucketModelMass(stats.n, b, beta, t);
+    const int64_t observed =
+        b < static_cast<int>(stats.bucket_counts.size()) ? stats.bucket_counts[b]
+                                                         : 0;
+    if (observed < c2 * model || observed > c1 * model) return false;
+  }
+  return true;
+}
+
+bool FitPlbConstants(const DegreeStats& stats, double beta, double t,
+                     double* c1, double* c2) {
+  if (stats.min_positive_degree <= 0 || stats.max_degree <= 0) return false;
+  const int lo = FloorLog2(stats.min_positive_degree);
+  const int hi = FloorLog2(stats.max_degree);
+  double max_ratio = 0;
+  double min_ratio = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (int b = lo; b <= hi; ++b) {
+    const double model = BucketModelMass(stats.n, b, beta, t);
+    if (model <= 0) continue;
+    const int64_t observed =
+        b < static_cast<int>(stats.bucket_counts.size()) ? stats.bucket_counts[b]
+                                                         : 0;
+    const double ratio = static_cast<double>(observed) / model;
+    max_ratio = std::max(max_ratio, ratio);
+    min_ratio = std::min(min_ratio, ratio);
+    any = true;
+  }
+  if (!any) return false;
+  *c1 = max_ratio;
+  *c2 = min_ratio;
+  return true;
+}
+
+}  // namespace dynmis

@@ -1,0 +1,57 @@
+// Degree-distribution statistics and power-law-bounded (PLB) diagnostics.
+//
+// The paper's Theorem 4 and Lemma 2 apply to graphs that are power-law
+// bounded (Definition 2, after Chauhan/Friedrich/Rothenberger): the number
+// of vertices with degree in each dyadic bucket [2^d, 2^{d+1}) lies between
+// two shifted power-law sequences. This module computes the bucketed degree
+// histogram, fits the tail exponent beta, and checks the PLB sandwich for
+// given parameters.
+
+#ifndef DYNMIS_SRC_GRAPH_DEGREE_STATS_H_
+#define DYNMIS_SRC_GRAPH_DEGREE_STATS_H_
+
+#include <vector>
+
+#include "src/graph/static_graph.h"
+
+namespace dynmis {
+
+struct DegreeStats {
+  int n = 0;
+  int64_t m = 0;
+  int min_degree = 0;
+  // Smallest non-zero degree (Definition 2's delta; isolated vertices are
+  // outside the power-law tail). 0 when the graph has no edges.
+  int min_positive_degree = 0;
+  int max_degree = 0;
+  double avg_degree = 0.0;
+  // counts[d] = number of vertices of degree d.
+  std::vector<int64_t> counts;
+  // bucket_counts[b] = number of vertices with degree in [2^b, 2^{b+1}).
+  std::vector<int64_t> bucket_counts;
+};
+
+DegreeStats ComputeDegreeStats(const StaticGraph& g);
+
+// Least-squares fit of log(bucket density) against log(bucket degree): an
+// estimate of the power-law exponent beta of the degree distribution tail.
+// Returns 0 if there are fewer than two non-empty buckets.
+double EstimatePowerLawExponent(const DegreeStats& stats);
+
+// Checks Definition 2's sandwich: for every dyadic bucket between
+// floor(log2(min_degree)) and floor(log2(max_degree)), the vertex count is
+// within [c2 * E, c1 * E] where E = n (t+1)^{beta-1} sum_{i in bucket}
+// (i+t)^{-beta}. Returns true if all buckets pass.
+bool IsPowerLawBounded(const DegreeStats& stats, double beta, double t,
+                       double c1, double c2);
+
+// Finds (c1, c2) making the sandwich tight for the given beta and t, i.e.
+// the max/min observed ratio of bucket count to the model's expected count.
+// Buckets with zero expected mass are skipped. Returns false if no non-empty
+// bucket exists.
+bool FitPlbConstants(const DegreeStats& stats, double beta, double t,
+                     double* c1, double* c2);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,176 @@
+#include "src/graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+DynamicGraph::DynamicGraph(int n) {
+  DYNMIS_CHECK_GE(n, 0);
+  vertices_.resize(n);
+  for (auto& rec : vertices_) rec.alive = true;
+  num_vertices_ = n;
+}
+
+VertexId DynamicGraph::AddVertex() {
+  VertexId v;
+  if (!free_vertices_.empty()) {
+    v = free_vertices_.back();
+    free_vertices_.pop_back();
+  } else {
+    v = static_cast<VertexId>(vertices_.size());
+    vertices_.emplace_back();
+  }
+  VertexRec& rec = vertices_[v];
+  rec.alive = true;
+  rec.head = kInvalidEdge;
+  rec.degree = 0;
+  ++num_vertices_;
+  return v;
+}
+
+void DynamicGraph::RemoveVertex(VertexId v) {
+  DYNMIS_CHECK(IsVertexAlive(v));
+  EdgeId e = vertices_[v].head;
+  while (e != kInvalidEdge) {
+    EdgeId next = NextIncident(e, v);
+    RemoveEdge(e);
+    e = next;
+  }
+  vertices_[v].alive = false;
+  free_vertices_.push_back(v);
+  --num_vertices_;
+}
+
+int DynamicGraph::MaxDegree() const {
+  if (!max_degree_exact_) {
+    int max_deg = 0;
+    for (const auto& rec : vertices_) {
+      if (rec.alive && rec.degree > max_deg) max_deg = rec.degree;
+    }
+    max_degree_bound_ = max_deg;
+    max_degree_exact_ = true;
+  }
+  return max_degree_bound_;
+}
+
+EdgeId DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  DYNMIS_CHECK(IsVertexAlive(u));
+  DYNMIS_CHECK(IsVertexAlive(v));
+  DYNMIS_CHECK_NE(u, v);
+  DYNMIS_DCHECK(!HasEdge(u, v));
+
+  EdgeId e;
+  if (!free_edges_.empty()) {
+    e = free_edges_.back();
+    free_edges_.pop_back();
+  } else {
+    e = static_cast<EdgeId>(edges_.size());
+    edges_.emplace_back();
+  }
+  EdgeRec& rec = edges_[e];
+  rec.alive = true;
+  rec.endpoint[0] = u;
+  rec.endpoint[1] = v;
+  for (int s = 0; s < 2; ++s) {
+    VertexId x = rec.endpoint[s];
+    VertexRec& vx = vertices_[x];
+    rec.prev[s] = kInvalidEdge;
+    rec.next[s] = vx.head;
+    if (vx.head != kInvalidEdge) {
+      EdgeRec& head_rec = edges_[vx.head];
+      head_rec.prev[SideOf(vx.head, x)] = e;
+    }
+    vx.head = e;
+    ++vx.degree;
+    if (max_degree_exact_ && vx.degree > max_degree_bound_) {
+      max_degree_bound_ = vx.degree;
+    }
+  }
+  ++num_edges_;
+  return e;
+}
+
+void DynamicGraph::UnlinkFrom(EdgeId e, VertexId v) {
+  EdgeRec& rec = edges_[e];
+  const int s = SideOf(e, v);
+  const EdgeId prev = rec.prev[s];
+  const EdgeId next = rec.next[s];
+  if (prev != kInvalidEdge) {
+    edges_[prev].next[SideOf(prev, v)] = next;
+  } else {
+    vertices_[v].head = next;
+  }
+  if (next != kInvalidEdge) {
+    edges_[next].prev[SideOf(next, v)] = prev;
+  }
+  VertexRec& vrec = vertices_[v];
+  if (vrec.degree == max_degree_bound_) max_degree_exact_ = false;
+  --vrec.degree;
+}
+
+void DynamicGraph::RemoveEdge(EdgeId e) {
+  DYNMIS_CHECK(IsEdgeAlive(e));
+  EdgeRec& rec = edges_[e];
+  UnlinkFrom(e, rec.endpoint[0]);
+  UnlinkFrom(e, rec.endpoint[1]);
+  rec.alive = false;
+  rec.endpoint[0] = kInvalidVertex;
+  rec.endpoint[1] = kInvalidVertex;
+  free_edges_.push_back(e);
+  --num_edges_;
+}
+
+bool DynamicGraph::RemoveEdgeBetween(VertexId u, VertexId v) {
+  EdgeId e = FindEdge(u, v);
+  if (e == kInvalidEdge) return false;
+  RemoveEdge(e);
+  return true;
+}
+
+EdgeId DynamicGraph::FindEdge(VertexId u, VertexId v) const {
+  if (!IsVertexAlive(u) || !IsVertexAlive(v)) return kInvalidEdge;
+  // Scan the endpoint with the smaller degree.
+  if (Degree(v) < Degree(u)) std::swap(u, v);
+  for (EdgeId e = FirstIncident(u); e != kInvalidEdge; e = NextIncident(e, u)) {
+    if (Other(e, u) == v) return e;
+  }
+  return kInvalidEdge;
+}
+
+std::vector<VertexId> DynamicGraph::Neighbors(VertexId v) const {
+  std::vector<VertexId> result;
+  result.reserve(Degree(v));
+  ForEachIncident(v, [&](VertexId u, EdgeId) { result.push_back(u); });
+  return result;
+}
+
+std::vector<VertexId> DynamicGraph::AliveVertices() const {
+  std::vector<VertexId> result;
+  result.reserve(num_vertices_);
+  for (VertexId v = 0; v < VertexCapacity(); ++v) {
+    if (vertices_[v].alive) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<std::pair<VertexId, VertexId>> DynamicGraph::EdgeList() const {
+  std::vector<std::pair<VertexId, VertexId>> result;
+  result.reserve(static_cast<size_t>(num_edges_));
+  for (EdgeId e = 0; e < EdgeCapacity(); ++e) {
+    if (!edges_[e].alive) continue;
+    VertexId u = edges_[e].endpoint[0];
+    VertexId v = edges_[e].endpoint[1];
+    if (u > v) std::swap(u, v);
+    result.emplace_back(u, v);
+  }
+  return result;
+}
+
+size_t DynamicGraph::MemoryUsageBytes() const {
+  return VectorBytes(vertices_) + VectorBytes(edges_) +
+         VectorBytes(free_vertices_) + VectorBytes(free_edges_);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,199 @@
+// DynamicGraph: an undirected graph supporting O(1) edge insertion/deletion
+// and vertex insertion/deletion in time proportional to the vertex degree.
+//
+// This is the substrate every dynamic algorithm in the library runs on. Two
+// properties matter to the algorithm layers:
+//
+//  * Vertex ids and edge ids are *stable*: an id never moves while the
+//    vertex/edge is alive, so algorithm layers can keep their per-vertex and
+//    per-edge state in flat arrays indexed by id (no hashing on hot paths).
+//    Ids of deleted elements are recycled via free lists.
+//  * Adjacency is an intrusive doubly-linked list threaded through the edge
+//    records themselves, which is what makes deletion O(1). This mirrors the
+//    paper's "I(v) can be updated in constant time if it is implemented by a
+//    doubly-linked list and a pointer ... is recorded in edge (v, u)".
+//
+// The graph is not thread-safe; a single maintainer mutates it.
+
+#ifndef DYNMIS_SRC_GRAPH_DYNAMIC_GRAPH_H_
+#define DYNMIS_SRC_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+
+using VertexId = int32_t;
+using EdgeId = int32_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  // Convenience constructor: `n` vertices (ids 0..n-1), no edges.
+  explicit DynamicGraph(int n);
+
+  DynamicGraph(const DynamicGraph&) = default;
+  DynamicGraph& operator=(const DynamicGraph&) = default;
+  DynamicGraph(DynamicGraph&&) = default;
+  DynamicGraph& operator=(DynamicGraph&&) = default;
+
+  // --- Vertices -------------------------------------------------------------
+
+  // Adds an isolated vertex and returns its id. Recycles ids of previously
+  // removed vertices before growing the id space.
+  VertexId AddVertex();
+
+  // Removes `v` and all its incident edges. `v` must be alive.
+  void RemoveVertex(VertexId v);
+
+  // True if `v` names a currently alive vertex.
+  bool IsVertexAlive(VertexId v) const {
+    return v >= 0 && v < VertexCapacity() && vertices_[v].alive;
+  }
+
+  int NumVertices() const { return num_vertices_; }
+
+  // One past the largest vertex id ever allocated. Per-vertex side arrays in
+  // algorithm layers should be sized to this.
+  int VertexCapacity() const { return static_cast<int>(vertices_.size()); }
+
+  int Degree(VertexId v) const {
+    DYNMIS_DCHECK(IsVertexAlive(v));
+    return vertices_[v].degree;
+  }
+
+  // Maximum degree over alive vertices; O(1), maintained lazily as an upper
+  // bound that is recomputed when queried after it may have decreased.
+  int MaxDegree() const;
+
+  // --- Edges ----------------------------------------------------------------
+
+  // Inserts undirected edge {u, v} and returns its id. Requirements: u != v,
+  // both alive, and the edge must not already exist (checked in debug builds;
+  // use HasEdge() first when the input may contain duplicates).
+  EdgeId AddEdge(VertexId u, VertexId v);
+
+  // Removes the edge with id `e`. `e` must be alive.
+  void RemoveEdge(EdgeId e);
+
+  // Removes the edge between u and v if present. Returns true if removed.
+  bool RemoveEdgeBetween(VertexId u, VertexId v);
+
+  // Returns the id of edge {u, v}, or kInvalidEdge. O(min(deg(u), deg(v))).
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  bool HasEdge(VertexId u, VertexId v) const {
+    return FindEdge(u, v) != kInvalidEdge;
+  }
+
+  bool IsEdgeAlive(EdgeId e) const {
+    return e >= 0 && e < EdgeCapacity() && edges_[e].alive;
+  }
+
+  int64_t NumEdges() const { return num_edges_; }
+
+  // One past the largest edge id ever allocated.
+  int EdgeCapacity() const { return static_cast<int>(edges_.size()); }
+
+  // Endpoints of alive edge `e` (unordered).
+  std::pair<VertexId, VertexId> Endpoints(EdgeId e) const {
+    DYNMIS_DCHECK(IsEdgeAlive(e));
+    return {edges_[e].endpoint[0], edges_[e].endpoint[1]};
+  }
+
+  // The endpoint of `e` opposite to `v`.
+  VertexId Other(EdgeId e, VertexId v) const {
+    DYNMIS_DCHECK(IsEdgeAlive(e));
+    const EdgeRec& rec = edges_[e];
+    DYNMIS_DCHECK(rec.endpoint[0] == v || rec.endpoint[1] == v);
+    return rec.endpoint[0] == v ? rec.endpoint[1] : rec.endpoint[0];
+  }
+
+  // Which endpoint slot (0 or 1) of edge `e` vertex `v` occupies. Algorithm
+  // layers use this to index per-edge, per-direction side arrays (e.g. the
+  // intrusive tightness lists of the MIS state).
+  int Side(EdgeId e, VertexId v) const { return SideOf(e, v); }
+
+  // --- Incidence iteration ---------------------------------------------------
+
+  // First incident edge of `v`, or kInvalidEdge.
+  EdgeId FirstIncident(VertexId v) const {
+    DYNMIS_DCHECK(IsVertexAlive(v));
+    return vertices_[v].head;
+  }
+
+  // Incident edge following `e` in v's adjacency list, or kInvalidEdge.
+  EdgeId NextIncident(EdgeId e, VertexId v) const {
+    DYNMIS_DCHECK(IsEdgeAlive(e));
+    return edges_[e].next[SideOf(e, v)];
+  }
+
+  // Calls fn(neighbor, edge_id) for every edge incident to `v`. The callback
+  // must not mutate the graph.
+  template <typename Fn>
+  void ForEachIncident(VertexId v, Fn&& fn) const {
+    for (EdgeId e = FirstIncident(v); e != kInvalidEdge;
+         e = NextIncident(e, v)) {
+      fn(Other(e, v), e);
+    }
+  }
+
+  // Returns v's neighbors as a fresh vector (convenience; O(deg)).
+  std::vector<VertexId> Neighbors(VertexId v) const;
+
+  // Returns the ids of all alive vertices in increasing order.
+  std::vector<VertexId> AliveVertices() const;
+
+  // Returns all alive edges as endpoint pairs (u < v), in edge-id order.
+  std::vector<std::pair<VertexId, VertexId>> EdgeList() const;
+
+  // Bytes held by the graph's internal arrays (capacity-based accounting).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  struct VertexRec {
+    EdgeId head = kInvalidEdge;  // First edge of the adjacency list.
+    int32_t degree = 0;
+    bool alive = false;
+  };
+
+  // An undirected edge threaded into both endpoints' adjacency lists.
+  // Slot s in {0,1} stores the linkage for endpoint[s]'s list.
+  struct EdgeRec {
+    VertexId endpoint[2] = {kInvalidVertex, kInvalidVertex};
+    EdgeId next[2] = {kInvalidEdge, kInvalidEdge};
+    EdgeId prev[2] = {kInvalidEdge, kInvalidEdge};
+    bool alive = false;
+  };
+
+  // Which slot of edge `e` belongs to endpoint `v`.
+  int SideOf(EdgeId e, VertexId v) const {
+    const EdgeRec& rec = edges_[e];
+    DYNMIS_DCHECK(rec.endpoint[0] == v || rec.endpoint[1] == v);
+    return rec.endpoint[0] == v ? 0 : 1;
+  }
+
+  void UnlinkFrom(EdgeId e, VertexId v);
+
+  std::vector<VertexRec> vertices_;
+  std::vector<EdgeRec> edges_;
+  std::vector<VertexId> free_vertices_;
+  std::vector<EdgeId> free_edges_;
+  int num_vertices_ = 0;
+  int64_t num_edges_ = 0;
+  // Upper bound on the max degree; exact value recomputed on demand.
+  mutable int max_degree_bound_ = 0;
+  mutable bool max_degree_exact_ = true;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,71 @@
+#include "src/graph/edge_list_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dynmis {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+std::optional<EdgeListGraph> ParseStream(std::istream& in) {
+  EdgeListGraph g;
+  std::unordered_map<int64_t, VertexId> id_map;
+  std::unordered_set<uint64_t> seen;
+  std::string line;
+  auto intern = [&](int64_t raw) {
+    auto [it, inserted] = id_map.try_emplace(raw, g.n);
+    if (inserted) ++g.n;
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    // Strip comments and skip blank lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    int64_t a = 0;
+    int64_t b = 0;
+    if (!(tokens >> a)) continue;  // Blank or comment-only line.
+    if (!(tokens >> b)) return std::nullopt;  // A lone endpoint is malformed.
+    int64_t extra;
+    if (tokens >> extra) return std::nullopt;  // More than two tokens.
+    if (a == b) continue;                      // Drop self-loops.
+    const VertexId u = intern(a);
+    const VertexId v = intern(b);
+    if (seen.insert(EdgeKey(u, v)).second) {
+      g.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::optional<EdgeListGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ParseStream(in);
+}
+
+std::optional<EdgeListGraph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+bool SaveEdgeList(const EdgeListGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# dynmis edge list\n# nodes: " << g.n
+      << " edges: " << g.edges.size() << "\n";
+  for (const auto& [u, v] : g.edges) out << u << '\t' << v << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,35 @@
+// SNAP-format edge list IO.
+//
+// The paper evaluates on graphs from the Stanford Network Analysis Platform,
+// distributed as whitespace-separated edge lists with '#' comment lines.
+// LoadEdgeList accepts that format (arbitrary non-contiguous vertex ids,
+// duplicate edges, self-loops, both orientations) and produces a clean
+// EdgeListGraph with compacted ids. SaveEdgeList writes the same format, so
+// real SNAP files can be swapped in for the synthetic stand-ins.
+
+#ifndef DYNMIS_SRC_GRAPH_EDGE_LIST_IO_H_
+#define DYNMIS_SRC_GRAPH_EDGE_LIST_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/graph/edge_list.h"
+
+namespace dynmis {
+
+// Parses SNAP-style text. Returns nullopt on unreadable files or malformed
+// numeric tokens. Self-loops are dropped; duplicate edges (in either
+// orientation) are kept once; ids are compacted to 0..n-1 in first-seen
+// order.
+std::optional<EdgeListGraph> LoadEdgeList(const std::string& path);
+
+// Same parser over an in-memory string (used by tests).
+std::optional<EdgeListGraph> ParseEdgeList(const std::string& text);
+
+// Writes "# dynmis edge list" header plus one "u v" line per edge.
+// Returns false if the file cannot be written.
+bool SaveEdgeList(const EdgeListGraph& g, const std::string& path);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_GRAPH_EDGE_LIST_IO_H_

@@ -1,0 +1,296 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace {
+
+// Packs an undirected edge into a 64-bit dedup key (u < v).
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+EdgeListGraph ErdosRenyiGnm(int n, int64_t m, Rng* rng) {
+  DYNMIS_CHECK_GE(n, 0);
+  EdgeListGraph g;
+  g.n = n;
+  if (n < 2) return g;
+  const int64_t max_edges = static_cast<int64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(m) * 2);
+  g.edges.reserve(static_cast<size_t>(m));
+  while (static_cast<int64_t>(g.edges.size()) < m) {
+    VertexId u = static_cast<VertexId>(rng->NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      g.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  return g;
+}
+
+EdgeListGraph BarabasiAlbert(int n, int edges_per_vertex, Rng* rng) {
+  DYNMIS_CHECK_GE(edges_per_vertex, 1);
+  const int seed_size = edges_per_vertex + 1;
+  DYNMIS_CHECK_GE(n, seed_size);
+  EdgeListGraph g;
+  g.n = n;
+  // `attachment` holds one entry per edge endpoint, so sampling an element
+  // uniformly is sampling a vertex proportionally to its degree.
+  std::vector<VertexId> attachment;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      g.edges.emplace_back(u, v);
+      attachment.push_back(u);
+      attachment.push_back(v);
+    }
+  }
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = seed_size; v < n; ++v) {
+    chosen.clear();
+    while (static_cast<int>(chosen.size()) < edges_per_vertex) {
+      VertexId target = attachment[rng->NextBounded(attachment.size())];
+      chosen.insert(target);
+    }
+    for (VertexId target : chosen) {
+      g.edges.emplace_back(target, v);
+      attachment.push_back(target);
+      attachment.push_back(v);
+    }
+  }
+  return g;
+}
+
+std::vector<int> PowerLawDegreeSequence(int n, double beta, int min_degree,
+                                        int max_degree, Rng* rng) {
+  DYNMIS_CHECK_GT(beta, 1.0);
+  DYNMIS_CHECK_GE(min_degree, 1);
+  DYNMIS_CHECK_GE(max_degree, min_degree);
+  std::vector<int> degrees(n);
+  // Inverse-CDF sampling of a discrete power law approximated by the
+  // continuous Pareto distribution truncated to [min_degree, max_degree+1).
+  const double a = 1.0 - beta;
+  const double lo = std::pow(static_cast<double>(min_degree), a);
+  const double hi = std::pow(static_cast<double>(max_degree) + 1.0, a);
+  for (int i = 0; i < n; ++i) {
+    const double u = rng->NextDouble();
+    const double x = std::pow(lo + u * (hi - lo), 1.0 / a);
+    degrees[i] = std::min(max_degree, std::max(min_degree,
+                                               static_cast<int>(x)));
+  }
+  // The configuration model needs an even stub count.
+  int64_t sum = 0;
+  for (int d : degrees) sum += d;
+  if (sum % 2 != 0) {
+    ++degrees[rng->NextBounded(n)];
+  }
+  return degrees;
+}
+
+EdgeListGraph ConfigurationModel(const std::vector<int>& degrees, Rng* rng) {
+  EdgeListGraph g;
+  g.n = static_cast<int>(degrees.size());
+  std::vector<VertexId> stubs;
+  int64_t total = 0;
+  for (int d : degrees) total += d;
+  DYNMIS_CHECK_EQ(total % 2, 0);
+  stubs.reserve(static_cast<size_t>(total));
+  for (VertexId v = 0; v < g.n; ++v) {
+    for (int i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  // Fisher-Yates shuffle, then pair consecutive stubs.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    const size_t j = rng->NextBounded(i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(stubs.size());
+  g.edges.reserve(stubs.size() / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const VertexId u = stubs[i];
+    const VertexId v = stubs[i + 1];
+    if (u == v) continue;  // Erase self-loops.
+    if (seen.insert(EdgeKey(u, v)).second) {
+      g.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    // Parallel edges are erased by the dedup set.
+  }
+  return g;
+}
+
+EdgeListGraph PowerLawRandomGraph(int n, double beta, int min_degree,
+                                  int max_degree, Rng* rng) {
+  return ConfigurationModel(
+      PowerLawDegreeSequence(n, beta, min_degree, max_degree, rng), rng);
+}
+
+EdgeListGraph ChungLu(const std::vector<double>& weights, Rng* rng) {
+  EdgeListGraph g;
+  g.n = static_cast<int>(weights.size());
+  if (g.n < 2) return g;
+  // Sort weights descending, remembering original indices, as required by
+  // the Miller-Hagberg skipping construction.
+  std::vector<int> order(g.n);
+  for (int i = 0; i < g.n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return weights[a] > weights[b]; });
+  std::vector<double> w(g.n);
+  for (int i = 0; i < g.n; ++i) w[i] = weights[order[i]];
+  double total = 0;
+  for (double x : w) total += x;
+  DYNMIS_CHECK_GT(total, 0.0);
+
+  for (int u = 0; u < g.n - 1; ++u) {
+    int v = u + 1;
+    double p = std::min(w[u] * w[v] / total, 1.0);
+    while (v < g.n && p > 0) {
+      if (p != 1.0) {
+        const double r = rng->NextDouble();
+        v += static_cast<int>(std::floor(std::log(1.0 - r) / std::log(1.0 - p)));
+      }
+      if (v < g.n) {
+        const double q = std::min(w[u] * w[v] / total, 1.0);
+        if (rng->NextDouble() < q / p) {
+          g.edges.emplace_back(std::min(order[u], order[v]),
+                               std::max(order[u], order[v]));
+        }
+        p = q;
+        ++v;
+      }
+    }
+  }
+  return g;
+}
+
+EdgeListGraph ChungLuPowerLaw(int n, double beta, double avg_degree,
+                              Rng* rng) {
+  DYNMIS_CHECK_GT(beta, 2.0);
+  // Weights w_i = c * (i + i0)^{-1/(beta-1)}: the classic power-law weight
+  // sequence. Scale c so the mean weight equals avg_degree.
+  std::vector<double> weights(n);
+  const double exponent = -1.0 / (beta - 1.0);
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), exponent);
+    sum += weights[i];
+  }
+  const double scale = avg_degree * n / sum;
+  const double cap = std::sqrt(scale * sum);  // Keep w_i*w_j/W <= 1.
+  for (double& wi : weights) wi = std::min(wi * scale, cap);
+  return ChungLu(weights, rng);
+}
+
+EdgeListGraph RMat(int scale, int64_t m, double a, double b, double c,
+                   Rng* rng) {
+  DYNMIS_CHECK_GE(scale, 1);
+  const double d = 1.0 - a - b - c;
+  DYNMIS_CHECK_GE(d, 0.0);
+  EdgeListGraph g;
+  g.n = 1 << scale;
+  const int64_t max_edges = static_cast<int64_t>(g.n) * (g.n - 1) / 2;
+  m = std::min(m, max_edges / 2);  // Leave head room for the dedup loop.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(m) * 2);
+  int64_t attempts = 0;
+  const int64_t max_attempts = m * 64;
+  while (static_cast<int64_t>(g.edges.size()) < m &&
+         attempts++ < max_attempts) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng->NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // Quadrant (0, 0).
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      g.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  return g;
+}
+
+EdgeListGraph RandomRegular(int n, int d, Rng* rng) {
+  DYNMIS_CHECK_GE(d, 0);
+  DYNMIS_CHECK_LT(d, n);
+  std::vector<int> degrees(n, d);
+  if ((static_cast<int64_t>(n) * d) % 2 != 0) ++degrees[0];
+  return ConfigurationModel(degrees, rng);
+}
+
+EdgeListGraph CompleteGraph(int n) {
+  EdgeListGraph g;
+  g.n = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.edges.emplace_back(u, v);
+  }
+  return g;
+}
+
+EdgeListGraph PathGraph(int n) {
+  EdgeListGraph g;
+  g.n = n;
+  for (VertexId v = 0; v + 1 < n; ++v) g.edges.emplace_back(v, v + 1);
+  return g;
+}
+
+EdgeListGraph CycleGraph(int n) {
+  EdgeListGraph g = PathGraph(n);
+  if (n >= 3) g.edges.emplace_back(0, n - 1);
+  return g;
+}
+
+EdgeListGraph StarGraph(int leaves) {
+  EdgeListGraph g;
+  g.n = leaves + 1;
+  for (VertexId v = 1; v <= leaves; ++v) g.edges.emplace_back(0, v);
+  return g;
+}
+
+EdgeListGraph Hypercube(int dim) {
+  DYNMIS_CHECK_GE(dim, 0);
+  DYNMIS_CHECK_LE(dim, 24);
+  EdgeListGraph g;
+  g.n = 1 << dim;
+  for (VertexId v = 0; v < g.n; ++v) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const VertexId u = v ^ (1 << bit);
+      if (v < u) g.edges.emplace_back(v, u);
+    }
+  }
+  return g;
+}
+
+EdgeListGraph SubdivideEdges(const EdgeListGraph& g) {
+  EdgeListGraph result;
+  result.n = g.n + static_cast<int>(g.edges.size());
+  VertexId next = g.n;
+  for (const auto& [u, v] : g.edges) {
+    result.edges.emplace_back(u, next);
+    result.edges.emplace_back(next, v);
+    ++next;
+  }
+  return result;
+}
+
+}  // namespace dynmis

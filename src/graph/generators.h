@@ -1,0 +1,84 @@
+// Random and deterministic graph generators.
+//
+// These provide (a) the synthetic stand-ins for the paper's SNAP/LAW
+// datasets (power-law graphs via Chung-Lu and the erased configuration
+// model, the exact model the paper's Lemma 2 analysis assumes), (b) the
+// power-law random graphs of the Fig 10 experiment, and (c) the special
+// families used by the theory: the Theorem 3 worst-case witnesses (subdivided
+// complete graphs and subdivided hypercubes) and assorted fixtures for tests.
+//
+// All generators are deterministic given the Rng state.
+
+#ifndef DYNMIS_SRC_GRAPH_GENERATORS_H_
+#define DYNMIS_SRC_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+
+// --- Random models ----------------------------------------------------------
+
+// G(n, m): n vertices, m distinct uniformly random edges.
+// m is capped at n*(n-1)/2.
+EdgeListGraph ErdosRenyiGnm(int n, int64_t m, Rng* rng);
+
+// Barabasi-Albert preferential attachment: starts from a clique on
+// `edges_per_vertex + 1` vertices, then each new vertex attaches to
+// `edges_per_vertex` existing vertices chosen proportionally to degree.
+EdgeListGraph BarabasiAlbert(int n, int edges_per_vertex, Rng* rng);
+
+// A power-law degree sequence with exponent `beta` on [min_degree,
+// max_degree], sampled by inverse-CDF. The sum is adjusted to be even.
+std::vector<int> PowerLawDegreeSequence(int n, double beta, int min_degree,
+                                        int max_degree, Rng* rng);
+
+// Erased configuration model: pairs stubs uniformly at random, then drops
+// self-loops and parallel edges (the model used by the paper's Lemma 2 and
+// by NetworkX's power-law generators).
+EdgeListGraph ConfigurationModel(const std::vector<int>& degrees, Rng* rng);
+
+// Power-law random graph: configuration model over a power-law degree
+// sequence (growth exponent `beta`, degrees in [min_degree, max_degree]).
+EdgeListGraph PowerLawRandomGraph(int n, double beta, int min_degree,
+                                  int max_degree, Rng* rng);
+
+// Chung-Lu graph with expected degrees `weights` (Miller-Hagberg efficient
+// generation). Edge {u,v} appears with probability min(1, w_u*w_v / sum_w).
+EdgeListGraph ChungLu(const std::vector<double>& weights, Rng* rng);
+
+// Chung-Lu with power-law weights chosen so the expected average degree is
+// about `avg_degree` and the tail exponent is `beta`.
+EdgeListGraph ChungLuPowerLaw(int n, double beta, double avg_degree, Rng* rng);
+
+// R-MAT with the usual (a, b, c) partition probabilities; 2^scale vertices,
+// about `m` distinct edges (self-loops/duplicates are re-drawn, with a
+// bounded number of attempts).
+EdgeListGraph RMat(int scale, int64_t m, double a, double b, double c,
+                   Rng* rng);
+
+// Random d-regular-ish graph: configuration model over the constant sequence
+// d (erased, so a few vertices may end up with degree < d).
+EdgeListGraph RandomRegular(int n, int d, Rng* rng);
+
+// --- Deterministic families -------------------------------------------------
+
+EdgeListGraph CompleteGraph(int n);
+EdgeListGraph PathGraph(int n);
+EdgeListGraph CycleGraph(int n);
+// Star with `leaves` leaves; the hub is vertex 0.
+EdgeListGraph StarGraph(int leaves);
+// The dim-dimensional hypercube Q_dim (2^dim vertices).
+EdgeListGraph Hypercube(int dim);
+
+// Subdivides every edge once: edge (u, v) becomes u - w - v with a fresh
+// vertex w. Applied to K_n / Q_n this yields the Theorem 3 worst-case
+// families K'_n / Q'_n, in which the original vertices form a k-maximal
+// independent set of size ~ 2/Delta of optimal.
+EdgeListGraph SubdivideEdges(const EdgeListGraph& g);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_GRAPH_GENERATORS_H_

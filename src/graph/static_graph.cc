@@ -1,0 +1,102 @@
+#include "src/graph/static_graph.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+StaticGraph::StaticGraph(
+    int n, const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  DYNMIS_CHECK_GE(n, 0);
+  std::vector<int32_t> degree(n, 0);
+  for (const auto& [u, v] : edges) {
+    DYNMIS_CHECK(u >= 0 && u < n && v >= 0 && v < n);
+    DYNMIS_CHECK_NE(u, v);
+    ++degree[u];
+    ++degree[v];
+  }
+  offsets_.assign(n + 1, 0);
+  for (int v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + degree[v];
+  targets_.resize(static_cast<size_t>(offsets_[n]));
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    targets_[cursor[u]++] = v;
+    targets_[cursor[v]++] = u;
+  }
+  max_degree_ = 0;
+  for (int v = 0; v < n; ++v) {
+    auto begin = targets_.begin() + offsets_[v];
+    auto end = targets_.begin() + offsets_[v + 1];
+    std::sort(begin, end);
+    DYNMIS_DCHECK(std::adjacent_find(begin, end) == end);
+    max_degree_ = std::max(max_degree_, degree[v]);
+  }
+  original_ids_.resize(n);
+  for (int v = 0; v < n; ++v) original_ids_[v] = v;
+}
+
+StaticGraph StaticGraph::FromDynamic(const DynamicGraph& g) {
+  std::vector<VertexId> alive = g.AliveVertices();
+  std::vector<VertexId> compact(g.VertexCapacity(), kInvalidVertex);
+  for (size_t i = 0; i < alive.size(); ++i) {
+    compact[alive[i]] = static_cast<VertexId>(i);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(g.NumEdges()));
+  for (const auto& [u, v] : g.EdgeList()) {
+    edges.emplace_back(compact[u], compact[v]);
+  }
+  StaticGraph result(static_cast<int>(alive.size()), edges);
+  result.original_ids_ = std::move(alive);
+  return result;
+}
+
+StaticGraph StaticGraph::WithOriginalIds(StaticGraph g,
+                                         std::vector<VertexId> ids) {
+  DYNMIS_CHECK_EQ(static_cast<int>(ids.size()), g.NumVertices());
+  g.original_ids_ = std::move(ids);
+  return g;
+}
+
+bool StaticGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<VertexId> StaticGraph::ToOriginalIds(
+    const std::vector<VertexId>& vs) const {
+  std::vector<VertexId> result;
+  result.reserve(vs.size());
+  for (VertexId v : vs) result.push_back(original_ids_[v]);
+  return result;
+}
+
+StaticGraph StaticGraph::InducedSubgraph(
+    const std::vector<VertexId>& vs) const {
+  std::vector<VertexId> compact(NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    compact[vs[i]] = static_cast<VertexId>(i);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v : vs) {
+    for (VertexId u : Neighbors(v)) {
+      if (u > v && compact[u] != kInvalidVertex) {
+        edges.emplace_back(compact[v], compact[u]);
+      }
+    }
+  }
+  StaticGraph result(static_cast<int>(vs.size()), edges);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    result.original_ids_[i] = original_ids_[vs[i]];
+  }
+  return result;
+}
+
+size_t StaticGraph::MemoryUsageBytes() const {
+  return VectorBytes(offsets_) + VectorBytes(targets_) +
+         VectorBytes(original_ids_);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,83 @@
+// StaticGraph: an immutable CSR snapshot used by the static MIS solvers
+// (greedy, ARW local search, exact branch-and-reduce).
+//
+// Vertices are compacted to 0..n-1; when built from a DynamicGraph the
+// mapping back to original ids is retained so solutions can be translated.
+// Neighbor lists are sorted, enabling O(log d) adjacency queries and the
+// double-pointer scans ARW relies on.
+
+#ifndef DYNMIS_SRC_GRAPH_STATIC_GRAPH_H_
+#define DYNMIS_SRC_GRAPH_STATIC_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/graph/dynamic_graph.h"
+
+namespace dynmis {
+
+class StaticGraph {
+ public:
+  StaticGraph() = default;
+
+  // Builds from an edge list over vertices 0..n-1. Self-loops and duplicate
+  // edges must have been removed by the caller (checked in debug builds).
+  StaticGraph(int n, const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  // Snapshots a DynamicGraph, compacting alive vertices to 0..n-1.
+  static StaticGraph FromDynamic(const DynamicGraph& g);
+
+  // Returns `g` with its original-id mapping replaced by `ids` (one entry
+  // per vertex). Used by solvers that track their own id spaces.
+  static StaticGraph WithOriginalIds(StaticGraph g, std::vector<VertexId> ids);
+
+  int NumVertices() const { return static_cast<int>(offsets_.size()) - 1; }
+  int64_t NumEdges() const { return static_cast<int64_t>(targets_.size()) / 2; }
+
+  int Degree(VertexId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  int MaxDegree() const { return max_degree_; }
+
+  double AverageDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(NumEdges()) / NumVertices();
+  }
+
+  // Sorted neighbor list of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  // O(log deg(u)) adjacency query.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Original id of compacted vertex `v`. Identity when built from an edge
+  // list directly.
+  VertexId OriginalId(VertexId v) const { return original_ids_[v]; }
+
+  // Translates a solution over compacted ids back to original ids.
+  std::vector<VertexId> ToOriginalIds(const std::vector<VertexId>& vs) const;
+
+  // The subgraph induced by `vs` (compacted again to 0..|vs|-1, with
+  // OriginalId mapping composed through this graph's mapping).
+  StaticGraph InducedSubgraph(const std::vector<VertexId>& vs) const;
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<int64_t> offsets_{0};
+  std::vector<VertexId> targets_;
+  std::vector<VertexId> original_ids_;
+  int max_degree_ = 0;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_GRAPH_STATIC_GRAPH_H_

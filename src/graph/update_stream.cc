@@ -1,0 +1,156 @@
+#include "src/graph/update_stream.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+
+std::string GraphUpdate::DebugString() const {
+  char buf[96];
+  switch (kind) {
+    case UpdateKind::kInsertEdge:
+      std::snprintf(buf, sizeof(buf), "+edge(%d,%d)", u, v);
+      break;
+    case UpdateKind::kDeleteEdge:
+      std::snprintf(buf, sizeof(buf), "-edge(%d,%d)", u, v);
+      break;
+    case UpdateKind::kInsertVertex:
+      std::snprintf(buf, sizeof(buf), "+vertex(deg=%zu)", neighbors.size());
+      break;
+    case UpdateKind::kDeleteVertex:
+      std::snprintf(buf, sizeof(buf), "-vertex(%d)", u);
+      break;
+  }
+  return buf;
+}
+
+UpdateStreamGenerator::UpdateStreamGenerator(UpdateStreamOptions options)
+    : options_(options), rng_(SplitMix64(options.seed)) {}
+
+VertexId UpdateStreamGenerator::RandomAliveVertex(const DynamicGraph& g) {
+  DYNMIS_CHECK_GT(g.NumVertices(), 0);
+  while (true) {
+    const auto v = static_cast<VertexId>(rng_.NextBounded(g.VertexCapacity()));
+    if (g.IsVertexAlive(v)) return v;
+  }
+}
+
+VertexId UpdateStreamGenerator::RandomBiasedVertex(const DynamicGraph& g) {
+  if (options_.bias == EndpointBias::kDegreeProportional && g.NumEdges() > 0) {
+    // A uniform edge endpoint is a degree-proportional vertex.
+    while (true) {
+      const auto e = static_cast<EdgeId>(rng_.NextBounded(g.EdgeCapacity()));
+      if (g.IsEdgeAlive(e)) {
+        const auto [a, b] = g.Endpoints(e);
+        return rng_.NextBool(0.5) ? a : b;
+      }
+    }
+  }
+  return RandomAliveVertex(g);
+}
+
+bool UpdateStreamGenerator::RandomAliveEdge(const DynamicGraph& g, VertexId* u,
+                                            VertexId* v) {
+  if (g.NumEdges() == 0) return false;
+  while (true) {
+    const auto e = static_cast<EdgeId>(rng_.NextBounded(g.EdgeCapacity()));
+    if (g.IsEdgeAlive(e)) {
+      std::tie(*u, *v) = g.Endpoints(e);
+      return true;
+    }
+  }
+}
+
+bool UpdateStreamGenerator::RandomNonEdge(const DynamicGraph& g, VertexId* u,
+                                          VertexId* v) {
+  if (g.NumVertices() < 2) return false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const VertexId a = RandomBiasedVertex(g);
+    const VertexId b = RandomBiasedVertex(g);
+    if (a == b || g.HasEdge(a, b)) continue;
+    *u = a;
+    *v = b;
+    return true;
+  }
+  return false;  // Graph is (nearly) complete.
+}
+
+GraphUpdate UpdateStreamGenerator::Next(const DynamicGraph& g) {
+  GraphUpdate update;
+  const bool edge_op = rng_.NextBool(options_.edge_op_fraction);
+  const bool insert = rng_.NextBool(options_.insert_fraction);
+  if (edge_op && insert) {
+    if (RandomNonEdge(g, &update.u, &update.v)) {
+      update.kind = UpdateKind::kInsertEdge;
+      return update;
+    }
+    // Dense graph: fall through to edge deletion.
+  }
+  if (edge_op) {
+    if (RandomAliveEdge(g, &update.u, &update.v)) {
+      update.kind = UpdateKind::kDeleteEdge;
+      return update;
+    }
+    // No edges: fall through to vertex insertion.
+  }
+  if (insert || g.NumVertices() == 0) {
+    update.kind = UpdateKind::kInsertVertex;
+    int degree = options_.new_vertex_degree;
+    if (degree < 0) {
+      degree = g.NumVertices() == 0
+                   ? 0
+                   : static_cast<int>(2 * g.NumEdges() / g.NumVertices());
+    }
+    degree = std::min<int>(degree, g.NumVertices());
+    std::unordered_set<VertexId> chosen;
+    while (static_cast<int>(chosen.size()) < degree) {
+      chosen.insert(RandomBiasedVertex(g));
+    }
+    update.neighbors.assign(chosen.begin(), chosen.end());
+    std::sort(update.neighbors.begin(), update.neighbors.end());
+    return update;
+  }
+  update.kind = UpdateKind::kDeleteVertex;
+  update.u = RandomAliveVertex(g);
+  return update;
+}
+
+VertexId ApplyUpdate(DynamicGraph* g, const GraphUpdate& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+      g->AddEdge(update.u, update.v);
+      return kInvalidVertex;
+    case UpdateKind::kDeleteEdge: {
+      const bool removed = g->RemoveEdgeBetween(update.u, update.v);
+      DYNMIS_CHECK(removed);
+      return kInvalidVertex;
+    }
+    case UpdateKind::kInsertVertex: {
+      const VertexId v = g->AddVertex();
+      for (VertexId u : update.neighbors) g->AddEdge(u, v);
+      return v;
+    }
+    case UpdateKind::kDeleteVertex:
+      g->RemoveVertex(update.u);
+      return kInvalidVertex;
+  }
+  DYNMIS_CHECK(false);
+  return kInvalidVertex;
+}
+
+std::vector<GraphUpdate> MakeUpdateSequence(
+    const DynamicGraph& g, int count, const UpdateStreamOptions& options) {
+  DynamicGraph scratch = g;
+  UpdateStreamGenerator gen(options);
+  std::vector<GraphUpdate> sequence;
+  sequence.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    sequence.push_back(gen.Next(scratch));
+    ApplyUpdate(&scratch, sequence.back());
+  }
+  return sequence;
+}
+
+}  // namespace dynmis

@@ -1,0 +1,95 @@
+#include "src/graph/update_trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dynmis {
+
+std::string FormatUpdate(const GraphUpdate& update) {
+  std::ostringstream out;
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+      out << "+e " << update.u << ' ' << update.v;
+      break;
+    case UpdateKind::kDeleteEdge:
+      out << "-e " << update.u << ' ' << update.v;
+      break;
+    case UpdateKind::kInsertVertex:
+      out << "+v";
+      for (VertexId n : update.neighbors) out << ' ' << n;
+      break;
+    case UpdateKind::kDeleteVertex:
+      out << "-v " << update.u;
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+std::optional<std::vector<GraphUpdate>> ParseStream(std::istream& in) {
+  std::vector<GraphUpdate> updates;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string op;
+    if (!(tokens >> op)) continue;  // Blank line.
+    GraphUpdate update;
+    if (op == "+e" || op == "-e") {
+      update.kind =
+          op == "+e" ? UpdateKind::kInsertEdge : UpdateKind::kDeleteEdge;
+      if (!(tokens >> update.u >> update.v)) return std::nullopt;
+      if (update.u < 0 || update.v < 0 || update.u == update.v) {
+        return std::nullopt;
+      }
+    } else if (op == "+v") {
+      update.kind = UpdateKind::kInsertVertex;
+      VertexId n;
+      while (tokens >> n) {
+        if (n < 0) return std::nullopt;
+        update.neighbors.push_back(n);
+      }
+    } else if (op == "-v") {
+      update.kind = UpdateKind::kDeleteVertex;
+      if (!(tokens >> update.u)) return std::nullopt;
+      if (update.u < 0) return std::nullopt;
+    } else {
+      return std::nullopt;  // Unknown opcode.
+    }
+    // No trailing tokens allowed (vertex-insert consumes everything).
+    std::string trailing;
+    if (tokens >> trailing) return std::nullopt;
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+}  // namespace
+
+std::optional<std::vector<GraphUpdate>> ParseUpdateTrace(
+    const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+std::optional<std::vector<GraphUpdate>> LoadUpdateTrace(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ParseStream(in);
+}
+
+bool SaveUpdateTrace(const std::vector<GraphUpdate>& updates,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# dynmis update trace, " << updates.size() << " updates\n";
+  for (const GraphUpdate& update : updates) {
+    out << FormatUpdate(update) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,41 @@
+// Text serialization for update sequences ("traces"), so experiments are
+// replayable from disk and across tools:
+//
+//   # comments allowed
+//   +e u v        insert edge {u, v}
+//   -e u v        delete edge {u, v}
+//   +v n1 n2 ...  insert vertex adjacent to n1, n2, ... (id assigned by the
+//                 receiving graph)
+//   -v u          delete vertex u
+//
+// The dynmis_cli tool consumes and produces this format.
+
+#ifndef DYNMIS_SRC_GRAPH_UPDATE_TRACE_IO_H_
+#define DYNMIS_SRC_GRAPH_UPDATE_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+
+// Parses a trace; returns nullopt on malformed input.
+std::optional<std::vector<GraphUpdate>> ParseUpdateTrace(
+    const std::string& text);
+
+// Loads a trace file; nullopt if unreadable or malformed.
+std::optional<std::vector<GraphUpdate>> LoadUpdateTrace(
+    const std::string& path);
+
+// Serializes a trace. Returns false if the file cannot be written.
+bool SaveUpdateTrace(const std::vector<GraphUpdate>& updates,
+                     const std::string& path);
+
+// Renders one update in trace syntax (no trailing newline).
+std::string FormatUpdate(const GraphUpdate& update);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_GRAPH_UPDATE_TRACE_IO_H_

@@ -1,0 +1,181 @@
+#include "src/harness/experiment.h"
+
+#include "src/baselines/dgdis.h"
+#include "src/baselines/dyarw.h"
+#include "src/baselines/recompute.h"
+#include "src/core/k_swap.h"
+#include "src/core/one_swap.h"
+#include "src/core/two_swap.h"
+#include "src/static_mis/arw.h"
+#include "src/static_mis/exact.h"
+#include "src/static_mis/greedy.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+
+std::string AlgoKindName(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kDGOneDIS:
+      return "DGOneDIS";
+    case AlgoKind::kDGTwoDIS:
+      return "DGTwoDIS";
+    case AlgoKind::kDyARW:
+      return "DyARW";
+    case AlgoKind::kDyOneSwap:
+      return "DyOneSwap";
+    case AlgoKind::kDyTwoSwap:
+      return "DyTwoSwap";
+    case AlgoKind::kDyOneSwapPerturb:
+      return "DyOneSwap*";
+    case AlgoKind::kDyTwoSwapPerturb:
+      return "DyTwoSwap*";
+    case AlgoKind::kDyOneSwapLazy:
+      return "DyOneSwap-lazy";
+    case AlgoKind::kDyTwoSwapLazy:
+      return "DyTwoSwap-lazy";
+    case AlgoKind::kKSwap1:
+      return "KSwap(1)";
+    case AlgoKind::kKSwap2:
+      return "KSwap(2)";
+    case AlgoKind::kKSwap3:
+      return "KSwap(3)";
+    case AlgoKind::kKSwap4:
+      return "KSwap(4)";
+    case AlgoKind::kRecompute:
+      return "Recompute";
+  }
+  return "?";
+}
+
+std::unique_ptr<DynamicMisMaintainer> MakeMaintainer(AlgoKind kind,
+                                                     DynamicGraph* g) {
+  MaintainerOptions options;
+  switch (kind) {
+    case AlgoKind::kDGOneDIS:
+      return std::make_unique<DgDis>(g, 1);
+    case AlgoKind::kDGTwoDIS:
+      return std::make_unique<DgDis>(g, 2);
+    case AlgoKind::kDyARW:
+      return std::make_unique<DyArw>(g);
+    case AlgoKind::kDyOneSwap:
+      return std::make_unique<DyOneSwap>(g, options);
+    case AlgoKind::kDyTwoSwap:
+      return std::make_unique<DyTwoSwap>(g, options);
+    case AlgoKind::kDyOneSwapPerturb:
+      options.perturb = true;
+      return std::make_unique<DyOneSwap>(g, options);
+    case AlgoKind::kDyTwoSwapPerturb:
+      options.perturb = true;
+      return std::make_unique<DyTwoSwap>(g, options);
+    case AlgoKind::kDyOneSwapLazy:
+      options.lazy = true;
+      return std::make_unique<DyOneSwap>(g, options);
+    case AlgoKind::kDyTwoSwapLazy:
+      options.lazy = true;
+      return std::make_unique<DyTwoSwap>(g, options);
+    case AlgoKind::kKSwap1:
+      return std::make_unique<KSwapMaintainer>(g, 1, options);
+    case AlgoKind::kKSwap2:
+      return std::make_unique<KSwapMaintainer>(g, 2, options);
+    case AlgoKind::kKSwap3:
+      return std::make_unique<KSwapMaintainer>(g, 3, options);
+    case AlgoKind::kKSwap4:
+      return std::make_unique<KSwapMaintainer>(g, 4, options);
+    case AlgoKind::kRecompute:
+      return std::make_unique<RecomputeGreedy>(g);
+  }
+  return nullptr;
+}
+
+std::vector<VertexId> ComputeInitialSolution(const EdgeListGraph& g,
+                                             InitialSolution mode,
+                                             int arw_iterations,
+                                             int64_t exact_node_budget,
+                                             double exact_seconds_budget) {
+  const StaticGraph snapshot = g.ToStatic();
+  switch (mode) {
+    case InitialSolution::kExact: {
+      ExactMisOptions options;
+      options.max_nodes = exact_node_budget;
+      options.max_seconds = exact_seconds_budget;
+      ExactMisResult result = SolveExactMis(snapshot, options);
+      if (result.solved) return result.solution;
+      break;  // Fall back to ARW below.
+    }
+    case InitialSolution::kArw:
+      break;
+    case InitialSolution::kGreedy:
+      return GreedyMis(snapshot);
+  }
+  ArwOptions arw;
+  arw.iterations = arw_iterations;
+  return ArwMis(snapshot, arw);
+}
+
+ExperimentResult RunExperiment(const EdgeListGraph& base,
+                               const std::vector<AlgoKind>& algos,
+                               const ExperimentConfig& config) {
+  ExperimentResult result;
+  const DynamicGraph initial_graph = base.ToDynamic();
+  const std::vector<GraphUpdate> updates =
+      MakeUpdateSequence(initial_graph, config.num_updates, config.stream);
+  const std::vector<VertexId> initial_solution = ComputeInitialSolution(
+      base, config.initial, config.arw_iterations, config.exact_node_budget,
+      config.exact_seconds_budget);
+
+  DynamicGraph final_graph;  // Built by the first finished run.
+  bool have_final_graph = false;
+
+  for (AlgoKind kind : algos) {
+    DynamicGraph g = initial_graph;
+    std::unique_ptr<DynamicMisMaintainer> algo = MakeMaintainer(kind, &g);
+    algo->Initialize(initial_solution);
+    AlgoRunResult run;
+    run.name = AlgoKindName(kind);
+    run.initial_size = algo->SolutionSize();
+    Timer timer;
+    bool finished = true;
+    int64_t applied = 0;
+    for (const GraphUpdate& update : updates) {
+      algo->Apply(update);
+      ++applied;
+      if (config.time_limit_seconds > 0 && (applied & 15) == 0 &&
+          timer.ElapsedSeconds() > config.time_limit_seconds) {
+        finished = false;
+        break;
+      }
+    }
+    run.seconds = timer.ElapsedSeconds();
+    run.final_size = algo->SolutionSize();
+    run.memory_bytes = algo->MemoryUsageBytes();
+    run.finished = finished;
+    run.updates_applied = applied;
+    result.algos.push_back(std::move(run));
+    if (finished && !have_final_graph) {
+      final_graph = std::move(g);
+      have_final_graph = true;
+    }
+  }
+
+  if (have_final_graph) {
+    result.final_n = final_graph.NumVertices();
+    result.final_m = final_graph.NumEdges();
+    const StaticGraph snapshot = StaticGraph::FromDynamic(final_graph);
+    if (config.compute_final_alpha) {
+      ExactMisOptions options;
+      options.max_nodes = config.exact_node_budget;
+      options.max_seconds = config.exact_seconds_budget;
+      if (std::optional<int64_t> alpha = ExactAlpha(snapshot, options)) {
+        result.final_alpha = *alpha;
+      }
+    }
+    if (config.compute_final_best) {
+      ArwOptions arw;
+      arw.iterations = config.arw_iterations;
+      result.final_best = static_cast<int64_t>(ArwMis(snapshot, arw).size());
+    }
+  }
+  return result;
+}
+
+}  // namespace dynmis

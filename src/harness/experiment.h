@@ -1,0 +1,108 @@
+// Shared experiment driver for the per-table / per-figure benchmark
+// binaries: builds the competing maintainers, computes the initial solution
+// (exact on easy graphs, ARW on hard graphs - the paper's protocol), replays
+// one update sequence through every algorithm on its own graph copy, and
+// measures solution size, response time and structure memory.
+
+#ifndef DYNMIS_SRC_HARNESS_EXPERIMENT_H_
+#define DYNMIS_SRC_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/maintainer.h"
+#include "src/core/options.h"
+#include "src/graph/edge_list.h"
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+
+// The algorithms the paper compares, plus this library's extras.
+enum class AlgoKind {
+  kDGOneDIS,
+  kDGTwoDIS,
+  kDyARW,
+  kDyOneSwap,
+  kDyTwoSwap,
+  kDyOneSwapPerturb,  // gap* columns.
+  kDyTwoSwapPerturb,
+  kDyOneSwapLazy,  // Fig 7 ablations.
+  kDyTwoSwapLazy,
+  kKSwap1,
+  kKSwap2,
+  kKSwap3,
+  kKSwap4,
+  kRecompute,
+};
+
+std::string AlgoKindName(AlgoKind kind);
+
+// Builds a maintainer of the given kind over `g`.
+std::unique_ptr<DynamicMisMaintainer> MakeMaintainer(AlgoKind kind,
+                                                     DynamicGraph* g);
+
+// How the initial independent set is obtained (paper Section V-A).
+enum class InitialSolution {
+  kExact,   // VCSolver stand-in; falls back to ARW when the budget runs out.
+  kArw,     // ARW local search (hard graphs).
+  kGreedy,  // Min-degree greedy.
+};
+
+struct ExperimentConfig {
+  InitialSolution initial = InitialSolution::kArw;
+  int num_updates = 10000;
+  UpdateStreamOptions stream;
+  // ARW effort for initial/best-known solutions.
+  int arw_iterations = 800;
+  // Budgets for exact solves (initial solution and final-graph alpha).
+  int64_t exact_node_budget = 2'000'000;
+  double exact_seconds_budget = 20.0;
+  // Whether to compute the exact alpha of the final graph (Tables II/III).
+  bool compute_final_alpha = false;
+  // Whether to compute the ARW best-known size of the final graph (Table IV).
+  bool compute_final_best = false;
+  // Per-algorithm wall-clock budget in seconds; <= 0 means unlimited. An
+  // algorithm that exceeds it is reported as DNF (the paper's "-" entries).
+  double time_limit_seconds = 0;
+};
+
+struct AlgoRunResult {
+  std::string name;
+  int64_t initial_size = 0;
+  int64_t final_size = 0;
+  double seconds = 0;        // Time to process the whole update sequence.
+  size_t memory_bytes = 0;   // Structure memory after the run.
+  bool finished = true;      // False when the time limit was hit.
+  int64_t updates_applied = 0;
+};
+
+struct ExperimentResult {
+  std::vector<AlgoRunResult> algos;
+  // Exact alpha of the final graph, or -1 when unavailable.
+  int64_t final_alpha = -1;
+  // ARW best-known size on the final graph, or -1 when not requested.
+  int64_t final_best = -1;
+  int64_t final_n = 0;
+  int64_t final_m = 0;
+};
+
+// Runs `algos` over the dataset: every algorithm gets its own copy of the
+// graph built from `base` and replays the same `config.num_updates`-long
+// random update sequence.
+ExperimentResult RunExperiment(const EdgeListGraph& base,
+                               const std::vector<AlgoKind>& algos,
+                               const ExperimentConfig& config);
+
+// Computes the initial independent set for `g` per `mode` (original ids).
+std::vector<VertexId> ComputeInitialSolution(const EdgeListGraph& g,
+                                             InitialSolution mode,
+                                             int arw_iterations,
+                                             int64_t exact_node_budget,
+                                             double exact_seconds_budget = 20.0);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,17 @@
+#include "src/harness/metrics.h"
+
+#include "src/util/table.h"
+
+namespace dynmis {
+
+std::string QualityMetrics::GapString() const {
+  const int64_t gap = Gap();
+  if (gap < 0) return FormatCount(-gap) + "^";
+  return FormatCount(gap);
+}
+
+std::string QualityMetrics::AccuracyString() const {
+  return FormatPercent(Accuracy());
+}
+
+}  // namespace dynmis

@@ -1,0 +1,39 @@
+// Quality metrics used across the benchmark harness: gap and accuracy of a
+// maintained solution relative to a reference size (the exact independence
+// number on easy graphs, the ARW best-known size on hard graphs), exactly
+// as reported in the paper's Tables II-IV.
+
+#ifndef DYNMIS_SRC_HARNESS_METRICS_H_
+#define DYNMIS_SRC_HARNESS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dynmis {
+
+struct QualityMetrics {
+  int64_t reference = 0;  // alpha(G) or best-known size.
+  int64_t achieved = 0;   // Maintained solution size.
+
+  // gap = reference - achieved (negative when the maintained solution beats
+  // the reference, which Table IV marks with an up-arrow).
+  int64_t Gap() const { return reference - achieved; }
+
+  // accuracy = achieved / reference.
+  double Accuracy() const {
+    return reference == 0 ? 1.0
+                          : static_cast<double>(achieved) /
+                                static_cast<double>(reference);
+  }
+
+  // Renders the gap like the paper: plain count, with "^" marking solutions
+  // larger than the reference.
+  std::string GapString() const;
+
+  // Renders the accuracy as a percentage with two decimals.
+  std::string AccuracyString() const;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_HARNESS_METRICS_H_

@@ -1,0 +1,50 @@
+#include "src/harness/report.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace dynmis {
+
+const AlgoRunResult& FindRun(const ExperimentResult& result,
+                             const std::string& name) {
+  for (const AlgoRunResult& run : result.algos) {
+    if (run.name == name) return run;
+  }
+  DYNMIS_CHECK(false);
+  return result.algos.front();
+}
+
+std::string GapCell(const AlgoRunResult& run, int64_t reference) {
+  if (!run.finished) return "-";
+  if (reference < 0) return "n/a";
+  QualityMetrics metrics{reference, run.final_size};
+  return metrics.GapString();
+}
+
+std::string AccuracyCell(const AlgoRunResult& run, int64_t reference) {
+  if (!run.finished) return "-";
+  if (reference < 0) return "n/a";
+  QualityMetrics metrics{reference, run.final_size};
+  return metrics.AccuracyString();
+}
+
+std::string TimeCell(const AlgoRunResult& run) {
+  if (!run.finished) {
+    return "DNF(" + FormatDouble(run.seconds, 1) + "s)";
+  }
+  return FormatDouble(run.seconds, 3) + "s";
+}
+
+std::string MemoryCell(const AlgoRunResult& run) {
+  if (!run.finished) return "-";
+  return FormatBytes(run.memory_bytes);
+}
+
+void PrintExperimentHeader(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+}  // namespace dynmis

@@ -1,0 +1,35 @@
+// Row builders shared by the per-table/per-figure benchmark binaries:
+// translate ExperimentResults into the paper's gap/accuracy/time/memory
+// presentation.
+
+#ifndef DYNMIS_SRC_HARNESS_REPORT_H_
+#define DYNMIS_SRC_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/metrics.h"
+
+namespace dynmis {
+
+// Finds the run result for a given algorithm display name; aborts if absent.
+const AlgoRunResult& FindRun(const ExperimentResult& result,
+                             const std::string& name);
+
+// Gap/accuracy cell against `reference` ("-" when the run did not finish).
+std::string GapCell(const AlgoRunResult& run, int64_t reference);
+std::string AccuracyCell(const AlgoRunResult& run, int64_t reference);
+
+// Time cell in seconds ("> limit (DNF)" for unfinished runs).
+std::string TimeCell(const AlgoRunResult& run);
+
+// Memory cell with a binary unit suffix.
+std::string MemoryCell(const AlgoRunResult& run);
+
+// Prints a standard experiment banner (dataset, n, m, #updates).
+void PrintExperimentHeader(const std::string& title, const std::string& note);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_HARNESS_REPORT_H_

@@ -1,0 +1,193 @@
+#include "src/static_mis/arw.h"
+
+#include <algorithm>
+
+#include "src/static_mis/greedy.h"
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace {
+
+// Local-search engine over a static graph: solution flags + tightness
+// counts + a dirty queue of solution vertices to re-examine.
+class LocalSearch {
+ public:
+  explicit LocalSearch(const StaticGraph& g)
+      : g_(g),
+        in_solution_(g.NumVertices(), 0),
+        count_(g.NumVertices(), 0),
+        dirty_(g.NumVertices(), 0),
+        mark_(g.NumVertices(), 0) {}
+
+  void SetSolution(const std::vector<VertexId>& solution) {
+    for (VertexId v : solution) Insert(v);
+    MakeMaximal();
+    for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      if (in_solution_[v]) MarkDirty(v);
+    }
+  }
+
+  int64_t Size() const { return size_; }
+
+  std::vector<VertexId> Solution() const {
+    std::vector<VertexId> out;
+    out.reserve(static_cast<size_t>(size_));
+    for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      if (in_solution_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+  // Moves to a (1,2)-swap local optimum.
+  void Optimize() {
+    while (!queue_.empty()) {
+      const VertexId v = queue_.back();
+      queue_.pop_back();
+      dirty_[v] = 0;
+      if (!in_solution_[v]) continue;
+      TryTwoForOne(v);
+    }
+  }
+
+  // Perturbation: force `v` into the solution, removing its solution
+  // neighbours and re-maximalizing around them.
+  void ForceInsert(VertexId v) {
+    if (in_solution_[v]) return;
+    std::vector<VertexId> owners;
+    for (VertexId u : g_.Neighbors(v)) {
+      if (in_solution_[u]) owners.push_back(u);
+    }
+    for (VertexId u : owners) Remove(u);
+    Insert(v);
+    for (VertexId u : owners) {
+      for (VertexId w : g_.Neighbors(u)) {
+        if (!in_solution_[w] && count_[w] == 0) Insert(w);
+      }
+    }
+    MarkDirty(v);
+    for (VertexId u : owners) {
+      for (VertexId w : g_.Neighbors(u)) {
+        if (in_solution_[w]) MarkDirty(w);
+      }
+    }
+  }
+
+ private:
+  void Insert(VertexId v) {
+    DYNMIS_DCHECK(!in_solution_[v]);
+    DYNMIS_DCHECK(count_[v] == 0);
+    in_solution_[v] = 1;
+    ++size_;
+    for (VertexId u : g_.Neighbors(v)) ++count_[u];
+  }
+
+  void Remove(VertexId v) {
+    DYNMIS_DCHECK(in_solution_[v] != 0);
+    in_solution_[v] = 0;
+    --size_;
+    for (VertexId u : g_.Neighbors(v)) --count_[u];
+  }
+
+  void MakeMaximal() {
+    for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      if (!in_solution_[v] && count_[v] == 0) Insert(v);
+    }
+  }
+
+  void MarkDirty(VertexId v) {
+    if (dirty_[v]) return;
+    dirty_[v] = 1;
+    queue_.push_back(v);
+  }
+
+  // Replaces v by two non-adjacent 1-tight neighbours if they exist.
+  void TryTwoForOne(VertexId v) {
+    tight_.clear();
+    for (VertexId u : g_.Neighbors(v)) {
+      if (count_[u] == 1) tight_.push_back(u);
+    }
+    if (tight_.size() < 2) return;
+    ++epoch_;
+    for (VertexId u : tight_) mark_[u] = epoch_;
+    for (VertexId u : tight_) {
+      // u misses some member of tight_ iff its marked-degree < |tight_| - 1.
+      int adjacent = 0;
+      for (VertexId w : g_.Neighbors(u)) {
+        if (mark_[w] == epoch_) ++adjacent;
+      }
+      if (adjacent + 1 == static_cast<int>(tight_.size())) continue;
+      // Find the missing partner by re-marking N[u].
+      ++epoch_;
+      mark_[u] = epoch_;
+      for (VertexId w : g_.Neighbors(u)) mark_[w] = epoch_;
+      VertexId partner = kInvalidVertex;
+      for (VertexId w : tight_) {
+        if (mark_[w] != epoch_) {
+          partner = w;
+          break;
+        }
+      }
+      DYNMIS_CHECK(partner != kInvalidVertex);
+      Remove(v);
+      Insert(u);
+      Insert(partner);
+      for (VertexId w : g_.Neighbors(v)) {
+        if (!in_solution_[w] && count_[w] == 0) Insert(w);
+      }
+      // Re-examine the solution vertices around the change.
+      for (VertexId w : g_.Neighbors(v)) {
+        if (in_solution_[w]) {
+          MarkDirty(w);
+        } else if (count_[w] >= 1) {
+          for (VertexId z : g_.Neighbors(w)) {
+            if (in_solution_[z]) {
+              MarkDirty(z);
+              break;
+            }
+          }
+        }
+      }
+      MarkDirty(u);
+      MarkDirty(partner);
+      return;
+    }
+  }
+
+  const StaticGraph& g_;
+  std::vector<uint8_t> in_solution_;
+  std::vector<int32_t> count_;
+  std::vector<uint8_t> dirty_;
+  std::vector<VertexId> queue_;
+  std::vector<VertexId> tight_;
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+  int64_t size_ = 0;
+};
+
+}  // namespace
+
+std::vector<VertexId> ArwMisFrom(const StaticGraph& g,
+                                 const std::vector<VertexId>& initial,
+                                 const ArwOptions& options) {
+  if (g.NumVertices() == 0) return {};
+  LocalSearch search(g);
+  search.SetSolution(initial);
+  search.Optimize();
+  std::vector<VertexId> best = search.Solution();
+  Rng rng(SplitMix64(options.seed));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const auto v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    search.ForceInsert(v);
+    search.Optimize();
+    if (search.Size() > static_cast<int64_t>(best.size())) {
+      best = search.Solution();
+    }
+  }
+  return best;
+}
+
+std::vector<VertexId> ArwMis(const StaticGraph& g, const ArwOptions& options) {
+  return ArwMisFrom(g, GreedyMis(g), options);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,38 @@
+// ARW iterated local search (Andrade, Resende & Werneck 2012): the static
+// (1,2)-swap local search the paper uses both (a) to compute the initial /
+// best-known solutions on hard graphs and (b) as the basis of the DyARW
+// dynamic baseline.
+//
+// The search alternates between moving to a (1,2)-swap local optimum (no
+// solution vertex has two non-adjacent 1-tight neighbours) and a random
+// "force-insert" perturbation that re-seeds the search, keeping the best
+// solution found within an iteration budget.
+
+#ifndef DYNMIS_SRC_STATIC_MIS_ARW_H_
+#define DYNMIS_SRC_STATIC_MIS_ARW_H_
+
+#include <vector>
+
+#include "src/graph/static_graph.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+
+struct ArwOptions {
+  // Number of perturbation rounds after the first local optimum.
+  int iterations = 2000;
+  uint64_t seed = 7;
+};
+
+// Runs ARW from a greedy start and returns the best solution found
+// (compacted vertex ids of `g`).
+std::vector<VertexId> ArwMis(const StaticGraph& g, const ArwOptions& options);
+
+// Runs ARW from a caller-provided independent set.
+std::vector<VertexId> ArwMisFrom(const StaticGraph& g,
+                                 const std::vector<VertexId>& initial,
+                                 const ArwOptions& options);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_STATIC_MIS_ARW_H_

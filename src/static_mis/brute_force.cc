@@ -1,0 +1,61 @@
+#include "src/static_mis/brute_force.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace {
+
+// Recursively maximizes over the candidate mask. `adj` holds closed
+// neighborhood masks.
+uint64_t Search(const std::vector<uint64_t>& closed, uint64_t candidates,
+                uint64_t chosen, int* best_count, uint64_t* best_set) {
+  if (candidates == 0) {
+    const int count = std::popcount(chosen);
+    if (count > *best_count) {
+      *best_count = count;
+      *best_set = chosen;
+    }
+    return chosen;
+  }
+  if (std::popcount(chosen) + std::popcount(candidates) <= *best_count) {
+    return chosen;  // Cannot beat the incumbent.
+  }
+  const int v = std::countr_zero(candidates);
+  // Branch 1: take v.
+  Search(closed, candidates & ~closed[v], chosen | (uint64_t{1} << v),
+         best_count, best_set);
+  // Branch 2: skip v.
+  Search(closed, candidates & ~(uint64_t{1} << v), chosen, best_count,
+         best_set);
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<VertexId> BruteForceMis(const StaticGraph& g) {
+  const int n = g.NumVertices();
+  DYNMIS_CHECK_LE(n, 64);
+  std::vector<uint64_t> closed(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    closed[v] = uint64_t{1} << v;
+    for (VertexId u : g.Neighbors(v)) closed[v] |= uint64_t{1} << u;
+  }
+  int best_count = -1;
+  uint64_t best_set = 0;
+  const uint64_t all = n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  Search(closed, all, 0, &best_count, &best_set);
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < n; ++v) {
+    if (best_set & (uint64_t{1} << v)) result.push_back(v);
+  }
+  return result;
+}
+
+int BruteForceAlpha(const StaticGraph& g) {
+  return static_cast<int>(BruteForceMis(g).size());
+}
+
+}  // namespace dynmis

@@ -1,0 +1,23 @@
+// Exponential-time exact MIS for tiny graphs: the ground truth used by the
+// test suite to validate the exact solver, the swap verifiers and the
+// approximation-ratio assertions.
+
+#ifndef DYNMIS_SRC_STATIC_MIS_BRUTE_FORCE_H_
+#define DYNMIS_SRC_STATIC_MIS_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "src/graph/static_graph.h"
+
+namespace dynmis {
+
+// Maximum independent set by branch-and-bound enumeration. Intended for
+// n <= ~60; aborts above 64 vertices.
+std::vector<VertexId> BruteForceMis(const StaticGraph& g);
+
+// Independence number of `g` (size of BruteForceMis).
+int BruteForceAlpha(const StaticGraph& g);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_STATIC_MIS_BRUTE_FORCE_H_

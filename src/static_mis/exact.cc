@@ -1,0 +1,184 @@
+#include "src/static_mis/exact.h"
+
+#include <algorithm>
+
+#include "src/static_mis/brute_force.h"
+#include "src/static_mis/greedy.h"
+#include "src/static_mis/reductions.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+namespace {
+
+// Greedy clique cover: an upper bound on alpha (each clique contributes at
+// most one independent vertex).
+int CliqueCoverBound(const StaticGraph& g) {
+  const int n = g.NumVertices();
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.Degree(a) != g.Degree(b) ? g.Degree(a) > g.Degree(b) : a < b;
+  });
+  std::vector<std::vector<VertexId>> cliques;
+  for (VertexId v : order) {
+    bool placed = false;
+    for (auto& clique : cliques) {
+      bool fits = true;
+      for (VertexId u : clique) {
+        if (!g.HasEdge(v, u)) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        clique.push_back(v);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) cliques.push_back({v});
+  }
+  return static_cast<int>(cliques.size());
+}
+
+// Connected components of `g` as vertex lists.
+std::vector<std::vector<VertexId>> Components(const StaticGraph& g) {
+  const int n = g.NumVertices();
+  std::vector<int> component(n, -1);
+  std::vector<std::vector<VertexId>> result;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (component[s] >= 0) continue;
+    const int id = static_cast<int>(result.size());
+    result.emplace_back();
+    component[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      result[id].push_back(v);
+      for (VertexId u : g.Neighbors(v)) {
+        if (component[u] < 0) {
+          component[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+class Solver {
+ public:
+  Solver(int64_t max_nodes, double max_seconds)
+      : budget_(max_nodes), max_seconds_(max_seconds) {}
+
+  int64_t nodes_used() const { return nodes_used_; }
+
+  // Returns a MIS of `g` in g's compacted ids, or nullopt on budget
+  // exhaustion.
+  std::optional<std::vector<VertexId>> Solve(const StaticGraph& g) {
+    ++nodes_used_;
+    if (--budget_ < 0) return std::nullopt;
+    if (max_seconds_ > 0 && (nodes_used_ & 255) == 0 &&
+        timer_.ElapsedSeconds() > max_seconds_) {
+      return std::nullopt;
+    }
+    if (g.NumVertices() == 0) return std::vector<VertexId>{};
+
+    Kernelizer kernelizer(g);
+    kernelizer.Run();
+    const StaticGraph kernel = kernelizer.Kernel();
+
+    std::vector<VertexId> kernel_solution_work_ids;
+    for (const auto& comp : Components(kernel)) {
+      const StaticGraph sub = kernel.InducedSubgraph(comp);
+      std::optional<std::vector<VertexId>> comp_solution = SolveComponent(sub);
+      if (!comp_solution) return std::nullopt;
+      // sub's OriginalId composes through kernel's OriginalId = work id.
+      for (VertexId v : *comp_solution) {
+        kernel_solution_work_ids.push_back(sub.OriginalId(v));
+      }
+    }
+    return kernelizer.Lift(kernel_solution_work_ids);
+  }
+
+ private:
+  // Solves one connected, kernelized component; returns ids of `g`.
+  std::optional<std::vector<VertexId>> SolveComponent(const StaticGraph& g) {
+    if (g.NumVertices() == 0) return std::vector<VertexId>{};
+    if (g.NumVertices() <= 64) return BruteForceMis(g);
+    ++nodes_used_;
+    if (--budget_ < 0) return std::nullopt;
+
+    // Branch on a maximum-degree vertex.
+    VertexId pivot = 0;
+    for (VertexId v = 1; v < g.NumVertices(); ++v) {
+      if (g.Degree(v) > g.Degree(pivot)) pivot = v;
+    }
+
+    // Include branch: pivot + MIS(G - N[pivot]). Note: InducedSubgraph
+    // composes *original* ids, so recursion results are translated through
+    // the keep-lists (subgraph compact id i corresponds to keep[i] in g).
+    std::vector<uint8_t> drop(g.NumVertices(), 0);
+    drop[pivot] = 1;
+    for (VertexId u : g.Neighbors(pivot)) drop[u] = 1;
+    std::vector<VertexId> inc_keep;
+    inc_keep.reserve(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!drop[v]) inc_keep.push_back(v);
+    }
+    std::optional<std::vector<VertexId>> inc = Solve(g.InducedSubgraph(inc_keep));
+    if (!inc) return std::nullopt;
+    std::vector<VertexId> best;
+    best.push_back(pivot);
+    for (VertexId v : *inc) best.push_back(inc_keep[v]);
+
+    // Exclude branch: MIS(G - pivot), pruned by the clique-cover bound.
+    std::vector<VertexId> exc_keep;
+    exc_keep.reserve(g.NumVertices() - 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (v != pivot) exc_keep.push_back(v);
+    }
+    const StaticGraph exc_graph = g.InducedSubgraph(exc_keep);
+    if (CliqueCoverBound(exc_graph) > static_cast<int>(best.size())) {
+      std::optional<std::vector<VertexId>> exc = Solve(exc_graph);
+      if (!exc) return std::nullopt;
+      if (exc->size() > best.size()) {
+        best.clear();
+        for (VertexId v : *exc) best.push_back(exc_keep[v]);
+      }
+    }
+    return best;
+  }
+
+  int64_t budget_;
+  double max_seconds_;
+  Timer timer_;
+  int64_t nodes_used_ = 0;
+};
+
+}  // namespace
+
+ExactMisResult SolveExactMis(const StaticGraph& g,
+                             const ExactMisOptions& options) {
+  Solver solver(options.max_nodes, options.max_seconds);
+  ExactMisResult result;
+  std::optional<std::vector<VertexId>> solution = solver.Solve(g);
+  result.nodes_used = solver.nodes_used();
+  if (solution) {
+    result.solved = true;
+    result.solution = std::move(*solution);
+  }
+  return result;
+}
+
+std::optional<int64_t> ExactAlpha(const StaticGraph& g,
+                                  const ExactMisOptions& options) {
+  ExactMisResult result = SolveExactMis(g, options);
+  if (!result.solved) return std::nullopt;
+  return static_cast<int64_t>(result.solution.size());
+}
+
+}  // namespace dynmis

@@ -1,0 +1,44 @@
+#include "src/static_mis/greedy.h"
+
+#include <vector>
+
+namespace dynmis {
+
+std::vector<VertexId> GreedyMis(const StaticGraph& g) {
+  const int n = g.NumVertices();
+  std::vector<int> residual_degree(n);
+  std::vector<uint8_t> removed(n, 0);
+  // Bucket queue over residual degrees with lazy invalidation.
+  std::vector<std::vector<VertexId>> buckets(g.MaxDegree() + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    residual_degree[v] = g.Degree(v);
+    buckets[residual_degree[v]].push_back(v);
+  }
+  std::vector<VertexId> solution;
+  int cursor = 0;
+  while (cursor < static_cast<int>(buckets.size())) {
+    if (buckets[cursor].empty()) {
+      ++cursor;
+      continue;
+    }
+    const VertexId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || residual_degree[v] != cursor) continue;  // Stale entry.
+    // v is a minimum-residual-degree survivor: take it.
+    solution.push_back(v);
+    removed[v] = 1;
+    for (VertexId u : g.Neighbors(v)) {
+      if (removed[u]) continue;
+      removed[u] = 1;
+      for (VertexId w : g.Neighbors(u)) {
+        if (removed[w]) continue;
+        --residual_degree[w];
+        buckets[residual_degree[w]].push_back(w);
+        if (residual_degree[w] < cursor) cursor = residual_degree[w];
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace dynmis

@@ -1,0 +1,21 @@
+// Min-degree greedy maximal independent set.
+//
+// The classic baseline used to seed the local-search and dynamic algorithms:
+// repeatedly pick a minimum-degree vertex, add it, delete its closed
+// neighborhood. O(m log n)-ish via a lazy bucket queue.
+
+#ifndef DYNMIS_SRC_STATIC_MIS_GREEDY_H_
+#define DYNMIS_SRC_STATIC_MIS_GREEDY_H_
+
+#include <vector>
+
+#include "src/graph/static_graph.h"
+
+namespace dynmis {
+
+// Returns a maximal independent set (compacted vertex ids of `g`).
+std::vector<VertexId> GreedyMis(const StaticGraph& g);
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_STATIC_MIS_GREEDY_H_

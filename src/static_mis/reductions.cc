@@ -1,0 +1,283 @@
+#include "src/static_mis/reductions.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+
+Kernelizer::Kernelizer(const StaticGraph& g) {
+  original_n_ = g.NumVertices();
+  alive_count_ = original_n_;
+  adj_.resize(original_n_);
+  degree_.resize(original_n_);
+  alive_.assign(original_n_, 1);
+  queued_.assign(original_n_, 0);
+  mark_.assign(original_n_, 0);
+  for (VertexId v = 0; v < original_n_; ++v) {
+    const auto nbrs = g.Neighbors(v);
+    adj_[v].assign(nbrs.begin(), nbrs.end());
+    degree_[v] = static_cast<int32_t>(nbrs.size());
+    Touch(v);
+  }
+}
+
+void Kernelizer::Touch(VertexId v) {
+  if (v < static_cast<VertexId>(queued_.size()) && !queued_[v] && alive_[v]) {
+    queued_[v] = 1;
+    worklist_.push_back(v);
+  }
+}
+
+void Kernelizer::TouchNeighbors(VertexId v) {
+  for (VertexId u : adj_[v]) {
+    if (Alive(u)) Touch(u);
+  }
+}
+
+void Kernelizer::RemoveVertex(VertexId v) {
+  DYNMIS_DCHECK(Alive(v));
+  alive_[v] = 0;
+  --alive_count_;
+  for (VertexId u : adj_[v]) {
+    if (Alive(u)) {
+      --degree_[u];
+      Touch(u);
+    }
+  }
+}
+
+void Kernelizer::IncludeVertex(VertexId v) {
+  DYNMIS_DCHECK(Alive(v));
+  included_.push_back(v);
+  ++alpha_offset_;
+  // Remove N[v]; neighbours of neighbours become reduction candidates.
+  std::vector<VertexId> nbrs;
+  for (VertexId u : adj_[v]) {
+    if (Alive(u)) nbrs.push_back(u);
+  }
+  alive_[v] = 0;
+  --alive_count_;
+  for (VertexId u : nbrs) RemoveVertex(u);
+}
+
+VertexId Kernelizer::FoldDegreeTwo(VertexId v, VertexId u, VertexId w) {
+  // New merged vertex m with N(m) = (N(u) u N(w)) \ {v, u, w}.
+  const VertexId m = static_cast<VertexId>(adj_.size());
+  std::vector<VertexId> merged;
+  ++epoch_;
+  for (VertexId pool : {u, w}) {
+    for (VertexId x : adj_[pool]) {
+      if (!Alive(x) || x == v || x == u || x == w) continue;
+      if (mark_[x] == epoch_) continue;
+      mark_[x] = epoch_;
+      merged.push_back(x);
+    }
+  }
+  RemoveVertex(v);
+  RemoveVertex(u);
+  RemoveVertex(w);
+  adj_.push_back(merged);
+  degree_.push_back(static_cast<int32_t>(merged.size()));
+  alive_.push_back(1);
+  queued_.push_back(0);
+  mark_.push_back(0);
+  ++alive_count_;
+  for (VertexId x : merged) {
+    adj_[x].push_back(m);
+    ++degree_[x];
+    Touch(x);
+  }
+  folds_.push_back({m, v, u, w});
+  ++alpha_offset_;
+  Touch(m);
+  return m;
+}
+
+bool Kernelizer::TryDominate(VertexId v) {
+  if (degree_[v] > kDominationDegreeCap) return false;
+  // Mark N[v]; any neighbour u with N[u] superset of N[v] can be excluded.
+  ++epoch_;
+  mark_[v] = epoch_;
+  for (VertexId x : adj_[v]) {
+    if (Alive(x)) mark_[x] = epoch_;
+  }
+  for (VertexId u : adj_[v]) {
+    if (!Alive(u) || degree_[u] < degree_[v]) continue;
+    // Count how many of N[v] lie inside N[u] (v itself is adjacent to u).
+    int covered = 1;  // v.
+    for (VertexId x : adj_[u]) {
+      if (Alive(x) && x != v && mark_[x] == epoch_) ++covered;
+    }
+    if (covered >= degree_[v]) {
+      // N[v] subseteq N[u]: u is dominated.
+      RemoveVertex(u);
+      Touch(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Kernelizer::TryUnconfined(VertexId v) {
+  // Confinement search of Akiba & Iwata: grow a set S (initially {v}); a
+  // neighbour u of S with exactly one neighbour inside S is a "child". If
+  // some child has no private neighbour outside N[S], v is unconfined and
+  // can be excluded; a child with exactly one private neighbour extends S.
+  if (degree_[v] > 64) return false;  // Cost control around hubs.
+  std::vector<VertexId> s = {v};
+  // in_s / in_ns membership via epochs: epoch e for S, shared mark set for
+  // N[S] rebuilt each round (S stays small, capped).
+  while (true) {
+    if (static_cast<int>(s.size()) > kConfinementCap) return false;
+    ++epoch_;
+    const uint32_t ns_epoch = epoch_;
+    for (VertexId x : s) {
+      mark_[x] = ns_epoch;
+      for (VertexId y : adj_[x]) {
+        if (Alive(y)) mark_[y] = ns_epoch;
+      }
+    }
+    // Children: u adjacent to exactly one member of S.
+    VertexId extend = kInvalidVertex;
+    bool found_child = false;
+    for (VertexId x : s) {
+      for (VertexId u : adj_[x]) {
+        if (!Alive(u)) continue;
+        // Count u's neighbours inside S and privates outside N[S].
+        int in_s = 0;
+        VertexId private_nbr = kInvalidVertex;
+        int privates = 0;
+        for (VertexId w : adj_[u]) {
+          if (!Alive(w)) continue;
+          bool w_in_s = false;
+          for (VertexId z : s) {
+            if (z == w) {
+              w_in_s = true;
+              break;
+            }
+          }
+          if (w_in_s) {
+            ++in_s;
+          } else if (mark_[w] != ns_epoch) {
+            ++privates;
+            private_nbr = w;
+          }
+        }
+        if (in_s != 1) continue;
+        found_child = true;
+        if (privates == 0) {
+          // Unconfined: exclude v.
+          RemoveVertex(v);
+          return true;
+        }
+        if (privates == 1 && extend == kInvalidVertex) extend = private_nbr;
+      }
+    }
+    (void)found_child;
+    if (extend == kInvalidVertex) return false;  // Confined.
+    s.push_back(extend);
+  }
+}
+
+bool Kernelizer::TryReduceVertex(VertexId v) {
+  if (!Alive(v)) return false;
+  if (degree_[v] == 0) {
+    IncludeVertex(v);
+    return true;
+  }
+  if (degree_[v] == 1) {
+    IncludeVertex(v);
+    return true;
+  }
+  if (degree_[v] == 2) {
+    VertexId u = kInvalidVertex;
+    VertexId w = kInvalidVertex;
+    for (VertexId x : adj_[v]) {
+      if (!Alive(x)) continue;
+      if (u == kInvalidVertex) {
+        u = x;
+      } else if (w == kInvalidVertex && x != u) {
+        w = x;
+      }
+    }
+    DYNMIS_DCHECK(u != kInvalidVertex && w != kInvalidVertex);
+    const bool adjacent =
+        std::find_if(adj_[u].begin(), adj_[u].end(), [&](VertexId x) {
+          return x == w;
+        }) != adj_[u].end();
+    if (adjacent) {
+      IncludeVertex(v);
+    } else {
+      FoldDegreeTwo(v, u, w);
+    }
+    return true;
+  }
+  if (TryDominate(v)) return true;
+  return TryUnconfined(v);
+}
+
+void Kernelizer::Run() {
+  while (!worklist_.empty()) {
+    const VertexId v = worklist_.back();
+    worklist_.pop_back();
+    queued_[v] = 0;
+    TryReduceVertex(v);
+  }
+}
+
+StaticGraph Kernelizer::Kernel() const {
+  std::vector<VertexId> alive_ids;
+  std::vector<VertexId> compact(adj_.size(), kInvalidVertex);
+  for (VertexId v = 0; v < static_cast<VertexId>(adj_.size()); ++v) {
+    if (Alive(v)) {
+      compact[v] = static_cast<VertexId>(alive_ids.size());
+      alive_ids.push_back(v);
+    }
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v : alive_ids) {
+    for (VertexId u : adj_[v]) {
+      if (Alive(u) && u > v) edges.emplace_back(compact[v], compact[u]);
+      // Fold vertices may duplicate edges only if the merged adjacency had
+      // duplicates, which FoldDegreeTwo's epoch-dedup prevents; and (x, m)
+      // entries appear once on each side.
+    }
+  }
+  // Deduplicate defensively (the construction cost is negligible next to
+  // branching).
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  StaticGraph kernel(static_cast<int>(alive_ids.size()), edges);
+  // The kernel's OriginalId is the Kernelizer work id, which Lift expects.
+  return StaticGraph::WithOriginalIds(std::move(kernel), std::move(alive_ids));
+}
+
+std::vector<VertexId> Kernelizer::Lift(
+    const std::vector<VertexId>& kernel_solution) const {
+  // Work-id solution: forced includes + the kernel solution (already in
+  // work ids via Kernel()'s OriginalId mapping).
+  std::vector<uint8_t> chosen(adj_.size(), 0);
+  for (VertexId v : included_) chosen[v] = 1;
+  for (VertexId v : kernel_solution) {
+    DYNMIS_CHECK_LT(static_cast<size_t>(v), chosen.size());
+    chosen[v] = 1;
+  }
+  // Undo folds in reverse creation order.
+  for (auto it = folds_.rbegin(); it != folds_.rend(); ++it) {
+    if (chosen[it->m]) {
+      chosen[it->m] = 0;
+      chosen[it->u] = 1;
+      chosen[it->w] = 1;
+    } else {
+      chosen[it->v] = 1;
+    }
+  }
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < original_n_; ++v) {
+    if (chosen[v]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace dynmis

@@ -1,0 +1,92 @@
+// Exact data reductions for maximum independent set, in the style of
+// VCSolver / Akiba-Iwata branch-and-reduce:
+//
+//   * degree-0: isolated vertices are taken.
+//   * degree-1 (pendant): the leaf is taken, its neighbour removed.
+//   * degree-2 with adjacent neighbours (triangle): the degree-2 vertex is
+//     taken, its neighbourhood removed.
+//   * degree-2 folding: v with non-adjacent neighbours u, w folds {v, u, w}
+//     into a single vertex m with N(m) = N(u) u N(w) \ {v}; alpha(G) =
+//     alpha(G') + 1, and m in the solution lifts to {u, w}, else to {v}.
+//   * domination: if N[v] is a subset of N[u] then some MaxIS avoids u.
+//   * unconfined vertices (Akiba & Iwata): a vertex shown unconfined by the
+//     standard confinement search can be excluded from some MaxIS.
+//
+// The Kernelizer applies these to a fixpoint and records a trace so kernel
+// solutions can be lifted back to solutions of the input graph.
+
+#ifndef DYNMIS_SRC_STATIC_MIS_REDUCTIONS_H_
+#define DYNMIS_SRC_STATIC_MIS_REDUCTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/static_graph.h"
+
+namespace dynmis {
+
+class Kernelizer {
+ public:
+  explicit Kernelizer(const StaticGraph& g);
+
+  // Applies all reductions to a fixpoint.
+  void Run();
+
+  // Number of vertices forced into the solution so far (each fold also
+  // contributes exactly 1 to alpha).
+  int64_t AlphaOffset() const { return alpha_offset_; }
+
+  // The remaining (irreducible) graph. OriginalId of kernel vertex i is its
+  // *work id*, only meaningful to Lift().
+  StaticGraph Kernel() const;
+
+  // Lifts a kernel solution (given in kernel-compacted ids of Kernel()) to
+  // an independent set of the input graph, undoing folds and re-adding the
+  // forced vertices.
+  std::vector<VertexId> Lift(const std::vector<VertexId>& kernel_solution) const;
+
+  int NumAliveVertices() const { return alive_count_; }
+
+ private:
+  struct FoldRecord {
+    VertexId m, v, u, w;
+  };
+
+  bool Alive(VertexId v) const { return alive_[v] != 0; }
+  void Touch(VertexId v);
+  void TouchNeighbors(VertexId v);
+  // Removes v from the graph (an "exclude" decision or plain deletion).
+  void RemoveVertex(VertexId v);
+  // Takes v into the solution and removes N[v].
+  void IncludeVertex(VertexId v);
+  VertexId FoldDegreeTwo(VertexId v, VertexId u, VertexId w);
+  bool TryReduceVertex(VertexId v);
+  bool TryDominate(VertexId v);
+  bool TryUnconfined(VertexId v);
+
+  std::vector<std::vector<VertexId>> adj_;
+  std::vector<int32_t> degree_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint8_t> queued_;
+  std::vector<VertexId> worklist_;
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+
+  // Work ids taken into the solution (original ids or fold ids; folds are
+  // resolved by Lift in reverse order).
+  std::vector<VertexId> included_;
+  std::vector<FoldRecord> folds_;
+  int64_t alpha_offset_ = 0;
+  int alive_count_ = 0;
+  int original_n_ = 0;
+
+  // Domination checks are skipped for vertices above this degree (cost
+  // control; correctness is unaffected since reductions are optional).
+  static constexpr int kDominationDegreeCap = 24;
+  // Confinement search gives up when the confining set grows past this.
+  static constexpr int kConfinementCap = 24;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_STATIC_MIS_REDUCTIONS_H_

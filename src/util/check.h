@@ -1,0 +1,49 @@
+// Lightweight assertion macros.
+//
+// The project does not use exceptions (see DESIGN.md / style guide); internal
+// invariant violations are programming errors and abort the process with a
+// source location. DYNMIS_CHECK is always on; DYNMIS_DCHECK compiles away in
+// NDEBUG builds and is used on hot paths.
+
+#ifndef DYNMIS_SRC_UTIL_CHECK_H_
+#define DYNMIS_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynmis {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "DYNMIS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dynmis
+
+#define DYNMIS_CHECK(cond)                                    \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::dynmis::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                         \
+  } while (0)
+
+#define DYNMIS_CHECK_EQ(a, b) DYNMIS_CHECK((a) == (b))
+#define DYNMIS_CHECK_NE(a, b) DYNMIS_CHECK((a) != (b))
+#define DYNMIS_CHECK_LT(a, b) DYNMIS_CHECK((a) < (b))
+#define DYNMIS_CHECK_LE(a, b) DYNMIS_CHECK((a) <= (b))
+#define DYNMIS_CHECK_GT(a, b) DYNMIS_CHECK((a) > (b))
+#define DYNMIS_CHECK_GE(a, b) DYNMIS_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DYNMIS_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define DYNMIS_DCHECK(cond) DYNMIS_CHECK(cond)
+#endif
+
+#endif  // DYNMIS_SRC_UTIL_CHECK_H_

@@ -1,0 +1,41 @@
+// Capacity-based memory accounting helpers.
+//
+// The paper's memory-usage experiments (Fig 5(b), 6(b), 7(b)) compare the
+// sizes of the algorithmic data structures. We account memory explicitly:
+// every component exposes MemoryUsageBytes() built from these helpers. This
+// is deterministic and portable, unlike sampling the allocator.
+
+#ifndef DYNMIS_SRC_UTIL_MEMORY_H_
+#define DYNMIS_SRC_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace dynmis {
+
+// Bytes held by a std::vector's heap buffer (capacity, not size).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// Bytes held by a vector of vectors, including the outer buffer.
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += inner.capacity() * sizeof(T);
+  return total;
+}
+
+// Approximate bytes held by an unordered_map: nodes plus bucket array.
+template <typename K, typename V, typename H, typename E, typename A>
+size_t UnorderedMapBytes(const std::unordered_map<K, V, H, E, A>& m) {
+  // Each node stores the pair, a next pointer and the cached hash.
+  const size_t node_bytes = sizeof(std::pair<const K, V>) + 2 * sizeof(void*);
+  return m.size() * node_bytes + m.bucket_count() * sizeof(void*);
+}
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_UTIL_MEMORY_H_

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that every experiment,
+// generator and algorithm run is reproducible from a single 64-bit seed.
+// The generator is xoshiro256** seeded via splitmix64 (Blackman & Vigna).
+
+#ifndef DYNMIS_SRC_UTIL_RANDOM_H_
+#define DYNMIS_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+
+// Mixes a 64-bit value into a well-distributed 64-bit value. Used for seeding
+// and for cheap stateless hashing of ids.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Small, fast, reproducible RNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  // Re-seeds the full state from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  // Returns a uniformly distributed 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Returns a uniform integer in [0, bound). `bound` must be positive.
+  // Uses Lemire's multiply-shift rejection method.
+  uint64_t NextBounded(uint64_t bound) {
+    DYNMIS_CHECK_GT(bound, 0u);
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Returns a uniform int in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    DYNMIS_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_UTIL_RANDOM_H_

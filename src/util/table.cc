@@ -1,0 +1,94 @@
+#include "src/util/table.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DYNMIS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DYNMIS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%-*s", static_cast<int>(widths[c] + 2),
+                   row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string sep(total, '-');
+  std::fprintf(out, "%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", row[c].c_str(),
+                   c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  return buf;
+}
+
+std::string FormatCount(int64_t value) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%" PRId64, value < 0 ? -value : value);
+  std::string body(digits);
+  std::string with_commas;
+  int count = 0;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) with_commas.push_back(',');
+    with_commas.push_back(*it);
+    ++count;
+  }
+  if (value < 0) with_commas.push_back('-');
+  return std::string(with_commas.rbegin(), with_commas.rend());
+}
+
+}  // namespace dynmis

@@ -1,0 +1,215 @@
+// Unit tests for the DynamicGraph substrate: id stability, O(1) list
+// integrity across insert/delete cascades, and recycling behaviour.
+
+#include "src/graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace {
+
+TEST(DynamicGraphTest, StartsEmpty) {
+  DynamicGraph g;
+  EXPECT_EQ(g.NumVertices(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.VertexCapacity(), 0);
+}
+
+TEST(DynamicGraphTest, ConstructorCreatesIsolatedVertices) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.NumVertices(), 5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.IsVertexAlive(v));
+    EXPECT_EQ(g.Degree(v), 0);
+  }
+}
+
+TEST(DynamicGraphTest, AddEdgeUpdatesDegreesAndAdjacency) {
+  DynamicGraph g(4);
+  const EdgeId e = g.AddEdge(0, 1);
+  EXPECT_TRUE(g.IsEdgeAlive(e));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Other(e, 0), 1);
+  EXPECT_EQ(g.Other(e, 1), 0);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeRestoresState) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);
+  const EdgeId e = g.AddEdge(1, 2);
+  g.RemoveEdge(e);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.Degree(2), 0);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeBetween) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.RemoveEdgeBetween(1, 0));
+  EXPECT_FALSE(g.RemoveEdgeBetween(1, 0));
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(DynamicGraphTest, RemoveVertexDropsIncidentEdges) {
+  DynamicGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  g.RemoveVertex(0);
+  EXPECT_FALSE(g.IsVertexAlive(0));
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.Degree(2), 1);
+  EXPECT_EQ(g.Degree(3), 0);
+}
+
+TEST(DynamicGraphTest, VertexIdsAreRecycled) {
+  DynamicGraph g(3);
+  g.RemoveVertex(1);
+  const VertexId v = g.AddVertex();
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(g.IsVertexAlive(1));
+  EXPECT_EQ(g.Degree(1), 0);
+  EXPECT_EQ(g.VertexCapacity(), 3);
+}
+
+TEST(DynamicGraphTest, EdgeIdsAreRecycled) {
+  DynamicGraph g(4);
+  const EdgeId e0 = g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.RemoveEdge(e0);
+  const EdgeId e2 = g.AddEdge(2, 3);
+  EXPECT_EQ(e2, e0);
+  EXPECT_EQ(g.EdgeCapacity(), 2);
+}
+
+TEST(DynamicGraphTest, NeighborsAndIncidenceIteration) {
+  DynamicGraph g(5);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 1);
+  g.AddEdge(2, 4);
+  std::vector<VertexId> nbrs = g.Neighbors(2);
+  std::sort(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(nbrs, (std::vector<VertexId>{0, 1, 4}));
+  int visited = 0;
+  g.ForEachIncident(2, [&](VertexId u, EdgeId e) {
+    EXPECT_EQ(g.Other(e, 2), u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(DynamicGraphTest, MaxDegreeTracksChanges) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.MaxDegree(), 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.MaxDegree(), 3);
+  g.RemoveVertex(0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.MaxDegree(), 1);
+}
+
+TEST(DynamicGraphTest, EdgeListIsSortedPairsOfAliveEdges) {
+  DynamicGraph g(4);
+  g.AddEdge(3, 1);
+  g.AddEdge(0, 2);
+  auto edges = g.EdgeList();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<std::pair<VertexId, VertexId>>{{0, 2}, {1, 3}}));
+}
+
+TEST(DynamicGraphTest, CopyIsIndependent) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);
+  DynamicGraph copy = g;
+  copy.AddEdge(1, 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(copy.NumEdges(), 2);
+}
+
+// Randomized cross-check against a simple set-of-pairs reference model.
+TEST(DynamicGraphTest, RandomizedMatchesReferenceModel) {
+  Rng rng(42);
+  DynamicGraph g(30);
+  std::set<std::pair<VertexId, VertexId>> reference;
+  std::set<VertexId> alive;
+  for (VertexId v = 0; v < 30; ++v) alive.insert(v);
+
+  auto ordered = [](VertexId a, VertexId b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const int action = static_cast<int>(rng.NextBounded(4));
+    if (action == 0 && alive.size() >= 2) {  // Insert random edge.
+      auto it = alive.begin();
+      std::advance(it, rng.NextBounded(alive.size()));
+      VertexId u = *it;
+      it = alive.begin();
+      std::advance(it, rng.NextBounded(alive.size()));
+      VertexId v = *it;
+      if (u != v && !reference.count(ordered(u, v))) {
+        g.AddEdge(u, v);
+        reference.insert(ordered(u, v));
+      }
+    } else if (action == 1 && !reference.empty()) {  // Delete random edge.
+      auto it = reference.begin();
+      std::advance(it, rng.NextBounded(reference.size()));
+      ASSERT_TRUE(g.RemoveEdgeBetween(it->first, it->second));
+      reference.erase(it);
+    } else if (action == 2) {  // Insert vertex.
+      const VertexId v = g.AddVertex();
+      alive.insert(v);
+    } else if (!alive.empty()) {  // Delete random vertex.
+      auto it = alive.begin();
+      std::advance(it, rng.NextBounded(alive.size()));
+      const VertexId v = *it;
+      g.RemoveVertex(v);
+      alive.erase(it);
+      for (auto edge_it = reference.begin(); edge_it != reference.end();) {
+        if (edge_it->first == v || edge_it->second == v) {
+          edge_it = reference.erase(edge_it);
+        } else {
+          ++edge_it;
+        }
+      }
+    }
+    ASSERT_EQ(g.NumEdges(), static_cast<int64_t>(reference.size()));
+    ASSERT_EQ(g.NumVertices(), static_cast<int>(alive.size()));
+  }
+  // Final deep comparison.
+  auto edges = g.EdgeList();
+  std::sort(edges.begin(), edges.end());
+  std::vector<std::pair<VertexId, VertexId>> expected(reference.begin(),
+                                                      reference.end());
+  EXPECT_EQ(edges, expected);
+  for (VertexId v : alive) {
+    int expected_degree = 0;
+    for (const auto& [a, b] : reference) {
+      if (a == v || b == v) ++expected_degree;
+    }
+    EXPECT_EQ(g.Degree(v), expected_degree);
+  }
+}
+
+}  // namespace
+}  // namespace dynmis

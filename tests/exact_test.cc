@@ -1,0 +1,126 @@
+// Exact solver validation: kernelizer soundness (lifted solutions are
+// independent and optimal against brute force), branch-and-reduce vs brute
+// force across random sweeps, and scalability on power-law instances of the
+// kind the Table II/III experiments rely on.
+
+#include "src/static_mis/exact.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/static_mis/brute_force.h"
+#include "src/static_mis/greedy.h"
+#include "src/static_mis/reductions.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace {
+
+bool IsIndependent(const StaticGraph& g, const std::vector<VertexId>& set) {
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      if (g.HasEdge(set[i], set[j])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(BruteForceTest, KnownSmallCases) {
+  EXPECT_EQ(BruteForceAlpha(CompleteGraph(5).ToStatic()), 1);
+  EXPECT_EQ(BruteForceAlpha(PathGraph(5).ToStatic()), 3);
+  EXPECT_EQ(BruteForceAlpha(CycleGraph(5).ToStatic()), 2);
+  EXPECT_EQ(BruteForceAlpha(StarGraph(7).ToStatic()), 7);
+  EXPECT_EQ(BruteForceAlpha(Hypercube(3).ToStatic()), 4);
+  EXPECT_EQ(BruteForceAlpha(StaticGraph(0, {})), 0);
+}
+
+TEST(KernelizerTest, PathIsFullyReduced) {
+  Kernelizer kernelizer(PathGraph(7).ToStatic());
+  kernelizer.Run();
+  EXPECT_EQ(kernelizer.NumAliveVertices(), 0);
+  EXPECT_EQ(kernelizer.AlphaOffset(), 4);
+  const std::vector<VertexId> solution = kernelizer.Lift({});
+  EXPECT_EQ(solution.size(), 4u);
+  EXPECT_TRUE(IsIndependent(PathGraph(7).ToStatic(), solution));
+}
+
+TEST(KernelizerTest, CycleFoldsToOptimal) {
+  // C6: alpha = 3, reachable purely via degree-2 folds.
+  const StaticGraph g = CycleGraph(6).ToStatic();
+  Kernelizer kernelizer(g);
+  kernelizer.Run();
+  EXPECT_EQ(kernelizer.NumAliveVertices(), 0);
+  const std::vector<VertexId> solution = kernelizer.Lift({});
+  EXPECT_EQ(solution.size(), 3u);
+  EXPECT_TRUE(IsIndependent(g, solution));
+}
+
+TEST(KernelizerTest, LiftedSolutionsAreOptimalOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const int n = 10 + static_cast<int>(rng.NextBounded(15));
+    const StaticGraph g =
+        ErdosRenyiGnm(n, static_cast<int64_t>(n * 1.4), &rng).ToStatic();
+    Kernelizer kernelizer(g);
+    kernelizer.Run();
+    const StaticGraph kernel = kernelizer.Kernel();
+    // Solve the kernel by brute force and lift.
+    ASSERT_LE(kernel.NumVertices(), 64);
+    std::vector<VertexId> kernel_solution;
+    for (VertexId v : BruteForceMis(kernel)) {
+      kernel_solution.push_back(kernel.OriginalId(v));
+    }
+    const std::vector<VertexId> lifted = kernelizer.Lift(kernel_solution);
+    EXPECT_TRUE(IsIndependent(g, lifted)) << "seed " << seed;
+    EXPECT_EQ(static_cast<int>(lifted.size()), BruteForceAlpha(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, MatchesBruteForceOnRandomSweep) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 7);
+    const int n = 8 + static_cast<int>(rng.NextBounded(25));
+    const double density = 0.5 + rng.NextDouble() * 2.0;
+    const StaticGraph g =
+        ErdosRenyiGnm(n, static_cast<int64_t>(n * density), &rng).ToStatic();
+    const ExactMisResult result = SolveExactMis(g);
+    ASSERT_TRUE(result.solved) << "seed " << seed;
+    EXPECT_TRUE(IsIndependent(g, result.solution)) << "seed " << seed;
+    EXPECT_EQ(static_cast<int>(result.solution.size()), BruteForceAlpha(g))
+        << "seed " << seed << " n=" << n;
+  }
+}
+
+TEST(ExactTest, SpecialFamilies) {
+  // alpha(K'_n) = n(n-1)/2 (one subdivision vertex per original edge).
+  const StaticGraph kp5 = SubdivideEdges(CompleteGraph(5)).ToStatic();
+  const ExactMisResult r = SolveExactMis(kp5);
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.solution.size(), 10u);
+  // alpha(Q_4) = 8 (even-weight vertices).
+  const ExactMisResult q = SolveExactMis(Hypercube(4).ToStatic());
+  ASSERT_TRUE(q.solved);
+  EXPECT_EQ(q.solution.size(), 8u);
+}
+
+TEST(ExactTest, SolvesMidSizePowerLawGraphs) {
+  Rng rng(42);
+  const StaticGraph g = ChungLuPowerLaw(3000, 2.3, 8.0, &rng).ToStatic();
+  const ExactMisResult result = SolveExactMis(g);
+  ASSERT_TRUE(result.solved);
+  EXPECT_TRUE(IsIndependent(g, result.solution));
+  // Sanity: exact is at least as large as greedy.
+  EXPECT_GE(result.solution.size(), GreedyMis(g).size());
+}
+
+TEST(ExactTest, BudgetExhaustionIsReported) {
+  Rng rng(11);
+  const StaticGraph g = ErdosRenyiGnm(200, 3000, &rng).ToStatic();
+  ExactMisOptions options;
+  options.max_nodes = 3;
+  const ExactMisResult result = SolveExactMis(g, options);
+  EXPECT_FALSE(result.solved);
+}
+
+}  // namespace
+}  // namespace dynmis

@@ -1,0 +1,157 @@
+// Generator tests: structural laws (sizes, degrees, determinism), power-law
+// shape of the configuration-model / Chung-Lu outputs, and the special
+// families (hypercubes, subdivisions) used by the Theorem 3 constructions.
+
+#include "src/graph/generators.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/graph/degree_stats.h"
+
+namespace dynmis {
+namespace {
+
+void ExpectSimple(const EdgeListGraph& g) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& [u, v] : g.edges) {
+    EXPECT_NE(u, v);
+    EXPECT_GE(u, 0);
+    EXPECT_LT(u, g.n);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, g.n);
+    EXPECT_TRUE(seen.insert({std::min(u, v), std::max(u, v)}).second)
+        << "duplicate edge " << u << "," << v;
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiProducesRequestedEdges) {
+  Rng rng(1);
+  const EdgeListGraph g = ErdosRenyiGnm(100, 300, &rng);
+  EXPECT_EQ(g.n, 100);
+  EXPECT_EQ(g.NumEdges(), 300);
+  ExpectSimple(g);
+}
+
+TEST(GeneratorsTest, ErdosRenyiCapsAtCompleteGraph) {
+  Rng rng(2);
+  const EdgeListGraph g = ErdosRenyiGnm(5, 1000, &rng);
+  EXPECT_EQ(g.NumEdges(), 10);
+  ExpectSimple(g);
+}
+
+TEST(GeneratorsTest, ErdosRenyiIsDeterministic) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const EdgeListGraph a = ErdosRenyiGnm(50, 120, &rng_a);
+  const EdgeListGraph b = ErdosRenyiGnm(50, 120, &rng_b);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDegreeLaw) {
+  Rng rng(3);
+  const int n = 500;
+  const int m = 3;
+  const EdgeListGraph g = BarabasiAlbert(n, m, &rng);
+  EXPECT_EQ(g.n, n);
+  // Seed clique of m+1 vertices contributes C(m+1,2); each later vertex m.
+  const int64_t expected = (m + 1) * m / 2 + static_cast<int64_t>(n - m - 1) * m;
+  EXPECT_EQ(g.NumEdges(), expected);
+  ExpectSimple(g);
+  // Every non-seed vertex has degree >= m.
+  std::vector<int> degree(n, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  for (int v = m + 1; v < n; ++v) EXPECT_GE(degree[v], m);
+}
+
+TEST(GeneratorsTest, PowerLawDegreeSequenceRespectsBounds) {
+  Rng rng(4);
+  const std::vector<int> degrees = PowerLawDegreeSequence(1000, 2.5, 1, 50, &rng);
+  int64_t sum = 0;
+  for (int d : degrees) {
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 51);  // Parity fix may add one.
+    sum += d;
+  }
+  EXPECT_EQ(sum % 2, 0);
+  // Power-law with beta 2.5 and dmin 1: well over half the mass at degree 1.
+  int ones = 0;
+  for (int d : degrees) ones += d == 1;
+  EXPECT_GT(ones, 400);
+}
+
+TEST(GeneratorsTest, ConfigurationModelRoughlyMatchesDegrees) {
+  Rng rng(5);
+  std::vector<int> degrees(200, 3);
+  const EdgeListGraph g = ConfigurationModel(degrees, &rng);
+  ExpectSimple(g);
+  // Erasure removes only a few self-loops/multi-edges.
+  EXPECT_GT(g.NumEdges(), 280);
+  EXPECT_LE(g.NumEdges(), 300);
+}
+
+TEST(GeneratorsTest, PowerLawRandomGraphHasHeavyTailExponent) {
+  Rng rng(6);
+  const EdgeListGraph g = PowerLawRandomGraph(20000, 2.5, 1, 140, &rng);
+  ExpectSimple(g);
+  const DegreeStats stats = ComputeDegreeStats(g.ToStatic());
+  const double beta = EstimatePowerLawExponent(stats);
+  EXPECT_GT(beta, 1.8);
+  EXPECT_LT(beta, 3.2);
+}
+
+TEST(GeneratorsTest, ChungLuMeanDegreeNearTarget) {
+  Rng rng(8);
+  const EdgeListGraph g = ChungLuPowerLaw(20000, 2.5, 8.0, &rng);
+  ExpectSimple(g);
+  EXPECT_GT(g.AverageDegree(), 4.0);
+  EXPECT_LT(g.AverageDegree(), 12.0);
+}
+
+TEST(GeneratorsTest, RMatShape) {
+  Rng rng(9);
+  const EdgeListGraph g = RMat(10, 4000, 0.57, 0.19, 0.19, &rng);
+  EXPECT_EQ(g.n, 1024);
+  ExpectSimple(g);
+  EXPECT_GT(g.NumEdges(), 3000);
+}
+
+TEST(GeneratorsTest, DeterministicFamilies) {
+  EXPECT_EQ(CompleteGraph(5).NumEdges(), 10);
+  EXPECT_EQ(PathGraph(5).NumEdges(), 4);
+  EXPECT_EQ(CycleGraph(5).NumEdges(), 5);
+  EXPECT_EQ(StarGraph(6).NumEdges(), 6);
+  const EdgeListGraph q3 = Hypercube(3);
+  EXPECT_EQ(q3.n, 8);
+  EXPECT_EQ(q3.NumEdges(), 12);  // 2^(d-1) * d.
+}
+
+TEST(GeneratorsTest, SubdivideEdgesDoublesEdgesAddsVertices) {
+  const EdgeListGraph k4 = CompleteGraph(4);
+  const EdgeListGraph sub = SubdivideEdges(k4);
+  EXPECT_EQ(sub.n, 4 + 6);
+  EXPECT_EQ(sub.NumEdges(), 12);
+  ExpectSimple(sub);
+  // Original vertices only touch subdivision vertices.
+  for (const auto& [u, v] : sub.edges) {
+    EXPECT_TRUE((u < 4) != (v < 4));
+  }
+}
+
+TEST(GeneratorsTest, RandomRegularDegreesCloseToTarget) {
+  Rng rng(10);
+  const EdgeListGraph g = RandomRegular(100, 4, &rng);
+  ExpectSimple(g);
+  std::vector<int> degree(g.n, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  for (int v = 0; v < g.n; ++v) EXPECT_LE(degree[v], 5);
+}
+
+}  // namespace
+}  // namespace dynmis

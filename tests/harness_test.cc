@@ -1,0 +1,108 @@
+// Experiment harness: factory coverage, replay consistency across
+// maintainers, metric arithmetic, and the report cells.
+
+#include "src/harness/experiment.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/harness/metrics.h"
+#include "src/harness/report.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace {
+
+TEST(MetricsTest, GapAndAccuracy) {
+  QualityMetrics m{1000, 990};
+  EXPECT_EQ(m.Gap(), 10);
+  EXPECT_NEAR(m.Accuracy(), 0.99, 1e-9);
+  EXPECT_EQ(m.GapString(), "10");
+  EXPECT_EQ(m.AccuracyString(), "99.00%");
+  QualityMetrics better{1000, 1003};
+  EXPECT_EQ(better.GapString(), "3^");  // Beat the reference.
+  QualityMetrics zero{0, 0};
+  EXPECT_EQ(zero.Accuracy(), 1.0);
+}
+
+TEST(ExperimentTest, AllFactoriesProduceWorkingMaintainers) {
+  Rng rng(2);
+  const EdgeListGraph base = ErdosRenyiGnm(40, 80, &rng);
+  for (AlgoKind kind :
+       {AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
+        AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap,
+        AlgoKind::kDyOneSwapPerturb, AlgoKind::kDyTwoSwapPerturb,
+        AlgoKind::kDyOneSwapLazy, AlgoKind::kDyTwoSwapLazy, AlgoKind::kKSwap1,
+        AlgoKind::kKSwap2, AlgoKind::kKSwap3, AlgoKind::kKSwap4,
+        AlgoKind::kRecompute}) {
+    DynamicGraph g = base.ToDynamic();
+    auto algo = MakeMaintainer(kind, &g);
+    ASSERT_NE(algo, nullptr);
+    algo->Initialize({});
+    EXPECT_GT(algo->SolutionSize(), 0) << AlgoKindName(kind);
+    algo->InsertEdge(0, 1 + (g.HasEdge(0, 1) ? 1 : 0));
+    EXPECT_GT(algo->SolutionSize(), 0) << AlgoKindName(kind);
+  }
+}
+
+TEST(ExperimentTest, RunExperimentProducesConsistentFinalGraphs) {
+  Rng rng(5);
+  const EdgeListGraph base = ErdosRenyiGnm(60, 150, &rng);
+  ExperimentConfig config;
+  config.initial = InitialSolution::kGreedy;
+  config.num_updates = 200;
+  config.stream.seed = 7;
+  config.compute_final_alpha = true;
+  const ExperimentResult result = RunExperiment(
+      base, {AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap, AlgoKind::kDyARW},
+      config);
+  ASSERT_EQ(result.algos.size(), 3u);
+  for (const AlgoRunResult& run : result.algos) {
+    EXPECT_TRUE(run.finished);
+    EXPECT_EQ(run.updates_applied, 200);
+    EXPECT_GT(run.final_size, 0);
+    EXPECT_GT(run.memory_bytes, 0u);
+  }
+  // Everyone processed the same final graph, whose alpha was computed.
+  EXPECT_GT(result.final_alpha, 0);
+  EXPECT_GT(result.final_n, 0);
+  // No maintained solution can exceed alpha.
+  for (const AlgoRunResult& run : result.algos) {
+    EXPECT_LE(run.final_size, result.final_alpha) << run.name;
+  }
+  // DyTwoSwap >= DyOneSwap is the expected quality ordering here.
+  EXPECT_GE(FindRun(result, "DyTwoSwap").final_size,
+            FindRun(result, "DyOneSwap").final_size - 1);
+}
+
+TEST(ExperimentTest, TimeLimitMarksDnf) {
+  Rng rng(6);
+  const EdgeListGraph base = ErdosRenyiGnm(2000, 8000, &rng);
+  ExperimentConfig config;
+  config.initial = InitialSolution::kGreedy;
+  config.num_updates = 50000;  // Far more than the budget allows...
+  config.stream.seed = 3;
+  config.time_limit_seconds = 0.02;  // ...in 20 ms.
+  const ExperimentResult result =
+      RunExperiment(base, {AlgoKind::kRecompute}, config);
+  const AlgoRunResult& run = result.algos.front();
+  EXPECT_FALSE(run.finished);
+  EXPECT_LT(run.updates_applied, config.num_updates);
+  EXPECT_EQ(GapCell(run, 100), "-");
+  EXPECT_EQ(TimeCell(run).substr(0, 3), "DNF");
+}
+
+TEST(ExperimentTest, InitialSolutionModes) {
+  Rng rng(8);
+  const EdgeListGraph base = ErdosRenyiGnm(50, 100, &rng);
+  const auto greedy = ComputeInitialSolution(base, InitialSolution::kGreedy,
+                                             100, 1000000);
+  const auto arw =
+      ComputeInitialSolution(base, InitialSolution::kArw, 100, 1000000);
+  const auto exact =
+      ComputeInitialSolution(base, InitialSolution::kExact, 100, 1000000);
+  EXPECT_GE(arw.size(), greedy.size());
+  EXPECT_GE(exact.size(), arw.size());
+}
+
+}  // namespace
+}  // namespace dynmis

@@ -1,0 +1,183 @@
+// Direct unit tests of MisState: count bookkeeping, intrusive tightness
+// lists, transition logging, edge hooks, and eager/lazy agreement.
+
+#include "src/core/solution.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace {
+
+std::vector<VertexId> Sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(MisStateTest, MoveInUpdatesCounts) {
+  DynamicGraph g = StarGraph(3).ToDynamic();  // Hub 0, leaves 1..3.
+  MisState state(&g, /*k=*/1, /*lazy=*/false);
+  state.MoveIn(0);
+  EXPECT_TRUE(state.InSolution(0));
+  EXPECT_EQ(state.SolutionSize(), 1);
+  for (VertexId leaf : {1, 2, 3}) {
+    EXPECT_EQ(state.Count(leaf), 1);
+    EXPECT_EQ(state.OwnerOf(leaf), 0);
+  }
+  EXPECT_EQ(state.Bar1Size(0), 3);
+  std::vector<VertexId> bar1;
+  state.CollectBar1(0, &bar1);
+  EXPECT_EQ(Sorted(bar1), (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(MisStateTest, MoveOutRestoresState) {
+  DynamicGraph g = StarGraph(3).ToDynamic();
+  MisState state(&g, 1, false);
+  state.MoveIn(0);
+  state.MoveOut(0);
+  EXPECT_FALSE(state.InSolution(0));
+  EXPECT_EQ(state.SolutionSize(), 0);
+  EXPECT_EQ(state.Count(0), 0);
+  for (VertexId leaf : {1, 2, 3}) EXPECT_EQ(state.Count(leaf), 0);
+  state.CheckConsistency(/*expect_maximal=*/false);
+}
+
+TEST(MisStateTest, TransitionLogRecordsTightness) {
+  DynamicGraph g = PathGraph(3).ToDynamic();  // 0-1-2.
+  MisState state(&g, 1, false);
+  (void)state.TakeTransitions();
+  state.MoveIn(1);
+  const std::vector<VertexId> transitions = state.TakeTransitions();
+  EXPECT_EQ(Sorted(transitions), (std::vector<VertexId>{0, 2}));
+  EXPECT_TRUE(state.TakeTransitions().empty());  // Drained.
+}
+
+TEST(MisStateTest, Bar2TrackingWithKTwo) {
+  // Square 0-1-2-3-0: solution {0, 2}; vertices 1 and 3 are 2-tight.
+  DynamicGraph g = CycleGraph(4).ToDynamic();
+  MisState state(&g, /*k=*/2, /*lazy=*/false);
+  state.MoveIn(0);
+  state.MoveIn(2);
+  std::vector<VertexId> bar2;
+  state.CollectBar2(0, &bar2);
+  EXPECT_EQ(Sorted(bar2), (std::vector<VertexId>{1, 3}));
+  std::vector<VertexId> pair;
+  state.CollectBar2Pair(0, 2, &pair);
+  EXPECT_EQ(Sorted(pair), (std::vector<VertexId>{1, 3}));
+  VertexId a, b;
+  state.OwnersOf2(1, &a, &b);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 2);
+  state.CheckConsistency(/*expect_maximal=*/true);
+}
+
+TEST(MisStateTest, EdgeHooksMaintainCounts) {
+  DynamicGraph g(4);
+  MisState state(&g, 2, false);
+  state.MoveIn(0);
+  state.MoveIn(1);
+  // Connect 2 to both solution vertices.
+  EdgeId e1 = g.AddEdge(0, 2);
+  state.OnEdgeAdded(e1);
+  EXPECT_EQ(state.Count(2), 1);
+  EdgeId e2 = g.AddEdge(1, 2);
+  state.OnEdgeAdded(e2);
+  EXPECT_EQ(state.Count(2), 2);
+  state.CheckConsistency(false);
+  // Remove one: back to 1-tight, relinked into bar1.
+  state.OnEdgeRemoving(e2);
+  g.RemoveEdge(e2);
+  EXPECT_EQ(state.Count(2), 1);
+  EXPECT_EQ(state.OwnerOf(2), 0);
+  state.CheckConsistency(false);
+}
+
+TEST(MisStateTest, VertexRemovalHookDetaches) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  MisState state(&g, 1, false);
+  state.MoveIn(1);
+  state.MoveIn(2);
+  EXPECT_EQ(state.Count(0), 2);
+  state.OnVertexRemoving(0);
+  g.RemoveVertex(0);
+  EXPECT_EQ(state.SolutionSize(), 2);
+  state.CheckConsistency(false);
+}
+
+TEST(MisStateTest, BothEndpointsInSolutionTransient) {
+  DynamicGraph g(2);
+  MisState state(&g, 1, false);
+  state.MoveIn(0);
+  state.MoveIn(1);
+  const EdgeId e = g.AddEdge(0, 1);
+  state.OnEdgeAdded(e);  // No-op: caller must resolve.
+  state.MoveOut(1);      // Handles the neighbour-in-solution case.
+  EXPECT_EQ(state.Count(1), 1);
+  EXPECT_EQ(state.OwnerOf(1), 0);
+  state.CheckConsistency(true);
+}
+
+TEST(MisStateTest, LazyModeAgreesWithEagerOnQueries) {
+  Rng rng(17);
+  const EdgeListGraph base = ErdosRenyiGnm(30, 70, &rng);
+  DynamicGraph g1 = base.ToDynamic();
+  DynamicGraph g2 = base.ToDynamic();
+  MisState eager(&g1, 2, false);
+  MisState lazy(&g2, 2, true);
+  // Insert the same greedy-ish solution into both.
+  for (VertexId v = 0; v < g1.VertexCapacity(); ++v) {
+    if (!eager.InSolution(v) && eager.Count(v) == 0) {
+      eager.MoveIn(v);
+      lazy.MoveIn(v);
+    }
+  }
+  for (VertexId v = 0; v < g1.VertexCapacity(); ++v) {
+    ASSERT_EQ(eager.InSolution(v), lazy.InSolution(v));
+    ASSERT_EQ(eager.Count(v), lazy.Count(v));
+    if (eager.InSolution(v)) {
+      ASSERT_EQ(eager.Bar1Size(v), lazy.Bar1Size(v));
+      std::vector<VertexId> be, bl;
+      eager.CollectBar1(v, &be);
+      lazy.CollectBar1(v, &bl);
+      ASSERT_EQ(Sorted(be), Sorted(bl));
+      std::vector<VertexId> b2e, b2l;
+      eager.CollectBar2(v, &b2e);
+      lazy.CollectBar2(v, &b2l);
+      ASSERT_EQ(Sorted(b2e), Sorted(b2l));
+    } else if (eager.Count(v) == 1) {
+      // With a unique solution neighbour, both modes must return it. (For
+      // count >= 2 OwnerOf returns an arbitrary solution neighbour and the
+      // modes may legitimately differ.)
+      ASSERT_EQ(eager.OwnerOf(v), lazy.OwnerOf(v));
+    }
+  }
+}
+
+TEST(MisStateTest, MemoryEagerExceedsLazy) {
+  Rng rng(4);
+  const EdgeListGraph base = ErdosRenyiGnm(200, 800, &rng);
+  DynamicGraph g1 = base.ToDynamic();
+  DynamicGraph g2 = base.ToDynamic();
+  MisState eager(&g1, 2, false);
+  MisState lazy(&g2, 2, true);
+  EXPECT_GT(eager.MemoryUsageBytes(), 4 * lazy.MemoryUsageBytes());
+}
+
+TEST(MisStateTest, SolutionListsMatchStatus) {
+  DynamicGraph g = PathGraph(5).ToDynamic();
+  MisState state(&g, 1, false);
+  state.MoveIn(0);
+  state.MoveIn(2);
+  state.MoveIn(4);
+  EXPECT_EQ(state.Solution(), (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(state.SolutionSize(), 3);
+}
+
+}  // namespace
+}  // namespace dynmis

@@ -1,0 +1,151 @@
+// Targeted unit tests for each kernelization rule (degree-0/1, triangle,
+// degree-2 fold, domination, unconfined), including lift correctness on
+// instances crafted to exercise exactly one rule, plus parameterized
+// optimality sweeps of kernel+brute-force against plain brute force.
+
+#include "src/static_mis/reductions.h"
+
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/static_mis/brute_force.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace {
+
+bool IsIndependent(const StaticGraph& g, const std::vector<VertexId>& set) {
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      if (g.HasEdge(set[i], set[j])) return false;
+    }
+  }
+  return true;
+}
+
+// Solves via kernelize + brute-force-on-kernel + lift.
+std::vector<VertexId> KernelSolve(const StaticGraph& g) {
+  Kernelizer kernelizer(g);
+  kernelizer.Run();
+  const StaticGraph kernel = kernelizer.Kernel();
+  EXPECT_LE(kernel.NumVertices(), 64) << "kernel too large for this test";
+  std::vector<VertexId> kernel_solution;
+  for (VertexId v : BruteForceMis(kernel)) {
+    kernel_solution.push_back(kernel.OriginalId(v));
+  }
+  return kernelizer.Lift(kernel_solution);
+}
+
+TEST(ReductionsTest, IsolatedVerticesAreTaken) {
+  const StaticGraph g(4, {});
+  Kernelizer kernelizer(g);
+  kernelizer.Run();
+  EXPECT_EQ(kernelizer.NumAliveVertices(), 0);
+  EXPECT_EQ(kernelizer.Lift({}).size(), 4u);
+}
+
+TEST(ReductionsTest, PendantTakesLeafNotHub) {
+  // Star: every leaf is a pendant; the hub must be excluded.
+  const StaticGraph g = StarGraph(5).ToStatic();
+  Kernelizer kernelizer(g);
+  kernelizer.Run();
+  const std::vector<VertexId> solution = kernelizer.Lift({});
+  EXPECT_EQ(solution.size(), 5u);
+  EXPECT_TRUE(IsIndependent(g, solution));
+  for (VertexId v : solution) EXPECT_NE(v, 0);  // Hub excluded.
+}
+
+TEST(ReductionsTest, TriangleDegreeTwoIncludes) {
+  // Triangle with a tail: 0-1-2-0 plus 2-3. Vertex with adjacent nbrs is
+  // taken.
+  const StaticGraph g(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const std::vector<VertexId> solution = KernelSolve(g);
+  EXPECT_EQ(solution.size(), 2u);  // alpha = 2 (e.g. {0 or 1, 3}).
+  EXPECT_TRUE(IsIndependent(g, solution));
+}
+
+TEST(ReductionsTest, DegreeTwoFoldOnPathParity) {
+  // Even paths exercise the fold's both-branches: alpha(P_n) = ceil(n/2).
+  for (int n = 2; n <= 12; ++n) {
+    const StaticGraph g = PathGraph(n).ToStatic();
+    const std::vector<VertexId> solution = KernelSolve(g);
+    EXPECT_EQ(static_cast<int>(solution.size()), (n + 1) / 2) << "P_" << n;
+    EXPECT_TRUE(IsIndependent(g, solution)) << "P_" << n;
+  }
+}
+
+TEST(ReductionsTest, FoldLiftChoosesEndpointsWhenMergedVertexChosen) {
+  // Path 0-1-2 plus pendants on 0 and 2 forcing {0, 2} into the optimum:
+  // the fold of vertex 1 must lift to {0, 2}, not {1}.
+  const StaticGraph g(5, {{0, 1}, {1, 2}, {0, 3}, {2, 4}});
+  const std::vector<VertexId> solution = KernelSolve(g);
+  EXPECT_EQ(static_cast<int>(solution.size()), BruteForceAlpha(g));
+  EXPECT_TRUE(IsIndependent(g, solution));
+}
+
+TEST(ReductionsTest, DominationExcludesSuperset) {
+  // N[3] = {0,1,2,3} contains N[0] = {0,1,2} (0 adjacent to 1,2; 3 adjacent
+  // to everyone): 3 is dominated and must not survive into the solution
+  // when a better choice exists.
+  const StaticGraph g(4, {{0, 1}, {0, 2}, {3, 0}, {3, 1}, {3, 2}});
+  const std::vector<VertexId> solution = KernelSolve(g);
+  EXPECT_EQ(static_cast<int>(solution.size()), BruteForceAlpha(g));
+  EXPECT_TRUE(IsIndependent(g, solution));
+}
+
+TEST(ReductionsTest, CliquesReduceToSingleton) {
+  for (int n : {3, 5, 8, 12}) {
+    const std::vector<VertexId> solution =
+        KernelSolve(CompleteGraph(n).ToStatic());
+    EXPECT_EQ(solution.size(), 1u) << "K_" << n;
+  }
+}
+
+TEST(ReductionsTest, AlphaOffsetAccountsForFolds) {
+  // C6 reduces fully by folds; every fold contributes exactly 1.
+  Kernelizer kernelizer(CycleGraph(6).ToStatic());
+  kernelizer.Run();
+  EXPECT_EQ(kernelizer.AlphaOffset(), 3);
+}
+
+struct SweepParam {
+  int n;
+  double density;
+  uint64_t seed;
+};
+
+class ReductionsOptimalityTest : public ::testing::TestWithParam<SweepParam> {};
+
+// Kernelize + exact-on-kernel must equal plain brute force: reductions are
+// exact, never lossy.
+TEST_P(ReductionsOptimalityTest, KernelPreservesOptimum) {
+  const SweepParam param = GetParam();
+  Rng rng(SplitMix64(param.seed * 31));
+  const StaticGraph g =
+      ErdosRenyiGnm(param.n, static_cast<int64_t>(param.n * param.density),
+                    &rng)
+          .ToStatic();
+  const std::vector<VertexId> solution = KernelSolve(g);
+  EXPECT_TRUE(IsIndependent(g, solution));
+  EXPECT_EQ(static_cast<int>(solution.size()), BruteForceAlpha(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReductionsOptimalityTest,
+    ::testing::Values(SweepParam{10, 0.8, 1}, SweepParam{14, 1.2, 2},
+                      SweepParam{18, 1.6, 3}, SweepParam{22, 2.0, 4},
+                      SweepParam{26, 1.0, 5}, SweepParam{30, 1.4, 6},
+                      SweepParam{16, 2.5, 7}, SweepParam{20, 0.6, 8},
+                      SweepParam{24, 1.8, 9}, SweepParam{28, 2.2, 10}));
+
+// Power-law instances reduce essentially to nothing (the phenomenon the
+// easy/hard split and Fig 10's flat DG* sizes rest on).
+TEST(ReductionsTest, PowerLawGraphsKernelizeAway) {
+  Rng rng(77);
+  const StaticGraph g = ChungLuPowerLaw(4000, 2.4, 6.0, &rng).ToStatic();
+  Kernelizer kernelizer(g);
+  kernelizer.Run();
+  EXPECT_LT(kernelizer.NumAliveVertices(), g.NumVertices() / 20);
+}
+
+}  // namespace
+}  // namespace dynmis

@@ -1,0 +1,262 @@
+// dynmis_cli: run any of the library's dynamic MIS maintainers over a graph
+// file and an update stream, reporting solution size, response time and
+// memory. The workhorse for ad-hoc experiments on real SNAP files.
+//
+//   dynmis_cli --graph FILE [--algo NAME] [--initial MODE]
+//              [--updates FILE | --random N] [--seed S]
+//              [--edge-fraction F] [--insert-fraction F] [--degree-bias]
+//              [--report-every K] [--save-trace FILE] [--csv]
+//
+//   --graph FILE       SNAP-format edge list (required).
+//   --algo NAME        one of: DGOneDIS DGTwoDIS DyARW DyOneSwap DyTwoSwap
+//                      DyOneSwap* DyTwoSwap* KSwap1..KSwap4 Recompute
+//                      (default DyTwoSwap).
+//   --initial MODE     greedy | arw | exact (default greedy).
+//   --updates FILE     replay an update trace (see update_trace_io.h).
+//   --random N         generate N random updates instead (default 10000).
+//   --seed S           RNG seed for --random (default 1).
+//   --edge-fraction F  fraction of edge ops in the random stream (0.9).
+//   --insert-fraction F  fraction of insertions (0.5).
+//   --degree-bias      degree-proportional endpoints (default uniform).
+//   --report-every K   print a progress row every K updates.
+//   --save-trace FILE  write the applied update sequence to FILE.
+//   --csv              machine-readable progress rows.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/graph/edge_list_io.h"
+#include "src/graph/update_trace_io.h"
+#include "src/harness/experiment.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  std::string algo = "DyTwoSwap";
+  std::string initial = "greedy";
+  std::string updates_path;
+  std::string save_trace_path;
+  int random_updates = 10000;
+  uint64_t seed = 1;
+  double edge_fraction = 0.9;
+  double insert_fraction = 0.5;
+  bool degree_bias = false;
+  int report_every = 0;
+  bool csv = false;
+};
+
+bool ParseAlgo(const std::string& name, AlgoKind* kind) {
+  static const std::pair<const char*, AlgoKind> kMap[] = {
+      {"DGOneDIS", AlgoKind::kDGOneDIS},
+      {"DGTwoDIS", AlgoKind::kDGTwoDIS},
+      {"DyARW", AlgoKind::kDyARW},
+      {"DyOneSwap", AlgoKind::kDyOneSwap},
+      {"DyTwoSwap", AlgoKind::kDyTwoSwap},
+      {"DyOneSwap*", AlgoKind::kDyOneSwapPerturb},
+      {"DyTwoSwap*", AlgoKind::kDyTwoSwapPerturb},
+      {"DyOneSwap-lazy", AlgoKind::kDyOneSwapLazy},
+      {"DyTwoSwap-lazy", AlgoKind::kDyTwoSwapLazy},
+      {"KSwap1", AlgoKind::kKSwap1},
+      {"KSwap2", AlgoKind::kKSwap2},
+      {"KSwap3", AlgoKind::kKSwap3},
+      {"KSwap4", AlgoKind::kKSwap4},
+      {"Recompute", AlgoKind::kRecompute},
+  };
+  for (const auto& [key, value] : kMap) {
+    if (name == key) {
+      *kind = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --graph FILE [--algo NAME] [--initial MODE]\n"
+               "          [--updates FILE | --random N] [--seed S]\n"
+               "          [--edge-fraction F] [--insert-fraction F]\n"
+               "          [--degree-bias] [--report-every K]\n"
+               "          [--save-trace FILE] [--csv]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--graph") {
+      const char* v = next();
+      if (!v) return false;
+      options->graph_path = v;
+    } else if (arg == "--algo") {
+      const char* v = next();
+      if (!v) return false;
+      options->algo = v;
+    } else if (arg == "--initial") {
+      const char* v = next();
+      if (!v) return false;
+      options->initial = v;
+    } else if (arg == "--updates") {
+      const char* v = next();
+      if (!v) return false;
+      options->updates_path = v;
+    } else if (arg == "--save-trace") {
+      const char* v = next();
+      if (!v) return false;
+      options->save_trace_path = v;
+    } else if (arg == "--random") {
+      const char* v = next();
+      if (!v) return false;
+      options->random_updates = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--edge-fraction") {
+      const char* v = next();
+      if (!v) return false;
+      options->edge_fraction = std::atof(v);
+    } else if (arg == "--insert-fraction") {
+      const char* v = next();
+      if (!v) return false;
+      options->insert_fraction = std::atof(v);
+    } else if (arg == "--report-every") {
+      const char* v = next();
+      if (!v) return false;
+      options->report_every = std::atoi(v);
+    } else if (arg == "--degree-bias") {
+      options->degree_bias = true;
+    } else if (arg == "--csv") {
+      options->csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options->graph_path.empty();
+}
+
+int Run(const CliOptions& options) {
+  AlgoKind kind;
+  if (!ParseAlgo(options.algo, &kind)) {
+    std::fprintf(stderr, "unknown algorithm: %s\n", options.algo.c_str());
+    return 2;
+  }
+  InitialSolution initial;
+  if (options.initial == "greedy") {
+    initial = InitialSolution::kGreedy;
+  } else if (options.initial == "arw") {
+    initial = InitialSolution::kArw;
+  } else if (options.initial == "exact") {
+    initial = InitialSolution::kExact;
+  } else {
+    std::fprintf(stderr, "unknown initial mode: %s\n",
+                 options.initial.c_str());
+    return 2;
+  }
+
+  const auto graph = LoadEdgeList(options.graph_path);
+  if (!graph) {
+    std::fprintf(stderr, "cannot load graph: %s\n",
+                 options.graph_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "graph: n=%d m=%lld avg-deg=%.2f\n", graph->n,
+               static_cast<long long>(graph->NumEdges()),
+               graph->AverageDegree());
+
+  std::vector<GraphUpdate> updates;
+  if (!options.updates_path.empty()) {
+    const auto loaded = LoadUpdateTrace(options.updates_path);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load updates: %s\n",
+                   options.updates_path.c_str());
+      return 1;
+    }
+    updates = *loaded;
+  } else {
+    UpdateStreamOptions stream;
+    stream.seed = options.seed;
+    stream.edge_op_fraction = options.edge_fraction;
+    stream.insert_fraction = options.insert_fraction;
+    stream.bias = options.degree_bias ? EndpointBias::kDegreeProportional
+                                      : EndpointBias::kUniform;
+    updates =
+        MakeUpdateSequence(graph->ToDynamic(), options.random_updates, stream);
+  }
+  if (!options.save_trace_path.empty() &&
+      !SaveUpdateTrace(updates, options.save_trace_path)) {
+    std::fprintf(stderr, "cannot write trace: %s\n",
+                 options.save_trace_path.c_str());
+    return 1;
+  }
+
+  DynamicGraph g = graph->ToDynamic();
+  std::unique_ptr<DynamicMisMaintainer> algo = MakeMaintainer(kind, &g);
+  Timer init_timer;
+  algo->Initialize(
+      ComputeInitialSolution(*graph, initial, /*arw_iterations=*/500,
+                             /*exact_node_budget=*/2'000'000,
+                             /*exact_seconds_budget=*/30.0));
+  std::fprintf(stderr, "initial |I|=%lld (%.3fs, %s start)\n",
+               static_cast<long long>(algo->SolutionSize()),
+               init_timer.ElapsedSeconds(), options.initial.c_str());
+
+  if (options.report_every > 0) {
+    std::printf(options.csv ? "updates,size,n,m,seconds\n"
+                            : "%10s %10s %10s %12s %10s\n",
+                "updates", "|I|", "n", "m", "seconds");
+  }
+  Timer timer;
+  int64_t applied = 0;
+  for (const GraphUpdate& update : updates) {
+    algo->Apply(update);
+    ++applied;
+    if (options.report_every > 0 && applied % options.report_every == 0) {
+      if (options.csv) {
+        std::printf("%lld,%lld,%d,%lld,%.6f\n",
+                    static_cast<long long>(applied),
+                    static_cast<long long>(algo->SolutionSize()),
+                    g.NumVertices(), static_cast<long long>(g.NumEdges()),
+                    timer.ElapsedSeconds());
+      } else {
+        std::printf("%10lld %10lld %10d %12lld %9.3fs\n",
+                    static_cast<long long>(applied),
+                    static_cast<long long>(algo->SolutionSize()),
+                    g.NumVertices(), static_cast<long long>(g.NumEdges()),
+                    timer.ElapsedSeconds());
+      }
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+  std::fprintf(stderr,
+               "%s: %lld updates in %.3fs (%.2f us/update), final |I|=%lld, "
+               "memory=%s\n",
+               algo->Name().c_str(), static_cast<long long>(applied), seconds,
+               applied > 0 ? seconds / applied * 1e6 : 0.0,
+               static_cast<long long>(algo->SolutionSize()),
+               FormatBytes(algo->MemoryUsageBytes()).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main(int argc, char** argv) {
+  dynmis::CliOptions options;
+  if (!dynmis::ParseArgs(argc, argv, &options)) {
+    return dynmis::Usage(argv[0]);
+  }
+  return dynmis::Run(options);
+}
