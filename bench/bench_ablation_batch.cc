@@ -10,8 +10,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
-#include "src/core/one_swap.h"
-#include "src/core/two_swap.h"
+#include "dynmis/registry.h"
 #include "src/graph/datasets.h"
 #include "src/graph/update_stream.h"
 #include "src/util/table.h"
@@ -38,12 +37,9 @@ void Run() {
   for (const bool two_swap : {false, true}) {
     for (const int block : {1, 16, 256, 4096}) {
       DynamicGraph g = base.ToDynamic();
-      std::unique_ptr<DynamicMisMaintainer> algo;
-      if (two_swap) {
-        algo = std::make_unique<DyTwoSwap>(&g);
-      } else {
-        algo = std::make_unique<DyOneSwap>(&g);
-      }
+      std::unique_ptr<DynamicMisMaintainer> algo =
+          MaintainerRegistry::Global().Create(
+              two_swap ? "DyTwoSwap" : "DyOneSwap", &g);
       algo->Initialize({});
       Timer timer;
       if (block == 1) {

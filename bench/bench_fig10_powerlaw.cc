@@ -13,9 +13,8 @@
 namespace dynmis {
 namespace {
 
-const std::vector<AlgoKind> kAlgos = {
-    AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-    AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap};
+const std::vector<MaintainerConfig> kAlgos = {
+    "DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap"};
 
 void Run() {
   const int n = 20000;
@@ -26,7 +25,7 @@ void Run() {
       n, updates);
   bench::PrintScaleNote();
   std::vector<std::string> headers = {"beta", "m"};
-  for (AlgoKind kind : kAlgos) headers.push_back(AlgoKindName(kind));
+  for (const MaintainerConfig& algo : kAlgos) headers.push_back(algo.algorithm);
   TablePrinter time_table(headers);
   TablePrinter gap_table(headers);
   TablePrinter acc_table(headers);
@@ -50,8 +49,8 @@ void Run() {
         FormatCount(base.NumEdges())};
     std::vector<std::string> gap_row = time_row;
     std::vector<std::string> acc_row = time_row;
-    for (AlgoKind kind : kAlgos) {
-      const AlgoRunResult& run = FindRun(result, AlgoKindName(kind));
+    for (const MaintainerConfig& algo : kAlgos) {
+      const AlgoRunResult& run = FindRun(result, algo.algorithm);
       time_row.push_back(TimeCell(run));
       gap_row.push_back(GapCell(run, reference));
       acc_row.push_back(AccuracyCell(run, reference));

@@ -14,16 +14,15 @@
 namespace dynmis {
 namespace {
 
-const std::vector<AlgoKind> kAlgos = {
-    AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-    AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap};
+const std::vector<MaintainerConfig> kAlgos = {
+    "DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap"};
 
 void Run() {
   std::printf(
       "=== Fig 6: response time & memory on hard graphs (heavy batch) ===\n");
   bench::PrintScaleNote();
   std::vector<std::string> headers = {"Graph", "#upd"};
-  for (AlgoKind kind : kAlgos) headers.push_back(AlgoKindName(kind));
+  for (const MaintainerConfig& algo : kAlgos) headers.push_back(algo.algorithm);
   TablePrinter time_table(headers);
   TablePrinter mem_table(headers);
   for (const DatasetSpec& spec : HardDatasets()) {
@@ -40,8 +39,8 @@ void Run() {
                                          FormatCount(config.num_updates)};
     std::vector<std::string> mem_row = {spec.name,
                                         FormatCount(config.num_updates)};
-    for (AlgoKind kind : kAlgos) {
-      const AlgoRunResult& run = FindRun(result, AlgoKindName(kind));
+    for (const MaintainerConfig& algo : kAlgos) {
+      const AlgoRunResult& run = FindRun(result, algo.algorithm);
       time_row.push_back(TimeCell(run));
       mem_row.push_back(MemoryCell(run));
     }

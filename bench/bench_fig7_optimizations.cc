@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/core/k_swap.h"
+#include "dynmis/registry.h"
 #include "src/graph/datasets.h"
 #include "src/harness/experiment.h"
 #include "src/harness/report.h"
@@ -38,8 +38,7 @@ void RunLazyAblation(int updates) {
     config.stream.bias = EndpointBias::kDegreeProportional;
     const ExperimentResult result = RunExperiment(
         base,
-        {AlgoKind::kDyOneSwap, AlgoKind::kDyOneSwapLazy, AlgoKind::kDyTwoSwap,
-         AlgoKind::kDyTwoSwapLazy},
+        {"DyOneSwap", "DyOneSwap-lazy", "DyTwoSwap", "DyTwoSwap-lazy"},
         config);
     const AlgoRunResult& one = FindRun(result, "DyOneSwap");
     const AlgoRunResult& one_l = FindRun(result, "DyOneSwap-lazy");
@@ -66,9 +65,7 @@ void RunPerturbation(int updates) {
     config.stream.seed = spec->seed * 5 + 9;
     config.stream.bias = EndpointBias::kDegreeProportional;
     const ExperimentResult result = RunExperiment(
-        base,
-        {AlgoKind::kDyOneSwap, AlgoKind::kDyOneSwapPerturb,
-         AlgoKind::kDyTwoSwap, AlgoKind::kDyTwoSwapPerturb},
+        base, {"DyOneSwap", "DyOneSwap*", "DyTwoSwap", "DyTwoSwap*"},
         config);
     table.AddRow({name, TimeCell(FindRun(result, "DyOneSwap")),
                   TimeCell(FindRun(result, "DyOneSwap*")),
@@ -95,12 +92,13 @@ void RunLazyVsK(int updates) {
     double seconds[2];
     for (const bool lazy : {false, true}) {
       DynamicGraph g = initial;
-      MaintainerOptions options;
-      options.lazy = lazy;
-      KSwapMaintainer algo(&g, k, options);
-      algo.Initialize(initial_solution);
+      MaintainerConfig config("KSwap");
+      config.k = k;
+      config.lazy = lazy;
+      auto algo = MaintainerRegistry::Global().Create(config, &g);
+      algo->Initialize(initial_solution);
       Timer timer;
-      for (const GraphUpdate& update : updates_seq) algo.Apply(update);
+      for (const GraphUpdate& update : updates_seq) algo->Apply(update);
       seconds[lazy ? 1 : 0] = timer.ElapsedSeconds();
     }
     table.AddRow({std::to_string(k), FormatDouble(seconds[0], 3) + "s",

@@ -13,16 +13,15 @@
 namespace dynmis {
 namespace {
 
-const std::vector<AlgoKind> kAlgos = {
-    AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-    AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap};
+const std::vector<MaintainerConfig> kAlgos = {
+    "DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap"};
 
 void RunGraph(const std::string& name) {
   const DatasetSpec* spec = FindDataset(name);
   const EdgeListGraph base = GenerateDataset(*spec);
   std::printf("\n--- %s ---\n", name.c_str());
   std::vector<std::string> headers = {"#updates"};
-  for (AlgoKind kind : kAlgos) headers.push_back(AlgoKindName(kind));
+  for (const MaintainerConfig& algo : kAlgos) headers.push_back(algo.algorithm);
   TablePrinter time_table(headers);
   TablePrinter gap_table(headers);
   TablePrinter acc_table(headers);
@@ -45,8 +44,8 @@ void RunGraph(const std::string& name) {
     std::vector<std::string> gap_row = {upd_label};
     std::vector<std::string> acc_row = {upd_label};
     const int64_t alpha = have_alpha ? result.final_alpha : result.final_best;
-    for (AlgoKind kind : kAlgos) {
-      const AlgoRunResult& run = FindRun(result, AlgoKindName(kind));
+    for (const MaintainerConfig& algo : kAlgos) {
+      const AlgoRunResult& run = FindRun(result, algo.algorithm);
       time_row.push_back(TimeCell(run));
       gap_row.push_back(GapCell(run, alpha));
       acc_row.push_back(AccuracyCell(run, alpha));

@@ -27,14 +27,11 @@ void Run() {
     config.stream.bias = EndpointBias::kDegreeProportional;
   config.compute_final_alpha = true;
   const ExperimentResult result = RunExperiment(
-      base,
-      {AlgoKind::kKSwap1, AlgoKind::kKSwap2, AlgoKind::kKSwap3,
-       AlgoKind::kKSwap4},
-      config);
+      base, {"KSwap1", "KSwap2", "KSwap3", "KSwap4"}, config);
   TablePrinter table({"k", "time", "size", "gap", "accuracy"});
   for (int k = 1; k <= 4; ++k) {
     const AlgoRunResult& run =
-        FindRun(result, "KSwap(" + std::to_string(k) + ")");
+        FindRun(result, "KSwap(k=" + std::to_string(k) + ")");
     table.AddRow({std::to_string(k), TimeCell(run),
                   FormatCount(run.final_size),
                   GapCell(run, result.final_alpha),

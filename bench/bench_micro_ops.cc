@@ -4,10 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "src/baselines/dgdis.h"
-#include "src/baselines/dyarw.h"
-#include "src/core/one_swap.h"
-#include "src/core/two_swap.h"
+#include "dynmis/registry.h"
 #include "src/graph/generators.h"
 #include "src/graph/update_stream.h"
 #include "src/static_mis/arw.h"
@@ -40,46 +37,35 @@ void BM_DynamicGraphEdgeChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicGraphEdgeChurn)->Arg(10000);
 
-template <typename Maintainer>
-void UpdateLatency(benchmark::State& state) {
+void UpdateLatency(benchmark::State& state, const std::string& algorithm) {
   const EdgeListGraph base = BenchGraph(static_cast<int>(state.range(0)));
   DynamicGraph g = base.ToDynamic();
-  Maintainer algo(&g);
-  algo.Initialize({});
+  auto algo = MaintainerRegistry::Global().Create(algorithm, &g);
+  algo->Initialize({});
   UpdateStreamOptions options;
   options.seed = 99;
   UpdateStreamGenerator gen(options);
   for (auto _ : state) {
-    algo.Apply(gen.Next(g));
+    algo->Apply(gen.Next(g));
   }
   state.SetItemsProcessed(state.iterations());
 }
 
 void BM_DyOneSwapUpdate(benchmark::State& state) {
-  UpdateLatency<DyOneSwap>(state);
+  UpdateLatency(state, "DyOneSwap");
 }
 BENCHMARK(BM_DyOneSwapUpdate)->Arg(10000)->Arg(40000);
 
 void BM_DyTwoSwapUpdate(benchmark::State& state) {
-  UpdateLatency<DyTwoSwap>(state);
+  UpdateLatency(state, "DyTwoSwap");
 }
 BENCHMARK(BM_DyTwoSwapUpdate)->Arg(10000)->Arg(40000);
 
-void BM_DyArwUpdate(benchmark::State& state) { UpdateLatency<DyArw>(state); }
+void BM_DyArwUpdate(benchmark::State& state) { UpdateLatency(state, "DyARW"); }
 BENCHMARK(BM_DyArwUpdate)->Arg(10000)->Arg(40000);
 
 void BM_DgOneDisUpdate(benchmark::State& state) {
-  const EdgeListGraph base = BenchGraph(static_cast<int>(state.range(0)));
-  DynamicGraph g = base.ToDynamic();
-  DgDis algo(&g, 1);
-  algo.Initialize({});
-  UpdateStreamOptions options;
-  options.seed = 99;
-  UpdateStreamGenerator gen(options);
-  for (auto _ : state) {
-    algo.Apply(gen.Next(g));
-  }
-  state.SetItemsProcessed(state.iterations());
+  UpdateLatency(state, "DGOneDIS");
 }
 BENCHMARK(BM_DgOneDisUpdate)->Arg(10000);
 

@@ -33,9 +33,8 @@ void Run() {
     config.compute_final_alpha = true;
     const ExperimentResult result = RunExperiment(
         base,
-        {AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-         AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap,
-         AlgoKind::kDyOneSwapPerturb, AlgoKind::kDyTwoSwapPerturb},
+        {"DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap",
+         "DyOneSwap*", "DyTwoSwap*"},
         config);
     const int64_t alpha = result.final_alpha;
     const AlgoRunResult& dg1 = FindRun(result, "DGOneDIS");

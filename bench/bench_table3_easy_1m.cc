@@ -39,9 +39,8 @@ void Run() {
     config.arw_iterations = 1500;
     const ExperimentResult result = RunExperiment(
         base,
-        {AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-         AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap,
-         AlgoKind::kDyOneSwapPerturb, AlgoKind::kDyTwoSwapPerturb},
+        {"DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap",
+         "DyOneSwap*", "DyTwoSwap*"},
         config);
     const bool have_alpha = result.final_alpha >= 0;
     const int64_t alpha = have_alpha ? result.final_alpha : result.final_best;

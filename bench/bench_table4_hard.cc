@@ -35,9 +35,8 @@ void Run() {
     config.time_limit_seconds = 10.0;
     const ExperimentResult result = RunExperiment(
         base,
-        {AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-         AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap,
-         AlgoKind::kDyOneSwapPerturb, AlgoKind::kDyTwoSwapPerturb},
+        {"DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap",
+         "DyOneSwap*", "DyTwoSwap*"},
         config);
     const int64_t best = result.final_best;
     const AlgoRunResult& dg1 = FindRun(result, "DGOneDIS");

@@ -10,12 +10,7 @@
 
 #include <cstdio>
 
-#include "src/core/two_swap.h"
-#include "src/graph/generators.h"
-#include "src/graph/update_stream.h"
-#include "src/static_mis/exact.h"
-#include "src/util/random.h"
-#include "src/util/table.h"
+#include "dynmis/dynmis.h"
 
 int main() {
   using namespace dynmis;
@@ -24,14 +19,14 @@ int main() {
   Rng rng(99);
   const EdgeListGraph base = RMat(/*scale=*/12, /*m=*/12000, 0.45, 0.2, 0.2,
                                   &rng);
-  DynamicGraph g = base.ToDynamic();
-  std::printf("evidence graph: %d voters, %lld suspicious pairs\n",
-              g.NumVertices(), static_cast<long long>(g.NumEdges()));
+  auto quorum = MisEngine::Create(base, {"DyTwoSwap"});
+  std::printf("evidence graph: %lld voters, %lld suspicious pairs\n",
+              static_cast<long long>(quorum->Stats().num_vertices),
+              static_cast<long long>(quorum->Stats().num_edges));
 
-  DyTwoSwap quorum(&g);
-  quorum.InitializeEmpty();
+  quorum->Initialize();
   std::printf("initial clean quorum: %lld voters\n",
-              static_cast<long long>(quorum.SolutionSize()));
+              static_cast<long long>(quorum->SolutionSize()));
 
   // Audit stream: evidence arrives and expires; every 500 events we would
   // certify a new quorum, so we log the maintained size there.
@@ -46,16 +41,17 @@ int main() {
   ExactMisOptions audit_budget;
   audit_budget.max_seconds = 5.0;  // Certification deadline per audit.
   for (int round = 1; round <= 8; ++round) {
-    for (int i = 0; i < 500; ++i) quorum.Apply(gen.Next(g));
+    for (int i = 0; i < 500; ++i) quorum->Apply(gen.Next(quorum->graph()));
     // Spot-check against the exact optimum (affordable at audit cadence).
-    const auto alpha = ExactAlpha(StaticGraph::FromDynamic(g), audit_budget);
+    const auto alpha =
+        ExactAlpha(StaticGraph::FromDynamic(quorum->graph()), audit_budget);
     const double accuracy =
-        alpha ? static_cast<double>(quorum.SolutionSize()) /
+        alpha ? static_cast<double>(quorum->SolutionSize()) /
                     static_cast<double>(*alpha)
               : 0.0;
     table.AddRow({FormatCount(round), FormatCount(round * 500),
-                  FormatCount(g.NumEdges()),
-                  FormatCount(quorum.SolutionSize()),
+                  FormatCount(quorum->Stats().num_edges),
+                  FormatCount(quorum->SolutionSize()),
                   alpha ? FormatPercent(accuracy) : "n/a"});
   }
   table.Print(stdout);

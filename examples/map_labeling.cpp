@@ -4,7 +4,8 @@
 // form an independent set of the conflict graph - the more, the better.
 // As the user pans and zooms, POIs enter and leave the viewport and
 // conflicts change: a dynamic MaxIS keeps the label set near-maximum
-// without re-solving per frame.
+// without re-solving per frame. The conflict graph lives inside a
+// MisEngine, which starts empty and grows/shrinks vertex-by-vertex.
 //
 //   $ ./map_labeling
 
@@ -12,10 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/core/one_swap.h"
-#include "src/graph/dynamic_graph.h"
-#include "src/util/random.h"
-#include "src/util/table.h"
+#include "dynmis/dynmis.h"
 
 namespace {
 
@@ -43,16 +41,14 @@ int main() {
     p.y = rng.NextDouble();
   }
 
-  DynamicGraph g;
-  DyOneSwap labels(&g);
-  labels.InitializeEmpty();
+  auto labels = MisEngine::Create(EdgeListGraph{}, {"DyOneSwap"});
+  labels->Initialize();
 
   // A viewport sliding left-to-right across the map.
   TablePrinter table({"viewport", "visible POIs", "conflicts",
                       "labels drawn", "label rate"});
   double window_left = 0.0;
   const double window_width = 0.35;
-  std::vector<int> on_screen;  // Indices of visible POIs.
   for (int frame = 0; frame <= 6; ++frame, window_left += 0.1) {
     const double window_right = window_left + window_width;
     // POIs leaving the viewport.
@@ -60,7 +56,7 @@ int main() {
       Poi& p = pois[i];
       const bool visible = p.x >= window_left && p.x <= window_right;
       if (!visible && p.vertex != kInvalidVertex) {
-        labels.DeleteVertex(p.vertex);
+        labels->DeleteVertex(p.vertex);
         p.vertex = kInvalidVertex;
       }
     }
@@ -75,19 +71,20 @@ int main() {
             conflicts.push_back(q.vertex);
           }
         }
-        p.vertex = labels.InsertVertex(conflicts);
+        p.vertex = labels->InsertVertex(conflicts);
       }
     }
     char window[64];
     std::snprintf(window, sizeof(window), "[%.2f, %.2f]", window_left,
                   window_right);
-    const double rate = g.NumVertices() == 0
+    const EngineStats stats = labels->Stats();
+    const double rate = stats.num_vertices == 0
                             ? 1.0
-                            : static_cast<double>(labels.SolutionSize()) /
-                                  g.NumVertices();
-    table.AddRow({window, FormatCount(g.NumVertices()),
-                  FormatCount(g.NumEdges()),
-                  FormatCount(labels.SolutionSize()), FormatPercent(rate)});
+                            : static_cast<double>(stats.solution_size) /
+                                  static_cast<double>(stats.num_vertices);
+    table.AddRow({window, FormatCount(stats.num_vertices),
+                  FormatCount(stats.num_edges),
+                  FormatCount(stats.solution_size), FormatPercent(rate)});
   }
   table.Print(stdout);
   std::printf(

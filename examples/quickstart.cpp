@@ -3,20 +3,22 @@
 // print what happens at each step. The graph is the paper's running example
 // (Fig 4), reconstructed from the text (paper's v1..v10 are 0..9 here).
 //
+// Everything goes through the public API: the engine owns the graph and the
+// maintainer, and the algorithm is chosen by registry name.
+//
 //   $ ./quickstart
 
 #include <cstdio>
 
-#include "src/core/two_swap.h"
-#include "src/graph/dynamic_graph.h"
+#include "dynmis/dynmis.h"
 
 namespace {
 
-void PrintSolution(const char* when, const dynmis::DynamicMisMaintainer& algo) {
+void PrintSolution(const char* when, const dynmis::MisEngine& engine) {
   std::printf("%-38s |I| = %lld  I = {", when,
-              static_cast<long long>(algo.SolutionSize()));
+              static_cast<long long>(engine.SolutionSize()));
   bool first = true;
-  for (dynmis::VertexId v : algo.Solution()) {
+  for (dynmis::VertexId v : engine.Solution()) {
     std::printf("%sv%d", first ? "" : ", ", v + 1);
     first = false;
   }
@@ -28,36 +30,42 @@ void PrintSolution(const char* when, const dynmis::DynamicMisMaintainer& algo) {
 int main() {
   // Fig 4(a): edges (1-indexed) 1-3, 2-3, 2-4, 4-5, 5-6, 6-8, 3-7, 7-9,
   // 9-10.
-  dynmis::DynamicGraph g(10);
+  dynmis::EdgeListGraph base;
+  base.n = 10;
   const int edges[][2] = {{1, 3}, {2, 3}, {2, 4}, {4, 5}, {5, 6},
                           {6, 8}, {3, 7}, {7, 9}, {9, 10}};
-  for (const auto& e : edges) g.AddEdge(e[0] - 1, e[1] - 1);
+  for (const auto& e : edges) base.edges.push_back({e[0] - 1, e[1] - 1});
 
   // Maintain a 2-maximal independent set (the paper's DyTwoSwap, k = 2),
   // starting from the paper's solution {v3, v4, v6, v9}. Initialize()
   // immediately applies the pending 2-swap {v3, v9} -> {v1, v7, v10}
   // (the paper's Example 3 swap).
-  dynmis::DyTwoSwap algo(&g);
-  algo.Initialize({2, 3, 5, 8});
-  PrintSolution("initial 2-maximal solution:", algo);
+  auto engine = dynmis::MisEngine::Create(base, {"DyTwoSwap"});
+  engine->Initialize({2, 3, 5, 8});
+  PrintSolution("initial 2-maximal solution:", *engine);
 
   // The paper's running update: insert edge (v3, v4).
-  algo.InsertEdge(2, 3);
-  PrintSolution("after inserting edge (v3,v4):", algo);
+  engine->InsertEdge(2, 3);
+  PrintSolution("after inserting edge (v3,v4):", *engine);
 
-  algo.DeleteEdge(4, 5);  // (v5, v6)
-  PrintSolution("after deleting edge (v5,v6):", algo);
+  engine->DeleteEdge(4, 5);  // (v5, v6)
+  PrintSolution("after deleting edge (v5,v6):", *engine);
 
-  const dynmis::VertexId v = algo.InsertVertex({0, 8});
+  const dynmis::VertexId v = engine->InsertVertex({0, 8});
   std::printf("inserted v%d adjacent to {v1, v9}\n", v + 1);
-  PrintSolution("after inserting a vertex:", algo);
+  PrintSolution("after inserting a vertex:", *engine);
 
-  algo.DeleteVertex(3);  // v4
-  PrintSolution("after deleting vertex v4:", algo);
+  engine->DeleteVertex(3);  // v4
+  PrintSolution("after deleting vertex v4:", *engine);
 
+  const dynmis::EngineStats stats = engine->Stats();
   std::printf(
-      "\nEvery intermediate solution above is maximal, admits no 1- or "
-      "2-swap, and is\ntherefore a (Delta/2 + 1)-approximate maximum "
-      "independent set (Theorem 6).\n");
+      "\n%s processed %lld updates; the solution covers %lld of %lld "
+      "vertices.\nEvery intermediate solution above is maximal, admits no "
+      "1- or 2-swap, and is\ntherefore a (Delta/2 + 1)-approximate maximum "
+      "independent set (Theorem 6).\n",
+      stats.algorithm.c_str(), static_cast<long long>(stats.updates_applied),
+      static_cast<long long>(stats.solution_size),
+      static_cast<long long>(stats.num_vertices));
   return 0;
 }

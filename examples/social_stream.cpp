@@ -4,7 +4,8 @@
 // removed, users joining and leaving). We maintain an approximate MaxIS -
 // e.g. a maximum set of mutually non-interacting users for unbiased
 // sampling / influence seeding - with DyOneSwap and DyTwoSwap, and compare
-// against recomputing from scratch at intervals.
+// against recomputing from scratch at intervals. Each contender is a
+// MisEngine built from its registry name.
 //
 //   $ ./social_stream [n] [updates]
 
@@ -12,13 +13,7 @@
 #include <cstdlib>
 #include <memory>
 
-#include "src/baselines/recompute.h"
-#include "src/core/one_swap.h"
-#include "src/core/two_swap.h"
-#include "src/graph/generators.h"
-#include "src/graph/update_stream.h"
-#include "src/util/table.h"
-#include "src/util/timer.h"
+#include "dynmis/dynmis.h"
 
 int main(int argc, char** argv) {
   using namespace dynmis;
@@ -41,26 +36,26 @@ int main(int argc, char** argv) {
   TablePrinter table(
       {"maintainer", "final |I|", "total time", "per update", "memory"});
 
-  auto run = [&](auto&& make_algo) {
-    DynamicGraph g = base.ToDynamic();
-    auto algo = make_algo(&g);
-    algo->Initialize({});
+  auto run = [&](const MaintainerConfig& config) {
+    auto engine = MisEngine::Create(base, config);
+    engine->Initialize();
     Timer timer;
-    for (const GraphUpdate& update : burst) algo->Apply(update);
+    for (const GraphUpdate& update : burst) engine->Apply(update);
     const double seconds = timer.ElapsedSeconds();
-    table.AddRow({algo->Name(), FormatCount(algo->SolutionSize()),
+    const EngineStats stats = engine->Stats();
+    table.AddRow({stats.algorithm, FormatCount(stats.solution_size),
                   FormatDouble(seconds, 3) + "s",
                   FormatDouble(seconds / updates * 1e6, 2) + "us",
-                  FormatBytes(algo->MemoryUsageBytes())});
+                  FormatBytes(stats.structure_memory_bytes)});
   };
 
-  run([](DynamicGraph* g) { return std::make_unique<DyOneSwap>(g); });
-  run([](DynamicGraph* g) { return std::make_unique<DyTwoSwap>(g); });
+  run({"DyOneSwap"});
+  run({"DyTwoSwap"});
   // Recompute-from-scratch once per 100 updates: still far slower in total
   // and its solution is stale between recomputes.
-  run([](DynamicGraph* g) {
-    return std::make_unique<RecomputeGreedy>(g, /*every=*/100);
-  });
+  MaintainerConfig recompute("Recompute");
+  recompute.recompute_every = 100;
+  run(recompute);
 
   table.Print(stdout);
   std::printf(

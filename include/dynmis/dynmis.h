@@ -1,0 +1,25 @@
+// Umbrella header for the dynmis public API.
+//
+//   #include "dynmis/dynmis.h"
+//
+//   dynmis::EdgeListGraph base = ...;            // load or generate
+//   auto engine = dynmis::MisEngine::Create(base, {"DyTwoSwap"});
+//   engine->Initialize();                        // empty start -> k-maximal
+//   engine->InsertEdge(u, v);
+//   auto stats = engine->Stats();                // |I|, n, m, memory
+//
+// Algorithm names are resolved through dynmis::MaintainerRegistry::Global();
+// see ListNames() for everything --algo-style strings accept.
+
+#ifndef DYNMIS_INCLUDE_DYNMIS_DYNMIS_H_
+#define DYNMIS_INCLUDE_DYNMIS_DYNMIS_H_
+
+#include "dynmis/config.h"
+#include "dynmis/engine.h"
+#include "dynmis/graph.h"
+#include "dynmis/maintainer.h"
+#include "dynmis/registry.h"
+#include "dynmis/static_mis.h"
+#include "dynmis/util.h"
+
+#endif  // DYNMIS_INCLUDE_DYNMIS_DYNMIS_H_

@@ -1,0 +1,128 @@
+// MisEngine: the owning facade over (dynamic graph + maintainer). Where the
+// raw DynamicMisMaintainer interface borrows a caller-managed DynamicGraph,
+// the engine owns both halves: it is constructed from an EdgeListGraph (or
+// an already-built DynamicGraph), builds its maintainer through the global
+// MaintainerRegistry, and keeps the pair consistent for its whole lifetime.
+// This is the intended entry point for applications; examples and the CLI
+// are written against it.
+//
+// Every mutation returns a structured UpdateResult carrying the applied-op
+// count, the vertex ids assigned to kInsertVertex ops (which the old
+// ApplyBatch path silently dropped), and the wall time spent — and an
+// optional per-op observer hook exposes individual update latencies for
+// serving-style telemetry.
+
+#ifndef DYNMIS_INCLUDE_DYNMIS_ENGINE_H_
+#define DYNMIS_INCLUDE_DYNMIS_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynmis/config.h"
+#include "dynmis/maintainer.h"
+#include "dynmis/registry.h"
+#include "src/graph/edge_list.h"
+
+namespace dynmis {
+
+// Outcome of one Apply / ApplyBatch call.
+struct UpdateResult {
+  // Number of graph updates applied.
+  int64_t applied = 0;
+  // Ids assigned to the call's kInsertVertex ops, in op order.
+  std::vector<VertexId> new_vertices;
+  // Wall time spent inside the maintainer for this call.
+  double seconds = 0;
+};
+
+// Point-in-time snapshot of the engine (see MisEngine::Stats).
+struct EngineStats {
+  // Display name of the maintainer (DynamicMisMaintainer::Name).
+  std::string algorithm;
+  int64_t solution_size = 0;
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  // Bytes held by the maintainer's own structures (graph excluded).
+  size_t structure_memory_bytes = 0;
+  // Bytes held by the owned graph.
+  size_t graph_memory_bytes = 0;
+  // Totals across all Apply/ApplyBatch/typed-op calls so far.
+  int64_t updates_applied = 0;
+  double update_seconds = 0;
+};
+
+class MisEngine {
+ public:
+  // Builds an engine over a copy of `base` with the maintainer named by
+  // `config.algorithm`. Returns nullptr when the name is not registered.
+  // The solution starts empty; call Initialize() before applying updates.
+  static std::unique_ptr<MisEngine> Create(const EdgeListGraph& base,
+                                           MaintainerConfig config = {});
+
+  // Same, adopting an already-built graph.
+  static std::unique_ptr<MisEngine> Create(DynamicGraph graph,
+                                           MaintainerConfig config = {});
+
+  // Builds the maintained solution from `initial` (must be an independent
+  // set of the current graph; the default extends the empty set to a
+  // maximal — for swap algorithms, k-maximal — solution).
+  void Initialize(const std::vector<VertexId>& initial = {});
+
+  // --- Updates --------------------------------------------------------------
+
+  UpdateResult Apply(const GraphUpdate& update);
+
+  // Applies the block as one transaction through the maintainer's batch
+  // path (deferred swap restoration where supported). When a per-op
+  // observer is installed the block is applied op-by-op instead, so the
+  // observer sees each latency.
+  UpdateResult ApplyBatch(const std::vector<GraphUpdate>& updates);
+
+  // Typed conveniences over Apply().
+  UpdateResult InsertEdge(VertexId u, VertexId v);
+  UpdateResult DeleteEdge(VertexId u, VertexId v);
+  // Returns the id of the inserted vertex.
+  VertexId InsertVertex(const std::vector<VertexId>& neighbors);
+  UpdateResult DeleteVertex(VertexId v);
+
+  // --- Queries --------------------------------------------------------------
+
+  bool InSolution(VertexId v) const { return maintainer_->InSolution(v); }
+  int64_t SolutionSize() const { return maintainer_->SolutionSize(); }
+  std::vector<VertexId> Solution() const { return maintainer_->Solution(); }
+
+  EngineStats Stats() const;
+
+  // Called after every applied update with the op and its wall time.
+  using UpdateObserver =
+      std::function<void(const GraphUpdate& update, double seconds)>;
+  void SetUpdateObserver(UpdateObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // The owned graph / maintainer, for read-mostly interop (snapshots,
+  // verification). Mutating the graph directly desynchronizes the solution;
+  // route updates through the engine.
+  const DynamicGraph& graph() const { return *graph_; }
+  DynamicMisMaintainer& maintainer() { return *maintainer_; }
+  const DynamicMisMaintainer& maintainer() const { return *maintainer_; }
+
+ private:
+  MisEngine(std::unique_ptr<DynamicGraph> graph,
+            std::unique_ptr<DynamicMisMaintainer> maintainer)
+      : graph_(std::move(graph)), maintainer_(std::move(maintainer)) {}
+
+  // Heap-held so its address stays stable for the maintainer's pointer.
+  std::unique_ptr<DynamicGraph> graph_;
+  std::unique_ptr<DynamicMisMaintainer> maintainer_;
+  UpdateObserver observer_;
+  int64_t updates_applied_ = 0;
+  double update_seconds_ = 0;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_INCLUDE_DYNMIS_ENGINE_H_

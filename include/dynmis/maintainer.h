@@ -1,6 +1,9 @@
 // DynamicMisMaintainer: the common interface of all dynamic independent-set
 // algorithms in the library (DyOneSwap, DyTwoSwap, the generic k-maximal
 // maintainer, and the baselines DyARW / DGOneDIS / DGTwoDIS / recompute).
+// This is the library's public algorithm contract: implementations are
+// constructed through MaintainerRegistry (dynmis/registry.h) or owned by a
+// MisEngine (dynmis/engine.h).
 //
 // A maintainer owns the *mutation* of its DynamicGraph: callers route every
 // graph update through the maintainer so the independent set and the graph
@@ -9,8 +12,8 @@
 // (vertex ids stay aligned because DynamicGraph id allocation is
 // deterministic).
 
-#ifndef DYNMIS_SRC_CORE_MAINTAINER_H_
-#define DYNMIS_SRC_CORE_MAINTAINER_H_
+#ifndef DYNMIS_INCLUDE_DYNMIS_MAINTAINER_H_
+#define DYNMIS_INCLUDE_DYNMIS_MAINTAINER_H_
 
 #include <string>
 #include <vector>
@@ -46,15 +49,22 @@ class DynamicMisMaintainer {
 
   virtual std::string Name() const = 0;
 
-  // Applies a block of updates as one transaction. The default processes
-  // them one at a time; maintainers that support deferred swap restoration
-  // (DyOneSwap, DyTwoSwap) override this to run the graph mutations and
-  // maximality fixes for the whole block first and a single swap-
-  // restoration pass at the end, which amortizes overlapping cascades. The
-  // k-maximality guarantee holds at the *end* of the batch (intermediate
+  // Applies a block of updates as one transaction and returns the vertex ids
+  // assigned to the block's kInsertVertex ops, in op order. The default
+  // processes updates one at a time; maintainers that support deferred swap
+  // restoration (DyOneSwap, DyTwoSwap) override this to run the graph
+  // mutations and maximality fixes for the whole block first and a single
+  // swap-restoration pass at the end, which amortizes overlapping cascades.
+  // The k-maximality guarantee holds at the *end* of the batch (intermediate
   // states are only maximal).
-  virtual void ApplyBatch(const std::vector<GraphUpdate>& updates) {
-    for (const GraphUpdate& update : updates) Apply(update);
+  virtual std::vector<VertexId> ApplyBatch(
+      const std::vector<GraphUpdate>& updates) {
+    std::vector<VertexId> new_vertices;
+    for (const GraphUpdate& update : updates) {
+      const VertexId v = Apply(update);
+      if (update.kind == UpdateKind::kInsertVertex) new_vertices.push_back(v);
+    }
+    return new_vertices;
   }
 
   // Dispatches a GraphUpdate to the typed operations above.
@@ -78,4 +88,4 @@ class DynamicMisMaintainer {
 
 }  // namespace dynmis
 
-#endif  // DYNMIS_SRC_CORE_MAINTAINER_H_
+#endif  // DYNMIS_INCLUDE_DYNMIS_MAINTAINER_H_

@@ -1,0 +1,11 @@
+// Public utility surface: timing, seeded randomness, and the table/number
+// formatting helpers used by the examples and benchmark binaries.
+
+#ifndef DYNMIS_INCLUDE_DYNMIS_UTIL_H_
+#define DYNMIS_INCLUDE_DYNMIS_UTIL_H_
+
+#include "src/util/random.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+#endif  // DYNMIS_INCLUDE_DYNMIS_UTIL_H_

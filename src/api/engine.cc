@@ -1,0 +1,110 @@
+#include "dynmis/engine.h"
+
+#include <utility>
+
+#include "src/util/timer.h"
+
+namespace dynmis {
+
+std::unique_ptr<MisEngine> MisEngine::Create(const EdgeListGraph& base,
+                                             MaintainerConfig config) {
+  return Create(base.ToDynamic(), std::move(config));
+}
+
+std::unique_ptr<MisEngine> MisEngine::Create(DynamicGraph graph,
+                                             MaintainerConfig config) {
+  auto owned = std::make_unique<DynamicGraph>(std::move(graph));
+  std::unique_ptr<DynamicMisMaintainer> maintainer =
+      MaintainerRegistry::Global().Create(config, owned.get());
+  if (maintainer == nullptr) return nullptr;
+  return std::unique_ptr<MisEngine>(
+      new MisEngine(std::move(owned), std::move(maintainer)));
+}
+
+void MisEngine::Initialize(const std::vector<VertexId>& initial) {
+  maintainer_->Initialize(initial);
+}
+
+UpdateResult MisEngine::Apply(const GraphUpdate& update) {
+  UpdateResult result;
+  Timer timer;
+  const VertexId v = maintainer_->Apply(update);
+  result.seconds = timer.ElapsedSeconds();
+  result.applied = 1;
+  if (update.kind == UpdateKind::kInsertVertex) result.new_vertices.push_back(v);
+  updates_applied_ += 1;
+  update_seconds_ += result.seconds;
+  if (observer_) observer_(update, result.seconds);
+  return result;
+}
+
+UpdateResult MisEngine::ApplyBatch(const std::vector<GraphUpdate>& updates) {
+  UpdateResult result;
+  if (observer_) {
+    // Per-op application so the observer sees each latency; new-vertex ids
+    // accumulate across the per-op results.
+    for (const GraphUpdate& update : updates) {
+      UpdateResult one = Apply(update);
+      result.applied += one.applied;
+      result.seconds += one.seconds;
+      result.new_vertices.insert(result.new_vertices.end(),
+                                 one.new_vertices.begin(),
+                                 one.new_vertices.end());
+    }
+    return result;
+  }
+  Timer timer;
+  result.new_vertices = maintainer_->ApplyBatch(updates);
+  result.seconds = timer.ElapsedSeconds();
+  result.applied = static_cast<int64_t>(updates.size());
+  updates_applied_ += result.applied;
+  update_seconds_ += result.seconds;
+  return result;
+}
+
+UpdateResult MisEngine::InsertEdge(VertexId u, VertexId v) {
+  GraphUpdate update;
+  update.kind = UpdateKind::kInsertEdge;
+  update.u = u;
+  update.v = v;
+  return Apply(update);
+}
+
+UpdateResult MisEngine::DeleteEdge(VertexId u, VertexId v) {
+  GraphUpdate update;
+  update.kind = UpdateKind::kDeleteEdge;
+  update.u = u;
+  update.v = v;
+  return Apply(update);
+}
+
+VertexId MisEngine::InsertVertex(const std::vector<VertexId>& neighbors) {
+  GraphUpdate update;
+  update.kind = UpdateKind::kInsertVertex;
+  update.neighbors = neighbors;
+  const UpdateResult result = Apply(update);
+  return result.new_vertices.empty() ? kInvalidVertex
+                                     : result.new_vertices.front();
+}
+
+UpdateResult MisEngine::DeleteVertex(VertexId v) {
+  GraphUpdate update;
+  update.kind = UpdateKind::kDeleteVertex;
+  update.u = v;
+  return Apply(update);
+}
+
+EngineStats MisEngine::Stats() const {
+  EngineStats stats;
+  stats.algorithm = maintainer_->Name();
+  stats.solution_size = maintainer_->SolutionSize();
+  stats.num_vertices = graph_->NumVertices();
+  stats.num_edges = graph_->NumEdges();
+  stats.structure_memory_bytes = maintainer_->MemoryUsageBytes();
+  stats.graph_memory_bytes = graph_->MemoryUsageBytes();
+  stats.updates_applied = updates_applied_;
+  stats.update_seconds = update_seconds_;
+  return stats;
+}
+
+}  // namespace dynmis

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/maintainer.h"
+#include "dynmis/maintainer.h"
 
 namespace dynmis {
 

@@ -8,10 +8,10 @@
 namespace dynmis {
 
 KSwapMaintainer::KSwapMaintainer(DynamicGraph* g, int k,
-                                 MaintainerOptions options)
+                                 MaintainerConfig options)
     : g_(g), k_(k), options_(options), state_(g, k, options.lazy) {
   DYNMIS_CHECK_GE(k, 1);
-  DYNMIS_CHECK_LE(k, 8);
+  DYNMIS_CHECK_LE(k, kMaxKSwapOrder);
   EnsureCapacity();
 }
 

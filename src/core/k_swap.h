@@ -28,15 +28,15 @@
 #include <unordered_set>
 #include <vector>
 
-#include "src/core/maintainer.h"
-#include "src/core/options.h"
+#include "dynmis/config.h"
+#include "dynmis/maintainer.h"
 #include "src/core/solution.h"
 
 namespace dynmis {
 
 class KSwapMaintainer : public DynamicMisMaintainer {
  public:
-  KSwapMaintainer(DynamicGraph* g, int k, MaintainerOptions options = {});
+  KSwapMaintainer(DynamicGraph* g, int k, MaintainerConfig options = {});
 
   void Initialize(const std::vector<VertexId>& initial) override;
   void InitializeEmpty() { Initialize({}); }
@@ -92,7 +92,7 @@ class KSwapMaintainer : public DynamicMisMaintainer {
 
   DynamicGraph* g_;
   int k_;
-  MaintainerOptions options_;
+  MaintainerConfig options_;
   MisState state_;
 
   std::vector<VertexId> worklist_;

@@ -6,7 +6,7 @@
 
 namespace dynmis {
 
-DyOneSwap::DyOneSwap(DynamicGraph* g, MaintainerOptions options)
+DyOneSwap::DyOneSwap(DynamicGraph* g, MaintainerConfig options)
     : g_(g), options_(options), state_(g, /*k=*/1, options.lazy) {
   EnsureCapacity();
 }
@@ -94,11 +94,14 @@ void DyOneSwap::DrainTransitions() {
   }
 }
 
-void DyOneSwap::ApplyBatch(const std::vector<GraphUpdate>& updates) {
+std::vector<VertexId> DyOneSwap::ApplyBatch(
+    const std::vector<GraphUpdate>& updates) {
   deferred_ = true;
-  for (const GraphUpdate& update : updates) Apply(update);
+  std::vector<VertexId> new_vertices =
+      DynamicMisMaintainer::ApplyBatch(updates);
   deferred_ = false;
   ProcessQueue();
+  return new_vertices;
 }
 
 void DyOneSwap::ProcessQueue() {

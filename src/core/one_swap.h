@@ -18,8 +18,8 @@
 #include <string>
 #include <vector>
 
-#include "src/core/maintainer.h"
-#include "src/core/options.h"
+#include "dynmis/config.h"
+#include "dynmis/maintainer.h"
 #include "src/core/solution.h"
 
 namespace dynmis {
@@ -27,7 +27,7 @@ namespace dynmis {
 class DyOneSwap : public DynamicMisMaintainer {
  public:
   // `g` must outlive the maintainer; the maintainer is the sole mutator.
-  explicit DyOneSwap(DynamicGraph* g, MaintainerOptions options = {});
+  explicit DyOneSwap(DynamicGraph* g, MaintainerConfig options = {});
 
   void Initialize(const std::vector<VertexId>& initial) override;
 
@@ -40,7 +40,8 @@ class DyOneSwap : public DynamicMisMaintainer {
   void DeleteVertex(VertexId v) override;
 
   // Deferred-restoration batch processing (see DynamicMisMaintainer).
-  void ApplyBatch(const std::vector<GraphUpdate>& updates) override;
+  std::vector<VertexId> ApplyBatch(
+      const std::vector<GraphUpdate>& updates) override;
 
   bool InSolution(VertexId v) const override { return state_.InSolution(v); }
   int64_t SolutionSize() const override { return state_.SolutionSize(); }
@@ -73,7 +74,7 @@ class DyOneSwap : public DynamicMisMaintainer {
   bool Marked(VertexId v) const { return mark_[v] == epoch_; }
 
   DynamicGraph* g_;
-  MaintainerOptions options_;
+  MaintainerConfig options_;
   MisState state_;
   // True while inside ApplyBatch: update handlers enqueue candidates but
   // defer the swap-restoration loop to the end of the batch.

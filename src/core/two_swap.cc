@@ -6,7 +6,7 @@
 
 namespace dynmis {
 
-DyTwoSwap::DyTwoSwap(DynamicGraph* g, MaintainerOptions options)
+DyTwoSwap::DyTwoSwap(DynamicGraph* g, MaintainerConfig options)
     : g_(g), options_(options), state_(g, /*k=*/2, options.lazy) {
   EnsureCapacity();
 }
@@ -122,11 +122,14 @@ void DyTwoSwap::DrainTransitions() {
   }
 }
 
-void DyTwoSwap::ApplyBatch(const std::vector<GraphUpdate>& updates) {
+std::vector<VertexId> DyTwoSwap::ApplyBatch(
+    const std::vector<GraphUpdate>& updates) {
   deferred_ = true;
-  for (const GraphUpdate& update : updates) Apply(update);
+  std::vector<VertexId> new_vertices =
+      DynamicMisMaintainer::ApplyBatch(updates);
   deferred_ = false;
   ProcessQueues();
+  return new_vertices;
 }
 
 void DyTwoSwap::ProcessQueues() {

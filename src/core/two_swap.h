@@ -19,15 +19,15 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/core/maintainer.h"
-#include "src/core/options.h"
+#include "dynmis/config.h"
+#include "dynmis/maintainer.h"
 #include "src/core/solution.h"
 
 namespace dynmis {
 
 class DyTwoSwap : public DynamicMisMaintainer {
  public:
-  explicit DyTwoSwap(DynamicGraph* g, MaintainerOptions options = {});
+  explicit DyTwoSwap(DynamicGraph* g, MaintainerConfig options = {});
 
   void Initialize(const std::vector<VertexId>& initial) override;
   void InitializeEmpty() { Initialize({}); }
@@ -38,7 +38,8 @@ class DyTwoSwap : public DynamicMisMaintainer {
   void DeleteVertex(VertexId v) override;
 
   // Deferred-restoration batch processing (see DynamicMisMaintainer).
-  void ApplyBatch(const std::vector<GraphUpdate>& updates) override;
+  std::vector<VertexId> ApplyBatch(
+      const std::vector<GraphUpdate>& updates) override;
 
   bool InSolution(VertexId v) const override { return state_.InSolution(v); }
   int64_t SolutionSize() const override { return state_.SolutionSize(); }
@@ -79,7 +80,7 @@ class DyTwoSwap : public DynamicMisMaintainer {
   bool Marked(VertexId v) const { return mark_[v] == epoch_; }
 
   DynamicGraph* g_;
-  MaintainerOptions options_;
+  MaintainerConfig options_;
   MisState state_;
   // True while inside ApplyBatch: handlers defer ProcessQueues to batch end.
   bool deferred_ = false;

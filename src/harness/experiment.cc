@@ -1,91 +1,14 @@
 #include "src/harness/experiment.h"
 
-#include "src/baselines/dgdis.h"
-#include "src/baselines/dyarw.h"
-#include "src/baselines/recompute.h"
-#include "src/core/k_swap.h"
-#include "src/core/one_swap.h"
-#include "src/core/two_swap.h"
+#include <memory>
+
 #include "src/static_mis/arw.h"
 #include "src/static_mis/exact.h"
 #include "src/static_mis/greedy.h"
+#include "src/util/check.h"
 #include "src/util/timer.h"
 
 namespace dynmis {
-
-std::string AlgoKindName(AlgoKind kind) {
-  switch (kind) {
-    case AlgoKind::kDGOneDIS:
-      return "DGOneDIS";
-    case AlgoKind::kDGTwoDIS:
-      return "DGTwoDIS";
-    case AlgoKind::kDyARW:
-      return "DyARW";
-    case AlgoKind::kDyOneSwap:
-      return "DyOneSwap";
-    case AlgoKind::kDyTwoSwap:
-      return "DyTwoSwap";
-    case AlgoKind::kDyOneSwapPerturb:
-      return "DyOneSwap*";
-    case AlgoKind::kDyTwoSwapPerturb:
-      return "DyTwoSwap*";
-    case AlgoKind::kDyOneSwapLazy:
-      return "DyOneSwap-lazy";
-    case AlgoKind::kDyTwoSwapLazy:
-      return "DyTwoSwap-lazy";
-    case AlgoKind::kKSwap1:
-      return "KSwap(1)";
-    case AlgoKind::kKSwap2:
-      return "KSwap(2)";
-    case AlgoKind::kKSwap3:
-      return "KSwap(3)";
-    case AlgoKind::kKSwap4:
-      return "KSwap(4)";
-    case AlgoKind::kRecompute:
-      return "Recompute";
-  }
-  return "?";
-}
-
-std::unique_ptr<DynamicMisMaintainer> MakeMaintainer(AlgoKind kind,
-                                                     DynamicGraph* g) {
-  MaintainerOptions options;
-  switch (kind) {
-    case AlgoKind::kDGOneDIS:
-      return std::make_unique<DgDis>(g, 1);
-    case AlgoKind::kDGTwoDIS:
-      return std::make_unique<DgDis>(g, 2);
-    case AlgoKind::kDyARW:
-      return std::make_unique<DyArw>(g);
-    case AlgoKind::kDyOneSwap:
-      return std::make_unique<DyOneSwap>(g, options);
-    case AlgoKind::kDyTwoSwap:
-      return std::make_unique<DyTwoSwap>(g, options);
-    case AlgoKind::kDyOneSwapPerturb:
-      options.perturb = true;
-      return std::make_unique<DyOneSwap>(g, options);
-    case AlgoKind::kDyTwoSwapPerturb:
-      options.perturb = true;
-      return std::make_unique<DyTwoSwap>(g, options);
-    case AlgoKind::kDyOneSwapLazy:
-      options.lazy = true;
-      return std::make_unique<DyOneSwap>(g, options);
-    case AlgoKind::kDyTwoSwapLazy:
-      options.lazy = true;
-      return std::make_unique<DyTwoSwap>(g, options);
-    case AlgoKind::kKSwap1:
-      return std::make_unique<KSwapMaintainer>(g, 1, options);
-    case AlgoKind::kKSwap2:
-      return std::make_unique<KSwapMaintainer>(g, 2, options);
-    case AlgoKind::kKSwap3:
-      return std::make_unique<KSwapMaintainer>(g, 3, options);
-    case AlgoKind::kKSwap4:
-      return std::make_unique<KSwapMaintainer>(g, 4, options);
-    case AlgoKind::kRecompute:
-      return std::make_unique<RecomputeGreedy>(g);
-  }
-  return nullptr;
-}
 
 std::vector<VertexId> ComputeInitialSolution(const EdgeListGraph& g,
                                              InitialSolution mode,
@@ -113,7 +36,7 @@ std::vector<VertexId> ComputeInitialSolution(const EdgeListGraph& g,
 }
 
 ExperimentResult RunExperiment(const EdgeListGraph& base,
-                               const std::vector<AlgoKind>& algos,
+                               const std::vector<MaintainerConfig>& algos,
                                const ExperimentConfig& config) {
   ExperimentResult result;
   const DynamicGraph initial_graph = base.ToDynamic();
@@ -126,12 +49,14 @@ ExperimentResult RunExperiment(const EdgeListGraph& base,
   DynamicGraph final_graph;  // Built by the first finished run.
   bool have_final_graph = false;
 
-  for (AlgoKind kind : algos) {
+  for (const MaintainerConfig& algo_config : algos) {
     DynamicGraph g = initial_graph;
-    std::unique_ptr<DynamicMisMaintainer> algo = MakeMaintainer(kind, &g);
+    std::unique_ptr<DynamicMisMaintainer> algo =
+        MaintainerRegistry::Global().Create(algo_config, &g);
+    DYNMIS_CHECK(algo != nullptr);  // Unknown algorithm name.
     algo->Initialize(initial_solution);
     AlgoRunResult run;
-    run.name = AlgoKindName(kind);
+    run.name = algo->Name();
     run.initial_size = algo->SolutionSize();
     Timer timer;
     bool finished = true;

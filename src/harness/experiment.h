@@ -1,48 +1,29 @@
 // Shared experiment driver for the per-table / per-figure benchmark
-// binaries: builds the competing maintainers, computes the initial solution
-// (exact on easy graphs, ARW on hard graphs - the paper's protocol), replays
-// one update sequence through every algorithm on its own graph copy, and
-// measures solution size, response time and structure memory.
+// binaries: builds the competing maintainers through the MaintainerRegistry,
+// computes the initial solution (exact on easy graphs, ARW on hard graphs -
+// the paper's protocol), replays one update sequence through every algorithm
+// on its own graph copy, and measures solution size, response time and
+// structure memory.
+//
+// Algorithms are named by registry strings (MaintainerConfig is implicitly
+// constructible from a name, so {"DyOneSwap", "DyTwoSwap*"} is a valid
+// algorithm list); there is no hand-maintained enum or name table here —
+// anything registered with MaintainerRegistry::Global() can run.
 
 #ifndef DYNMIS_SRC_HARNESS_EXPERIMENT_H_
 #define DYNMIS_SRC_HARNESS_EXPERIMENT_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/maintainer.h"
-#include "src/core/options.h"
+#include "dynmis/config.h"
+#include "dynmis/maintainer.h"
+#include "dynmis/registry.h"
 #include "src/graph/edge_list.h"
 #include "src/graph/update_stream.h"
 
 namespace dynmis {
-
-// The algorithms the paper compares, plus this library's extras.
-enum class AlgoKind {
-  kDGOneDIS,
-  kDGTwoDIS,
-  kDyARW,
-  kDyOneSwap,
-  kDyTwoSwap,
-  kDyOneSwapPerturb,  // gap* columns.
-  kDyTwoSwapPerturb,
-  kDyOneSwapLazy,  // Fig 7 ablations.
-  kDyTwoSwapLazy,
-  kKSwap1,
-  kKSwap2,
-  kKSwap3,
-  kKSwap4,
-  kRecompute,
-};
-
-std::string AlgoKindName(AlgoKind kind);
-
-// Builds a maintainer of the given kind over `g`.
-std::unique_ptr<DynamicMisMaintainer> MakeMaintainer(AlgoKind kind,
-                                                     DynamicGraph* g);
 
 // How the initial independent set is obtained (paper Section V-A).
 enum class InitialSolution {
@@ -70,6 +51,7 @@ struct ExperimentConfig {
 };
 
 struct AlgoRunResult {
+  // Display name (DynamicMisMaintainer::Name of the constructed algorithm).
   std::string name;
   int64_t initial_size = 0;
   int64_t final_size = 0;
@@ -91,9 +73,10 @@ struct ExperimentResult {
 
 // Runs `algos` over the dataset: every algorithm gets its own copy of the
 // graph built from `base` and replays the same `config.num_updates`-long
-// random update sequence.
+// random update sequence. Each entry must name a registered algorithm
+// (MaintainerRegistry::Global()); unknown names abort.
 ExperimentResult RunExperiment(const EdgeListGraph& base,
-                               const std::vector<AlgoKind>& algos,
+                               const std::vector<MaintainerConfig>& algos,
                                const ExperimentConfig& config);
 
 // Computes the initial independent set for `g` per `mode` (original ids).

@@ -24,23 +24,17 @@ TEST(MetricsTest, GapAndAccuracy) {
   EXPECT_EQ(zero.Accuracy(), 1.0);
 }
 
-TEST(ExperimentTest, AllFactoriesProduceWorkingMaintainers) {
+TEST(ExperimentTest, AllRegisteredNamesProduceWorkingMaintainers) {
   Rng rng(2);
   const EdgeListGraph base = ErdosRenyiGnm(40, 80, &rng);
-  for (AlgoKind kind :
-       {AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-        AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap,
-        AlgoKind::kDyOneSwapPerturb, AlgoKind::kDyTwoSwapPerturb,
-        AlgoKind::kDyOneSwapLazy, AlgoKind::kDyTwoSwapLazy, AlgoKind::kKSwap1,
-        AlgoKind::kKSwap2, AlgoKind::kKSwap3, AlgoKind::kKSwap4,
-        AlgoKind::kRecompute}) {
+  for (const std::string& name : MaintainerRegistry::Global().ListNames()) {
     DynamicGraph g = base.ToDynamic();
-    auto algo = MakeMaintainer(kind, &g);
-    ASSERT_NE(algo, nullptr);
+    auto algo = MaintainerRegistry::Global().Create(name, &g);
+    ASSERT_NE(algo, nullptr) << name;
     algo->Initialize({});
-    EXPECT_GT(algo->SolutionSize(), 0) << AlgoKindName(kind);
+    EXPECT_GT(algo->SolutionSize(), 0) << name;
     algo->InsertEdge(0, 1 + (g.HasEdge(0, 1) ? 1 : 0));
-    EXPECT_GT(algo->SolutionSize(), 0) << AlgoKindName(kind);
+    EXPECT_GT(algo->SolutionSize(), 0) << name;
   }
 }
 
@@ -52,9 +46,8 @@ TEST(ExperimentTest, RunExperimentProducesConsistentFinalGraphs) {
   config.num_updates = 200;
   config.stream.seed = 7;
   config.compute_final_alpha = true;
-  const ExperimentResult result = RunExperiment(
-      base, {AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap, AlgoKind::kDyARW},
-      config);
+  const ExperimentResult result =
+      RunExperiment(base, {"DyOneSwap", "DyTwoSwap", "DyARW"}, config);
   ASSERT_EQ(result.algos.size(), 3u);
   for (const AlgoRunResult& run : result.algos) {
     EXPECT_TRUE(run.finished);
@@ -83,7 +76,7 @@ TEST(ExperimentTest, TimeLimitMarksDnf) {
   config.stream.seed = 3;
   config.time_limit_seconds = 0.02;  // ...in 20 ms.
   const ExperimentResult result =
-      RunExperiment(base, {AlgoKind::kRecompute}, config);
+      RunExperiment(base, {"Recompute"}, config);
   const AlgoRunResult& run = result.algos.front();
   EXPECT_FALSE(run.finished);
   EXPECT_LT(run.updates_applied, config.num_updates);

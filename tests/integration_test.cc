@@ -28,16 +28,15 @@ using testing_util::IsMaximalIndependentSet;
 TEST(IntegrationTest, LockStepStreamOnPowerLawGraph) {
   Rng rng(1234);
   const EdgeListGraph base = ChungLuPowerLaw(400, 2.4, 6.0, &rng);
-  const std::vector<AlgoKind> kinds = {
-      AlgoKind::kDGOneDIS, AlgoKind::kDGTwoDIS, AlgoKind::kDyARW,
-      AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap, AlgoKind::kKSwap2};
+  const std::vector<MaintainerConfig> kinds = {
+      "DGOneDIS", "DGTwoDIS", "DyARW", "DyOneSwap", "DyTwoSwap", "KSwap2"};
 
   std::vector<DynamicGraph> graphs;
   graphs.reserve(kinds.size());
   for (size_t i = 0; i < kinds.size(); ++i) graphs.push_back(base.ToDynamic());
   std::vector<std::unique_ptr<DynamicMisMaintainer>> algos;
   for (size_t i = 0; i < kinds.size(); ++i) {
-    algos.push_back(MakeMaintainer(kinds[i], &graphs[i]));
+    algos.push_back(MaintainerRegistry::Global().Create(kinds[i], &graphs[i]));
     algos.back()->Initialize({});
   }
 
@@ -62,8 +61,8 @@ TEST(IntegrationTest, LockStepStreamOnPowerLawGraph) {
         // The swap-based maintainers stay close to optimal under churn; the
         // DG* baselines only guarantee maximality and are allowed to sag
         // (that degradation is the paper's core experimental finding).
-        const bool swap_based = kinds[i] != AlgoKind::kDGOneDIS &&
-                                kinds[i] != AlgoKind::kDGTwoDIS;
+        const bool swap_based = kinds[i].algorithm != "DGOneDIS" &&
+                                kinds[i].algorithm != "DGTwoDIS";
         EXPECT_GE(algos[i]->SolutionSize() * 100,
                   *alpha * (swap_based ? 80 : 55))
             << algos[i]->Name() << " step " << step;
@@ -81,7 +80,7 @@ TEST(IntegrationTest, DrainAndRegrow) {
   Rng rng(9);
   const EdgeListGraph base = ErdosRenyiGnm(60, 120, &rng);
   DynamicGraph g = base.ToDynamic();
-  auto algo = MakeMaintainer(AlgoKind::kDyTwoSwap, &g);
+  auto algo = MaintainerRegistry::Global().Create("DyTwoSwap", &g);
   algo->Initialize({});
   // Drain.
   while (g.NumVertices() > 0) {
@@ -117,8 +116,7 @@ TEST(IntegrationTest, DatasetPipelineSmoke) {
       config.stream.seed = spec.seed;
       config.stream.bias = EndpointBias::kDegreeProportional;
       const ExperimentResult result =
-          RunExperiment(base, {AlgoKind::kDyOneSwap, AlgoKind::kDyTwoSwap},
-                        config);
+          RunExperiment(base, {"DyOneSwap", "DyTwoSwap"}, config);
       for (const AlgoRunResult& run : result.algos) {
         EXPECT_TRUE(run.finished) << spec.name;
         EXPECT_GT(run.final_size, 0) << spec.name;

@@ -148,7 +148,7 @@ TEST_P(DyOneSwapPropertyTest, InvariantsHoldAfterEveryUpdate) {
       param.n, static_cast<int64_t>(param.n * param.density), &rng);
   for (const bool lazy : {false, true}) {
     DynamicGraph g = base.ToDynamic();
-    MaintainerOptions options;
+    MaintainerConfig options;
     options.lazy = lazy;
     DyOneSwap algo(&g, options);
     algo.InitializeEmpty();
@@ -186,7 +186,7 @@ TEST(DyOneSwapTest, PerturbationKeepsInvariants) {
   Rng rng(99);
   const EdgeListGraph base = ErdosRenyiGnm(25, 50, &rng);
   DynamicGraph g = base.ToDynamic();
-  MaintainerOptions options;
+  MaintainerConfig options;
   options.perturb = true;
   DyOneSwap algo(&g, options);
   algo.InitializeEmpty();

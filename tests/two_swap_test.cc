@@ -108,7 +108,7 @@ TEST_P(DyTwoSwapPropertyTest, TwoMaximalAfterEveryUpdate) {
       param.n, static_cast<int64_t>(param.n * param.density), &rng);
   for (const bool lazy : {false, true}) {
     DynamicGraph g = base.ToDynamic();
-    MaintainerOptions options;
+    MaintainerConfig options;
     options.lazy = lazy;
     DyTwoSwap algo(&g, options);
     algo.InitializeEmpty();
@@ -144,7 +144,7 @@ TEST(DyTwoSwapTest, PerturbationKeepsInvariants) {
   Rng rng(7);
   const EdgeListGraph base = ErdosRenyiGnm(20, 40, &rng);
   DynamicGraph g = base.ToDynamic();
-  MaintainerOptions options;
+  MaintainerConfig options;
   options.perturb = true;
   DyTwoSwap algo(&g, options);
   algo.InitializeEmpty();

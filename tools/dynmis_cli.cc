@@ -1,16 +1,20 @@
-// dynmis_cli: run any of the library's dynamic MIS maintainers over a graph
-// file and an update stream, reporting solution size, response time and
-// memory. The workhorse for ad-hoc experiments on real SNAP files.
+// dynmis_cli: run any registered dynamic MIS maintainer over a graph file
+// and an update stream, reporting solution size, response time and memory.
+// The workhorse for ad-hoc experiments on real SNAP files.
 //
 //   dynmis_cli --graph FILE [--algo NAME] [--initial MODE]
+//              [--k K] [--lazy] [--perturb] [--recompute-every N]
 //              [--updates FILE | --random N] [--seed S]
 //              [--edge-fraction F] [--insert-fraction F] [--degree-bias]
 //              [--report-every K] [--save-trace FILE] [--csv]
 //
 //   --graph FILE       SNAP-format edge list (required).
-//   --algo NAME        one of: DGOneDIS DGTwoDIS DyARW DyOneSwap DyTwoSwap
-//                      DyOneSwap* DyTwoSwap* KSwap1..KSwap4 Recompute
-//                      (default DyTwoSwap).
+//   --algo NAME        a MaintainerRegistry name (default DyTwoSwap);
+//                      `--algo help` lists everything the registry accepts.
+//   --k K              swap order for the generic KSwap maintainer.
+//   --lazy             lazy collection (paper optimization 1).
+//   --perturb          perturbation (paper optimization 2).
+//   --recompute-every N  amortization interval for Recompute.
 //   --initial MODE     greedy | arw | exact (default greedy).
 //   --updates FILE     replay an update trace (see update_trace_io.h).
 //   --random N         generate N random updates instead (default 10000).
@@ -22,24 +26,23 @@
 //   --save-trace FILE  write the applied update sequence to FILE.
 //   --csv              machine-readable progress rows.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "src/graph/edge_list_io.h"
-#include "src/graph/update_trace_io.h"
+#include "dynmis/dynmis.h"
 #include "src/harness/experiment.h"
-#include "src/util/table.h"
-#include "src/util/timer.h"
 
 namespace dynmis {
 namespace {
 
 struct CliOptions {
   std::string graph_path;
-  std::string algo = "DyTwoSwap";
+  MaintainerConfig algo;  // algorithm defaults to DyTwoSwap.
   std::string initial = "greedy";
   std::string updates_path;
   std::string save_trace_path;
@@ -52,44 +55,41 @@ struct CliOptions {
   bool csv = false;
 };
 
-bool ParseAlgo(const std::string& name, AlgoKind* kind) {
-  static const std::pair<const char*, AlgoKind> kMap[] = {
-      {"DGOneDIS", AlgoKind::kDGOneDIS},
-      {"DGTwoDIS", AlgoKind::kDGTwoDIS},
-      {"DyARW", AlgoKind::kDyARW},
-      {"DyOneSwap", AlgoKind::kDyOneSwap},
-      {"DyTwoSwap", AlgoKind::kDyTwoSwap},
-      {"DyOneSwap*", AlgoKind::kDyOneSwapPerturb},
-      {"DyTwoSwap*", AlgoKind::kDyTwoSwapPerturb},
-      {"DyOneSwap-lazy", AlgoKind::kDyOneSwapLazy},
-      {"DyTwoSwap-lazy", AlgoKind::kDyTwoSwapLazy},
-      {"KSwap1", AlgoKind::kKSwap1},
-      {"KSwap2", AlgoKind::kKSwap2},
-      {"KSwap3", AlgoKind::kKSwap3},
-      {"KSwap4", AlgoKind::kKSwap4},
-      {"Recompute", AlgoKind::kRecompute},
-  };
-  for (const auto& [key, value] : kMap) {
-    if (name == key) {
-      *kind = value;
-      return true;
+// Lists every name the registry accepts, straight from the registry — there
+// is no hand-maintained algorithm table in this binary.
+int PrintAlgorithms() {
+  const MaintainerRegistry& registry = MaintainerRegistry::Global();
+  const std::vector<std::string> algorithms = registry.ListAlgorithms();
+  std::printf("algorithms:\n");
+  for (const std::string& name : algorithms) {
+    std::printf("  %-16s %s\n", name.c_str(), registry.Describe(name).c_str());
+  }
+  std::printf("aliases:\n");
+  for (const std::string& name : registry.ListNames()) {
+    if (std::find(algorithms.begin(), algorithms.end(), name) ==
+        algorithms.end()) {
+      std::printf("  %-16s %s\n", name.c_str(),
+                  registry.Describe(name).c_str());
     }
   }
-  return false;
+  return 0;
 }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --graph FILE [--algo NAME] [--initial MODE]\n"
+               "          [--k K] [--lazy] [--perturb] [--recompute-every N]\n"
                "          [--updates FILE | --random N] [--seed S]\n"
                "          [--edge-fraction F] [--insert-fraction F]\n"
                "          [--degree-bias] [--report-every K]\n"
-               "          [--save-trace FILE] [--csv]\n",
-               argv0);
+               "          [--save-trace FILE] [--csv]\n"
+               "       %s --algo help   (list registered algorithms)\n",
+               argv0, argv0);
   return 2;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
+bool ParseArgs(int argc, char** argv, CliOptions* options, bool* list_algos) {
+  *list_algos = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -102,7 +102,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--algo") {
       const char* v = next();
       if (!v) return false;
-      options->algo = v;
+      options->algo.algorithm = v;
+      if (options->algo.algorithm == "help" ||
+          options->algo.algorithm == "list") {
+        *list_algos = true;
+        return true;
+      }
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      options->algo.k = std::atoi(v);
+    } else if (arg == "--lazy") {
+      options->algo.lazy = true;
+    } else if (arg == "--perturb") {
+      options->algo.perturb = true;
+    } else if (arg == "--recompute-every") {
+      const char* v = next();
+      if (!v) return false;
+      options->algo.recompute_every = std::atoi(v);
     } else if (arg == "--initial") {
       const char* v = next();
       if (!v) return false;
@@ -148,9 +165,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 }
 
 int Run(const CliOptions& options) {
-  AlgoKind kind;
-  if (!ParseAlgo(options.algo, &kind)) {
-    std::fprintf(stderr, "unknown algorithm: %s\n", options.algo.c_str());
+  if (!MaintainerRegistry::Global().Has(options.algo.algorithm)) {
+    std::fprintf(stderr,
+                 "unknown algorithm: %s (try --algo help)\n",
+                 options.algo.algorithm.c_str());
+    return 2;
+  }
+  if (options.algo.k < 1 || options.algo.k > kMaxKSwapOrder) {
+    std::fprintf(stderr, "--k must be in [1, %d]\n", kMaxKSwapOrder);
+    return 2;
+  }
+  if (options.algo.recompute_every < 1) {
+    std::fprintf(stderr, "--recompute-every must be a positive integer\n");
     return 2;
   }
   InitialSolution initial;
@@ -202,15 +228,15 @@ int Run(const CliOptions& options) {
     return 1;
   }
 
-  DynamicGraph g = graph->ToDynamic();
-  std::unique_ptr<DynamicMisMaintainer> algo = MakeMaintainer(kind, &g);
+  std::unique_ptr<MisEngine> engine = MisEngine::Create(*graph, options.algo);
+  // Has() passed above, so construction cannot miss the registry.
   Timer init_timer;
-  algo->Initialize(
+  engine->Initialize(
       ComputeInitialSolution(*graph, initial, /*arw_iterations=*/500,
                              /*exact_node_budget=*/2'000'000,
                              /*exact_seconds_budget=*/30.0));
   std::fprintf(stderr, "initial |I|=%lld (%.3fs, %s start)\n",
-               static_cast<long long>(algo->SolutionSize()),
+               static_cast<long long>(engine->SolutionSize()),
                init_timer.ElapsedSeconds(), options.initial.c_str());
 
   if (options.report_every > 0) {
@@ -221,32 +247,34 @@ int Run(const CliOptions& options) {
   Timer timer;
   int64_t applied = 0;
   for (const GraphUpdate& update : updates) {
-    algo->Apply(update);
+    engine->Apply(update);
     ++applied;
     if (options.report_every > 0 && applied % options.report_every == 0) {
+      const DynamicGraph& g = engine->graph();
       if (options.csv) {
         std::printf("%lld,%lld,%d,%lld,%.6f\n",
                     static_cast<long long>(applied),
-                    static_cast<long long>(algo->SolutionSize()),
+                    static_cast<long long>(engine->SolutionSize()),
                     g.NumVertices(), static_cast<long long>(g.NumEdges()),
                     timer.ElapsedSeconds());
       } else {
         std::printf("%10lld %10lld %10d %12lld %9.3fs\n",
                     static_cast<long long>(applied),
-                    static_cast<long long>(algo->SolutionSize()),
+                    static_cast<long long>(engine->SolutionSize()),
                     g.NumVertices(), static_cast<long long>(g.NumEdges()),
                     timer.ElapsedSeconds());
       }
     }
   }
   const double seconds = timer.ElapsedSeconds();
+  const EngineStats stats = engine->Stats();
   std::fprintf(stderr,
                "%s: %lld updates in %.3fs (%.2f us/update), final |I|=%lld, "
                "memory=%s\n",
-               algo->Name().c_str(), static_cast<long long>(applied), seconds,
-               applied > 0 ? seconds / applied * 1e6 : 0.0,
-               static_cast<long long>(algo->SolutionSize()),
-               FormatBytes(algo->MemoryUsageBytes()).c_str());
+               stats.algorithm.c_str(), static_cast<long long>(applied),
+               seconds, applied > 0 ? seconds / applied * 1e6 : 0.0,
+               static_cast<long long>(stats.solution_size),
+               FormatBytes(stats.structure_memory_bytes).c_str());
   return 0;
 }
 
@@ -255,8 +283,10 @@ int Run(const CliOptions& options) {
 
 int main(int argc, char** argv) {
   dynmis::CliOptions options;
-  if (!dynmis::ParseArgs(argc, argv, &options)) {
+  bool list_algos = false;
+  if (!dynmis::ParseArgs(argc, argv, &options, &list_algos)) {
     return dynmis::Usage(argv[0]);
   }
+  if (list_algos) return dynmis::PrintAlgorithms();
   return dynmis::Run(options);
 }
