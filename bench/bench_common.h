@@ -9,17 +9,22 @@
 namespace dynmis {
 namespace bench {
 
-// Scales update counts by the DYNMIS_BENCH_SCALE environment variable
-// (default 1.0), so the full suite can be made quicker or more thorough
-// without recompiling.
-inline int ScaledUpdates(int base) {
+// The DYNMIS_BENCH_SCALE environment variable (default 1.0): a fractional
+// multiplier on update counts, so the full suite can be made quicker or
+// more thorough without recompiling (see bench/EXPERIMENTS.md).
+inline double BenchScale() {
   static const double scale = [] {
     const char* env = std::getenv("DYNMIS_BENCH_SCALE");
     if (env == nullptr) return 1.0;
     const double parsed = std::atof(env);
     return parsed > 0 ? parsed : 1.0;
   }();
-  const int scaled = static_cast<int>(base * scale);
+  return scale;
+}
+
+// Scales update counts by DYNMIS_BENCH_SCALE.
+inline int ScaledUpdates(int base) {
+  const int scaled = static_cast<int>(base * BenchScale());
   return scaled < 1 ? 1 : scaled;
 }
 
@@ -39,7 +44,7 @@ inline void PrintScaleNote() {
   std::printf(
       "note: synthetic stand-ins at laptop scale; absolute numbers differ "
       "from the paper,\n      the comparison *shape* is the reproduction "
-      "target (see EXPERIMENTS.md).\n");
+      "target (see bench/EXPERIMENTS.md).\n");
 }
 
 }  // namespace bench

@@ -1,0 +1,371 @@
+// Unified benchmark driver: runs named scenarios (easy / hard / powerlaw
+// update workloads x maintainer x batch regime) and emits one machine-
+// readable BENCH_<scenario>.json per scenario, so every PR can compare its
+// perf numbers against the committed baseline of the previous one.
+//
+// Per (algorithm, batch regime) the driver reports:
+//   * ops/sec over the whole update sequence,
+//   * p50/p99 per-op latency (single-op regime, via MisEngine's per-update
+//     observer hook) or per-batch latency (batch regime),
+//   * peak memory (maintainer structures + graph, sampled periodically),
+//   * solution quality (final size, and relative to a min-degree greedy
+//     reference on the final graph).
+//
+// Usage:
+//   bench_driver --list
+//   bench_driver --scenario smoke [--out PATH]
+//   DYNMIS_BENCH_SCALE=0.1 bench_driver --scenario hard
+//
+// Update counts scale with DYNMIS_BENCH_SCALE (see bench_common.h); the
+// committed BENCH_*.json files are measured at scale 1. The scenario-to-
+// paper mapping lives in bench/EXPERIMENTS.md.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/json_writer.h"
+#include "dynmis/dynmis.h"
+#include "src/graph/datasets.h"
+#include "src/graph/generators.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+namespace bench {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::string graph_name;
+  std::function<EdgeListGraph()> make_graph;
+  std::vector<MaintainerConfig> algos;
+  // Update count before DYNMIS_BENCH_SCALE; <= 0 means "derive from m".
+  int base_updates = 0;
+  std::function<int(int64_t m)> updates_from_m;
+  UpdateStreamOptions stream;
+  // Batch regimes to run; 1 = single-op (per-op latency percentiles).
+  std::vector<int> batch_sizes = {1, 1024};
+};
+
+EdgeListGraph NamedDataset(const std::string& name) {
+  const DatasetSpec* spec = FindDataset(name);
+  DYNMIS_CHECK(spec != nullptr);
+  return GenerateDataset(*spec);
+}
+
+std::vector<Scenario> BuildScenarios() {
+  std::vector<Scenario> scenarios;
+  {
+    // Tiny and fast: the CI regression hook. Exercises both regimes and the
+    // full JSON schema in a couple of seconds even at scale 1.
+    Scenario s;
+    s.name = "smoke";
+    s.description = "tiny power-law graph, uniform churn (CI hook)";
+    s.graph_name = "chung-lu-1500";
+    s.make_graph = [] {
+      Rng rng(4242);
+      return ChungLuPowerLaw(1500, 2.3, 8.0, &rng);
+    };
+    s.algos = {"DyOneSwap", "DyTwoSwap"};
+    s.base_updates = 2000;
+    s.stream.seed = 17;
+    s.batch_sizes = {1, 256};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Easy-instance regime (paper Tables II/III): light churn relative to m.
+    Scenario s;
+    s.name = "easy";
+    s.description = "easy dataset stand-in, light batch (~m/10 updates)";
+    s.graph_name = "web-Google";
+    s.make_graph = [] { return NamedDataset("web-Google"); };
+    s.algos = {"DyOneSwap", "DyTwoSwap", "DyARW"};
+    s.updates_from_m = [](int64_t m) { return SmallBatch(m); };
+    s.stream.seed = 23;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Hard-instance regime (paper Table IV / Fig 6): heavy degree-biased
+    // churn. The per-PR DyTwoSwap throughput acceptance numbers come from
+    // this scenario's single-op regime.
+    Scenario s;
+    s.name = "hard";
+    s.description =
+        "hard dataset stand-in, heavy batch (~m/2 updates), degree-biased";
+    s.graph_name = "soc-pokec";
+    s.make_graph = [] { return NamedDataset("soc-pokec"); };
+    s.algos = {"DyOneSwap", "DyTwoSwap", "DyTwoSwap*"};
+    s.updates_from_m = [](int64_t m) { return LargeBatch(m); };
+    s.stream.seed = 29;
+    s.stream.bias = EndpointBias::kDegreeProportional;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Power-law random graph (paper Fig 10), including the generic k-swap
+    // maintainer at k=3.
+    Scenario s;
+    s.name = "powerlaw";
+    s.description = "configuration-model power-law graph, uniform churn";
+    s.graph_name = "plrg-12000";
+    s.make_graph = [] {
+      Rng rng(777);
+      return PowerLawRandomGraph(12000, 2.3, 2, 120, &rng);
+    };
+    s.algos = {"DyOneSwap", "DyTwoSwap", "KSwap3"};
+    s.base_updates = 20000;
+    s.stream.seed = 31;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+// Nearest-rank percentile; `sorted` must already be in ascending order.
+// Rounds the rank up so small samples report the tail (with 2 samples the
+// p99 is the max, not the min).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+struct RunResult {
+  std::string algorithm;
+  int batch_size = 1;
+  int64_t updates = 0;
+  double total_seconds = 0;
+  double ops_per_sec = 0;
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+  // "op" for batch_size 1, else "batch": what the percentiles measure.
+  std::string latency_unit;
+  size_t peak_memory_bytes = 0;
+  int64_t final_solution_size = 0;
+  double quality_vs_greedy = 0;
+};
+
+RunResult RunOne(const EdgeListGraph& base,
+                 const std::vector<GraphUpdate>& updates,
+                 const MaintainerConfig& config, int batch_size,
+                 int64_t greedy_reference) {
+  RunResult result;
+  result.batch_size = batch_size;
+  result.updates = static_cast<int64_t>(updates.size());
+  result.latency_unit = batch_size == 1 ? "op" : "batch";
+
+  auto engine = MisEngine::Create(base, config);
+  DYNMIS_CHECK(engine != nullptr);
+  engine->Initialize();
+
+  std::vector<double> latencies;
+  latencies.reserve(updates.size() / std::max(batch_size, 1) + 1);
+  if (batch_size == 1) {
+    engine->SetUpdateObserver(
+        [&](const GraphUpdate&, double seconds) { latencies.push_back(seconds); });
+  }
+
+  size_t peak_memory = 0;
+  auto sample_memory = [&] {
+    const EngineStats stats = engine->Stats();
+    peak_memory = std::max(
+        peak_memory, stats.structure_memory_bytes + stats.graph_memory_bytes);
+  };
+  sample_memory();
+
+  constexpr size_t kMemorySampleEvery = 1024;
+  Timer timer;
+  if (batch_size == 1) {
+    size_t since_sample = 0;
+    for (const GraphUpdate& update : updates) {
+      engine->Apply(update);
+      if (++since_sample >= kMemorySampleEvery) {
+        since_sample = 0;
+        sample_memory();
+      }
+    }
+  } else {
+    std::vector<GraphUpdate> block;
+    for (size_t i = 0; i < updates.size(); i += batch_size) {
+      const size_t end = std::min(updates.size(), i + batch_size);
+      block.assign(updates.begin() + i, updates.begin() + end);
+      Timer batch_timer;
+      engine->ApplyBatch(block);
+      latencies.push_back(batch_timer.ElapsedSeconds());
+      sample_memory();
+    }
+  }
+  result.total_seconds = timer.ElapsedSeconds();
+  sample_memory();
+
+  result.algorithm = engine->Stats().algorithm;
+  result.ops_per_sec = result.total_seconds > 0
+                           ? static_cast<double>(result.updates) /
+                                 result.total_seconds
+                           : 0;
+  std::sort(latencies.begin(), latencies.end());
+  result.latency_p50_us = Percentile(latencies, 0.50) * 1e6;
+  result.latency_p99_us = Percentile(latencies, 0.99) * 1e6;
+  result.peak_memory_bytes = peak_memory;
+  result.final_solution_size = engine->SolutionSize();
+  result.quality_vs_greedy =
+      greedy_reference > 0 ? static_cast<double>(result.final_solution_size) /
+                                 static_cast<double>(greedy_reference)
+                           : 0;
+  return result;
+}
+
+int RunScenario(const Scenario& scenario, const std::string& out_path) {
+  std::printf("scenario %s: %s\n", scenario.name.c_str(),
+              scenario.description.c_str());
+  const EdgeListGraph base = scenario.make_graph();
+  const int num_updates =
+      scenario.updates_from_m
+          ? scenario.updates_from_m(base.NumEdges())
+          : ScaledUpdates(scenario.base_updates);
+  std::printf("  graph %s: n=%d m=%lld, %d updates\n",
+              scenario.graph_name.c_str(), base.n,
+              static_cast<long long>(base.NumEdges()), num_updates);
+
+  // One shared update sequence: every (algorithm, regime) run replays the
+  // identical ops, so numbers are comparable within and across scenarios.
+  DynamicGraph scratch = base.ToDynamic();
+  const std::vector<GraphUpdate> updates =
+      MakeUpdateSequence(scratch, num_updates, scenario.stream);
+
+  // Greedy quality reference on the final graph (the sequence is
+  // deterministic, so every run ends on the same graph).
+  for (const GraphUpdate& update : updates) ApplyUpdate(&scratch, update);
+  const int64_t greedy_reference =
+      static_cast<int64_t>(GreedyMis(StaticGraph::FromDynamic(scratch)).size());
+
+  std::vector<RunResult> runs;
+  for (const MaintainerConfig& algo : scenario.algos) {
+    for (int batch_size : scenario.batch_sizes) {
+      RunResult run =
+          RunOne(base, updates, algo, batch_size, greedy_reference);
+      std::printf(
+          "  %-12s batch=%-5d %10.0f ops/s  p50=%8.2fus p99=%8.2fus  "
+          "peak=%8zuKB  |I|=%lld (%.3f of greedy)\n",
+          run.algorithm.c_str(), run.batch_size, run.ops_per_sec,
+          run.latency_p50_us, run.latency_p99_us, run.peak_memory_bytes / 1024,
+          static_cast<long long>(run.final_solution_size),
+          run.quality_vs_greedy);
+      runs.push_back(std::move(run));
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("scenario");
+  w.String(scenario.name);
+  w.Key("description");
+  w.String(scenario.description);
+  w.Key("scale");
+  w.Double(BenchScale());
+  w.Key("graph");
+  w.BeginObject();
+  w.Key("name");
+  w.String(scenario.graph_name);
+  w.Key("n");
+  w.Int(base.n);
+  w.Key("m");
+  w.Int(base.NumEdges());
+  w.EndObject();
+  w.Key("updates");
+  w.Int(num_updates);
+  w.Key("greedy_reference");
+  w.Int(greedy_reference);
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunResult& run : runs) {
+    w.BeginObject();
+    w.Key("algorithm");
+    w.String(run.algorithm);
+    w.Key("batch_size");
+    w.Int(run.batch_size);
+    w.Key("updates");
+    w.Int(run.updates);
+    w.Key("total_seconds");
+    w.Double(run.total_seconds);
+    w.Key("ops_per_sec");
+    w.Double(run.ops_per_sec);
+    w.Key("latency_unit");
+    w.String(run.latency_unit);
+    w.Key("latency_p50_us");
+    w.Double(run.latency_p50_us);
+    w.Key("latency_p99_us");
+    w.Double(run.latency_p99_us);
+    w.Key("peak_memory_bytes");
+    w.Uint(run.peak_memory_bytes);
+    w.Key("final_solution_size");
+    w.Int(run.final_solution_size);
+    w.Key("quality_vs_greedy");
+    w.Double(run.quality_vs_greedy);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (!WriteFile(out_path, w.Take())) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string scenario_name;
+  std::string out_path;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      DYNMIS_CHECK(i + 1 < argc);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario_name = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_driver --scenario NAME [--out PATH] | --list\n");
+      return 2;
+    }
+  }
+  const std::vector<Scenario> scenarios = BuildScenarios();
+  if (list || scenario_name.empty()) {
+    std::printf("scenarios:\n");
+    for (const Scenario& s : scenarios) {
+      std::printf("  %-10s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return list ? 0 : 2;
+  }
+  for (const Scenario& s : scenarios) {
+    if (s.name == scenario_name) {
+      const std::string path =
+          out_path.empty() ? "BENCH_" + s.name + ".json" : out_path;
+      return RunScenario(s, path);
+    }
+  }
+  std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
+               scenario_name.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dynmis
+
+int main(int argc, char** argv) { return dynmis::bench::Main(argc, argv); }

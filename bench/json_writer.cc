@@ -1,0 +1,160 @@
+#include "bench/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace bench {
+
+void JsonWriter::Indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::Prefix(bool is_key) {
+  if (value_pending_) {
+    // The value completing a "key": pair; no comma or newline.
+    DYNMIS_CHECK(!is_key);
+    value_pending_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    DYNMIS_CHECK(is_key == (stack_.back() == Scope::kObject));
+    if (has_elems_.back()) out_ += ',';
+    has_elems_.back() = true;
+    out_ += '\n';
+    Indent();
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(/*is_key=*/false);
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  DYNMIS_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  const bool had = has_elems_.back();
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (had) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Prefix(/*is_key=*/false);
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_elems_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  DYNMIS_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had = has_elems_.back();
+  stack_.pop_back();
+  has_elems_.pop_back();
+  if (had) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Prefix(/*is_key=*/true);
+  AppendEscaped(key);
+  out_ += ": ";
+  value_pending_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Prefix(/*is_key=*/false);
+  AppendEscaped(value);
+}
+
+void JsonWriter::AppendEscaped(const std::string& value) {
+  out_ += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prefix(/*is_key=*/false);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Prefix(/*is_key=*/false);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  Prefix(/*is_key=*/false);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prefix(/*is_key=*/false);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Prefix(/*is_key=*/false);
+  out_ += "null";
+}
+
+std::string JsonWriter::Take() {
+  DYNMIS_CHECK(stack_.empty());
+  DYNMIS_CHECK(!value_pending_);
+  out_ += '\n';
+  return std::move(out_);
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace bench
+}  // namespace dynmis

@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer for the benchmark driver's machine-readable
+// output (BENCH_<scenario>.json). No external dependencies; the writer
+// manages commas and indentation, escapes strings, and refuses to emit
+// non-finite doubles (NaN/Inf are not valid JSON and would silently break
+// downstream tooling — they are written as null instead).
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("ops_per_sec"); w.Double(123456.7);
+//   w.Key("runs"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+//   std::string json = w.Take();
+
+#ifndef DYNMIS_BENCH_JSON_WRITER_H_
+#define DYNMIS_BENCH_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynmis {
+namespace bench {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Must be called inside an object, immediately before the value.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  // Finite values render with up to 6 significant decimals; NaN/Inf as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Returns the finished document. All containers must be closed.
+  std::string Take();
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  // Emits the separating comma / newline / indentation due before a value
+  // or key at the current position.
+  void Prefix(bool is_key);
+  void Indent();
+  void AppendEscaped(const std::string& value);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  // Whether the current container already holds at least one element.
+  std::vector<bool> has_elems_;
+  // True when a Key() was just written and its value is pending.
+  bool value_pending_ = false;
+};
+
+// Writes `content` to `path` atomically enough for benchmark use (truncate +
+// write). Returns false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace bench
+}  // namespace dynmis
+
+#endif  // DYNMIS_BENCH_JSON_WRITER_H_

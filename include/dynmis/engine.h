@@ -93,6 +93,11 @@ class MisEngine {
   bool InSolution(VertexId v) const { return maintainer_->InSolution(v); }
   int64_t SolutionSize() const { return maintainer_->SolutionSize(); }
   std::vector<VertexId> Solution() const { return maintainer_->Solution(); }
+  // Appends the solution to `out` (not cleared) without building a fresh
+  // vector; pair with a reused buffer when polling the solution frequently.
+  void CollectSolution(std::vector<VertexId>* out) const {
+    maintainer_->CollectSolution(out);
+  }
 
   EngineStats Stats() const;
 

@@ -44,6 +44,15 @@ class DynamicMisMaintainer {
   virtual int64_t SolutionSize() const = 0;
   virtual std::vector<VertexId> Solution() const = 0;
 
+  // Copy-on-demand form of Solution(): appends the members to `out` (not
+  // cleared), reusing the caller's buffer across calls instead of building a
+  // fresh vector. Callers that only need the count should use SolutionSize(),
+  // which is O(1) on every implementation.
+  virtual void CollectSolution(std::vector<VertexId>* out) const {
+    const std::vector<VertexId> solution = Solution();
+    out->insert(out->end(), solution.begin(), solution.end());
+  }
+
   // Bytes used by the maintainer's own data structures (graph excluded).
   virtual size_t MemoryUsageBytes() const = 0;
 

@@ -254,11 +254,15 @@ void DgDis::DeleteVertex(VertexId v) {
 
 std::vector<VertexId> DgDis::Solution() const {
   std::vector<VertexId> out;
-  out.reserve(static_cast<size_t>(size_));
-  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
-    if (g_->IsVertexAlive(v) && status_[v]) out.push_back(v);
-  }
+  CollectSolution(&out);
   return out;
+}
+
+void DgDis::CollectSolution(std::vector<VertexId>* out) const {
+  out->reserve(out->size() + static_cast<size_t>(size_));
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && status_[v]) out->push_back(v);
+  }
 }
 
 size_t DgDis::MemoryUsageBytes() const {

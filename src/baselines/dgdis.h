@@ -44,6 +44,7 @@ class DgDis : public DynamicMisMaintainer {
   bool InSolution(VertexId v) const override { return status_[v] != 0; }
   int64_t SolutionSize() const override { return size_; }
   std::vector<VertexId> Solution() const override;
+  void CollectSolution(std::vector<VertexId>* out) const override;
   size_t MemoryUsageBytes() const override;
   std::string Name() const override {
     return level_ == 1 ? "DGOneDIS" : "DGTwoDIS";

@@ -286,11 +286,15 @@ void DyArw::DeleteVertex(VertexId v) {
 
 std::vector<VertexId> DyArw::Solution() const {
   std::vector<VertexId> out;
-  out.reserve(static_cast<size_t>(size_));
-  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
-    if (g_->IsVertexAlive(v) && status_[v]) out.push_back(v);
-  }
+  CollectSolution(&out);
   return out;
+}
+
+void DyArw::CollectSolution(std::vector<VertexId>* out) const {
+  out->reserve(out->size() + static_cast<size_t>(size_));
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && status_[v]) out->push_back(v);
+  }
 }
 
 size_t DyArw::MemoryUsageBytes() const {

@@ -32,6 +32,7 @@ class DyArw : public DynamicMisMaintainer {
   bool InSolution(VertexId v) const override { return status_[v] != 0; }
   int64_t SolutionSize() const override { return size_; }
   std::vector<VertexId> Solution() const override;
+  void CollectSolution(std::vector<VertexId>* out) const override;
   size_t MemoryUsageBytes() const override;
   std::string Name() const override { return "DyARW"; }
 

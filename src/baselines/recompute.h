@@ -33,6 +33,9 @@ class RecomputeGreedy : public DynamicMisMaintainer {
     return static_cast<int64_t>(solution_.size());
   }
   std::vector<VertexId> Solution() const override { return solution_; }
+  void CollectSolution(std::vector<VertexId>* out) const override {
+    out->insert(out->end(), solution_.begin(), solution_.end());
+  }
   size_t MemoryUsageBytes() const override;
   std::string Name() const override { return "Recompute"; }
 

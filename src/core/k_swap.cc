@@ -42,8 +42,8 @@ void KSwapMaintainer::Initialize(const std::vector<VertexId>& initial) {
       free.push_back(v);
     }
   }
-  ExtendSolution(std::move(free));
-  (void)state_.TakeTransitions();
+  ExtendSolution(&free);
+  state_.DiscardTransitions();
   for (VertexId u = 0; u < g_->VertexCapacity(); ++u) {
     if (g_->IsVertexAlive(u) && !state_.InSolution(u) &&
         state_.Count(u) >= 1 && state_.Count(u) <= k_) {
@@ -53,14 +53,16 @@ void KSwapMaintainer::Initialize(const std::vector<VertexId>& initial) {
   ProcessWorklist();
 }
 
-void KSwapMaintainer::ExtendSolution(std::vector<VertexId> candidates) {
+void KSwapMaintainer::ExtendSolution(std::vector<VertexId>* candidates) {
   if (options_.perturb) {
-    std::sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
-      return g_->Degree(a) != g_->Degree(b) ? g_->Degree(a) < g_->Degree(b)
-                                            : a < b;
-    });
+    std::sort(candidates->begin(), candidates->end(),
+              [&](VertexId a, VertexId b) {
+                return g_->Degree(a) != g_->Degree(b)
+                           ? g_->Degree(a) < g_->Degree(b)
+                           : a < b;
+              });
   }
-  for (VertexId w : candidates) {
+  for (VertexId w : *candidates) {
     if (g_->IsVertexAlive(w) && !state_.InSolution(w) && state_.Count(w) == 0) {
       state_.MoveIn(w);
     }
@@ -74,16 +76,16 @@ void KSwapMaintainer::PushWitness(VertexId u) {
 }
 
 void KSwapMaintainer::DrainTransitions() {
-  for (VertexId u : state_.TakeTransitions()) {
+  state_.DrainTransitions([&](VertexId u) {
     if (g_->IsVertexAlive(u) && !state_.InSolution(u) && state_.Count(u) >= 1 &&
         state_.Count(u) <= k_) {
       PushWitness(u);
     }
-  }
+  });
 }
 
 void KSwapMaintainer::ProcessWorklist() {
-  std::unordered_set<uint64_t> visited;
+  visited_.Clear();
   while (!worklist_.empty()) {
     const VertexId u = worklist_.back();
     worklist_.pop_back();
@@ -95,10 +97,10 @@ void KSwapMaintainer::ProcessWorklist() {
     s.reserve(c);
     state_.ForEachSolutionNeighbor(u, [&](VertexId w) { s.push_back(w); });
     std::sort(s.begin(), s.end());
-    if (TrySwapOrExpand(std::move(s), &visited)) {
+    if (TrySwapOrExpand(std::move(s))) {
       // A swap invalidates earlier dedup decisions: sets that admitted no
       // swap before may admit one now.
-      visited.clear();
+      visited_.Clear();
     }
   }
 }
@@ -178,9 +180,8 @@ bool KSwapMaintainer::FindIndependentSubset(const std::vector<VertexId>& t,
   return found;
 }
 
-bool KSwapMaintainer::TrySwapOrExpand(std::vector<VertexId> s,
-                                      std::unordered_set<uint64_t>* visited) {
-  if (!visited->insert(HashSet(s)).second) return false;
+bool KSwapMaintainer::TrySwapOrExpand(std::vector<VertexId> s) {
+  if (!visited_.Insert(HashSet(s))) return false;
   ++stats_.sets_examined;
   for (VertexId x : s) {
     if (!g_->IsVertexAlive(x) || !state_.InSolution(x)) return false;
@@ -196,7 +197,7 @@ bool KSwapMaintainer::TrySwapOrExpand(std::vector<VertexId> s,
       DYNMIS_DCHECK(state_.Count(w) == 0);
       state_.MoveIn(w);
     }
-    ExtendSolution(std::move(region));
+    ExtendSolution(&region);
     DrainTransitions();
     return true;
   }
@@ -221,7 +222,7 @@ bool KSwapMaintainer::TrySwapOrExpand(std::vector<VertexId> s,
     });
   }
   for (auto& sup : supersets) {
-    if (TrySwapOrExpand(std::move(sup), visited)) return true;
+    if (TrySwapOrExpand(std::move(sup))) return true;
   }
   return false;
 }
@@ -242,11 +243,13 @@ void KSwapMaintainer::InsertEdge(VertexId u, VertexId v) {
       loser = g_->Degree(u) >= g_->Degree(v) ? u : v;
     }
     state_.MoveOut(loser);
-    std::vector<VertexId> freed;
+    extend_scratch_.clear();
     g_->ForEachIncident(loser, [&](VertexId w, EdgeId) {
-      if (!state_.InSolution(w) && state_.Count(w) == 0) freed.push_back(w);
+      if (!state_.InSolution(w) && state_.Count(w) == 0) {
+        extend_scratch_.push_back(w);
+      }
     });
-    ExtendSolution(std::move(freed));
+    ExtendSolution(&extend_scratch_);
   }
   DrainTransitions();
   ProcessWorklist();
@@ -276,8 +279,8 @@ void KSwapMaintainer::DeleteEdge(VertexId u, VertexId v) {
       std::sort(joint.begin(), joint.end());
       joint.erase(std::unique(joint.begin(), joint.end()), joint.end());
       if (static_cast<int>(joint.size()) <= k_) {
-        std::unordered_set<uint64_t> visited;
-        TrySwapOrExpand(std::move(joint), &visited);
+        visited_.Clear();
+        TrySwapOrExpand(std::move(joint));
       }
     }
   }
@@ -303,19 +306,24 @@ VertexId KSwapMaintainer::InsertVertex(const std::vector<VertexId>& neighbors) {
 
 void KSwapMaintainer::DeleteVertex(VertexId v) {
   DYNMIS_CHECK(g_->IsVertexAlive(v));
-  std::vector<VertexId> neighbors = g_->Neighbors(v);
+  extend_scratch_.clear();
+  g_->ForEachIncident(v, [&](VertexId w, EdgeId) {
+    extend_scratch_.push_back(w);
+  });
   if (state_.InSolution(v)) state_.MoveOut(v);
   state_.OnVertexRemoving(v);
   g_->RemoveVertex(v);
   ResetVertexSlots(v);
-  ExtendSolution(std::move(neighbors));
+  ExtendSolution(&extend_scratch_);
   DrainTransitions();
   ProcessWorklist();
 }
 
 size_t KSwapMaintainer::MemoryUsageBytes() const {
   return state_.MemoryUsageBytes() + VectorBytes(worklist_) +
-         VectorBytes(in_worklist_) + VectorBytes(mark_);
+         VectorBytes(in_worklist_) + VectorBytes(mark_) +
+         VectorBytes(position_) + visited_.MemoryUsageBytes() +
+         VectorBytes(extend_scratch_);
 }
 
 std::string KSwapMaintainer::Name() const {

@@ -25,12 +25,12 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "dynmis/config.h"
 #include "dynmis/maintainer.h"
 #include "src/core/solution.h"
+#include "src/util/stamped_hash_set.h"
 
 namespace dynmis {
 
@@ -49,6 +49,9 @@ class KSwapMaintainer : public DynamicMisMaintainer {
   bool InSolution(VertexId v) const override { return state_.InSolution(v); }
   int64_t SolutionSize() const override { return state_.SolutionSize(); }
   std::vector<VertexId> Solution() const override { return state_.Solution(); }
+  void CollectSolution(std::vector<VertexId>* out) const override {
+    state_.AppendSolution(out);
+  }
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
@@ -69,15 +72,17 @@ class KSwapMaintainer : public DynamicMisMaintainer {
 
   void EnsureCapacity();
   void ResetVertexSlots(VertexId v);
-  void ExtendSolution(std::vector<VertexId> candidates);
+  // Moves every count-0 vertex in `*candidates` into the solution (in degree
+  // order under perturbation). Borrows the caller's buffer — may reorder it.
+  void ExtendSolution(std::vector<VertexId>* candidates);
   void PushWitness(VertexId u);
   void DrainTransitions();
   void ProcessWorklist();
   // Attempts a |S|-swap for solution set S; returns true if performed.
-  // On failure recursively expands to supersets while |S| < k. `visited`
-  // dedups examined sets within one cascade.
-  bool TrySwapOrExpand(std::vector<VertexId> s,
-                       std::unordered_set<uint64_t>* visited);
+  // On failure recursively expands to supersets while |S| < k. `visited_`
+  // dedups examined sets within one cascade; callers outside ProcessWorklist
+  // must Clear() it first.
+  bool TrySwapOrExpand(std::vector<VertexId> s);
   // Collects bar_I<=|S|(S): non-solution vertices with all solution
   // neighbours inside S.
   void CollectRegion(const std::vector<VertexId>& s, std::vector<VertexId>* t);
@@ -102,6 +107,12 @@ class KSwapMaintainer : public DynamicMisMaintainer {
   // Scratch for FindIndependentSubset: position of a vertex in the current
   // search order, -1 outside a search.
   std::vector<VertexId> position_;
+  // Swap-set dedup within one restoration cascade, reused across updates
+  // (formerly a per-update std::unordered_set).
+  StampedHashSet visited_;
+  // Reusable scratch for the update handlers (freed vertices and
+  // deleted-vertex neighborhoods).
+  std::vector<VertexId> extend_scratch_;
 
   Stats stats_;
 };

@@ -16,8 +16,7 @@ void DyOneSwap::EnsureCapacity() {
   const size_t vcap = g_->VertexCapacity();
   if (in_queue_.size() < vcap) {
     in_queue_.resize(vcap, 0);
-    cand_of_.resize(vcap);
-    cand_owner_.resize(vcap, kInvalidVertex);
+    cands_.EnsureCapacity(vcap);
     mark_.resize(vcap, 0);
   }
 }
@@ -26,13 +25,7 @@ void DyOneSwap::ResetVertexSlots(VertexId v) {
   EnsureCapacity();
   state_.OnVertexAdded(v);
   in_queue_[v] = 0;
-  // Consume the candidate flags of v's pending list before dropping it, so
-  // no vertex stays marked as "enqueued under v" when the id is recycled.
-  for (VertexId u : cand_of_[v]) {
-    if (cand_owner_[u] == v) cand_owner_[u] = kInvalidVertex;
-  }
-  cand_of_[v].clear();
-  cand_owner_[v] = kInvalidVertex;
+  cands_.OnVertexReset(v);
   mark_[v] = 0;
 }
 
@@ -48,9 +41,9 @@ void DyOneSwap::Initialize(const std::vector<VertexId>& initial) {
       free.push_back(v);
     }
   }
-  ExtendSolution(std::move(free));
+  ExtendSolution(&free);
   // Establish 1-maximality: every 1-tight vertex is a candidate.
-  (void)state_.TakeTransitions();
+  state_.DiscardTransitions();
   for (VertexId u = 0; u < g_->VertexCapacity(); ++u) {
     if (g_->IsVertexAlive(u) && !state_.InSolution(u) && state_.Count(u) == 1) {
       EnqueueCandidate(state_.OwnerOf(u), u);
@@ -59,15 +52,17 @@ void DyOneSwap::Initialize(const std::vector<VertexId>& initial) {
   ProcessQueue();
 }
 
-void DyOneSwap::ExtendSolution(std::vector<VertexId> candidates) {
+void DyOneSwap::ExtendSolution(std::vector<VertexId>* candidates) {
   if (options_.perturb) {
     // Prefer low-degree vertices: they are more likely to be in a MaxIS.
-    std::sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
-      return g_->Degree(a) != g_->Degree(b) ? g_->Degree(a) < g_->Degree(b)
-                                            : a < b;
-    });
+    std::sort(candidates->begin(), candidates->end(),
+              [&](VertexId a, VertexId b) {
+                return g_->Degree(a) != g_->Degree(b)
+                           ? g_->Degree(a) < g_->Degree(b)
+                           : a < b;
+              });
   }
-  for (VertexId w : candidates) {
+  for (VertexId w : *candidates) {
     if (g_->IsVertexAlive(w) && !state_.InSolution(w) && state_.Count(w) == 0) {
       state_.MoveIn(w);
     }
@@ -75,9 +70,7 @@ void DyOneSwap::ExtendSolution(std::vector<VertexId> candidates) {
 }
 
 void DyOneSwap::EnqueueCandidate(VertexId owner, VertexId u) {
-  if (cand_owner_[u] == owner) return;
-  cand_owner_[u] = owner;
-  cand_of_[owner].push_back(u);
+  if (!cands_.Enqueue(owner, u)) return;
   if (!in_queue_[owner]) {
     in_queue_[owner] = 1;
     queue_.push_back(owner);
@@ -85,13 +78,13 @@ void DyOneSwap::EnqueueCandidate(VertexId owner, VertexId u) {
 }
 
 void DyOneSwap::DrainTransitions() {
-  for (VertexId u : state_.TakeTransitions()) {
+  state_.DrainTransitions([&](VertexId u) {
     if (!g_->IsVertexAlive(u) || state_.InSolution(u) ||
         state_.Count(u) != 1) {
-      continue;
+      return;
     }
     EnqueueCandidate(state_.OwnerOf(u), u);
-  }
+  });
 }
 
 std::vector<VertexId> DyOneSwap::ApplyBatch(
@@ -106,24 +99,21 @@ std::vector<VertexId> DyOneSwap::ApplyBatch(
 
 void DyOneSwap::ProcessQueue() {
   if (deferred_) return;
-  std::vector<VertexId> kept;
+  std::vector<VertexId>& kept = kept_;
   while (!queue_.empty()) {
     const VertexId v = queue_.back();
     queue_.pop_back();
     in_queue_[v] = 0;
-    std::vector<VertexId> cands = std::move(cand_of_[v]);
-    cand_of_[v].clear();
     const bool v_valid = g_->IsVertexAlive(v) && state_.InSolution(v);
+    // Consume v's candidate list; entries may be stale (candidates are
+    // re-validated, not unlinked, when their tightness changes).
     kept.clear();
-    for (VertexId u : cands) {
-      if (cand_owner_[u] != v) continue;  // Re-enqueued under another owner.
-      cand_owner_[u] = kInvalidVertex;    // Consume.
-      if (!v_valid || !g_->IsVertexAlive(u) || state_.InSolution(u) ||
-          state_.Count(u) != 1 || state_.OwnerOf(u) != v) {
-        continue;
+    cands_.Consume(v, [&](VertexId u) {
+      if (v_valid && g_->IsVertexAlive(u) && !state_.InSolution(u) &&
+          state_.Count(u) == 1 && state_.OwnerOf(u) == v) {
+        kept.push_back(u);
       }
-      kept.push_back(u);
-    }
+    });
     if (kept.empty()) continue;
     stats_.candidates_processed += static_cast<int64_t>(kept.size());
 
@@ -151,7 +141,7 @@ void DyOneSwap::ProcessQueue() {
       }
     }
     if (chosen != kInvalidVertex) {
-      PerformOneSwap(v, chosen, bar1_scratch_);
+      PerformOneSwap(v, chosen, &bar1_scratch_);
       continue;
     }
     if (options_.perturb && !bar1_scratch_.empty()) {
@@ -175,12 +165,11 @@ void DyOneSwap::ProcessQueue() {
 }
 
 void DyOneSwap::PerformOneSwap(VertexId v, VertexId u,
-                               const std::vector<VertexId>& bar1_snapshot) {
+                               std::vector<VertexId>* bar1_snapshot) {
   ++stats_.one_swaps;
-  std::vector<VertexId> snapshot = bar1_snapshot;
   state_.MoveOut(v);
   state_.MoveIn(u);
-  ExtendSolution(std::move(snapshot));
+  ExtendSolution(bar1_snapshot);
   DrainTransitions();
 }
 
@@ -202,11 +191,13 @@ void DyOneSwap::InsertEdge(VertexId u, VertexId v) {
       loser = g_->Degree(u) >= g_->Degree(v) ? u : v;
     }
     state_.MoveOut(loser);
-    std::vector<VertexId> freed;
+    extend_scratch_.clear();
     g_->ForEachIncident(loser, [&](VertexId w, EdgeId) {
-      if (!state_.InSolution(w) && state_.Count(w) == 0) freed.push_back(w);
+      if (!state_.InSolution(w) && state_.Count(w) == 0) {
+        extend_scratch_.push_back(w);
+      }
     });
-    ExtendSolution(std::move(freed));
+    ExtendSolution(&extend_scratch_);
   }
   DrainTransitions();
   ProcessQueue();
@@ -233,12 +224,11 @@ void DyOneSwap::DeleteEdge(VertexId u, VertexId v) {
       ++stats_.one_swaps;
       bar1_scratch_.clear();
       state_.CollectBar1(wu, &bar1_scratch_);
-      std::vector<VertexId> snapshot = bar1_scratch_;
       state_.MoveOut(wu);
       DYNMIS_DCHECK(state_.Count(u) == 0);
       state_.MoveIn(u);
       if (state_.Count(v) == 0) state_.MoveIn(v);
-      ExtendSolution(std::move(snapshot));
+      ExtendSolution(&bar1_scratch_);
     }
   }
   DrainTransitions();
@@ -263,21 +253,24 @@ VertexId DyOneSwap::InsertVertex(const std::vector<VertexId>& neighbors) {
 
 void DyOneSwap::DeleteVertex(VertexId v) {
   DYNMIS_CHECK(g_->IsVertexAlive(v));
-  std::vector<VertexId> neighbors = g_->Neighbors(v);
+  extend_scratch_.clear();
+  g_->ForEachIncident(v, [&](VertexId w, EdgeId) {
+    extend_scratch_.push_back(w);
+  });
   if (state_.InSolution(v)) state_.MoveOut(v);
   state_.OnVertexRemoving(v);
   g_->RemoveVertex(v);
   ResetVertexSlots(v);  // The id may be recycled; clear stale algorithm state.
-  ExtendSolution(std::move(neighbors));
+  ExtendSolution(&extend_scratch_);
   DrainTransitions();
   ProcessQueue();
 }
 
 size_t DyOneSwap::MemoryUsageBytes() const {
   return state_.MemoryUsageBytes() + VectorBytes(queue_) +
-         VectorBytes(in_queue_) + NestedVectorBytes(cand_of_) +
-         VectorBytes(cand_owner_) + VectorBytes(mark_) +
-         VectorBytes(bar1_scratch_);
+         VectorBytes(in_queue_) + cands_.MemoryUsageBytes() +
+         VectorBytes(mark_) + VectorBytes(bar1_scratch_) +
+         VectorBytes(kept_) + VectorBytes(extend_scratch_);
 }
 
 std::string DyOneSwap::Name() const {

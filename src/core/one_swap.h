@@ -20,6 +20,7 @@
 
 #include "dynmis/config.h"
 #include "dynmis/maintainer.h"
+#include "src/core/candidate_list.h"
 #include "src/core/solution.h"
 
 namespace dynmis {
@@ -46,6 +47,9 @@ class DyOneSwap : public DynamicMisMaintainer {
   bool InSolution(VertexId v) const override { return state_.InSolution(v); }
   int64_t SolutionSize() const override { return state_.SolutionSize(); }
   std::vector<VertexId> Solution() const override { return state_.Solution(); }
+  void CollectSolution(std::vector<VertexId>* out) const override {
+    state_.AppendSolution(out);
+  }
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
@@ -61,14 +65,17 @@ class DyOneSwap : public DynamicMisMaintainer {
  private:
   void EnsureCapacity();
   void ResetVertexSlots(VertexId v);
-  // Moves every count-0 vertex in `candidates` into the solution (in degree
-  // order under perturbation).
-  void ExtendSolution(std::vector<VertexId> candidates);
+  // Moves every count-0 vertex in `*candidates` into the solution (in degree
+  // order under perturbation). Borrows the caller's buffer — may reorder it —
+  // so steady-state callers can pass reusable scratch instead of a fresh
+  // vector.
+  void ExtendSolution(std::vector<VertexId>* candidates);
   void EnqueueCandidate(VertexId owner, VertexId u);
   void DrainTransitions();
   void ProcessQueue();
+  // `bar1_snapshot` is borrowed scratch (consumed by ExtendSolution).
   void PerformOneSwap(VertexId v, VertexId u,
-                      const std::vector<VertexId>& bar1_snapshot);
+                      std::vector<VertexId>* bar1_snapshot);
   void NewEpoch() { ++epoch_; }
   void Mark(VertexId v) { mark_[v] = epoch_; }
   bool Marked(VertexId v) const { return mark_[v] == epoch_; }
@@ -80,17 +87,23 @@ class DyOneSwap : public DynamicMisMaintainer {
   // defer the swap-restoration loop to the end of the batch.
   bool deferred_ = false;
 
-  // Candidate queue C1: solution vertices with pending candidate lists.
+  // Candidate queue C1: solution vertices with pending candidate lists,
+  // intrusive and allocation-free (see CandidateList; the former per-owner
+  // vector<vector<VertexId>> allocated on first enqueue under every new
+  // owner).
   std::vector<VertexId> queue_;
   std::vector<uint8_t> in_queue_;
-  std::vector<std::vector<VertexId>> cand_of_;
-  // cand_owner_[u]: owner under which u is currently enqueued, or invalid.
-  std::vector<VertexId> cand_owner_;
+  CandidateList cands_;
 
   // Epoch-stamped scratch marks.
   std::vector<uint32_t> mark_;
   uint32_t epoch_ = 0;
+
+  // Reusable scratch buffers (grow to the workload's high-water mark, then
+  // stay put).
   std::vector<VertexId> bar1_scratch_;
+  std::vector<VertexId> kept_;            // Validated candidates.
+  std::vector<VertexId> extend_scratch_;  // Freed vertices / neighborhoods.
 
   Stats stats_;
 };

@@ -32,15 +32,10 @@ void MisState::EnsureCapacity() {
   }
   if (!lazy_) {
     const size_t ecap = 2 * static_cast<size_t>(g_->EdgeCapacity());
-    if (inb_next_.size() < ecap) {
-      inb_next_.resize(ecap, kInvalidEdge);
-      inb_prev_.resize(ecap, kInvalidEdge);
-      bar1_next_.resize(ecap, kInvalidEdge);
-      bar1_prev_.resize(ecap, kInvalidEdge);
-      if (k_ >= 2) {
-        bar2_next_.resize(ecap, kInvalidEdge);
-        bar2_prev_.resize(ecap, kInvalidEdge);
-      }
+    if (inb_links_.size() < ecap) {
+      inb_links_.resize(ecap);
+      bar1_links_.resize(ecap);
+      if (k_ >= 2) bar2_links_.resize(ecap);
     }
   }
 }
@@ -64,11 +59,15 @@ void MisState::OnVertexAdded(VertexId v) {
 
 std::vector<VertexId> MisState::Solution() const {
   std::vector<VertexId> out;
-  out.reserve(static_cast<size_t>(solution_size_));
-  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
-    if (g_->IsVertexAlive(v) && status_[v]) out.push_back(v);
-  }
+  AppendSolution(&out);
   return out;
+}
+
+void MisState::AppendSolution(std::vector<VertexId>* out) const {
+  out->reserve(out->size() + static_cast<size_t>(solution_size_));
+  for (VertexId v = 0; v < g_->VertexCapacity(); ++v) {
+    if (g_->IsVertexAlive(v) && status_[v]) out->push_back(v);
+  }
 }
 
 VertexId MisState::OwnerOf(VertexId u) const {
@@ -121,7 +120,7 @@ void MisState::CollectBar1(VertexId v, std::vector<VertexId>* out) const {
   DYNMIS_DCHECK(InSolution(v));
   if (!lazy_) {
     for (EdgeId e = bar1_head_[v]; e != kInvalidEdge;
-         e = bar1_next_[Slot(e, v)]) {
+         e = bar1_links_[Slot(e, v)].next) {
       out->push_back(g_->Other(e, v));
     }
     return;
@@ -138,7 +137,7 @@ void MisState::CollectBar2(VertexId v, std::vector<VertexId>* out) const {
   DYNMIS_CHECK_GE(k_, 2);
   if (!lazy_) {
     for (EdgeId e = bar2_head_[v]; e != kInvalidEdge;
-         e = bar2_next_[Slot(e, v)]) {
+         e = bar2_links_[Slot(e, v)].next) {
       out->push_back(g_->Other(e, v));
     }
     return;
@@ -155,7 +154,8 @@ void MisState::CollectBar2Pair(VertexId x, VertexId y,
   // Enumerate one owner's bar2 list and keep members whose second solution
   // neighbour is the other owner; in lazy mode scan the lower-degree owner.
   if (lazy_ && g_->Degree(x) > g_->Degree(y)) std::swap(x, y);
-  std::vector<VertexId> side;
+  std::vector<VertexId>& side = side_scratch_;
+  side.clear();
   CollectBar2(x, &side);
   for (VertexId u : side) {
     VertexId a, b;
@@ -165,31 +165,31 @@ void MisState::CollectBar2Pair(VertexId x, VertexId y,
   }
 }
 
-void MisState::Link(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
-                    std::vector<EdgeId>& prev, EdgeId e, VertexId owner) {
+void MisState::Link(std::vector<EdgeId>& head, std::vector<LinkPair>& links,
+                    EdgeId e, VertexId owner) {
   const int slot = Slot(e, owner);
-  next[slot] = head[owner];
-  prev[slot] = kInvalidEdge;
+  links[slot].next = head[owner];
+  links[slot].prev = kInvalidEdge;
   if (head[owner] != kInvalidEdge) {
-    prev[Slot(head[owner], owner)] = e;
+    links[Slot(head[owner], owner)].prev = e;
   }
   head[owner] = e;
 }
 
-void MisState::Unlink(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
-                      std::vector<EdgeId>& prev, EdgeId e, VertexId owner) {
+void MisState::Unlink(std::vector<EdgeId>& head, std::vector<LinkPair>& links,
+                      EdgeId e, VertexId owner) {
   const int slot = Slot(e, owner);
-  const EdgeId p = prev[slot];
-  const EdgeId n = next[slot];
+  const EdgeId p = links[slot].prev;
+  const EdgeId n = links[slot].next;
   if (p != kInvalidEdge) {
-    next[Slot(p, owner)] = n;
+    links[Slot(p, owner)].next = n;
   } else {
     DYNMIS_DCHECK(head[owner] == e);
     head[owner] = n;
   }
-  if (n != kInvalidEdge) prev[Slot(n, owner)] = p;
-  next[slot] = kInvalidEdge;
-  prev[slot] = kInvalidEdge;
+  if (n != kInvalidEdge) links[Slot(n, owner)].prev = p;
+  links[slot].next = kInvalidEdge;
+  links[slot].prev = kInvalidEdge;
 }
 
 void MisState::ClearTightness(VertexId u) {
@@ -197,7 +197,7 @@ void MisState::ClearTightness(VertexId u) {
   if (bar1_edge_[u] != kInvalidEdge) {
     const EdgeId e = bar1_edge_[u];
     const VertexId owner = g_->Other(e, u);
-    Unlink(bar1_head_, bar1_next_, bar1_prev_, e, owner);
+    Unlink(bar1_head_, bar1_links_, e, owner);
     --bar1_size_[owner];
     bar1_edge_[u] = kInvalidEdge;
   }
@@ -206,7 +206,7 @@ void MisState::ClearTightness(VertexId u) {
       if (*slot != kInvalidEdge) {
         const EdgeId e = *slot;
         const VertexId owner = g_->Other(e, u);
-        Unlink(bar2_head_, bar2_next_, bar2_prev_, e, owner);
+        Unlink(bar2_head_, bar2_links_, e, owner);
         *slot = kInvalidEdge;
       }
     }
@@ -221,16 +221,16 @@ void MisState::SetTightnessAndLog(VertexId u) {
       const EdgeId e = inb_head_[u];
       DYNMIS_DCHECK(e != kInvalidEdge);
       const VertexId owner = g_->Other(e, u);
-      Link(bar1_head_, bar1_next_, bar1_prev_, e, owner);
+      Link(bar1_head_, bar1_links_, e, owner);
       ++bar1_size_[owner];
       bar1_edge_[u] = e;
     } else if (c == 2 && k_ >= 2) {
       const EdgeId e0 = inb_head_[u];
       DYNMIS_DCHECK(e0 != kInvalidEdge);
-      const EdgeId e1 = inb_next_[Slot(e0, u)];
+      const EdgeId e1 = inb_links_[Slot(e0, u)].next;
       DYNMIS_DCHECK(e1 != kInvalidEdge);
-      Link(bar2_head_, bar2_next_, bar2_prev_, e0, g_->Other(e0, u));
-      Link(bar2_head_, bar2_next_, bar2_prev_, e1, g_->Other(e1, u));
+      Link(bar2_head_, bar2_links_, e0, g_->Other(e0, u));
+      Link(bar2_head_, bar2_links_, e1, g_->Other(e1, u));
       bar2_edge0_[u] = e0;
       bar2_edge1_[u] = e1;
     }
@@ -250,7 +250,7 @@ void MisState::MoveIn(VertexId v) {
     const VertexId u = g_->Other(e, v);
     DYNMIS_DCHECK(!status_[u]);
     ClearTightness(u);
-    if (!lazy_) Link(inb_head_, inb_next_, inb_prev_, e, u);
+    if (!lazy_) Link(inb_head_, inb_links_, e, u);
     ++count_[u];
     SetTightnessAndLog(u);
   }
@@ -267,11 +267,11 @@ void MisState::MoveOut(VertexId v) {
     if (status_[u]) {
       // Transient both-in-I situation (edge-insert handling): v gains u as
       // a solution neighbour.
-      if (!lazy_) Link(inb_head_, inb_next_, inb_prev_, e, v);
+      if (!lazy_) Link(inb_head_, inb_links_, e, v);
       ++own_count;
     } else {
       ClearTightness(u);
-      if (!lazy_) Unlink(inb_head_, inb_next_, inb_prev_, e, u);
+      if (!lazy_) Unlink(inb_head_, inb_links_, e, u);
       --count_[u];
       SetTightnessAndLog(u);
     }
@@ -288,14 +288,9 @@ void MisState::OnEdgeAdded(EdgeId e) {
   if (!lazy_) {
     // Reset recycled link slots.
     for (int s = 0; s < 2; ++s) {
-      inb_next_[2 * e + s] = kInvalidEdge;
-      inb_prev_[2 * e + s] = kInvalidEdge;
-      bar1_next_[2 * e + s] = kInvalidEdge;
-      bar1_prev_[2 * e + s] = kInvalidEdge;
-      if (k_ >= 2) {
-        bar2_next_[2 * e + s] = kInvalidEdge;
-        bar2_prev_[2 * e + s] = kInvalidEdge;
-      }
+      inb_links_[2 * e + s] = LinkPair{};
+      bar1_links_[2 * e + s] = LinkPair{};
+      if (k_ >= 2) bar2_links_[2 * e + s] = LinkPair{};
     }
   }
   if (status_[a] && status_[b]) return;  // Caller must MoveOut one endpoint.
@@ -312,7 +307,7 @@ void MisState::OnEdgeAdded(EdgeId e) {
   }
   (void)in_i;
   ClearTightness(other);
-  if (!lazy_) Link(inb_head_, inb_next_, inb_prev_, e, other);
+  if (!lazy_) Link(inb_head_, inb_links_, e, other);
   ++count_[other];
   SetTightnessAndLog(other);
 }
@@ -329,7 +324,7 @@ void MisState::OnEdgeRemoving(EdgeId e) {
     return;
   }
   ClearTightness(other);
-  if (!lazy_) Unlink(inb_head_, inb_next_, inb_prev_, e, other);
+  if (!lazy_) Unlink(inb_head_, inb_links_, e, other);
   --count_[other];
   SetTightnessAndLog(other);
 }
@@ -342,7 +337,7 @@ void MisState::OnVertexRemoving(VertexId v) {
          e = g_->NextIncident(e, v)) {
       const VertexId u = g_->Other(e, v);
       if (status_[u]) {
-        Unlink(inb_head_, inb_next_, inb_prev_, e, v);
+        Unlink(inb_head_, inb_links_, e, v);
       }
     }
     DYNMIS_DCHECK(inb_head_[v] == kInvalidEdge);
@@ -352,13 +347,12 @@ void MisState::OnVertexRemoving(VertexId v) {
 
 size_t MisState::MemoryUsageBytes() const {
   return VectorBytes(status_) + VectorBytes(count_) + VectorBytes(inb_head_) +
-         VectorBytes(inb_next_) + VectorBytes(inb_prev_) +
-         VectorBytes(bar1_head_) + VectorBytes(bar1_next_) +
-         VectorBytes(bar1_prev_) + VectorBytes(bar2_head_) +
-         VectorBytes(bar2_next_) + VectorBytes(bar2_prev_) +
-         VectorBytes(bar1_size_) + VectorBytes(bar1_edge_) +
-         VectorBytes(bar2_edge0_) + VectorBytes(bar2_edge1_) +
-         VectorBytes(transitions_);
+         VectorBytes(inb_links_) + VectorBytes(bar1_head_) +
+         VectorBytes(bar1_links_) + VectorBytes(bar2_head_) +
+         VectorBytes(bar2_links_) + VectorBytes(bar1_size_) +
+         VectorBytes(bar1_edge_) + VectorBytes(bar2_edge0_) +
+         VectorBytes(bar2_edge1_) + VectorBytes(transitions_) +
+         VectorBytes(side_scratch_);
 }
 
 void MisState::CheckConsistency(bool expect_maximal) const {

@@ -55,6 +55,10 @@ class MisState {
   int64_t SolutionSize() const { return solution_size_; }
   std::vector<VertexId> Solution() const;
 
+  // Appends the solution members to `out` (not cleared): the copy-on-demand
+  // form of Solution() that reuses the caller's buffer across calls.
+  void AppendSolution(std::vector<VertexId>* out) const;
+
   bool lazy() const { return lazy_; }
   int k() const { return k_; }
   DynamicGraph* graph() const { return g_; }
@@ -73,7 +77,7 @@ class MisState {
   void ForEachSolutionNeighbor(VertexId u, Fn&& fn) const {
     if (!lazy_) {
       for (EdgeId e = inb_head_[u]; e != kInvalidEdge;
-           e = inb_next_[Slot(e, u)]) {
+           e = inb_links_[Slot(e, u)].next) {
         fn(g_->Other(e, u));
       }
     } else {
@@ -126,13 +130,21 @@ class MisState {
 
   // --- Transition log ----------------------------------------------------------
 
-  // Vertices whose count transitioned into 1 (or 2 when k == 2) since the
-  // last Take. Entries may be stale; consumers must re-validate.
-  std::vector<VertexId> TakeTransitions() {
-    std::vector<VertexId> out = std::move(transitions_);
+  // Drains the transition log in place: calls fn(u) for every vertex whose
+  // count transitioned into 1 (or 2 when k == 2) since the last drain, then
+  // clears the log keeping its capacity (the old TakeTransitions() moved the
+  // vector out, forcing a fresh allocation on every subsequent operation).
+  // Entries may be stale; consumers must re-validate. The callback must not
+  // call MoveIn/MoveOut or the edge hooks (they append to the log).
+  template <typename Fn>
+  void DrainTransitions(Fn&& fn) {
+    for (size_t i = 0; i < transitions_.size(); ++i) fn(transitions_[i]);
     transitions_.clear();
-    return out;
   }
+
+  // Drops pending transitions without visiting them (initialization seeds
+  // its candidate queues by a full scan instead).
+  void DiscardTransitions() { transitions_.clear(); }
 
   // --- Introspection ------------------------------------------------------------
 
@@ -143,15 +155,23 @@ class MisState {
   void CheckConsistency(bool expect_maximal) const;
 
  private:
+  // Forward/backward pointers of one intrusive-list slot, kept adjacent so
+  // link/unlink touch a single cache line per slot (they were previously
+  // split across parallel next/prev arrays).
+  struct LinkPair {
+    EdgeId next = kInvalidEdge;
+    EdgeId prev = kInvalidEdge;
+  };
+
   // Flat index of edge e's link slot on the side of vertex v.
   int Slot(EdgeId e, VertexId v) const { return 2 * e + g_->Side(e, v); }
 
   // Intrusive list plumbing. `head` is indexed by the owner vertex; the
-  // link arrays by Slot(e, owner).
-  void Link(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
-            std::vector<EdgeId>& prev, EdgeId e, VertexId owner);
-  void Unlink(std::vector<EdgeId>& head, std::vector<EdgeId>& next,
-              std::vector<EdgeId>& prev, EdgeId e, VertexId owner);
+  // link array by Slot(e, owner).
+  void Link(std::vector<EdgeId>& head, std::vector<LinkPair>& links, EdgeId e,
+            VertexId owner);
+  void Unlink(std::vector<EdgeId>& head, std::vector<LinkPair>& links,
+              EdgeId e, VertexId owner);
 
   // Removes u from whatever bar1/bar2 lists it occupies.
   void ClearTightness(VertexId u);
@@ -167,10 +187,13 @@ class MisState {
   std::vector<int32_t> count_;
   int64_t solution_size_ = 0;
 
-  // Eager-mode intrusive lists (sized 2 * edge capacity; empty when lazy).
-  std::vector<EdgeId> inb_head_, inb_next_, inb_prev_;
-  std::vector<EdgeId> bar1_head_, bar1_next_, bar1_prev_;
-  std::vector<EdgeId> bar2_head_, bar2_next_, bar2_prev_;
+  // Reusable scratch for CollectBar2Pair (hot on the deletion path).
+  mutable std::vector<VertexId> side_scratch_;
+
+  // Eager-mode intrusive lists (link arrays sized 2 * edge capacity; empty
+  // when lazy).
+  std::vector<EdgeId> inb_head_, bar1_head_, bar2_head_;
+  std::vector<LinkPair> inb_links_, bar1_links_, bar2_links_;
   std::vector<int32_t> bar1_size_;
   // Membership records: by which edge is u linked into an owner's list.
   std::vector<EdgeId> bar1_edge_;

@@ -18,33 +18,55 @@ uint64_t DyTwoSwap::PairKey(VertexId x, VertexId y) {
          static_cast<uint32_t>(y + 1);
 }
 
-void DyTwoSwap::UnpackPair(uint64_t key, VertexId* x, VertexId* y) {
-  *x = static_cast<VertexId>(key >> 32) - 1;
-  *y = static_cast<VertexId>(key & 0xffffffffu) - 1;
-}
-
 void DyTwoSwap::EnsureCapacity() {
   state_.EnsureCapacity();
   const size_t vcap = g_->VertexCapacity();
   if (in_c1_.size() < vcap) {
     in_c1_.resize(vcap, 0);
-    cand_of_.resize(vcap);
-    cand_owner_.resize(vcap, kInvalidVertex);
+    cands_.EnsureCapacity(vcap);
     cand2_key_.resize(vcap, 0);
+    cand2_next_.resize(vcap, kInvalidVertex);
+    cand2_prev_.resize(vcap, kInvalidVertex);
+    c2_head_.resize(vcap, -1);
     mark_.resize(vcap, 0);
   }
+}
+
+int32_t* DyTwoSwap::FindBucketLink(VertexId a, VertexId b) {
+  int32_t* link = &c2_head_[a];
+  while (*link != -1 && c2_pool_[*link].y != b) {
+    link = &c2_pool_[*link].next;
+  }
+  return link;
+}
+
+void DyTwoSwap::UnlinkC2(VertexId x) {
+  const uint64_t key = cand2_key_[x];
+  DYNMIS_DCHECK(key != 0);
+  const VertexId prev = cand2_prev_[x];
+  const VertexId next = cand2_next_[x];
+  if (prev != kInvalidVertex) {
+    cand2_next_[prev] = next;
+  } else {
+    // x heads its bucket: find the bucket via the smaller endpoint's chain
+    // (membership implies an active, chained bucket).
+    const VertexId a = static_cast<VertexId>(key >> 32) - 1;
+    const VertexId b = static_cast<VertexId>(key & 0xffffffffu) - 1;
+    const int32_t bucket = *FindBucketLink(a, b);
+    DYNMIS_CHECK(bucket != -1);
+    DYNMIS_DCHECK(c2_pool_[bucket].head == x);
+    c2_pool_[bucket].head = next;
+  }
+  if (next != kInvalidVertex) cand2_prev_[next] = prev;
+  cand2_key_[x] = 0;
 }
 
 void DyTwoSwap::ResetVertexSlots(VertexId v) {
   EnsureCapacity();
   state_.OnVertexAdded(v);
   in_c1_[v] = 0;
-  for (VertexId u : cand_of_[v]) {
-    if (cand_owner_[u] == v) cand_owner_[u] = kInvalidVertex;
-  }
-  cand_of_[v].clear();
-  cand_owner_[v] = kInvalidVertex;
-  cand2_key_[v] = 0;
+  cands_.OnVertexReset(v);
+  if (cand2_key_[v] != 0) UnlinkC2(v);
   mark_[v] = 0;
 }
 
@@ -59,11 +81,11 @@ void DyTwoSwap::Initialize(const std::vector<VertexId>& initial) {
       free.push_back(v);
     }
   }
-  ExtendSolution(std::move(free));
+  ExtendSolution(&free);
   // Establish 2-maximality: every 1-tight vertex seeds C1 and every 2-tight
   // vertex seeds C2 (a 2-swap's triple must contain a 2-tight vertex once
   // the solution is 1-maximal, so this is complete).
-  (void)state_.TakeTransitions();
+  state_.DiscardTransitions();
   for (VertexId u = 0; u < g_->VertexCapacity(); ++u) {
     if (!g_->IsVertexAlive(u) || state_.InSolution(u)) continue;
     if (state_.Count(u) == 1) {
@@ -71,20 +93,22 @@ void DyTwoSwap::Initialize(const std::vector<VertexId>& initial) {
     } else if (state_.Count(u) == 2) {
       VertexId a, b;
       state_.OwnersOf2(u, &a, &b);
-      EnqueueC2(PairKey(a, b), u);
+      EnqueueC2(a, b, u);
     }
   }
   ProcessQueues();
 }
 
-void DyTwoSwap::ExtendSolution(std::vector<VertexId> candidates) {
+void DyTwoSwap::ExtendSolution(std::vector<VertexId>* candidates) {
   if (options_.perturb) {
-    std::sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
-      return g_->Degree(a) != g_->Degree(b) ? g_->Degree(a) < g_->Degree(b)
-                                            : a < b;
-    });
+    std::sort(candidates->begin(), candidates->end(),
+              [&](VertexId a, VertexId b) {
+                return g_->Degree(a) != g_->Degree(b)
+                           ? g_->Degree(a) < g_->Degree(b)
+                           : a < b;
+              });
   }
-  for (VertexId w : candidates) {
+  for (VertexId w : *candidates) {
     if (g_->IsVertexAlive(w) && !state_.InSolution(w) && state_.Count(w) == 0) {
       state_.MoveIn(w);
     }
@@ -92,34 +116,55 @@ void DyTwoSwap::ExtendSolution(std::vector<VertexId> candidates) {
 }
 
 void DyTwoSwap::EnqueueC1(VertexId owner, VertexId u) {
-  if (cand_owner_[u] == owner) return;
-  cand_owner_[u] = owner;
-  cand_of_[owner].push_back(u);
+  if (!cands_.Enqueue(owner, u)) return;
   if (!in_c1_[owner]) {
     in_c1_[owner] = 1;
     c1_queue_.push_back(owner);
   }
 }
 
-void DyTwoSwap::EnqueueC2(uint64_t pair_key, VertexId x) {
+void DyTwoSwap::EnqueueC2(VertexId a, VertexId b, VertexId x) {
+  if (a > b) std::swap(a, b);
+  const uint64_t pair_key = PairKey(a, b);
   if (cand2_key_[x] == pair_key) return;
+  if (cand2_key_[x] != 0) UnlinkC2(x);
+  // Find the pair's active bucket among those sharing the smaller endpoint.
+  int32_t bucket = *FindBucketLink(a, b);
+  if (bucket == -1) {
+    if (!c2_free_.empty()) {
+      bucket = c2_free_.back();
+      c2_free_.pop_back();
+    } else {
+      bucket = static_cast<int32_t>(c2_pool_.size());
+      c2_pool_.emplace_back();
+    }
+    PairBucket& rec = c2_pool_[bucket];
+    rec.x = a;
+    rec.y = b;
+    rec.head = kInvalidVertex;
+    rec.next = c2_head_[a];
+    c2_head_[a] = bucket;
+    c2_queue_.push_back(bucket);
+  }
+  PairBucket& rec = c2_pool_[bucket];
   cand2_key_[x] = pair_key;
-  auto [it, inserted] = c2_cands_.try_emplace(pair_key);
-  it->second.push_back(x);
-  if (inserted) c2_queue_.push_back(pair_key);
+  cand2_next_[x] = rec.head;
+  cand2_prev_[x] = kInvalidVertex;
+  if (rec.head != kInvalidVertex) cand2_prev_[rec.head] = x;
+  rec.head = x;
 }
 
 void DyTwoSwap::DrainTransitions() {
-  for (VertexId u : state_.TakeTransitions()) {
-    if (!g_->IsVertexAlive(u) || state_.InSolution(u)) continue;
+  state_.DrainTransitions([&](VertexId u) {
+    if (!g_->IsVertexAlive(u) || state_.InSolution(u)) return;
     if (state_.Count(u) == 1) {
       EnqueueC1(state_.OwnerOf(u), u);
     } else if (state_.Count(u) == 2) {
       VertexId a, b;
       state_.OwnersOf2(u, &a, &b);
-      EnqueueC2(PairKey(a, b), u);
+      EnqueueC2(a, b, u);
     }
-  }
+  });
 }
 
 std::vector<VertexId> DyTwoSwap::ApplyBatch(
@@ -147,23 +192,22 @@ void DyTwoSwap::FindOneSwapStep() {
   const VertexId v = c1_queue_.back();
   c1_queue_.pop_back();
   in_c1_[v] = 0;
-  std::vector<VertexId> cands = std::move(cand_of_[v]);
-  cand_of_[v].clear();
   const bool v_valid = g_->IsVertexAlive(v) && state_.InSolution(v);
-  std::vector<VertexId> kept;
-  for (VertexId u : cands) {
-    if (cand_owner_[u] != v) continue;
-    cand_owner_[u] = kInvalidVertex;
-    if (!v_valid || !g_->IsVertexAlive(u) || state_.InSolution(u) ||
-        state_.Count(u) != 1 || state_.OwnerOf(u) != v) {
-      continue;
+  // Consume v's candidate list; entries may be stale (candidates are
+  // re-validated, not unlinked, when their tightness changes).
+  std::vector<VertexId>& kept = kept_;
+  kept.clear();
+  cands_.Consume(v, [&](VertexId u) {
+    if (v_valid && g_->IsVertexAlive(u) && !state_.InSolution(u) &&
+        state_.Count(u) == 1 && state_.OwnerOf(u) == v) {
+      kept.push_back(u);
     }
-    kept.push_back(u);
-  }
+  });
   if (kept.empty()) return;
   stats_.candidates_processed += static_cast<int64_t>(kept.size());
 
-  std::vector<VertexId> bar1;
+  std::vector<VertexId>& bar1 = bar1_scratch_;
+  bar1.clear();
   state_.CollectBar1(v, &bar1);
   const int bar1_size = static_cast<int>(bar1.size());
   NewEpoch();
@@ -186,7 +230,7 @@ void DyTwoSwap::FindOneSwapStep() {
     }
   }
   if (chosen != kInvalidVertex) {
-    PerformOneSwap(v, chosen, bar1);
+    PerformOneSwap(v, chosen, &bar1);
     return;
   }
   if (options_.perturb && !bar1.empty()) {
@@ -210,7 +254,8 @@ void DyTwoSwap::FindOneSwapStep() {
   // useful pair witness only if it misses at least one member of C(v).
   NewEpoch();
   for (VertexId u : kept) Mark(u);
-  std::vector<VertexId> bar2;
+  std::vector<VertexId>& bar2 = bar2_scratch_;
+  bar2.clear();
   state_.CollectBar2(v, &bar2);
   const int kept_size = static_cast<int>(kept.size());
   for (VertexId x : bar2) {
@@ -221,44 +266,61 @@ void DyTwoSwap::FindOneSwapStep() {
     if (inter < kept_size) {
       VertexId a, b;
       state_.OwnersOf2(x, &a, &b);
-      EnqueueC2(PairKey(a, b), x);
+      EnqueueC2(a, b, x);
     }
   }
 }
 
 void DyTwoSwap::FindTwoSwapStep() {
-  const uint64_t key = c2_queue_.back();
+  const int32_t bucket = c2_queue_.back();
   c2_queue_.pop_back();
-  auto it = c2_cands_.find(key);
-  DYNMIS_DCHECK(it != c2_cands_.end());
-  std::vector<VertexId> cands = std::move(it->second);
-  c2_cands_.erase(it);
-  VertexId x, y;
-  UnpackPair(key, &x, &y);
+  PairBucket& rec = c2_pool_[bucket];
+  const VertexId x = rec.x;
+  const VertexId y = rec.y;
+  const uint64_t key = PairKey(x, y);
+  // Unlink from the smaller endpoint's chain and return the bucket to the
+  // pool, consuming its member list (queued buckets are always chained, and
+  // a pair has at most one active bucket).
+  int32_t* link = FindBucketLink(x, y);
+  DYNMIS_DCHECK(*link == bucket);
+  *link = rec.next;
+  const VertexId members = rec.head;
+  rec.next = -1;
+  rec.x = kInvalidVertex;
+  rec.y = kInvalidVertex;
+  rec.head = kInvalidVertex;
+  c2_free_.push_back(bucket);
+
   const bool pair_valid = g_->IsVertexAlive(x) && g_->IsVertexAlive(y) &&
                           state_.InSolution(x) && state_.InSolution(y);
-  std::vector<VertexId> kept;
-  for (VertexId w : cands) {
-    if (cand2_key_[w] != key) continue;
-    cand2_key_[w] = 0;
-    if (!pair_valid || !g_->IsVertexAlive(w) || state_.InSolution(w) ||
-        state_.Count(w) != 2) {
-      continue;
+  std::vector<VertexId>& kept = kept_;
+  kept.clear();
+  for (VertexId w = members; w != kInvalidVertex;) {
+    const VertexId next = cand2_next_[w];
+    cand2_key_[w] = 0;  // Consume.
+    if (pair_valid && g_->IsVertexAlive(w) && !state_.InSolution(w) &&
+        state_.Count(w) == 2) {
+      VertexId a, b;
+      state_.OwnersOf2(w, &a, &b);
+      if (PairKey(a, b) == key) kept.push_back(w);
     }
-    VertexId a, b;
-    state_.OwnersOf2(w, &a, &b);
-    if (PairKey(a, b) != key) continue;
-    kept.push_back(w);
+    w = next;
   }
   if (kept.empty()) return;
   stats_.pair_candidates_processed += static_cast<int64_t>(kept.size());
 
-  std::vector<VertexId> bar1x, bar1y, bar2s;
+  std::vector<VertexId>& bar1x = bar1x_;
+  std::vector<VertexId>& bar1y = bar1y_;
+  std::vector<VertexId>& bar2s = bar2s_;
+  bar1x.clear();
+  bar1y.clear();
+  bar2s.clear();
   state_.CollectBar1(x, &bar1x);
   state_.CollectBar1(y, &bar1y);
   state_.CollectBar2Pair(x, y, &bar2s);
 
-  std::vector<VertexId> cy, cz;
+  std::vector<VertexId>& cy = cy_;
+  std::vector<VertexId>& cz = cz_;
   for (VertexId w : kept) {
     // Cy = bar1(x) u bar2(S) \ N[w];  Cz = bar1(y) u bar2(S) \ N[w].
     NewEpoch();
@@ -301,30 +363,29 @@ void DyTwoSwap::FindTwoSwapStep() {
         }
       }
       DYNMIS_CHECK(b != kInvalidVertex);
-      std::vector<VertexId> region;
-      region.reserve(bar1x.size() + bar1y.size() + bar2s.size());
-      region.insert(region.end(), bar1x.begin(), bar1x.end());
-      region.insert(region.end(), bar1y.begin(), bar1y.end());
-      region.insert(region.end(), bar2s.begin(), bar2s.end());
-      PerformTwoSwap(x, y, w, a, b, std::move(region));
+      region_.clear();
+      region_.reserve(bar1x.size() + bar1y.size() + bar2s.size());
+      region_.insert(region_.end(), bar1x.begin(), bar1x.end());
+      region_.insert(region_.end(), bar1y.begin(), bar1y.end());
+      region_.insert(region_.end(), bar2s.begin(), bar2s.end());
+      PerformTwoSwap(x, y, w, a, b, &region_);
       return;
     }
   }
 }
 
 void DyTwoSwap::PerformOneSwap(VertexId v, VertexId u,
-                               const std::vector<VertexId>& bar1_snapshot) {
+                               std::vector<VertexId>* bar1_snapshot) {
   ++stats_.one_swaps;
-  std::vector<VertexId> snapshot = bar1_snapshot;
   state_.MoveOut(v);
   state_.MoveIn(u);
-  ExtendSolution(std::move(snapshot));
+  ExtendSolution(bar1_snapshot);
   DrainTransitions();
 }
 
 void DyTwoSwap::PerformTwoSwap(VertexId x, VertexId y, VertexId in_a,
                                VertexId in_b, VertexId in_c,
-                               std::vector<VertexId> region_snapshot) {
+                               std::vector<VertexId>* region_snapshot) {
   ++stats_.two_swaps;
   state_.MoveOut(x);
   state_.MoveOut(y);
@@ -333,7 +394,7 @@ void DyTwoSwap::PerformTwoSwap(VertexId x, VertexId y, VertexId in_a,
   DYNMIS_DCHECK(state_.Count(in_b) == 0);
   state_.MoveIn(in_b);
   if (state_.Count(in_c) == 0) state_.MoveIn(in_c);
-  ExtendSolution(std::move(region_snapshot));
+  ExtendSolution(region_snapshot);
   DrainTransitions();
 }
 
@@ -353,11 +414,13 @@ void DyTwoSwap::InsertEdge(VertexId u, VertexId v) {
       loser = g_->Degree(u) >= g_->Degree(v) ? u : v;
     }
     state_.MoveOut(loser);
-    std::vector<VertexId> freed;
+    extend_scratch_.clear();
     g_->ForEachIncident(loser, [&](VertexId w, EdgeId) {
-      if (!state_.InSolution(w) && state_.Count(w) == 0) freed.push_back(w);
+      if (!state_.InSolution(w) && state_.Count(w) == 0) {
+        extend_scratch_.push_back(w);
+      }
     });
-    ExtendSolution(std::move(freed));
+    ExtendSolution(&extend_scratch_);
   }
   DrainTransitions();
   ProcessQueues();
@@ -381,13 +444,13 @@ void DyTwoSwap::DeleteEdge(VertexId u, VertexId v) {
     if (wu == wv) {
       // Deletion case ii.a: swap the shared owner with {u, v}.
       ++stats_.one_swaps;
-      std::vector<VertexId> snapshot;
-      state_.CollectBar1(wu, &snapshot);
+      bar1_scratch_.clear();
+      state_.CollectBar1(wu, &bar1_scratch_);
       state_.MoveOut(wu);
       DYNMIS_DCHECK(state_.Count(u) == 0);
       state_.MoveIn(u);
       if (state_.Count(v) == 0) state_.MoveIn(v);
-      ExtendSolution(std::move(snapshot));
+      ExtendSolution(&bar1_scratch_);
     } else {
       // Deletion case ii.b: S = {wu, wv} with swap-in {u, v, w} for a
       // 2-tight w of the pair that misses both u and v.
@@ -396,7 +459,8 @@ void DyTwoSwap::DeleteEdge(VertexId u, VertexId v) {
       Mark(v);
       g_->ForEachIncident(u, [&](VertexId z, EdgeId) { Mark(z); });
       g_->ForEachIncident(v, [&](VertexId z, EdgeId) { Mark(z); });
-      std::vector<VertexId> pair_tight;
+      std::vector<VertexId>& pair_tight = bar2s_;
+      pair_tight.clear();
       state_.CollectBar2Pair(wu, wv, &pair_tight);
       VertexId w = kInvalidVertex;
       for (VertexId z : pair_tight) {
@@ -406,10 +470,10 @@ void DyTwoSwap::DeleteEdge(VertexId u, VertexId v) {
         }
       }
       if (w != kInvalidVertex) {
-        std::vector<VertexId> region;
-        state_.CollectBar1(wu, &region);
-        state_.CollectBar1(wv, &region);
-        region.insert(region.end(), pair_tight.begin(), pair_tight.end());
+        region_.clear();
+        state_.CollectBar1(wu, &region_);
+        state_.CollectBar1(wv, &region_);
+        region_.insert(region_.end(), pair_tight.begin(), pair_tight.end());
         state_.MoveOut(wu);
         state_.MoveOut(wv);
         ++stats_.two_swaps;
@@ -418,7 +482,7 @@ void DyTwoSwap::DeleteEdge(VertexId u, VertexId v) {
         DYNMIS_DCHECK(state_.Count(v) == 0);
         state_.MoveIn(v);
         if (state_.Count(w) == 0) state_.MoveIn(w);
-        ExtendSolution(std::move(region));
+        ExtendSolution(&region_);
       }
     }
   } else {
@@ -434,7 +498,7 @@ void DyTwoSwap::DeleteEdge(VertexId u, VertexId v) {
       state_.ForEachSolutionNeighbor(p, [&](VertexId s) {
         if (s != a && s != b) subset = false;
       });
-      if (subset) EnqueueC2(PairKey(a, b), q);
+      if (subset) EnqueueC2(a, b, q);
     }
   }
   DrainTransitions();
@@ -459,22 +523,30 @@ VertexId DyTwoSwap::InsertVertex(const std::vector<VertexId>& neighbors) {
 
 void DyTwoSwap::DeleteVertex(VertexId v) {
   DYNMIS_CHECK(g_->IsVertexAlive(v));
-  std::vector<VertexId> neighbors = g_->Neighbors(v);
+  extend_scratch_.clear();
+  g_->ForEachIncident(v, [&](VertexId w, EdgeId) {
+    extend_scratch_.push_back(w);
+  });
   if (state_.InSolution(v)) state_.MoveOut(v);
   state_.OnVertexRemoving(v);
   g_->RemoveVertex(v);
   ResetVertexSlots(v);
-  ExtendSolution(std::move(neighbors));
+  ExtendSolution(&extend_scratch_);
   DrainTransitions();
   ProcessQueues();
 }
 
 size_t DyTwoSwap::MemoryUsageBytes() const {
   return state_.MemoryUsageBytes() + VectorBytes(c1_queue_) +
-         VectorBytes(in_c1_) + NestedVectorBytes(cand_of_) +
-         VectorBytes(cand_owner_) + VectorBytes(c2_queue_) +
-         UnorderedMapBytes(c2_cands_) + VectorBytes(cand2_key_) +
-         VectorBytes(mark_) + VectorBytes(scratch_);
+         VectorBytes(in_c1_) + cands_.MemoryUsageBytes() +
+         VectorBytes(c2_pool_) + VectorBytes(c2_free_) +
+         VectorBytes(c2_queue_) + VectorBytes(c2_head_) +
+         VectorBytes(cand2_key_) + VectorBytes(cand2_next_) +
+         VectorBytes(cand2_prev_) + VectorBytes(mark_) + VectorBytes(kept_) +
+         VectorBytes(bar1_scratch_) + VectorBytes(bar2_scratch_) +
+         VectorBytes(bar1x_) + VectorBytes(bar1y_) + VectorBytes(bar2s_) +
+         VectorBytes(cy_) + VectorBytes(cz_) + VectorBytes(region_) +
+         VectorBytes(extend_scratch_);
 }
 
 std::string DyTwoSwap::Name() const {

@@ -16,11 +16,11 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dynmis/config.h"
 #include "dynmis/maintainer.h"
+#include "src/core/candidate_list.h"
 #include "src/core/solution.h"
 
 namespace dynmis {
@@ -44,6 +44,9 @@ class DyTwoSwap : public DynamicMisMaintainer {
   bool InSolution(VertexId v) const override { return state_.InSolution(v); }
   int64_t SolutionSize() const override { return state_.SolutionSize(); }
   std::vector<VertexId> Solution() const override { return state_.Solution(); }
+  void CollectSolution(std::vector<VertexId>* out) const override {
+    state_.AppendSolution(out);
+  }
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
@@ -58,23 +61,33 @@ class DyTwoSwap : public DynamicMisMaintainer {
   const Stats& stats() const { return stats_; }
 
  private:
-  // Pair key for C2: packs the ordered solution pair {x < y}.
+  // Pair key for C2: packs the ordered solution pair {x < y}. Used only for
+  // the per-candidate dedup stamp (cand2_key_); bucket lookup is chain-based.
   static uint64_t PairKey(VertexId x, VertexId y);
-  static void UnpackPair(uint64_t key, VertexId* x, VertexId* y);
 
   void EnsureCapacity();
   void ResetVertexSlots(VertexId v);
-  void ExtendSolution(std::vector<VertexId> candidates);
+  // Moves every count-0 vertex in `*candidates` into the solution (in degree
+  // order under perturbation). Borrows the caller's buffer — may reorder it.
+  void ExtendSolution(std::vector<VertexId>* candidates);
   void EnqueueC1(VertexId owner, VertexId u);
-  void EnqueueC2(uint64_t pair_key, VertexId x);
+  void EnqueueC2(VertexId a, VertexId b, VertexId x);
   void DrainTransitions();
   void ProcessQueues();
   void FindOneSwapStep();
   void FindTwoSwapStep();
+  // Snapshot arguments are borrowed scratch (consumed by ExtendSolution).
   void PerformOneSwap(VertexId v, VertexId u,
-                      const std::vector<VertexId>& bar1_snapshot);
+                      std::vector<VertexId>* bar1_snapshot);
   void PerformTwoSwap(VertexId x, VertexId y, VertexId in_a, VertexId in_b,
-                      VertexId in_c, std::vector<VertexId> region_snapshot);
+                      VertexId in_c, std::vector<VertexId>* region_snapshot);
+  // Removes `x` from its current C2 bucket (requires cand2_key_[x] != 0).
+  void UnlinkC2(VertexId x);
+  // Returns the chain link slot (&c2_head_[a] or an active bucket's `next`
+  // field) whose target is the bucket for pair {a < b}; the terminating
+  // slot (*slot == -1) when the pair has no active bucket. The returned
+  // pointer is invalidated by any c2_pool_ growth.
+  int32_t* FindBucketLink(VertexId a, VertexId b);
   void NewEpoch() { ++epoch_; }
   void Mark(VertexId v) { mark_[v] = epoch_; }
   bool Marked(VertexId v) const { return mark_[v] == epoch_; }
@@ -85,21 +98,48 @@ class DyTwoSwap : public DynamicMisMaintainer {
   // True while inside ApplyBatch: handlers defer ProcessQueues to batch end.
   bool deferred_ = false;
 
-  // C1: per-solution-vertex candidate lists.
+  // C1: per-solution-vertex candidate lists, intrusive and allocation-free
+  // (see CandidateList; the former vector<vector<VertexId>> allocated on
+  // first enqueue under every new owner).
   std::vector<VertexId> c1_queue_;
   std::vector<uint8_t> in_c1_;
-  std::vector<std::vector<VertexId>> cand_of_;
-  std::vector<VertexId> cand_owner_;
+  CandidateList cands_;
 
-  // C2: per-solution-pair candidate lists, keyed by packed pair.
-  std::vector<uint64_t> c2_queue_;
-  std::unordered_map<uint64_t, std::vector<VertexId>> c2_cands_;
-  // cand2_key_[x]: pair key under which x is enqueued, 0 when none.
+  // C2: per-solution-pair candidate buckets drawn from a reusable pool —
+  // the former unordered_map<pair key, vector> cost a hash probe plus node
+  // and vector allocations on every count-2 transition. A bucket lives from
+  // its first candidate until FindTwoSwapStep pops it; lookup is a walk of
+  // the (nearly always single-entry) chain of active buckets sharing the
+  // pair's smaller endpoint. Bucket membership is again an intrusive list
+  // through flat per-vertex slots (a vertex sits in at most one bucket, per
+  // cand2_key_), so the pool records are plain 16-byte structs.
+  struct PairBucket {
+    VertexId x = kInvalidVertex;     // Smaller endpoint of the pair.
+    VertexId y = kInvalidVertex;     // Larger endpoint.
+    VertexId head = kInvalidVertex;  // First member candidate.
+    int32_t next = -1;  // Next active bucket with the same x, -1 at end.
+  };
+  std::vector<PairBucket> c2_pool_;
+  std::vector<int32_t> c2_free_;   // Pool indices available for reuse.
+  std::vector<int32_t> c2_queue_;  // Active bucket indices (LIFO).
+  // c2_head_[v]: first active bucket whose smaller endpoint is v, -1 none.
+  std::vector<int32_t> c2_head_;
+  // cand2_key_[x]: packed pair key under which x is enqueued, 0 when none.
   std::vector<uint64_t> cand2_key_;
+  std::vector<VertexId> cand2_next_, cand2_prev_;  // Per member vertex.
 
   std::vector<uint32_t> mark_;
   uint32_t epoch_ = 0;
-  std::vector<VertexId> scratch_;
+
+  // Reusable scratch buffers (grow to the workload's high-water mark, then
+  // stay put).
+  std::vector<VertexId> kept_;  // Validated candidates.
+  std::vector<VertexId> bar1_scratch_;
+  std::vector<VertexId> bar2_scratch_;
+  std::vector<VertexId> bar1x_, bar1y_, bar2s_;  // FindTwoSwapStep sets.
+  std::vector<VertexId> cy_, cz_;
+  std::vector<VertexId> region_;
+  std::vector<VertexId> extend_scratch_;  // Freed vertices / neighborhoods.
 
   Stats stats_;
 };

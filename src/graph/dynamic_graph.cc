@@ -9,8 +9,36 @@ namespace dynmis {
 DynamicGraph::DynamicGraph(int n) {
   DYNMIS_CHECK_GE(n, 0);
   vertices_.resize(n);
-  for (auto& rec : vertices_) rec.alive = true;
+  for (auto& rec : vertices_) rec.degree = 0;
   num_vertices_ = n;
+  degree_count_.assign(1, n);
+}
+
+void DynamicGraph::Reserve(int n, int64_t m) {
+  if (n > 0) {
+    vertices_.reserve(static_cast<size_t>(n));
+    free_vertices_.reserve(static_cast<size_t>(n));
+  }
+  if (m > 0) {
+    edges_.reserve(static_cast<size_t>(m));
+    edge_prev_.reserve(2 * static_cast<size_t>(m));
+    free_edges_.reserve(static_cast<size_t>(m));
+  }
+}
+
+void DynamicGraph::DegreeChanged(int old_degree, int new_degree) {
+  --degree_count_[old_degree];
+  if (new_degree >= static_cast<int>(degree_count_.size())) {
+    degree_count_.resize(new_degree + 1, 0);
+  }
+  ++degree_count_[new_degree];
+  if (new_degree > max_degree_) {
+    max_degree_ = new_degree;
+  } else if (old_degree == max_degree_ && degree_count_[old_degree] == 0) {
+    // Amortized O(1): every decrement of max_degree_ is paid for by an
+    // earlier unit increment in the branch above.
+    while (max_degree_ > 0 && degree_count_[max_degree_] == 0) --max_degree_;
+  }
 }
 
 VertexId DynamicGraph::AddVertex() {
@@ -23,10 +51,11 @@ VertexId DynamicGraph::AddVertex() {
     vertices_.emplace_back();
   }
   VertexRec& rec = vertices_[v];
-  rec.alive = true;
   rec.head = kInvalidEdge;
   rec.degree = 0;
   ++num_vertices_;
+  if (degree_count_.empty()) degree_count_.assign(1, 0);
+  ++degree_count_[0];
   return v;
 }
 
@@ -38,21 +67,11 @@ void DynamicGraph::RemoveVertex(VertexId v) {
     RemoveEdge(e);
     e = next;
   }
-  vertices_[v].alive = false;
+  DYNMIS_DCHECK(vertices_[v].degree == 0);
+  --degree_count_[0];
+  vertices_[v].degree = -1;
   free_vertices_.push_back(v);
   --num_vertices_;
-}
-
-int DynamicGraph::MaxDegree() const {
-  if (!max_degree_exact_) {
-    int max_deg = 0;
-    for (const auto& rec : vertices_) {
-      if (rec.alive && rec.degree > max_deg) max_deg = rec.degree;
-    }
-    max_degree_bound_ = max_deg;
-    max_degree_exact_ = true;
-  }
-  return max_degree_bound_;
 }
 
 EdgeId DynamicGraph::AddEdge(VertexId u, VertexId v) {
@@ -68,25 +87,22 @@ EdgeId DynamicGraph::AddEdge(VertexId u, VertexId v) {
   } else {
     e = static_cast<EdgeId>(edges_.size());
     edges_.emplace_back();
+    edge_prev_.resize(edge_prev_.size() + 2, kInvalidEdge);
   }
   EdgeRec& rec = edges_[e];
-  rec.alive = true;
   rec.endpoint[0] = u;
   rec.endpoint[1] = v;
   for (int s = 0; s < 2; ++s) {
     VertexId x = rec.endpoint[s];
     VertexRec& vx = vertices_[x];
-    rec.prev[s] = kInvalidEdge;
+    edge_prev_[2 * e + s] = kInvalidEdge;
     rec.next[s] = vx.head;
     if (vx.head != kInvalidEdge) {
-      EdgeRec& head_rec = edges_[vx.head];
-      head_rec.prev[SideOf(vx.head, x)] = e;
+      edge_prev_[2 * vx.head + SideOf(vx.head, x)] = e;
     }
     vx.head = e;
     ++vx.degree;
-    if (max_degree_exact_ && vx.degree > max_degree_bound_) {
-      max_degree_bound_ = vx.degree;
-    }
+    DegreeChanged(vx.degree - 1, vx.degree);
   }
   ++num_edges_;
   return e;
@@ -95,7 +111,7 @@ EdgeId DynamicGraph::AddEdge(VertexId u, VertexId v) {
 void DynamicGraph::UnlinkFrom(EdgeId e, VertexId v) {
   EdgeRec& rec = edges_[e];
   const int s = SideOf(e, v);
-  const EdgeId prev = rec.prev[s];
+  const EdgeId prev = edge_prev_[2 * e + s];
   const EdgeId next = rec.next[s];
   if (prev != kInvalidEdge) {
     edges_[prev].next[SideOf(prev, v)] = next;
@@ -103,11 +119,11 @@ void DynamicGraph::UnlinkFrom(EdgeId e, VertexId v) {
     vertices_[v].head = next;
   }
   if (next != kInvalidEdge) {
-    edges_[next].prev[SideOf(next, v)] = prev;
+    edge_prev_[2 * next + SideOf(next, v)] = prev;
   }
   VertexRec& vrec = vertices_[v];
-  if (vrec.degree == max_degree_bound_) max_degree_exact_ = false;
   --vrec.degree;
+  DegreeChanged(vrec.degree + 1, vrec.degree);
 }
 
 void DynamicGraph::RemoveEdge(EdgeId e) {
@@ -115,8 +131,7 @@ void DynamicGraph::RemoveEdge(EdgeId e) {
   EdgeRec& rec = edges_[e];
   UnlinkFrom(e, rec.endpoint[0]);
   UnlinkFrom(e, rec.endpoint[1]);
-  rec.alive = false;
-  rec.endpoint[0] = kInvalidVertex;
+  rec.endpoint[0] = kInvalidVertex;  // Marks the edge dead.
   rec.endpoint[1] = kInvalidVertex;
   free_edges_.push_back(e);
   --num_edges_;
@@ -150,7 +165,7 @@ std::vector<VertexId> DynamicGraph::AliveVertices() const {
   std::vector<VertexId> result;
   result.reserve(num_vertices_);
   for (VertexId v = 0; v < VertexCapacity(); ++v) {
-    if (vertices_[v].alive) result.push_back(v);
+    if (vertices_[v].degree >= 0) result.push_back(v);
   }
   return result;
 }
@@ -159,7 +174,7 @@ std::vector<std::pair<VertexId, VertexId>> DynamicGraph::EdgeList() const {
   std::vector<std::pair<VertexId, VertexId>> result;
   result.reserve(static_cast<size_t>(num_edges_));
   for (EdgeId e = 0; e < EdgeCapacity(); ++e) {
-    if (!edges_[e].alive) continue;
+    if (edges_[e].endpoint[0] == kInvalidVertex) continue;
     VertexId u = edges_[e].endpoint[0];
     VertexId v = edges_[e].endpoint[1];
     if (u > v) std::swap(u, v);
@@ -170,7 +185,8 @@ std::vector<std::pair<VertexId, VertexId>> DynamicGraph::EdgeList() const {
 
 size_t DynamicGraph::MemoryUsageBytes() const {
   return VectorBytes(vertices_) + VectorBytes(edges_) +
-         VectorBytes(free_vertices_) + VectorBytes(free_edges_);
+         VectorBytes(edge_prev_) + VectorBytes(free_vertices_) +
+         VectorBytes(free_edges_) + VectorBytes(degree_count_);
 }
 
 }  // namespace dynmis

@@ -56,7 +56,7 @@ class DynamicGraph {
 
   // True if `v` names a currently alive vertex.
   bool IsVertexAlive(VertexId v) const {
-    return v >= 0 && v < VertexCapacity() && vertices_[v].alive;
+    return v >= 0 && v < VertexCapacity() && vertices_[v].degree >= 0;
   }
 
   int NumVertices() const { return num_vertices_; }
@@ -70,9 +70,16 @@ class DynamicGraph {
     return vertices_[v].degree;
   }
 
-  // Maximum degree over alive vertices; O(1), maintained lazily as an upper
-  // bound that is recomputed when queried after it may have decreased.
-  int MaxDegree() const;
+  // Maximum degree over alive vertices. O(1) and always exact: a degree
+  // histogram is maintained incrementally (the former implementation kept a
+  // lazy upper bound and recomputed with an O(n) scan whenever the bound
+  // may have decreased).
+  int MaxDegree() const { return max_degree_; }
+
+  // Pre-sizes the internal arrays for `n` vertices and `m` edges, so bulk
+  // loaders and generators do not growth-reallocate edge by edge. Purely an
+  // optimization; never shrinks.
+  void Reserve(int n, int64_t m);
 
   // --- Edges ----------------------------------------------------------------
 
@@ -95,7 +102,8 @@ class DynamicGraph {
   }
 
   bool IsEdgeAlive(EdgeId e) const {
-    return e >= 0 && e < EdgeCapacity() && edges_[e].alive;
+    return e >= 0 && e < EdgeCapacity() &&
+           edges_[e].endpoint[0] != kInvalidVertex;
   }
 
   int64_t NumEdges() const { return num_edges_; }
@@ -131,6 +139,8 @@ class DynamicGraph {
   }
 
   // Incident edge following `e` in v's adjacency list, or kInvalidEdge.
+  // Touches only the 16-byte hot edge record (endpoints + forward links),
+  // so adjacency scans fetch four records per cache line.
   EdgeId NextIncident(EdgeId e, VertexId v) const {
     DYNMIS_DCHECK(IsEdgeAlive(e));
     return edges_[e].next[SideOf(e, v)];
@@ -159,19 +169,24 @@ class DynamicGraph {
   size_t MemoryUsageBytes() const;
 
  private:
+  // 8 bytes. A negative degree encodes "dead" (the former bool padded the
+  // record to 12 bytes); alive vertices always have degree >= 0.
   struct VertexRec {
     EdgeId head = kInvalidEdge;  // First edge of the adjacency list.
-    int32_t degree = 0;
-    bool alive = false;
+    int32_t degree = -1;
   };
 
   // An undirected edge threaded into both endpoints' adjacency lists.
-  // Slot s in {0,1} stores the linkage for endpoint[s]'s list.
+  // Slot s in {0,1} stores the linkage for endpoint[s]'s list. Only the
+  // forward direction lives here: this is the hot record that adjacency
+  // scans (FindEdge, ForEachIncident, the MIS state's neighborhood walks)
+  // chase, and at exactly 16 bytes four of them share a cache line — the
+  // former 28-byte layout (prev links + alive bool) fit barely two. The
+  // prev links, needed only on unlink, live in the cold side array
+  // edge_prev_; "alive" is encoded as endpoint[0] != kInvalidVertex.
   struct EdgeRec {
     VertexId endpoint[2] = {kInvalidVertex, kInvalidVertex};
     EdgeId next[2] = {kInvalidEdge, kInvalidEdge};
-    EdgeId prev[2] = {kInvalidEdge, kInvalidEdge};
-    bool alive = false;
   };
 
   // Which slot of edge `e` belongs to endpoint `v`.
@@ -183,15 +198,21 @@ class DynamicGraph {
 
   void UnlinkFrom(EdgeId e, VertexId v);
 
+  // Degree histogram bookkeeping for the O(1) exact MaxDegree().
+  void DegreeChanged(int old_degree, int new_degree);
+
   std::vector<VertexRec> vertices_;
   std::vector<EdgeRec> edges_;
+  // Cold per-edge backward links, indexed 2 * e + side.
+  std::vector<EdgeId> edge_prev_;
   std::vector<VertexId> free_vertices_;
   std::vector<EdgeId> free_edges_;
   int num_vertices_ = 0;
   int64_t num_edges_ = 0;
-  // Upper bound on the max degree; exact value recomputed on demand.
-  mutable int max_degree_bound_ = 0;
-  mutable bool max_degree_exact_ = true;
+  // degree_count_[d]: number of alive vertices with degree d (maintained
+  // for d <= max_degree_; the vector never shrinks).
+  std::vector<int32_t> degree_count_;
+  int max_degree_ = 0;
 };
 
 }  // namespace dynmis

@@ -26,9 +26,11 @@ struct EdgeListGraph {
     return n == 0 ? 0.0 : 2.0 * static_cast<double>(edges.size()) / n;
   }
 
-  // Materializes a DynamicGraph with vertices 0..n-1.
+  // Materializes a DynamicGraph with vertices 0..n-1, pre-sized so the bulk
+  // edge insertion never growth-reallocates.
   DynamicGraph ToDynamic() const {
     DynamicGraph g(n);
+    g.Reserve(n, NumEdges());
     for (const auto& [u, v] : edges) g.AddEdge(u, v);
     return g;
   }

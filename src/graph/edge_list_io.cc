@@ -25,10 +25,29 @@ std::optional<EdgeListGraph> ParseStream(std::istream& in) {
     if (inserted) ++g.n;
     return it->second;
   };
+  bool reserved = false;
   while (std::getline(in, line)) {
-    // Strip comments and skip blank lines.
+    // Strip comments and skip blank lines. A SaveEdgeList-style size header
+    // ("# nodes: N edges: M") pre-sizes the containers before stripping.
     const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
+    if (hash != std::string::npos) {
+      // Both our SaveEdgeList header and SNAP's capitalized variant
+      // ("# Nodes: 875713 Edges: 5105039") carry the sizes.
+      long long header_n = 0;
+      long long header_m = 0;
+      if (!reserved &&
+          (std::sscanf(line.c_str() + hash, "# nodes: %lld edges: %lld",
+                       &header_n, &header_m) == 2 ||
+           std::sscanf(line.c_str() + hash, "# Nodes: %lld Edges: %lld",
+                       &header_n, &header_m) == 2) &&
+          header_n >= 0 && header_m >= 0) {
+        reserved = true;
+        id_map.reserve(static_cast<size_t>(header_n));
+        seen.reserve(static_cast<size_t>(header_m));
+        g.edges.reserve(static_cast<size_t>(header_m));
+      }
+      line.resize(hash);
+    }
     std::istringstream tokens(line);
     int64_t a = 0;
     int64_t b = 0;

@@ -45,9 +45,14 @@ EdgeListGraph BarabasiAlbert(int n, int edges_per_vertex, Rng* rng) {
   DYNMIS_CHECK_GE(n, seed_size);
   EdgeListGraph g;
   g.n = n;
+  const size_t expected_edges =
+      static_cast<size_t>(seed_size) * (seed_size - 1) / 2 +
+      static_cast<size_t>(n - seed_size) * edges_per_vertex;
+  g.edges.reserve(expected_edges);
   // `attachment` holds one entry per edge endpoint, so sampling an element
   // uniformly is sampling a vertex proportionally to its degree.
   std::vector<VertexId> attachment;
+  attachment.reserve(2 * expected_edges);
   for (VertexId u = 0; u < seed_size; ++u) {
     for (VertexId v = u + 1; v < seed_size; ++v) {
       g.edges.emplace_back(u, v);
@@ -149,6 +154,8 @@ EdgeListGraph ChungLu(const std::vector<double>& weights, Rng* rng) {
   double total = 0;
   for (double x : w) total += x;
   DYNMIS_CHECK_GT(total, 0.0);
+  // Expected edge count is half the expected degree sum.
+  g.edges.reserve(static_cast<size_t>(total / 2));
 
   for (int u = 0; u < g.n - 1; ++u) {
     int v = u + 1;
@@ -201,6 +208,7 @@ EdgeListGraph RMat(int scale, int64_t m, double a, double b, double c,
   m = std::min(m, max_edges / 2);  // Leave head room for the dedup loop.
   std::unordered_set<uint64_t> seen;
   seen.reserve(static_cast<size_t>(m) * 2);
+  g.edges.reserve(static_cast<size_t>(m));
   int64_t attempts = 0;
   const int64_t max_attempts = m * 64;
   while (static_cast<int64_t>(g.edges.size()) < m &&
@@ -241,6 +249,7 @@ EdgeListGraph RandomRegular(int n, int d, Rng* rng) {
 EdgeListGraph CompleteGraph(int n) {
   EdgeListGraph g;
   g.n = n;
+  if (n > 1) g.edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v = u + 1; v < n; ++v) g.edges.emplace_back(u, v);
   }
@@ -250,6 +259,7 @@ EdgeListGraph CompleteGraph(int n) {
 EdgeListGraph PathGraph(int n) {
   EdgeListGraph g;
   g.n = n;
+  if (n > 1) g.edges.reserve(n - 1);
   for (VertexId v = 0; v + 1 < n; ++v) g.edges.emplace_back(v, v + 1);
   return g;
 }
@@ -263,6 +273,7 @@ EdgeListGraph CycleGraph(int n) {
 EdgeListGraph StarGraph(int leaves) {
   EdgeListGraph g;
   g.n = leaves + 1;
+  g.edges.reserve(leaves);
   for (VertexId v = 1; v <= leaves; ++v) g.edges.emplace_back(0, v);
   return g;
 }
@@ -272,6 +283,7 @@ EdgeListGraph Hypercube(int dim) {
   DYNMIS_CHECK_LE(dim, 24);
   EdgeListGraph g;
   g.n = 1 << dim;
+  g.edges.reserve(static_cast<size_t>(g.n) * dim / 2);
   for (VertexId v = 0; v < g.n; ++v) {
     for (int bit = 0; bit < dim; ++bit) {
       const VertexId u = v ^ (1 << bit);
@@ -284,6 +296,7 @@ EdgeListGraph Hypercube(int dim) {
 EdgeListGraph SubdivideEdges(const EdgeListGraph& g) {
   EdgeListGraph result;
   result.n = g.n + static_cast<int>(g.edges.size());
+  result.edges.reserve(2 * g.edges.size());
   VertexId next = g.n;
   for (const auto& [u, v] : g.edges) {
     result.edges.emplace_back(u, next);

@@ -1,0 +1,79 @@
+// StampedHashSet: an open-addressed set of 64-bit keys whose Clear() is
+// O(1) — slots are validated by a generation stamp instead of being wiped,
+// the same epoch trick the algorithm layers use for vertex marks. This is
+// the allocation-free replacement for the per-update std::unordered_set
+// the k-swap maintainer used to build for swap-set deduplication: once the
+// table has grown to the workload's high-water mark, Insert/Clear touch no
+// allocator at all.
+
+#ifndef DYNMIS_SRC_UTIL_STAMPED_HASH_SET_H_
+#define DYNMIS_SRC_UTIL_STAMPED_HASH_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/memory.h"
+
+namespace dynmis {
+
+class StampedHashSet {
+ public:
+  // Empties the set in O(1), keeping the table storage.
+  void Clear() {
+    if (++gen_ == 0) {
+      // Generation counter wrapped: stamps from 2^32 clears ago could alias,
+      // so invalidate them explicitly (once in a blue moon).
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      gen_ = 1;
+    }
+    size_ = 0;
+  }
+
+  // Inserts `key`; returns true when it was not yet present.
+  bool Insert(uint64_t key) {
+    if (slot_.empty()) Rehash(kInitialSlots);
+    size_t i = static_cast<size_t>(key) & mask_;
+    while (stamp_[i] == gen_) {
+      if (slot_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slot_[i] = key;
+    stamp_[i] = gen_;
+    ++size_;
+    if (size_ * 10 >= slot_.size() * 7) Rehash(2 * slot_.size());
+    return true;
+  }
+
+  size_t size() const { return size_; }
+
+  size_t MemoryUsageBytes() const {
+    return VectorBytes(slot_) + VectorBytes(stamp_);
+  }
+
+ private:
+  static constexpr size_t kInitialSlots = 256;  // Power of two.
+
+  void Rehash(size_t new_slots) {
+    std::vector<uint64_t> old_slot = std::move(slot_);
+    std::vector<uint32_t> old_stamp = std::move(stamp_);
+    slot_.assign(new_slots, 0);
+    stamp_.assign(new_slots, 0);
+    mask_ = new_slots - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_slot.size(); ++i) {
+      if (old_stamp[i] == gen_) Insert(old_slot[i]);
+    }
+  }
+
+  std::vector<uint64_t> slot_;
+  std::vector<uint32_t> stamp_;
+  uint32_t gen_ = 1;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_UTIL_STAMPED_HASH_SET_H_

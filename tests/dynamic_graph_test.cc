@@ -129,6 +129,47 @@ TEST(DynamicGraphTest, MaxDegreeTracksChanges) {
   EXPECT_EQ(g.MaxDegree(), 1);
 }
 
+TEST(DynamicGraphTest, MaxDegreeMatchesBruteForceUnderChurn) {
+  // The degree histogram behind the O(1) MaxDegree() must stay exact
+  // through arbitrary interleavings of edge and vertex churn.
+  Rng rng(31);
+  DynamicGraph g(40);
+  for (int step = 0; step < 3000; ++step) {
+    const int action = static_cast<int>(rng.NextBounded(4));
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(g.VertexCapacity()));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(g.VertexCapacity()));
+    if (action == 0 && g.IsVertexAlive(u) && g.IsVertexAlive(v) && u != v &&
+        !g.HasEdge(u, v)) {
+      g.AddEdge(u, v);
+    } else if (action == 1 && g.IsVertexAlive(u) && g.IsVertexAlive(v)) {
+      g.RemoveEdgeBetween(u, v);
+    } else if (action == 2 && g.NumVertices() < 60) {
+      g.AddVertex();
+    } else if (action == 3 && g.IsVertexAlive(u) && g.NumVertices() > 5) {
+      g.RemoveVertex(u);
+    }
+    int expected = 0;
+    for (VertexId w = 0; w < g.VertexCapacity(); ++w) {
+      if (g.IsVertexAlive(w)) expected = std::max(expected, g.Degree(w));
+    }
+    ASSERT_EQ(g.MaxDegree(), expected) << "step " << step;
+  }
+}
+
+TEST(DynamicGraphTest, ReservePreventsReallocationAndPreservesState) {
+  DynamicGraph g(4);
+  g.AddEdge(0, 1);
+  g.Reserve(100, 200);
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  for (int i = 0; i < 50; ++i) g.AddVertex();
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.NumVertices(), 54);
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_EQ(g.MaxDegree(), 1);
+}
+
 TEST(DynamicGraphTest, EdgeListIsSortedPairsOfAliveEdges) {
   DynamicGraph g(4);
   g.AddEdge(3, 1);

@@ -49,11 +49,14 @@ TEST(MisStateTest, MoveOutRestoresState) {
 TEST(MisStateTest, TransitionLogRecordsTightness) {
   DynamicGraph g = PathGraph(3).ToDynamic();  // 0-1-2.
   MisState state(&g, 1, false);
-  (void)state.TakeTransitions();
+  state.DiscardTransitions();
   state.MoveIn(1);
-  const std::vector<VertexId> transitions = state.TakeTransitions();
+  std::vector<VertexId> transitions;
+  state.DrainTransitions([&](VertexId u) { transitions.push_back(u); });
   EXPECT_EQ(Sorted(transitions), (std::vector<VertexId>{0, 2}));
-  EXPECT_TRUE(state.TakeTransitions().empty());  // Drained.
+  transitions.clear();
+  state.DrainTransitions([&](VertexId u) { transitions.push_back(u); });
+  EXPECT_TRUE(transitions.empty());  // Drained.
 }
 
 TEST(MisStateTest, Bar2TrackingWithKTwo) {
