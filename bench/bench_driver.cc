@@ -14,17 +14,26 @@
 // Usage:
 //   bench_driver --list
 //   bench_driver --scenario smoke [--out PATH]
+//   bench_driver --scenario hard --snapshot-every 10000
 //   DYNMIS_BENCH_SCALE=0.1 bench_driver --scenario hard
 //
 // Update counts scale with DYNMIS_BENCH_SCALE (see bench_common.h); the
 // committed BENCH_*.json files are measured at scale 1. The scenario-to-
 // paper mapping lives in bench/EXPERIMENTS.md.
+//
+// --snapshot-every N (single-op regime only) measures the durability tax:
+// every N applied updates the engine is serialized to an in-memory sink
+// inside the timed loop, and after the run the last snapshot is restored
+// and the remaining update suffix replayed on the restored engine. The
+// per-run JSON grows a "snapshot" object (save cost, size, restore cost,
+// and whether the resumed engine converged to the identical solution).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -135,6 +144,19 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+// Snapshot-cost measurements for one run (populated when --snapshot-every
+// is active and the regime is single-op).
+struct SnapshotResult {
+  int every = 0;          // 0 = disabled for this run.
+  int64_t count = 0;      // Snapshots taken during the timed loop.
+  double save_total_seconds = 0;
+  size_t last_bytes = 0;  // Serialized size of the last snapshot.
+  double restore_seconds = 0;
+  // Suffix replay on the restored engine reproduced the original run's
+  // final solution exactly.
+  bool resume_matches = false;
+};
+
 struct RunResult {
   std::string algorithm;
   int batch_size = 1;
@@ -148,12 +170,21 @@ struct RunResult {
   size_t peak_memory_bytes = 0;
   int64_t final_solution_size = 0;
   double quality_vs_greedy = 0;
+  SnapshotResult snapshot;
 };
+
+// Sorted copy of the engine's current solution (for exact-set comparison).
+std::vector<VertexId> SortedSolution(const MisEngine& engine) {
+  std::vector<VertexId> solution;
+  engine.CollectSolution(&solution);
+  std::sort(solution.begin(), solution.end());
+  return solution;
+}
 
 RunResult RunOne(const EdgeListGraph& base,
                  const std::vector<GraphUpdate>& updates,
                  const MaintainerConfig& config, int batch_size,
-                 int64_t greedy_reference) {
+                 int64_t greedy_reference, int snapshot_every) {
   RunResult result;
   result.batch_size = batch_size;
   result.updates = static_cast<int64_t>(updates.size());
@@ -166,8 +197,9 @@ RunResult RunOne(const EdgeListGraph& base,
   std::vector<double> latencies;
   latencies.reserve(updates.size() / std::max(batch_size, 1) + 1);
   if (batch_size == 1) {
-    engine->SetUpdateObserver(
-        [&](const GraphUpdate&, double seconds) { latencies.push_back(seconds); });
+    engine->SetUpdateObserver([&](const GraphUpdate&, double seconds) {
+      latencies.push_back(seconds);
+    });
   }
 
   size_t peak_memory = 0;
@@ -178,15 +210,40 @@ RunResult RunOne(const EdgeListGraph& base,
   };
   sample_memory();
 
+  // Periodic serialization inside the timed loop (single-op regime only).
+  // The durability cost lands in total_seconds / ops_per_sec; the per-op
+  // latency percentiles exclude it (the observer times only the Apply
+  // calls), so compare ops_per_sec against a plain run to size the tax.
+  const bool snapshotting = snapshot_every > 0 && batch_size == 1;
+  std::string last_snapshot;
+  size_t last_snapshot_index = 0;
+  SnapshotResult snap;
+  snap.every = snapshotting ? snapshot_every : 0;
+
   constexpr size_t kMemorySampleEvery = 1024;
   Timer timer;
   if (batch_size == 1) {
     size_t since_sample = 0;
+    size_t since_snapshot = 0;
+    size_t applied = 0;
     for (const GraphUpdate& update : updates) {
       engine->Apply(update);
+      ++applied;
       if (++since_sample >= kMemorySampleEvery) {
         since_sample = 0;
         sample_memory();
+      }
+      if (snapshotting && ++since_snapshot >= static_cast<size_t>(
+                                                  snapshot_every)) {
+        since_snapshot = 0;
+        Timer save_timer;
+        std::ostringstream sink;
+        const SnapshotStatus status = engine->SaveSnapshot(sink);
+        snap.save_total_seconds += save_timer.ElapsedSeconds();
+        DYNMIS_CHECK(status.ok);
+        ++snap.count;
+        last_snapshot = std::move(sink).str();
+        last_snapshot_index = applied;
       }
     }
   } else {
@@ -217,10 +274,30 @@ RunResult RunOne(const EdgeListGraph& base,
       greedy_reference > 0 ? static_cast<double>(result.final_solution_size) /
                                  static_cast<double>(greedy_reference)
                            : 0;
+
+  // Restore-then-resume: load the last snapshot, replay the remaining
+  // suffix, and require the identical final solution set — the round-trip
+  // invariant measured at benchmark scale.
+  if (snapshotting && snap.count > 0) {
+    snap.last_bytes = last_snapshot.size();
+    std::istringstream source(last_snapshot);
+    Timer restore_timer;
+    SnapshotStatus status;
+    std::unique_ptr<MisEngine> restored =
+        MisEngine::LoadSnapshot(source, &status);
+    snap.restore_seconds = restore_timer.ElapsedSeconds();
+    DYNMIS_CHECK(restored != nullptr);
+    for (size_t i = last_snapshot_index; i < updates.size(); ++i) {
+      restored->Apply(updates[i]);
+    }
+    snap.resume_matches = SortedSolution(*restored) == SortedSolution(*engine);
+  }
+  result.snapshot = snap;
   return result;
 }
 
-int RunScenario(const Scenario& scenario, const std::string& out_path) {
+int RunScenario(const Scenario& scenario, const std::string& out_path,
+                int snapshot_every) {
   std::printf("scenario %s: %s\n", scenario.name.c_str(),
               scenario.description.c_str());
   const EdgeListGraph base = scenario.make_graph();
@@ -247,8 +324,8 @@ int RunScenario(const Scenario& scenario, const std::string& out_path) {
   std::vector<RunResult> runs;
   for (const MaintainerConfig& algo : scenario.algos) {
     for (int batch_size : scenario.batch_sizes) {
-      RunResult run =
-          RunOne(base, updates, algo, batch_size, greedy_reference);
+      RunResult run = RunOne(base, updates, algo, batch_size,
+                             greedy_reference, snapshot_every);
       std::printf(
           "  %-12s batch=%-5d %10.0f ops/s  p50=%8.2fus p99=%8.2fus  "
           "peak=%8zuKB  |I|=%lld (%.3f of greedy)\n",
@@ -256,6 +333,17 @@ int RunScenario(const Scenario& scenario, const std::string& out_path) {
           run.latency_p50_us, run.latency_p99_us, run.peak_memory_bytes / 1024,
           static_cast<long long>(run.final_solution_size),
           run.quality_vs_greedy);
+      if (run.snapshot.every > 0) {
+        std::printf(
+            "  %-12s   snapshots: %lld x %.2fms save, %zuKB, restore "
+            "%.2fms, resume %s\n",
+            "", static_cast<long long>(run.snapshot.count),
+            run.snapshot.count > 0 ? run.snapshot.save_total_seconds /
+                                         run.snapshot.count * 1e3
+                                   : 0.0,
+            run.snapshot.last_bytes / 1024, run.snapshot.restore_seconds * 1e3,
+            run.snapshot.resume_matches ? "matches" : "DIVERGED");
+      }
       runs.push_back(std::move(run));
     }
   }
@@ -309,6 +397,23 @@ int RunScenario(const Scenario& scenario, const std::string& out_path) {
     w.Int(run.final_solution_size);
     w.Key("quality_vs_greedy");
     w.Double(run.quality_vs_greedy);
+    if (run.snapshot.every > 0) {
+      w.Key("snapshot");
+      w.BeginObject();
+      w.Key("every");
+      w.Int(run.snapshot.every);
+      w.Key("count");
+      w.Int(run.snapshot.count);
+      w.Key("save_total_seconds");
+      w.Double(run.snapshot.save_total_seconds);
+      w.Key("last_bytes");
+      w.Uint(run.snapshot.last_bytes);
+      w.Key("restore_seconds");
+      w.Double(run.snapshot.restore_seconds);
+      w.Key("resume_matches");
+      w.Bool(run.snapshot.resume_matches);
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -325,6 +430,7 @@ int RunScenario(const Scenario& scenario, const std::string& out_path) {
 int Main(int argc, char** argv) {
   std::string scenario_name;
   std::string out_path;
+  int snapshot_every = 0;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -336,11 +442,18 @@ int Main(int argc, char** argv) {
       scenario_name = next();
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = std::atoi(next());
+      if (snapshot_every <= 0) {
+        std::fprintf(stderr, "--snapshot-every expects a positive count\n");
+        return 2;
+      }
     } else if (arg == "--list") {
       list = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_driver --scenario NAME [--out PATH] | --list\n");
+                   "usage: bench_driver --scenario NAME [--out PATH] "
+                   "[--snapshot-every N] | --list\n");
       return 2;
     }
   }
@@ -356,7 +469,7 @@ int Main(int argc, char** argv) {
     if (s.name == scenario_name) {
       const std::string path =
           out_path.empty() ? "BENCH_" + s.name + ".json" : out_path;
-      return RunScenario(s, path);
+      return RunScenario(s, path, snapshot_every);
     }
   }
   std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "dynmis/config.h"
 #include "dynmis/maintainer.h"
 #include "dynmis/registry.h"
+#include "dynmis/snapshot.h"
 #include "src/graph/edge_list.h"
 
 namespace dynmis {
@@ -36,6 +38,19 @@ struct UpdateResult {
   std::vector<VertexId> new_vertices;
   // Wall time spent inside the maintainer for this call.
   double seconds = 0;
+};
+
+// Decoded "engine" section of a snapshot: the algorithm key and knobs the
+// engine was saved with, plus its lifetime counters. One decoder
+// (MisEngine::ReadEngineMeta) serves both LoadSnapshot and the CLI's
+// `snapshot info`, so the field order lives in exactly two places —
+// SaveSnapshot and ReadEngineMeta.
+struct SnapshotEngineMeta {
+  MaintainerConfig config;
+  // Maintainer display name (DynamicMisMaintainer::Name) at save time.
+  std::string display_name;
+  int64_t updates_applied = 0;
+  double update_seconds = 0;
 };
 
 // Point-in-time snapshot of the engine (see MisEngine::Stats).
@@ -101,6 +116,36 @@ class MisEngine {
 
   EngineStats Stats() const;
 
+  // --- Snapshots ------------------------------------------------------------
+
+  // Writes a versioned binary snapshot of the whole engine (graph topology,
+  // maintainer state, configuration, lifetime counters) to `out`. Must be
+  // called between updates. Restoring the snapshot is O(state) — it replays
+  // nothing — which is what makes restart on a massive graph practical.
+  // Format and compatibility policy: README "Snapshots".
+  SnapshotStatus SaveSnapshot(std::ostream& out) const;
+
+  // Rebuilds an engine from a snapshot stream: the maintainer is resolved
+  // through MaintainerRegistry::Global() by the algorithm key stored in the
+  // snapshot, the graph is restored verbatim (ids preserved), and the
+  // maintainer's LoadState hook restores its swap structures. Returns
+  // nullptr on any structural problem — bad magic, version mismatch,
+  // truncation, CRC failure, unknown algorithm, invalid state — with the
+  // reason in `*status` (when non-null). Never aborts or corrupts memory on
+  // malformed input.
+  static std::unique_ptr<MisEngine> LoadSnapshot(
+      std::istream& in, SnapshotStatus* status = nullptr);
+
+  // Decodes the "engine" section of an already-parsed snapshot (the
+  // reader's cursor is repositioned). Returns false, failing the reader,
+  // on malformed contents. LoadSnapshot and `dynmis_cli snapshot info`
+  // both go through this.
+  static bool ReadEngineMeta(SnapshotReader* r, SnapshotEngineMeta* meta);
+
+  // The configuration the engine was created with (algorithm key as given,
+  // before alias resolution). This is the key SaveSnapshot persists.
+  const MaintainerConfig& config() const { return config_; }
+
   // Called after every applied update with the op and its wall time.
   using UpdateObserver =
       std::function<void(const GraphUpdate& update, double seconds)>;
@@ -117,12 +162,16 @@ class MisEngine {
 
  private:
   MisEngine(std::unique_ptr<DynamicGraph> graph,
-            std::unique_ptr<DynamicMisMaintainer> maintainer)
-      : graph_(std::move(graph)), maintainer_(std::move(maintainer)) {}
+            std::unique_ptr<DynamicMisMaintainer> maintainer,
+            MaintainerConfig config)
+      : graph_(std::move(graph)),
+        maintainer_(std::move(maintainer)),
+        config_(std::move(config)) {}
 
   // Heap-held so its address stays stable for the maintainer's pointer.
   std::unique_ptr<DynamicGraph> graph_;
   std::unique_ptr<DynamicMisMaintainer> maintainer_;
+  MaintainerConfig config_;
   UpdateObserver observer_;
   int64_t updates_applied_ = 0;
   double update_seconds_ = 0;

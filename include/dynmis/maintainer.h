@@ -15,11 +15,13 @@
 #ifndef DYNMIS_INCLUDE_DYNMIS_MAINTAINER_H_
 #define DYNMIS_INCLUDE_DYNMIS_MAINTAINER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/graph/dynamic_graph.h"
 #include "src/graph/update_stream.h"
+#include "src/io/snapshot.h"
 
 namespace dynmis {
 
@@ -57,6 +59,61 @@ class DynamicMisMaintainer {
   virtual size_t MemoryUsageBytes() const = 0;
 
   virtual std::string Name() const = 0;
+
+  // --- Snapshots ------------------------------------------------------------
+
+  // Appends the maintainer's persistent state to an open snapshot (one or
+  // more whole sections). Must be called at a quiescent point — between
+  // updates, never mid-batch. The graph itself is saved separately by the
+  // owner (MisEngine::SaveSnapshot); ids in the persisted state refer to
+  // that graph's id space. The default persists only the solution
+  // membership (section "maintainer/solution").
+  virtual void SaveState(SnapshotWriter* w) const {
+    w->BeginSection("maintainer/solution");
+    std::vector<VertexId> solution;
+    CollectSolution(&solution);
+    w->PutI32Array(solution);
+    w->EndSection();
+  }
+
+  // Restores the state saved by SaveState. `g` is the owning graph, already
+  // restored to the snapshot's topology (the same graph this maintainer was
+  // constructed over). Returns false (with the reader's error set) on
+  // missing sections or malformed contents. The default validates the
+  // persisted membership (alive, independent) and re-initializes from it —
+  // a recompute-on-load fallback costing one Initialize pass; the swap
+  // maintainers (DyOneSwap, DyTwoSwap, KSwap) override both hooks to
+  // restore their tightness structures directly, making load O(state) with
+  // no rebuild.
+  virtual bool LoadState(SnapshotReader* r, const DynamicGraph& g) {
+    if (!r->OpenSection("maintainer/solution")) return false;
+    std::vector<VertexId> solution;
+    if (!r->GetI32Array(&solution)) return false;
+    if (!r->AtSectionEnd()) {
+      r->Fail("snapshot: maintainer/solution: trailing bytes");
+      return false;
+    }
+    std::vector<uint8_t> member(g.VertexCapacity(), 0);
+    for (VertexId v : solution) {
+      if (!g.IsVertexAlive(v) || member[v]) {
+        r->Fail("snapshot: maintainer/solution: invalid vertex id");
+        return false;
+      }
+      member[v] = 1;
+    }
+    for (VertexId v : solution) {
+      bool independent = true;
+      g.ForEachIncident(v, [&](VertexId u, EdgeId) {
+        if (member[u]) independent = false;
+      });
+      if (!independent) {
+        r->Fail("snapshot: maintainer/solution: set is not independent");
+        return false;
+      }
+    }
+    Initialize(solution);
+    return true;
+  }
 
   // Applies a block of updates as one transaction and returns the vertex ids
   // assigned to the block's kInsertVertex ops, in op order. The default

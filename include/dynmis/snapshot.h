@@ -1,0 +1,11 @@
+// Public snapshot surface: the versioned binary container (SnapshotWriter /
+// SnapshotReader, CRC32, SnapshotStatus) behind MisEngine::SaveSnapshot /
+// LoadSnapshot and the CLI's `snapshot` subcommands. Applications include
+// this (or the dynmis/dynmis.h umbrella) instead of reaching into src/.
+
+#ifndef DYNMIS_INCLUDE_DYNMIS_SNAPSHOT_H_
+#define DYNMIS_INCLUDE_DYNMIS_SNAPSHOT_H_
+
+#include "src/io/snapshot.h"
+
+#endif  // DYNMIS_INCLUDE_DYNMIS_SNAPSHOT_H_

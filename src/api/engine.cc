@@ -1,5 +1,7 @@
 #include "dynmis/engine.h"
 
+#include <istream>
+#include <ostream>
 #include <utility>
 
 #include "src/util/timer.h"
@@ -17,8 +19,8 @@ std::unique_ptr<MisEngine> MisEngine::Create(DynamicGraph graph,
   std::unique_ptr<DynamicMisMaintainer> maintainer =
       MaintainerRegistry::Global().Create(config, owned.get());
   if (maintainer == nullptr) return nullptr;
-  return std::unique_ptr<MisEngine>(
-      new MisEngine(std::move(owned), std::move(maintainer)));
+  return std::unique_ptr<MisEngine>(new MisEngine(
+      std::move(owned), std::move(maintainer), std::move(config)));
 }
 
 void MisEngine::Initialize(const std::vector<VertexId>& initial) {
@@ -31,7 +33,9 @@ UpdateResult MisEngine::Apply(const GraphUpdate& update) {
   const VertexId v = maintainer_->Apply(update);
   result.seconds = timer.ElapsedSeconds();
   result.applied = 1;
-  if (update.kind == UpdateKind::kInsertVertex) result.new_vertices.push_back(v);
+  if (update.kind == UpdateKind::kInsertVertex) {
+    result.new_vertices.push_back(v);
+  }
   updates_applied_ += 1;
   update_seconds_ += result.seconds;
   if (observer_) observer_(update, result.seconds);
@@ -92,6 +96,90 @@ UpdateResult MisEngine::DeleteVertex(VertexId v) {
   update.kind = UpdateKind::kDeleteVertex;
   update.u = v;
   return Apply(update);
+}
+
+SnapshotStatus MisEngine::SaveSnapshot(std::ostream& out) const {
+  SnapshotWriter writer;
+  writer.BeginSection("engine");
+  writer.PutString(config_.algorithm);
+  writer.PutString(maintainer_->Name());
+  writer.PutI32(config_.k);
+  writer.PutU8(config_.lazy ? 1 : 0);
+  writer.PutU8(config_.perturb ? 1 : 0);
+  writer.PutI32(config_.recompute_every);
+  writer.PutI64(updates_applied_);
+  writer.PutDouble(update_seconds_);
+  writer.EndSection();
+  graph_->SaveTo(&writer);
+  maintainer_->SaveState(&writer);
+  return writer.WriteTo(out);
+}
+
+bool MisEngine::ReadEngineMeta(SnapshotReader* r, SnapshotEngineMeta* meta) {
+  if (!r->OpenSection("engine")) return false;
+  meta->config.algorithm = r->GetString();
+  meta->display_name = r->GetString();
+  meta->config.k = r->GetI32();
+  meta->config.lazy = r->GetU8() != 0;
+  meta->config.perturb = r->GetU8() != 0;
+  meta->config.recompute_every = r->GetI32();
+  meta->updates_applied = r->GetI64();
+  meta->update_seconds = r->GetDouble();
+  if (r->ok() && !r->AtSectionEnd()) {
+    r->Fail("snapshot: engine: trailing bytes after the last field");
+  }
+  return r->ok();
+}
+
+std::unique_ptr<MisEngine> MisEngine::LoadSnapshot(std::istream& in,
+                                                   SnapshotStatus* status) {
+  auto report = [&](const SnapshotStatus& s) {
+    if (status != nullptr) *status = s;
+  };
+  report(SnapshotStatus::Ok());
+
+  SnapshotReader reader;
+  if (SnapshotStatus read = reader.ReadFrom(in); !read) {
+    report(read);
+    return nullptr;
+  }
+  SnapshotEngineMeta meta;
+  if (!ReadEngineMeta(&reader, &meta)) {
+    report(reader.status());
+    return nullptr;
+  }
+  const MaintainerConfig& config = meta.config;
+  if (!MaintainerRegistry::Global().Has(config.algorithm)) {
+    report(SnapshotStatus::Error("snapshot: unknown algorithm '" +
+                                 config.algorithm +
+                                 "' (not in MaintainerRegistry)"));
+    return nullptr;
+  }
+  if (config.k < 1 || config.k > kMaxKSwapOrder || config.recompute_every < 1) {
+    report(SnapshotStatus::Error(
+        "snapshot: engine configuration out of range"));
+    return nullptr;
+  }
+
+  DynamicGraph graph;
+  if (!graph.LoadFrom(&reader)) {
+    report(reader.status());
+    return nullptr;
+  }
+  std::unique_ptr<MisEngine> engine = Create(std::move(graph), config);
+  if (engine == nullptr) {
+    report(SnapshotStatus::Error("snapshot: maintainer construction failed"));
+    return nullptr;
+  }
+  if (!engine->maintainer_->LoadState(&reader, *engine->graph_)) {
+    report(reader.ok() ? SnapshotStatus::Error(
+                             "snapshot: maintainer state restore failed")
+                       : reader.status());
+    return nullptr;
+  }
+  engine->updates_applied_ = meta.updates_applied;
+  engine->update_seconds_ = meta.update_seconds;
+  return engine;
 }
 
 EngineStats MisEngine::Stats() const {

@@ -214,7 +214,8 @@ bool KSwapMaintainer::TrySwapOrExpand(std::vector<VertexId> s) {
       if (state_.Count(y) != next) return;
       std::vector<VertexId> owners;
       owners.reserve(next);
-      state_.ForEachSolutionNeighbor(y, [&](VertexId w) { owners.push_back(w); });
+      state_.ForEachSolutionNeighbor(y,
+                                     [&](VertexId w) { owners.push_back(w); });
       std::sort(owners.begin(), owners.end());
       if (std::includes(owners.begin(), owners.end(), s.begin(), s.end())) {
         supersets.push_back(std::move(owners));
@@ -274,8 +275,10 @@ void KSwapMaintainer::DeleteEdge(VertexId u, VertexId v) {
     PushWitness(v);
     if (state_.Count(u) >= 1 && state_.Count(v) >= 1) {
       std::vector<VertexId> joint;
-      state_.ForEachSolutionNeighbor(u, [&](VertexId w) { joint.push_back(w); });
-      state_.ForEachSolutionNeighbor(v, [&](VertexId w) { joint.push_back(w); });
+      state_.ForEachSolutionNeighbor(u,
+                                     [&](VertexId w) { joint.push_back(w); });
+      state_.ForEachSolutionNeighbor(v,
+                                     [&](VertexId w) { joint.push_back(w); });
       std::sort(joint.begin(), joint.end());
       joint.erase(std::unique(joint.begin(), joint.end()), joint.end());
       if (static_cast<int>(joint.size()) <= k_) {
@@ -317,6 +320,17 @@ void KSwapMaintainer::DeleteVertex(VertexId v) {
   ExtendSolution(&extend_scratch_);
   DrainTransitions();
   ProcessWorklist();
+}
+
+void KSwapMaintainer::SaveState(SnapshotWriter* w) const {
+  DYNMIS_CHECK(worklist_.empty());  // Quiescent point: no pending witnesses.
+  state_.SaveTo(w);
+}
+
+bool KSwapMaintainer::LoadState(SnapshotReader* r, const DynamicGraph&) {
+  if (!state_.LoadFrom(r)) return false;
+  EnsureCapacity();
+  return true;
 }
 
 size_t KSwapMaintainer::MemoryUsageBytes() const {

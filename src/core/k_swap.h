@@ -55,9 +55,20 @@ class KSwapMaintainer : public DynamicMisMaintainer {
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
+  // Persists the MisState arrays verbatim (section "mis"); the witness
+  // worklist is empty at every quiescent point, so no queue state travels.
+  // Load restores the arrays directly — no recompute.
+  void SaveState(SnapshotWriter* w) const override;
+  bool LoadState(SnapshotReader* r, const DynamicGraph& g) override;
+
+  // Lifetime MoveIn/MoveOut count of the underlying state (see DyOneSwap).
+  int64_t StateTransitionOps() const { return state_.status_ops(); }
+
   int k() const { return k_; }
 
-  void CheckConsistency() const { state_.CheckConsistency(/*expect_maximal=*/true); }
+  void CheckConsistency() const {
+    state_.CheckConsistency(/*expect_maximal=*/true);
+  }
 
   struct Stats {
     int64_t swaps = 0;          // All j-swaps performed, any j.

@@ -266,6 +266,17 @@ void DyOneSwap::DeleteVertex(VertexId v) {
   ProcessQueue();
 }
 
+void DyOneSwap::SaveState(SnapshotWriter* w) const {
+  DYNMIS_CHECK(queue_.empty());  // Quiescent point: no pending candidates.
+  state_.SaveTo(w);
+}
+
+bool DyOneSwap::LoadState(SnapshotReader* r, const DynamicGraph&) {
+  if (!state_.LoadFrom(r)) return false;
+  EnsureCapacity();
+  return true;
+}
+
 size_t DyOneSwap::MemoryUsageBytes() const {
   return state_.MemoryUsageBytes() + VectorBytes(queue_) +
          VectorBytes(in_queue_) + cands_.MemoryUsageBytes() +

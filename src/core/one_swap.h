@@ -53,8 +53,22 @@ class DyOneSwap : public DynamicMisMaintainer {
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
+  // Persists the MisState arrays verbatim (section "mis"); candidate queues
+  // are empty at every quiescent point, so no queue state travels. Load
+  // restores the arrays directly — no recompute, no graph scan (see
+  // StateTransitionOps).
+  void SaveState(SnapshotWriter* w) const override;
+  bool LoadState(SnapshotReader* r, const DynamicGraph& g) override;
+
+  // Lifetime MoveIn/MoveOut count of the underlying state. A snapshot load
+  // performs none (the snapshot tests assert 0 after LoadState, proving the
+  // restore path never falls back to recomputation).
+  int64_t StateTransitionOps() const { return state_.status_ops(); }
+
   // Test hook: validates all internal invariants (O(n + m)).
-  void CheckConsistency() const { state_.CheckConsistency(/*expect_maximal=*/true); }
+  void CheckConsistency() const {
+    state_.CheckConsistency(/*expect_maximal=*/true);
+  }
 
   struct Stats {
     int64_t one_swaps = 0;

@@ -245,6 +245,7 @@ void MisState::MoveIn(VertexId v) {
   ClearTightness(v);  // count == 0 implies no membership; cheap safety.
   status_[v] = 1;
   ++solution_size_;
+  ++status_ops_;
   for (EdgeId e = g_->FirstIncident(v); e != kInvalidEdge;
        e = g_->NextIncident(e, v)) {
     const VertexId u = g_->Other(e, v);
@@ -260,6 +261,7 @@ void MisState::MoveOut(VertexId v) {
   DYNMIS_CHECK(status_[v] != 0);
   status_[v] = 0;
   --solution_size_;
+  ++status_ops_;
   int own_count = 0;
   for (EdgeId e = g_->FirstIncident(v); e != kInvalidEdge;
        e = g_->NextIncident(e, v)) {
@@ -343,6 +345,281 @@ void MisState::OnVertexRemoving(VertexId v) {
     DYNMIS_DCHECK(inb_head_[v] == kInvalidEdge);
   }
   count_[v] = 0;
+}
+
+namespace {
+
+// LinkPair arrays travel as interleaved (next, prev) i32 arrays.
+void AppendLinks(std::vector<int32_t>* out, int32_t next, int32_t prev) {
+  out->push_back(next);
+  out->push_back(prev);
+}
+
+}  // namespace
+
+void MisState::SaveTo(SnapshotWriter* w) const {
+  DYNMIS_CHECK(transitions_.empty());  // Quiescent-point contract.
+  w->BeginSection("mis");
+  w->PutI32(k_);
+  w->PutU8(lazy_ ? 1 : 0);
+  w->PutI64(solution_size_);
+  w->PutU8Array(status_);
+  w->PutI32Array(count_);
+  if (lazy_) {
+    w->EndSection();
+    return;
+  }
+  w->PutI32Array(inb_head_);
+  w->PutI32Array(bar1_head_);
+  w->PutI32Array(bar1_size_);
+  w->PutI32Array(bar1_edge_);
+  std::vector<int32_t> links;
+  links.reserve(2 * inb_links_.size());
+  for (const LinkPair& link : inb_links_) {
+    AppendLinks(&links, link.next, link.prev);
+  }
+  w->PutI32Array(links);
+  links.clear();
+  for (const LinkPair& link : bar1_links_) {
+    AppendLinks(&links, link.next, link.prev);
+  }
+  w->PutI32Array(links);
+  if (k_ >= 2) {
+    w->PutI32Array(bar2_head_);
+    w->PutI32Array(bar2_edge0_);
+    w->PutI32Array(bar2_edge1_);
+    links.clear();
+    for (const LinkPair& link : bar2_links_) {
+      AppendLinks(&links, link.next, link.prev);
+    }
+    w->PutI32Array(links);
+  }
+  w->EndSection();
+}
+
+bool MisState::LoadFrom(SnapshotReader* r) {
+  if (!r->OpenSection("mis")) return false;
+  auto fail = [&](const char* message) {
+    r->Fail(std::string("snapshot: mis: ") + message);
+    return false;
+  };
+
+  const int32_t k = r->GetI32();
+  const bool lazy = r->GetU8() != 0;
+  const int64_t solution_size = r->GetI64();
+  if (!r->ok()) return false;
+  if (k != k_ || lazy != lazy_) {
+    return fail("maintainer parameters (k / lazy) do not match the snapshot");
+  }
+  const size_t vcap = static_cast<size_t>(g_->VertexCapacity());
+  const size_t link_cap = 2 * static_cast<size_t>(g_->EdgeCapacity());
+  std::vector<uint8_t> status;
+  std::vector<int32_t> count;
+  if (!r->GetU8Array(&status) || !r->GetI32Array(&count)) return false;
+  if (status.size() != vcap || count.size() != vcap) {
+    return fail("per-vertex array sizes do not match the graph");
+  }
+  int64_t counted = 0;
+  for (size_t v = 0; v < vcap; ++v) {
+    if (status[v] > 1) return fail("status value out of range");
+    if (status[v] != 0) {
+      if (!g_->IsVertexAlive(static_cast<VertexId>(v))) {
+        return fail("dead vertex marked in solution");
+      }
+      ++counted;
+    }
+    if (count[v] < 0) return fail("negative solution-neighbour count");
+  }
+  if (counted != solution_size) return fail("solution size mismatch");
+
+  auto load_heads = [&](std::vector<int32_t>* out, bool edge_ids) {
+    if (!r->GetI32Array(out)) return false;
+    if (out->size() != vcap) return fail("per-vertex array size mismatch");
+    const int32_t bound = edge_ids ? g_->EdgeCapacity() : 0;
+    for (int32_t value : *out) {
+      if (value < kInvalidEdge || (edge_ids && value >= bound)) {
+        return fail("edge id out of range");
+      }
+    }
+    return true;
+  };
+  auto load_links = [&](std::vector<LinkPair>* out) {
+    std::vector<int32_t> flat;
+    if (!r->GetI32Array(&flat)) return false;
+    if (flat.size() != 2 * link_cap) return fail("link array size mismatch");
+    out->resize(link_cap);
+    for (size_t i = 0; i < link_cap; ++i) {
+      const int32_t next = flat[2 * i];
+      const int32_t prev = flat[2 * i + 1];
+      if (next < kInvalidEdge || next >= g_->EdgeCapacity() ||
+          prev < kInvalidEdge || prev >= g_->EdgeCapacity()) {
+        return fail("link edge id out of range");
+      }
+      (*out)[i] = LinkPair{next, prev};
+    }
+    return true;
+  };
+
+  // Independence and count correctness against the restored topology:
+  // status/count are trusted by every update handler (MoveIn aborts on a
+  // violated precondition), so a CRC-valid but semantically corrupt
+  // section must be rejected here, not discovered mid-update. O(n + m).
+  for (size_t v = 0; v < vcap; ++v) {
+    if (!g_->IsVertexAlive(static_cast<VertexId>(v))) continue;
+    int solution_neighbors = 0;
+    g_->ForEachIncident(static_cast<VertexId>(v), [&](VertexId u, EdgeId) {
+      if (status[u]) ++solution_neighbors;
+    });
+    if (status[v] != 0) {
+      if (solution_neighbors != 0) return fail("solution is not independent");
+      if (count[v] != 0) return fail("solution vertex with nonzero count");
+    } else if (count[v] != solution_neighbors) {
+      return fail("count does not match solution neighbourhood");
+    } else if (solution_neighbors == 0) {
+      // Every maintainer keeps its solution maximal at quiescent points; an
+      // uncovered vertex would never be repaired after load (updates only
+      // react to changes) and hard-aborts a later CheckConsistency.
+      return fail("solution is not maximal");
+    }
+  }
+  if (lazy_ && !r->AtSectionEnd()) {
+    return fail("trailing bytes after the last field");
+  }
+
+  if (!lazy_) {
+    std::vector<int32_t> inb_head, bar1_head, bar1_size, bar1_edge;
+    std::vector<LinkPair> inb_links, bar1_links;
+    if (!load_heads(&inb_head, true) || !load_heads(&bar1_head, true) ||
+        !load_heads(&bar1_size, false) || !load_heads(&bar1_edge, true) ||
+        !load_links(&inb_links) || !load_links(&bar1_links)) {
+      return false;
+    }
+    for (int32_t size : bar1_size) {
+      if (size < 0) return fail("negative bar1 size");
+    }
+    std::vector<int32_t> bar2_head, bar2_edge0, bar2_edge1;
+    std::vector<LinkPair> bar2_links;
+    if (k_ >= 2) {
+      if (!load_heads(&bar2_head, true) || !load_heads(&bar2_edge0, true) ||
+          !load_heads(&bar2_edge1, true) || !load_links(&bar2_links)) {
+        return false;
+      }
+    }
+
+    // Structural validation of the intrusive lists: every chain must be a
+    // terminating, non-cyclic walk over alive incident edges whose members
+    // carry matching tightness counts and membership records. Slot-visit
+    // maps bound every walk (a crafted cycle fails, it cannot loop), and
+    // the membership cross-check at the end guarantees ClearTightness will
+    // only ever unlink edges that really are linked. O(n + m).
+    // One shared slot map covers all three link arrays: a slot on a
+    // solution vertex's side carries at most one bar1/bar2 linkage, and a
+    // slot on a non-solution side at most one I(v) linkage.
+    std::vector<uint8_t> slot_seen(link_cap, 0);
+    std::vector<uint8_t> listed1(vcap, 0), listed20(vcap, 0),
+        listed21(vcap, 0);
+    auto walk = [&](EdgeId head, VertexId owner,
+                    const std::vector<LinkPair>& links, int max_steps,
+                    auto&& member_check) {
+      int steps = 0;
+      for (EdgeId e = head; e != kInvalidEdge;) {
+        if (!g_->IsEdgeAlive(e)) return -1;
+        const auto [a, b] = g_->Endpoints(e);
+        if (a != owner && b != owner) return -1;
+        const int slot = Slot(e, owner);
+        if (slot_seen[slot]) return -1;  // Cycle or cross-linked chain.
+        slot_seen[slot] = 1;
+        if (++steps > max_steps) return -1;
+        if (!member_check(g_->Other(e, owner), e)) return -1;
+        e = links[slot].next;
+      }
+      return steps;
+    };
+    const int32_t vcap_i = static_cast<int32_t>(vcap);
+    for (VertexId v = 0; v < vcap_i; ++v) {
+      if (!g_->IsVertexAlive(v)) continue;
+      if (status[v] != 0) {
+        if (inb_head[v] != kInvalidEdge) {
+          return fail("solution vertex with a nonempty I(v) list");
+        }
+        const int steps =
+            walk(bar1_head[v], v, bar1_links, g_->Degree(v),
+                 [&](VertexId u, EdgeId e) {
+                   if (status[u] != 0 || count[u] != 1) return false;
+                   if (bar1_edge[u] != e || listed1[u]) return false;
+                   listed1[u] = 1;
+                   return true;
+                 });
+        if (steps < 0 || steps != bar1_size[v]) {
+          return fail("bar1 list structure invalid");
+        }
+        if (k_ >= 2) {
+          const int steps2 =
+              walk(bar2_head[v], v, bar2_links, g_->Degree(v),
+                   [&](VertexId u, EdgeId e) {
+                     if (status[u] != 0 || count[u] != 2) return false;
+                     if (bar2_edge0[u] == e && !listed20[u]) {
+                       listed20[u] = 1;
+                     } else if (bar2_edge1[u] == e && !listed21[u]) {
+                       listed21[u] = 1;
+                     } else {
+                       return false;
+                     }
+                     return true;
+                   });
+          if (steps2 < 0) return fail("bar2 list structure invalid");
+        }
+      } else {
+        const int steps = walk(inb_head[v], v, inb_links, count[v],
+                               [&](VertexId u, EdgeId) {
+                                 return status[u] != 0;
+                               });
+        if (steps != count[v]) return fail("I(v) list structure invalid");
+      }
+    }
+    // Membership records must mirror the walked lists exactly, in both
+    // directions: no dangling record (unlink would corrupt a head), no
+    // unrecorded member (the member could be linked twice later).
+    for (VertexId v = 0; v < vcap_i; ++v) {
+      if (!g_->IsVertexAlive(v) || status[v] != 0) continue;
+      if ((bar1_edge[v] != kInvalidEdge) != (listed1[v] != 0)) {
+        return fail("bar1 membership record mismatch");
+      }
+      // Completeness: the tightness lists must cover every tracked-count
+      // vertex (bar1(v) = all count-1 neighbours, bar2 both-sided), or the
+      // restored maintainer would silently skip swap opportunities that
+      // CheckConsistency later flags as corruption.
+      if (count[v] == 1 && !listed1[v]) {
+        return fail("count-1 vertex missing from its owner's bar1 list");
+      }
+      if (k_ >= 2) {
+        if ((bar2_edge0[v] != kInvalidEdge) != (listed20[v] != 0) ||
+            (bar2_edge1[v] != kInvalidEdge) != (listed21[v] != 0)) {
+          return fail("bar2 membership record mismatch");
+        }
+        if (count[v] == 2 && (!listed20[v] || !listed21[v])) {
+          return fail("count-2 vertex missing from its bar2 lists");
+        }
+      }
+    }
+    if (!r->AtSectionEnd()) return fail("trailing bytes after the last field");
+
+    inb_head_ = std::move(inb_head);
+    bar1_head_ = std::move(bar1_head);
+    bar1_size_ = std::move(bar1_size);
+    bar1_edge_ = std::move(bar1_edge);
+    inb_links_ = std::move(inb_links);
+    bar1_links_ = std::move(bar1_links);
+    bar2_head_ = std::move(bar2_head);
+    bar2_edge0_ = std::move(bar2_edge0);
+    bar2_edge1_ = std::move(bar2_edge1);
+    bar2_links_ = std::move(bar2_links);
+  }
+  status_ = std::move(status);
+  count_ = std::move(count);
+  solution_size_ = solution_size;
+  transitions_.clear();
+  return true;
 }
 
 size_t MisState::MemoryUsageBytes() const {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/graph/dynamic_graph.h"
+#include "src/io/snapshot.h"
 
 namespace dynmis {
 
@@ -87,7 +88,7 @@ class MisState {
     }
   }
 
-  // --- Tightness sets ---------------------------------------------------------
+  // --- Tightness sets --------------------------------------------------------
 
   // |bar1(v)| for a solution vertex v. O(1) eager, O(deg(v)) lazy.
   int Bar1Size(VertexId v) const;
@@ -101,9 +102,10 @@ class MisState {
 
   // Appends bar_I2({x, y}): count-2 vertices whose solution neighbours are
   // exactly {x, y}. Requires k == 2; x and y must be solution vertices.
-  void CollectBar2Pair(VertexId x, VertexId y, std::vector<VertexId>* out) const;
+  void CollectBar2Pair(VertexId x, VertexId y,
+                       std::vector<VertexId>* out) const;
 
-  // --- Status transitions -----------------------------------------------------
+  // --- Status transitions ----------------------------------------------------
 
   // Moves `v` into the solution. Requires: alive, not in I, count(v) == 0.
   void MoveIn(VertexId v);
@@ -113,7 +115,7 @@ class MisState {
   // transient state during the both-endpoints-in-I edge insertion case).
   void MoveOut(VertexId v);
 
-  // --- Edge event hooks -------------------------------------------------------
+  // --- Edge event hooks ------------------------------------------------------
 
   // Call immediately after g->AddEdge(e). Handles the at-most-one-endpoint-
   // in-I cases; with both endpoints in I it is a no-op (the caller must
@@ -128,7 +130,7 @@ class MisState {
   // all state lists and updates neighbour counts.
   void OnVertexRemoving(VertexId v);
 
-  // --- Transition log ----------------------------------------------------------
+  // --- Transition log --------------------------------------------------------
 
   // Drains the transition log in place: calls fn(u) for every vertex whose
   // count transitioned into 1 (or 2 when k == 2) since the last drain, then
@@ -146,7 +148,34 @@ class MisState {
   // its candidate queues by a full scan instead).
   void DiscardTransitions() { transitions_.clear(); }
 
-  // --- Introspection ------------------------------------------------------------
+  // --- Snapshots -------------------------------------------------------------
+
+  // Writes status/count/solution-size and (in eager mode) the intrusive
+  // tightness lists verbatim as the snapshot section "mis". Edge/vertex ids
+  // in the arrays refer to the owning graph's id space, so the graph must be
+  // saved (and restored) alongside. Requires a quiescent state: the
+  // transition log must be drained.
+  void SaveTo(SnapshotWriter* w) const;
+
+  // Restores the state from the section "mis". The graph must already hold
+  // the snapshot's topology. Runs a full O(n + m) validation before any
+  // data is adopted: parameter match (k, lazy), array sizes and id bounds,
+  // independence and count correctness against the graph, and — in eager
+  // mode — termination, exclusivity and membership-record consistency of
+  // every intrusive list, so a CRC-valid but semantically corrupt payload
+  // is rejected with a structured error instead of aborting (or looping) in
+  // a later update. Returns false (failing the reader) on any violation.
+  // Performs no MoveIn/MoveOut and no rebuild — load is O(state), which
+  // status_ops() lets callers verify.
+  bool LoadFrom(SnapshotReader* r);
+
+  // --- Introspection ---------------------------------------------------------
+
+  // Lifetime count of MoveIn/MoveOut transitions. Instrumentation for the
+  // snapshot tests: a freshly constructed state that was LoadFrom-restored
+  // reports 0, whereas any recompute/Initialize path would have performed at
+  // least |I| transitions.
+  int64_t status_ops() const { return status_ops_; }
 
   size_t MemoryUsageBytes() const;
 
@@ -186,6 +215,7 @@ class MisState {
   std::vector<uint8_t> status_;
   std::vector<int32_t> count_;
   int64_t solution_size_ = 0;
+  int64_t status_ops_ = 0;
 
   // Reusable scratch for CollectBar2Pair (hot on the deletion path).
   mutable std::vector<VertexId> side_scratch_;

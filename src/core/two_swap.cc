@@ -536,6 +536,20 @@ void DyTwoSwap::DeleteVertex(VertexId v) {
   ProcessQueues();
 }
 
+void DyTwoSwap::SaveState(SnapshotWriter* w) const {
+  // Quiescent point: no pending candidates in either queue and an all-free
+  // C2 pool, so the MisState arrays are the entire algorithm state.
+  DYNMIS_CHECK(c1_queue_.empty());
+  DYNMIS_CHECK(c2_queue_.empty());
+  state_.SaveTo(w);
+}
+
+bool DyTwoSwap::LoadState(SnapshotReader* r, const DynamicGraph&) {
+  if (!state_.LoadFrom(r)) return false;
+  EnsureCapacity();
+  return true;
+}
+
 size_t DyTwoSwap::MemoryUsageBytes() const {
   return state_.MemoryUsageBytes() + VectorBytes(c1_queue_) +
          VectorBytes(in_c1_) + cands_.MemoryUsageBytes() +

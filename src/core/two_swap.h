@@ -50,7 +50,18 @@ class DyTwoSwap : public DynamicMisMaintainer {
   size_t MemoryUsageBytes() const override;
   std::string Name() const override;
 
-  void CheckConsistency() const { state_.CheckConsistency(/*expect_maximal=*/true); }
+  // Persists the MisState arrays verbatim (section "mis"); the C1/C2
+  // candidate queues are empty at every quiescent point, so no queue state
+  // travels. Load restores the arrays directly — no recompute.
+  void SaveState(SnapshotWriter* w) const override;
+  bool LoadState(SnapshotReader* r, const DynamicGraph& g) override;
+
+  // Lifetime MoveIn/MoveOut count of the underlying state (see DyOneSwap).
+  int64_t StateTransitionOps() const { return state_.status_ops(); }
+
+  void CheckConsistency() const {
+    state_.CheckConsistency(/*expect_maximal=*/true);
+  }
 
   struct Stats {
     int64_t one_swaps = 0;

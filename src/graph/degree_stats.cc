@@ -41,14 +41,18 @@ DegreeStats ComputeDegreeStats(const StaticGraph& g) {
   for (int v = 0; v < stats.n; ++v) {
     const int d = g.Degree(v);
     stats.min_degree = std::min(stats.min_degree, d);
-    if (d > 0) stats.min_positive_degree = std::min(stats.min_positive_degree, d);
+    if (d > 0) {
+      stats.min_positive_degree = std::min(stats.min_positive_degree, d);
+    }
     ++stats.counts[d];
   }
   if (stats.max_degree == 0) stats.min_positive_degree = 0;
   if (stats.max_degree > 0) {
     stats.bucket_counts.assign(FloorLog2(stats.max_degree) + 1, 0);
     for (int d = 1; d <= stats.max_degree; ++d) {
-      if (stats.counts[d] > 0) stats.bucket_counts[FloorLog2(d)] += stats.counts[d];
+      if (stats.counts[d] > 0) {
+        stats.bucket_counts[FloorLog2(d)] += stats.counts[d];
+      }
     }
   }
   return stats;
@@ -88,9 +92,9 @@ bool IsPowerLawBounded(const DegreeStats& stats, double beta, double t,
   const int hi = FloorLog2(stats.max_degree);
   for (int b = lo; b <= hi; ++b) {
     const double model = BucketModelMass(stats.n, b, beta, t);
-    const int64_t observed =
-        b < static_cast<int>(stats.bucket_counts.size()) ? stats.bucket_counts[b]
-                                                         : 0;
+    const int64_t observed = b < static_cast<int>(stats.bucket_counts.size())
+                                 ? stats.bucket_counts[b]
+                                 : 0;
     if (observed < c2 * model || observed > c1 * model) return false;
   }
   return true;
@@ -107,9 +111,9 @@ bool FitPlbConstants(const DegreeStats& stats, double beta, double t,
   for (int b = lo; b <= hi; ++b) {
     const double model = BucketModelMass(stats.n, b, beta, t);
     if (model <= 0) continue;
-    const int64_t observed =
-        b < static_cast<int>(stats.bucket_counts.size()) ? stats.bucket_counts[b]
-                                                         : 0;
+    const int64_t observed = b < static_cast<int>(stats.bucket_counts.size())
+                                 ? stats.bucket_counts[b]
+                                 : 0;
     const double ratio = static_cast<double>(observed) / model;
     max_ratio = std::max(max_ratio, ratio);
     min_ratio = std::min(min_ratio, ratio);

@@ -189,4 +189,212 @@ size_t DynamicGraph::MemoryUsageBytes() const {
          VectorBytes(free_edges_) + VectorBytes(degree_count_);
 }
 
+void DynamicGraph::SaveTo(SnapshotWriter* w) const {
+  w->BeginSection("graph");
+  w->PutI64(num_vertices_);
+  w->PutI64(num_edges_);
+  w->PutI32(VertexCapacity());
+  w->PutI32(EdgeCapacity());
+  std::vector<int32_t> scratch;
+  scratch.reserve(4 * static_cast<size_t>(EdgeCapacity()));
+  for (const VertexRec& rec : vertices_) scratch.push_back(rec.head);
+  w->PutI32Array(scratch);
+  scratch.clear();
+  for (const VertexRec& rec : vertices_) scratch.push_back(rec.degree);
+  w->PutI32Array(scratch);
+  scratch.clear();
+  for (const EdgeRec& rec : edges_) {
+    scratch.push_back(rec.endpoint[0]);
+    scratch.push_back(rec.endpoint[1]);
+    scratch.push_back(rec.next[0]);
+    scratch.push_back(rec.next[1]);
+  }
+  w->PutI32Array(scratch);
+  w->PutI32Array(edge_prev_);
+  w->PutI32Array(free_vertices_);
+  w->PutI32Array(free_edges_);
+  w->EndSection();
+}
+
+bool DynamicGraph::LoadFrom(SnapshotReader* r) {
+  if (!r->OpenSection("graph")) return false;
+  auto fail = [&](const char* message) {
+    r->Fail(std::string("snapshot: graph: ") + message);
+    return false;
+  };
+
+  const int64_t nv = r->GetI64();
+  const int64_t ne = r->GetI64();
+  const int32_t vcap = r->GetI32();
+  const int32_t ecap = r->GetI32();
+  std::vector<int32_t> heads, degrees, edge_recs, prev, free_v, free_e;
+  if (!r->GetI32Array(&heads) || !r->GetI32Array(&degrees) ||
+      !r->GetI32Array(&edge_recs) || !r->GetI32Array(&prev) ||
+      !r->GetI32Array(&free_v) || !r->GetI32Array(&free_e)) {
+    return false;
+  }
+  if (!r->AtSectionEnd()) return fail("trailing bytes after the last field");
+  if (vcap < 0 || ecap < 0) return fail("negative capacity");
+  if (nv < 0 || nv > vcap) return fail("vertex count out of range");
+  if (ne < 0 || ne > ecap) return fail("edge count out of range");
+  if (heads.size() != static_cast<size_t>(vcap) ||
+      degrees.size() != static_cast<size_t>(vcap) ||
+      edge_recs.size() != 4 * static_cast<size_t>(ecap) ||
+      prev.size() != 2 * static_cast<size_t>(ecap)) {
+    return fail("array sizes do not match declared capacities");
+  }
+
+  // --- Validation pass 1: scalar bounds and aggregate counts. ---------------
+  int64_t alive_vertices = 0;
+  int64_t degree_sum = 0;
+  for (int32_t v = 0; v < vcap; ++v) {
+    if (degrees[v] < -1) return fail("vertex degree below -1");
+    if (degrees[v] >= 0) {
+      ++alive_vertices;
+      degree_sum += degrees[v];
+      if (heads[v] < kInvalidEdge || heads[v] >= ecap) {
+        return fail("adjacency head out of range");
+      }
+      if ((heads[v] == kInvalidEdge) != (degrees[v] == 0)) {
+        return fail("adjacency head inconsistent with degree");
+      }
+    }
+  }
+  if (alive_vertices != nv) return fail("alive-vertex count mismatch");
+
+  int64_t alive_edges = 0;
+  for (int32_t e = 0; e < ecap; ++e) {
+    const int32_t u = edge_recs[4 * e + 0];
+    const int32_t v = edge_recs[4 * e + 1];
+    if (u == kInvalidVertex) continue;  // Dead: links may be stale.
+    ++alive_edges;
+    if (u < 0 || u >= vcap || v < 0 || v >= vcap || u == v) {
+      return fail("edge endpoint out of range");
+    }
+    if (degrees[u] < 0 || degrees[v] < 0) {
+      return fail("edge incident to a dead vertex");
+    }
+    for (int s = 0; s < 2; ++s) {
+      if (edge_recs[4 * e + 2 + s] < kInvalidEdge ||
+          edge_recs[4 * e + 2 + s] >= ecap) {
+        return fail("adjacency link out of range");
+      }
+      if (prev[2 * e + s] < kInvalidEdge || prev[2 * e + s] >= ecap) {
+        return fail("adjacency back-link out of range");
+      }
+    }
+  }
+  if (alive_edges != ne) return fail("alive-edge count mismatch");
+  if (degree_sum != 2 * ne) return fail("degree sum does not equal 2m");
+
+  // The graph is simple: no two alive edges may share an endpoint pair
+  // (counts in the algorithm layers are per neighbour, not per edge).
+  {
+    std::vector<uint64_t> pairs;
+    pairs.reserve(static_cast<size_t>(ne));
+    for (int32_t e = 0; e < ecap; ++e) {
+      const int32_t u = edge_recs[4 * e + 0];
+      if (u == kInvalidVertex) continue;
+      const int32_t v = edge_recs[4 * e + 1];
+      const uint64_t lo = static_cast<uint32_t>(u < v ? u : v);
+      const uint64_t hi = static_cast<uint32_t>(u < v ? v : u);
+      pairs.push_back((lo << 32) | hi);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (std::adjacent_find(pairs.begin(), pairs.end()) != pairs.end()) {
+      return fail("parallel edges");
+    }
+  }
+
+  // --- Validation pass 2: free lists exactly cover the dead ids. ------------
+  if (free_v.size() != static_cast<size_t>(vcap) - static_cast<size_t>(nv)) {
+    return fail("free-vertex list size mismatch");
+  }
+  if (free_e.size() != static_cast<size_t>(ecap) - static_cast<size_t>(ne)) {
+    return fail("free-edge list size mismatch");
+  }
+  std::vector<uint8_t> seen(static_cast<size_t>(vcap), 0);
+  for (int32_t v : free_v) {
+    if (v < 0 || v >= vcap || degrees[v] >= 0 || seen[v]) {
+      return fail("free-vertex list entry invalid or duplicated");
+    }
+    seen[v] = 1;
+  }
+  seen.assign(static_cast<size_t>(ecap), 0);
+  for (int32_t e : free_e) {
+    if (e < 0 || e >= ecap || edge_recs[4 * e] != kInvalidVertex || seen[e]) {
+      return fail("free-edge list entry invalid or duplicated");
+    }
+    seen[e] = 1;
+  }
+
+  // --- Validation pass 3: adjacency lists are proper doubly-linked chains. --
+  // Walk every alive vertex's list for exactly degree steps, checking that
+  // each visited edge is alive and incident, that back-links mirror the
+  // forward traversal, and that no edge side is visited twice. Together with
+  // degree_sum == 2m this proves each alive edge sits in exactly its two
+  // endpoints' lists and that no chain is cyclic or cross-linked.
+  std::vector<uint8_t> side_seen(2 * static_cast<size_t>(ecap), 0);
+  auto side_of = [&](int32_t e, int32_t v) {
+    return edge_recs[4 * e + 0] == v ? 0 : 1;
+  };
+  for (int32_t v = 0; v < vcap; ++v) {
+    if (degrees[v] < 0) continue;
+    int32_t e = heads[v];
+    int32_t expected_prev = kInvalidEdge;
+    for (int32_t step = 0; step < degrees[v]; ++step) {
+      if (e == kInvalidEdge) return fail("adjacency chain shorter than degree");
+      if (edge_recs[4 * e + 0] != v && edge_recs[4 * e + 1] != v) {
+        return fail("adjacency chain visits a non-incident edge");
+      }
+      if (edge_recs[4 * e + 0] == kInvalidVertex) {
+        return fail("adjacency chain visits a dead edge");
+      }
+      const int s = side_of(e, v);
+      if (side_seen[2 * e + s]) return fail("adjacency chain revisits an edge");
+      side_seen[2 * e + s] = 1;
+      if (prev[2 * e + s] != expected_prev) {
+        return fail("adjacency back-link mismatch");
+      }
+      expected_prev = e;
+      e = edge_recs[4 * e + 2 + s];
+    }
+    if (e != kInvalidEdge) return fail("adjacency chain longer than degree");
+  }
+
+  // --- Adopt: rebuild the flat arrays (Reserve avoids growth churn). --------
+  DynamicGraph loaded;
+  loaded.Reserve(vcap, ecap);
+  loaded.vertices_.resize(static_cast<size_t>(vcap));
+  for (int32_t v = 0; v < vcap; ++v) {
+    loaded.vertices_[v].head = heads[v];
+    loaded.vertices_[v].degree = degrees[v];
+  }
+  loaded.edges_.resize(static_cast<size_t>(ecap));
+  for (int32_t e = 0; e < ecap; ++e) {
+    loaded.edges_[e].endpoint[0] = edge_recs[4 * e + 0];
+    loaded.edges_[e].endpoint[1] = edge_recs[4 * e + 1];
+    loaded.edges_[e].next[0] = edge_recs[4 * e + 2];
+    loaded.edges_[e].next[1] = edge_recs[4 * e + 3];
+  }
+  loaded.edge_prev_ = std::move(prev);
+  loaded.free_vertices_ = std::move(free_v);
+  loaded.free_edges_ = std::move(free_e);
+  loaded.num_vertices_ = static_cast<int>(nv);
+  loaded.num_edges_ = ne;
+  // The degree histogram is derived state: rebuild it in O(n) rather than
+  // trusting (and having to cross-validate) a persisted copy.
+  int max_degree = 0;
+  for (int32_t v = 0; v < vcap; ++v) {
+    if (degrees[v] > max_degree) max_degree = degrees[v];
+  }
+  loaded.degree_count_.assign(static_cast<size_t>(max_degree) + 1, 0);
+  for (int32_t v = 0; v < vcap; ++v) {
+    if (degrees[v] >= 0) ++loaded.degree_count_[degrees[v]];
+  }
+  loaded.max_degree_ = max_degree;
+  *this = std::move(loaded);
+  return true;
+}
+
 }  // namespace dynmis

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/io/snapshot.h"
 #include "src/util/check.h"
 
 namespace dynmis {
@@ -167,6 +168,21 @@ class DynamicGraph {
 
   // Bytes held by the graph's internal arrays (capacity-based accounting).
   size_t MemoryUsageBytes() const;
+
+  // --- Snapshots -------------------------------------------------------------
+
+  // Writes the graph's flat arrays verbatim as the snapshot section "graph".
+  // Ids (vertex, edge, adjacency links, free lists) are preserved exactly,
+  // so algorithm layers can persist their id-indexed side arrays alongside.
+  void SaveTo(SnapshotWriter* w) const;
+
+  // Replaces this graph with the section "graph" of `r`. Runs a full O(n+m)
+  // structural validation (bounds, degree sums, doubly-linked adjacency
+  // integrity, free-list exactness) before any data is adopted, so a
+  // corrupted or crafted payload yields a structured reader error — never
+  // out-of-bounds access or a cyclic adjacency walk. Returns false (with
+  // the reader failed) on any violation.
+  bool LoadFrom(SnapshotReader* r);
 
  private:
   // 8 bytes. A negative degree encodes "dead" (the former bool padded the

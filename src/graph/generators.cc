@@ -163,7 +163,8 @@ EdgeListGraph ChungLu(const std::vector<double>& weights, Rng* rng) {
     while (v < g.n && p > 0) {
       if (p != 1.0) {
         const double r = rng->NextDouble();
-        v += static_cast<int>(std::floor(std::log(1.0 - r) / std::log(1.0 - p)));
+        v += static_cast<int>(
+            std::floor(std::log(1.0 - r) / std::log(1.0 - p)));
       }
       if (v < g.n) {
         const double q = std::min(w[u] * w[v] / total, 1.0);

@@ -80,11 +80,9 @@ ExperimentResult RunExperiment(const EdgeListGraph& base,
                                const ExperimentConfig& config);
 
 // Computes the initial independent set for `g` per `mode` (original ids).
-std::vector<VertexId> ComputeInitialSolution(const EdgeListGraph& g,
-                                             InitialSolution mode,
-                                             int arw_iterations,
-                                             int64_t exact_node_budget,
-                                             double exact_seconds_budget = 20.0);
+std::vector<VertexId> ComputeInitialSolution(
+    const EdgeListGraph& g, InitialSolution mode, int arw_iterations,
+    int64_t exact_node_budget, double exact_seconds_budget = 20.0);
 
 }  // namespace dynmis
 

@@ -129,7 +129,8 @@ class Solver {
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
       if (!drop[v]) inc_keep.push_back(v);
     }
-    std::optional<std::vector<VertexId>> inc = Solve(g.InducedSubgraph(inc_keep));
+    std::optional<std::vector<VertexId>> inc =
+        Solve(g.InducedSubgraph(inc_keep));
     if (!inc) return std::nullopt;
     std::vector<VertexId> best;
     best.push_back(pivot);

@@ -43,7 +43,8 @@ class Kernelizer {
   // Lifts a kernel solution (given in kernel-compacted ids of Kernel()) to
   // an independent set of the input graph, undoing folds and re-adding the
   // forced vertices.
-  std::vector<VertexId> Lift(const std::vector<VertexId>& kernel_solution) const;
+  std::vector<VertexId> Lift(
+      const std::vector<VertexId>& kernel_solution) const;
 
   int NumAliveVertices() const { return alive_count_; }
 

@@ -136,8 +136,10 @@ TEST(DynamicGraphTest, MaxDegreeMatchesBruteForceUnderChurn) {
   DynamicGraph g(40);
   for (int step = 0; step < 3000; ++step) {
     const int action = static_cast<int>(rng.NextBounded(4));
-    const VertexId u = static_cast<VertexId>(rng.NextBounded(g.VertexCapacity()));
-    const VertexId v = static_cast<VertexId>(rng.NextBounded(g.VertexCapacity()));
+    const VertexId u =
+        static_cast<VertexId>(rng.NextBounded(g.VertexCapacity()));
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(g.VertexCapacity()));
     if (action == 0 && g.IsVertexAlive(u) && g.IsVertexAlive(v) && u != v &&
         !g.HasEdge(u, v)) {
       g.AddEdge(u, v);
@@ -176,7 +178,8 @@ TEST(DynamicGraphTest, EdgeListIsSortedPairsOfAliveEdges) {
   g.AddEdge(0, 2);
   auto edges = g.EdgeList();
   std::sort(edges.begin(), edges.end());
-  EXPECT_EQ(edges, (std::vector<std::pair<VertexId, VertexId>>{{0, 2}, {1, 3}}));
+  EXPECT_EQ(edges,
+            (std::vector<std::pair<VertexId, VertexId>>{{0, 2}, {1, 3}}));
 }
 
 TEST(DynamicGraphTest, CopyIsIndependent) {

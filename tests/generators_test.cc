@@ -55,7 +55,8 @@ TEST(GeneratorsTest, BarabasiAlbertDegreeLaw) {
   const EdgeListGraph g = BarabasiAlbert(n, m, &rng);
   EXPECT_EQ(g.n, n);
   // Seed clique of m+1 vertices contributes C(m+1,2); each later vertex m.
-  const int64_t expected = (m + 1) * m / 2 + static_cast<int64_t>(n - m - 1) * m;
+  const int64_t expected =
+      (m + 1) * m / 2 + static_cast<int64_t>(n - m - 1) * m;
   EXPECT_EQ(g.NumEdges(), expected);
   ExpectSimple(g);
   // Every non-seed vertex has degree >= m.
@@ -69,7 +70,8 @@ TEST(GeneratorsTest, BarabasiAlbertDegreeLaw) {
 
 TEST(GeneratorsTest, PowerLawDegreeSequenceRespectsBounds) {
   Rng rng(4);
-  const std::vector<int> degrees = PowerLawDegreeSequence(1000, 2.5, 1, 50, &rng);
+  const std::vector<int> degrees =
+      PowerLawDegreeSequence(1000, 2.5, 1, 50, &rng);
   int64_t sum = 0;
   for (int d : degrees) {
     EXPECT_GE(d, 1);

@@ -1,0 +1,440 @@
+// Snapshot round-trip property tests: for every registered maintainer, a
+// random churn prefix followed by save -> load into a fresh engine must
+// reproduce the identical solution set and pass full consistency checks;
+// for the core swap maintainers the restored engine must additionally
+// behave *identically* on a shared update suffix (same solutions, same
+// recycled vertex ids) and must restore without any recomputation —
+// verified by the MisState MoveIn/MoveOut op counter, which stays at zero
+// across LoadState. Corrupted, truncated, version-bumped and
+// unknown-algorithm snapshots must be rejected with a structured error.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dynmis/dynmis.h"
+#include "gtest/gtest.h"
+#include "src/core/k_swap.h"
+#include "src/core/one_swap.h"
+#include "src/core/two_swap.h"
+#include "tests/verifiers.h"
+
+namespace dynmis {
+namespace {
+
+using testing_util::IsMaximalIndependentSet;
+
+UpdateStreamOptions ChurnOptions(uint64_t seed) {
+  UpdateStreamOptions options;
+  options.edge_op_fraction = 0.6;  // Heavy vertex churn: ids get recycled.
+  options.insert_fraction = 0.5;
+  options.seed = seed;
+  return options;
+}
+
+std::unique_ptr<MisEngine> MakeChurnedEngine(const std::string& name,
+                                             uint64_t seed, int updates) {
+  Rng rng(2024);
+  const EdgeListGraph base = ErdosRenyiGnm(60, 150, &rng);
+  auto engine = MisEngine::Create(base, name);
+  if (engine == nullptr) return nullptr;
+  engine->Initialize();
+  UpdateStreamGenerator gen(ChurnOptions(seed));
+  for (int i = 0; i < updates; ++i) {
+    engine->Apply(gen.Next(engine->graph()));
+  }
+  return engine;
+}
+
+std::string SaveToString(const MisEngine& engine) {
+  std::ostringstream out;
+  const SnapshotStatus status = engine.SaveSnapshot(out);
+  EXPECT_TRUE(status.ok) << status.message;
+  return std::move(out).str();
+}
+
+std::unique_ptr<MisEngine> LoadFromString(const std::string& blob,
+                                          SnapshotStatus* status) {
+  std::istringstream in(blob);
+  return MisEngine::LoadSnapshot(in, status);
+}
+
+std::vector<VertexId> SortedSolution(const MisEngine& engine) {
+  std::vector<VertexId> solution = engine.Solution();
+  std::sort(solution.begin(), solution.end());
+  return solution;
+}
+
+// The state-transition op counter and consistency hook of the core
+// maintainers, reached through the facade. Returns -1 for non-core types.
+int64_t StateTransitionOps(const DynamicMisMaintainer& maintainer) {
+  if (auto* one = dynamic_cast<const DyOneSwap*>(&maintainer)) {
+    return one->StateTransitionOps();
+  }
+  if (auto* two = dynamic_cast<const DyTwoSwap*>(&maintainer)) {
+    return two->StateTransitionOps();
+  }
+  if (auto* k = dynamic_cast<const KSwapMaintainer*>(&maintainer)) {
+    return k->StateTransitionOps();
+  }
+  return -1;
+}
+
+void CheckCoreConsistency(const DynamicMisMaintainer& maintainer) {
+  if (auto* one = dynamic_cast<const DyOneSwap*>(&maintainer)) {
+    one->CheckConsistency();
+  } else if (auto* two = dynamic_cast<const DyTwoSwap*>(&maintainer)) {
+    two->CheckConsistency();
+  } else if (auto* k = dynamic_cast<const KSwapMaintainer*>(&maintainer)) {
+    k->CheckConsistency();
+  }
+}
+
+TEST(SnapshotTest, RoundTripEveryRegisteredMaintainer) {
+  const std::vector<std::string> names =
+      MaintainerRegistry::Global().ListNames();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    auto engine = MakeChurnedEngine(name, /*seed=*/7, /*updates=*/400);
+    ASSERT_NE(engine, nullptr) << name;
+    const std::string blob = SaveToString(*engine);
+    ASSERT_FALSE(blob.empty()) << name;
+
+    SnapshotStatus status;
+    auto loaded = LoadFromString(blob, &status);
+    ASSERT_NE(loaded, nullptr) << name << ": " << status.message;
+    EXPECT_EQ(SortedSolution(*loaded), SortedSolution(*engine)) << name;
+
+    const EngineStats before = engine->Stats();
+    const EngineStats after = loaded->Stats();
+    EXPECT_EQ(after.algorithm, before.algorithm) << name;
+    EXPECT_EQ(after.num_vertices, before.num_vertices) << name;
+    EXPECT_EQ(after.num_edges, before.num_edges) << name;
+    EXPECT_EQ(after.solution_size, before.solution_size) << name;
+    EXPECT_EQ(after.updates_applied, before.updates_applied) << name;
+
+    EXPECT_TRUE(IsMaximalIndependentSet(loaded->graph(), loaded->Solution()))
+        << name;
+    CheckCoreConsistency(loaded->maintainer());
+  }
+}
+
+TEST(SnapshotTest, CoreMaintainersRestoreWithoutRecompute) {
+  for (const std::string name :
+       {"DyOneSwap", "DyTwoSwap", "DyTwoSwap*", "KSwap3"}) {
+    auto engine = MakeChurnedEngine(name, /*seed=*/13, /*updates=*/500);
+    ASSERT_NE(engine, nullptr) << name;
+    const std::string blob = SaveToString(*engine);
+
+    SnapshotStatus status;
+    auto loaded = LoadFromString(blob, &status);
+    ASSERT_NE(loaded, nullptr) << name << ": " << status.message;
+    // LoadState restores the flat arrays verbatim: zero MoveIn/MoveOut
+    // transitions means no Initialize pass and no swap-restoration ran —
+    // restore is O(state), never a recompute.
+    EXPECT_EQ(StateTransitionOps(loaded->maintainer()), 0) << name;
+    CheckCoreConsistency(loaded->maintainer());
+  }
+}
+
+TEST(SnapshotTest, CoreMaintainersResumeIdenticallyAfterRestore) {
+  for (const std::string name :
+       {"DyOneSwap", "DyTwoSwap", "DyTwoSwap*", "KSwap2", "KSwap3"}) {
+    auto engine = MakeChurnedEngine(name, /*seed=*/19, /*updates=*/400);
+    ASSERT_NE(engine, nullptr) << name;
+    SnapshotStatus status;
+    auto loaded = LoadFromString(SaveToString(*engine), &status);
+    ASSERT_NE(loaded, nullptr) << name << ": " << status.message;
+
+    // One shared suffix, pre-drawn against the snapshot-time graph; both
+    // engines must stay in lockstep: same solutions and — because the
+    // graph's free lists travel with the snapshot — the same recycled ids
+    // for inserted vertices.
+    const std::vector<GraphUpdate> suffix =
+        MakeUpdateSequence(engine->graph(), 300, ChurnOptions(/*seed=*/23));
+    for (size_t i = 0; i < suffix.size(); ++i) {
+      const UpdateResult a = engine->Apply(suffix[i]);
+      const UpdateResult b = loaded->Apply(suffix[i]);
+      ASSERT_EQ(b.new_vertices, a.new_vertices) << name << " op " << i;
+      if (i % 25 == 0) {
+        ASSERT_EQ(SortedSolution(*loaded), SortedSolution(*engine))
+            << name << " op " << i;
+      }
+    }
+    EXPECT_EQ(SortedSolution(*loaded), SortedSolution(*engine)) << name;
+    CheckCoreConsistency(loaded->maintainer());
+    CheckCoreConsistency(engine->maintainer());
+  }
+}
+
+TEST(SnapshotTest, LazyModeRoundTripsThroughTheFallbackSections) {
+  // Lazy collection keeps no intrusive lists; the "mis" section then carries
+  // only status/count. Exercise it through a config (not an alias string)
+  // to cover the parameter-match validation on load.
+  Rng rng(11);
+  const EdgeListGraph base = ErdosRenyiGnm(50, 120, &rng);
+  MaintainerConfig config("DyTwoSwap-lazy");
+  auto engine = MisEngine::Create(base, config);
+  ASSERT_NE(engine, nullptr);
+  engine->Initialize();
+  UpdateStreamGenerator gen(ChurnOptions(31));
+  for (int i = 0; i < 300; ++i) engine->Apply(gen.Next(engine->graph()));
+
+  SnapshotStatus status;
+  auto loaded = LoadFromString(SaveToString(*engine), &status);
+  ASSERT_NE(loaded, nullptr) << status.message;
+  EXPECT_EQ(SortedSolution(*loaded), SortedSolution(*engine));
+  EXPECT_EQ(StateTransitionOps(loaded->maintainer()), 0);
+}
+
+TEST(SnapshotTest, EmptyEngineRoundTrips) {
+  EdgeListGraph base;  // No vertices, no edges.
+  auto engine = MisEngine::Create(base, "DyTwoSwap");
+  ASSERT_NE(engine, nullptr);
+  engine->Initialize();
+  SnapshotStatus status;
+  auto loaded = LoadFromString(SaveToString(*engine), &status);
+  ASSERT_NE(loaded, nullptr) << status.message;
+  EXPECT_EQ(loaded->SolutionSize(), 0);
+  EXPECT_EQ(loaded->Stats().num_vertices, 0);
+}
+
+TEST(SnapshotTest, RejectsCorruptedHeadersAndTruncatedFiles) {
+  auto engine = MakeChurnedEngine("DyTwoSwap", /*seed=*/5, /*updates=*/200);
+  ASSERT_NE(engine, nullptr);
+  const std::string blob = SaveToString(*engine);
+  ASSERT_GT(blob.size(), 64u);
+
+  {
+    // Bad magic.
+    std::string bad = blob;
+    bad[0] ^= 0x5a;
+    SnapshotStatus status;
+    EXPECT_EQ(LoadFromString(bad, &status), nullptr);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.message.find("magic"), std::string::npos)
+        << status.message;
+  }
+  {
+    // Unsupported version (bytes 8..11, little-endian).
+    std::string bad = blob;
+    bad[8] = 0x63;
+    SnapshotStatus status;
+    EXPECT_EQ(LoadFromString(bad, &status), nullptr);
+    EXPECT_FALSE(status.ok);
+    EXPECT_NE(status.message.find("version"), std::string::npos)
+        << status.message;
+  }
+  {
+    // Truncation at a spread of byte lengths: never a crash, always a
+    // structured error.
+    for (size_t len : {size_t{0}, size_t{4}, size_t{11}, blob.size() / 4,
+                       blob.size() / 2, blob.size() - 1}) {
+      SnapshotStatus status;
+      EXPECT_EQ(LoadFromString(blob.substr(0, len), &status), nullptr)
+          << "length " << len;
+      EXPECT_FALSE(status.ok) << "length " << len;
+      EXPECT_FALSE(status.message.empty()) << "length " << len;
+    }
+  }
+  {
+    // Single-bit corruption across the payload is caught by the per-section
+    // CRC before any content is interpreted.
+    for (size_t offset = 20; offset < blob.size(); offset += 977) {
+      std::string bad = blob;
+      bad[offset] ^= 0x01;
+      SnapshotStatus status;
+      EXPECT_EQ(LoadFromString(bad, &status), nullptr) << "offset " << offset;
+      EXPECT_FALSE(status.ok) << "offset " << offset;
+    }
+  }
+}
+
+TEST(SnapshotTest, RejectsUnknownAlgorithmAndMissingSections) {
+  {
+    SnapshotWriter w;
+    w.BeginSection("engine");
+    w.PutString("NoSuchMaintainer");
+    w.PutString("NoSuchMaintainer");
+    w.PutI32(2);
+    w.PutU8(0);
+    w.PutU8(0);
+    w.PutI32(1);
+    w.PutI64(0);
+    w.PutDouble(0);
+    w.EndSection();
+    std::ostringstream out;
+    ASSERT_TRUE(w.WriteTo(out).ok);
+    SnapshotStatus status;
+    EXPECT_EQ(LoadFromString(std::move(out).str(), &status), nullptr);
+    EXPECT_NE(status.message.find("unknown algorithm"), std::string::npos)
+        << status.message;
+  }
+  {
+    // A valid engine section but no graph section.
+    SnapshotWriter w;
+    w.BeginSection("engine");
+    w.PutString("DyTwoSwap");
+    w.PutString("DyTwoSwap");
+    w.PutI32(2);
+    w.PutU8(0);
+    w.PutU8(0);
+    w.PutI32(1);
+    w.PutI64(0);
+    w.PutDouble(0);
+    w.EndSection();
+    std::ostringstream out;
+    ASSERT_TRUE(w.WriteTo(out).ok);
+    SnapshotStatus status;
+    EXPECT_EQ(LoadFromString(std::move(out).str(), &status), nullptr);
+    EXPECT_NE(status.message.find("missing section"), std::string::npos)
+        << status.message;
+  }
+}
+
+TEST(SnapshotTest, RejectsSemanticallyCorruptMaintainerState) {
+  // A CRC-valid snapshot whose graph is fine but whose "mis" section marks
+  // both endpoints of an edge as solution members: LoadSnapshot must reject
+  // it during MisState validation, not abort (or loop) in a later update.
+  SnapshotWriter w;
+  w.BeginSection("engine");
+  w.PutString("DyTwoSwap");
+  w.PutString("DyTwoSwap");
+  w.PutI32(2);
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutI32(1);
+  w.PutI64(0);
+  w.PutDouble(0);
+  w.EndSection();
+  w.BeginSection("graph");
+  w.PutI64(2);                    // num_vertices
+  w.PutI64(1);                    // num_edges
+  w.PutI32(2);                    // vertex capacity
+  w.PutI32(1);                    // edge capacity
+  w.PutI32Array({0, 0});          // heads
+  w.PutI32Array({1, 1});          // degrees
+  w.PutI32Array({0, 1, -1, -1});  // edge (0, 1), end of both chains
+  w.PutI32Array({-1, -1});        // edge_prev
+  w.PutI32Array({});              // free vertices
+  w.PutI32Array({});              // free edges
+  w.EndSection();
+  w.BeginSection("mis");
+  w.PutI32(2);                         // k
+  w.PutU8(0);                          // eager
+  w.PutI64(2);                         // |I| = 2 — adjacent pair!
+  w.PutU8Array({1, 1});                // status
+  w.PutI32Array({0, 0});               // count
+  w.PutI32Array({-1, -1});             // inb_head
+  w.PutI32Array({-1, -1});             // bar1_head
+  w.PutI32Array({0, 0});               // bar1_size
+  w.PutI32Array({-1, -1});             // bar1_edge
+  w.PutI32Array({-1, -1, -1, -1});     // inb_links
+  w.PutI32Array({-1, -1, -1, -1});     // bar1_links
+  w.PutI32Array({-1, -1});             // bar2_head
+  w.PutI32Array({-1, -1});             // bar2_edge0
+  w.PutI32Array({-1, -1});             // bar2_edge1
+  w.PutI32Array({-1, -1, -1, -1});     // bar2_links
+  w.EndSection();
+  std::ostringstream out;
+  ASSERT_TRUE(w.WriteTo(out).ok);
+  SnapshotStatus status;
+  EXPECT_EQ(LoadFromString(std::move(out).str(), &status), nullptr);
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("independent"), std::string::npos)
+      << status.message;
+}
+
+TEST(SnapshotTest, RejectsNonMaximalMaintainerState) {
+  // Same valid 2-vertex graph, but an all-empty solution: no maintainer
+  // ever saves a non-maximal state, and a restored engine would never
+  // repair it (updates only react to changes), so load must reject it.
+  SnapshotWriter w;
+  w.BeginSection("engine");
+  w.PutString("DyTwoSwap");
+  w.PutString("DyTwoSwap");
+  w.PutI32(2);
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutI32(1);
+  w.PutI64(0);
+  w.PutDouble(0);
+  w.EndSection();
+  w.BeginSection("graph");
+  w.PutI64(2);
+  w.PutI64(1);
+  w.PutI32(2);
+  w.PutI32(1);
+  w.PutI32Array({0, 0});
+  w.PutI32Array({1, 1});
+  w.PutI32Array({0, 1, -1, -1});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({});
+  w.PutI32Array({});
+  w.EndSection();
+  w.BeginSection("mis");
+  w.PutI32(2);
+  w.PutU8(0);
+  w.PutI64(0);                      // Empty solution on a nonempty graph.
+  w.PutU8Array({0, 0});
+  w.PutI32Array({0, 0});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({0, 0});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({-1, -1, -1, -1});
+  w.PutI32Array({-1, -1, -1, -1});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({-1, -1});
+  w.PutI32Array({-1, -1, -1, -1});
+  w.EndSection();
+  std::ostringstream out;
+  ASSERT_TRUE(w.WriteTo(out).ok);
+  SnapshotStatus status;
+  EXPECT_EQ(LoadFromString(std::move(out).str(), &status), nullptr);
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("maximal"), std::string::npos)
+      << status.message;
+}
+
+TEST(SnapshotTest, RejectsStructurallyInvalidGraphSections) {
+  // A CRC-valid snapshot whose graph arrays are internally inconsistent
+  // (here: a degree sum that cannot match the edge count) must fail the
+  // structural validation, not crash.
+  SnapshotWriter w;
+  w.BeginSection("engine");
+  w.PutString("DyTwoSwap");
+  w.PutString("DyTwoSwap");
+  w.PutI32(2);
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutI32(1);
+  w.PutI64(0);
+  w.PutDouble(0);
+  w.EndSection();
+  w.BeginSection("graph");
+  w.PutI64(2);                          // num_vertices
+  w.PutI64(1);                          // num_edges
+  w.PutI32(2);                          // vertex capacity
+  w.PutI32(1);                          // edge capacity
+  w.PutI32Array({0, 0});                // heads: both claim edge 0
+  w.PutI32Array({5, 5});                // degrees: impossible sum
+  w.PutI32Array({0, 1, -1, -1});        // one edge (0, 1), no next links
+  w.PutI32Array({-1, -1});              // edge_prev
+  w.PutI32Array({});                    // free vertices
+  w.PutI32Array({});                    // free edges
+  w.EndSection();
+  std::ostringstream out;
+  ASSERT_TRUE(w.WriteTo(out).ok);
+  SnapshotStatus status;
+  EXPECT_EQ(LoadFromString(std::move(out).str(), &status), nullptr);
+  EXPECT_FALSE(status.ok);
+  EXPECT_NE(status.message.find("graph"), std::string::npos)
+      << status.message;
+}
+
+}  // namespace
+}  // namespace dynmis

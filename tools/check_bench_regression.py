@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares a freshly produced BENCH_<scenario>.json against the committed
+baseline and fails when any (algorithm, batch_size) run's ops_per_sec drops
+below --min-ratio of the baseline (default 0.75, i.e. a >25% regression).
+
+Throughput ratios are hardware-sensitive; the committed baselines were
+measured on a developer machine while CI runs on shared runners, so the
+gate compares *shape*, not absolute speed: each run's raw candidate/
+baseline ratio is divided by the median ratio across all runs. A
+uniformly slower (or faster) machine shifts every ratio equally and
+cancels out, while a regression confined to a minority of runs stands
+out against the median — including a regression in the fastest run,
+which a fixed-normalizer scheme would hide. A *uniform* slowdown across
+most runs is indistinguishable from slower hardware by construction;
+pass --absolute to compare raw ops_per_sec when baseline and candidate
+come from the same machine.
+
+Also validates the JSON schema the rest of the tooling relies on
+(schema_version, positive ops_per_sec / p50 / p99 / memory / solution).
+
+Pass --candidate several times to gate on the best of N repeated runs
+(per (algorithm, batch_size) the maximum ops_per_sec is used), which keeps
+short reduced-scale CI runs from tripping the gate on scheduler noise.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_hard.json \
+      --candidate run1.json --candidate run2.json \
+      [--min-ratio 0.75] [--absolute]
+"""
+
+import argparse
+import json
+import sys
+
+
+REQUIRED_RUN_FIELDS = (
+    "algorithm",
+    "batch_size",
+    "ops_per_sec",
+    "latency_p50_us",
+    "latency_p99_us",
+    "peak_memory_bytes",
+    "final_solution_size",
+)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
+    runs = doc.get("runs")
+    if not runs:
+        sys.exit(f"{path}: no runs recorded")
+    for run in runs:
+        for field in REQUIRED_RUN_FIELDS:
+            if field not in run:
+                sys.exit(f"{path}: run is missing '{field}': {run}")
+        for field in ("ops_per_sec", "latency_p50_us", "latency_p99_us",
+                      "peak_memory_bytes", "final_solution_size"):
+            if not run[field] > 0:
+                sys.exit(f"{path}: run has non-positive {field}: {run}")
+    return doc
+
+
+def keyed(doc):
+    return {(run["algorithm"], run["batch_size"]): run for run in doc["runs"]}
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True, action="append",
+                        help="repeat to gate on the best of N runs")
+    parser.add_argument("--min-ratio", type=float, default=0.75,
+                        help="fail when candidate/baseline falls below this")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw ops_per_sec (same-machine runs)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidates = [load(path) for path in args.candidate]
+    for doc, path in zip(candidates, args.candidate):
+        if baseline.get("scenario") != doc.get("scenario"):
+            sys.exit(
+                f"scenario mismatch: baseline={baseline.get('scenario')} "
+                f"{path}={doc.get('scenario')}")
+    # Merge repeated runs: per key, keep the fastest observation.
+    candidate = candidates[0]
+    merged = keyed(candidate)
+    for doc in candidates[1:]:
+        for key, run in keyed(doc).items():
+            if key not in merged or run["ops_per_sec"] > merged[key]["ops_per_sec"]:
+                merged[key] = run
+    candidate = {**candidate, "runs": list(merged.values())}
+
+    base_runs = keyed(baseline)
+    cand_runs = keyed(candidate)
+    shared = sorted(set(base_runs) & set(cand_runs))
+    raw = {key: cand_runs[key]["ops_per_sec"] / base_runs[key]["ops_per_sec"]
+           for key in shared}
+    # Shape normalization: divide by the median raw ratio so a uniform
+    # machine-speed shift cancels while minority regressions stand out.
+    norm = 1.0 if args.absolute or not raw else median(raw.values())
+    if norm <= 0:
+        sys.exit("FAIL: degenerate baseline/candidate throughput")
+
+    failures = []
+    print(f"{'algorithm':<16} {'batch':>6} {'baseline':>12} {'candidate':>12} "
+          f"{'ratio':>7}")
+    for key, cand in sorted(cand_runs.items()):
+        base = base_runs.get(key)
+        if base is None:
+            print(f"{key[0]:<16} {key[1]:>6} {'(new run)':>12} "
+                  f"{cand['ops_per_sec']:>12.0f}      -")
+            continue
+        ratio = raw[key] / norm
+        flag = "" if ratio >= args.min_ratio else "  << REGRESSION"
+        print(f"{key[0]:<16} {key[1]:>6} {base['ops_per_sec']:>12.0f} "
+              f"{cand['ops_per_sec']:>12.0f} {ratio:>7.2f}{flag}")
+        if ratio < args.min_ratio:
+            failures.append((key, ratio))
+
+    missing = sorted(set(base_runs) - set(keyed(candidate)))
+    for key in missing:
+        print(f"{key[0]:<16} {key[1]:>6} present in baseline only")
+    if missing:
+        sys.exit(f"FAIL: {len(missing)} baseline run(s) missing from candidate")
+    if failures:
+        worst = min(failures, key=lambda f: f[1])
+        sys.exit(
+            f"FAIL: {len(failures)} run(s) regressed below "
+            f"{args.min_ratio:.2f}x of baseline "
+            f"(worst: {worst[0][0]} batch={worst[0][1]} at {worst[1]:.2f}x)")
+    print(f"OK: all {len(keyed(candidate))} runs within "
+          f"{args.min_ratio:.2f}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,11 +25,22 @@
 //   --report-every K   print a progress row every K updates.
 //   --save-trace FILE  write the applied update sequence to FILE.
 //   --csv              machine-readable progress rows.
+//
+// Snapshot subcommands (durable engine state; see README "Snapshots"):
+//
+//   dynmis_cli snapshot save --graph FILE --out SNAP [run flags as above]
+//       build the engine, apply the update stream, write a snapshot.
+//   dynmis_cli snapshot load --in SNAP [--random N] [--seed S] [--out SNAP2]
+//       restore the engine, optionally resume with more updates, and
+//       optionally write a fresh snapshot of the resumed state.
+//   dynmis_cli snapshot info --in SNAP
+//       print the header, section table and engine metadata.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,7 +64,35 @@ struct CliOptions {
   bool degree_bias = false;
   int report_every = 0;
   bool csv = false;
+  // Snapshot-mode paths (`snapshot save --out` / `snapshot load --in/--out`).
+  std::string snapshot_out;
+  std::string snapshot_in;
+  // Which flag families were given, for per-mode validation: a flag the
+  // selected mode cannot honor is an error, not silently ignored (e.g.
+  // `snapshot load --algo X` — the snapshot fixes the algorithm).
+  bool saw_engine_flags = false;  // --algo/--k/--lazy/--perturb/...
+  bool saw_run_inputs = false;    // --graph/--updates/--save-trace
+  bool saw_stream_flags = false;  // --random/--seed/--*-fraction/...
 };
+
+// Writes a snapshot of `engine` to `path`. Returns 0 on success.
+int WriteSnapshotFile(const MisEngine& engine, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open snapshot for writing: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  Timer timer;
+  const SnapshotStatus status = engine.SaveSnapshot(out);
+  if (!status) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", status.message.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "snapshot: wrote %s (%.3fs)\n", path.c_str(),
+               timer.ElapsedSeconds());
+  return 0;
+}
 
 // Lists every name the registry accepts, straight from the registry — there
 // is no hand-maintained algorithm table in this binary.
@@ -83,18 +122,33 @@ int Usage(const char* argv0) {
                "          [--edge-fraction F] [--insert-fraction F]\n"
                "          [--degree-bias] [--report-every K]\n"
                "          [--save-trace FILE] [--csv]\n"
-               "       %s --algo help   (list registered algorithms)\n",
-               argv0, argv0);
+               "       %s --algo help   (list registered algorithms)\n"
+               "       %s snapshot save|load|info ...   (durable state;\n"
+               "          run `%s snapshot` for details)\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options, bool* list_algos) {
+bool ParseArgs(int argc, char** argv, int first, CliOptions* options,
+               bool* list_algos) {
   *list_algos = false;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    if (arg == "--graph" || arg == "--updates" || arg == "--save-trace") {
+      options->saw_run_inputs = true;
+    } else if (arg == "--algo" || arg == "--k" || arg == "--lazy" ||
+               arg == "--perturb" || arg == "--recompute-every" ||
+               arg == "--initial") {
+      options->saw_engine_flags = true;
+    } else if (arg == "--random" || arg == "--seed" ||
+               arg == "--edge-fraction" || arg == "--insert-fraction" ||
+               arg == "--degree-bias" || arg == "--report-every" ||
+               arg == "--csv") {
+      options->saw_stream_flags = true;
+    }
     if (arg == "--graph") {
       const char* v = next();
       if (!v) return false;
@@ -132,6 +186,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* list_algos) {
       const char* v = next();
       if (!v) return false;
       options->save_trace_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      options->snapshot_out = v;
+    } else if (arg == "--in") {
+      const char* v = next();
+      if (!v) return false;
+      options->snapshot_in = v;
     } else if (arg == "--random") {
       const char* v = next();
       if (!v) return false;
@@ -161,7 +223,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, bool* list_algos) {
       return false;
     }
   }
-  return !options->graph_path.empty();
+  return true;
 }
 
 int Run(const CliOptions& options) {
@@ -275,18 +337,190 @@ int Run(const CliOptions& options) {
                seconds, applied > 0 ? seconds / applied * 1e6 : 0.0,
                static_cast<long long>(stats.solution_size),
                FormatBytes(stats.structure_memory_bytes).c_str());
+  if (!options.snapshot_out.empty()) {
+    return WriteSnapshotFile(*engine, options.snapshot_out);
+  }
   return 0;
+}
+
+// --- Snapshot subcommands ----------------------------------------------------
+
+int SnapshotUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s snapshot save --graph FILE --out SNAP [run flags]\n"
+      "       %s snapshot load --in SNAP [--random N] [--seed S]\n"
+      "                        [--edge-fraction F] [--insert-fraction F]\n"
+      "                        [--degree-bias] [--report-every K] [--csv]\n"
+      "                        [--out SNAP2]\n"
+      "       %s snapshot info --in SNAP\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+// Restores an engine from --in, optionally resumes a random update stream
+// over it (so restart-then-continue is a one-liner), and optionally writes
+// the resumed state back out with --out.
+int RunSnapshotLoad(const CliOptions& options, bool resume_updates) {
+  std::ifstream in(options.snapshot_in, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open snapshot: %s\n",
+                 options.snapshot_in.c_str());
+    return 1;
+  }
+  Timer load_timer;
+  SnapshotStatus status;
+  std::unique_ptr<MisEngine> engine = MisEngine::LoadSnapshot(in, &status);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 status.message.c_str());
+    return 1;
+  }
+  const EngineStats stats = engine->Stats();
+  std::fprintf(stderr,
+               "restored %s from %s in %.3fs: n=%lld m=%lld |I|=%lld "
+               "(%lld lifetime updates)\n",
+               stats.algorithm.c_str(), options.snapshot_in.c_str(),
+               load_timer.ElapsedSeconds(),
+               static_cast<long long>(stats.num_vertices),
+               static_cast<long long>(stats.num_edges),
+               static_cast<long long>(stats.solution_size),
+               static_cast<long long>(stats.updates_applied));
+
+  if (resume_updates && options.random_updates > 0) {
+    UpdateStreamOptions stream;
+    stream.seed = options.seed;
+    stream.edge_op_fraction = options.edge_fraction;
+    stream.insert_fraction = options.insert_fraction;
+    stream.bias = options.degree_bias ? EndpointBias::kDegreeProportional
+                                      : EndpointBias::kUniform;
+    UpdateStreamGenerator gen(stream);
+    Timer timer;
+    for (int i = 0; i < options.random_updates; ++i) {
+      engine->Apply(gen.Next(engine->graph()));
+      if (options.report_every > 0 && (i + 1) % options.report_every == 0) {
+        std::printf(options.csv ? "%d,%lld,%.6f\n" : "%10d %10lld %9.3fs\n",
+                    i + 1, static_cast<long long>(engine->SolutionSize()),
+                    timer.ElapsedSeconds());
+      }
+    }
+    std::fprintf(stderr, "resumed %d updates in %.3fs, final |I|=%lld\n",
+                 options.random_updates, timer.ElapsedSeconds(),
+                 static_cast<long long>(engine->SolutionSize()));
+  }
+  if (!options.snapshot_out.empty()) {
+    return WriteSnapshotFile(*engine, options.snapshot_out);
+  }
+  return 0;
+}
+
+int RunSnapshotInfo(const CliOptions& options) {
+  std::ifstream in(options.snapshot_in, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open snapshot: %s\n",
+                 options.snapshot_in.c_str());
+    return 1;
+  }
+  SnapshotReader reader;
+  const SnapshotStatus status = reader.ReadFrom(in);
+  if (!status) {
+    std::fprintf(stderr, "invalid snapshot: %s\n", status.message.c_str());
+    return 1;
+  }
+  std::printf("snapshot %s (format version %u)\n",
+              options.snapshot_in.c_str(), reader.version());
+  std::printf("sections:\n");
+  for (const std::string& name : reader.SectionNames()) {
+    std::printf("  %-24s %10zu bytes\n", name.c_str(),
+                reader.SectionSize(name));
+  }
+  SnapshotEngineMeta meta;
+  if (!MisEngine::ReadEngineMeta(&reader, &meta)) {
+    std::fprintf(stderr, "invalid snapshot: %s\n",
+                 reader.error().c_str());
+    return 1;
+  }
+  std::printf(
+      "engine: algorithm=%s (%s) k=%d lazy=%d perturb=%d "
+      "recompute_every=%d\n",
+      meta.config.algorithm.c_str(), meta.display_name.c_str(),
+      meta.config.k, meta.config.lazy ? 1 : 0, meta.config.perturb ? 1 : 0,
+      meta.config.recompute_every);
+  std::printf("history: %lld updates, %.3fs inside the maintainer\n",
+              static_cast<long long>(meta.updates_applied),
+              meta.update_seconds);
+  return 0;
+}
+
+int RunSnapshotCommand(int argc, char** argv) {
+  if (argc < 3) return SnapshotUsage(argv[0]);
+  const std::string mode = argv[2];
+  CliOptions options;
+  // Restoring should not churn the graph unless asked: `load` resumes only
+  // with an explicit --random N (the top-level default of 10000 is for the
+  // run-an-experiment mode).
+  if (mode == "load") options.random_updates = 0;
+  bool list_algos = false;
+  if (!ParseArgs(argc, argv, /*first=*/3, &options, &list_algos)) {
+    return SnapshotUsage(argv[0]);
+  }
+  if (mode == "save") {
+    if (options.graph_path.empty() || options.snapshot_out.empty()) {
+      return SnapshotUsage(argv[0]);
+    }
+    if (!options.snapshot_in.empty()) {
+      std::fprintf(stderr, "snapshot save does not take --in\n");
+      return 2;
+    }
+    return Run(options);
+  }
+  if (mode == "load") {
+    if (options.snapshot_in.empty()) return SnapshotUsage(argv[0]);
+    if (options.saw_engine_flags || options.saw_run_inputs) {
+      std::fprintf(stderr,
+                   "snapshot load restores the graph and algorithm from the "
+                   "snapshot; --graph/--algo-style flags are not accepted\n");
+      return 2;
+    }
+    return RunSnapshotLoad(options, /*resume_updates=*/true);
+  }
+  if (mode == "info") {
+    if (options.snapshot_in.empty()) return SnapshotUsage(argv[0]);
+    if (options.saw_engine_flags || options.saw_run_inputs ||
+        options.saw_stream_flags || !options.snapshot_out.empty()) {
+      std::fprintf(stderr, "snapshot info takes only --in\n");
+      return 2;
+    }
+    return RunSnapshotInfo(options);
+  }
+  return SnapshotUsage(argv[0]);
 }
 
 }  // namespace
 }  // namespace dynmis
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
+    return dynmis::RunSnapshotCommand(argc, argv);
+  }
   dynmis::CliOptions options;
   bool list_algos = false;
-  if (!dynmis::ParseArgs(argc, argv, &options, &list_algos)) {
+  if (!dynmis::ParseArgs(argc, argv, /*first=*/1, &options, &list_algos)) {
     return dynmis::Usage(argv[0]);
   }
   if (list_algos) return dynmis::PrintAlgorithms();
+  if (!options.snapshot_in.empty()) {
+    std::fprintf(stderr,
+                 "--in restores a snapshot; use `%s snapshot load --in ...`\n",
+                 argv[0]);
+    return 2;
+  }
+  if (!options.snapshot_out.empty()) {
+    std::fprintf(stderr,
+                 "--out writes a snapshot; use `%s snapshot save ... --out`\n",
+                 argv[0]);
+    return 2;
+  }
+  if (options.graph_path.empty()) return dynmis::Usage(argv[0]);
   return dynmis::Run(options);
 }
