@@ -15,11 +15,23 @@
 //   bench_driver --list
 //   bench_driver --scenario smoke [--out PATH]
 //   bench_driver --scenario hard --snapshot-every 10000
+//   bench_driver --scenario hard --shards 4
 //   DYNMIS_BENCH_SCALE=0.1 bench_driver --scenario hard
 //
 // Update counts scale with DYNMIS_BENCH_SCALE (see bench_common.h); the
 // committed BENCH_*.json files are measured at scale 1. The scenario-to-
 // paper mapping lives in bench/EXPERIMENTS.md.
+//
+// --shards N appends a "sharded" block to the JSON: the same update
+// sequence replayed through a ShardedMisEngine (DyTwoSwap per shard, batch
+// routing) at 1 shard and at N shards — ops/sec for both, the scaling
+// ratio, solution quality vs the greedy reference, the cut-edge fraction,
+// and an independence verification of the final solution against an
+// independently maintained replica graph. The block is informational for
+// the regression gate (tools/check_bench_regression.py ignores it); the
+// committed headline numbers live in bench/EXPERIMENTS.md. cpu_count
+// records how many hardware threads the measuring machine exposed, since
+// shard scaling numbers are meaningless without it.
 //
 // --snapshot-every N (single-op regime only) measures the durability tax:
 // every N applied updates the engine is serialized to an in-memory sink
@@ -35,6 +47,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -181,6 +194,82 @@ std::vector<VertexId> SortedSolution(const MisEngine& engine) {
   return solution;
 }
 
+// One sharded measurement (see the "sharded" block description up top).
+struct ShardedRunResult {
+  int shards = 0;
+  int64_t updates = 0;
+  double total_seconds = 0;
+  double ops_per_sec = 0;
+  int64_t final_solution_size = 0;
+  double quality_vs_greedy = 0;
+  double cut_edge_fraction = 0;
+  int64_t conflicts = 0;
+  int64_t evictions = 0;
+  int64_t readded = 0;
+  bool verified_independent = false;
+};
+
+// True when `solution` is an independent set of `g` with every member
+// alive (bitmap + one edge scan; the brute-force test verifiers are too
+// slow at bench scale).
+bool VerifyIndependent(const DynamicGraph& g,
+                       const std::vector<VertexId>& solution) {
+  std::vector<uint8_t> member(g.VertexCapacity(), 0);
+  for (const VertexId v : solution) {
+    if (!g.IsVertexAlive(v) || member[v]) return false;
+    member[v] = 1;
+  }
+  for (const auto& [u, v] : g.EdgeList()) {
+    if (member[u] && member[v]) return false;
+  }
+  return true;
+}
+
+ShardedRunResult RunSharded(const EdgeListGraph& base,
+                            const std::vector<GraphUpdate>& updates,
+                            const DynamicGraph& final_graph, int shards,
+                            int batch_size, int64_t greedy_reference) {
+  ShardedRunResult result;
+  result.shards = shards;
+  result.updates = static_cast<int64_t>(updates.size());
+
+  ShardedEngineOptions options;
+  options.num_shards = shards;
+  options.block_ops = batch_size;
+  auto engine = ShardedMisEngine::Create(base, {"DyTwoSwap"}, options);
+  DYNMIS_CHECK(engine != nullptr);
+  engine->Initialize();
+
+  // Timed region: routing + shard work + the final barrier and resolution,
+  // so the sequential repair cost is charged to the throughput number. The
+  // whole sequence goes through one ApplyBatch — the engine itself chops it
+  // into `batch_size` worker blocks (ShardedEngineOptions::block_ops), so
+  // re-chunking here would only add copies.
+  Timer timer;
+  engine->ApplyBatch(updates);
+  engine->Flush();
+  const std::vector<VertexId> solution = engine->Solution();
+  result.total_seconds = timer.ElapsedSeconds();
+
+  result.ops_per_sec =
+      result.total_seconds > 0
+          ? static_cast<double>(result.updates) / result.total_seconds
+          : 0;
+  result.final_solution_size = static_cast<int64_t>(solution.size());
+  result.quality_vs_greedy =
+      greedy_reference > 0
+          ? static_cast<double>(result.final_solution_size) /
+                static_cast<double>(greedy_reference)
+          : 0;
+  const ShardedStats stats = engine->ShardStats();
+  result.cut_edge_fraction = stats.cut_edge_fraction;
+  result.conflicts = stats.conflicts;
+  result.evictions = stats.evictions;
+  result.readded = stats.readded;
+  result.verified_independent = VerifyIndependent(final_graph, solution);
+  return result;
+}
+
 RunResult RunOne(const EdgeListGraph& base,
                  const std::vector<GraphUpdate>& updates,
                  const MaintainerConfig& config, int batch_size,
@@ -197,9 +286,10 @@ RunResult RunOne(const EdgeListGraph& base,
   std::vector<double> latencies;
   latencies.reserve(updates.size() / std::max(batch_size, 1) + 1);
   if (batch_size == 1) {
-    engine->SetUpdateObserver([&](const GraphUpdate&, double seconds) {
-      latencies.push_back(seconds);
-    });
+    engine->SetUpdateObserver(
+        [&](const GraphUpdate&, int64_t, double seconds) {
+          latencies.push_back(seconds);
+        });
   }
 
   size_t peak_memory = 0;
@@ -297,7 +387,7 @@ RunResult RunOne(const EdgeListGraph& base,
 }
 
 int RunScenario(const Scenario& scenario, const std::string& out_path,
-                int snapshot_every) {
+                int snapshot_every, int sharded_shards) {
   std::printf("scenario %s: %s\n", scenario.name.c_str(),
               scenario.description.c_str());
   const EdgeListGraph base = scenario.make_graph();
@@ -348,6 +438,40 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
     }
   }
 
+  // Sharded measurement: the identical sequence through a vertex-
+  // partitioned multi-threaded engine, at 1 shard (the degenerate
+  // single-worker baseline) and at the requested count.
+  ShardedRunResult sharded_base;
+  ShardedRunResult sharded;
+  // Worker-block granularity for the sharded runs. Larger than the
+  // single-engine batch regime on purpose: each posted block wakes a
+  // worker, and on machines with few hardware threads the wakeup
+  // ping-pong between the routing thread and the workers costs more than
+  // block-level pipelining wins back.
+  const int sharded_batch = 8192;
+  if (sharded_shards > 1) {
+    sharded_base = RunSharded(base, updates, scratch, 1, sharded_batch,
+                              greedy_reference);
+    sharded = RunSharded(base, updates, scratch, sharded_shards,
+                         sharded_batch, greedy_reference);
+    for (const ShardedRunResult* r : {&sharded_base, &sharded}) {
+      std::printf(
+          "  sharded x%-3d batch=%-5d %10.0f ops/s  cut=%4.1f%%  |I|=%lld "
+          "(%.3f of greedy)  %s\n",
+          r->shards, sharded_batch, r->ops_per_sec,
+          r->cut_edge_fraction * 100,
+          static_cast<long long>(r->final_solution_size),
+          r->quality_vs_greedy,
+          r->verified_independent ? "verified" : "NOT INDEPENDENT");
+    }
+    std::printf("  sharded scaling x%d vs x1: %.2fx (%u hardware threads)\n",
+                sharded.shards,
+                sharded_base.ops_per_sec > 0
+                    ? sharded.ops_per_sec / sharded_base.ops_per_sec
+                    : 0,
+                std::thread::hardware_concurrency());
+  }
+
   JsonWriter w;
   w.BeginObject();
   w.Key("schema_version");
@@ -358,6 +482,11 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
   w.String(scenario.description);
   w.Key("scale");
   w.Double(BenchScale());
+  // Hardware threads visible to this measurement — shard scaling numbers
+  // (and to a degree every throughput number) are only interpretable
+  // alongside it.
+  w.Key("cpu_count");
+  w.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
   w.Key("graph");
   w.BeginObject();
   w.Key("name");
@@ -417,6 +546,50 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
     w.EndObject();
   }
   w.EndArray();
+  if (sharded_shards > 1) {
+    auto emit_sharded_run = [&](const ShardedRunResult& r) {
+      w.Key("shards");
+      w.Int(r.shards);
+      w.Key("updates");
+      w.Int(r.updates);
+      w.Key("total_seconds");
+      w.Double(r.total_seconds);
+      w.Key("ops_per_sec");
+      w.Double(r.ops_per_sec);
+      w.Key("final_solution_size");
+      w.Int(r.final_solution_size);
+      w.Key("quality_vs_greedy");
+      w.Double(r.quality_vs_greedy);
+      w.Key("cut_edge_fraction");
+      w.Double(r.cut_edge_fraction);
+      w.Key("conflicts");
+      w.Int(r.conflicts);
+      w.Key("evictions");
+      w.Int(r.evictions);
+      w.Key("readded");
+      w.Int(r.readded);
+      w.Key("verified_independent");
+      w.Bool(r.verified_independent);
+    };
+    w.Key("sharded");
+    w.BeginObject();
+    w.Key("algorithm");
+    w.String("DyTwoSwap");
+    w.Key("partition");
+    w.String("hash");
+    w.Key("batch_size");
+    w.Int(sharded_batch);
+    emit_sharded_run(sharded);
+    w.Key("scaling_vs_one_shard");
+    w.Double(sharded_base.ops_per_sec > 0
+                 ? sharded.ops_per_sec / sharded_base.ops_per_sec
+                 : 0);
+    w.Key("one_shard");
+    w.BeginObject();
+    emit_sharded_run(sharded_base);
+    w.EndObject();
+    w.EndObject();
+  }
   w.EndObject();
 
   if (!WriteFile(out_path, w.Take())) {
@@ -431,6 +604,7 @@ int Main(int argc, char** argv) {
   std::string scenario_name;
   std::string out_path;
   int snapshot_every = 0;
+  int sharded_shards = 0;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -448,12 +622,20 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--snapshot-every expects a positive count\n");
         return 2;
       }
+    } else if (arg == "--shards") {
+      sharded_shards = std::atoi(next());
+      if (sharded_shards < 2) {
+        std::fprintf(stderr,
+                     "--shards expects a count >= 2 (1 is measured as the "
+                     "scaling baseline automatically)\n");
+        return 2;
+      }
     } else if (arg == "--list") {
       list = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_driver --scenario NAME [--out PATH] "
-                   "[--snapshot-every N] | --list\n");
+                   "[--snapshot-every N] [--shards N] | --list\n");
       return 2;
     }
   }
@@ -469,7 +651,7 @@ int Main(int argc, char** argv) {
     if (s.name == scenario_name) {
       const std::string path =
           out_path.empty() ? "BENCH_" + s.name + ".json" : out_path;
-      return RunScenario(s, path, snapshot_every);
+      return RunScenario(s, path, snapshot_every, sharded_shards);
     }
   }
   std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",

@@ -91,9 +91,11 @@ class MisEngine {
   UpdateResult Apply(const GraphUpdate& update);
 
   // Applies the block as one transaction through the maintainer's batch
-  // path (deferred swap restoration where supported). When a per-op
-  // observer is installed the block is applied op-by-op instead, so the
-  // observer sees each latency.
+  // path (deferred swap restoration where supported) — observer or not.
+  // An installed observer is invoked once for the whole block with
+  // batch-latency semantics; callers that want per-op latencies apply ops
+  // individually (the old behaviour silently downgraded every observed
+  // batch to the per-op path, losing the deferred-settle optimization).
   UpdateResult ApplyBatch(const std::vector<GraphUpdate>& updates);
 
   // Typed conveniences over Apply().
@@ -146,9 +148,11 @@ class MisEngine {
   // before alias resolution). This is the key SaveSnapshot persists.
   const MaintainerConfig& config() const { return config_; }
 
-  // Called after every applied update with the op and its wall time.
-  using UpdateObserver =
-      std::function<void(const GraphUpdate& update, double seconds)>;
+  // Called once per Apply (applied = 1, update = the op) and once per
+  // non-empty ApplyBatch (applied = block size, update = the block's first
+  // op), with the wall time of the whole call.
+  using UpdateObserver = std::function<void(
+      const GraphUpdate& update, int64_t applied, double seconds)>;
   void SetUpdateObserver(UpdateObserver observer) {
     observer_ = std::move(observer);
   }

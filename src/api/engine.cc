@@ -38,31 +38,21 @@ UpdateResult MisEngine::Apply(const GraphUpdate& update) {
   }
   updates_applied_ += 1;
   update_seconds_ += result.seconds;
-  if (observer_) observer_(update, result.seconds);
+  if (observer_) observer_(update, 1, result.seconds);
   return result;
 }
 
 UpdateResult MisEngine::ApplyBatch(const std::vector<GraphUpdate>& updates) {
   UpdateResult result;
-  if (observer_) {
-    // Per-op application so the observer sees each latency; new-vertex ids
-    // accumulate across the per-op results.
-    for (const GraphUpdate& update : updates) {
-      UpdateResult one = Apply(update);
-      result.applied += one.applied;
-      result.seconds += one.seconds;
-      result.new_vertices.insert(result.new_vertices.end(),
-                                 one.new_vertices.begin(),
-                                 one.new_vertices.end());
-    }
-    return result;
-  }
   Timer timer;
   result.new_vertices = maintainer_->ApplyBatch(updates);
   result.seconds = timer.ElapsedSeconds();
   result.applied = static_cast<int64_t>(updates.size());
   updates_applied_ += result.applied;
   update_seconds_ += result.seconds;
+  if (observer_ && !updates.empty()) {
+    observer_(updates.front(), result.applied, result.seconds);
+  }
   return result;
 }
 

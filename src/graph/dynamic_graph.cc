@@ -41,9 +41,45 @@ void DynamicGraph::DegreeChanged(int old_degree, int new_degree) {
   }
 }
 
+void DynamicGraph::QueueVertexId(VertexId v) {
+  DYNMIS_CHECK_GE(v, 0);
+  DYNMIS_CHECK(!IsVertexAlive(v));
+  queued_ids_.push_back(v);
+}
+
 VertexId DynamicGraph::AddVertex() {
   VertexId v;
-  if (!free_vertices_.empty()) {
+  if (queued_head_ < queued_ids_.size()) {
+    v = queued_ids_[queued_head_];
+    if (++queued_head_ == queued_ids_.size()) {
+      queued_ids_.clear();
+      queued_head_ = 0;
+    }
+    if (v >= VertexCapacity()) {
+      // Ids skipped while growing stay dead but join the free list, so the
+      // free list keeps covering exactly the dead ids (the snapshot loader
+      // validates that exactness).
+      for (VertexId skipped = VertexCapacity(); skipped < v; ++skipped) {
+        free_vertices_.push_back(skipped);
+      }
+      vertices_.resize(static_cast<size_t>(v) + 1);
+    } else {
+      // Recycled id: pull it out of the free list. Scan from the back —
+      // recycling is LIFO, so a just-freed id sits near the end. A queued
+      // id absent from the free list means it is alive by consumption time
+      // (queued twice, or never freed): crash rather than corrupt.
+      bool found = false;
+      for (size_t i = free_vertices_.size(); i-- > 0;) {
+        if (free_vertices_[i] == v) {
+          free_vertices_[i] = free_vertices_.back();
+          free_vertices_.pop_back();
+          found = true;
+          break;
+        }
+      }
+      DYNMIS_CHECK(found);
+    }
+  } else if (!free_vertices_.empty()) {
     v = free_vertices_.back();
     free_vertices_.pop_back();
   } else {
@@ -186,7 +222,8 @@ std::vector<std::pair<VertexId, VertexId>> DynamicGraph::EdgeList() const {
 size_t DynamicGraph::MemoryUsageBytes() const {
   return VectorBytes(vertices_) + VectorBytes(edges_) +
          VectorBytes(edge_prev_) + VectorBytes(free_vertices_) +
-         VectorBytes(free_edges_) + VectorBytes(degree_count_);
+         VectorBytes(free_edges_) + VectorBytes(degree_count_) +
+         VectorBytes(queued_ids_);
 }
 
 void DynamicGraph::SaveTo(SnapshotWriter* w) const {

@@ -49,8 +49,18 @@ class DynamicGraph {
   // --- Vertices -------------------------------------------------------------
 
   // Adds an isolated vertex and returns its id. Recycles ids of previously
-  // removed vertices before growing the id space.
+  // removed vertices before growing the id space — unless ids have been
+  // queued with QueueVertexId, in which case the oldest queued id is used.
   VertexId AddVertex();
+
+  // Directs upcoming AddVertex() calls: each queued id is consumed in FIFO
+  // order, and the consuming AddVertex() returns exactly that id (growing
+  // the id space or pulling the id out of the free list as needed; ids
+  // skipped while growing join the free list, keeping it exact). This lets
+  // an owner that allocates ids externally — the sharded engine's global id
+  // space — route vertex inserts through maintainers unchanged. Queued ids
+  // must be dead and distinct from one another.
+  void QueueVertexId(VertexId v);
 
   // Removes `v` and all its incident edges. `v` must be alive.
   void RemoveVertex(VertexId v);
@@ -223,6 +233,12 @@ class DynamicGraph {
   std::vector<EdgeId> edge_prev_;
   std::vector<VertexId> free_vertices_;
   std::vector<EdgeId> free_edges_;
+  // Forced ids queued by QueueVertexId, consumed FIFO by AddVertex
+  // (queued_head_ indexes the next unconsumed entry; the vector is cleared
+  // once drained). Transient routing state: empty at every quiescent point,
+  // never snapshotted.
+  std::vector<VertexId> queued_ids_;
+  size_t queued_head_ = 0;
   int num_vertices_ = 0;
   int64_t num_edges_ = 0;
   // degree_count_[d]: number of alive vertices with degree d (maintained

@@ -65,8 +65,9 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
 void SnapshotWriter::BeginSection(const std::string& name) {
   DYNMIS_CHECK(!in_section_);
   DYNMIS_CHECK(!name.empty());
-  DYNMIS_CHECK(name.size() <= kMaxSectionNameLen);
-  sections_.push_back(Section{name, {}});
+  std::string full = prefix_ + name;
+  DYNMIS_CHECK(full.size() <= kMaxSectionNameLen);
+  sections_.push_back(Section{std::move(full), {}});
   in_section_ = true;
 }
 
@@ -241,7 +242,7 @@ SnapshotStatus SnapshotReader::ReadFrom(std::istream& in) {
 }
 
 bool SnapshotReader::HasSection(const std::string& name) const {
-  return sections_.count(name) != 0;
+  return sections_.count(prefix_ + name) != 0;
 }
 
 std::vector<std::string> SnapshotReader::SectionNames() const {
@@ -249,19 +250,20 @@ std::vector<std::string> SnapshotReader::SectionNames() const {
 }
 
 size_t SnapshotReader::SectionSize(const std::string& name) const {
-  auto it = sections_.find(name);
+  auto it = sections_.find(prefix_ + name);
   return it == sections_.end() ? 0 : it->second.size();
 }
 
 bool SnapshotReader::OpenSection(const std::string& name) {
   if (!ok_) return false;
-  auto it = sections_.find(name);
+  std::string full = prefix_ + name;
+  auto it = sections_.find(full);
   if (it == sections_.end()) {
-    Fail("snapshot: missing section '" + name + "'");
+    Fail("snapshot: missing section '" + full + "'");
     return false;
   }
   current_ = &it->second;
-  current_name_ = name;
+  current_name_ = std::move(full);
   cursor_ = 0;
   return true;
 }

@@ -74,6 +74,12 @@ class SnapshotWriter {
   void BeginSection(const std::string& name);
   void EndSection();
 
+  // Prefix prepended to every section name passed to BeginSection until the
+  // next SetSectionPrefix (empty clears it). Lets a composite producer (the
+  // sharded engine) nest a component's fixed section names — "graph",
+  // "mis" — uniquely per component: "shard3/graph", "shard3/mis".
+  void SetSectionPrefix(std::string prefix) { prefix_ = std::move(prefix); }
+
   void PutU8(uint8_t value);
   void PutU32(uint32_t value);
   void PutI32(int32_t value) { PutU32(static_cast<uint32_t>(value)); }
@@ -98,6 +104,7 @@ class SnapshotWriter {
   };
 
   std::vector<Section> sections_;
+  std::string prefix_;
   bool in_section_ = false;
 };
 
@@ -117,6 +124,11 @@ class SnapshotReader {
   std::vector<std::string> SectionNames() const;
   // Payload size of `name`, or 0 when absent.
   size_t SectionSize(const std::string& name) const;
+
+  // Prefix prepended to the name arguments of OpenSection / HasSection /
+  // SectionSize until the next SetSectionPrefix (empty clears it); the
+  // mirror of SnapshotWriter::SetSectionPrefix for composite consumers.
+  void SetSectionPrefix(std::string prefix) { prefix_ = std::move(prefix); }
 
   // Positions the value cursor at the start of `name`. Returns false and
   // fails the reader when the section is missing.
@@ -157,6 +169,7 @@ class SnapshotReader {
 
   std::map<std::string, std::string> sections_;
   std::vector<std::string> order_;
+  std::string prefix_;
   uint32_t version_ = 0;
   const std::string* current_ = nullptr;
   std::string current_name_;

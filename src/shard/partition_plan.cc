@@ -1,0 +1,22 @@
+#include "src/shard/partition_plan.h"
+
+namespace dynmis {
+
+std::string PartitionStrategyName(PartitionStrategy strategy) {
+  return strategy == PartitionStrategy::kHash ? "hash" : "range";
+}
+
+PartitionPlan PartitionPlan::Hash(int num_shards) {
+  DYNMIS_CHECK_GE(num_shards, 1);
+  return PartitionPlan(PartitionStrategy::kHash, num_shards, 1);
+}
+
+PartitionPlan PartitionPlan::Range(int num_shards, int expected_vertices) {
+  DYNMIS_CHECK_GE(num_shards, 1);
+  const int spread = expected_vertices > num_shards ? expected_vertices
+                                                    : num_shards;
+  const int block = (spread + num_shards - 1) / num_shards;
+  return PartitionPlan(PartitionStrategy::kRange, num_shards, block);
+}
+
+}  // namespace dynmis

@@ -1,0 +1,92 @@
+// PartitionPlan: maps every vertex id — current or future — to one of S
+// shards as a pure function of the id. Pure-function partitioning is what
+// keeps the sharded engine's routing O(1) with zero lookup state: an edge
+// is intra-shard iff both endpoint ids map to the same shard, and a
+// recycled id always lands back in the shard that owned it, so per-shard
+// update queues never need ownership hand-offs.
+//
+// Two strategies:
+//  * kHash: Fibonacci-hash the id, then mod S. Spreads any id distribution
+//    evenly; cut fraction approaches (1 - 1/S) on graphs without locality.
+//  * kRange: contiguous blocks of ids round-robined across shards. Keeps
+//    id-local graphs (generators emit community-ordered ids) mostly
+//    intra-shard and makes shard membership humanly predictable.
+
+#ifndef DYNMIS_SRC_SHARD_PARTITION_PLAN_H_
+#define DYNMIS_SRC_SHARD_PARTITION_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/dynamic_graph.h"
+#include "src/util/check.h"
+
+namespace dynmis {
+
+enum class PartitionStrategy : uint8_t { kHash = 0, kRange = 1 };
+
+// Registry-style spelling of a strategy ("hash" / "range"), for bench JSON
+// and CLI flags.
+std::string PartitionStrategyName(PartitionStrategy strategy);
+
+class PartitionPlan {
+ public:
+  // Hash partitioning over `num_shards` shards.
+  static PartitionPlan Hash(int num_shards);
+
+  // Range partitioning: blocks of ceil(expected_vertices / num_shards)
+  // consecutive ids per shard; ids past the expected range wrap by block
+  // index, so growth keeps spreading round-robin instead of piling onto
+  // the last shard.
+  static PartitionPlan Range(int num_shards, int expected_vertices);
+
+  static PartitionPlan Make(PartitionStrategy strategy, int num_shards,
+                            int expected_vertices) {
+    return strategy == PartitionStrategy::kHash ? Hash(num_shards)
+                                                : Range(num_shards,
+                                                        expected_vertices);
+  }
+
+  // Rebuilds a plan from its persisted fields (snapshot restore): a loaded
+  // engine must map ids exactly as the saved one did, so the block size is
+  // restored verbatim instead of re-derived from a vertex count.
+  static PartitionPlan Restore(PartitionStrategy strategy, int num_shards,
+                               int block_size) {
+    DYNMIS_CHECK_GE(num_shards, 1);
+    DYNMIS_CHECK_GE(block_size, 1);
+    return PartitionPlan(strategy, num_shards, block_size);
+  }
+
+  int num_shards() const { return num_shards_; }
+  PartitionStrategy strategy() const { return strategy_; }
+  // Block width of a range plan (1 for hash plans).
+  int block_size() const { return block_size_; }
+
+  // The shard owning vertex id `v`. Total over all non-negative ids.
+  int ShardOf(VertexId v) const {
+    DYNMIS_DCHECK(v >= 0);
+    if (strategy_ == PartitionStrategy::kHash) {
+      // Fibonacci multiplicative hash: the high 32 bits are well mixed for
+      // the dense small ids DynamicGraph allocates.
+      const uint64_t mixed =
+          (static_cast<uint64_t>(static_cast<uint32_t>(v)) *
+           0x9E3779B97F4A7C15ull) >>
+          32;
+      return static_cast<int>(mixed % static_cast<uint64_t>(num_shards_));
+    }
+    return static_cast<int>(
+        (static_cast<int64_t>(v) / block_size_) % num_shards_);
+  }
+
+ private:
+  PartitionPlan(PartitionStrategy strategy, int num_shards, int block_size)
+      : strategy_(strategy), num_shards_(num_shards), block_size_(block_size) {}
+
+  PartitionStrategy strategy_;
+  int num_shards_;
+  int block_size_;
+};
+
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SHARD_PARTITION_PLAN_H_

@@ -1,0 +1,56 @@
+// Determinism regression: every registered maintainer name (canonical and
+// alias) must produce the identical final solution when the same seeded
+// update stream is replayed twice. This is the prerequisite for comparing
+// sharded against single-engine output — and for the bench driver's
+// cross-run comparability guarantee ("final_solution_size must stay
+// identical for a deterministic scenario").
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dynmis/engine.h"
+#include "dynmis/registry.h"
+#include "gtest/gtest.h"
+#include "src/graph/generators.h"
+#include "src/graph/update_stream.h"
+#include "src/util/random.h"
+#include "tests/verifiers.h"
+
+namespace dynmis {
+namespace {
+
+std::vector<VertexId> ReplayOnce(const EdgeListGraph& base,
+                                 const std::vector<GraphUpdate>& trace,
+                                 const std::string& algorithm) {
+  auto engine = MisEngine::Create(base, {algorithm});
+  EXPECT_NE(engine, nullptr) << algorithm;
+  engine->Initialize();
+  for (const GraphUpdate& update : trace) engine->Apply(update);
+  std::vector<VertexId> solution = engine->Solution();
+  std::sort(solution.begin(), solution.end());
+  return solution;
+}
+
+TEST(DeterminismTest, EveryRegisteredMaintainerReplaysIdentically) {
+  Rng rng(9);
+  const EdgeListGraph base = ErdosRenyiGnm(120, 320, &rng);
+  UpdateStreamOptions stream;
+  stream.seed = 21;
+  stream.edge_op_fraction = 0.8;
+  const std::vector<GraphUpdate> trace =
+      MakeUpdateSequence(base.ToDynamic(), 300, stream);
+
+  DynamicGraph replica = base.ToDynamic();
+  for (const GraphUpdate& update : trace) ApplyUpdate(&replica, update);
+
+  for (const std::string& name : MaintainerRegistry::Global().ListNames()) {
+    const std::vector<VertexId> first = ReplayOnce(base, trace, name);
+    const std::vector<VertexId> second = ReplayOnce(base, trace, name);
+    EXPECT_EQ(first, second) << name << " diverged between identical runs";
+    EXPECT_TRUE(testing_util::IsIndependentSet(replica, first)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dynmis

@@ -90,6 +90,35 @@ TEST(DynamicGraphTest, VertexIdsAreRecycled) {
   EXPECT_EQ(g.VertexCapacity(), 3);
 }
 
+TEST(DynamicGraphTest, QueuedVertexIdsForceAllocation) {
+  DynamicGraph g(2);
+  // Growth: forcing id 5 materializes ids 2..4 as dead, free-listed gaps.
+  g.QueueVertexId(5);
+  EXPECT_EQ(g.AddVertex(), 5);
+  EXPECT_TRUE(g.IsVertexAlive(5));
+  EXPECT_EQ(g.VertexCapacity(), 6);
+  EXPECT_EQ(g.NumVertices(), 3);
+  for (VertexId gap = 2; gap <= 4; ++gap) EXPECT_FALSE(g.IsVertexAlive(gap));
+
+  // Recycling: a freed id can be re-forced, pulling it from the free list.
+  g.RemoveVertex(1);
+  g.QueueVertexId(1);
+  EXPECT_EQ(g.AddVertex(), 1);
+  EXPECT_TRUE(g.IsVertexAlive(1));
+
+  // FIFO: queued ids are consumed in order, then allocation reverts to the
+  // free list (which still holds exactly the gap ids).
+  g.QueueVertexId(3);
+  g.QueueVertexId(8);
+  EXPECT_EQ(g.AddVertex(), 3);
+  EXPECT_EQ(g.AddVertex(), 8);
+  const VertexId recycled = g.AddVertex();
+  EXPECT_TRUE(recycled == 2 || recycled == 4 || recycled == 6 ||
+              recycled == 7);
+  EXPECT_EQ(g.AddEdge(5, 1) >= 0, true);
+  EXPECT_TRUE(g.HasEdge(5, 1));
+}
+
 TEST(DynamicGraphTest, EdgeIdsAreRecycled) {
   DynamicGraph g(4);
   const EdgeId e0 = g.AddEdge(0, 1);

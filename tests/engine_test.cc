@@ -130,26 +130,43 @@ TEST(EngineTest, TypedOpsAndStatsAccumulate) {
   EXPECT_TRUE(IsMaximalIndependentSet(engine->graph(), engine->Solution()));
 }
 
-TEST(EngineTest, ObserverSeesEveryOp) {
+TEST(EngineTest, ObserverSeesOpsAndBatches) {
   const EdgeListGraph base = SmallGraph(11);
   auto engine = MisEngine::Create(base, {"DyTwoSwap"});
   ASSERT_NE(engine, nullptr);
   engine->Initialize();
 
-  int observed = 0;
+  int calls = 0;
+  int64_t ops_seen = 0;
   engine->SetUpdateObserver(
-      [&observed](const GraphUpdate&, double seconds) {
+      [&](const GraphUpdate&, int64_t applied, double seconds) {
         EXPECT_GE(seconds, 0.0);
-        ++observed;
+        ++calls;
+        ops_seen += applied;
       });
   UpdateStreamOptions stream;
   stream.seed = 5;
   const std::vector<GraphUpdate> trace =
       MakeUpdateSequence(base.ToDynamic(), 50, stream);
+
+  // A batch goes through the maintainer's deferred-settle path even with an
+  // observer installed; the observer fires once with batch semantics.
   const UpdateResult result = engine->ApplyBatch(trace);
   EXPECT_EQ(result.applied, 50);
-  EXPECT_EQ(observed, 50);
-  EXPECT_EQ(engine->Stats().updates_applied, 50);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ops_seen, 50);
+
+  // Per-op application reports each op individually.
+  GraphUpdate probe;
+  probe.kind = UpdateKind::kInsertVertex;
+  engine->Apply(probe);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(ops_seen, 51);
+  EXPECT_EQ(engine->Stats().updates_applied, 51);
+
+  // An empty batch applies nothing and must not invoke the observer.
+  engine->ApplyBatch({});
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

@@ -20,6 +20,12 @@ come from the same machine.
 Also validates the JSON schema the rest of the tooling relies on
 (schema_version, positive ops_per_sec / p50 / p99 / memory / solution).
 
+The sharded measurement (`bench_driver --shards N`) is informational and
+machine-sensitive in a way the shape normalization cannot cancel (it
+depends on the hardware-thread count recorded in `cpu_count`), so the gate
+ignores it entirely: the top-level "sharded" object is never compared, and
+any run entry carrying a "shards" field is dropped before keying.
+
 Pass --candidate several times to gate on the best of N repeated runs
 (per (algorithm, batch_size) the maximum ops_per_sec is used), which keeps
 short reduced-scale CI runs from tripping the gate on scheduler noise.
@@ -51,7 +57,9 @@ def load(path):
         doc = json.load(f)
     if doc.get("schema_version") != 1:
         sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
-    runs = doc.get("runs")
+    doc.pop("sharded", None)  # Informational block: never gated.
+    runs = [run for run in doc.get("runs") or [] if "shards" not in run]
+    doc["runs"] = runs
     if not runs:
         sys.exit(f"{path}: no runs recorded")
     for run in runs:
