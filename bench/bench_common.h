@@ -3,8 +3,12 @@
 #ifndef DYNMIS_BENCH_BENCH_COMMON_H_
 #define DYNMIS_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace dynmis {
 namespace bench {
@@ -38,6 +42,17 @@ inline int SmallBatch(int64_t m) {
 }
 inline int LargeBatch(int64_t m) {
   return ScaledUpdates(static_cast<int>(m / 2));
+}
+
+// Nearest-rank percentile over an ascending vector — the convention every
+// bench/serving percentile in the JSON outputs follows. Rounds the rank up
+// so small samples report the tail (with 2 samples the p99 is the max, not
+// the min).
+inline double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
 inline void PrintScaleNote() {

@@ -53,8 +53,7 @@
 #include "bench/bench_common.h"
 #include "bench/json_writer.h"
 #include "dynmis/dynmis.h"
-#include "src/graph/datasets.h"
-#include "src/graph/generators.h"
+#include "src/serve/workload.h"
 #include "src/util/timer.h"
 
 namespace dynmis {
@@ -75,10 +74,17 @@ struct Scenario {
   std::vector<int> batch_sizes = {1, 1024};
 };
 
-EdgeListGraph NamedDataset(const std::string& name) {
-  const DatasetSpec* spec = FindDataset(name);
-  DYNMIS_CHECK(spec != nullptr);
-  return GenerateDataset(*spec);
+// Graphs and stream seeds come from the shared scenario definitions in
+// src/serve/workload.{h,cc}, so the serving layer's load generator and
+// this driver measure the identical base graphs by construction; the
+// bench-specific shape (algorithm list, batch regimes, update sizing)
+// lives here.
+Scenario FromWorkload(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  s.make_graph = [name] { return serve::BuildServeWorkloadGraph(name); };
+  s.stream = serve::ServeWorkloadStream(name);
+  return s;
 }
 
 std::vector<Scenario> BuildScenarios() {
@@ -86,75 +92,46 @@ std::vector<Scenario> BuildScenarios() {
   {
     // Tiny and fast: the CI regression hook. Exercises both regimes and the
     // full JSON schema in a couple of seconds even at scale 1.
-    Scenario s;
-    s.name = "smoke";
+    Scenario s = FromWorkload("smoke");
     s.description = "tiny power-law graph, uniform churn (CI hook)";
     s.graph_name = "chung-lu-1500";
-    s.make_graph = [] {
-      Rng rng(4242);
-      return ChungLuPowerLaw(1500, 2.3, 8.0, &rng);
-    };
     s.algos = {"DyOneSwap", "DyTwoSwap"};
     s.base_updates = 2000;
-    s.stream.seed = 17;
     s.batch_sizes = {1, 256};
     scenarios.push_back(std::move(s));
   }
   {
     // Easy-instance regime (paper Tables II/III): light churn relative to m.
-    Scenario s;
-    s.name = "easy";
+    Scenario s = FromWorkload("easy");
     s.description = "easy dataset stand-in, light batch (~m/10 updates)";
     s.graph_name = "web-Google";
-    s.make_graph = [] { return NamedDataset("web-Google"); };
     s.algos = {"DyOneSwap", "DyTwoSwap", "DyARW"};
     s.updates_from_m = [](int64_t m) { return SmallBatch(m); };
-    s.stream.seed = 23;
     scenarios.push_back(std::move(s));
   }
   {
     // Hard-instance regime (paper Table IV / Fig 6): heavy degree-biased
     // churn. The per-PR DyTwoSwap throughput acceptance numbers come from
     // this scenario's single-op regime.
-    Scenario s;
-    s.name = "hard";
+    Scenario s = FromWorkload("hard");
     s.description =
         "hard dataset stand-in, heavy batch (~m/2 updates), degree-biased";
     s.graph_name = "soc-pokec";
-    s.make_graph = [] { return NamedDataset("soc-pokec"); };
     s.algos = {"DyOneSwap", "DyTwoSwap", "DyTwoSwap*"};
     s.updates_from_m = [](int64_t m) { return LargeBatch(m); };
-    s.stream.seed = 29;
-    s.stream.bias = EndpointBias::kDegreeProportional;
     scenarios.push_back(std::move(s));
   }
   {
     // Power-law random graph (paper Fig 10), including the generic k-swap
     // maintainer at k=3.
-    Scenario s;
-    s.name = "powerlaw";
+    Scenario s = FromWorkload("powerlaw");
     s.description = "configuration-model power-law graph, uniform churn";
     s.graph_name = "plrg-12000";
-    s.make_graph = [] {
-      Rng rng(777);
-      return PowerLawRandomGraph(12000, 2.3, 2, 120, &rng);
-    };
     s.algos = {"DyOneSwap", "DyTwoSwap", "KSwap3"};
     s.base_updates = 20000;
-    s.stream.seed = 31;
     scenarios.push_back(std::move(s));
   }
   return scenarios;
-}
-
-// Nearest-rank percentile; `sorted` must already be in ascending order.
-// Rounds the rank up so small samples report the tail (with 2 samples the
-// p99 is the max, not the min).
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const size_t rank =
-      static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
 // Snapshot-cost measurements for one run (populated when --snapshot-every

@@ -19,6 +19,7 @@
 #include "dynmis/graph.h"
 #include "dynmis/maintainer.h"
 #include "dynmis/registry.h"
+#include "dynmis/serve.h"
 #include "dynmis/sharded_engine.h"
 #include "dynmis/snapshot.h"
 #include "dynmis/static_mis.h"

@@ -1,0 +1,202 @@
+// Serving layer: a dependency-free TCP server over the engine facades, so
+// the maintained independent set can be driven and queried from outside the
+// process — the first subsystem that exercises the library as a service
+// rather than as an in-process benchmark.
+//
+// The server speaks a newline-delimited text protocol (README "Serving"):
+//
+//   HELLO 1                          versioned handshake (mandatory first line)
+//   INS u v / DEL u v                edge updates
+//   INSV [n1 n2 ...] / DELV u        vertex updates
+//   BATCH n ... END                  n update lines framed as one client batch
+//   QUERY u / SOLUTION / STATS       queries (impose a flush barrier)
+//   SNAPSHOT path / TRACE path       durable checkpoints / applied-op trace
+//   VERIFY                           server-side independence+maximality check
+//   QUIT                             orderly goodbye
+//
+// Updates pass through an *admission layer*: each op is validated against a
+// replica graph (invalid ops are rejected with `ERR`, never reach the
+// engine, and can never trip an engine precondition), then coalesced with
+// ops from every other connection into one ApplyBatch call, flushed when the
+// batch fills (`batch_max_ops`) or a deadline expires (`flush_deadline_us`).
+// Acks are deferred until the containing batch applies, so `OK` means
+// "applied", and the measured update latency is the honest queue+apply time.
+// Throughput therefore scales with connection count (one engine call per
+// batch) instead of collapsing into per-op engine traffic.
+//
+// The server runs over either backend behind the ServingBackend adapter: a
+// single MisEngine, or a ShardedMisEngine with N worker shards. STATS
+// reports the same EngineStats fields for both (plus a per-shard breakdown
+// for the sharded backend), wired from the same counters the bench driver's
+// observer hook uses. SNAPSHOT writes the PR-3 container online;
+// ServeOptions::restore_path warm-starts a fresh server from one (warm
+// failover: checkpoint on the old process, --restore on the new).
+//
+// Concurrency model: one poll()-based event loop thread owns every socket
+// and the backend; the sharded backend parallelizes internally. SIGTERM /
+// Stop() drains cleanly: pending batches are applied, deferred acks are
+// written out, then sockets close.
+
+#ifndef DYNMIS_INCLUDE_DYNMIS_SERVE_H_
+#define DYNMIS_INCLUDE_DYNMIS_SERVE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynmis/config.h"
+#include "dynmis/engine.h"
+#include "dynmis/snapshot.h"
+#include "src/graph/edge_list.h"
+
+namespace dynmis {
+namespace serve {
+
+// Protocol version spoken by this build; HELLO with any other version is
+// rejected at the handshake.
+inline constexpr int kProtocolVersion = 1;
+
+struct ServeOptions {
+  // Listen address. Port 0 binds an ephemeral port (Server::port() reports
+  // the actual one after Start()).
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  // "engine" (single MisEngine) or "sharded" (ShardedMisEngine).
+  std::string backend = "engine";
+  // Worker shards for the sharded backend (ignored by "engine").
+  int shards = 2;
+  MaintainerConfig algo;
+
+  // Admission batching: flush the coalesced batch at this many ops, or when
+  // the oldest enqueued op has waited this long, whichever comes first.
+  int batch_max_ops = 512;
+  double flush_deadline_us = 1000;
+
+  // Protocol limits. A line longer than max_line_bytes is a protocol error
+  // and closes the connection; a client that piles up more than
+  // max_output_bytes of unread responses (pipelining SOLUTION without
+  // reading, say) is disconnected rather than allowed to grow server
+  // memory without bound.
+  size_t max_line_bytes = 1 << 16;
+  size_t max_output_bytes = 16 << 20;
+  int max_connections = 256;
+
+  // Warm start: restore the backend from this snapshot file instead of
+  // building it from a base graph.
+  std::string restore_path;
+
+  // Record every applied update so the TRACE command can export the exact
+  // applied sequence (unbounded memory over the server's lifetime; meant
+  // for verification runs, not production).
+  bool record_trace = false;
+
+  // SNAPSHOT/TRACE write client-supplied paths on the server host — a file
+  // -write primitive no unauthenticated remote peer should have. They are
+  // enabled automatically on loopback listeners and refused elsewhere
+  // unless this is explicitly set.
+  bool allow_file_commands = false;
+};
+
+// The uniform surface the server drives. Both engines sit behind it; a new
+// backend (e.g. a remote replica) implements these seven calls.
+class ServingBackend {
+ public:
+  virtual ~ServingBackend() = default;
+
+  // "engine" or "sharded".
+  virtual std::string Kind() const = 0;
+  // Worker shards (1 for the single engine).
+  virtual int NumShards() const = 0;
+  virtual UpdateResult ApplyBatch(const std::vector<GraphUpdate>& updates) = 0;
+  virtual bool InSolution(VertexId v) = 0;
+  // Appends the current solution to `out` (not cleared).
+  virtual void CollectSolution(std::vector<VertexId>* out) = 0;
+  virtual EngineStats Stats() = 0;
+  // Per-shard breakdown (empty for the single engine); same field meanings
+  // as Stats(), restricted to one shard's local view.
+  virtual std::vector<EngineStats> PerShardStats() { return {}; }
+  virtual SnapshotStatus SaveSnapshot(std::ostream& out) = 0;
+  // A standalone copy of the served graph whose id-space state matches the
+  // backend's (future AddVertex ids agree). Seeds the admission replica.
+  virtual DynamicGraph ExportGraph() = 0;
+};
+
+// Builds the backend named by `options.backend` over a copy of `base`
+// (ignored when options.restore_path is set — the snapshot fixes graph and
+// algorithm). Returns nullptr with `*error` set on unknown backend name,
+// unknown algorithm, or a failed restore.
+std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
+                                                   const ServeOptions& options,
+                                                   std::string* error);
+
+// Live serving counters, exposed via STATS (JSON) and Server::StatsJson().
+struct ServingMetricsSnapshot {
+  int64_t connections_accepted = 0;
+  int64_t connections_open = 0;
+  int64_t protocol_errors = 0;
+  int64_t ops_admitted = 0;
+  int64_t ops_applied = 0;
+  int64_t ops_rejected = 0;
+  int64_t batches_flushed = 0;
+  double mean_batch_occupancy = 0;
+  int64_t flushes_full = 0;      // Batch reached batch_max_ops.
+  int64_t flushes_deadline = 0;  // Flush deadline expired.
+  int64_t flushes_barrier = 0;   // A query/snapshot/drain forced the flush.
+  double uptime_seconds = 0;
+  double ops_per_sec = 0;  // Applied ops over uptime.
+  // Microsecond percentiles (enqueue -> applied for updates; whole command
+  // for queries).
+  double update_p50_us = 0;
+  double update_p99_us = 0;
+  double query_p50_us = 0;
+  double query_p99_us = 0;
+};
+
+// The TCP server. Single-threaded event loop; construct, Start(), then Run()
+// on the serving thread. Stop() is safe from any thread (and from the
+// installed signal handlers) and triggers the drain path.
+class Server {
+ public:
+  Server(std::unique_ptr<ServingBackend> backend, ServeOptions options);
+  ~Server();
+
+  // Binds and listens. Returns false with `*error` set on socket failure.
+  bool Start(std::string* error);
+
+  // The bound port (valid after Start()).
+  int port() const;
+
+  // Serves until Stop(). Returns 0 on a clean drain, 1 on an internal
+  // socket error.
+  int Run();
+
+  // Requests shutdown (thread- and signal-safe); Run() drains and returns.
+  void Stop();
+
+  // Routes SIGINT/SIGTERM to Stop() of this server (one server per process).
+  static void InstallSignalHandlers(Server* server);
+
+  // The admission layer's replica of the served graph — exactly the state
+  // every applied update has been validated against. Read-only interop for
+  // verification; meaningless while Run() is mid-loop on another thread.
+  const DynamicGraph& replica_graph() const;
+
+  // The STATS payload (one-line JSON), for tooling that has no socket.
+  std::string StatsJson();
+
+  ServingMetricsSnapshot MetricsSnapshot() const;
+
+  ServingBackend& backend();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_INCLUDE_DYNMIS_SERVE_H_

@@ -116,6 +116,14 @@ class ShardedMisEngine {
   EngineStats Stats();
   ShardedStats ShardStats();
 
+  // Per-shard EngineStats breakdown (one entry per shard, local view: the
+  // shard's intra-shard graph, its maintainer's pre-resolution solution and
+  // memory). Lifetime counters (updates_applied / update_seconds) are
+  // engine-global and reported by Stats() only, so they stay zero here.
+  // Serving-layer parity: STATS reports the same fields for the sharded
+  // backend as for a single engine, plus this breakdown.
+  std::vector<EngineStats> PerShardStats();
+
   // Called once per Apply/ApplyBatch with the op count and the routing wall
   // time (batch-latency semantics; per-op timing would serialize the very
   // work the shards parallelize).
@@ -152,6 +160,14 @@ class ShardedMisEngine {
     return shards_[shard]->graph();
   }
   const CutEdgeResolver& resolver() const { return resolver_; }
+
+  // Materializes the global graph (every alive vertex, intra-shard plus cut
+  // edges) as one standalone DynamicGraph whose id-space state — capacity
+  // and vertex free-list recycle order — matches this engine's, so future
+  // AddVertex() calls on the copy assign the ids this engine will. Imposes
+  // a barrier. The serving layer's admission replica is seeded from this
+  // after a warm restore.
+  DynamicGraph BuildGlobalGraph();
 
  private:
   ShardedMisEngine(MaintainerConfig config, ShardedEngineOptions options,

@@ -1,0 +1,118 @@
+// Minimal blocking client for the serve layer's newline protocol, shared
+// by dynmis_loadgen and the loopback end-to-end tests so the two sides of
+// CI exercise the identical framing code. Header-only; POSIX sockets.
+// Intentionally not part of the server: the server's non-blocking framing
+// is LineBuffer (protocol.h) — this is the *client* half.
+
+#ifndef DYNMIS_SRC_SERVE_LINE_CLIENT_H_
+#define DYNMIS_SRC_SERVE_LINE_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace dynmis {
+namespace serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool Connect(const std::string& host, int port, std::string* error) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      *error = "bad address: " + host;
+      return false;
+    }
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool SendAll(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Appends a newline and sends.
+  bool SendLine(const std::string& line) { return SendAll(line + "\n"); }
+
+  // Blocking read of the next response line (LF-terminated, LF stripped).
+  // Returns false once the peer closed or errored.
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const size_t eol = buffer_.find('\n', pos_);
+      if (eol != std::string::npos) {
+        *line = buffer_.substr(pos_, eol - pos_);
+        pos_ = eol + 1;
+        if (pos_ > (1 << 20)) {
+          buffer_.erase(0, pos_);
+          pos_ = 0;
+        }
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // Request/response convenience.
+  bool Ask(const std::string& request, std::string* response) {
+    return SendLine(request) && ReadLine(response);
+  }
+
+  // Half-close: no more requests, but responses are still expected.
+  void ShutdownWrite() { shutdown(fd_, SHUT_WR); }
+
+  void Close() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_LINE_CLIENT_H_

@@ -1,0 +1,46 @@
+#include "src/serve/metrics.h"
+
+#include <cmath>
+
+namespace dynmis {
+namespace serve {
+namespace {
+
+// Geometric bucket layout: 0.5us * kGrowth^i. 128 buckets at 20% growth
+// span ~0.5us to ~5e9us (>1h); anything beyond lands in the last bucket.
+constexpr double kMinUs = 0.5;
+constexpr double kGrowth = 1.2;
+
+}  // namespace
+
+double LatencyRecorder::BucketBoundUs(int i) {
+  return kMinUs * std::pow(kGrowth, i + 1);
+}
+
+void LatencyRecorder::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const double us = seconds * 1e6;
+  int bucket = 0;
+  if (us > kMinUs) {
+    bucket = static_cast<int>(std::log(us / kMinUs) / std::log(kGrowth));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  ++counts_[bucket];
+  ++total_;
+  sum_seconds_ += seconds;
+}
+
+double LatencyRecorder::PercentileUs(double p) const {
+  if (total_ == 0) return 0;
+  const int64_t rank =
+      static_cast<int64_t>(std::ceil(p * static_cast<double>(total_)));
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return BucketBoundUs(i);
+  }
+  return BucketBoundUs(kBuckets - 1);
+}
+
+}  // namespace serve
+}  // namespace dynmis

@@ -1,0 +1,243 @@
+#include "src/serve/protocol.h"
+
+#include <charconv>
+#include <vector>
+
+namespace dynmis {
+namespace serve {
+namespace {
+
+// Splits `line` into whitespace-separated tokens (spaces and tabs).
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Strict integer parse: the whole token must be consumed and the value must
+// fit. Returns false without touching `*out` otherwise.
+bool ParseInt(std::string_view token, int64_t* out) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseVertex(std::string_view token, VertexId* out, std::string* error,
+                 const char* what) {
+  int64_t value = 0;
+  if (!ParseInt(token, &value) || value < 0 || value > INT32_MAX) {
+    *error = std::string("bad ") + what + ": expected a non-negative vertex id";
+    return false;
+  }
+  *out = static_cast<VertexId>(value);
+  return true;
+}
+
+bool WantArgs(const std::vector<std::string_view>& tokens, size_t n,
+              std::string* error) {
+  if (tokens.size() - 1 == n) return true;
+  *error = std::string(tokens[0]) + ": expected " + std::to_string(n) +
+           " argument(s), got " + std::to_string(tokens.size() - 1);
+  return false;
+}
+
+}  // namespace
+
+bool IsUpdateVerb(Verb verb) {
+  return verb == Verb::kIns || verb == Verb::kDel || verb == Verb::kInsV ||
+         verb == Verb::kDelV;
+}
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kHello:
+      return "HELLO";
+    case Verb::kIns:
+      return "INS";
+    case Verb::kDel:
+      return "DEL";
+    case Verb::kInsV:
+      return "INSV";
+    case Verb::kDelV:
+      return "DELV";
+    case Verb::kQuery:
+      return "QUERY";
+    case Verb::kSolution:
+      return "SOLUTION";
+    case Verb::kStats:
+      return "STATS";
+    case Verb::kSnapshot:
+      return "SNAPSHOT";
+    case Verb::kTrace:
+      return "TRACE";
+    case Verb::kVerify:
+      return "VERIFY";
+    case Verb::kBatch:
+      return "BATCH";
+    case Verb::kEnd:
+      return "END";
+    case Verb::kQuit:
+      return "QUIT";
+  }
+  return "?";
+}
+
+bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    *error = "empty command";
+    return false;
+  }
+  const std::string_view verb = tokens[0];
+  *cmd = Command();
+
+  if (verb == "HELLO") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    int64_t version = 0;
+    if (!ParseInt(tokens[1], &version) || version <= 0 ||
+        version > INT32_MAX) {
+      *error = "HELLO: expected a positive protocol version";
+      return false;
+    }
+    cmd->verb = Verb::kHello;
+    cmd->version = static_cast<int>(version);
+    return true;
+  }
+  if (verb == "INS" || verb == "DEL") {
+    if (!WantArgs(tokens, 2, error)) return false;
+    cmd->verb = verb == "INS" ? Verb::kIns : Verb::kDel;
+    cmd->update.kind =
+        verb == "INS" ? UpdateKind::kInsertEdge : UpdateKind::kDeleteEdge;
+    return ParseVertex(tokens[1], &cmd->update.u, error, "endpoint") &&
+           ParseVertex(tokens[2], &cmd->update.v, error, "endpoint");
+  }
+  if (verb == "INSV") {
+    cmd->verb = Verb::kInsV;
+    cmd->update.kind = UpdateKind::kInsertVertex;
+    cmd->update.neighbors.reserve(tokens.size() - 1);
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      VertexId v = kInvalidVertex;
+      if (!ParseVertex(tokens[i], &v, error, "neighbor")) return false;
+      cmd->update.neighbors.push_back(v);
+    }
+    return true;
+  }
+  if (verb == "DELV") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    cmd->verb = Verb::kDelV;
+    cmd->update.kind = UpdateKind::kDeleteVertex;
+    return ParseVertex(tokens[1], &cmd->update.u, error, "vertex");
+  }
+  if (verb == "QUERY") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    cmd->verb = Verb::kQuery;
+    return ParseVertex(tokens[1], &cmd->vertex, error, "vertex");
+  }
+  if (verb == "SOLUTION" || verb == "STATS" || verb == "VERIFY" ||
+      verb == "END" || verb == "QUIT") {
+    if (!WantArgs(tokens, 0, error)) return false;
+    if (verb == "SOLUTION") {
+      cmd->verb = Verb::kSolution;
+    } else if (verb == "STATS") {
+      cmd->verb = Verb::kStats;
+    } else if (verb == "VERIFY") {
+      cmd->verb = Verb::kVerify;
+    } else if (verb == "END") {
+      cmd->verb = Verb::kEnd;
+    } else {
+      cmd->verb = Verb::kQuit;
+    }
+    return true;
+  }
+  if (verb == "SNAPSHOT" || verb == "TRACE") {
+    // The path is the rest of the line verbatim (paths may contain spaces
+    // only if the client avoids leading/trailing ones; tokens are rejoined
+    // with single spaces, which covers sane paths).
+    if (tokens.size() < 2) {
+      *error = std::string(verb) + ": expected a file path";
+      return false;
+    }
+    cmd->verb = verb == "SNAPSHOT" ? Verb::kSnapshot : Verb::kTrace;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (i > 1) cmd->path += ' ';
+      cmd->path.append(tokens[i].data(), tokens[i].size());
+    }
+    return true;
+  }
+  if (verb == "BATCH") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    int64_t count = 0;
+    if (!ParseInt(tokens[1], &count) || count <= 0 || count > (1 << 20)) {
+      *error = "BATCH: expected a count in [1, 1048576]";
+      return false;
+    }
+    cmd->verb = Verb::kBatch;
+    cmd->count = static_cast<int>(count);
+    return true;
+  }
+  *error = "unknown command: " + std::string(verb);
+  return false;
+}
+
+std::string FormatCommandLine(const GraphUpdate& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+      return "INS " + std::to_string(update.u) + " " +
+             std::to_string(update.v);
+    case UpdateKind::kDeleteEdge:
+      return "DEL " + std::to_string(update.u) + " " +
+             std::to_string(update.v);
+    case UpdateKind::kInsertVertex: {
+      std::string line = "INSV";
+      for (const VertexId n : update.neighbors) {
+        line += ' ';
+        line += std::to_string(n);
+      }
+      return line;
+    }
+    case UpdateKind::kDeleteVertex:
+      return "DELV " + std::to_string(update.u);
+  }
+  return "";
+}
+
+void LineBuffer::Append(const char* data, size_t n) {
+  if (overflowed_) return;
+  buffer_.append(data, n);
+  // Compact once the consumed prefix dominates, so long sessions do not
+  // accumulate dead bytes.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+std::optional<std::string> LineBuffer::NextLine() {
+  if (overflowed_) return std::nullopt;
+  const size_t eol = buffer_.find('\n', consumed_);
+  if (eol == std::string::npos) {
+    if (buffer_.size() - consumed_ > max_line_bytes_) overflowed_ = true;
+    return std::nullopt;
+  }
+  if (eol - consumed_ > max_line_bytes_) {
+    overflowed_ = true;
+    return std::nullopt;
+  }
+  size_t end = eol;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  std::string line = buffer_.substr(consumed_, end - consumed_);
+  consumed_ = eol + 1;
+  return line;
+}
+
+}  // namespace serve
+}  // namespace dynmis

@@ -1,0 +1,107 @@
+// Wire protocol of the serving layer: newline framing and command parsing.
+//
+// Lines are LF-terminated (a trailing CR is stripped, so telnet/netcat
+// clients work) and parsed into typed Command values. Parsing is strict:
+// every numeric token must consume fully, vertex ids must be non-negative,
+// and trailing garbage is an error — a malformed line yields a structured
+// error string, never a half-initialized command. Framing (LineBuffer)
+// enforces the configured maximum line length so a client streaming an
+// endless line cannot grow server memory; overflow is sticky and the server
+// drops the connection.
+//
+// The parser knows nothing about sockets or the engine; it is unit-tested
+// in isolation (tests/serve_protocol_test.cc).
+
+#ifndef DYNMIS_SRC_SERVE_PROTOCOL_H_
+#define DYNMIS_SRC_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+namespace serve {
+
+enum class Verb {
+  kHello,     // HELLO <version>
+  kIns,       // INS u v
+  kDel,       // DEL u v
+  kInsV,      // INSV [n1 n2 ...]
+  kDelV,      // DELV u
+  kQuery,     // QUERY u
+  kSolution,  // SOLUTION
+  kStats,     // STATS
+  kSnapshot,  // SNAPSHOT <path>
+  kTrace,     // TRACE <path>
+  kVerify,    // VERIFY
+  kBatch,     // BATCH <n>
+  kEnd,       // END
+  kQuit,      // QUIT
+};
+
+// True for the four verbs that mutate the graph (and are therefore legal
+// inside a BATCH frame and subject to admission batching).
+bool IsUpdateVerb(Verb verb);
+
+// Display name of `verb` (the wire spelling).
+const char* VerbName(Verb verb);
+
+struct Command {
+  Verb verb = Verb::kQuit;
+  // kIns/kDel/kInsV/kDelV: the graph update (ids validated non-negative).
+  GraphUpdate update;
+  // kQuery: the queried vertex.
+  VertexId vertex = kInvalidVertex;
+  // kHello: the client's protocol version.
+  int version = 0;
+  // kBatch: declared number of update lines to follow.
+  int count = 0;
+  // kSnapshot/kTrace: the target file path.
+  std::string path;
+};
+
+// Parses one complete line (already stripped of its newline). Returns false
+// with `*error` holding a one-line reason on malformed input; `*cmd` is
+// only meaningful on success.
+bool ParseCommand(std::string_view line, Command* cmd, std::string* error);
+
+// Renders `update` in the wire spelling ParseCommand accepts (INS/DEL/
+// INSV/DELV; no trailing newline). Clients build their traffic with this
+// so the spelling lives in exactly one file.
+std::string FormatCommandLine(const GraphUpdate& update);
+
+// Incremental newline framing over a byte stream, with a hard cap on line
+// length. Append() raw reads; NextLine() yields complete lines in order.
+// When a line exceeds `max_line_bytes` the buffer enters a sticky
+// overflowed() state and yields nothing further.
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  void Append(const char* data, size_t n);
+
+  // The next complete line without its LF (and without a trailing CR), or
+  // nullopt when no full line is buffered.
+  std::optional<std::string> NextLine();
+
+  bool overflowed() const { return overflowed_; }
+
+  // Bytes buffered but not yet returned (diagnostics/tests).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  // Prefix of buffer_ already handed out as lines (compacted lazily).
+  size_t consumed_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_PROTOCOL_H_

@@ -1,0 +1,1147 @@
+// The serving event loop. One thread owns everything: the listening socket,
+// every connection, the admission batch, and the backend. poll() is the
+// multiplexer (portable, and at serving fan-in the O(fds) scan is noise next
+// to engine work); all sockets are non-blocking. See include/dynmis/serve.h
+// for the architecture overview and README "Serving" for the protocol.
+
+#include "dynmis/serve.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "dynmis/sharded_engine.h"
+#include "src/serve/metrics.h"
+#include "src/serve/protocol.h"
+#include "src/serve/trace.h"
+#include "src/serve/verify.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+namespace serve {
+namespace {
+
+// --- Backend adapters --------------------------------------------------------
+
+class EngineBackend : public ServingBackend {
+ public:
+  explicit EngineBackend(std::unique_ptr<MisEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::string Kind() const override { return "engine"; }
+  int NumShards() const override { return 1; }
+  UpdateResult ApplyBatch(const std::vector<GraphUpdate>& updates) override {
+    return engine_->ApplyBatch(updates);
+  }
+  bool InSolution(VertexId v) override { return engine_->InSolution(v); }
+  void CollectSolution(std::vector<VertexId>* out) override {
+    engine_->CollectSolution(out);
+  }
+  EngineStats Stats() override { return engine_->Stats(); }
+  SnapshotStatus SaveSnapshot(std::ostream& out) override {
+    return engine_->SaveSnapshot(out);
+  }
+  DynamicGraph ExportGraph() override { return engine_->graph(); }
+
+ private:
+  std::unique_ptr<MisEngine> engine_;
+};
+
+class ShardedBackend : public ServingBackend {
+ public:
+  explicit ShardedBackend(std::unique_ptr<ShardedMisEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  std::string Kind() const override { return "sharded"; }
+  int NumShards() const override { return engine_->num_shards(); }
+  UpdateResult ApplyBatch(const std::vector<GraphUpdate>& updates) override {
+    // Route, then barrier: an admission batch is one transaction from the
+    // client's point of view, so the ack must mean "applied", not "queued".
+    UpdateResult result = engine_->ApplyBatch(updates);
+    engine_->Flush();
+    return result;
+  }
+  bool InSolution(VertexId v) override { return engine_->InSolution(v); }
+  void CollectSolution(std::vector<VertexId>* out) override {
+    engine_->CollectSolution(out);
+  }
+  EngineStats Stats() override { return engine_->Stats(); }
+  std::vector<EngineStats> PerShardStats() override {
+    return engine_->PerShardStats();
+  }
+  SnapshotStatus SaveSnapshot(std::ostream& out) override {
+    return engine_->SaveSnapshot(out);
+  }
+  DynamicGraph ExportGraph() override { return engine_->BuildGlobalGraph(); }
+
+ private:
+  std::unique_ptr<ShardedMisEngine> engine_;
+};
+
+// --- JSON assembly -----------------------------------------------------------
+
+// STATS emits one line of JSON. Keys and string values are all
+// server-controlled identifiers (no client bytes), so escaping reduces to
+// quoting.
+
+void JsonKey(std::string* out, const char* key) {
+  if (out->back() != '{' && out->back() != '[') out->push_back(',');
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+}
+
+void JsonStr(std::string* out, const char* key, const std::string& value) {
+  JsonKey(out, key);
+  out->push_back('"');
+  out->append(value);
+  out->push_back('"');
+}
+
+void JsonInt(std::string* out, const char* key, int64_t value) {
+  JsonKey(out, key);
+  out->append(std::to_string(value));
+}
+
+void JsonDouble(std::string* out, const char* key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  JsonKey(out, key);
+  out->append(buf);
+}
+
+void JsonEngineStats(std::string* out, const EngineStats& stats) {
+  out->push_back('{');
+  JsonStr(out, "algorithm", stats.algorithm);
+  JsonInt(out, "solution_size", stats.solution_size);
+  JsonInt(out, "num_vertices", stats.num_vertices);
+  JsonInt(out, "num_edges", stats.num_edges);
+  JsonInt(out, "structure_memory_bytes",
+          static_cast<int64_t>(stats.structure_memory_bytes));
+  JsonInt(out, "graph_memory_bytes",
+          static_cast<int64_t>(stats.graph_memory_bytes));
+  JsonInt(out, "updates_applied", stats.updates_applied);
+  JsonDouble(out, "update_seconds", stats.update_seconds);
+  out->push_back('}');
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
+                                                   const ServeOptions& options,
+                                                   std::string* error) {
+  error->clear();
+  const bool sharded = options.backend == "sharded";
+  if (!sharded && options.backend != "engine") {
+    *error = "unknown backend: " + options.backend +
+             " (expected engine or sharded)";
+    return nullptr;
+  }
+  if (!options.restore_path.empty()) {
+    std::ifstream in(options.restore_path, std::ios::binary);
+    if (!in) {
+      *error = "cannot open snapshot: " + options.restore_path;
+      return nullptr;
+    }
+    SnapshotStatus status;
+    if (sharded) {
+      auto engine = ShardedMisEngine::LoadSnapshot(in, &status);
+      if (engine == nullptr) {
+        *error = "restore failed: " + status.message;
+        return nullptr;
+      }
+      return std::make_unique<ShardedBackend>(std::move(engine));
+    }
+    auto engine = MisEngine::LoadSnapshot(in, &status);
+    if (engine == nullptr) {
+      *error = "restore failed: " + status.message;
+      return nullptr;
+    }
+    return std::make_unique<EngineBackend>(std::move(engine));
+  }
+  if (sharded) {
+    ShardedEngineOptions shard_options;
+    shard_options.num_shards = options.shards;
+    auto engine = ShardedMisEngine::Create(base, options.algo, shard_options);
+    if (engine == nullptr) {
+      *error = "unknown algorithm: " + options.algo.algorithm;
+      return nullptr;
+    }
+    engine->Initialize();
+    return std::make_unique<ShardedBackend>(std::move(engine));
+  }
+  auto engine = MisEngine::Create(base, options.algo);
+  if (engine == nullptr) {
+    *error = "unknown algorithm: " + options.algo.algorithm;
+    return nullptr;
+  }
+  engine->Initialize();
+  return std::make_unique<EngineBackend>(std::move(engine));
+}
+
+// --- Server implementation ---------------------------------------------------
+
+struct Server::Impl {
+  // One client batch frame (BATCH n ... END): acked as a unit once END has
+  // been seen and every admitted op of the frame has applied.
+  struct Frame {
+    int64_t outstanding = 0;  // Admitted ops not yet applied.
+    int64_t applied = 0;
+    int64_t rejected = 0;
+    std::vector<VertexId> insert_ids;
+    bool end_seen = false;
+    // A protocol error inside the frame replaced its ack with an error; the
+    // frame record stays only to absorb the apply notifications of its
+    // already-admitted ops.
+    bool aborted = false;
+  };
+
+  // An entry of a connection's ordered response stream. `ready` entries
+  // drain into the socket buffer; an unready entry (a deferred op or frame
+  // ack) blocks the entries behind it until the flush fills it in. Fills
+  // are type-targeted: single-op acks land in op slots (admission order)
+  // and frame acks in frame slots (frame order), so a frame that settles
+  // early — all its ops rejected, say — can never claim an earlier
+  // still-pending single op's slot. Wire order is always slot order either
+  // way, because only the ready prefix drains.
+  struct Response {
+    bool ready = false;
+    bool frame_slot = false;
+    std::string text;
+  };
+
+  struct Connection {
+    int fd = -1;
+    int64_t session = 0;
+    LineBuffer in;
+    // Bytes accepted from the response stream; [out_sent, out.size()) is
+    // still unsent. The consumed prefix is erased lazily (WriteTo), so a
+    // slow reader's backlog drains linearly, not quadratically.
+    std::string out;
+    size_t out_sent = 0;
+    size_t pending_out() const { return out.size() - out_sent; }
+    // Set when the client kept issuing commands while already sitting on
+    // max_output_bytes of unread responses; the loop disconnects it. A
+    // single response larger than the cap is fine — the check runs before
+    // each append, so one big SOLUTION drains normally.
+    bool overloaded = false;
+    std::deque<Response> responses;
+    std::deque<Frame> frames;
+    bool handshaken = false;
+    // Update lines still expected by an open BATCH frame, then END.
+    int frame_updates_left = 0;
+    bool awaiting_end = false;
+    bool in_frame() const { return frame_updates_left > 0 || awaiting_end; }
+    bool close_after_write = false;
+
+    explicit Connection(size_t max_line) : in(max_line) {}
+  };
+
+  // One admitted op awaiting the next flush.
+  struct PendingMeta {
+    int64_t session = 0;
+    Verb verb = Verb::kIns;
+    double enqueue_time = 0;
+    VertexId assigned_id = kInvalidVertex;  // INSV: replica-assigned id.
+    bool in_frame = false;
+  };
+
+  std::unique_ptr<ServingBackend> backend;
+  DynamicGraph replica;
+  ServeOptions options;
+  ServeMetrics metrics;
+  Timer clock;
+
+  int listen_fd = -1;
+  int bound_port = 0;
+  // Loop iterations left to skip polling the listener after EMFILE/ENFILE.
+  int accept_backoff = 0;
+  // Self-pipe: Stop() writes one byte; poll() wakes on the read end.
+  int wake_fds[2] = {-1, -1};
+
+  int64_t next_session = 1;
+  std::map<int64_t, Connection> connections;  // session -> connection.
+
+  std::vector<GraphUpdate> pending_updates;
+  std::vector<PendingMeta> pending_meta;
+
+  // Applied-op log for TRACE (only when options.record_trace), with the
+  // flush boundaries a faithful replay needs (src/serve/trace.h).
+  ServeTrace trace;
+
+  std::atomic<bool> stopping{false};
+
+  // ---- Admission ------------------------------------------------------------
+
+  // Validates `update` against the replica. Returns true and applies it to
+  // the replica (assigning *insv_id for vertex inserts); on false, `*why`
+  // names the violated precondition.
+  bool Validate(GraphUpdate* update, VertexId* insv_id, std::string* why) {
+    switch (update->kind) {
+      case UpdateKind::kInsertEdge:
+        if (update->u == update->v) {
+          *why = "self loop";
+          return false;
+        }
+        if (!replica.IsVertexAlive(update->u) ||
+            !replica.IsVertexAlive(update->v)) {
+          *why = "unknown vertex";
+          return false;
+        }
+        if (replica.HasEdge(update->u, update->v)) {
+          *why = "edge exists";
+          return false;
+        }
+        replica.AddEdge(update->u, update->v);
+        return true;
+      case UpdateKind::kDeleteEdge:
+        if (!replica.IsVertexAlive(update->u) ||
+            !replica.IsVertexAlive(update->v) ||
+            !replica.HasEdge(update->u, update->v)) {
+          *why = "no such edge";
+          return false;
+        }
+        replica.RemoveEdgeBetween(update->u, update->v);
+        return true;
+      case UpdateKind::kInsertVertex: {
+        for (const VertexId n : update->neighbors) {
+          if (!replica.IsVertexAlive(n)) {
+            *why = "unknown neighbor";
+            return false;
+          }
+        }
+        std::vector<VertexId> sorted = update->neighbors;
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+          *why = "duplicate neighbor";
+          return false;
+        }
+        const VertexId id = replica.AddVertex();
+        for (const VertexId n : update->neighbors) replica.AddEdge(id, n);
+        *insv_id = id;
+        return true;
+      }
+      case UpdateKind::kDeleteVertex:
+        if (!replica.IsVertexAlive(update->u)) {
+          *why = "unknown vertex";
+          return false;
+        }
+        replica.RemoveVertex(update->u);
+        return true;
+    }
+    *why = "bad update";
+    return false;
+  }
+
+  // Applies the coalesced batch through the backend and fills the deferred
+  // responses. `reason` picks the flush counter to bump.
+  enum class FlushReason { kFull, kDeadline, kBarrier };
+  void Flush(FlushReason reason) {
+    if (pending_updates.empty()) return;
+    const UpdateResult result = backend->ApplyBatch(pending_updates);
+    const double now = clock.ElapsedSeconds();
+    DYNMIS_CHECK(result.applied ==
+                 static_cast<int64_t>(pending_updates.size()));
+
+    ++metrics.batches_flushed;
+    metrics.batch_ops_total += static_cast<int64_t>(pending_updates.size());
+    metrics.ops_applied += static_cast<int64_t>(pending_updates.size());
+    switch (reason) {
+      case FlushReason::kFull:
+        ++metrics.flushes_full;
+        break;
+      case FlushReason::kDeadline:
+        ++metrics.flushes_deadline;
+        break;
+      case FlushReason::kBarrier:
+        ++metrics.flushes_barrier;
+        break;
+    }
+
+    // The replica assigned vertex-insert ids at admission; the backend must
+    // agree or the admission layer's validation graph has diverged.
+    size_t insv = 0;
+    for (size_t i = 0; i < pending_meta.size(); ++i) {
+      const PendingMeta& meta = pending_meta[i];
+      metrics.update_latency.Record(now - meta.enqueue_time);
+      if (meta.verb == Verb::kInsV) {
+        DYNMIS_CHECK(insv < result.new_vertices.size());
+        DYNMIS_CHECK(result.new_vertices[insv] == meta.assigned_id);
+        ++insv;
+      }
+      auto it = connections.find(meta.session);
+      if (it == connections.end()) continue;  // Client left; ack evaporates.
+      Connection& conn = it->second;
+      if (meta.in_frame) {
+        // Frames complete strictly FIFO per connection (a frame closes at
+        // END before the next BATCH opens), so the front frame owns the
+        // oldest pending ops.
+        DYNMIS_CHECK(!conn.frames.empty());
+        Frame& frame = conn.frames.front();
+        --frame.outstanding;
+        ++frame.applied;
+        SettleFrames(&conn);
+      } else {
+        FillNextDeferred(&conn,
+                         meta.verb == Verb::kInsV
+                             ? "OK " + std::to_string(meta.assigned_id)
+                             : "OK",
+                         /*frame_slot=*/false);
+      }
+    }
+    if (options.record_trace) {
+      trace.updates.insert(trace.updates.end(), pending_updates.begin(),
+                           pending_updates.end());
+      trace.batch_sizes.push_back(
+          static_cast<int64_t>(pending_updates.size()));
+    }
+    pending_updates.clear();
+    pending_meta.clear();
+  }
+
+  void FillNextDeferred(Connection* conn, std::string text, bool frame_slot) {
+    for (Response& r : conn->responses) {
+      if (!r.ready && r.frame_slot == frame_slot) {
+        r.ready = true;
+        r.text = std::move(text);
+        DrainResponses(conn);
+        return;
+      }
+    }
+    DYNMIS_CHECK(false);  // An applied op / ended frame always has its slot.
+  }
+
+  // Acks every leading finished frame, strictly FIFO: a later frame whose
+  // ops all applied (or were all rejected) must still wait behind an older
+  // in-flight frame, because response slots fill front to back.
+  void SettleFrames(Connection* conn) {
+    while (!conn->frames.empty()) {
+      Frame& frame = conn->frames.front();
+      if (frame.outstanding != 0) break;
+      if (frame.aborted) {
+        conn->frames.pop_front();
+        continue;
+      }
+      if (!frame.end_seen) break;
+      std::string text = "OK " + std::to_string(frame.applied) + " " +
+                         std::to_string(frame.rejected);
+      for (const VertexId id : frame.insert_ids) {
+        text += ' ';
+        text += std::to_string(id);
+      }
+      conn->frames.pop_front();
+      FillNextDeferred(conn, std::move(text), /*frame_slot=*/true);
+    }
+  }
+
+  // Moves the ready prefix of the response stream into the socket buffer.
+  // Write-side backpressure lives here: a client that has not consumed
+  // max_output_bytes of earlier responses and still wants more is marked
+  // overloaded instead of being allowed to grow server memory unboundedly.
+  void DrainResponses(Connection* conn) {
+    while (!conn->responses.empty() && conn->responses.front().ready) {
+      if (conn->pending_out() > options.max_output_bytes) {
+        conn->overloaded = true;
+        return;
+      }
+      conn->out += conn->responses.front().text;
+      conn->out += '\n';
+      conn->responses.pop_front();
+    }
+  }
+
+  void Respond(Connection* conn, std::string text) {
+    conn->responses.push_back({true, false, std::move(text)});
+    DrainResponses(conn);
+  }
+
+  void RespondDeferred(Connection* conn, bool frame_slot) {
+    conn->responses.push_back({false, frame_slot, ""});
+  }
+
+  // ---- Command handling -----------------------------------------------------
+
+  void HandleLine(Connection* conn, const std::string& line) {
+    Command cmd;
+    std::string error;
+    if (!ParseCommand(line, &cmd, &error)) {
+      ++metrics.protocol_errors;
+      if (conn->in_frame()) {
+        AbortFrame(conn, "ERR BATCH: " + error);
+        return;
+      }
+      Respond(conn, "ERR " + error);
+      if (!conn->handshaken) conn->close_after_write = true;
+      return;
+    }
+    ++metrics.commands[static_cast<int>(cmd.verb)];
+
+    if (!conn->handshaken) {
+      if (cmd.verb != Verb::kHello || cmd.version != kProtocolVersion) {
+        ++metrics.protocol_errors;
+        Respond(conn,
+                "ERR handshake: expected HELLO " +
+                    std::to_string(kProtocolVersion));
+        conn->close_after_write = true;
+        return;
+      }
+      conn->handshaken = true;
+      Respond(conn, "OK DYNMIS " + std::to_string(kProtocolVersion) +
+                        " backend=" + backend->Kind() +
+                        " shards=" + std::to_string(backend->NumShards()) +
+                        " algorithm=" + backend->Stats().algorithm);
+      return;
+    }
+
+    if (conn->in_frame()) {
+      HandleFrameLine(conn, cmd);
+      return;
+    }
+
+    switch (cmd.verb) {
+      case Verb::kHello:
+        Respond(conn, "ERR already handshaken");
+        return;
+      case Verb::kIns:
+      case Verb::kDel:
+      case Verb::kInsV:
+      case Verb::kDelV:
+        AdmitSingle(conn, &cmd);
+        return;
+      case Verb::kBatch:
+        conn->frame_updates_left = cmd.count;
+        conn->frames.emplace_back();
+        return;  // Acked as a unit at END.
+      case Verb::kEnd:
+        Respond(conn, "ERR END without BATCH");
+        return;
+      case Verb::kQuery:
+      case Verb::kSolution:
+      case Verb::kStats:
+      case Verb::kVerify:
+      case Verb::kSnapshot:
+      case Verb::kTrace:
+        HandleQuery(conn, cmd);
+        return;
+      case Verb::kQuit:
+        Flush(FlushReason::kBarrier);  // Deferred acks precede the goodbye.
+        Respond(conn, "OK bye");
+        conn->close_after_write = true;
+        return;
+    }
+  }
+
+  void AdmitSingle(Connection* conn, Command* cmd) {
+    VertexId insv_id = kInvalidVertex;
+    std::string why;
+    if (!Validate(&cmd->update, &insv_id, &why)) {
+      ++metrics.ops_rejected;
+      Respond(conn, "ERR rejected: " + why);
+      return;
+    }
+    ++metrics.ops_admitted;
+    RespondDeferred(conn, /*frame_slot=*/false);
+    pending_updates.push_back(std::move(cmd->update));
+    pending_meta.push_back({conn->session, cmd->verb, clock.ElapsedSeconds(),
+                            insv_id, /*in_frame=*/false});
+    if (static_cast<int>(pending_updates.size()) >= options.batch_max_ops) {
+      Flush(FlushReason::kFull);
+    }
+  }
+
+  void HandleFrameLine(Connection* conn, Command& cmd) {
+    if (conn->awaiting_end) {
+      if (cmd.verb != Verb::kEnd) {
+        ++metrics.protocol_errors;
+        AbortFrame(conn, std::string("ERR BATCH: expected END, got ") +
+                             VerbName(cmd.verb));
+        return;
+      }
+      conn->awaiting_end = false;
+      conn->frames.back().end_seen = true;
+      // The frame's ack slot, at END's position in the response stream.
+      RespondDeferred(conn, /*frame_slot=*/true);
+      SettleFrames(conn);
+      return;
+    }
+    if (!IsUpdateVerb(cmd.verb)) {
+      ++metrics.protocol_errors;
+      AbortFrame(conn, std::string("ERR BATCH: expected update line, got ") +
+                           VerbName(cmd.verb));
+      return;
+    }
+    Frame& frame = conn->frames.back();
+    VertexId insv_id = kInvalidVertex;
+    std::string why;
+    if (!Validate(&cmd.update, &insv_id, &why)) {
+      ++metrics.ops_rejected;
+      ++frame.rejected;
+    } else {
+      ++metrics.ops_admitted;
+      ++frame.outstanding;
+      if (cmd.verb == Verb::kInsV) frame.insert_ids.push_back(insv_id);
+      pending_updates.push_back(std::move(cmd.update));
+      pending_meta.push_back({conn->session, cmd.verb, clock.ElapsedSeconds(),
+                              insv_id, /*in_frame=*/true});
+    }
+    if (--conn->frame_updates_left == 0) conn->awaiting_end = true;
+    if (static_cast<int>(pending_updates.size()) >= options.batch_max_ops) {
+      Flush(FlushReason::kFull);
+    }
+  }
+
+  // The admitted ops of an aborted frame stay admitted (they were valid);
+  // only the frame-level ack is replaced by the error. The frame record
+  // survives until its in-flight ops apply, so Flush's FIFO accounting
+  // stays exact.
+  void AbortFrame(Connection* conn, std::string error) {
+    conn->frame_updates_left = 0;
+    conn->awaiting_end = false;
+    DYNMIS_CHECK(!conn->frames.empty());
+    if (conn->frames.back().outstanding == 0) {
+      conn->frames.pop_back();
+    } else {
+      conn->frames.back().aborted = true;
+    }
+    Respond(conn, std::move(error));
+  }
+
+  void HandleQuery(Connection* conn, const Command& cmd) {
+    const Timer query_timer;
+    Flush(FlushReason::kBarrier);  // Read-your-writes for every client.
+    std::string response;
+    switch (cmd.verb) {
+      case Verb::kQuery:
+        if (!replica.IsVertexAlive(cmd.vertex)) {
+          response = "ERR unknown vertex";
+        } else {
+          response = backend->InSolution(cmd.vertex) ? "OK 1" : "OK 0";
+        }
+        break;
+      case Verb::kSolution: {
+        std::vector<VertexId> solution;
+        backend->CollectSolution(&solution);
+        std::sort(solution.begin(), solution.end());
+        response = "OK " + std::to_string(solution.size());
+        for (const VertexId v : solution) {
+          response += ' ';
+          response += std::to_string(v);
+        }
+        break;
+      }
+      case Verb::kStats:
+        response = "OK " + StatsJson();
+        break;
+      case Verb::kVerify:
+        response = VerifySolution();
+        break;
+      case Verb::kSnapshot: {
+        if (!FileCommandsAllowed()) {
+          response = kFileCommandsRefused;
+          break;
+        }
+        std::ofstream out(cmd.path, std::ios::binary);
+        if (!out) {
+          response = "ERR cannot open " + cmd.path;
+          break;
+        }
+        const SnapshotStatus status = backend->SaveSnapshot(out);
+        out.flush();
+        if (!status.ok || !out) {
+          response = "ERR snapshot: " + status.message;
+        } else {
+          response = "OK " + std::to_string(static_cast<int64_t>(out.tellp()));
+        }
+        break;
+      }
+      case Verb::kTrace:
+        if (!FileCommandsAllowed()) {
+          response = kFileCommandsRefused;
+        } else if (!options.record_trace) {
+          response = "ERR trace recording disabled (--record-trace)";
+        } else if (!WriteServeTrace(trace, cmd.path)) {
+          response = "ERR cannot write " + cmd.path;
+        } else {
+          response = "OK " + std::to_string(trace.updates.size());
+        }
+        break;
+      default:
+        response = "ERR internal";
+        break;
+    }
+    metrics.query_latency.Record(query_timer.ElapsedSeconds());
+    Respond(conn, std::move(response));
+  }
+
+  // Independence + maximality of the backend's solution against the replica
+  // — the same state every admitted op was validated against, with the same
+  // checker the loadgen runs client-side (src/serve/verify.h).
+  std::string VerifySolution() {
+    std::vector<VertexId> solution;
+    backend->CollectSolution(&solution);
+    bool independent = false;
+    bool maximal = false;
+    CheckSolution(replica, solution, &independent, &maximal);
+    return std::string("OK independent=") + (independent ? "1" : "0") +
+           " maximal=" + (maximal ? "1" : "0") +
+           " size=" + std::to_string(solution.size());
+  }
+
+  static constexpr const char* kFileCommandsRefused =
+      "ERR file commands are disabled on non-loopback listeners "
+      "(--allow-file-commands)";
+
+  // SNAPSHOT/TRACE are a server-host file-write primitive; allow them only
+  // for loopback listeners unless explicitly opted in.
+  bool FileCommandsAllowed() const {
+    return options.allow_file_commands ||
+           options.host.rfind("127.", 0) == 0;
+  }
+
+  // ---- Stats JSON -----------------------------------------------------------
+
+  std::string BuildStatsJson() {
+    std::string out = "{";
+    JsonStr(&out, "backend", backend->Kind());
+    JsonInt(&out, "protocol_version", kProtocolVersion);
+    JsonInt(&out, "shards", backend->NumShards());
+    JsonKey(&out, "engine");
+    JsonEngineStats(&out, backend->Stats());
+    const std::vector<EngineStats> per_shard = backend->PerShardStats();
+    if (!per_shard.empty()) {
+      JsonKey(&out, "per_shard");
+      out.push_back('[');
+      for (size_t i = 0; i < per_shard.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        JsonEngineStats(&out, per_shard[i]);
+      }
+      out.push_back(']');
+    }
+    JsonKey(&out, "serving");
+    out.push_back('{');
+    JsonInt(&out, "connections_open",
+            static_cast<int64_t>(connections.size()));
+    JsonInt(&out, "connections_accepted", metrics.connections_accepted);
+    JsonInt(&out, "protocol_errors", metrics.protocol_errors);
+    JsonInt(&out, "ops_admitted", metrics.ops_admitted);
+    JsonInt(&out, "ops_applied", metrics.ops_applied);
+    JsonInt(&out, "ops_rejected", metrics.ops_rejected);
+    JsonInt(&out, "batches_flushed", metrics.batches_flushed);
+    JsonDouble(&out, "mean_batch_occupancy", metrics.MeanBatchOccupancy());
+    JsonInt(&out, "flushes_full", metrics.flushes_full);
+    JsonInt(&out, "flushes_deadline", metrics.flushes_deadline);
+    JsonInt(&out, "flushes_barrier", metrics.flushes_barrier);
+    const double uptime = clock.ElapsedSeconds();
+    JsonDouble(&out, "uptime_seconds", uptime);
+    JsonDouble(&out, "ops_per_sec",
+               uptime > 0 ? static_cast<double>(metrics.ops_applied) / uptime
+                          : 0);
+    JsonKey(&out, "update_latency_us");
+    out.push_back('{');
+    JsonInt(&out, "count", metrics.update_latency.count());
+    JsonDouble(&out, "p50", metrics.update_latency.PercentileUs(0.50));
+    JsonDouble(&out, "p99", metrics.update_latency.PercentileUs(0.99));
+    out.push_back('}');
+    JsonKey(&out, "query_latency_us");
+    out.push_back('{');
+    JsonInt(&out, "count", metrics.query_latency.count());
+    JsonDouble(&out, "p50", metrics.query_latency.PercentileUs(0.50));
+    JsonDouble(&out, "p99", metrics.query_latency.PercentileUs(0.99));
+    out.push_back('}');
+    JsonKey(&out, "commands");
+    out.push_back('{');
+    for (int i = 0; i < kNumVerbs; ++i) {
+      JsonInt(&out, VerbName(static_cast<Verb>(i)), metrics.commands[i]);
+    }
+    out.push_back('}');
+    out.push_back('}');
+    out.push_back('}');
+    return out;
+  }
+
+  std::string StatsJson() { return BuildStatsJson(); }
+
+  // ---- Socket plumbing ------------------------------------------------------
+
+  bool StartListening(std::string* error) {
+    listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options.port));
+    if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+      *error = "bad listen address: " + options.host;
+      return false;
+    }
+    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = std::string("bind: ") + std::strerror(errno);
+      return false;
+    }
+    if (listen(listen_fd, 128) != 0) {
+      *error = std::string("listen: ") + std::strerror(errno);
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      *error = std::string("getsockname: ") + std::strerror(errno);
+      return false;
+    }
+    bound_port = ntohs(addr.sin_port);
+    if (!SetNonBlocking(listen_fd)) {
+      *error = "cannot set listen socket non-blocking";
+      return false;
+    }
+    if (pipe(wake_fds) != 0 || !SetNonBlocking(wake_fds[0])) {
+      *error = "cannot create wake pipe";
+      return false;
+    }
+    return true;
+  }
+
+  void Accept() {
+    for (;;) {
+      const int fd = accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        // Out of descriptors: the queued connection stays on the backlog
+        // and level-triggered poll would re-report it forever. Back off
+        // from the listener for a while instead of spinning.
+        if (errno == EMFILE || errno == ENFILE) accept_backoff = 256;
+        return;  // EAGAIN (or transient error): back to poll.
+      }
+      if (static_cast<int>(connections.size()) >= options.max_connections) {
+        const char* msg = "ERR server full\n";
+        (void)!write(fd, msg, std::strlen(msg));
+        close(fd);
+        continue;
+      }
+      SetNonBlocking(fd);
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const int64_t session = next_session++;
+      Connection conn(options.max_line_bytes);
+      conn.fd = fd;
+      conn.session = session;
+      connections.emplace(session, std::move(conn));
+      ++metrics.connections_accepted;
+    }
+  }
+
+  void CloseConnection(int64_t session) {
+    auto it = connections.find(session);
+    if (it == connections.end()) return;
+    close(it->second.fd);
+    connections.erase(it);
+  }
+
+  // Reads and processes what is available. Lines are parsed after every
+  // chunk — not after the socket drains — so the input buffer never grows
+  // past max_line_bytes plus one chunk, and a half-closing peer
+  // (shutdown(SHUT_WR) after its last command) still gets its buffered
+  // commands executed and its responses flushed before the close. A
+  // per-call chunk budget keeps one firehose connection from starving the
+  // rest of the loop; level-triggered poll re-signals the leftovers.
+  // Returns false only when the connection is unusable (error).
+  bool ReadFrom(Connection* conn) {
+    // A connection that is winding down (QUIT acked, protocol error) gets
+    // no further commands executed, even if more bytes are buffered or
+    // still arriving while its responses drain.
+    if (conn->close_after_write) return true;
+    char buf[4096];
+    for (int chunks = 0; chunks < 64; ++chunks) {
+      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.Append(buf, static_cast<size_t>(n));
+        while (auto line = conn->in.NextLine()) {
+          HandleLine(conn, *line);
+          if (conn->close_after_write) return true;
+        }
+        if (conn->in.overflowed()) {
+          ++metrics.protocol_errors;
+          Respond(conn, "ERR line too long");
+          conn->close_after_write = true;
+          return true;
+        }
+        continue;
+      }
+      if (n == 0) {  // Orderly peer close; answer what was received.
+        conn->close_after_write = true;
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  // Writes what the socket accepts; returns false on a dead peer.
+  bool WriteTo(Connection* conn) {
+    while (conn->pending_out() > 0) {
+      const ssize_t n = send(conn->fd, conn->out.data() + conn->out_sent,
+                             conn->pending_out(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (conn->pending_out() == 0) {
+      conn->out.clear();
+      conn->out_sent = 0;
+    } else if (conn->out_sent > (1 << 20) &&
+               conn->out_sent > conn->out.size() / 2) {
+      conn->out.erase(0, conn->out_sent);
+      conn->out_sent = 0;
+    }
+    return true;
+  }
+
+  int RunLoop() {
+    std::vector<pollfd> fds;
+    std::vector<int64_t> fd_sessions;
+    while (true) {
+      if (stopping) break;
+      fds.clear();
+      fd_sessions.clear();
+      short listen_events = POLLIN;
+      if (accept_backoff > 0) {
+        --accept_backoff;
+        listen_events = 0;
+      }
+      fds.push_back({listen_fd, listen_events, 0});
+      fds.push_back({wake_fds[0], POLLIN, 0});
+      for (auto& [session, conn] : connections) {
+        // A winding-down connection's reads are over; keeping POLLIN armed
+        // would spin on the peer's EOF until its parked acks flush.
+        short events = conn.close_after_write ? 0 : POLLIN;
+        if (conn.pending_out() > 0) events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        fd_sessions.push_back(session);
+      }
+
+      // Block until traffic — or the pending batch's flush deadline.
+      int timeout_ms = -1;
+      if (!pending_meta.empty()) {
+        const double deadline = pending_meta.front().enqueue_time +
+                                options.flush_deadline_us * 1e-6;
+        const double remaining = deadline - clock.ElapsedSeconds();
+        if (remaining <= 0) {
+          timeout_ms = 0;
+        } else {
+          timeout_ms = static_cast<int>(remaining * 1e3) + 1;
+        }
+      }
+      if (accept_backoff > 0) {
+        // The muted listener must not turn into an indefinite block: keep
+        // ticking so the backoff expires and accepting resumes.
+        timeout_ms = timeout_ms < 0 ? 50 : std::min(timeout_ms, 50);
+      }
+      const int ready = poll(fds.data(), fds.size(), timeout_ms);
+      if (ready < 0 && errno != EINTR) return 1;
+
+      if (!pending_meta.empty() &&
+          clock.ElapsedSeconds() - pending_meta.front().enqueue_time >=
+              options.flush_deadline_us * 1e-6) {
+        Flush(FlushReason::kDeadline);
+      }
+      SweepWindingDown();
+      if (ready <= 0) continue;
+
+      if (fds[0].revents & POLLIN) Accept();
+      if (fds[1].revents & POLLIN) {
+        char drain[64];
+        while (read(wake_fds[0], drain, sizeof(drain)) > 0) {
+        }
+      }
+      for (size_t i = 2; i < fds.size(); ++i) {
+        const int64_t session = fd_sessions[i - 2];
+        auto it = connections.find(session);
+        if (it == connections.end()) continue;
+        Connection& conn = it->second;
+        bool alive = true;
+        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          alive = ReadFrom(&conn);
+        }
+        if (alive) alive = WriteTo(&conn);
+        if (alive && conn.overloaded) {
+          ++metrics.protocol_errors;
+          alive = false;
+        }
+        if (!alive || (conn.close_after_write && conn.pending_out() == 0 &&
+                       conn.responses.empty())) {
+          CloseConnection(session);
+        }
+      }
+    }
+    Drain();
+    return 0;
+  }
+
+  // Winding-down connections (QUIT acked, protocol error, peer EOF) poll
+  // with reads muted, so a deadline flush — not socket readiness — may be
+  // what finally readies their parked acks; sweep them every pass.
+  void SweepWindingDown() {
+    std::vector<int64_t> winding;
+    for (const auto& [session, conn] : connections) {
+      if (conn.close_after_write) winding.push_back(session);
+    }
+    for (const int64_t session : winding) {
+      auto it = connections.find(session);
+      if (it == connections.end()) continue;
+      Connection& conn = it->second;
+      if (!WriteTo(&conn) ||
+          (conn.pending_out() == 0 && conn.responses.empty())) {
+        CloseConnection(session);
+      }
+    }
+  }
+
+  // Clean shutdown: apply the in-flight batch, push the resulting acks (and
+  // any other buffered bytes) out best-effort, then close everything.
+  void Drain() {
+    Flush(FlushReason::kBarrier);
+    const Timer drain_timer;
+    while (drain_timer.ElapsedSeconds() < 2.0) {
+      bool outstanding = false;
+      std::vector<int64_t> dead;
+      for (auto& [session, conn] : connections) {
+        if (!WriteTo(&conn)) {
+          dead.push_back(session);
+        } else if (conn.pending_out() > 0) {
+          outstanding = true;
+        }
+      }
+      for (const int64_t session : dead) CloseConnection(session);
+      if (!outstanding) break;
+      pollfd pfd{};
+      std::vector<pollfd> wfds;
+      for (auto& [session, conn] : connections) {
+        if (conn.pending_out() > 0) {
+          pfd.fd = conn.fd;
+          pfd.events = POLLOUT;
+          wfds.push_back(pfd);
+        }
+      }
+      poll(wfds.data(), wfds.size(), 100);
+    }
+    std::vector<int64_t> sessions;
+    for (const auto& [session, conn] : connections) {
+      sessions.push_back(session);
+    }
+    for (const int64_t session : sessions) CloseConnection(session);
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) close(listen_fd);
+    if (wake_fds[0] >= 0) close(wake_fds[0]);
+    if (wake_fds[1] >= 0) close(wake_fds[1]);
+    for (const auto& [session, conn] : connections) close(conn.fd);
+  }
+};
+
+Server::Server(std::unique_ptr<ServingBackend> backend, ServeOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->backend = std::move(backend);
+  impl_->options = std::move(options);
+  impl_->replica = impl_->backend->ExportGraph();
+}
+
+Server::~Server() = default;
+
+bool Server::Start(std::string* error) {
+  return impl_->StartListening(error);
+}
+
+int Server::port() const { return impl_->bound_port; }
+
+int Server::Run() { return impl_->RunLoop(); }
+
+void Server::Stop() {
+  impl_->stopping = true;
+  if (impl_->wake_fds[1] >= 0) {
+    const char byte = 1;
+    (void)!write(impl_->wake_fds[1], &byte, 1);
+  }
+}
+
+const DynamicGraph& Server::replica_graph() const { return impl_->replica; }
+
+std::string Server::StatsJson() { return impl_->StatsJson(); }
+
+ServingMetricsSnapshot Server::MetricsSnapshot() const {
+  const ServeMetrics& m = impl_->metrics;
+  ServingMetricsSnapshot snap;
+  snap.connections_accepted = m.connections_accepted;
+  snap.connections_open = static_cast<int64_t>(impl_->connections.size());
+  snap.protocol_errors = m.protocol_errors;
+  snap.ops_admitted = m.ops_admitted;
+  snap.ops_applied = m.ops_applied;
+  snap.ops_rejected = m.ops_rejected;
+  snap.batches_flushed = m.batches_flushed;
+  snap.mean_batch_occupancy = m.MeanBatchOccupancy();
+  snap.flushes_full = m.flushes_full;
+  snap.flushes_deadline = m.flushes_deadline;
+  snap.flushes_barrier = m.flushes_barrier;
+  snap.uptime_seconds = impl_->clock.ElapsedSeconds();
+  snap.ops_per_sec =
+      snap.uptime_seconds > 0
+          ? static_cast<double>(m.ops_applied) / snap.uptime_seconds
+          : 0;
+  snap.update_p50_us = m.update_latency.PercentileUs(0.50);
+  snap.update_p99_us = m.update_latency.PercentileUs(0.99);
+  snap.query_p50_us = m.query_latency.PercentileUs(0.50);
+  snap.query_p99_us = m.query_latency.PercentileUs(0.99);
+  return snap;
+}
+
+ServingBackend& Server::backend() { return *impl_->backend; }
+
+namespace {
+Server* g_signal_server = nullptr;
+void HandleStopSignal(int) {
+  if (g_signal_server != nullptr) g_signal_server->Stop();
+}
+}  // namespace
+
+void Server::InstallSignalHandlers(Server* server) {
+  g_signal_server = server;
+  struct sigaction action{};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace serve
+}  // namespace dynmis

@@ -1,0 +1,64 @@
+#include "src/serve/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/graph/update_trace_io.h"
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace serve {
+
+bool WriteServeTrace(const ServeTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# dynmis serve trace, " << trace.updates.size() << " updates\n";
+  size_t idx = 0;
+  for (const int64_t size : trace.batch_sizes) {
+    out << "# batch " << size << "\n";
+    for (int64_t i = 0; i < size; ++i) {
+      out << FormatUpdate(trace.updates[idx++]) << "\n";
+    }
+  }
+  DYNMIS_CHECK(idx == trace.updates.size());
+  return static_cast<bool>(out);
+}
+
+bool LoadServeTrace(const std::string& path, ServeTrace* out,
+                    std::string* error) {
+  *out = ServeTrace();
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open trace: " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const auto updates = ParseUpdateTrace(text);
+  if (!updates) {
+    *error = "malformed trace: " + path;
+    return false;
+  }
+  out->updates = *updates;
+  std::istringstream lines(text);
+  std::string line;
+  int64_t covered = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# batch ", 0) == 0) {
+      const int64_t size = std::atoll(line.c_str() + 8);
+      out->batch_sizes.push_back(size);
+      covered += size;
+    }
+  }
+  if (covered != static_cast<int64_t>(out->updates.size())) {
+    *error = "trace batch boundaries cover " + std::to_string(covered) +
+             " of " + std::to_string(out->updates.size()) + " ops";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace dynmis

@@ -1,0 +1,41 @@
+// Serve traces: the update-trace syntax of update_trace_io.h plus one
+// convention — a `# batch K` comment precedes each flushed transaction's K
+// ops, so a replayer can reproduce the server's exact ApplyBatch partition
+// (a maintainer's final solution depends on where the transactions ended,
+// not just on the op sequence). Plain trace loaders skip the comments and
+// see the ops. Writer and parser live together here so the convention has
+// exactly one home; the server's TRACE command, the loadgen's replay check
+// and the e2e tests all go through it.
+
+#ifndef DYNMIS_SRC_SERVE_TRACE_H_
+#define DYNMIS_SRC_SERVE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+namespace serve {
+
+struct ServeTrace {
+  std::vector<GraphUpdate> updates;
+  // ApplyBatch partition, in order; sums to updates.size().
+  std::vector<int64_t> batch_sizes;
+};
+
+// Writes `trace` to `path`. Requires the batch sizes to cover the ops
+// exactly. Returns false on I/O failure.
+bool WriteServeTrace(const ServeTrace& trace, const std::string& path);
+
+// Parses a file written by WriteServeTrace. Returns false with `*error`
+// set when the file is unreadable, malformed, or its `# batch` boundaries
+// do not cover the op sequence exactly.
+bool LoadServeTrace(const std::string& path, ServeTrace* out,
+                    std::string* error);
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_TRACE_H_

@@ -1,0 +1,81 @@
+#include "src/serve/workload.h"
+
+#include "src/graph/datasets.h"
+#include "src/graph/generators.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace dynmis {
+namespace serve {
+namespace {
+
+EdgeListGraph NamedDataset(const std::string& name) {
+  const DatasetSpec* spec = FindDataset(name);
+  DYNMIS_CHECK(spec != nullptr);
+  return GenerateDataset(*spec);
+}
+
+}  // namespace
+
+EdgeListGraph BuildServeWorkloadGraph(const std::string& name) {
+  if (name == "smoke") {
+    Rng rng(4242);
+    return ChungLuPowerLaw(1500, 2.3, 8.0, &rng);
+  }
+  if (name == "easy") return NamedDataset("web-Google");
+  if (name == "hard") return NamedDataset("soc-pokec");
+  if (name == "powerlaw") {
+    Rng rng(777);
+    return PowerLawRandomGraph(12000, 2.3, 2, 120, &rng);
+  }
+  DYNMIS_CHECK(false);
+  return {};
+}
+
+UpdateStreamOptions ServeWorkloadStream(const std::string& name) {
+  UpdateStreamOptions stream;
+  if (name == "smoke") {
+    stream.seed = 17;
+  } else if (name == "easy") {
+    stream.seed = 23;
+  } else if (name == "hard") {
+    stream.seed = 29;
+    stream.bias = EndpointBias::kDegreeProportional;
+  } else if (name == "powerlaw") {
+    stream.seed = 31;
+  } else {
+    DYNMIS_CHECK(false);
+  }
+  return stream;
+}
+
+bool BuildServeWorkload(const std::string& name, ServeWorkload* out) {
+  *out = ServeWorkload();
+  out->name = name;
+  bool known = false;
+  for (const std::string& candidate : ServeWorkloadNames()) {
+    if (candidate == name) known = true;
+  }
+  if (!known) return false;
+  out->base = BuildServeWorkloadGraph(name);
+  out->stream = ServeWorkloadStream(name);
+  // Sizing mirrors the bench scenarios: light churn is ~m/10 (easy), heavy
+  // churn ~m/2 (hard); the generated graphs use fixed counts.
+  if (name == "smoke") {
+    out->default_updates = 2000;
+  } else if (name == "easy") {
+    out->default_updates = static_cast<int>(out->base.NumEdges() / 10);
+  } else if (name == "hard") {
+    out->default_updates = static_cast<int>(out->base.NumEdges() / 2);
+  } else {
+    out->default_updates = 20000;
+  }
+  return true;
+}
+
+std::vector<std::string> ServeWorkloadNames() {
+  return {"smoke", "easy", "hard", "powerlaw"};
+}
+
+}  // namespace serve
+}  // namespace dynmis

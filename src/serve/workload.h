@@ -1,0 +1,49 @@
+// Named serving workloads: scenario base graphs and stream parameters,
+// shared by name so a server and a load generator in *different processes*
+// can agree on the same base graph and update distribution. Generation is
+// seeded and deterministic, so "--scenario hard" builds bit-identical
+// graphs on both sides of the socket.
+//
+// This file is the single definition of the scenario generator parameters
+// and stream seeds: bench/bench_driver.cc composes its scenarios from
+// BuildServeWorkloadGraph/ServeWorkloadStream, so bench numbers and served
+// numbers are measured on the same graphs by construction.
+
+#ifndef DYNMIS_SRC_SERVE_WORKLOAD_H_
+#define DYNMIS_SRC_SERVE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+namespace serve {
+
+struct ServeWorkload {
+  std::string name;
+  EdgeListGraph base;
+  UpdateStreamOptions stream;
+  // Default total update count across all connections (before any
+  // client-side override); mirrors the bench scenario's sizing.
+  int default_updates = 0;
+};
+
+// Builds the named workload (smoke / easy / hard / powerlaw). Returns false
+// on an unknown name.
+bool BuildServeWorkload(const std::string& name, ServeWorkload* out);
+
+// The two pieces both sides must agree on, individually — the bench driver
+// composes its scenarios from these, so the generator parameters and
+// stream seeds have exactly one definition. Both CHECK on unknown names.
+EdgeListGraph BuildServeWorkloadGraph(const std::string& name);
+UpdateStreamOptions ServeWorkloadStream(const std::string& name);
+
+// The accepted names, for --help text.
+std::vector<std::string> ServeWorkloadNames();
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_WORKLOAD_H_

@@ -91,6 +91,12 @@ class CutEdgeResolver {
   int NumVertices() const { return num_vertices_; }
   int VertexCapacity() const { return static_cast<int>(alive_.size()); }
 
+  // The dead ids in recycle order (LIFO, matching DynamicGraph's free
+  // list). ShardedMisEngine::BuildGlobalGraph uses this to reconstruct a
+  // standalone graph whose future AddVertex() calls assign the same ids
+  // this resolver will.
+  const std::vector<VertexId>& FreeVertexIds() const { return free_vertices_; }
+
   // --- Barrier resolution ---------------------------------------------------
 
   struct Resolution {

@@ -281,6 +281,40 @@ EngineStats ShardedMisEngine::Stats() {
   return stats;
 }
 
+DynamicGraph ShardedMisEngine::BuildGlobalGraph() {
+  Flush();
+  int64_t total_edges = resolver_.NumCutEdges();
+  for (const auto& shard : shards_) total_edges += shard->graph().NumEdges();
+  DynamicGraph g(resolver_.VertexCapacity());
+  g.Reserve(resolver_.VertexCapacity(), total_edges);
+  // Dead ids are removed in the resolver's recycle order, so the copy's
+  // LIFO free list matches element for element and future AddVertex()
+  // calls agree with this engine's global allocation.
+  for (const VertexId v : resolver_.FreeVertexIds()) g.RemoveVertex(v);
+  for (const auto& shard : shards_) {
+    for (const auto& [u, v] : shard->graph().EdgeList()) g.AddEdge(u, v);
+  }
+  for (const auto& [u, v] : resolver_.CutEdgeList()) g.AddEdge(u, v);
+  return g;
+}
+
+std::vector<EngineStats> ShardedMisEngine::PerShardStats() {
+  EnsureResolved();
+  std::vector<EngineStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    EngineStats s;
+    s.algorithm = shard->maintainer().Name();
+    s.solution_size = shard->maintainer().SolutionSize();
+    s.num_vertices = shard->graph().NumVertices();
+    s.num_edges = shard->graph().NumEdges();
+    s.structure_memory_bytes = shard->maintainer().MemoryUsageBytes();
+    s.graph_memory_bytes = shard->graph().MemoryUsageBytes();
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
 ShardedStats ShardedMisEngine::ShardStats() {
   EnsureResolved();
   ShardedStats stats;

@@ -1,0 +1,211 @@
+// Unit tests for the serving layer's wire protocol: line framing
+// (partial reads, CRLF, the sticky overflow cap) and strict command
+// parsing (every verb, malformed numbers, arity errors, trailing garbage).
+// The server's handshake policy over a real socket is covered by
+// serve_e2e_test.cc; here the parser is exercised in isolation.
+
+#include "src/serve/protocol.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace dynmis {
+namespace serve {
+namespace {
+
+Command MustParse(const std::string& line) {
+  Command cmd;
+  std::string error;
+  EXPECT_TRUE(ParseCommand(line, &cmd, &error)) << line << ": " << error;
+  return cmd;
+}
+
+std::string MustFail(const std::string& line) {
+  Command cmd;
+  std::string error;
+  EXPECT_FALSE(ParseCommand(line, &cmd, &error)) << line;
+  EXPECT_FALSE(error.empty()) << line;
+  return error;
+}
+
+TEST(ProtocolParseTest, Hello) {
+  const Command cmd = MustParse("HELLO 1");
+  EXPECT_EQ(cmd.verb, Verb::kHello);
+  EXPECT_EQ(cmd.version, 1);
+  EXPECT_EQ(MustParse("HELLO 7").version, 7);
+  MustFail("HELLO");
+  MustFail("HELLO 0");
+  MustFail("HELLO -1");
+  MustFail("HELLO one");
+  MustFail("HELLO 1 extra");
+  // 2^32 + 1 must not truncate into an accepted version 1.
+  MustFail("HELLO 4294967297");
+}
+
+TEST(ProtocolParseTest, EdgeUpdates) {
+  const Command ins = MustParse("INS 3 17");
+  EXPECT_EQ(ins.verb, Verb::kIns);
+  EXPECT_EQ(ins.update.kind, UpdateKind::kInsertEdge);
+  EXPECT_EQ(ins.update.u, 3);
+  EXPECT_EQ(ins.update.v, 17);
+  const Command del = MustParse("DEL 0 1");
+  EXPECT_EQ(del.verb, Verb::kDel);
+  EXPECT_EQ(del.update.kind, UpdateKind::kDeleteEdge);
+  MustFail("INS 3");
+  MustFail("INS 3 4 5");
+  MustFail("INS -1 4");
+  MustFail("INS 3 4x");
+  MustFail("DEL a b");
+  // Ids above the VertexId range are rejected, not truncated.
+  MustFail("INS 3 4294967296");
+}
+
+TEST(ProtocolParseTest, VertexUpdates) {
+  const Command insv = MustParse("INSV 1 5 9");
+  EXPECT_EQ(insv.verb, Verb::kInsV);
+  EXPECT_EQ(insv.update.kind, UpdateKind::kInsertVertex);
+  EXPECT_EQ(insv.update.neighbors, (std::vector<VertexId>{1, 5, 9}));
+  // An isolated vertex has no neighbor list.
+  EXPECT_TRUE(MustParse("INSV").update.neighbors.empty());
+  const Command delv = MustParse("DELV 12");
+  EXPECT_EQ(delv.verb, Verb::kDelV);
+  EXPECT_EQ(delv.update.u, 12);
+  MustFail("INSV 1 -5");
+  MustFail("DELV");
+  MustFail("DELV 1 2");
+}
+
+TEST(ProtocolParseTest, QueriesAndControl) {
+  EXPECT_EQ(MustParse("QUERY 4").vertex, 4);
+  EXPECT_EQ(MustParse("SOLUTION").verb, Verb::kSolution);
+  EXPECT_EQ(MustParse("STATS").verb, Verb::kStats);
+  EXPECT_EQ(MustParse("VERIFY").verb, Verb::kVerify);
+  EXPECT_EQ(MustParse("END").verb, Verb::kEnd);
+  EXPECT_EQ(MustParse("QUIT").verb, Verb::kQuit);
+  MustFail("QUERY");
+  MustFail("SOLUTION now");
+  MustFail("STATS x");
+  MustFail("QUIT 1");
+}
+
+TEST(ProtocolParseTest, PathsAndBatch) {
+  EXPECT_EQ(MustParse("SNAPSHOT /tmp/a.snap").path, "/tmp/a.snap");
+  EXPECT_EQ(MustParse("TRACE out.txt").path, "out.txt");
+  MustFail("SNAPSHOT");
+  const Command batch = MustParse("BATCH 64");
+  EXPECT_EQ(batch.verb, Verb::kBatch);
+  EXPECT_EQ(batch.count, 64);
+  MustFail("BATCH");
+  MustFail("BATCH 0");
+  MustFail("BATCH -3");
+  MustFail("BATCH 9999999999");
+}
+
+TEST(ProtocolParseTest, UnknownAndEmpty) {
+  MustFail("");
+  MustFail("   ");
+  MustFail("FROB 1 2");
+  MustFail("ins 1 2");  // Verbs are case-sensitive.
+}
+
+TEST(ProtocolParseTest, WhitespaceTolerance) {
+  const Command cmd = MustParse("  INS   3\t17  ");
+  EXPECT_EQ(cmd.update.u, 3);
+  EXPECT_EQ(cmd.update.v, 17);
+}
+
+TEST(ProtocolParseTest, UpdateVerbClassification) {
+  EXPECT_TRUE(IsUpdateVerb(Verb::kIns));
+  EXPECT_TRUE(IsUpdateVerb(Verb::kDel));
+  EXPECT_TRUE(IsUpdateVerb(Verb::kInsV));
+  EXPECT_TRUE(IsUpdateVerb(Verb::kDelV));
+  EXPECT_FALSE(IsUpdateVerb(Verb::kQuery));
+  EXPECT_FALSE(IsUpdateVerb(Verb::kBatch));
+  EXPECT_FALSE(IsUpdateVerb(Verb::kEnd));
+}
+
+TEST(LineBufferTest, SplitsCompleteLines) {
+  LineBuffer buffer(64);
+  const std::string data = "INS 1 2\nDEL 3 4\n";
+  buffer.Append(data.data(), data.size());
+  EXPECT_EQ(buffer.NextLine(), "INS 1 2");
+  EXPECT_EQ(buffer.NextLine(), "DEL 3 4");
+  EXPECT_EQ(buffer.NextLine(), std::nullopt);
+}
+
+TEST(LineBufferTest, ReassemblesPartialReads) {
+  LineBuffer buffer(64);
+  // One command delivered a byte at a time, as TCP is free to do.
+  const std::string data = "QUERY 42\n";
+  for (const char c : data) {
+    EXPECT_EQ(buffer.NextLine(), std::nullopt);
+    buffer.Append(&c, 1);
+  }
+  EXPECT_EQ(buffer.NextLine(), "QUERY 42");
+}
+
+TEST(LineBufferTest, StripsCarriageReturn) {
+  LineBuffer buffer(64);
+  const std::string data = "STATS\r\nQUIT\r\n";
+  buffer.Append(data.data(), data.size());
+  EXPECT_EQ(buffer.NextLine(), "STATS");
+  EXPECT_EQ(buffer.NextLine(), "QUIT");
+}
+
+TEST(LineBufferTest, EmptyLines) {
+  LineBuffer buffer(64);
+  const std::string data = "\n\nQUIT\n";
+  buffer.Append(data.data(), data.size());
+  EXPECT_EQ(buffer.NextLine(), "");
+  EXPECT_EQ(buffer.NextLine(), "");
+  EXPECT_EQ(buffer.NextLine(), "QUIT");
+}
+
+TEST(LineBufferTest, OverflowIsSticky) {
+  LineBuffer buffer(8);
+  const std::string data(9, 'x');  // No newline, beyond the cap.
+  buffer.Append(data.data(), data.size());
+  EXPECT_EQ(buffer.NextLine(), std::nullopt);
+  EXPECT_TRUE(buffer.overflowed());
+  // Even a newline afterwards yields nothing: the connection is done.
+  const std::string more = "\nQUIT\n";
+  buffer.Append(more.data(), more.size());
+  EXPECT_EQ(buffer.NextLine(), std::nullopt);
+  EXPECT_TRUE(buffer.overflowed());
+}
+
+TEST(LineBufferTest, OverflowAppliesToCompleteLinesToo) {
+  LineBuffer buffer(4);
+  const std::string data = "TOOLONGLINE\n";
+  buffer.Append(data.data(), data.size());
+  EXPECT_EQ(buffer.NextLine(), std::nullopt);
+  EXPECT_TRUE(buffer.overflowed());
+}
+
+TEST(LineBufferTest, LineAtExactlyTheCapPasses) {
+  LineBuffer buffer(4);
+  const std::string data = "QUIT\n";
+  buffer.Append(data.data(), data.size());
+  EXPECT_EQ(buffer.NextLine(), "QUIT");
+  EXPECT_FALSE(buffer.overflowed());
+}
+
+TEST(LineBufferTest, CompactionKeepsPendingBytes) {
+  LineBuffer buffer(1 << 16);
+  // Enough traffic to trigger the internal compaction threshold.
+  for (int i = 0; i < 1000; ++i) {
+    const std::string line = "INS " + std::to_string(i) + " 99999\n";
+    buffer.Append(line.data(), line.size());
+    ASSERT_EQ(buffer.NextLine(), line.substr(0, line.size() - 1));
+  }
+  const std::string partial = "QUERY 1";
+  buffer.Append(partial.data(), partial.size());
+  EXPECT_EQ(buffer.pending_bytes(), partial.size());
+  buffer.Append("\n", 1);
+  EXPECT_EQ(buffer.NextLine(), "QUERY 1");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dynmis

@@ -24,7 +24,9 @@ The sharded measurement (`bench_driver --shards N`) is informational and
 machine-sensitive in a way the shape normalization cannot cancel (it
 depends on the hardware-thread count recorded in `cpu_count`), so the gate
 ignores it entirely: the top-level "sharded" object is never compared, and
-any run entry carrying a "shards" field is dropped before keying.
+any run entry carrying a "shards" field is dropped before keying. The
+top-level "serving" block (dynmis_loadgen's socket-side measurement, which
+rides on connection count and kernel scheduling) gets the same treatment.
 
 Pass --candidate several times to gate on the best of N repeated runs
 (per (algorithm, batch_size) the maximum ops_per_sec is used), which keeps
@@ -57,7 +59,8 @@ def load(path):
         doc = json.load(f)
     if doc.get("schema_version") != 1:
         sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
-    doc.pop("sharded", None)  # Informational block: never gated.
+    doc.pop("sharded", None)  # Informational blocks: never gated.
+    doc.pop("serving", None)
     runs = [run for run in doc.get("runs") or [] if "shards" not in run]
     doc["runs"] = runs
     if not runs:

@@ -35,6 +35,17 @@
 //       optionally write a fresh snapshot of the resumed state.
 //   dynmis_cli snapshot info --in SNAP
 //       print the header, section table and engine metadata.
+//
+// Serve subcommand (TCP update/query server; see README "Serving"):
+//
+//   dynmis_cli serve [--port P] [--host ADDR]
+//                    [--graph FILE | --scenario NAME | --restore SNAP]
+//                    [--algo NAME] [--backend engine|sharded] [--shards N]
+//                    [--batch-ops N] [--flush-us U] [--max-conns N]
+//                    [--record-trace]
+//       serve the engine over a newline-delimited TCP protocol. With no
+//       graph source the server starts on an empty graph (clients build it
+//       with INSV). SIGTERM/SIGINT drain in-flight batches and exit 0.
 
 #include <algorithm>
 #include <cstdio>
@@ -47,6 +58,7 @@
 
 #include "dynmis/dynmis.h"
 #include "src/harness/experiment.h"
+#include "src/serve/workload.h"
 
 namespace dynmis {
 namespace {
@@ -496,12 +508,147 @@ int RunSnapshotCommand(int argc, char** argv) {
   return SnapshotUsage(argv[0]);
 }
 
+// --- Serve subcommand --------------------------------------------------------
+
+int ServeUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve [--port P] [--host ADDR]\n"
+      "                [--graph FILE | --scenario NAME | --restore SNAP]\n"
+      "                [--algo NAME] [--backend engine|sharded] [--shards N]\n"
+      "                [--batch-ops N] [--flush-us U] [--max-conns N]\n"
+      "                [--record-trace] [--allow-file-commands]\n"
+      "scenarios: smoke easy hard powerlaw (bench-driver graphs by name)\n",
+      argv0);
+  return 2;
+}
+
+int RunServeCommand(int argc, char** argv) {
+  serve::ServeOptions options;
+  std::string graph_path;
+  std::string scenario;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--port") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.port = std::atoi(v);
+    } else if (arg == "--host") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.host = v;
+    } else if (arg == "--graph") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      graph_path = v;
+    } else if (arg == "--scenario") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      scenario = v;
+    } else if (arg == "--restore") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.restore_path = v;
+    } else if (arg == "--algo") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.algo.algorithm = v;
+    } else if (arg == "--backend") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.backend = v;
+    } else if (arg == "--shards") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.shards = std::atoi(v);
+      options.backend = "sharded";
+    } else if (arg == "--batch-ops") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.batch_max_ops = std::atoi(v);
+    } else if (arg == "--flush-us") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.flush_deadline_us = std::atof(v);
+    } else if (arg == "--max-conns") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.max_connections = std::atoi(v);
+    } else if (arg == "--record-trace") {
+      options.record_trace = true;
+    } else if (arg == "--allow-file-commands") {
+      options.allow_file_commands = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return ServeUsage(argv[0]);
+    }
+  }
+  if (options.batch_max_ops < 1 || options.shards < 1 ||
+      options.max_connections < 1 || options.flush_deadline_us < 0) {
+    std::fprintf(stderr, "serve: non-positive sizing flag\n");
+    return 2;
+  }
+  if ((!graph_path.empty()) + (!scenario.empty()) +
+          (!options.restore_path.empty()) >
+      1) {
+    std::fprintf(stderr,
+                 "serve: --graph, --scenario and --restore are exclusive\n");
+    return 2;
+  }
+
+  EdgeListGraph base;  // Default: serve an empty graph.
+  if (!graph_path.empty()) {
+    const auto loaded = LoadEdgeList(graph_path);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load graph: %s\n", graph_path.c_str());
+      return 1;
+    }
+    base = *loaded;
+  } else if (!scenario.empty()) {
+    serve::ServeWorkload workload;
+    if (!serve::BuildServeWorkload(scenario, &workload)) {
+      std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
+      return 2;
+    }
+    base = std::move(workload.base);
+  }
+
+  std::string error;
+  std::unique_ptr<serve::ServingBackend> backend =
+      serve::MakeServingBackend(base, options, &error);
+  if (backend == nullptr) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  const EngineStats stats = backend->Stats();
+  serve::Server server(std::move(backend), options);
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  serve::Server::InstallSignalHandlers(&server);
+  std::fprintf(stderr,
+               "serving %s backend (%s) on %s:%d  n=%lld m=%lld |I|=%lld\n",
+               server.backend().Kind().c_str(), stats.algorithm.c_str(),
+               options.host.c_str(), server.port(),
+               static_cast<long long>(stats.num_vertices),
+               static_cast<long long>(stats.num_edges),
+               static_cast<long long>(stats.solution_size));
+  const int rc = server.Run();
+  const serve::ServingMetricsSnapshot summary = server.MetricsSnapshot();
+  std::fprintf(stderr,
+               "drained: %lld ops applied (%lld rejected) over %lld batches, "
+               "mean occupancy %.2f, %lld connections served\n",
+               static_cast<long long>(summary.ops_applied),
+               static_cast<long long>(summary.ops_rejected),
+               static_cast<long long>(summary.batches_flushed),
+               summary.mean_batch_occupancy,
+               static_cast<long long>(summary.connections_accepted));
+  return rc;
+}
+
 }  // namespace
 }  // namespace dynmis
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
     return dynmis::RunSnapshotCommand(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return dynmis::RunServeCommand(argc, argv);
   }
   dynmis::CliOptions options;
   bool list_algos = false;

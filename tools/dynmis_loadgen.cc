@@ -1,0 +1,758 @@
+// dynmis_loadgen: closed-loop load generator for the serving layer.
+//
+// Opens N connections to a dynmis_cli serve instance, replays a bench
+// scenario's update distribution through them (windowed pipelining, so the
+// server's admission layer sees genuine cross-connection concurrency), then
+// runs a verification pass over a control connection:
+//
+//   * VERIFY        server-side independence + maximality of the solution,
+//   * TRACE         exports the applied-op sequence *with the server's
+//                   ApplyBatch boundaries*; the loadgen rebuilds a mirror
+//                   graph from it, re-checks the solution client-side, and
+//                   replays the trace through an in-process backend of the
+//                   same shape — identical final solution required,
+//   * SNAPSHOT      checkpoints the live server; the loadgen restores the
+//                   file in-process, requires the identical solution, then
+//                   drives both the server and the restored engine through
+//                   the same resume stream and requires they still agree
+//                   (the warm-failover contract, measured end to end).
+//
+// Emits the bench JSON schema with a top-level "serving" block
+// (SERVE_<scenario>.json); tools/check_bench_regression.py ignores the
+// block. Exit status is non-zero when any requested check fails, so CI can
+// gate on it directly.
+//
+//   dynmis_loadgen --port P [--host H] [--scenario NAME] [--connections N]
+//                  [--updates TOTAL] [--pipeline W] [--batch B] [--seed S]
+//                  [--algo NAME] [--out PATH] [--snapshot PATH]
+//                  [--resume-updates K] [--no-verify]
+//
+// TRACE and SNAPSHOT name server-side paths: the tool assumes a loopback
+// server sharing the filesystem (its purpose is acceptance and CI, not
+// remote benchmarking). --no-verify drops that assumption along with the
+// trace/snapshot checks.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/json_writer.h"
+#include "dynmis/dynmis.h"
+#include "src/serve/line_client.h"
+#include "src/serve/protocol.h"
+#include "src/serve/trace.h"
+#include "src/serve/verify.h"
+#include "src/serve/workload.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+namespace {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string scenario = "smoke";
+  int connections = 4;
+  int total_updates = 0;  // 0 = scenario default * DYNMIS_BENCH_SCALE.
+  int pipeline = 32;      // Max outstanding requests per connection.
+  int client_batch = 1;   // >1 sends BATCH frames of this many ops.
+  uint64_t seed = 1;
+  // Replay-backend algorithm. Defaults to whatever the server's handshake
+  // advertises; --algo overrides (needed when the advertised display name
+  // is not a registry key).
+  MaintainerConfig algo;
+  bool algo_given = false;
+  std::string out_path;
+  std::string snapshot_path;  // Empty = skip the snapshot/resume check.
+  int resume_updates = 200;
+  bool verify = true;
+};
+
+using serve::LineClient;
+
+bool Handshake(LineClient* client, std::string* greeting,
+               std::string* error) {
+  if (!client->Ask("HELLO " + std::to_string(serve::kProtocolVersion),
+                   greeting)) {
+    *error = "connection lost during handshake";
+    return false;
+  }
+  if (greeting->rfind("OK DYNMIS ", 0) != 0) {
+    *error = "handshake rejected: " + *greeting;
+    return false;
+  }
+  return true;
+}
+
+// "key=value" token extraction from the handshake greeting.
+std::string GreetingField(const std::string& greeting,
+                          const std::string& key) {
+  const std::string needle = key + "=";
+  const size_t at = greeting.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  const size_t end = greeting.find(' ', start);
+  return greeting.substr(start,
+                         end == std::string::npos ? end : end - start);
+}
+
+// Targeted numeric field extraction from the server's one-line STATS JSON
+// (the tool reports known scalar fields; a full parser would be overkill).
+double ExtractJsonNumber(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = doc.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::atof(doc.c_str() + at + needle.size());
+}
+
+// The STATS JSON nests identical "p50"/"p99" keys under update_latency_us
+// and query_latency_us; scope percentile extraction to the suffix starting
+// at the update block so a change in the server's key order can never
+// silently swap the two histograms.
+std::string UpdateLatencyScope(const std::string& doc) {
+  const size_t at = doc.find("\"update_latency_us\"");
+  return at == std::string::npos ? std::string() : doc.substr(at);
+}
+
+// --- Worker connections ------------------------------------------------------
+
+struct WorkerResult {
+  int64_t sent = 0;
+  int64_t acked = 0;
+  int64_t rejected = 0;
+  std::vector<double> rtts;  // Seconds per request (op or frame).
+  std::string error;         // Non-empty on connection failure.
+};
+
+void RunWorker(const LoadgenOptions& options,
+               const serve::ServeWorkload& workload, int index, int count,
+               WorkerResult* result) {
+  LineClient client;
+  std::string greeting;
+  if (!client.Connect(options.host, options.port, &result->error) ||
+      !Handshake(&client, &greeting, &result->error)) {
+    return;
+  }
+
+  // Each connection draws from its own seeded generator against its own
+  // mirror of the base graph. Mirrors diverge from the server as the other
+  // connections land updates — that is the point: the server's admission
+  // layer validates and rejects the stale ops, exactly as it would for any
+  // set of concurrent writers.
+  UpdateStreamOptions stream = workload.stream;
+  stream.seed = stream.seed + options.seed * 131 +
+                static_cast<uint64_t>(index + 1) * 7919;
+  const std::vector<GraphUpdate> updates =
+      MakeUpdateSequence(workload.base.ToDynamic(), count, stream);
+
+  std::deque<double> in_flight;
+  Timer clock;
+  std::string line;
+  result->rtts.reserve(updates.size() / std::max(options.client_batch, 1) +
+                       1);
+
+  // Single-op mode: one OK/ERR per op. Batch mode: one "OK <applied>
+  // <rejected> [ids...]" per frame.
+  auto read_one = [&]() -> bool {
+    if (!client.ReadLine(&line)) {
+      result->error = "connection lost mid-stream";
+      return false;
+    }
+    result->rtts.push_back(clock.ElapsedSeconds() - in_flight.front());
+    in_flight.pop_front();
+    if (options.client_batch <= 1) {
+      if (line.rfind("OK", 0) == 0) {
+        ++result->acked;
+      } else {
+        ++result->rejected;
+      }
+    } else if (line.rfind("OK ", 0) == 0) {
+      long long applied = 0;
+      long long rejected = 0;
+      std::sscanf(line.c_str(), "OK %lld %lld", &applied, &rejected);
+      result->acked += applied;
+      result->rejected += rejected;
+    } else {
+      result->error = "frame refused: " + line;
+      return false;
+    }
+    return true;
+  };
+
+  if (options.client_batch <= 1) {
+    for (const GraphUpdate& update : updates) {
+      in_flight.push_back(clock.ElapsedSeconds());
+      if (!client.SendAll(serve::FormatCommandLine(update) + "\n")) {
+        result->error = "send failed";
+        return;
+      }
+      ++result->sent;
+      if (static_cast<int>(in_flight.size()) >= options.pipeline &&
+          !read_one()) {
+        return;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < updates.size();
+         i += static_cast<size_t>(options.client_batch)) {
+      const size_t end = std::min(
+          updates.size(), i + static_cast<size_t>(options.client_batch));
+      std::string frame = "BATCH " + std::to_string(end - i) + "\n";
+      for (size_t j = i; j < end; ++j) {
+        frame += serve::FormatCommandLine(updates[j]);
+        frame += '\n';
+      }
+      frame += "END\n";
+      in_flight.push_back(clock.ElapsedSeconds());
+      if (!client.SendAll(frame)) {
+        result->error = "send failed";
+        return;
+      }
+      result->sent += static_cast<int64_t>(end - i);
+      if (static_cast<int>(in_flight.size()) >= options.pipeline &&
+          !read_one()) {
+        return;
+      }
+    }
+  }
+  while (!in_flight.empty()) {
+    if (!read_one()) return;
+  }
+  std::string goodbye;
+  client.Ask("QUIT", &goodbye);
+}
+
+// An in-process stand-in for the server's backend, for replay/resume checks.
+struct ReplayBackend {
+  std::unique_ptr<MisEngine> engine;
+  std::unique_ptr<ShardedMisEngine> sharded;
+
+  static ReplayBackend Fresh(const EdgeListGraph& base,
+                             const MaintainerConfig& algo, bool is_sharded,
+                             int shards) {
+    ReplayBackend backend;
+    if (is_sharded) {
+      ShardedEngineOptions options;
+      options.num_shards = shards;
+      backend.sharded = ShardedMisEngine::Create(base, algo, options);
+      if (backend.sharded != nullptr) backend.sharded->Initialize();
+    } else {
+      backend.engine = MisEngine::Create(base, algo);
+      if (backend.engine != nullptr) backend.engine->Initialize();
+    }
+    return backend;
+  }
+
+  static ReplayBackend Restore(const std::string& path, bool is_sharded,
+                               std::string* error) {
+    ReplayBackend backend;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      *error = "cannot open snapshot: " + path;
+      return backend;
+    }
+    SnapshotStatus status;
+    if (is_sharded) {
+      backend.sharded = ShardedMisEngine::LoadSnapshot(in, &status);
+    } else {
+      backend.engine = MisEngine::LoadSnapshot(in, &status);
+    }
+    if (!backend.ok()) *error = "restore failed: " + status.message;
+    return backend;
+  }
+
+  bool ok() const { return engine != nullptr || sharded != nullptr; }
+
+  void ApplyBatch(const std::vector<GraphUpdate>& updates) {
+    if (engine != nullptr) {
+      engine->ApplyBatch(updates);
+    } else {
+      sharded->ApplyBatch(updates);
+      sharded->Flush();
+    }
+  }
+
+  void Apply(const GraphUpdate& update) {
+    if (engine != nullptr) {
+      engine->Apply(update);
+    } else {
+      sharded->Apply(update);
+    }
+  }
+
+  std::vector<VertexId> SortedSolution() {
+    std::vector<VertexId> solution;
+    if (engine != nullptr) {
+      engine->CollectSolution(&solution);
+    } else {
+      sharded->CollectSolution(&solution);
+    }
+    std::sort(solution.begin(), solution.end());
+    return solution;
+  }
+
+  DynamicGraph ExportGraph() {
+    return engine != nullptr ? engine->graph() : sharded->BuildGlobalGraph();
+  }
+};
+
+std::vector<VertexId> ParseSolutionLine(const std::string& line) {
+  // "OK <count> <id>...".
+  std::istringstream in(line);
+  std::string ok;
+  int64_t count = 0;
+  in >> ok >> count;
+  std::vector<VertexId> solution;
+  solution.reserve(static_cast<size_t>(count));
+  VertexId v = 0;
+  while (in >> v) solution.push_back(v);
+  return solution;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dynmis_loadgen --port P [--host H] [--scenario NAME]\n"
+      "                      [--connections N] [--updates TOTAL]\n"
+      "                      [--pipeline W] [--batch B] [--seed S]\n"
+      "                      [--algo NAME] [--out PATH] [--snapshot PATH]\n"
+      "                      [--resume-updates K] [--no-verify]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host") {
+      if (!(v = next())) return Usage();
+      options.host = v;
+    } else if (arg == "--port") {
+      if (!(v = next())) return Usage();
+      options.port = std::atoi(v);
+    } else if (arg == "--scenario") {
+      if (!(v = next())) return Usage();
+      options.scenario = v;
+    } else if (arg == "--connections") {
+      if (!(v = next())) return Usage();
+      options.connections = std::atoi(v);
+    } else if (arg == "--updates") {
+      if (!(v = next())) return Usage();
+      options.total_updates = std::atoi(v);
+    } else if (arg == "--pipeline") {
+      if (!(v = next())) return Usage();
+      options.pipeline = std::atoi(v);
+    } else if (arg == "--batch") {
+      if (!(v = next())) return Usage();
+      options.client_batch = std::atoi(v);
+    } else if (arg == "--seed") {
+      if (!(v = next())) return Usage();
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--algo") {
+      if (!(v = next())) return Usage();
+      options.algo.algorithm = v;
+      options.algo_given = true;
+    } else if (arg == "--out") {
+      if (!(v = next())) return Usage();
+      options.out_path = v;
+    } else if (arg == "--snapshot") {
+      if (!(v = next())) return Usage();
+      options.snapshot_path = v;
+    } else if (arg == "--resume-updates") {
+      if (!(v = next())) return Usage();
+      options.resume_updates = std::atoi(v);
+    } else if (arg == "--no-verify") {
+      options.verify = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (options.port <= 0 || options.connections < 1 || options.pipeline < 1 ||
+      options.client_batch < 1) {
+    return Usage();
+  }
+
+  serve::ServeWorkload workload;
+  if (!serve::BuildServeWorkload(options.scenario, &workload)) {
+    std::fprintf(stderr, "unknown scenario: %s\n", options.scenario.c_str());
+    return 2;
+  }
+  const int total = options.total_updates > 0
+                        ? options.total_updates
+                        : bench::ScaledUpdates(workload.default_updates);
+
+  // Control connection first: learn the backend shape (and fail fast when
+  // the server is down or speaks another protocol version).
+  LineClient control;
+  std::string greeting;
+  std::string error;
+  if (!control.Connect(options.host, options.port, &error) ||
+      !Handshake(&control, &greeting, &error)) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string backend_kind = GreetingField(greeting, "backend");
+  const std::string algorithm = GreetingField(greeting, "algorithm");
+  const int shards = std::atoi(GreetingField(greeting, "shards").c_str());
+  const bool is_sharded = backend_kind == "sharded";
+  // The replay/resume backends must run the server's algorithm, not this
+  // tool's default: adopt the advertised name unless --algo overrode it.
+  if (!options.algo_given && !algorithm.empty()) {
+    options.algo.algorithm = algorithm;
+  }
+  if (!MaintainerRegistry::Global().Has(options.algo.algorithm)) {
+    std::fprintf(stderr,
+                 "loadgen: server algorithm '%s' is not a registry name; "
+                 "pass --algo with the server's registry key\n",
+                 options.algo.algorithm.c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "loadgen: %s:%d %s backend (%s, %d shard%s), scenario %s, "
+               "%d updates over %d connection(s)\n",
+               options.host.c_str(), options.port, backend_kind.c_str(),
+               algorithm.c_str(), shards, shards == 1 ? "" : "s",
+               options.scenario.c_str(), total, options.connections);
+
+  // --- Load phase ------------------------------------------------------------
+
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  Timer load_timer;
+  for (int i = 0; i < options.connections; ++i) {
+    const int count = total / options.connections +
+                      (i < total % options.connections ? 1 : 0);
+    workers.emplace_back(RunWorker, std::cref(options), std::cref(workload),
+                         i, count, &results[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = load_timer.ElapsedSeconds();
+
+  WorkerResult totals;
+  std::vector<double> rtts;
+  bool worker_failed = false;
+  for (const WorkerResult& r : results) {
+    totals.sent += r.sent;
+    totals.acked += r.acked;
+    totals.rejected += r.rejected;
+    rtts.insert(rtts.end(), r.rtts.begin(), r.rtts.end());
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "loadgen: worker error: %s\n", r.error.c_str());
+      worker_failed = true;
+    }
+  }
+  std::sort(rtts.begin(), rtts.end());
+  const double rtt_p50_us = bench::Percentile(rtts, 0.50) * 1e6;
+  const double rtt_p99_us = bench::Percentile(rtts, 0.99) * 1e6;
+  std::fprintf(stderr,
+               "loadgen: %lld sent, %lld acked, %lld rejected in %.3fs "
+               "(%.0f ops/s client-side), rtt p50=%.1fus p99=%.1fus\n",
+               static_cast<long long>(totals.sent),
+               static_cast<long long>(totals.acked),
+               static_cast<long long>(totals.rejected), elapsed,
+               elapsed > 0 ? static_cast<double>(totals.acked) / elapsed : 0,
+               rtt_p50_us, rtt_p99_us);
+
+  // --- Verification phase (control connection) -------------------------------
+
+  bool checks_ok = !worker_failed;
+
+  std::string stats_line;
+  if (!control.Ask("STATS", &stats_line) ||
+      stats_line.rfind("OK ", 0) != 0) {
+    std::fprintf(stderr, "loadgen: STATS failed\n");
+    return 1;
+  }
+  const std::string load_stats_json = stats_line.substr(3);
+
+  std::string verify_line;
+  if (!control.Ask("VERIFY", &verify_line)) {
+    std::fprintf(stderr, "loadgen: VERIFY failed\n");
+    return 1;
+  }
+  const bool verified_independent =
+      verify_line.find("independent=1") != std::string::npos;
+  const bool verified_maximal =
+      verify_line.find("maximal=1") != std::string::npos;
+  if (!verified_independent || !verified_maximal) checks_ok = false;
+
+  std::string solution_line;
+  if (!control.Ask("SOLUTION", &solution_line) ||
+      solution_line.rfind("OK ", 0) != 0) {
+    std::fprintf(stderr, "loadgen: SOLUTION failed\n");
+    return 1;
+  }
+  const std::vector<VertexId> server_solution =
+      ParseSolutionLine(solution_line);
+
+  // Trace-based checks: client-side verification + in-process replay.
+  bool client_verified = false;
+  bool replay_matches = false;
+  if (options.verify) {
+    // Absolute path: server and loadgen share a filesystem but not
+    // necessarily a working directory. The pid keeps concurrent runs on
+    // one host from clobbering each other.
+    const std::string trace_path = "/tmp/dynmis_serve_trace_" +
+                                   options.scenario + "_" +
+                                   std::to_string(getpid()) + ".txt";
+    std::string trace_line;
+    if (!control.Ask("TRACE " + trace_path, &trace_line) ||
+        trace_line.rfind("OK", 0) != 0) {
+      std::fprintf(stderr,
+                   "loadgen: TRACE failed (%s) — run the server with "
+                   "--record-trace or pass --no-verify\n",
+                   trace_line.c_str());
+      return 1;
+    }
+    serve::ServeTrace trace;
+    if (!serve::LoadServeTrace(trace_path, &trace, &error)) {
+      std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+      return 1;
+    }
+    // Client-side ground truth: base graph + applied trace.
+    DynamicGraph mirror = workload.base.ToDynamic();
+    for (const GraphUpdate& update : trace.updates) {
+      ApplyUpdate(&mirror, update);
+    }
+    bool independent = false;
+    bool maximal = false;
+    client_verified = serve::CheckSolution(mirror, server_solution,
+                                           &independent, &maximal);
+    // Replay with the server's exact transaction boundaries.
+    ReplayBackend replay = ReplayBackend::Fresh(workload.base, options.algo,
+                                                is_sharded, shards);
+    if (!replay.ok()) {
+      std::fprintf(stderr, "loadgen: cannot build replay backend (%s)\n",
+                   options.algo.algorithm.c_str());
+      return 1;
+    }
+    size_t offset = 0;
+    std::vector<GraphUpdate> block;
+    for (const int64_t size : trace.batch_sizes) {
+      block.assign(trace.updates.begin() + static_cast<int64_t>(offset),
+                   trace.updates.begin() + static_cast<int64_t>(offset) +
+                       size);
+      replay.ApplyBatch(block);
+      offset += static_cast<size_t>(size);
+    }
+    replay_matches = replay.SortedSolution() == server_solution;
+    std::fprintf(stderr,
+                 "loadgen: trace %zu ops in %zu batches — client_verified=%d "
+                 "replay_matches=%d\n",
+                 trace.updates.size(), trace.batch_sizes.size(),
+                 client_verified ? 1 : 0, replay_matches ? 1 : 0);
+    if (!client_verified || !replay_matches) checks_ok = false;
+  }
+
+  // Snapshot / warm-failover check.
+  bool snapshot_matches = false;
+  bool resume_matches = false;
+  int64_t snapshot_bytes = 0;
+  std::vector<VertexId> latest_server_solution = server_solution;
+  if (!options.snapshot_path.empty()) {
+    std::string snap_line;
+    if (!control.Ask("SNAPSHOT " + options.snapshot_path, &snap_line) ||
+        snap_line.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "loadgen: SNAPSHOT failed (%s)\n",
+                   snap_line.c_str());
+      return 1;
+    }
+    snapshot_bytes = std::atoll(snap_line.c_str() + 3);
+    ReplayBackend restored =
+        ReplayBackend::Restore(options.snapshot_path, is_sharded, &error);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+      return 1;
+    }
+    snapshot_matches = restored.SortedSolution() == latest_server_solution;
+    // Resume: the same closed-loop stream through the live server and the
+    // restored engine; one op per request keeps the transaction boundaries
+    // aligned (each op is its own ApplyBatch on both sides).
+    UpdateStreamOptions resume_stream = workload.stream;
+    resume_stream.seed = options.seed * 977 + 4243;
+    UpdateStreamGenerator generator(resume_stream);
+    DynamicGraph resume_mirror = restored.ExportGraph();
+    bool resume_failed = false;
+    for (int i = 0; i < options.resume_updates; ++i) {
+      const GraphUpdate update = generator.Next(resume_mirror);
+      std::string ack;
+      if (!control.Ask(serve::FormatCommandLine(update), &ack) ||
+          ack.rfind("OK", 0) != 0) {
+        std::fprintf(stderr, "loadgen: resume op refused (%s)\n",
+                     ack.c_str());
+        resume_failed = true;
+        break;
+      }
+      ApplyUpdate(&resume_mirror, update);
+      restored.Apply(update);
+    }
+    if (!resume_failed) {
+      if (!control.Ask("SOLUTION", &solution_line) ||
+          solution_line.rfind("OK ", 0) != 0) {
+        std::fprintf(stderr, "loadgen: SOLUTION failed after resume\n");
+        return 1;
+      }
+      latest_server_solution = ParseSolutionLine(solution_line);
+      resume_matches = restored.SortedSolution() == latest_server_solution;
+    }
+    std::fprintf(stderr,
+                 "loadgen: snapshot %lld bytes — snapshot_matches=%d "
+                 "resume_matches=%d (%d resume ops)\n",
+                 static_cast<long long>(snapshot_bytes),
+                 snapshot_matches ? 1 : 0, resume_matches ? 1 : 0,
+                 options.resume_updates);
+    if (!snapshot_matches || !resume_matches) checks_ok = false;
+  }
+
+  // Refresh server-side metrics after the verification traffic.
+  std::string final_stats_line;
+  const std::string server_json =
+      control.Ask("STATS", &final_stats_line) &&
+              final_stats_line.rfind("OK ", 0) == 0
+          ? final_stats_line.substr(3)
+          : load_stats_json;
+
+  std::string goodbye;
+  control.Ask("QUIT", &goodbye);
+  control.Close();
+
+  // --- JSON emission ---------------------------------------------------------
+
+  bench::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("scenario");
+  w.String(options.scenario);
+  w.Key("tool");
+  w.String("dynmis_loadgen");
+  w.Key("scale");
+  w.Double(bench::BenchScale());
+  w.Key("cpu_count");
+  w.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  w.Key("graph");
+  w.BeginObject();
+  w.Key("name");
+  w.String(workload.name);
+  w.Key("n");
+  w.Int(workload.base.n);
+  w.Key("m");
+  w.Int(workload.base.NumEdges());
+  w.EndObject();
+  w.Key("updates");
+  w.Int(total);
+  w.Key("serving");
+  w.BeginObject();
+  w.Key("backend");
+  w.String(backend_kind);
+  w.Key("shards");
+  w.Int(shards);
+  w.Key("algorithm");
+  w.String(algorithm);
+  w.Key("connections");
+  w.Int(options.connections);
+  w.Key("pipeline");
+  w.Int(options.pipeline);
+  w.Key("client_batch");
+  w.Int(options.client_batch);
+  w.Key("updates_sent");
+  w.Int(totals.sent);
+  w.Key("acked");
+  w.Int(totals.acked);
+  w.Key("rejected");
+  w.Int(totals.rejected);
+  w.Key("elapsed_seconds");
+  w.Double(elapsed);
+  w.Key("client_ops_per_sec");
+  w.Double(elapsed > 0 ? static_cast<double>(totals.acked) / elapsed : 0);
+  w.Key("rtt_p50_us");
+  w.Double(rtt_p50_us);
+  w.Key("rtt_p99_us");
+  w.Double(rtt_p99_us);
+  w.Key("server");
+  w.BeginObject();
+  w.Key("ops_applied");
+  w.Int(static_cast<int64_t>(ExtractJsonNumber(server_json, "ops_applied")));
+  w.Key("ops_rejected");
+  w.Int(
+      static_cast<int64_t>(ExtractJsonNumber(server_json, "ops_rejected")));
+  w.Key("batches_flushed");
+  w.Int(static_cast<int64_t>(
+      ExtractJsonNumber(server_json, "batches_flushed")));
+  w.Key("mean_batch_occupancy");
+  w.Double(ExtractJsonNumber(server_json, "mean_batch_occupancy"));
+  // Percentiles from the post-load STATS call: the resume ops are
+  // closed-loop singles and would skew the load phase's distribution.
+  w.Key("update_p50_us");
+  w.Double(ExtractJsonNumber(UpdateLatencyScope(load_stats_json), "p50"));
+  w.Key("update_p99_us");
+  w.Double(ExtractJsonNumber(UpdateLatencyScope(load_stats_json), "p99"));
+  w.Key("solution_size");
+  w.Int(static_cast<int64_t>(
+      ExtractJsonNumber(server_json, "solution_size")));
+  w.EndObject();
+  w.Key("solution_size");
+  w.Int(static_cast<int64_t>(latest_server_solution.size()));
+  w.Key("verified_independent");
+  w.Bool(verified_independent);
+  w.Key("verified_maximal");
+  w.Bool(verified_maximal);
+  if (options.verify) {
+    w.Key("client_verified");
+    w.Bool(client_verified);
+    w.Key("replay_matches");
+    w.Bool(replay_matches);
+  }
+  if (!options.snapshot_path.empty()) {
+    w.Key("snapshot");
+    w.BeginObject();
+    w.Key("bytes");
+    w.Int(snapshot_bytes);
+    w.Key("snapshot_matches");
+    w.Bool(snapshot_matches);
+    w.Key("resume_updates");
+    w.Int(options.resume_updates);
+    w.Key("resume_matches");
+    w.Bool(resume_matches);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  const std::string out_path = options.out_path.empty()
+                                   ? "SERVE_" + options.scenario + ".json"
+                                   : options.out_path;
+  if (!bench::WriteFile(out_path, w.Take())) {
+    std::fprintf(stderr, "loadgen: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loadgen: wrote %s (%s)\n", out_path.c_str(),
+               checks_ok ? "all checks passed" : "CHECKS FAILED");
+  return checks_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dynmis
+
+int main(int argc, char** argv) { return dynmis::Main(argc, argv); }
