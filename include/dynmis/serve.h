@@ -12,6 +12,9 @@
 //   QUERY u / SOLUTION / STATS       queries (impose a flush barrier)
 //   SNAPSHOT path / TRACE path       durable checkpoints / applied-op trace
 //   VERIFY                           server-side independence+maximality check
+//   REPL SUBSCRIBE seq / REPL STATUS change-log streaming (replication)
+//   PROMOTE                          follower -> primary (also on SIGUSR1)
+//   RESHARD n                        online backend swap to n shards
 //   QUIT                             orderly goodbye
 //
 // Updates pass through an *admission layer*: each op is validated against a
@@ -98,6 +101,31 @@ struct ServeOptions {
   // enabled automatically on loopback listeners and refused elsewhere
   // unless this is explicitly set.
   bool allow_file_commands = false;
+
+  // --- Replication (README "Replication") ---
+
+  // When set, every applied ApplyBatch is appended to a segmented change
+  // log in this directory, REPL SUBSCRIBE can serve catch-up from disk, and
+  // periodic base snapshots land next to the segments.
+  std::string change_log_dir;
+  // Rotate change-log segments at this size.
+  int64_t log_segment_bytes = 4 << 20;
+  // Write a background base snapshot every N applied batches (0 = off).
+  // Requires change_log_dir.
+  int64_t snapshot_every_batches = 0;
+
+  // Follower mode: tail a primary over TCP ("host:port") or tail its
+  // change-log directory directly (same-host deployments). Mutually
+  // exclusive; either one starts the server read-only (updates answered
+  // with `ERR readonly`) until it is promoted.
+  std::string follow_addr;
+  std::string follow_dir;
+  // First change-log seq the follower still needs (set by the bootstrap
+  // path after base-snapshot restore + tail replay).
+  int64_t repl_start_seq = 0;
+  // Seq of the base snapshot the follower booted from (-1: fresh start);
+  // surfaced in STATS for observability.
+  int64_t bootstrap_base_seq = -1;
 };
 
 // The uniform surface the server drives. Both engines sit behind it; a new
@@ -122,6 +150,9 @@ class ServingBackend {
   // A standalone copy of the served graph whose id-space state matches the
   // backend's (future AddVertex ids agree). Seeds the admission replica.
   virtual DynamicGraph ExportGraph() = 0;
+  // The maintainer configuration the backend runs (resharding rebuilds a
+  // target backend with the same algorithm).
+  virtual const MaintainerConfig& Config() const = 0;
 };
 
 // Builds the backend named by `options.backend` over a copy of `base`
@@ -131,6 +162,14 @@ class ServingBackend {
 std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
                                                    const ServeOptions& options,
                                                    std::string* error);
+
+// Restores a backend from a snapshot stream, auto-detecting the container
+// flavour ("sharded" section present -> ShardedMisEngine, else MisEngine).
+// The replication bootstrap path uses this to load base snapshots without
+// knowing which backend wrote them. Returns nullptr with `*error` set on a
+// malformed or incompatible snapshot.
+std::unique_ptr<ServingBackend> RestoreServingBackend(std::istream& in,
+                                                      std::string* error);
 
 // Live serving counters, exposed via STATS (JSON) and Server::StatsJson().
 struct ServingMetricsSnapshot {
@@ -153,6 +192,17 @@ struct ServingMetricsSnapshot {
   double update_p99_us = 0;
   double query_p50_us = 0;
   double query_p99_us = 0;
+  // Replication (zero / defaulted when replication is not configured).
+  std::string repl_role;         // "primary" or "follower".
+  int64_t repl_next_seq = 0;     // Batches applied == next log seq.
+  int64_t repl_ops_logged = 0;   // Ops appended to the change log.
+  int64_t repl_segments = 0;     // Segments created by this writer.
+  int64_t repl_snapshots_written = 0;
+  int64_t repl_snapshots_failed = 0;
+  int64_t repl_last_base_seq = -1;
+  int64_t repl_subscribers = 0;  // Live REPL SUBSCRIBE connections.
+  int64_t repl_promotions = 0;   // PROMOTE/SIGUSR1 transitions taken.
+  int64_t repl_resharded = 0;    // Completed online RESHARD swaps.
 };
 
 // The TCP server. Single-threaded event loop; construct, Start(), then Run()
@@ -176,7 +226,14 @@ class Server {
   // Requests shutdown (thread- and signal-safe); Run() drains and returns.
   void Stop();
 
-  // Routes SIGINT/SIGTERM to Stop() of this server (one server per process).
+  // Requests follower promotion (thread- and signal-safe): the loop drops
+  // read-only mode, detaches from the upstream, and — when a change_log_dir
+  // is configured — starts appending to its own change log. No-op on a
+  // server that is already writable.
+  void RequestPromote();
+
+  // Routes SIGINT/SIGTERM to Stop() and SIGUSR1 to RequestPromote() of this
+  // server (one server per process).
   static void InstallSignalHandlers(Server* server);
 
   // The admission layer's replica of the served graph — exactly the state

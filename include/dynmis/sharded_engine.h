@@ -80,6 +80,17 @@ class ShardedMisEngine {
       const EdgeListGraph& base, MaintainerConfig config = {},
       ShardedEngineOptions options = {});
 
+  // Builds a sharded engine over a live DynamicGraph — dead-id gaps, free-
+  // list recycle order and all — so the new engine's global id allocation
+  // continues exactly where `global`'s would (future vertex inserts assign
+  // identical ids). This is the online-resharding primitive: restore a
+  // checkpoint, BuildGlobalGraph(), re-partition into a different shard
+  // count, replay the tail. Workers are running on return; call
+  // Initialize() before applying updates.
+  static std::unique_ptr<ShardedMisEngine> CreateFromGraph(
+      const DynamicGraph& global, MaintainerConfig config = {},
+      ShardedEngineOptions options = {});
+
   ~ShardedMisEngine();
 
   // Initializes every shard's maintainer from the empty set (in parallel)

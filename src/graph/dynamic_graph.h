@@ -92,6 +92,12 @@ class DynamicGraph {
   // optimization; never shrinks.
   void Reserve(int n, int64_t m);
 
+  // Dead vertex ids in recycling order (AddVertex pops from the back).
+  // Consumers that rebuild an id-space-exact copy of this graph — the
+  // sharded engine's resharding path — replay these removals so future
+  // AddVertex calls allocate identical ids on both sides.
+  const std::vector<VertexId>& FreeVertexIds() const { return free_vertices_; }
+
   // --- Edges ----------------------------------------------------------------
 
   // Inserts undirected edge {u, v} and returns its id. Requirements: u != v,

@@ -1,0 +1,55 @@
+#include "src/repl/bootstrap.h"
+
+#include <fstream>
+#include <utility>
+
+#include "src/repl/change_log.h"
+
+namespace dynmis {
+namespace repl {
+
+bool BootstrapFromChangeLog(const std::string& dir, const EdgeListGraph& base,
+                            const serve::ServeOptions& options,
+                            BootstrapResult* out, std::string* error) {
+  ChangeLogDirState state;
+  if (!ScanChangeLogDir(dir, &state, error)) return false;
+
+  out->base_seq = -1;
+  if (state.latest_base_seq >= 0) {
+    std::ifstream in(state.latest_base_path, std::ios::binary);
+    if (!in) {
+      *error = "cannot open base snapshot " + state.latest_base_path;
+      return false;
+    }
+    out->backend = serve::RestoreServingBackend(in, error);
+    if (out->backend == nullptr) return false;
+    out->base_seq = state.latest_base_seq;
+  } else {
+    serve::ServeOptions fresh = options;
+    fresh.restore_path.clear();
+    out->backend = serve::MakeServingBackend(base, fresh, error);
+    if (out->backend == nullptr) return false;
+  }
+
+  out->next_seq = out->base_seq >= 0 ? out->base_seq : 0;
+  out->tail_batches = 0;
+  out->tail_ops = 0;
+  if (state.segments.empty()) return true;
+
+  ChangeLogCursor cursor;
+  if (!cursor.Open(dir, out->next_seq, error)) return false;
+  for (;;) {
+    LogBatch batch;
+    bool available = false;
+    if (!cursor.Next(&batch, &available, error)) return false;
+    if (!available) break;  // Reached the live tail: caught up on disk.
+    out->backend->ApplyBatch(batch.updates);
+    ++out->tail_batches;
+    out->tail_ops += static_cast<int64_t>(batch.updates.size());
+  }
+  out->next_seq = cursor.next_seq();
+  return true;
+}
+
+}  // namespace repl
+}  // namespace dynmis

@@ -1,0 +1,43 @@
+// Follower bootstrap: turn a change-log directory into a live backend.
+//
+// A checkpoint is "latest base snapshot + record tail": restore the newest
+// base-<seq>.snap (or build a fresh backend from the configured base graph
+// when none exists yet), then replay every complete change-log record from
+// that seq forward, batch-faithfully — each record is one ApplyBatch with
+// the primary's exact batch boundary, which the deterministic-replay
+// guarantee turns into byte-identical solutions. The returned next_seq is
+// where live tailing (REPL SUBSCRIBE or directory tailing) picks up.
+
+#ifndef DYNMIS_SRC_REPL_BOOTSTRAP_H_
+#define DYNMIS_SRC_REPL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dynmis/serve.h"
+#include "src/graph/edge_list.h"
+
+namespace dynmis {
+namespace repl {
+
+struct BootstrapResult {
+  std::unique_ptr<serve::ServingBackend> backend;
+  int64_t next_seq = 0;        // First seq the follower still needs.
+  int64_t base_seq = -1;       // Base snapshot restored (-1: fresh start).
+  int64_t tail_batches = 0;    // Records replayed after the base.
+  int64_t tail_ops = 0;        // Updates inside those records.
+};
+
+// Restores the newest checkpoint under `dir`. `base` and `options` describe
+// the fallback fresh backend used when the directory holds no base snapshot
+// (the primary must have been started from the same base graph). Returns
+// false with *error set on a missing/corrupt directory or a replay failure.
+bool BootstrapFromChangeLog(const std::string& dir, const EdgeListGraph& base,
+                            const serve::ServeOptions& options,
+                            BootstrapResult* out, std::string* error);
+
+}  // namespace repl
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_REPL_BOOTSTRAP_H_

@@ -1,0 +1,460 @@
+#include "src/repl/change_log.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/io/snapshot.h"
+
+namespace dynmis {
+namespace repl {
+namespace {
+
+constexpr char kSegmentMagic[8] = {'D', 'M', 'I', 'S', 'L', 'O', 'G', '1'};
+constexpr size_t kMagicBytes = sizeof(kSegmentMagic);
+constexpr size_t kRecordHeaderBytes = 8;  // payload_len u32 + crc u32.
+// A record holds one admission batch (bounded by batch_max_ops and the line
+// length limit); anything near this size is structurally impossible and
+// treated as corruption rather than attempted as an allocation.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t value = 0;
+  std::memcpy(&value, p, sizeof(value));
+  return value;  // Little-endian hosts only (matches src/io/snapshot.cc).
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t value = 0;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool SetErrno(std::string* error, const std::string& what) {
+  return SetError(error, what + ": " + std::strerror(errno));
+}
+
+// Parses "<prefix><16 hex digits><suffix>" into the embedded sequence
+// number; returns -1 when `name` does not match.
+int64_t ParseSeqName(const std::string& name, const char* prefix,
+                     const char* suffix) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() != prefix_len + 16 + suffix_len) return -1;
+  if (name.compare(0, prefix_len, prefix) != 0) return -1;
+  if (name.compare(prefix_len + 16, suffix_len, suffix) != 0) return -1;
+  int64_t value = 0;
+  for (size_t i = prefix_len; i < prefix_len + 16; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return -1;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+std::string SeqName(const char* prefix, int64_t seq, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%016llx%s", prefix,
+                static_cast<unsigned long long>(seq), suffix);
+  return buf;
+}
+
+bool SyncDirectory(const std::string& dir, std::string* error) {
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return SetErrno(error, "open dir " + dir);
+  const int rc = fsync(fd);
+  close(fd);
+  if (rc != 0) return SetErrno(error, "fsync dir " + dir);
+  return true;
+}
+
+// Reads exactly `size` bytes at `offset` unless the file ends first; returns
+// the byte count actually read, or -1 on error.
+ssize_t PreadFull(int fd, char* buf, size_t size, int64_t offset) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = pread(fd, buf + done, size - done,
+                            static_cast<off_t>(offset) + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF (possibly mid-record at a live tail).
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace
+
+std::string EncodeLogRecord(const LogBatch& batch) {
+  std::string payload;
+  AppendU64(&payload, static_cast<uint64_t>(batch.seq));
+  AppendU32(&payload, static_cast<uint32_t>(batch.updates.size()));
+  for (const GraphUpdate& update : batch.updates) {
+    payload.push_back(static_cast<char>(update.kind));
+    AppendU32(&payload, static_cast<uint32_t>(update.u));
+    AppendU32(&payload, static_cast<uint32_t>(update.v));
+    AppendU32(&payload, static_cast<uint32_t>(update.neighbors.size()));
+    for (const VertexId neighbor : update.neighbors) {
+      AppendU32(&payload, static_cast<uint32_t>(neighbor));
+    }
+  }
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  AppendU32(&record, static_cast<uint32_t>(payload.size()));
+  AppendU32(&record, Crc32(payload.data(), payload.size()));
+  record.append(payload);
+  return record;
+}
+
+bool DecodeLogPayload(const char* data, size_t size, LogBatch* out) {
+  size_t pos = 0;
+  const auto remaining = [&] { return size - pos; };
+  if (remaining() < 12) return false;
+  out->seq = static_cast<int64_t>(ReadU64(data + pos));
+  pos += 8;
+  const uint32_t num_ops = ReadU32(data + pos);
+  pos += 4;
+  out->updates.clear();
+  out->updates.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    if (remaining() < 13) return false;
+    GraphUpdate update;
+    const uint8_t kind = static_cast<uint8_t>(data[pos]);
+    if (kind > static_cast<uint8_t>(UpdateKind::kDeleteVertex)) return false;
+    update.kind = static_cast<UpdateKind>(kind);
+    pos += 1;
+    update.u = static_cast<VertexId>(ReadU32(data + pos));
+    pos += 4;
+    update.v = static_cast<VertexId>(ReadU32(data + pos));
+    pos += 4;
+    const uint32_t num_neighbors = ReadU32(data + pos);
+    pos += 4;
+    if (remaining() < static_cast<size_t>(num_neighbors) * 4) return false;
+    update.neighbors.reserve(num_neighbors);
+    for (uint32_t j = 0; j < num_neighbors; ++j) {
+      update.neighbors.push_back(static_cast<VertexId>(ReadU32(data + pos)));
+      pos += 4;
+    }
+    out->updates.push_back(std::move(update));
+  }
+  return pos == size;
+}
+
+std::string SegmentFileName(int64_t first_seq) {
+  return SeqName("seg-", first_seq, ".log");
+}
+
+std::string BaseSnapshotFileName(int64_t seq) {
+  return SeqName("base-", seq, ".snap");
+}
+
+bool ScanChangeLogDir(const std::string& dir, ChangeLogDirState* out,
+                      std::string* error) {
+  out->segments.clear();
+  out->latest_base_seq = -1;
+  out->latest_base_path.clear();
+  DIR* handle = opendir(dir.c_str());
+  if (handle == nullptr) return SetErrno(error, "opendir " + dir);
+  while (dirent* entry = readdir(handle)) {
+    const std::string name = entry->d_name;
+    int64_t seq = ParseSeqName(name, "seg-", ".log");
+    if (seq >= 0) {
+      out->segments.emplace_back(seq, dir + "/" + name);
+      continue;
+    }
+    seq = ParseSeqName(name, "base-", ".snap");
+    if (seq >= 0 && seq > out->latest_base_seq) {
+      out->latest_base_seq = seq;
+      out->latest_base_path = dir + "/" + name;
+    }
+  }
+  closedir(handle);
+  std::sort(out->segments.begin(), out->segments.end());
+  return true;
+}
+
+bool WriteBaseSnapshot(const std::string& dir, int64_t seq,
+                       const std::string& bytes, std::string* error) {
+  const std::string final_path = dir + "/" + BaseSnapshotFileName(seq);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return SetErrno(error, "open " + tmp_path);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetErrno(error, "write " + tmp_path);
+      close(fd);
+      unlink(tmp_path.c_str());
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (fsync(fd) != 0) {
+    SetErrno(error, "fsync " + tmp_path);
+    close(fd);
+    unlink(tmp_path.c_str());
+    return false;
+  }
+  close(fd);
+  if (rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    SetErrno(error, "rename " + tmp_path);
+    unlink(tmp_path.c_str());
+    return false;
+  }
+  return SyncDirectory(dir, error);
+}
+
+ChangeLogWriter::~ChangeLogWriter() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool ChangeLogWriter::Open(const std::string& dir, int64_t segment_bytes,
+                           int64_t next_seq, std::string* error) {
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return SetErrno(error, "mkdir " + dir);
+  }
+  dir_ = dir;
+  segment_bytes_ = segment_bytes > 0 ? segment_bytes : (4 << 20);
+  return OpenSegment(next_seq, error);
+}
+
+bool ChangeLogWriter::OpenSegment(int64_t first_seq, std::string* error) {
+  if (fd_ >= 0) {
+    // Rotation durability point: the finished segment is synced before the
+    // cursor-visible successor appears.
+    if (fsync(fd_) != 0) return SetErrno(error, "fsync segment");
+    close(fd_);
+    fd_ = -1;
+  }
+  const std::string path = dir_ + "/" + SegmentFileName(first_seq);
+  // O_TRUNC: a name collision means the existing segment holds no complete
+  // record below `first_seq` (the caller derived first_seq from scanning the
+  // log), so rewriting it is the correct recovery.
+  fd_ = open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) return SetErrno(error, "open " + path);
+  size_t off = 0;
+  while (off < kMagicBytes) {
+    const ssize_t n = write(fd_, kSegmentMagic + off, kMagicBytes - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SetErrno(error, "write magic " + path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  segment_size_ = static_cast<int64_t>(kMagicBytes);
+  ++segments_created_;
+  segment_starts_.push_back(first_seq);
+  return true;
+}
+
+bool ChangeLogWriter::Append(const LogBatch& batch, std::string* error) {
+  if (fd_ < 0) return SetError(error, "change log is not open");
+  if (segment_size_ >= segment_bytes_) {
+    if (!OpenSegment(batch.seq, error)) return false;
+  }
+  const std::string record = EncodeLogRecord(batch);
+  size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n = write(fd_, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SetErrno(error, "write record");
+    }
+    off += static_cast<size_t>(n);
+  }
+  segment_size_ += static_cast<int64_t>(record.size());
+  ++records_appended_;
+  return true;
+}
+
+bool ChangeLogWriter::Sync(std::string* error) {
+  if (fd_ < 0) return true;
+  if (fsync(fd_) != 0) return SetErrno(error, "fsync segment");
+  return true;
+}
+
+ChangeLogCursor::~ChangeLogCursor() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool ChangeLogCursor::Open(const std::string& dir, int64_t start_seq,
+                           std::string* error) {
+  dir_ = dir;
+  next_seq_ = start_seq;
+  ChangeLogDirState state;
+  if (!ScanChangeLogDir(dir_, &state, error)) return false;
+  if (state.segments.empty()) {
+    if (start_seq != 0) {
+      return SetError(error, "change log " + dir + " is empty but seq " +
+                                 std::to_string(start_seq) + " was requested");
+    }
+    return true;  // Tail an as-yet-unstarted log.
+  }
+  if (state.segments.front().first > start_seq) {
+    return SetError(error,
+                    "change log " + dir + " starts at seq " +
+                        std::to_string(state.segments.front().first) +
+                        ", cannot serve seq " + std::to_string(start_seq));
+  }
+  bool found = false;
+  if (!OpenSegmentFor(start_seq, &found, error)) return false;
+  if (!found) {
+    return SetError(error, "change log " + dir + " has no segment for seq " +
+                               std::to_string(start_seq));
+  }
+  return true;
+}
+
+bool ChangeLogCursor::OpenSegmentFor(int64_t seq, bool* found,
+                                     std::string* error) {
+  *found = false;
+  ChangeLogDirState state;
+  if (!ScanChangeLogDir(dir_, &state, error)) return false;
+  // The containing segment is the one with the greatest first_seq <= seq.
+  int64_t best_seq = -1;
+  const std::string* best_path = nullptr;
+  for (const auto& [first_seq, path] : state.segments) {
+    if (first_seq <= seq) {
+      best_seq = first_seq;
+      best_path = &path;
+    }
+  }
+  if (best_path == nullptr) return true;
+  if (fd_ >= 0) close(fd_);
+  fd_ = open(best_path->c_str(), O_RDONLY);
+  if (fd_ < 0) return SetErrno(error, "open " + *best_path);
+  char magic[kMagicBytes];
+  const ssize_t n = PreadFull(fd_, magic, kMagicBytes, 0);
+  if (n < 0) return SetErrno(error, "read " + *best_path);
+  if (static_cast<size_t>(n) != kMagicBytes ||
+      std::memcmp(magic, kSegmentMagic, kMagicBytes) != 0) {
+    return SetError(error, "bad segment magic in " + *best_path);
+  }
+  offset_ = static_cast<int64_t>(kMagicBytes);
+  record_seq_ = best_seq;
+  segment_first_seq_ = best_seq;
+  *found = true;
+  return true;
+}
+
+bool ChangeLogCursor::Next(LogBatch* out, bool* available, std::string* error) {
+  *available = false;
+  for (;;) {
+    if (fd_ < 0) {
+      // The log had no segments at Open; look for the writer's first one.
+      bool found = false;
+      if (!OpenSegmentFor(next_seq_, &found, error)) return false;
+      if (!found) return true;  // Still nothing: live tail.
+    }
+    char header[kRecordHeaderBytes];
+    const ssize_t got = PreadFull(fd_, header, kRecordHeaderBytes, offset_);
+    if (got < 0) return SetErrno(error, "read record header");
+    bool partial = static_cast<size_t>(got) < kRecordHeaderBytes;
+    uint32_t payload_len = 0;
+    uint32_t crc = 0;
+    std::string payload;
+    if (!partial) {
+      payload_len = ReadU32(header);
+      crc = ReadU32(header + 4);
+      if (payload_len > kMaxPayloadBytes) {
+        return SetError(error, "corrupt record length at seq " +
+                                   std::to_string(record_seq_));
+      }
+      payload.resize(payload_len);
+      const ssize_t body = PreadFull(fd_, payload.data(), payload_len,
+                                     offset_ + kRecordHeaderBytes);
+      if (body < 0) return SetErrno(error, "read record payload");
+      partial = static_cast<size_t>(body) < payload_len;
+    }
+    if (partial) {
+      // Either a clean EOF at a record boundary (a rotation may have moved
+      // the writer to a successor segment starting at record_seq_) or an
+      // append in progress. Complete records never straddle a rotation, so
+      // torn bytes inside a rotated-away segment are corruption.
+      ChangeLogDirState state;
+      if (!ScanChangeLogDir(dir_, &state, error)) return false;
+      bool has_successor = false;
+      for (const auto& [first_seq, path] : state.segments) {
+        if (first_seq == record_seq_) has_successor = true;
+      }
+      if (has_successor) {
+        if (got != 0) {
+          return SetError(error, "torn record at seq " +
+                                     std::to_string(record_seq_) +
+                                     " inside a rotated segment");
+        }
+        bool found = false;
+        if (!OpenSegmentFor(record_seq_, &found, error)) return false;
+        if (!found) {
+          return SetError(error, "segment for seq " +
+                                     std::to_string(record_seq_) +
+                                     " disappeared during rescan");
+        }
+        continue;
+      }
+      return true;  // Live tail; retry later.
+    }
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return SetError(error,
+                      "record CRC mismatch at seq " +
+                          std::to_string(record_seq_) + " in " + dir_);
+    }
+    LogBatch batch;
+    if (!DecodeLogPayload(payload.data(), payload.size(), &batch)) {
+      return SetError(error, "malformed record payload at seq " +
+                                 std::to_string(record_seq_));
+    }
+    if (batch.seq != record_seq_) {
+      return SetError(error, "sequence gap: expected " +
+                                 std::to_string(record_seq_) + ", found " +
+                                 std::to_string(batch.seq));
+    }
+    offset_ += static_cast<int64_t>(kRecordHeaderBytes + payload_len);
+    ++record_seq_;
+    if (batch.seq >= next_seq_) {
+      next_seq_ = record_seq_;
+      *out = std::move(batch);
+      *available = true;
+      return true;
+    }
+    // Record predates the requested start (bootstrap replayed it already).
+  }
+}
+
+}  // namespace repl
+}  // namespace dynmis

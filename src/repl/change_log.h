@@ -1,0 +1,175 @@
+// Segmented change-log: the durable update stream behind replication.
+//
+// A primary appends every applied ApplyBatch — with its batch boundary,
+// since the final solution is a function of the batch partition — as one
+// length-prefixed CRC-checked record to an append-only segment file,
+// rotating to a new segment once the current one passes a size threshold.
+// Periodic base snapshots (full engine snapshots written next to the
+// segments) bound replay cost: a checkpoint is the latest base plus the
+// record tail after it, so recovery work scales with the change rate, not
+// the history length.
+//
+// Directory layout (one directory per log):
+//
+//   seg-<%016llx first_seq>.log    segments, named by their first record seq
+//   base-<%016llx seq>.snap       base snapshots; seq = batches they contain
+//
+// Segment format (all integers little-endian, fixed width):
+//
+//   magic     8 bytes  "DMISLOG1"
+//   records   repeated { payload_len u32, crc32(payload) u32, payload }
+//
+// Record payload:
+//
+//   seq        u64     batch sequence number (0-based, contiguous)
+//   num_ops    u32
+//   per op: kind u8, u i32, v i32, num_neighbors u32, neighbors i32[]
+//
+// Writers use plain write(2) so records become visible to same-host readers
+// immediately (page cache), and fsync only on Sync() — the drain path and
+// segment rotation sync, steady-state appends do not. Readers (tailing
+// cursors) tolerate a partial record at the tail of the *last* segment —
+// that is an append in progress, not corruption — but treat a CRC mismatch
+// on a complete record, a sequence gap, or a torn record followed by a
+// newer segment as corruption.
+
+#ifndef DYNMIS_SRC_REPL_CHANGE_LOG_H_
+#define DYNMIS_SRC_REPL_CHANGE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/update_stream.h"
+
+namespace dynmis {
+namespace repl {
+
+// One logged ApplyBatch: its sequence number and the updates it applied, in
+// admission order.
+struct LogBatch {
+  int64_t seq = 0;
+  std::vector<GraphUpdate> updates;
+};
+
+// Full on-disk record bytes (header + payload) for `batch`.
+std::string EncodeLogRecord(const LogBatch& batch);
+
+// Decodes a record payload (the bytes after the 8-byte record header).
+// Returns false on a malformed payload.
+bool DecodeLogPayload(const char* data, size_t size, LogBatch* out);
+
+// File names within a change-log directory.
+std::string SegmentFileName(int64_t first_seq);
+std::string BaseSnapshotFileName(int64_t seq);
+
+// A snapshot of the change-log directory: segments in ascending first-seq
+// order plus the newest base snapshot (if any).
+struct ChangeLogDirState {
+  // (first_seq, absolute path), sorted ascending by first_seq.
+  std::vector<std::pair<int64_t, std::string>> segments;
+  int64_t latest_base_seq = -1;  // -1 when no base snapshot exists.
+  std::string latest_base_path;
+};
+
+// Lists segments and base snapshots under `dir`. A missing directory is an
+// error; an empty one yields an empty state.
+bool ScanChangeLogDir(const std::string& dir, ChangeLogDirState* out,
+                      std::string* error);
+
+// Durably publishes a base snapshot covering batches [0, seq): writes
+// base-<seq>.snap.tmp, fsyncs, renames into place, fsyncs the directory.
+bool WriteBaseSnapshot(const std::string& dir, int64_t seq,
+                       const std::string& bytes, std::string* error);
+
+// Appends records to size-rotated segments. Single-threaded (the serving
+// event loop is the sole producer).
+class ChangeLogWriter {
+ public:
+  ChangeLogWriter() = default;
+  ~ChangeLogWriter();
+
+  ChangeLogWriter(const ChangeLogWriter&) = delete;
+  ChangeLogWriter& operator=(const ChangeLogWriter&) = delete;
+
+  // Opens (creating `dir` if needed) a fresh segment whose first record will
+  // be `next_seq`. Existing segments with earlier records are left in place.
+  bool Open(const std::string& dir, int64_t segment_bytes, int64_t next_seq,
+            std::string* error);
+
+  // Appends one record; rotates to a new segment first when the current one
+  // has reached the size threshold (rotation fsyncs the finished segment).
+  bool Append(const LogBatch& batch, std::string* error);
+
+  // fsyncs the current segment (drain path / durability points).
+  bool Sync(std::string* error);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& dir() const { return dir_; }
+  int64_t segments_created() const { return segments_created_; }
+  int64_t records_appended() const { return records_appended_; }
+  // First seqs of the segments this writer opened, in order (replication
+  // lag in segments is counted against this).
+  const std::vector<int64_t>& segment_starts() const {
+    return segment_starts_;
+  }
+
+ private:
+  bool OpenSegment(int64_t first_seq, std::string* error);
+
+  std::string dir_;
+  int64_t segment_bytes_ = 4 << 20;
+  int fd_ = -1;
+  int64_t segment_size_ = 0;
+  int64_t segments_created_ = 0;
+  int64_t records_appended_ = 0;
+  std::vector<int64_t> segment_starts_;
+};
+
+// Sequential reader over a change-log directory, starting at a given
+// sequence number and able to tail a live log: Next() distinguishes "no
+// complete record available yet" from corruption, and rescans the directory
+// for newly rotated segments as earlier ones are exhausted.
+class ChangeLogCursor {
+ public:
+  ChangeLogCursor() = default;
+  ~ChangeLogCursor();
+
+  ChangeLogCursor(const ChangeLogCursor&) = delete;
+  ChangeLogCursor& operator=(const ChangeLogCursor&) = delete;
+
+  // Positions the cursor so the next record returned has seq == start_seq.
+  // Fails when existing segments start after `start_seq` (the tail between
+  // the caller's state and the log has been lost). An empty directory is
+  // valid only when start_seq is 0 (the writer has not started yet).
+  bool Open(const std::string& dir, int64_t start_seq, std::string* error);
+
+  // Reads the next record. Returns false on corruption (with *error set).
+  // On success *available says whether *out was filled; when false the
+  // cursor reached the live tail and the caller should retry later.
+  bool Next(LogBatch* out, bool* available, std::string* error);
+
+  // Sequence number the next successful Next() will return.
+  int64_t next_seq() const { return next_seq_; }
+
+  // First seq of the currently open segment (-1 before any segment opens).
+  int64_t segment_first_seq() const { return segment_first_seq_; }
+
+ private:
+  // Opens the segment expected to contain next_seq_; *found=false when it
+  // does not exist yet.
+  bool OpenSegmentFor(int64_t seq, bool* found, std::string* error);
+
+  std::string dir_;
+  int fd_ = -1;
+  int64_t offset_ = 0;      // Byte offset of the next unread record.
+  int64_t record_seq_ = 0;  // Seq expected at offset_ (contiguity check).
+  int64_t next_seq_ = 0;    // First seq the caller still wants.
+  int64_t segment_first_seq_ = -1;  // First seq of the open segment.
+};
+
+}  // namespace repl
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_REPL_CHANGE_LOG_H_

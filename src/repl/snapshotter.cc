@@ -1,0 +1,71 @@
+#include "src/repl/snapshotter.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/repl/change_log.h"
+
+namespace dynmis {
+namespace repl {
+
+Snapshotter::Snapshotter(std::string dir) : dir_(std::move(dir)) {
+  thread_ = std::thread([this] { Worker(); });
+}
+
+Snapshotter::~Snapshotter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Snapshotter::Submit(int64_t seq, std::string bytes) {
+  if (busy_.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_ || stop_) return false;
+    pending_ = true;
+    pending_seq_ = seq;
+    pending_bytes_ = std::move(bytes);
+    busy_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void Snapshotter::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !busy_.load(std::memory_order_acquire); });
+}
+
+void Snapshotter::Worker() {
+  for (;;) {
+    int64_t seq = 0;
+    std::string bytes;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return pending_ || stop_; });
+      if (!pending_ && stop_) return;
+      seq = pending_seq_;
+      bytes = std::move(pending_bytes_);
+      pending_bytes_.clear();
+      pending_ = false;
+    }
+    std::string error;
+    if (WriteBaseSnapshot(dir_, seq, bytes, &error)) {
+      snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+      last_base_seq_.store(seq, std::memory_order_relaxed);
+    } else {
+      snapshots_failed_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "dynmis serve: base snapshot %lld failed: %s\n",
+                   static_cast<long long>(seq), error.c_str());
+    }
+    busy_.store(false, std::memory_order_release);
+    cv_.notify_all();
+  }
+}
+
+}  // namespace repl
+}  // namespace dynmis

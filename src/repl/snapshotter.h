@@ -1,0 +1,76 @@
+// Background base-snapshot writer: copy-on-collect checkpointing for the
+// serving event loop. The loop thread serializes the backend to an
+// in-memory buffer at a batch boundary (the only part that must happen on
+// the loop thread, and the only part whose cost the event loop pays), then
+// hands the bytes here; a dedicated thread does the slow part — write a
+// temp file, fsync, rename into the change-log directory, fsync the
+// directory — without stalling admission or queries.
+//
+// At most one snapshot is in flight: Submit() refuses while busy, and the
+// loop simply tries again at a later batch boundary. Counters are atomics
+// because the loop thread reads them for STATS while the worker writes.
+
+#ifndef DYNMIS_SRC_REPL_SNAPSHOTTER_H_
+#define DYNMIS_SRC_REPL_SNAPSHOTTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dynmis {
+namespace repl {
+
+class Snapshotter {
+ public:
+  explicit Snapshotter(std::string dir);
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  // Queues `bytes` to be published as base-<seq>.snap. Returns false (and
+  // drops nothing — the caller keeps ownership semantics trivial by just
+  // retrying later) when a snapshot is already in flight.
+  bool Submit(int64_t seq, std::string bytes);
+
+  // True while a snapshot is queued or being written.
+  bool busy() const { return busy_.load(std::memory_order_acquire); }
+
+  // Blocks until any in-flight snapshot has been published (drain path).
+  void WaitIdle();
+
+  int64_t snapshots_written() const {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
+  int64_t snapshots_failed() const {
+    return snapshots_failed_.load(std::memory_order_relaxed);
+  }
+  // Seq of the newest successfully published base snapshot; -1 when none.
+  int64_t last_base_seq() const {
+    return last_base_seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Worker();
+
+  const std::string dir_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool pending_ = false;
+  int64_t pending_seq_ = 0;
+  std::string pending_bytes_;
+  std::atomic<bool> busy_{false};
+  std::atomic<int64_t> snapshots_written_{0};
+  std::atomic<int64_t> snapshots_failed_{0};
+  std::atomic<int64_t> last_base_seq_{-1};
+  std::thread thread_;
+};
+
+}  // namespace repl
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_REPL_SNAPSHOTTER_H_

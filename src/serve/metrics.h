@@ -65,6 +65,16 @@ struct ServeMetrics {
 
   std::array<int64_t, kNumVerbs> commands{};
 
+  // Replication: change-log appends, live subscriber pushes, follower-side
+  // applied batches, promotions and completed reshard swaps. Snapshot
+  // counters live on the Snapshotter (its worker thread owns them).
+  int64_t repl_ops_logged = 0;
+  int64_t repl_batches_logged = 0;
+  int64_t repl_batches_streamed = 0;  // RBATCH frames pushed/pumped out.
+  int64_t repl_batches_applied = 0;   // Follower: upstream batches applied.
+  int64_t repl_promotions = 0;
+  int64_t repl_resharded = 0;
+
   // Enqueue -> batch-applied time per update op; whole-command time for
   // queries (QUERY/SOLUTION/STATS/VERIFY).
   LatencyRecorder update_latency;

@@ -85,6 +85,12 @@ const char* VerbName(Verb verb) {
       return "BATCH";
     case Verb::kEnd:
       return "END";
+    case Verb::kRepl:
+      return "REPL";
+    case Verb::kPromote:
+      return "PROMOTE";
+    case Verb::kReshard:
+      return "RESHARD";
     case Verb::kQuit:
       return "QUIT";
   }
@@ -143,7 +149,7 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
     return ParseVertex(tokens[1], &cmd->vertex, error, "vertex");
   }
   if (verb == "SOLUTION" || verb == "STATS" || verb == "VERIFY" ||
-      verb == "END" || verb == "QUIT") {
+      verb == "END" || verb == "PROMOTE" || verb == "QUIT") {
     if (!WantArgs(tokens, 0, error)) return false;
     if (verb == "SOLUTION") {
       cmd->verb = Verb::kSolution;
@@ -153,9 +159,44 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
       cmd->verb = Verb::kVerify;
     } else if (verb == "END") {
       cmd->verb = Verb::kEnd;
+    } else if (verb == "PROMOTE") {
+      cmd->verb = Verb::kPromote;
     } else {
       cmd->verb = Verb::kQuit;
     }
+    return true;
+  }
+  if (verb == "REPL") {
+    if (tokens.size() >= 2 && tokens[1] == "STATUS") {
+      if (!WantArgs(tokens, 1, error)) return false;
+      cmd->verb = Verb::kRepl;
+      cmd->path = "STATUS";
+      return true;
+    }
+    if (tokens.size() >= 2 && tokens[1] == "SUBSCRIBE") {
+      if (!WantArgs(tokens, 2, error)) return false;
+      int64_t seq = 0;
+      if (!ParseInt(tokens[2], &seq) || seq < 0) {
+        *error = "REPL SUBSCRIBE: expected a non-negative sequence number";
+        return false;
+      }
+      cmd->verb = Verb::kRepl;
+      cmd->path = "SUBSCRIBE";
+      cmd->seq = seq;
+      return true;
+    }
+    *error = "REPL: expected SUBSCRIBE <seq> or STATUS";
+    return false;
+  }
+  if (verb == "RESHARD") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    int64_t shards = 0;
+    if (!ParseInt(tokens[1], &shards) || shards < 1 || shards > 1024) {
+      *error = "RESHARD: expected a shard count in [1, 1024]";
+      return false;
+    }
+    cmd->verb = Verb::kReshard;
+    cmd->count = static_cast<int>(shards);
     return true;
   }
   if (verb == "SNAPSHOT" || verb == "TRACE") {

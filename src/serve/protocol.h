@@ -39,7 +39,10 @@ enum class Verb {
   kVerify,    // VERIFY
   kBatch,     // BATCH <n>
   kEnd,       // END
-  kQuit,      // QUIT
+  kRepl,      // REPL SUBSCRIBE <seq> | REPL STATUS
+  kPromote,   // PROMOTE
+  kReshard,   // RESHARD <shards>
+  kQuit,      // QUIT (keep last: kNumVerbs is defined off it)
 };
 
 // True for the four verbs that mutate the graph (and are therefore legal
@@ -57,10 +60,14 @@ struct Command {
   VertexId vertex = kInvalidVertex;
   // kHello: the client's protocol version.
   int version = 0;
-  // kBatch: declared number of update lines to follow.
+  // kBatch: declared number of update lines to follow. kReshard: the
+  // target shard count.
   int count = 0;
-  // kSnapshot/kTrace: the target file path.
+  // kSnapshot/kTrace: the target file path. kRepl: the subcommand
+  // ("SUBSCRIBE" or "STATUS").
   std::string path;
+  // kRepl SUBSCRIBE: first change-log seq the subscriber wants.
+  int64_t seq = 0;
 };
 
 // Parses one complete line (already stripped of its newline). Returns false

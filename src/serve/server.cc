@@ -18,15 +18,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "dynmis/sharded_engine.h"
+#include "src/io/snapshot.h"
+#include "src/repl/change_log.h"
+#include "src/repl/snapshotter.h"
 #include "src/serve/metrics.h"
 #include "src/serve/protocol.h"
 #include "src/serve/trace.h"
@@ -59,6 +67,9 @@ class EngineBackend : public ServingBackend {
     return engine_->SaveSnapshot(out);
   }
   DynamicGraph ExportGraph() override { return engine_->graph(); }
+  const MaintainerConfig& Config() const override {
+    return engine_->config();
+  }
 
  private:
   std::unique_ptr<MisEngine> engine_;
@@ -90,6 +101,9 @@ class ShardedBackend : public ServingBackend {
     return engine_->SaveSnapshot(out);
   }
   DynamicGraph ExportGraph() override { return engine_->BuildGlobalGraph(); }
+  const MaintainerConfig& Config() const override {
+    return engine_->config();
+  }
 
  private:
   std::unique_ptr<ShardedMisEngine> engine_;
@@ -201,6 +215,41 @@ std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
   return std::make_unique<EngineBackend>(std::move(engine));
 }
 
+std::unique_ptr<ServingBackend> RestoreServingBackend(std::istream& in,
+                                                      std::string* error) {
+  error->clear();
+  // Buffer the container once: the flavour probe and the engine loader each
+  // need to read it from the top.
+  std::ostringstream buffered;
+  buffered << in.rdbuf();
+  const std::string bytes = buffered.str();
+  SnapshotReader probe;
+  {
+    std::istringstream stream(bytes);
+    const SnapshotStatus status = probe.ReadFrom(stream);
+    if (!status.ok) {
+      *error = "restore failed: " + status.message;
+      return nullptr;
+    }
+  }
+  SnapshotStatus status;
+  std::istringstream stream(bytes);
+  if (probe.HasSection("sharded")) {
+    auto engine = ShardedMisEngine::LoadSnapshot(stream, &status);
+    if (engine == nullptr) {
+      *error = "restore failed: " + status.message;
+      return nullptr;
+    }
+    return std::make_unique<ShardedBackend>(std::move(engine));
+  }
+  auto engine = MisEngine::LoadSnapshot(stream, &status);
+  if (engine == nullptr) {
+    *error = "restore failed: " + status.message;
+    return nullptr;
+  }
+  return std::make_unique<EngineBackend>(std::move(engine));
+}
+
 // --- Server implementation ---------------------------------------------------
 
 struct Server::Impl {
@@ -256,6 +305,13 @@ struct Server::Impl {
     bool in_frame() const { return frame_updates_left > 0 || awaiting_end; }
     bool close_after_write = false;
 
+    // REPL SUBSCRIBE state. A live subscriber gets RBATCH frames pushed as
+    // batches apply; a catching-up one is pumped from its change-log cursor
+    // until it reaches the head, then goes live.
+    bool subscriber = false;
+    bool sub_live = false;
+    std::unique_ptr<repl::ChangeLogCursor> sub_cursor;
+
     explicit Connection(size_t max_line) : in(max_line) {}
   };
 
@@ -292,6 +348,57 @@ struct Server::Impl {
   ServeTrace trace;
 
   std::atomic<bool> stopping{false};
+
+  // ---- Replication state ----------------------------------------------------
+
+  // Follower until promoted: update verbs answered with `ERR readonly`.
+  bool read_only = false;
+  // Batches applied so far == the next change-log sequence number. The
+  // whole replication design hangs off this one counter: a batch's seq is
+  // its position in the applied-batch stream, identical on every replica.
+  int64_t next_seq = 0;
+  std::unique_ptr<repl::ChangeLogWriter> log_writer;
+  std::unique_ptr<repl::Snapshotter> snapshotter;
+  int64_t last_snapshot_trigger_seq = 0;
+  std::atomic<bool> promote_requested{false};
+
+  // Follower upstream (TCP --follow): a non-blocking socket in the same
+  // poll loop. The handshake lines are sent eagerly at Start(); responses
+  // are consumed by a tiny state machine.
+  enum class UpstreamState { kGreeting, kSubscribeAck, kStreaming, kDown };
+  int upstream_fd = -1;
+  UpstreamState upstream_state = UpstreamState::kDown;
+  std::unique_ptr<LineBuffer> upstream_in;
+  int64_t upstream_head = -1;  // Primary's next_seq as last announced.
+  // RBATCH frame assembly.
+  int64_t rbatch_seq = -1;
+  int rbatch_left = 0;
+  std::vector<GraphUpdate> rbatch_updates;
+
+  // Follower --follow-dir: tail the primary's change-log directory.
+  std::unique_ptr<repl::ChangeLogCursor> tail_cursor;
+
+  // ---- Online resharding ----------------------------------------------------
+
+  // One reshard at a time: a worker thread rebuilds the backend at the
+  // target shard count from an admission-time snapshot, replays every batch
+  // the loop applied since (fed through `queue`), and the loop swaps
+  // backends at a barrier once the worker has caught up.
+  struct ReshardTask {
+    int target_shards = 0;
+    int64_t base_seq = 0;
+    std::string base_bytes;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<repl::LogBatch> queue;
+    bool finalize = false;
+    std::atomic<bool> caught_up{false};  // Worker reached an empty queue.
+    std::atomic<bool> failed{false};
+    std::unique_ptr<ServingBackend> result;
+    std::string error;
+  };
+  std::unique_ptr<ReshardTask> reshard;
 
   // ---- Admission ------------------------------------------------------------
 
@@ -411,14 +518,134 @@ struct Server::Impl {
                          /*frame_slot=*/false);
       }
     }
-    if (options.record_trace) {
-      trace.updates.insert(trace.updates.end(), pending_updates.begin(),
-                           pending_updates.end());
-      trace.batch_sizes.push_back(
-          static_cast<int64_t>(pending_updates.size()));
-    }
+    RecordAppliedBatch(pending_updates);
     pending_updates.clear();
     pending_meta.clear();
+  }
+
+  // Post-apply bookkeeping shared by the admission path (Flush) and the
+  // follower path (ApplyReplBatch): assigns the batch its sequence number
+  // and fans it out to every consumer that tracks the applied stream —
+  // the TRACE buffer, the change log, live subscribers, an in-flight
+  // reshard, and the background snapshot trigger.
+  void RecordAppliedBatch(const std::vector<GraphUpdate>& updates) {
+    const int64_t seq = next_seq++;
+    if (options.record_trace) {
+      trace.updates.insert(trace.updates.end(), updates.begin(),
+                           updates.end());
+      trace.batch_sizes.push_back(static_cast<int64_t>(updates.size()));
+    }
+    if (log_writer != nullptr) {
+      repl::LogBatch batch;
+      batch.seq = seq;
+      batch.updates = updates;
+      std::string error;
+      if (log_writer->Append(batch, &error)) {
+        ++metrics.repl_batches_logged;
+        metrics.repl_ops_logged += static_cast<int64_t>(updates.size());
+      } else {
+        // A dead change log must not take serving down with it: log once
+        // and stop appending (followers fall back to full resync).
+        std::fprintf(stderr, "dynmis serve: change log failed: %s\n",
+                     error.c_str());
+        log_writer.reset();
+      }
+    }
+    PushToSubscribers(seq, updates);
+    if (reshard != nullptr) {
+      repl::LogBatch batch;
+      batch.seq = seq;
+      batch.updates = updates;
+      {
+        std::lock_guard<std::mutex> lock(reshard->mutex);
+        reshard->queue.push_back(std::move(batch));
+      }
+      reshard->cv.notify_all();
+    }
+    MaybeTriggerSnapshot();
+  }
+
+  // Copy-on-collect base snapshots: serialize on the loop thread (the only
+  // thread that may touch the backend), hand the bytes to the background
+  // writer. Runs at batch boundaries only, so the snapshot sits exactly at
+  // a change-log record edge.
+  void MaybeTriggerSnapshot() {
+    if (snapshotter == nullptr || options.snapshot_every_batches <= 0) return;
+    if (next_seq - last_snapshot_trigger_seq < options.snapshot_every_batches)
+      return;
+    if (snapshotter->busy()) return;  // Try again at a later boundary.
+    std::ostringstream out;
+    const SnapshotStatus status = backend->SaveSnapshot(out);
+    if (!status.ok) {
+      std::fprintf(stderr, "dynmis serve: snapshot serialize failed: %s\n",
+                   status.message.c_str());
+      return;
+    }
+    if (snapshotter->Submit(next_seq, std::move(out).str())) {
+      last_snapshot_trigger_seq = next_seq;
+    }
+  }
+
+  // Appends one RBATCH frame to every live subscriber's output. A live
+  // subscriber that stopped reading is demoted to disk catch-up (when a
+  // change log exists) instead of unboundedly buffering in memory.
+  void PushToSubscribers(int64_t seq, const std::vector<GraphUpdate>& updates) {
+    for (auto& [session, conn] : connections) {
+      if (!conn.subscriber || !conn.sub_live) continue;
+      if (conn.pending_out() > options.max_output_bytes) {
+        if (log_writer != nullptr) {
+          auto cursor = std::make_unique<repl::ChangeLogCursor>();
+          std::string error;
+          if (cursor->Open(options.change_log_dir, seq, &error)) {
+            conn.sub_live = false;
+            conn.sub_cursor = std::move(cursor);
+            continue;
+          }
+        }
+        conn.overloaded = true;
+        continue;
+      }
+      AppendRBatch(&conn, seq, updates);
+    }
+  }
+
+  void AppendRBatch(Connection* conn, int64_t seq,
+                    const std::vector<GraphUpdate>& updates) {
+    std::string frame = "RBATCH " + std::to_string(seq) + " " +
+                        std::to_string(updates.size()) + "\n";
+    for (const GraphUpdate& update : updates) {
+      frame += FormatCommandLine(update);
+      frame += '\n';
+    }
+    conn->out += frame;
+    ++metrics.repl_batches_streamed;
+  }
+
+  // Advances catching-up subscribers from their change-log cursors; a
+  // subscriber that reaches the head switches to live pushes.
+  void PumpSubscribers() {
+    for (auto& [session, conn] : connections) {
+      if (!conn.subscriber || conn.sub_live) continue;
+      while (conn.pending_out() < options.max_output_bytes) {
+        if (conn.sub_cursor->next_seq() >= next_seq) {
+          conn.sub_live = true;
+          conn.sub_cursor.reset();
+          break;
+        }
+        repl::LogBatch batch;
+        bool available = false;
+        std::string error;
+        if (!conn.sub_cursor->Next(&batch, &available, &error)) {
+          Respond(&conn, "ERR subscribe: " + error);
+          conn.close_after_write = true;
+          conn.subscriber = false;
+          conn.sub_cursor.reset();
+          break;
+        }
+        if (!available) break;  // Writer not caught up on disk yet.
+        AppendRBatch(&conn, batch.seq, batch.updates);
+      }
+    }
   }
 
   void FillNextDeferred(Connection* conn, std::string text, bool frame_slot) {
@@ -528,9 +755,18 @@ struct Server::Impl {
       case Verb::kDel:
       case Verb::kInsV:
       case Verb::kDelV:
+        if (read_only) {
+          ++metrics.ops_rejected;
+          Respond(conn, "ERR readonly");
+          return;
+        }
         AdmitSingle(conn, &cmd);
         return;
       case Verb::kBatch:
+        if (read_only) {
+          Respond(conn, "ERR readonly");
+          return;
+        }
         conn->frame_updates_left = cmd.count;
         conn->frames.emplace_back();
         return;  // Acked as a unit at END.
@@ -544,6 +780,17 @@ struct Server::Impl {
       case Verb::kSnapshot:
       case Verb::kTrace:
         HandleQuery(conn, cmd);
+        return;
+      case Verb::kRepl:
+        HandleRepl(conn, cmd);
+        return;
+      case Verb::kPromote:
+        Flush(FlushReason::kBarrier);
+        DoPromote();
+        Respond(conn, "OK PROMOTED " + std::to_string(next_seq));
+        return;
+      case Verb::kReshard:
+        HandleReshard(conn, cmd);
         return;
       case Verb::kQuit:
         Flush(FlushReason::kBarrier);  // Deferred acks precede the goodbye.
@@ -709,6 +956,439 @@ struct Server::Impl {
            " size=" + std::to_string(solution.size());
   }
 
+  // ---- Replication commands -------------------------------------------------
+
+  void HandleRepl(Connection* conn, const Command& cmd) {
+    Flush(FlushReason::kBarrier);  // next_seq must reflect admitted writes.
+    if (cmd.path == "STATUS") {
+      Respond(conn, "OK REPL " + std::to_string(next_seq));
+      return;
+    }
+    // SUBSCRIBE <seq>.
+    if (conn->subscriber) {
+      Respond(conn, "ERR already subscribed");
+      return;
+    }
+    if (cmd.seq > next_seq) {
+      Respond(conn, "ERR subscribe: seq " + std::to_string(cmd.seq) +
+                        " is ahead of head " + std::to_string(next_seq));
+      return;
+    }
+    if (cmd.seq == next_seq) {
+      conn->subscriber = true;
+      conn->sub_live = true;
+      Respond(conn, "OK REPL " + std::to_string(next_seq));
+      return;
+    }
+    // Historical start: catch up from the change log, then go live.
+    if (options.change_log_dir.empty()) {
+      Respond(conn, "ERR subscribe: no change log on this server "
+                    "(history before seq " +
+                        std::to_string(next_seq) + " is gone)");
+      return;
+    }
+    auto cursor = std::make_unique<repl::ChangeLogCursor>();
+    std::string error;
+    if (!cursor->Open(options.change_log_dir, cmd.seq, &error)) {
+      Respond(conn, "ERR subscribe: " + error);
+      return;
+    }
+    conn->subscriber = true;
+    conn->sub_live = false;
+    conn->sub_cursor = std::move(cursor);
+    Respond(conn, "OK REPL " + std::to_string(cmd.seq));
+  }
+
+  // Follower -> primary transition. Idempotent; callable from the PROMOTE
+  // verb or SIGUSR1. The upstream link (if any) is dropped, and when a log
+  // directory is configured the new primary continues the change log with a
+  // fresh segment starting at next_seq. Only promote after the old primary
+  // is dead: two writers appending different histories to one sequence
+  // space is a split brain no log format can repair.
+  void DoPromote() {
+    if (!read_only) return;
+    read_only = false;
+    ++metrics.repl_promotions;
+    CloseUpstream();
+    tail_cursor.reset();
+    const std::string& dir = !options.change_log_dir.empty()
+                                 ? options.change_log_dir
+                                 : options.follow_dir;
+    if (!dir.empty() && log_writer == nullptr) {
+      auto writer = std::make_unique<repl::ChangeLogWriter>();
+      std::string error;
+      if (writer->Open(dir, options.log_segment_bytes, next_seq, &error)) {
+        log_writer = std::move(writer);
+        options.change_log_dir = dir;  // Subscribers catch up from here.
+      } else {
+        std::fprintf(stderr,
+                     "dynmis serve: promote: cannot open change log: %s\n",
+                     error.c_str());
+      }
+    }
+    if (!dir.empty() && snapshotter == nullptr &&
+        options.snapshot_every_batches > 0) {
+      snapshotter = std::make_unique<repl::Snapshotter>(dir);
+      last_snapshot_trigger_seq = next_seq;
+    }
+    std::fprintf(stderr, "dynmis serve: promoted to primary at seq %lld\n",
+                 static_cast<long long>(next_seq));
+  }
+
+  // ---- Follower upstream (TCP) ----------------------------------------------
+
+  bool ConnectUpstream(std::string* error) {
+    const size_t colon = options.follow_addr.rfind(':');
+    if (colon == std::string::npos) {
+      *error = "--follow expects host:port";
+      return false;
+    }
+    const std::string host = options.follow_addr.substr(0, colon);
+    const int port = std::atoi(options.follow_addr.c_str() + colon + 1);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      *error = "--follow host must be an IPv4 address: " + host;
+      return false;
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = "connect " + options.follow_addr + ": " + std::strerror(errno);
+      close(fd);
+      return false;
+    }
+    // Handshake + subscription sent eagerly while the socket is still
+    // blocking; everything after is async in the poll loop.
+    const std::string hello = "HELLO " + std::to_string(kProtocolVersion) +
+                              "\nREPL SUBSCRIBE " + std::to_string(next_seq) +
+                              "\n";
+    size_t sent = 0;
+    while (sent < hello.size()) {
+      const ssize_t n =
+          send(fd, hello.data() + sent, hello.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        *error = "send to " + options.follow_addr + ": " +
+                 std::strerror(errno);
+        close(fd);
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    upstream_fd = fd;
+    upstream_state = UpstreamState::kGreeting;
+    upstream_in = std::make_unique<LineBuffer>(options.max_line_bytes);
+    return true;
+  }
+
+  void CloseUpstream() {
+    if (upstream_fd >= 0) {
+      close(upstream_fd);
+      upstream_fd = -1;
+    }
+    upstream_state = UpstreamState::kDown;
+    upstream_in.reset();
+    rbatch_seq = -1;
+    rbatch_left = 0;
+    rbatch_updates.clear();
+  }
+
+  // A lost upstream is survivable: the follower keeps serving reads at its
+  // current sequence and waits for an operator PROMOTE (or SIGUSR1).
+  void UpstreamFailed(const std::string& why) {
+    std::fprintf(stderr,
+                 "dynmis serve: upstream lost (%s); read-only at seq %lld, "
+                 "PROMOTE to accept writes\n",
+                 why.c_str(), static_cast<long long>(next_seq));
+    CloseUpstream();
+  }
+
+  void ReadUpstream() {
+    char buf[4096];
+    for (int chunks = 0; chunks < 64 && upstream_fd >= 0; ++chunks) {
+      const ssize_t n = recv(upstream_fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        upstream_in->Append(buf, static_cast<size_t>(n));
+        while (upstream_fd >= 0) {
+          auto line = upstream_in->NextLine();
+          if (!line) break;
+          std::string error;
+          if (!HandleUpstreamLine(*line, &error)) {
+            UpstreamFailed(error);
+            return;
+          }
+        }
+        if (upstream_fd >= 0 && upstream_in->overflowed()) {
+          UpstreamFailed("line too long");
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        UpstreamFailed("connection closed");
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      UpstreamFailed(std::strerror(errno));
+      return;
+    }
+  }
+
+  bool HandleUpstreamLine(const std::string& line, std::string* error) {
+    switch (upstream_state) {
+      case UpstreamState::kGreeting:
+        if (line.rfind("OK DYNMIS ", 0) != 0) {
+          *error = "bad greeting: " + line;
+          return false;
+        }
+        upstream_state = UpstreamState::kSubscribeAck;
+        return true;
+      case UpstreamState::kSubscribeAck: {
+        long long seq = -1;
+        if (std::sscanf(line.c_str(), "OK REPL %lld", &seq) != 1 ||
+            seq != next_seq) {
+          *error = "subscribe refused: " + line;
+          return false;
+        }
+        upstream_head = seq;
+        upstream_state = UpstreamState::kStreaming;
+        return true;
+      }
+      case UpstreamState::kStreaming: {
+        if (rbatch_left > 0) {
+          Command cmd;
+          if (!ParseCommand(line, &cmd, error) || !IsUpdateVerb(cmd.verb)) {
+            if (error->empty()) *error = "non-update line in RBATCH";
+            return false;
+          }
+          rbatch_updates.push_back(std::move(cmd.update));
+          if (--rbatch_left == 0) {
+            ApplyReplBatch(rbatch_updates);
+            rbatch_updates.clear();
+            rbatch_seq = -1;
+          }
+          return true;
+        }
+        long long seq = -1;
+        long long count = -1;
+        if (std::sscanf(line.c_str(), "RBATCH %lld %lld", &seq, &count) != 2 ||
+            count < 0) {
+          *error = "expected RBATCH frame, got: " + line;
+          return false;
+        }
+        if (seq != next_seq) {
+          *error = "sequence gap: RBATCH " + std::to_string(seq) +
+                   " at local seq " + std::to_string(next_seq);
+          return false;
+        }
+        upstream_head = seq + 1;
+        rbatch_seq = seq;
+        rbatch_left = static_cast<int>(count);
+        rbatch_updates.clear();
+        if (rbatch_left == 0) ApplyReplBatch(rbatch_updates);
+        return true;
+      }
+      case UpstreamState::kDown:
+        break;
+    }
+    *error = "unexpected line";
+    return false;
+  }
+
+  // Applies one replicated batch exactly as the primary did — one
+  // ApplyBatch call per RBATCH, so the batch partition (and therefore the
+  // final solution) is identical — and mirrors it into the admission
+  // replica, checking that vertex-insert ids come out byte-for-byte equal.
+  void ApplyReplBatch(const std::vector<GraphUpdate>& updates) {
+    const UpdateResult result = backend->ApplyBatch(updates);
+    DYNMIS_CHECK(result.applied == static_cast<int64_t>(updates.size()));
+    size_t insv = 0;
+    for (const GraphUpdate& update : updates) {
+      const VertexId id = ApplyUpdate(&replica, update);
+      if (update.kind == UpdateKind::kInsertVertex) {
+        DYNMIS_CHECK(insv < result.new_vertices.size());
+        DYNMIS_CHECK(result.new_vertices[insv] == id);
+        ++insv;
+      }
+    }
+    metrics.ops_applied += static_cast<int64_t>(updates.size());
+    ++metrics.repl_batches_applied;
+    RecordAppliedBatch(updates);
+  }
+
+  // Follower --follow-dir: drain whatever complete records the primary has
+  // made visible. Bounded per pass so a huge backlog cannot starve reads.
+  void PumpDirTail() {
+    if (tail_cursor == nullptr) return;
+    for (int i = 0; i < 256; ++i) {
+      repl::LogBatch batch;
+      bool available = false;
+      std::string error;
+      if (!tail_cursor->Next(&batch, &available, &error)) {
+        std::fprintf(stderr,
+                     "dynmis serve: change-log tail failed (%s); read-only "
+                     "at seq %lld, PROMOTE to accept writes\n",
+                     error.c_str(), static_cast<long long>(next_seq));
+        tail_cursor.reset();
+        return;
+      }
+      if (!available) return;
+      DYNMIS_CHECK(batch.seq == next_seq);
+      ApplyReplBatch(batch.updates);
+    }
+  }
+
+  // ---- Online resharding ----------------------------------------------------
+
+  void HandleReshard(Connection* conn, const Command& cmd) {
+    if (read_only) {
+      Respond(conn, "ERR readonly");
+      return;
+    }
+    if (reshard != nullptr) {
+      Respond(conn, "ERR reshard already in progress");
+      return;
+    }
+    Flush(FlushReason::kBarrier);
+    auto task = std::make_unique<ReshardTask>();
+    task->target_shards = static_cast<int>(cmd.count);
+    task->base_seq = next_seq;
+    std::ostringstream out;
+    const SnapshotStatus status = backend->SaveSnapshot(out);
+    if (!status.ok) {
+      Respond(conn, "ERR reshard: " + status.message);
+      return;
+    }
+    task->base_bytes = std::move(out).str();
+    reshard = std::move(task);
+    reshard->thread = std::thread([this] { ReshardWorker(); });
+    Respond(conn,
+            "OK RESHARD started " + std::to_string(reshard->target_shards));
+  }
+
+  // Worker thread: rebuild the backend at the target shard count from the
+  // admission-time snapshot, then replay every batch the loop has applied
+  // since. Touches only the ReshardTask (never loop state); the loop joins
+  // it before reading `result`.
+  void ReshardWorker() {
+    ReshardTask& task = *reshard;
+    const auto fail = [&task](std::string why) {
+      task.error = std::move(why);
+      task.failed.store(true, std::memory_order_release);
+    };
+    std::unique_ptr<ServingBackend> rebuilt;
+    {
+      std::istringstream in(task.base_bytes);
+      std::string error;
+      std::unique_ptr<ServingBackend> restored =
+          RestoreServingBackend(in, &error);
+      task.base_bytes.clear();
+      task.base_bytes.shrink_to_fit();
+      if (restored == nullptr) {
+        fail("restore: " + error);
+        return;
+      }
+      ShardedEngineOptions shard_options;
+      shard_options.num_shards = task.target_shards;
+      auto engine = ShardedMisEngine::CreateFromGraph(
+          restored->ExportGraph(), restored->Config(), shard_options);
+      if (engine == nullptr) {
+        fail("cannot build " + std::to_string(task.target_shards) +
+             "-shard engine");
+        return;
+      }
+      engine->Initialize();
+      rebuilt = std::make_unique<ShardedBackend>(std::move(engine));
+    }
+    while (true) {
+      repl::LogBatch batch;
+      {
+        std::unique_lock<std::mutex> lock(task.mutex);
+        if (task.queue.empty()) {
+          task.caught_up.store(true, std::memory_order_release);
+          task.cv.wait(lock, [&task] {
+            return !task.queue.empty() || task.finalize;
+          });
+          if (task.queue.empty() && task.finalize) break;
+        }
+        batch = std::move(task.queue.front());
+        task.queue.pop_front();
+      }
+      const UpdateResult result = rebuilt->ApplyBatch(batch.updates);
+      if (result.applied != static_cast<int64_t>(batch.updates.size())) {
+        fail("replay diverged at seq " + std::to_string(batch.seq));
+        return;
+      }
+    }
+    task.result = std::move(rebuilt);
+  }
+
+  // Loop side of the cutover: once the worker has drained its queue at
+  // least once, one barrier flush bounds what remains, the worker finishes
+  // it, and the backend pointer swaps — clients never observe a gap beyond
+  // that single flush.
+  void CheckReshardCutover() {
+    if (reshard == nullptr) return;
+    if (!reshard->failed.load(std::memory_order_acquire) &&
+        !reshard->caught_up.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (!reshard->failed.load(std::memory_order_acquire)) {
+      Flush(FlushReason::kBarrier);
+    }
+    {
+      std::lock_guard<std::mutex> lock(reshard->mutex);
+      reshard->finalize = true;
+    }
+    reshard->cv.notify_all();
+    reshard->thread.join();
+    if (reshard->failed.load(std::memory_order_acquire) ||
+        reshard->result == nullptr) {
+      std::fprintf(stderr, "dynmis serve: reshard to %d shards failed: %s\n",
+                   reshard->target_shards, reshard->error.c_str());
+    } else {
+      backend = std::move(reshard->result);
+      ++metrics.repl_resharded;
+      std::fprintf(stderr, "dynmis serve: resharded to %d shards at seq %lld\n",
+                   reshard->target_shards, static_cast<long long>(next_seq));
+    }
+    reshard.reset();
+  }
+
+  // ---- Replication startup --------------------------------------------------
+
+  bool StartReplication(std::string* error) {
+    if (!options.change_log_dir.empty()) {
+      auto writer = std::make_unique<repl::ChangeLogWriter>();
+      if (!writer->Open(options.change_log_dir, options.log_segment_bytes,
+                        next_seq, error)) {
+        return false;
+      }
+      log_writer = std::move(writer);
+      if (options.snapshot_every_batches > 0) {
+        snapshotter = std::make_unique<repl::Snapshotter>(
+            options.change_log_dir);
+        last_snapshot_trigger_seq = next_seq;
+      }
+    }
+    if (!options.follow_addr.empty()) return ConnectUpstream(error);
+    if (!options.follow_dir.empty()) {
+      auto cursor = std::make_unique<repl::ChangeLogCursor>();
+      if (!cursor->Open(options.follow_dir, next_seq, error)) return false;
+      tail_cursor = std::move(cursor);
+    }
+    return true;
+  }
+
   static constexpr const char* kFileCommandsRefused =
       "ERR file commands are disabled on non-loopback listeners "
       "(--allow-file-commands)";
@@ -777,8 +1457,79 @@ struct Server::Impl {
     }
     out.push_back('}');
     out.push_back('}');
+    JsonKey(&out, "replication");
+    out.push_back('{');
+    JsonStr(&out, "role", read_only ? "follower" : "primary");
+    JsonInt(&out, "next_seq", next_seq);
+    JsonInt(&out, "batches_logged", metrics.repl_batches_logged);
+    JsonInt(&out, "ops_logged", metrics.repl_ops_logged);
+    JsonInt(&out, "segments",
+            log_writer != nullptr ? log_writer->segments_created() : 0);
+    JsonInt(&out, "batches_streamed", metrics.repl_batches_streamed);
+    JsonInt(&out, "batches_applied", metrics.repl_batches_applied);
+    JsonInt(&out, "snapshots_written",
+            snapshotter != nullptr ? snapshotter->snapshots_written() : 0);
+    JsonInt(&out, "snapshots_failed",
+            snapshotter != nullptr ? snapshotter->snapshots_failed() : 0);
+    JsonInt(&out, "last_base_seq",
+            snapshotter != nullptr ? snapshotter->last_base_seq() : -1);
+    JsonInt(&out, "subscribers", CountSubscribers());
+    // Lag: how far the slowest consumer trails this server's head. On a
+    // primary that is the slowest catching-up subscriber; on a follower,
+    // the last head the upstream announced minus what has applied locally.
+    int64_t lag_batches = 0;
+    int64_t lag_segments = 0;
+    for (const auto& [session, conn] : connections) {
+      if (!conn.subscriber || conn.sub_live || conn.sub_cursor == nullptr) {
+        continue;
+      }
+      lag_batches =
+          std::max(lag_batches, next_seq - conn.sub_cursor->next_seq());
+      if (log_writer != nullptr) {
+        int64_t behind = 0;
+        for (const int64_t start : log_writer->segment_starts()) {
+          if (start > conn.sub_cursor->segment_first_seq()) ++behind;
+        }
+        lag_segments = std::max(lag_segments, behind);
+      }
+    }
+    if (read_only && upstream_head >= 0) {
+      lag_batches = std::max(lag_batches, upstream_head - next_seq);
+    }
+    // Ops are estimated from mean applied-batch occupancy: the log records
+    // batches, so exact trailing op counts would mean re-reading it.
+    const int64_t batches_seen =
+        metrics.batches_flushed + metrics.repl_batches_applied;
+    const double mean_ops =
+        batches_seen > 0
+            ? static_cast<double>(metrics.ops_applied) /
+                  static_cast<double>(batches_seen)
+            : 0;
+    JsonInt(&out, "lag_batches", lag_batches);
+    JsonDouble(&out, "lag_ops_estimate",
+               static_cast<double>(lag_batches) * mean_ops);
+    JsonInt(&out, "lag_segments", lag_segments);
+    JsonInt(&out, "promotions", metrics.repl_promotions);
+    JsonInt(&out, "resharded", metrics.repl_resharded);
+    JsonInt(&out, "reshard_in_progress", reshard != nullptr ? 1 : 0);
+    out.push_back('}');
     out.push_back('}');
     return out;
+  }
+
+  int64_t CountSubscribers() const {
+    int64_t n = 0;
+    for (const auto& [session, conn] : connections) {
+      if (conn.subscriber) ++n;
+    }
+    return n;
+  }
+
+  bool HasCatchingUpSubscriber() const {
+    for (const auto& [session, conn] : connections) {
+      if (conn.subscriber && !conn.sub_live) return true;
+    }
+    return false;
   }
 
   std::string StatsJson() { return BuildStatsJson(); }
@@ -949,6 +1700,11 @@ struct Server::Impl {
         fds.push_back({conn.fd, events, 0});
         fd_sessions.push_back(session);
       }
+      int upstream_idx = -1;
+      if (upstream_fd >= 0) {
+        upstream_idx = static_cast<int>(fds.size());
+        fds.push_back({upstream_fd, POLLIN, 0});
+      }
 
       // Block until traffic — or the pending batch's flush deadline.
       int timeout_ms = -1;
@@ -967,15 +1723,32 @@ struct Server::Impl {
         // ticking so the backoff expires and accepting resumes.
         timeout_ms = timeout_ms < 0 ? 50 : std::min(timeout_ms, 50);
       }
+      if (tail_cursor != nullptr || reshard != nullptr ||
+          HasCatchingUpSubscriber()) {
+        // Progress on these comes from disk or a worker thread, not socket
+        // readiness; keep ticking to notice it.
+        timeout_ms = timeout_ms < 0 ? 50 : std::min(timeout_ms, 50);
+      }
       const int ready = poll(fds.data(), fds.size(), timeout_ms);
       if (ready < 0 && errno != EINTR) return 1;
 
+      if (promote_requested.exchange(false)) {
+        Flush(FlushReason::kBarrier);
+        DoPromote();
+      }
       if (!pending_meta.empty() &&
           clock.ElapsedSeconds() - pending_meta.front().enqueue_time >=
               options.flush_deadline_us * 1e-6) {
         Flush(FlushReason::kDeadline);
       }
       SweepWindingDown();
+      if (upstream_idx >= 0 && upstream_fd >= 0 &&
+          (fds[upstream_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ReadUpstream();
+      }
+      PumpDirTail();
+      PumpSubscribers();
+      CheckReshardCutover();
       if (ready <= 0) continue;
 
       if (fds[0].revents & POLLIN) Accept();
@@ -984,7 +1757,7 @@ struct Server::Impl {
         while (read(wake_fds[0], drain, sizeof(drain)) > 0) {
         }
       }
-      for (size_t i = 2; i < fds.size(); ++i) {
+      for (size_t i = 2; i < 2 + fd_sessions.size(); ++i) {
         const int64_t session = fd_sessions[i - 2];
         auto it = connections.find(session);
         if (it == connections.end()) continue;
@@ -1060,6 +1833,28 @@ struct Server::Impl {
       sessions.push_back(session);
     }
     for (const int64_t session : sessions) CloseConnection(session);
+
+    // Replication teardown. The final barrier flush above already logged
+    // the in-flight batch; fsync so a SIGTERM-initiated exit leaves a log
+    // that survives the host going down too.
+    if (reshard != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(reshard->mutex);
+        reshard->finalize = true;
+      }
+      reshard->cv.notify_all();
+      reshard->thread.join();
+      reshard.reset();  // Mid-flight result is discarded; shutdown wins.
+    }
+    if (log_writer != nullptr) {
+      std::string error;
+      if (!log_writer->Sync(&error)) {
+        std::fprintf(stderr, "dynmis serve: change-log sync failed: %s\n",
+                     error.c_str());
+      }
+    }
+    if (snapshotter != nullptr) snapshotter->WaitIdle();
+    CloseUpstream();
   }
 
   ~Impl() {
@@ -1075,12 +1870,17 @@ Server::Server(std::unique_ptr<ServingBackend> backend, ServeOptions options)
   impl_->backend = std::move(backend);
   impl_->options = std::move(options);
   impl_->replica = impl_->backend->ExportGraph();
+  impl_->read_only = !impl_->options.follow_addr.empty() ||
+                     !impl_->options.follow_dir.empty();
+  impl_->next_seq = impl_->options.repl_start_seq;
+  impl_->last_snapshot_trigger_seq = impl_->next_seq;
 }
 
 Server::~Server() = default;
 
 bool Server::Start(std::string* error) {
-  return impl_->StartListening(error);
+  if (!impl_->StartListening(error)) return false;
+  return impl_->StartReplication(error);
 }
 
 int Server::port() const { return impl_->bound_port; }
@@ -1122,7 +1922,33 @@ ServingMetricsSnapshot Server::MetricsSnapshot() const {
   snap.update_p99_us = m.update_latency.PercentileUs(0.99);
   snap.query_p50_us = m.query_latency.PercentileUs(0.50);
   snap.query_p99_us = m.query_latency.PercentileUs(0.99);
+  snap.repl_role = impl_->read_only ? "follower" : "primary";
+  snap.repl_next_seq = impl_->next_seq;
+  snap.repl_ops_logged = m.repl_ops_logged;
+  snap.repl_segments = impl_->log_writer != nullptr
+                           ? impl_->log_writer->segments_created()
+                           : 0;
+  snap.repl_snapshots_written = impl_->snapshotter != nullptr
+                                    ? impl_->snapshotter->snapshots_written()
+                                    : 0;
+  snap.repl_snapshots_failed = impl_->snapshotter != nullptr
+                                   ? impl_->snapshotter->snapshots_failed()
+                                   : 0;
+  snap.repl_last_base_seq = impl_->snapshotter != nullptr
+                                ? impl_->snapshotter->last_base_seq()
+                                : -1;
+  snap.repl_subscribers = impl_->CountSubscribers();
+  snap.repl_promotions = m.repl_promotions;
+  snap.repl_resharded = m.repl_resharded;
   return snap;
+}
+
+void Server::RequestPromote() {
+  impl_->promote_requested.store(true);
+  if (impl_->wake_fds[1] >= 0) {
+    const char byte = 1;
+    (void)!write(impl_->wake_fds[1], &byte, 1);
+  }
 }
 
 ServingBackend& Server::backend() { return *impl_->backend; }
@@ -1131,6 +1957,9 @@ namespace {
 Server* g_signal_server = nullptr;
 void HandleStopSignal(int) {
   if (g_signal_server != nullptr) g_signal_server->Stop();
+}
+void HandlePromoteSignal(int) {
+  if (g_signal_server != nullptr) g_signal_server->RequestPromote();
 }
 }  // namespace
 
@@ -1141,6 +1970,8 @@ void Server::InstallSignalHandlers(Server* server) {
   sigemptyset(&action.sa_mask);
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+  action.sa_handler = HandlePromoteSignal;
+  sigaction(SIGUSR1, &action, nullptr);
 }
 
 }  // namespace serve

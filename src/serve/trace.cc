@@ -1,8 +1,12 @@
 #include "src/serve/trace.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "src/graph/update_trace_io.h"
 #include "src/util/check.h"
@@ -11,18 +15,27 @@ namespace dynmis {
 namespace serve {
 
 bool WriteServeTrace(const ServeTrace& trace, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "# dynmis serve trace, " << trace.updates.size() << " updates\n";
+  // FILE* rather than ofstream so the drain path can fsync: a trace written
+  // at SIGTERM must survive the host going down right after the process
+  // exits, or the "durably replayable" contract is theater.
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::string text = "# dynmis serve trace, " +
+                     std::to_string(trace.updates.size()) + " updates\n";
   size_t idx = 0;
   for (const int64_t size : trace.batch_sizes) {
-    out << "# batch " << size << "\n";
+    text += "# batch " + std::to_string(size) + "\n";
     for (int64_t i = 0; i < size; ++i) {
-      out << FormatUpdate(trace.updates[idx++]) << "\n";
+      text += FormatUpdate(trace.updates[idx++]);
+      text += '\n';
     }
   }
   DYNMIS_CHECK(idx == trace.updates.size());
-  return static_cast<bool>(out);
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  ok = std::fflush(out) == 0 && ok;
+  ok = fsync(fileno(out)) == 0 && ok;
+  ok = std::fclose(out) == 0 && ok;
+  return ok;
 }
 
 bool LoadServeTrace(const std::string& path, ServeTrace* out,

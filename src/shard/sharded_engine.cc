@@ -71,6 +71,47 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::Create(
   return engine;
 }
 
+std::unique_ptr<ShardedMisEngine> ShardedMisEngine::CreateFromGraph(
+    const DynamicGraph& global, MaintainerConfig config,
+    ShardedEngineOptions options) {
+  if (options.num_shards < 1 || options.num_shards > kMaxShards ||
+      options.block_ops < 1) {
+    return nullptr;
+  }
+  const int capacity = global.VertexCapacity();
+  const PartitionPlan plan =
+      PartitionPlan::Make(options.partition, options.num_shards, capacity);
+  std::unique_ptr<ShardedMisEngine> engine(
+      new ShardedMisEngine(std::move(config), options, plan, capacity));
+
+  // The resolver starts with 0..capacity-1 alive; replaying the source
+  // graph's removals in its recycle order makes the resolver's free list —
+  // the global id allocator — match element for element, so vertex inserts
+  // after the swap assign the ids the old backend would have.
+  for (const VertexId v : global.FreeVertexIds()) {
+    engine->resolver_.RemoveVertex(v);
+  }
+  for (VertexId v = 0; v < capacity; ++v) {
+    if (!global.IsVertexAlive(v)) continue;
+    DynamicGraph& g = engine->shards_[plan.ShardOf(v)]->graph();
+    g.QueueVertexId(v);
+    g.AddVertex();
+  }
+  for (const auto& [u, v] : global.EdgeList()) {
+    const int su = plan.ShardOf(u);
+    if (su == plan.ShardOf(v)) {
+      engine->shards_[su]->graph().AddEdge(u, v);
+    } else {
+      engine->resolver_.AddCutEdge(u, v);
+    }
+  }
+  for (auto& shard : engine->shards_) {
+    if (!shard->BuildMaintainer(engine->config_)) return nullptr;
+    shard->Start();
+  }
+  return engine;
+}
+
 void ShardedMisEngine::Initialize() {
   for (auto& shard : shards_) shard->PostInitialize();
   resolved_ = false;

@@ -61,6 +61,7 @@ def load(path):
         sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
     doc.pop("sharded", None)  # Informational blocks: never gated.
     doc.pop("serving", None)
+    doc.pop("replication", None)
     runs = [run for run in doc.get("runs") or [] if "shards" not in run]
     doc["runs"] = runs
     if not runs:

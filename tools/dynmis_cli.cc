@@ -46,6 +46,19 @@
 //       serve the engine over a newline-delimited TCP protocol. With no
 //       graph source the server starts on an empty graph (clients build it
 //       with INSV). SIGTERM/SIGINT drain in-flight batches and exit 0.
+//
+// Replication (README "Replication"):
+//
+//   primary:   --change-log DIR [--log-segment-bytes N] [--snapshot-every N]
+//       append every applied batch to a segmented change log under DIR and
+//       publish periodic background base snapshots. A primary restarted on a
+//       non-empty DIR recovers from the latest checkpoint (base + tail) and
+//       continues the sequence.
+//   follower:  --follow HOST:PORT [--bootstrap DIR]  |  --follow-dir DIR
+//       serve reads only (`ERR readonly` for writes), replaying the
+//       primary's batches — over TCP (REPL SUBSCRIBE) or by tailing its
+//       change-log directory. --bootstrap/--follow-dir restore the latest
+//       local checkpoint first. SIGUSR1 or the PROMOTE verb promotes.
 
 #include <algorithm>
 #include <cstdio>
@@ -58,6 +71,8 @@
 
 #include "dynmis/dynmis.h"
 #include "src/harness/experiment.h"
+#include "src/repl/bootstrap.h"
+#include "src/repl/change_log.h"
 #include "src/serve/workload.h"
 
 namespace dynmis {
@@ -518,6 +533,10 @@ int ServeUsage(const char* argv0) {
       "                [--algo NAME] [--backend engine|sharded] [--shards N]\n"
       "                [--batch-ops N] [--flush-us U] [--max-conns N]\n"
       "                [--record-trace] [--allow-file-commands]\n"
+      "                [--change-log DIR] [--log-segment-bytes N]\n"
+      "                [--snapshot-every N]\n"
+      "                [--follow HOST:PORT [--bootstrap DIR] |"
+      " --follow-dir DIR]\n"
       "scenarios: smoke easy hard powerlaw (bench-driver graphs by name)\n",
       argv0);
   return 2;
@@ -527,6 +546,7 @@ int RunServeCommand(int argc, char** argv) {
   serve::ServeOptions options;
   std::string graph_path;
   std::string scenario;
+  std::string bootstrap_dir;  // TCP follower: local checkpoint to restore.
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -571,13 +591,32 @@ int RunServeCommand(int argc, char** argv) {
       options.record_trace = true;
     } else if (arg == "--allow-file-commands") {
       options.allow_file_commands = true;
+    } else if (arg == "--change-log") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.change_log_dir = v;
+    } else if (arg == "--log-segment-bytes") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.log_segment_bytes = std::atoll(v);
+    } else if (arg == "--snapshot-every") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.snapshot_every_batches = std::atoll(v);
+    } else if (arg == "--follow") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.follow_addr = v;
+    } else if (arg == "--follow-dir") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.follow_dir = v;
+    } else if (arg == "--bootstrap") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      bootstrap_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return ServeUsage(argv[0]);
     }
   }
   if (options.batch_max_ops < 1 || options.shards < 1 ||
-      options.max_connections < 1 || options.flush_deadline_us < 0) {
+      options.max_connections < 1 || options.flush_deadline_us < 0 ||
+      options.log_segment_bytes < 1 || options.snapshot_every_batches < 0) {
     std::fprintf(stderr, "serve: non-positive sizing flag\n");
     return 2;
   }
@@ -586,6 +625,34 @@ int RunServeCommand(int argc, char** argv) {
       1) {
     std::fprintf(stderr,
                  "serve: --graph, --scenario and --restore are exclusive\n");
+    return 2;
+  }
+  const bool follower =
+      !options.follow_addr.empty() || !options.follow_dir.empty();
+  if (!options.follow_addr.empty() && !options.follow_dir.empty()) {
+    std::fprintf(stderr, "serve: --follow and --follow-dir are exclusive\n");
+    return 2;
+  }
+  if (!bootstrap_dir.empty() && options.follow_addr.empty()) {
+    std::fprintf(stderr, "serve: --bootstrap only applies with --follow\n");
+    return 2;
+  }
+  if (!options.follow_dir.empty() &&
+      options.follow_dir == options.change_log_dir) {
+    std::fprintf(stderr,
+                 "serve: --follow-dir must differ from --change-log (a "
+                 "follower appending to the log it tails is a feedback "
+                 "loop)\n");
+    return 2;
+  }
+  if (follower && !options.restore_path.empty()) {
+    std::fprintf(stderr,
+                 "serve: --restore conflicts with following (followers "
+                 "bootstrap from a checkpoint directory)\n");
+    return 2;
+  }
+  if (options.snapshot_every_batches > 0 && options.change_log_dir.empty()) {
+    std::fprintf(stderr, "serve: --snapshot-every requires --change-log\n");
     return 2;
   }
 
@@ -607,8 +674,41 @@ int RunServeCommand(int argc, char** argv) {
   }
 
   std::string error;
-  std::unique_ptr<serve::ServingBackend> backend =
-      serve::MakeServingBackend(base, options, &error);
+  std::unique_ptr<serve::ServingBackend> backend;
+  // Checkpoint bootstrap: a follower restores from its local checkpoint
+  // directory; a primary restarted on a non-empty --change-log directory
+  // recovers from its own log instead of truncating it.
+  std::string checkpoint_dir =
+      !options.follow_dir.empty() ? options.follow_dir : bootstrap_dir;
+  if (checkpoint_dir.empty() && !options.change_log_dir.empty()) {
+    repl::ChangeLogDirState state;
+    std::string scan_error;
+    if (repl::ScanChangeLogDir(options.change_log_dir, &state, &scan_error) &&
+        (!state.segments.empty() || state.latest_base_seq >= 0)) {
+      checkpoint_dir = options.change_log_dir;
+    }
+  }
+  if (!checkpoint_dir.empty()) {
+    repl::BootstrapResult boot;
+    if (!repl::BootstrapFromChangeLog(checkpoint_dir, base, options, &boot,
+                                      &error)) {
+      std::fprintf(stderr, "serve: bootstrap: %s\n", error.c_str());
+      return 1;
+    }
+    backend = std::move(boot.backend);
+    options.repl_start_seq = boot.next_seq;
+    options.bootstrap_base_seq = boot.base_seq;
+    std::fprintf(stderr,
+                 "bootstrap: base seq %lld + %lld batches (%lld ops) from %s "
+                 "-> seq %lld\n",
+                 static_cast<long long>(boot.base_seq),
+                 static_cast<long long>(boot.tail_batches),
+                 static_cast<long long>(boot.tail_ops),
+                 checkpoint_dir.c_str(),
+                 static_cast<long long>(boot.next_seq));
+  } else {
+    backend = serve::MakeServingBackend(base, options, &error);
+  }
   if (backend == nullptr) {
     std::fprintf(stderr, "serve: %s\n", error.c_str());
     return 1;
@@ -621,9 +721,11 @@ int RunServeCommand(int argc, char** argv) {
   }
   serve::Server::InstallSignalHandlers(&server);
   std::fprintf(stderr,
-               "serving %s backend (%s) on %s:%d  n=%lld m=%lld |I|=%lld\n",
+               "serving %s backend (%s) on %s:%d as %s  "
+               "n=%lld m=%lld |I|=%lld\n",
                server.backend().Kind().c_str(), stats.algorithm.c_str(),
                options.host.c_str(), server.port(),
+               follower ? "follower" : "primary",
                static_cast<long long>(stats.num_vertices),
                static_cast<long long>(stats.num_edges),
                static_cast<long long>(stats.solution_size));
@@ -637,6 +739,20 @@ int RunServeCommand(int argc, char** argv) {
                static_cast<long long>(summary.batches_flushed),
                summary.mean_batch_occupancy,
                static_cast<long long>(summary.connections_accepted));
+  if (summary.repl_ops_logged > 0 || summary.repl_next_seq > 0) {
+    std::fprintf(stderr,
+                 "replication: %s at seq %lld, %lld ops logged over %lld "
+                 "segments, %lld base snapshots (last seq %lld), "
+                 "%lld promotions, %lld reshards\n",
+                 summary.repl_role.c_str(),
+                 static_cast<long long>(summary.repl_next_seq),
+                 static_cast<long long>(summary.repl_ops_logged),
+                 static_cast<long long>(summary.repl_segments),
+                 static_cast<long long>(summary.repl_snapshots_written),
+                 static_cast<long long>(summary.repl_last_base_seq),
+                 static_cast<long long>(summary.repl_promotions),
+                 static_cast<long long>(summary.repl_resharded));
+  }
   return rc;
 }
 

@@ -40,6 +40,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -72,6 +73,12 @@ struct LoadgenOptions {
   int total_updates = 0;  // 0 = scenario default * DYNMIS_BENCH_SCALE.
   int pipeline = 32;      // Max outstanding requests per connection.
   int client_batch = 1;   // >1 sends BATCH frames of this many ops.
+  // Open-loop mode: pace sends to this aggregate rate instead of letting
+  // the window gate close the loop. Each op is due at its schedule time
+  // regardless of earlier acks (pipeline still caps outstanding requests,
+  // so a server slower than the target degrades to closed-loop and the
+  // achieved_qps/target_qps gap in the JSON shows it). 0 = closed loop.
+  double target_qps = 0;
   uint64_t seed = 1;
   // Replay-backend algorithm. Defaults to whatever the server's handshake
   // advertises; --algo overrides (needed when the advertised display name
@@ -130,6 +137,22 @@ std::string UpdateLatencyScope(const std::string& doc) {
   return at == std::string::npos ? std::string() : doc.substr(at);
 }
 
+// Scope for the server's "replication" STATS block (empty when absent).
+std::string ReplicationScope(const std::string& doc) {
+  const size_t at = doc.find("\"replication\"");
+  return at == std::string::npos ? std::string() : doc.substr(at);
+}
+
+std::string ExtractJsonString(const std::string& doc,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = doc.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  const size_t end = doc.find('"', start);
+  return end == std::string::npos ? "" : doc.substr(start, end - start);
+}
+
 // --- Worker connections ------------------------------------------------------
 
 struct WorkerResult {
@@ -167,6 +190,19 @@ void RunWorker(const LoadgenOptions& options,
   result->rtts.reserve(updates.size() / std::max(options.client_batch, 1) +
                        1);
 
+  // Open-loop pacing: each worker owns an equal slice of the target rate
+  // and sends op k at k/rate on its own clock.
+  const double worker_qps =
+      options.target_qps > 0 ? options.target_qps / options.connections : 0;
+  auto pace = [&](int64_t sent_so_far) {
+    if (worker_qps <= 0) return;
+    const double due = static_cast<double>(sent_so_far) / worker_qps;
+    const double wait = due - clock.ElapsedSeconds();
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+  };
+
   // Single-op mode: one OK/ERR per op. Batch mode: one "OK <applied>
   // <rejected> [ids...]" per frame.
   auto read_one = [&]() -> bool {
@@ -197,6 +233,7 @@ void RunWorker(const LoadgenOptions& options,
 
   if (options.client_batch <= 1) {
     for (const GraphUpdate& update : updates) {
+      pace(result->sent);
       in_flight.push_back(clock.ElapsedSeconds());
       if (!client.SendAll(serve::FormatCommandLine(update) + "\n")) {
         result->error = "send failed";
@@ -219,6 +256,7 @@ void RunWorker(const LoadgenOptions& options,
         frame += '\n';
       }
       frame += "END\n";
+      pace(result->sent);
       in_flight.push_back(clock.ElapsedSeconds());
       if (!client.SendAll(frame)) {
         result->error = "send failed";
@@ -331,8 +369,9 @@ int Usage() {
       "usage: dynmis_loadgen --port P [--host H] [--scenario NAME]\n"
       "                      [--connections N] [--updates TOTAL]\n"
       "                      [--pipeline W] [--batch B] [--seed S]\n"
-      "                      [--algo NAME] [--out PATH] [--snapshot PATH]\n"
-      "                      [--resume-updates K] [--no-verify]\n");
+      "                      [--target-qps Q] [--algo NAME] [--out PATH]\n"
+      "                      [--snapshot PATH] [--resume-updates K]\n"
+      "                      [--no-verify]\n");
   return 2;
 }
 
@@ -368,6 +407,9 @@ int Main(int argc, char** argv) {
     } else if (arg == "--seed") {
       if (!(v = next())) return Usage();
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--target-qps") {
+      if (!(v = next())) return Usage();
+      options.target_qps = std::atof(v);
     } else if (arg == "--algo") {
       if (!(v = next())) return Usage();
       options.algo.algorithm = v;
@@ -389,7 +431,7 @@ int Main(int argc, char** argv) {
     }
   }
   if (options.port <= 0 || options.connections < 1 || options.pipeline < 1 ||
-      options.client_batch < 1) {
+      options.client_batch < 1 || options.target_qps < 0) {
     return Usage();
   }
 
@@ -676,6 +718,10 @@ int Main(int argc, char** argv) {
   w.Int(options.pipeline);
   w.Key("client_batch");
   w.Int(options.client_batch);
+  w.Key("target_qps");
+  w.Double(options.target_qps);
+  w.Key("achieved_qps");
+  w.Double(elapsed > 0 ? static_cast<double>(totals.sent) / elapsed : 0);
   w.Key("updates_sent");
   w.Int(totals.sent);
   w.Key("acked");
@@ -738,6 +784,34 @@ int Main(int argc, char** argv) {
     w.EndObject();
   }
   w.EndObject();
+  // Top-level echo of the server's replication state so smoke jobs can
+  // assert on lag/role without a second STATS round-trip. The regression
+  // checker pops this block (environment-dependent, like "serving").
+  const std::string repl_scope = ReplicationScope(server_json);
+  if (!repl_scope.empty()) {
+    w.Key("replication");
+    w.BeginObject();
+    w.Key("role");
+    w.String(ExtractJsonString(repl_scope, "role"));
+    w.Key("next_seq");
+    w.Int(static_cast<int64_t>(ExtractJsonNumber(repl_scope, "next_seq")));
+    w.Key("lag_batches");
+    w.Int(static_cast<int64_t>(ExtractJsonNumber(repl_scope, "lag_batches")));
+    w.Key("lag_segments");
+    w.Int(
+        static_cast<int64_t>(ExtractJsonNumber(repl_scope, "lag_segments")));
+    w.Key("snapshots_written");
+    w.Int(static_cast<int64_t>(
+        ExtractJsonNumber(repl_scope, "snapshots_written")));
+    w.Key("last_base_seq");
+    w.Int(
+        static_cast<int64_t>(ExtractJsonNumber(repl_scope, "last_base_seq")));
+    w.Key("promotions");
+    w.Int(static_cast<int64_t>(ExtractJsonNumber(repl_scope, "promotions")));
+    w.Key("resharded");
+    w.Int(static_cast<int64_t>(ExtractJsonNumber(repl_scope, "resharded")));
+    w.EndObject();
+  }
   w.EndObject();
 
   const std::string out_path = options.out_path.empty()
