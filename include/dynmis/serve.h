@@ -35,10 +35,18 @@
 // ServeOptions::restore_path warm-starts a fresh server from one (warm
 // failover: checkpoint on the old process, --restore on the new).
 //
-// Concurrency model: one poll()-based event loop thread owns every socket
-// and the backend; the sharded backend parallelizes internally. SIGTERM /
-// Stop() drains cleanly: pending batches are applied, deferred acks are
-// written out, then sockets close.
+// Concurrency model: one engine thread (acceptor + admission + backend +
+// replication) plus ServeOptions::io_threads I/O threads. Each I/O thread
+// runs its own epoll loop over a share of the connections — non-blocking
+// reads, frame/line decode, and writes all happen there — and feeds parsed
+// commands to the engine thread through a per-thread SPSC inbox
+// (src/serve/mailbox.h); the engine never touches a connection socket, and
+// all wakeups (including Stop()/signals) are eventfd-based. Clients may
+// negotiate a length-prefixed binary framing with `HELLO 2 BIN`
+// (src/serve/binary.h); text stays the default and the debugging
+// interface. SIGTERM / Stop() drains cleanly: pending batches are applied,
+// deferred acks are written out bounded by a hard drain deadline, then
+// sockets close.
 
 #ifndef DYNMIS_INCLUDE_DYNMIS_SERVE_H_
 #define DYNMIS_INCLUDE_DYNMIS_SERVE_H_
@@ -57,9 +65,11 @@
 namespace dynmis {
 namespace serve {
 
-// Protocol version spoken by this build; HELLO with any other version is
-// rejected at the handshake.
+// Text protocol version; `HELLO 1` selects it. `HELLO 2 BIN` selects the
+// binary framing (kBinaryProtocolVersion). Anything else is rejected at the
+// handshake.
 inline constexpr int kProtocolVersion = 1;
+inline constexpr int kBinaryProtocolVersion = 2;
 
 struct ServeOptions {
   // Listen address. Port 0 binds an ephemeral port (Server::port() reports
@@ -77,6 +87,12 @@ struct ServeOptions {
   // the oldest enqueued op has waited this long, whichever comes first.
   int batch_max_ops = 512;
   double flush_deadline_us = 1000;
+
+  // I/O threads (>= 1), each running an epoll loop over its share of the
+  // connections. One thread is plenty up to tens of connections; raise it
+  // toward the core count when decode/socket work — not the engine —
+  // becomes the ceiling (see README "Serving").
+  int io_threads = 1;
 
   // Protocol limits. A line longer than max_line_bytes is a protocol error
   // and closes the connection; a client that piles up more than
@@ -113,6 +129,12 @@ struct ServeOptions {
   // Write a background base snapshot every N applied batches (0 = off).
   // Requires change_log_dir.
   int64_t snapshot_every_batches = 0;
+  // Also trigger a base snapshot when this much wall time has passed since
+  // the last trigger, firing at the next batch boundary (0 = off; combines
+  // with snapshot_every_batches — whichever trips first). Requires
+  // change_log_dir. Unlike the batch-count cadence this one is workload-
+  // independent: an idle-ish primary still snapshots on schedule.
+  int64_t snapshot_interval_ms = 0;
 
   // Follower mode: tail a primary over TCP ("host:port") or tail its
   // change-log directory directly (same-host deployments). Mutually
@@ -192,6 +214,11 @@ struct ServingMetricsSnapshot {
   double update_p99_us = 0;
   double query_p50_us = 0;
   double query_p99_us = 0;
+  // Transport (summed over I/O threads; per-thread detail in STATS JSON).
+  int64_t io_threads = 0;
+  int64_t io_wakeups = 0;
+  int64_t io_frames_decoded = 0;
+  int64_t io_inbox_depth_high_water = 0;  // Max over threads.
   // Replication (zero / defaulted when replication is not configured).
   std::string repl_role;         // "primary" or "follower".
   int64_t repl_next_seq = 0;     // Batches applied == next log seq.
@@ -205,9 +232,10 @@ struct ServingMetricsSnapshot {
   int64_t repl_resharded = 0;    // Completed online RESHARD swaps.
 };
 
-// The TCP server. Single-threaded event loop; construct, Start(), then Run()
-// on the serving thread. Stop() is safe from any thread (and from the
-// installed signal handlers) and triggers the drain path.
+// The TCP server. Construct, Start(), then Run() on the engine thread;
+// Run() spawns the configured I/O threads and joins them on drain. Stop()
+// is safe from any thread (and from the installed signal handlers) and
+// triggers the drain path.
 class Server {
  public:
   Server(std::unique_ptr<ServingBackend> backend, ServeOptions options);

@@ -1,0 +1,386 @@
+#include "src/serve/binary.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace dynmis {
+namespace serve {
+namespace {
+
+uint32_t ReadU32(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendFrameHeader(std::string* out, uint8_t code, size_t body_bytes) {
+  AppendU32(out, static_cast<uint32_t>(body_bytes + 1));
+  out->push_back(static_cast<char>(code));
+}
+
+void AppendInsFrame(std::string* out, VertexId u, VertexId v) {
+  AppendFrameHeader(out, kBinOpIns, 8);
+  AppendU32(out, static_cast<uint32_t>(u));
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendDelFrame(std::string* out, VertexId u, VertexId v) {
+  AppendFrameHeader(out, kBinOpDel, 8);
+  AppendU32(out, static_cast<uint32_t>(u));
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendInsVFrame(std::string* out, const std::vector<VertexId>& neighbors) {
+  AppendFrameHeader(out, kBinOpInsV, 4 + 4 * neighbors.size());
+  AppendU32(out, static_cast<uint32_t>(neighbors.size()));
+  for (const VertexId n : neighbors) AppendU32(out, static_cast<uint32_t>(n));
+}
+
+void AppendDelVFrame(std::string* out, VertexId u) {
+  AppendFrameHeader(out, kBinOpDelV, 4);
+  AppendU32(out, static_cast<uint32_t>(u));
+}
+
+void AppendQueryFrame(std::string* out, VertexId u) {
+  AppendFrameHeader(out, kBinOpQuery, 4);
+  AppendU32(out, static_cast<uint32_t>(u));
+}
+
+namespace {
+
+void AppendNestedOp(std::string* out, const GraphUpdate& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+      out->push_back(static_cast<char>(kBinOpIns));
+      AppendU32(out, static_cast<uint32_t>(update.u));
+      AppendU32(out, static_cast<uint32_t>(update.v));
+      return;
+    case UpdateKind::kDeleteEdge:
+      out->push_back(static_cast<char>(kBinOpDel));
+      AppendU32(out, static_cast<uint32_t>(update.u));
+      AppendU32(out, static_cast<uint32_t>(update.v));
+      return;
+    case UpdateKind::kInsertVertex:
+      out->push_back(static_cast<char>(kBinOpInsV));
+      AppendU32(out, static_cast<uint32_t>(update.neighbors.size()));
+      for (const VertexId n : update.neighbors) {
+        AppendU32(out, static_cast<uint32_t>(n));
+      }
+      return;
+    case UpdateKind::kDeleteVertex:
+      out->push_back(static_cast<char>(kBinOpDelV));
+      AppendU32(out, static_cast<uint32_t>(update.u));
+      return;
+  }
+}
+
+size_t NestedOpBytes(const GraphUpdate& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+    case UpdateKind::kDeleteEdge:
+      return 9;
+    case UpdateKind::kInsertVertex:
+      return 5 + 4 * update.neighbors.size();
+    case UpdateKind::kDeleteVertex:
+      return 5;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void AppendBatchFrame(std::string* out, const std::vector<GraphUpdate>& updates,
+                      size_t first, size_t count) {
+  size_t body = 4;
+  for (size_t i = 0; i < count; ++i) body += NestedOpBytes(updates[first + i]);
+  AppendFrameHeader(out, kBinOpBatch, body);
+  AppendU32(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) AppendNestedOp(out, updates[first + i]);
+}
+
+void AppendUpdateFrame(std::string* out, const GraphUpdate& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsertEdge:
+      AppendInsFrame(out, update.u, update.v);
+      return;
+    case UpdateKind::kDeleteEdge:
+      AppendDelFrame(out, update.u, update.v);
+      return;
+    case UpdateKind::kInsertVertex:
+      AppendInsVFrame(out, update.neighbors);
+      return;
+    case UpdateKind::kDeleteVertex:
+      AppendDelVFrame(out, update.u);
+      return;
+  }
+}
+
+void AppendOkResponse(std::string* out) {
+  AppendFrameHeader(out, kBinRespOk, 0);
+}
+
+void AppendOkIdResponse(std::string* out, VertexId id) {
+  AppendFrameHeader(out, kBinRespOkId, 4);
+  AppendU32(out, static_cast<uint32_t>(id));
+}
+
+void AppendRejectResponse(std::string* out, std::string_view reason) {
+  AppendFrameHeader(out, kBinRespReject, reason.size());
+  out->append(reason.data(), reason.size());
+}
+
+void AppendBatchAckResponse(std::string* out, int64_t applied, int64_t rejected,
+                            const std::vector<VertexId>& insert_ids) {
+  AppendFrameHeader(out, kBinRespBatch, 12 + 4 * insert_ids.size());
+  AppendU32(out, static_cast<uint32_t>(applied));
+  AppendU32(out, static_cast<uint32_t>(rejected));
+  AppendU32(out, static_cast<uint32_t>(insert_ids.size()));
+  for (const VertexId id : insert_ids) AppendU32(out, static_cast<uint32_t>(id));
+}
+
+void AppendQueryResponse(std::string* out, bool in_solution) {
+  AppendFrameHeader(out, kBinRespQuery, 1);
+  out->push_back(in_solution ? 1 : 0);
+}
+
+void AppendErrResponse(std::string* out, std::string_view message) {
+  AppendFrameHeader(out, kBinRespErr, message.size());
+  out->append(message.data(), message.size());
+}
+
+// --- BinaryFrameBuffer --------------------------------------------------------
+
+void BinaryFrameBuffer::Append(const char* data, size_t n) {
+  if (overflowed_) return;
+  buffer_.append(data, n);
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+std::optional<std::string_view> BinaryFrameBuffer::NextFrame() {
+  if (overflowed_) return std::nullopt;
+  if (buffer_.size() - consumed_ < 4) return std::nullopt;
+  const uint32_t len = ReadU32(buffer_.data() + consumed_);
+  if (len == 0 || len > max_frame_bytes_) {
+    overflowed_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() - consumed_ < 4 + static_cast<size_t>(len)) {
+    return std::nullopt;
+  }
+  const std::string_view payload(buffer_.data() + consumed_ + 4, len);
+  consumed_ += 4 + static_cast<size_t>(len);
+  return payload;
+}
+
+// --- RequestFrameDecoder ------------------------------------------------------
+
+bool RequestFrameDecoder::TakeU32(uint32_t* v) {
+  if (body_.size() - pos_ < 4) return false;
+  *v = ReadU32(body_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool RequestFrameDecoder::TakeVertex(VertexId* v, std::string* error,
+                                     const char* what) {
+  uint32_t raw = 0;
+  if (!TakeU32(&raw) || raw > static_cast<uint32_t>(INT32_MAX)) {
+    *error = std::string("bad ") + what + ": expected a vertex id";
+    return false;
+  }
+  *v = static_cast<VertexId>(raw);
+  return true;
+}
+
+bool RequestFrameDecoder::Begin(std::string_view payload, std::string* error) {
+  body_ = payload.substr(1);
+  pos_ = 0;
+  code_ = static_cast<uint8_t>(payload[0]);
+  batch_left_ = 0;
+  switch (code_) {
+    case kBinOpIns:
+    case kBinOpDel:
+    case kBinOpInsV:
+    case kBinOpDelV:
+    case kBinOpQuery:
+      state_ = State::kSingle;
+      return true;
+    case kBinOpBatch:
+      state_ = State::kBatchHeader;
+      return true;
+    default:
+      state_ = State::kDone;
+      *error = "unknown opcode " + std::to_string(code_);
+      return false;
+  }
+}
+
+bool RequestFrameDecoder::DecodeOp(uint8_t code, Command* cmd,
+                                   std::string* error) {
+  *cmd = Command();
+  switch (code) {
+    case kBinOpIns:
+    case kBinOpDel:
+      cmd->verb = code == kBinOpIns ? Verb::kIns : Verb::kDel;
+      cmd->update.kind = code == kBinOpIns ? UpdateKind::kInsertEdge
+                                          : UpdateKind::kDeleteEdge;
+      return TakeVertex(&cmd->update.u, error, "endpoint") &&
+             TakeVertex(&cmd->update.v, error, "endpoint");
+    case kBinOpInsV: {
+      cmd->verb = Verb::kInsV;
+      cmd->update.kind = UpdateKind::kInsertVertex;
+      uint32_t n = 0;
+      if (!TakeU32(&n) || static_cast<size_t>(n) > (body_.size() - pos_) / 4) {
+        *error = "INSV: bad neighbor count";
+        return false;
+      }
+      cmd->update.neighbors.clear();
+      cmd->update.neighbors.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        VertexId v = kInvalidVertex;
+        if (!TakeVertex(&v, error, "neighbor")) return false;
+        cmd->update.neighbors.push_back(v);
+      }
+      return true;
+    }
+    case kBinOpDelV:
+      cmd->verb = Verb::kDelV;
+      cmd->update.kind = UpdateKind::kDeleteVertex;
+      return TakeVertex(&cmd->update.u, error, "vertex");
+    case kBinOpQuery:
+      cmd->verb = Verb::kQuery;
+      return TakeVertex(&cmd->vertex, error, "vertex");
+    default:
+      *error = "bad nested opcode " + std::to_string(code);
+      return false;
+  }
+}
+
+RequestFrameDecoder::Step RequestFrameDecoder::Next(Command* cmd,
+                                                    std::string* error) {
+  switch (state_) {
+    case State::kSingle:
+      if (!DecodeOp(code_, cmd, error)) {
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      if (pos_ != body_.size()) {
+        *error = "trailing bytes in frame";
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      state_ = State::kDone;
+      return Step::kCommand;
+    case State::kBatchHeader: {
+      uint32_t count = 0;
+      if (!TakeU32(&count) || count == 0 ||
+          static_cast<int64_t>(count) > kBinMaxBatchOps) {
+        *error = "BATCH: bad op count";
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      batch_left_ = count;
+      *cmd = Command();
+      cmd->verb = Verb::kBatch;
+      cmd->count = static_cast<int>(count);
+      state_ = State::kBatchOps;
+      return Step::kCommand;
+    }
+    case State::kBatchOps: {
+      if (pos_ >= body_.size()) {
+        *error = "BATCH: truncated ops";
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      const uint8_t op = static_cast<uint8_t>(body_[pos_++]);
+      if (op == kBinOpBatch || op == kBinOpQuery) {
+        *error = "BATCH: nested op must be an update";
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      if (!DecodeOp(op, cmd, error)) {
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      if (--batch_left_ == 0) state_ = State::kBatchEnd;
+      return Step::kCommand;
+    }
+    case State::kBatchEnd:
+      if (pos_ != body_.size()) {
+        *error = "trailing bytes in frame";
+        state_ = State::kDone;
+        return Step::kError;
+      }
+      *cmd = Command();
+      cmd->verb = Verb::kEnd;
+      state_ = State::kDone;
+      return Step::kCommand;
+    case State::kDone:
+      return Step::kDone;
+  }
+  return Step::kDone;
+}
+
+// --- Response decoding --------------------------------------------------------
+
+bool DecodeResponseFrame(std::string_view payload, BinaryResponse* out,
+                         std::string* error) {
+  *out = BinaryResponse();
+  if (payload.empty()) {
+    *error = "empty response frame";
+    return false;
+  }
+  out->code = static_cast<uint8_t>(payload[0]);
+  const std::string_view body = payload.substr(1);
+  switch (out->code) {
+    case kBinRespOk:
+      if (!body.empty()) break;
+      return true;
+    case kBinRespOkId:
+      if (body.size() != 4) break;
+      out->id = static_cast<VertexId>(ReadU32(body.data()));
+      return true;
+    case kBinRespReject:
+    case kBinRespErr:
+      out->message.assign(body.data(), body.size());
+      return true;
+    case kBinRespBatch: {
+      if (body.size() < 12) break;
+      out->applied = ReadU32(body.data());
+      out->rejected = ReadU32(body.data() + 4);
+      const uint32_t n = ReadU32(body.data() + 8);
+      if (body.size() != 12 + 4 * static_cast<size_t>(n)) break;
+      out->insert_ids.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        out->insert_ids.push_back(
+            static_cast<VertexId>(ReadU32(body.data() + 12 + 4 * i)));
+      }
+      return true;
+    }
+    case kBinRespQuery:
+      if (body.size() != 1) break;
+      out->in_solution = body[0] != 0;
+      return true;
+    default:
+      *error = "unknown response code " + std::to_string(out->code);
+      return false;
+  }
+  *error = "malformed response body for code " + std::to_string(out->code);
+  return false;
+}
+
+}  // namespace serve
+}  // namespace dynmis

@@ -1,0 +1,166 @@
+// Binary framing for the serving protocol, negotiated with `HELLO 2 BIN`
+// (the text protocol stays the default and the debugging interface).
+//
+// Every frame is [u32 length (LE)][u8 code][body]; `length` counts the code
+// byte plus the body. Integers in bodies are fixed-width little-endian u32.
+// Request codes cover exactly the update/query verbs — control verbs
+// (STATS, SNAPSHOT, REPL, ...) stay text-only, issued before the upgrade or
+// on a separate text connection:
+//
+//   code  body                                     text equivalent
+//   0x01  u v                                      INS u v
+//   0x02  u v                                      DEL u v
+//   0x03  n, n neighbor ids                        INSV n1 ... nn
+//   0x04  u                                        DELV u
+//   0x05  count, then count nested [u8 op][body]   BATCH count ... END
+//         records with op in {0x01..0x04}
+//   0x06  u                                        QUERY u
+//
+// Response codes (one response frame per request frame; a BATCH is acked as
+// one frame, so a pipelining client pays no per-op round trips):
+//
+//   0x80  -                                        OK
+//   0x81  id                                       OK <id>        (INSV)
+//   0x82  reason bytes                             ERR rejected: ...
+//   0x83  applied, rejected, n, n insert ids       OK a r id...   (BATCH)
+//   0x84  u8 in_solution                           OK 1 / OK 0    (QUERY)
+//   0x85  message bytes                            ERR ... (fatal; closes)
+//
+// Malformed input (bad code, truncated body, trailing bytes, oversized
+// length prefix) is a clean protocol error — the decoder reports it and the
+// server closes the connection; nothing is ever half-applied.
+// Unit-tested in tests/serve_protocol_test.cc.
+
+#ifndef DYNMIS_SRC_SERVE_BINARY_H_
+#define DYNMIS_SRC_SERVE_BINARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/serve/protocol.h"
+
+namespace dynmis {
+namespace serve {
+
+inline constexpr uint8_t kBinOpIns = 0x01;
+inline constexpr uint8_t kBinOpDel = 0x02;
+inline constexpr uint8_t kBinOpInsV = 0x03;
+inline constexpr uint8_t kBinOpDelV = 0x04;
+inline constexpr uint8_t kBinOpBatch = 0x05;
+inline constexpr uint8_t kBinOpQuery = 0x06;
+
+inline constexpr uint8_t kBinRespOk = 0x80;
+inline constexpr uint8_t kBinRespOkId = 0x81;
+inline constexpr uint8_t kBinRespReject = 0x82;
+inline constexpr uint8_t kBinRespBatch = 0x83;
+inline constexpr uint8_t kBinRespQuery = 0x84;
+inline constexpr uint8_t kBinRespErr = 0x85;
+
+// Same cap as text BATCH.
+inline constexpr int64_t kBinMaxBatchOps = 1 << 20;
+
+// --- Encoding (append-only; reused output strings never re-allocate) ---------
+
+void AppendU32(std::string* out, uint32_t v);
+// [len][code] for a frame whose body is `body_bytes` long.
+void AppendFrameHeader(std::string* out, uint8_t code, size_t body_bytes);
+
+// Request encoders (client side: loadgen, tests, follower tooling).
+void AppendInsFrame(std::string* out, VertexId u, VertexId v);
+void AppendDelFrame(std::string* out, VertexId u, VertexId v);
+void AppendInsVFrame(std::string* out, const std::vector<VertexId>& neighbors);
+void AppendDelVFrame(std::string* out, VertexId u);
+void AppendQueryFrame(std::string* out, VertexId u);
+// One BATCH frame holding all of `updates` (acked as a unit).
+void AppendBatchFrame(std::string* out, const std::vector<GraphUpdate>& updates,
+                      size_t first, size_t count);
+// Renders `update` as the matching single-op frame.
+void AppendUpdateFrame(std::string* out, const GraphUpdate& update);
+
+// Response encoders (server side; all O(body) appends).
+void AppendOkResponse(std::string* out);
+void AppendOkIdResponse(std::string* out, VertexId id);
+void AppendRejectResponse(std::string* out, std::string_view reason);
+void AppendBatchAckResponse(std::string* out, int64_t applied, int64_t rejected,
+                            const std::vector<VertexId>& insert_ids);
+void AppendQueryResponse(std::string* out, bool in_solution);
+void AppendErrResponse(std::string* out, std::string_view message);
+
+// --- Incremental framing over a byte stream ----------------------------------
+
+// The binary analogue of LineBuffer: Append() raw reads, NextFrame() yields
+// complete frame payloads (code byte + body) in order. A length prefix
+// larger than max_frame_bytes (or zero) trips the sticky overflowed() state.
+class BinaryFrameBuffer {
+ public:
+  explicit BinaryFrameBuffer(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(const char* data, size_t n);
+
+  // The next complete frame payload, or nullopt. The view is valid until
+  // the next Append().
+  std::optional<std::string_view> NextFrame();
+
+  bool overflowed() const { return overflowed_; }
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool overflowed_ = false;
+};
+
+// --- Request decoding ---------------------------------------------------------
+
+// Streaming decoder over one request frame payload. Begin() validates the
+// code; Next() then yields the frame's commands one at a time into a reused
+// Command — a single-op frame yields one command, a BATCH frame yields
+// kBatch, its `count` update commands, then kEnd, exactly the sequence the
+// text protocol's admission path consumes. Any malformed byte fails the
+// whole frame (the server treats that as fatal for the connection).
+class RequestFrameDecoder {
+ public:
+  // `payload` must stay valid across the Next() calls of this frame.
+  bool Begin(std::string_view payload, std::string* error);
+
+  enum class Step { kCommand, kDone, kError };
+  Step Next(Command* cmd, std::string* error);
+
+ private:
+  enum class State { kSingle, kBatchHeader, kBatchOps, kBatchEnd, kDone };
+  bool DecodeOp(uint8_t code, Command* cmd, std::string* error);
+  bool TakeU32(uint32_t* v);
+  bool TakeVertex(VertexId* v, std::string* error, const char* what);
+
+  std::string_view body_;
+  size_t pos_ = 0;
+  State state_ = State::kDone;
+  uint8_t code_ = 0;
+  int64_t batch_left_ = 0;
+};
+
+// --- Response decoding (client side) -----------------------------------------
+
+struct BinaryResponse {
+  uint8_t code = 0;
+  VertexId id = kInvalidVertex;       // kBinRespOkId
+  int64_t applied = 0;                // kBinRespBatch
+  int64_t rejected = 0;               // kBinRespBatch
+  std::vector<VertexId> insert_ids;   // kBinRespBatch
+  bool in_solution = false;           // kBinRespQuery
+  std::string message;                // kBinRespReject / kBinRespErr
+};
+
+bool DecodeResponseFrame(std::string_view payload, BinaryResponse* out,
+                         std::string* error);
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_BINARY_H_

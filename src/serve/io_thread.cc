@@ -1,0 +1,457 @@
+#include "src/serve/io_thread.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace serve {
+
+namespace {
+
+// epoll user data 0 is the thread's own wake eventfd; server sessions start
+// at 1.
+constexpr uint64_t kWakeTag = 0;
+
+void WriteEventFd(int fd) {
+  const uint64_t one = 1;
+  (void)!write(fd, &one, sizeof(one));
+}
+
+}  // namespace
+
+IoThread::IoThread(IoThreadOptions options) : options_(std::move(options)) {}
+
+IoThread::~IoThread() {
+  DYNMIS_CHECK(!thread_.joinable());  // Join() before destruction.
+  for (auto& [session, conn] : conns_) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+bool IoThread::Start(std::string* error) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    *error = std::string("epoll_create1: ") + std::strerror(errno);
+    return false;
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    *error = std::string("eventfd: ") + std::strerror(errno);
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    *error = std::string("epoll_ctl: ") + std::strerror(errno);
+    return false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void IoThread::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void IoThread::Kick() { WriteEventFd(wake_fd_); }
+
+IoMetrics IoThread::MetricsCopy() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return metrics_snapshot_;
+}
+
+void IoThread::PublishMetrics() {
+  metrics_.inbox_depth_high_water = inbox_.depth_high_water();
+  metrics_.connections = static_cast<int64_t>(conns_.size());
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_snapshot_ = metrics_;
+}
+
+void IoThread::PushEvent(IoEventKind kind, int64_t session, const char* error) {
+  const size_t depth = inbox_.Produce([&](IoEvent* ev) {
+    ev->kind = kind;
+    ev->session = session;
+    ev->error.assign(error == nullptr ? "" : error);
+  });
+  pushed_since_kick_ = true;
+  NoteDepth(depth);
+}
+
+void IoThread::PushCommand(Conn* conn, const Command& cmd) {
+  const size_t depth = inbox_.Produce([&](IoEvent* ev) {
+    ev->kind = IoEventKind::kCommand;
+    ev->session = conn->session;
+    ev->cmd = cmd;  // Copy-assign: slot strings/vectors reuse capacity.
+    ev->error.clear();
+  });
+  pushed_since_kick_ = true;
+  NoteDepth(depth);
+}
+
+void IoThread::NoteDepth(size_t depth) {
+  if (depth > options_.inbox_high_water &&
+      !paused_.load(std::memory_order_relaxed)) {
+    PauseReads();
+  }
+}
+
+void IoThread::PauseReads() {
+  paused_.store(true, std::memory_order_release);
+  for (auto& [session, conn] : conns_) UpdateInterest(&conn);
+}
+
+void IoThread::ResumeReads() {
+  if (!paused_.load(std::memory_order_relaxed)) return;
+  paused_.store(false, std::memory_order_release);
+  // Bytes buffered during the pause have no further read event to parse
+  // them; resume parsing explicitly.
+  dead_sessions_.clear();
+  for (auto& [session, conn] : conns_) {
+    if (!conn.stop_reading && !ParseBuffered(&conn)) {
+      if (conn.fd < 0) dead_sessions_.push_back(session);
+    }
+  }
+  for (const int64_t session : dead_sessions_) conns_.erase(session);
+  for (auto& [session, conn] : conns_) UpdateInterest(&conn);
+}
+
+void IoThread::UpdateInterest(Conn* conn) {
+  if (conn->fd < 0) return;
+  const bool reads = !conn->stop_reading && !draining_ &&
+                     !paused_.load(std::memory_order_relaxed);
+  uint32_t events = 0;
+  if (reads) events |= EPOLLIN;
+  if (conn->pending() > 0) events |= EPOLLOUT;
+  if (events == conn->armed_events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = static_cast<uint64_t>(conn->session);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->armed_events = events;
+}
+
+void IoThread::Adopt(int fd, int64_t session,
+                     std::shared_ptr<std::atomic<int64_t>> pending_out) {
+  if (draining_) {
+    close(fd);
+    return;
+  }
+  auto [it, inserted] =
+      conns_.emplace(session, Conn(options_.max_line_bytes));
+  DYNMIS_CHECK(inserted);
+  Conn& conn = it->second;
+  conn.fd = fd;
+  conn.session = session;
+  conn.pending_out = std::move(pending_out);
+  epoll_event ev{};
+  conn.armed_events = paused_.load(std::memory_order_relaxed) ? 0 : EPOLLIN;
+  ev.events = conn.armed_events;
+  ev.data.u64 = static_cast<uint64_t>(session);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    close(fd);
+    conns_.erase(it);
+    PushEvent(IoEventKind::kClosed, session, nullptr);
+  }
+}
+
+void IoThread::CloseConn(Conn* conn, bool notify_engine) {
+  const int64_t session = conn->session;
+  if (conn->fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    conn->fd = -1;
+  }
+  if (notify_engine) PushEvent(IoEventKind::kClosed, session, nullptr);
+}
+
+// Parses whatever is buffered. Returns false when the caller must stop
+// feeding this connection (fatal protocol error or backpressure pause);
+// buffered leftovers survive in the decoders either way.
+bool IoThread::ParseBuffered(Conn* conn) {
+  while (true) {
+    if (conn->binary) {
+      const auto payload = conn->bin_in.NextFrame();
+      if (!payload) {
+        if (conn->bin_in.overflowed()) {
+          ++metrics_.decode_errors;
+          conn->stop_reading = true;
+          PushEvent(IoEventKind::kFatal, conn->session, "frame too large");
+          return false;
+        }
+        return true;
+      }
+      const double t0 = clock_.ElapsedSeconds();
+      RequestFrameDecoder decoder;
+      int verb_index = -1;
+      bool ok = decoder.Begin(*payload, &scratch_error_);
+      while (ok) {
+        const RequestFrameDecoder::Step step =
+            decoder.Next(&scratch_cmd_, &scratch_error_);
+        if (step == RequestFrameDecoder::Step::kDone) break;
+        if (step == RequestFrameDecoder::Step::kError) {
+          ok = false;
+          break;
+        }
+        if (verb_index < 0) verb_index = static_cast<int>(scratch_cmd_.verb);
+        PushCommand(conn, scratch_cmd_);
+      }
+      if (!ok) {
+        ++metrics_.decode_errors;
+        conn->stop_reading = true;
+        PushEvent(IoEventKind::kFatal, conn->session, scratch_error_.c_str());
+        return false;
+      }
+      ++metrics_.frames_decoded;
+      if (verb_index >= 0) {
+        metrics_.decode_latency[verb_index].Record(clock_.ElapsedSeconds() -
+                                                   t0);
+      }
+    } else {
+      const auto line = conn->in.NextLineView();
+      if (!line) {
+        if (conn->in.overflowed()) {
+          ++metrics_.decode_errors;
+          conn->stop_reading = true;
+          PushEvent(IoEventKind::kFatal, conn->session, "line too long");
+          return false;
+        }
+        return true;
+      }
+      const double t0 = clock_.ElapsedSeconds();
+      if (!ParseCommand(*line, &scratch_cmd_, &scratch_error_)) {
+        ++metrics_.frames_decoded;
+        ++metrics_.decode_errors;
+        PushEvent(IoEventKind::kBadLine, conn->session,
+                  scratch_error_.c_str());
+        if (!conn->saw_hello) {
+          // A garbled first line is a failed handshake; the engine replies
+          // and closes, so stop feeding it further commands.
+          conn->saw_hello = true;
+          conn->stop_reading = true;
+          return false;
+        }
+        continue;
+      }
+      ++metrics_.frames_decoded;
+      metrics_.decode_latency[static_cast<int>(scratch_cmd_.verb)].Record(
+          clock_.ElapsedSeconds() - t0);
+      const bool upgrade =
+          !conn->saw_hello && scratch_cmd_.verb == Verb::kHello &&
+          scratch_cmd_.binary;
+      conn->saw_hello = true;
+      PushCommand(conn, scratch_cmd_);
+      if (upgrade) {
+        // Flip the decoder before touching the bytes that followed the
+        // HELLO line: a pipelining client's first frames are already here.
+        conn->binary = true;
+        const std::string_view rest = conn->in.pending();
+        if (!rest.empty()) conn->bin_in.Append(rest.data(), rest.size());
+        conn->in.Reset();
+      }
+    }
+    if (paused_.load(std::memory_order_relaxed)) return false;
+  }
+}
+
+void IoThread::ReadConn(Conn* conn) {
+  if (conn->stop_reading || conn->fd < 0) return;
+  char buf[4096];
+  // A per-call chunk budget keeps one firehose connection from starving
+  // the rest; level-triggered epoll re-signals the leftovers.
+  for (int chunks = 0; chunks < 64; ++chunks) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      metrics_.bytes_read += n;
+      if (conn->binary) {
+        conn->bin_in.Append(buf, static_cast<size_t>(n));
+      } else {
+        conn->in.Append(buf, static_cast<size_t>(n));
+      }
+      if (!ParseBuffered(conn)) return;
+      continue;
+    }
+    if (n == 0) {  // Orderly peer close; the engine answers what arrived.
+      conn->stop_reading = true;
+      PushEvent(IoEventKind::kEof, conn->session, nullptr);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn, /*notify_engine=*/true);
+    return;
+  }
+}
+
+bool IoThread::WriteConn(Conn* conn) {
+  if (conn->fd < 0) return true;
+  while (conn->pending() > 0) {
+    const ssize_t n = send(conn->fd, conn->out.data() + conn->out_sent,
+                           conn->pending(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_sent += static_cast<size_t>(n);
+      metrics_.bytes_written += n;
+      conn->pending_out->fetch_sub(n, std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  if (conn->pending() == 0) {
+    conn->out.clear();
+    conn->out_sent = 0;
+  } else if (conn->out_sent > (1 << 20) &&
+             conn->out_sent > conn->out.size() / 2) {
+    conn->out.erase(0, conn->out_sent);
+    conn->out_sent = 0;
+  }
+  return true;
+}
+
+void IoThread::HandleOrder(IoOrder* order) {
+  if (order->kind == IoOrderKind::kAdopt) {
+    Adopt(order->fd, order->session, std::move(order->pending_out));
+    return;
+  }
+  if (order->kind == IoOrderKind::kResume) {
+    ResumeReads();
+    return;
+  }
+  if (order->kind == IoOrderKind::kDrain) {
+    draining_ = true;
+    clock_.Reset();  // Drain deadline measured from here.
+    for (auto& [session, conn] : conns_) {
+      conn.stop_reading = true;
+      UpdateInterest(&conn);
+    }
+    return;
+  }
+  auto it = conns_.find(order->session);
+  if (it == conns_.end()) return;  // Raced a close; order is moot.
+  Conn& conn = it->second;
+  switch (order->kind) {
+    case IoOrderKind::kAppend:
+      conn.out.append(order->bytes);
+      if (!WriteConn(&conn)) {
+        CloseConn(&conn, /*notify_engine=*/true);
+        conns_.erase(it);
+        return;
+      }
+      break;
+    case IoOrderKind::kCloseAfterWrite:
+      conn.close_after_write = true;
+      conn.stop_reading = true;
+      if (!WriteConn(&conn)) {
+        CloseConn(&conn, /*notify_engine=*/true);
+        conns_.erase(it);
+        return;
+      }
+      if (conn.pending() == 0) {
+        CloseConn(&conn, /*notify_engine=*/true);
+        conns_.erase(it);
+        return;
+      }
+      break;
+    case IoOrderKind::kCloseNow:
+      // The engine already dropped the session; no notification needed.
+      CloseConn(&conn, /*notify_engine=*/false);
+      conns_.erase(it);
+      return;
+    default:
+      break;
+  }
+  UpdateInterest(&conn);
+}
+
+void IoThread::ProcessOrders() {
+  std::vector<IoOrder>* orders = nullptr;
+  const size_t n = orders_.Drain(&orders);
+  for (size_t i = 0; i < n; ++i) HandleOrder(&(*orders)[i]);
+}
+
+void IoThread::DrainAndExit() {
+  for (auto& [session, conn] : conns_) {
+    if (conn.fd >= 0) {
+      close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  conns_.clear();
+  exit_ = true;
+}
+
+void IoThread::Loop() {
+  epoll_event events[128];
+  while (!exit_) {
+    int timeout_ms = -1;
+    if (draining_) {
+      bool outstanding = false;
+      for (auto& [session, conn] : conns_) {
+        if (conn.fd >= 0 && conn.pending() > 0) outstanding = true;
+      }
+      if (!outstanding) {
+        DrainAndExit();
+        break;
+      }
+      const double remaining =
+          options_.drain_deadline_seconds - clock_.ElapsedSeconds();
+      if (remaining <= 0) {  // Hard deadline: slow readers lose their tail.
+        DrainAndExit();
+        break;
+      }
+      timeout_ms = static_cast<int>(remaining * 1e3) + 1;
+    }
+    const int n = epoll_wait(epoll_fd_, events, 128, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+    ++metrics_.wakeups;
+    if (n > 0) {
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.u64 == kWakeTag) {
+          uint64_t drain = 0;
+          (void)!read(wake_fd_, &drain, sizeof(drain));
+          continue;
+        }
+        const int64_t session = static_cast<int64_t>(events[i].data.u64);
+        auto it = conns_.find(session);
+        if (it == conns_.end()) continue;
+        Conn& conn = it->second;
+        if ((events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+          ReadConn(&conn);
+        }
+        if (conn.fd >= 0 &&
+            ((events[i].events & EPOLLOUT) != 0 || conn.pending() > 0)) {
+          if (!WriteConn(&conn)) CloseConn(&conn, /*notify_engine=*/true);
+        }
+        if (conn.fd >= 0 && conn.close_after_write && conn.pending() == 0) {
+          CloseConn(&conn, /*notify_engine=*/true);
+        }
+        if (conn.fd < 0) {
+          conns_.erase(it);
+        } else {
+          UpdateInterest(&conn);
+        }
+      }
+    }
+    ProcessOrders();
+    if (pushed_since_kick_) {
+      pushed_since_kick_ = false;
+      WriteEventFd(options_.engine_wake_fd);
+    }
+    PublishMetrics();
+  }
+  if (pushed_since_kick_) WriteEventFd(options_.engine_wake_fd);
+  PublishMetrics();
+}
+
+}  // namespace serve
+}  // namespace dynmis

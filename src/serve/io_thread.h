@@ -1,0 +1,178 @@
+// One serving I/O thread: an epoll loop that owns a share of the client
+// sockets, decodes their input (newline text or length-prefixed binary —
+// the thread flips a connection's decoder the moment it sees `HELLO 2
+// BIN`, so pipelined binary frames in the same packet parse correctly),
+// and exchanges work with the engine thread through two SPSC mailboxes:
+//
+//   inbox   (this thread -> engine): parsed commands + lifecycle events
+//   orders  (engine -> this thread): adopt socket / append output / close
+//
+// Wakeups in both directions are eventfd-based. Per-connection order is
+// end-to-end FIFO: a connection lives on exactly one I/O thread and both
+// mailboxes preserve order. Backpressure is two-sided — the engine's
+// per-connection pending-output counter (shared atomic) bounds buffered
+// responses, and when this thread's inbox to the engine exceeds the
+// high-water mark it parks all reads (EPOLLIN disarmed) until the engine
+// drains and sends kResume, so neither side buffers unboundedly.
+//
+// The engine thread never touches these sockets; it only produces orders.
+// On kDrain the thread flushes remaining output EPOLLOUT-driven under a
+// hard deadline — no polling re-check loop — then closes everything and
+// exits.
+
+#ifndef DYNMIS_SRC_SERVE_IO_THREAD_H_
+#define DYNMIS_SRC_SERVE_IO_THREAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/binary.h"
+#include "src/serve/mailbox.h"
+#include "src/serve/metrics.h"
+#include "src/serve/protocol.h"
+#include "src/util/timer.h"
+
+namespace dynmis {
+namespace serve {
+
+// Input event from an I/O thread to the engine thread.
+enum class IoEventKind {
+  kCommand,  // A parsed command.
+  kBadLine,  // Unparseable text line (`error` says why). Recoverable.
+  kFatal,    // Protocol-fatal input (overflow, bad frame): reply + close.
+  kEof,      // Peer half-closed; answer what was received, then close.
+  kClosed,   // Socket gone (error, or a requested close completed).
+};
+struct IoEvent {
+  IoEventKind kind = IoEventKind::kCommand;
+  int64_t session = 0;
+  Command cmd;
+  std::string error;
+};
+
+// Order from the engine thread to an I/O thread.
+enum class IoOrderKind {
+  kAdopt,            // Take ownership of a freshly accepted socket.
+  kAppend,           // Queue response bytes on a connection.
+  kCloseAfterWrite,  // Close once queued output drains.
+  kCloseNow,         // Close immediately (overload, teardown).
+  kResume,           // Re-arm reads parked by inbox backpressure.
+  kDrain,            // Flush remaining output (deadline-bounded) and exit.
+};
+struct IoOrder {
+  IoOrderKind kind = IoOrderKind::kAppend;
+  int64_t session = 0;
+  int fd = -1;          // kAdopt.
+  std::string bytes;    // kAppend.
+  std::shared_ptr<std::atomic<int64_t>> pending_out;  // kAdopt.
+};
+
+struct IoThreadOptions {
+  int index = 0;
+  size_t max_line_bytes = 1 << 16;  // Also the binary frame cap.
+  int engine_wake_fd = -1;          // eventfd kicked after inbox pushes.
+  size_t inbox_high_water = 4096;   // Park reads past this inbox depth.
+  double drain_deadline_seconds = 2.0;
+};
+
+class IoThread {
+ public:
+  explicit IoThread(IoThreadOptions options);
+  ~IoThread();
+
+  IoThread(const IoThread&) = delete;
+  IoThread& operator=(const IoThread&) = delete;
+
+  // Creates the epoll set + wake eventfd and launches the thread.
+  bool Start(std::string* error);
+  // Blocks until the thread exits (send kDrain first).
+  void Join();
+
+  // Engine-side handles. After staging orders, call Kick() once.
+  SpscMailbox<IoEvent>& inbox() { return inbox_; }
+  SpscMailbox<IoOrder>& orders() { return orders_; }
+  void Kick();
+
+  // True while reads are parked on inbox backpressure; the engine answers
+  // with a kResume order after draining.
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
+  // Consistent copy of this thread's counters (published once per wakeup).
+  IoMetrics MetricsCopy();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    int64_t session = 0;
+    bool binary = false;
+    bool saw_hello = false;   // First line examined (decoder mode fixed).
+    bool stop_reading = false;
+    bool close_after_write = false;
+    uint32_t armed_events = 0;  // Currently registered epoll interest.
+    LineBuffer in;
+    BinaryFrameBuffer bin_in;
+    // Engine-provided bytes; [out_sent, out.size()) still unsent. Consumed
+    // prefix erased lazily so a slow reader drains linearly.
+    std::string out;
+    size_t out_sent = 0;
+    std::shared_ptr<std::atomic<int64_t>> pending_out;
+    size_t pending() const { return out.size() - out_sent; }
+
+    explicit Conn(size_t max_line) : in(max_line), bin_in(max_line) {}
+  };
+
+  void Loop();
+  void ProcessOrders();
+  void HandleOrder(IoOrder* order);
+  void Adopt(int fd, int64_t session,
+             std::shared_ptr<std::atomic<int64_t>> pending_out);
+  void ReadConn(Conn* conn);
+  // Parses everything buffered on `conn`; returns false when parsing must
+  // stop (fatal error or backpressure pause).
+  bool ParseBuffered(Conn* conn);
+  bool WriteConn(Conn* conn);  // False on a dead peer.
+  void UpdateInterest(Conn* conn);
+  void CloseConn(Conn* conn, bool notify_engine);
+  void PushCommand(Conn* conn, const Command& cmd);
+  void PushEvent(IoEventKind kind, int64_t session, const char* error);
+  void NoteDepth(size_t depth);
+  void PauseReads();
+  void ResumeReads();
+  void DrainAndExit();
+  void PublishMetrics();
+
+  IoThreadOptions options_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+
+  SpscMailbox<IoEvent> inbox_;
+  SpscMailbox<IoOrder> orders_;
+  std::atomic<bool> paused_{false};
+
+  std::map<int64_t, Conn> conns_;  // session -> connection.
+  bool pushed_since_kick_ = false;
+  bool draining_ = false;
+  bool exit_ = false;
+  Timer clock_;
+
+  IoMetrics metrics_;
+  std::mutex metrics_mutex_;
+  IoMetrics metrics_snapshot_;
+
+  // Reused scratch (steady-state allocation-free).
+  Command scratch_cmd_;
+  std::string scratch_error_;
+  std::vector<int64_t> dead_sessions_;
+};
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_IO_THREAD_H_

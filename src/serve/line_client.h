@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -75,10 +76,7 @@ class LineClient {
       if (eol != std::string::npos) {
         *line = buffer_.substr(pos_, eol - pos_);
         pos_ = eol + 1;
-        if (pos_ > (1 << 20)) {
-          buffer_.erase(0, pos_);
-          pos_ = 0;
-        }
+        Compact();
         return true;
       }
       char chunk[4096];
@@ -96,6 +94,37 @@ class LineClient {
     return SendLine(request) && ReadLine(response);
   }
 
+  // Blocking read of the next length-prefixed binary frame (after a
+  // `HELLO 2 BIN` upgrade). `frame` receives payload bytes — the response
+  // code byte plus body, without the u32 length prefix. Returns false on
+  // peer close/error or a frame longer than max_frame.
+  bool ReadFrame(std::string* frame, size_t max_frame = 1 << 20) {
+    for (;;) {
+      if (buffer_.size() - pos_ >= 4) {
+        const auto* p =
+            reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+        const uint32_t len = static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24;
+        if (len == 0 || len > max_frame) return false;
+        if (buffer_.size() - pos_ >= 4 + static_cast<size_t>(len)) {
+          frame->assign(buffer_, pos_ + 4, len);
+          pos_ += 4 + static_cast<size_t>(len);
+          Compact();
+          return true;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
   // Half-close: no more requests, but responses are still expected.
   void ShutdownWrite() { shutdown(fd_, SHUT_WR); }
 
@@ -107,6 +136,16 @@ class LineClient {
   int fd() const { return fd_; }
 
  private:
+  // Eager compaction keeps the buffer's capacity bounded (and therefore
+  // stable after a short warm-up — the soak test counts allocations through
+  // this path), at the cost of a small memmove every few KB.
+  void Compact() {
+    if (pos_ > 4096 && pos_ >= buffer_.size() - pos_) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
   int fd_ = -1;
   std::string buffer_;
   size_t pos_ = 0;

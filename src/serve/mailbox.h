@@ -1,0 +1,131 @@
+// Cross-thread plumbing for the serving layer: a double-buffered SPSC
+// mailbox (I/O thread <-> engine thread) and a slot-reusing ring queue for
+// the engine's per-connection response/frame streams.
+//
+// Both containers are built around the same idea: once warmed up, the
+// steady-state serving path must not allocate. Slots are never destroyed on
+// consumption — they are overwritten on reuse — so any std::string or
+// std::vector living inside an element keeps its capacity across
+// produce/consume cycles. The ring grows by doubling; the mailbox grows its
+// two buffers independently. (tests/serve_soak_test.cc holds the line with
+// a counting operator new.)
+
+#ifndef DYNMIS_SRC_SERVE_MAILBOX_H_
+#define DYNMIS_SRC_SERVE_MAILBOX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dynmis {
+namespace serve {
+
+// Single-producer single-consumer mailbox. The producer fills slots under a
+// short mutex hold; the consumer swaps the filled buffer out wholesale and
+// processes it lock-free. Consumed elements are handed back (still
+// constructed) on the next swap, so slot internals are reused rather than
+// reallocated.
+template <typename T>
+class SpscMailbox {
+ public:
+  // Producer: overwrite one reused slot via `fill(T*)`. Returns the queue
+  // depth after the push (the producer uses it for backpressure).
+  template <typename Fn>
+  size_t Produce(Fn&& fill) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fill_size_ == fill_.size()) fill_.emplace_back();
+    fill(&fill_[fill_size_]);
+    ++fill_size_;
+    if (static_cast<int64_t>(fill_size_) > depth_high_water_) {
+      depth_high_water_ = static_cast<int64_t>(fill_size_);
+    }
+    return fill_size_;
+  }
+
+  // Consumer: swaps the filled buffer out. `*out` points at the drained
+  // elements (valid until the next Drain); returns how many are live.
+  size_t Drain(std::vector<T>** out) {
+    size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::swap(fill_, drain_);
+      n = fill_size_;
+      fill_size_ = 0;
+    }
+    *out = &drain_;
+    return n;
+  }
+
+  size_t ApproxDepth() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fill_size_;
+  }
+
+  int64_t depth_high_water() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_high_water_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<T> fill_;   // Producer side (guarded).
+  size_t fill_size_ = 0;  // Live prefix of fill_ (guarded).
+  std::vector<T> drain_;  // Consumer-owned between Drain() calls.
+  int64_t depth_high_water_ = 0;
+};
+
+// FIFO ring with deque-ish access (front/back/pop both ends) over a
+// power-of-two slot array. PushSlot() hands back a *reused* element — the
+// caller overwrites every field it cares about — and pop just moves an
+// index, so element internals survive for the next occupant.
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& operator[](size_t i) { return slots_[(head_ + i) & Mask()]; }
+  const T& operator[](size_t i) const { return slots_[(head_ + i) & Mask()]; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+  T& back() { return slots_[(head_ + size_ - 1) & Mask()]; }
+
+  // Appends and returns the slot; contents are whatever a previous occupant
+  // left behind.
+  T& PushSlot() {
+    if (size_ == slots_.size()) Grow();
+    T& slot = slots_[(head_ + size_) & Mask()];
+    ++size_;
+    return slot;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & Mask();
+    --size_;
+  }
+  void pop_back() { --size_; }
+
+ private:
+  size_t Mask() const { return slots_.size() - 1; }
+
+  void Grow() {
+    std::vector<T> bigger(slots_.empty() ? 8 : slots_.size() * 2);
+    for (size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) & Mask()]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace serve
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_SERVE_MAILBOX_H_

@@ -88,6 +88,24 @@ struct ServeMetrics {
   }
 };
 
+// Per-I/O-thread transport counters. Each I/O thread mutates its own plain
+// instance on the hot path and republishes a whole-struct copy under a
+// mutex once per wakeup (src/serve/io_thread.h), so STATS on the engine
+// thread reads a consistent snapshot without atomics in the decode loop.
+struct IoMetrics {
+  int64_t wakeups = 0;         // epoll_wait returns.
+  int64_t frames_decoded = 0;  // Text lines + binary frames parsed.
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  int64_t decode_errors = 0;
+  int64_t connections = 0;  // Currently owned by this thread.
+  // High-water depth of this thread's inbox to the engine (mirrored from
+  // the mailbox at publish time).
+  int64_t inbox_depth_high_water = 0;
+  // Wire-to-Command decode time per verb (BATCH frames record under kBatch).
+  std::array<LatencyRecorder, kNumVerbs> decode_latency;
+};
+
 }  // namespace serve
 }  // namespace dynmis
 

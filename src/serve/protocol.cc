@@ -107,7 +107,12 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
   *cmd = Command();
 
   if (verb == "HELLO") {
-    if (!WantArgs(tokens, 1, error)) return false;
+    // HELLO <version> [BIN] — the optional BIN token asks for binary
+    // framing after the (text) greeting.
+    if (tokens.size() != 2 && !(tokens.size() == 3 && tokens[2] == "BIN")) {
+      *error = "HELLO: expected HELLO <version> [BIN]";
+      return false;
+    }
     int64_t version = 0;
     if (!ParseInt(tokens[1], &version) || version <= 0 ||
         version > INT32_MAX) {
@@ -116,6 +121,7 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
     }
     cmd->verb = Verb::kHello;
     cmd->version = static_cast<int>(version);
+    cmd->binary = tokens.size() == 3;
     return true;
   }
   if (verb == "INS" || verb == "DEL") {
@@ -263,6 +269,12 @@ void LineBuffer::Append(const char* data, size_t n) {
 }
 
 std::optional<std::string> LineBuffer::NextLine() {
+  const auto view = NextLineView();
+  if (!view) return std::nullopt;
+  return std::string(*view);
+}
+
+std::optional<std::string_view> LineBuffer::NextLineView() {
   if (overflowed_) return std::nullopt;
   const size_t eol = buffer_.find('\n', consumed_);
   if (eol == std::string::npos) {
@@ -275,7 +287,7 @@ std::optional<std::string> LineBuffer::NextLine() {
   }
   size_t end = eol;
   if (end > consumed_ && buffer_[end - 1] == '\r') --end;
-  std::string line = buffer_.substr(consumed_, end - consumed_);
+  const std::string_view line(buffer_.data() + consumed_, end - consumed_);
   consumed_ = eol + 1;
   return line;
 }

@@ -60,6 +60,8 @@ struct Command {
   VertexId vertex = kInvalidVertex;
   // kHello: the client's protocol version.
   int version = 0;
+  // kHello: the client asked for binary framing ("HELLO 2 BIN").
+  bool binary = false;
   // kBatch: declared number of update lines to follow. kReshard: the
   // target shard count.
   int count = 0;
@@ -95,10 +97,23 @@ class LineBuffer {
   // nullopt when no full line is buffered.
   std::optional<std::string> NextLine();
 
+  // Allocation-free variant: the view is valid until the next Append() or
+  // Reset(). The serving I/O threads parse from this.
+  std::optional<std::string_view> NextLineView();
+
   bool overflowed() const { return overflowed_; }
 
-  // Bytes buffered but not yet returned (diagnostics/tests).
+  // Bytes buffered but not yet returned (diagnostics/tests), and a view of
+  // them (valid until the next Append/Reset). The binary upgrade hands the
+  // bytes that followed the HELLO line to the BinaryFrameBuffer with these.
   size_t pending_bytes() const { return buffer_.size() - consumed_; }
+  std::string_view pending() const {
+    return std::string_view(buffer_).substr(consumed_);
+  }
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+  }
 
  private:
   size_t max_line_bytes_;

@@ -1,8 +1,14 @@
-// The serving event loop. One thread owns everything: the listening socket,
-// every connection, the admission batch, and the backend. poll() is the
-// multiplexer (portable, and at serving fan-in the O(fds) scan is noise next
-// to engine work); all sockets are non-blocking. See include/dynmis/serve.h
-// for the architecture overview and README "Serving" for the protocol.
+// The serving engine thread. It owns the listening socket, the admission
+// batch, the backend, and all replication state — but never a client
+// socket: connections are handed to ServeOptions::io_threads epoll-driven
+// I/O threads (src/serve/io_thread.h) at accept time, and the engine
+// exchanges parsed commands / response bytes with them through per-thread
+// SPSC mailboxes. The engine's own epoll set watches exactly three fds —
+// its wake eventfd, the listener, and the follower upstream — so no part of
+// the hot path scans O(connections) descriptors. See include/dynmis/serve.h
+// for the architecture overview and README "Serving" for the protocol
+// (newline text by default; length-prefixed binary after `HELLO 2 BIN`,
+// src/serve/binary.h).
 
 #include "dynmis/serve.h"
 
@@ -10,8 +16,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -35,6 +42,9 @@
 #include "src/io/snapshot.h"
 #include "src/repl/change_log.h"
 #include "src/repl/snapshotter.h"
+#include "src/serve/binary.h"
+#include "src/serve/io_thread.h"
+#include "src/serve/mailbox.h"
 #include "src/serve/metrics.h"
 #include "src/serve/protocol.h"
 #include "src/serve/trace.h"
@@ -161,6 +171,16 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// Tags in the engine thread's (three-entry) epoll set.
+constexpr uint64_t kEngineWakeTag = 0;
+constexpr uint64_t kEngineListenTag = 1;
+constexpr uint64_t kEngineUpstreamTag = 2;
+
+void WriteWakeEventFd(int fd) {
+  const uint64_t one = 1;
+  (void)!write(fd, &one, sizeof(one));
+}
+
 }  // namespace
 
 std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
@@ -281,29 +301,45 @@ struct Server::Impl {
     std::string text;
   };
 
+  // The engine's socket-free view of a client: the fd, the input decoding,
+  // and the send buffer all live on the connection's I/O thread. The engine
+  // stages response bytes in `staged` and ships them as kAppend orders;
+  // `pending_out` (shared with the I/O thread) tracks shipped-but-unsent
+  // bytes so write-side backpressure still sees the whole backlog.
   struct Connection {
-    int fd = -1;
     int64_t session = 0;
-    LineBuffer in;
-    // Bytes accepted from the response stream; [out_sent, out.size()) is
-    // still unsent. The consumed prefix is erased lazily (WriteTo), so a
-    // slow reader's backlog drains linearly, not quadratically.
-    std::string out;
-    size_t out_sent = 0;
-    size_t pending_out() const { return out.size() - out_sent; }
+    int io_thread = 0;
+    bool binary = false;  // Negotiated with HELLO 2 BIN.
+    std::shared_ptr<std::atomic<int64_t>> pending_out =
+        std::make_shared<std::atomic<int64_t>>(0);
+    std::string staged;  // Response bytes not yet shipped to the I/O thread.
+    size_t pending_out_bytes() const {
+      return staged.size() +
+             static_cast<size_t>(std::max<int64_t>(
+                 0, pending_out->load(std::memory_order_relaxed)));
+    }
     // Set when the client kept issuing commands while already sitting on
     // max_output_bytes of unread responses; the loop disconnects it. A
     // single response larger than the cap is fine — the check runs before
     // each append, so one big SOLUTION drains normally.
     bool overloaded = false;
-    std::deque<Response> responses;
-    std::deque<Frame> frames;
+    // In dirty_sessions, pending a ShipOutput pass.
+    bool dirty = false;
+    RingQueue<Response> responses;
+    RingQueue<Frame> frames;
     bool handshaken = false;
     // Update lines still expected by an open BATCH frame, then END.
     int frame_updates_left = 0;
     bool awaiting_end = false;
     bool in_frame() const { return frame_updates_left > 0 || awaiting_end; }
     bool close_after_write = false;
+    bool close_order_sent = false;
+    // Binary BATCH refused as a unit (readonly): the frame's remaining ops
+    // and END are consumed silently so the one-response-per-request-frame
+    // contract holds.
+    int discard_updates_left = 0;
+    bool discard_end = false;
+    bool discarding() const { return discard_updates_left > 0 || discard_end; }
 
     // REPL SUBSCRIBE state. A live subscriber gets RBATCH frames pushed as
     // batches apply; a catching-up one is pumped from its change-log cursor
@@ -311,8 +347,6 @@ struct Server::Impl {
     bool subscriber = false;
     bool sub_live = false;
     std::unique_ptr<repl::ChangeLogCursor> sub_cursor;
-
-    explicit Connection(size_t max_line) : in(max_line) {}
   };
 
   // One admitted op awaiting the next flush.
@@ -332,13 +366,29 @@ struct Server::Impl {
 
   int listen_fd = -1;
   int bound_port = 0;
-  // Loop iterations left to skip polling the listener after EMFILE/ENFILE.
-  int accept_backoff = 0;
-  // Self-pipe: Stop() writes one byte; poll() wakes on the read end.
-  int wake_fds[2] = {-1, -1};
+  // Engine epoll set (wake eventfd + listener + upstream) and the eventfd
+  // that Stop()/signals/I-O threads write to wake the loop.
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  // EMFILE/ENFILE backoff: the listener leaves the epoll set (level-
+  // triggered readiness would re-report the backlog forever) and rejoins at
+  // the deadline.
+  bool listener_muted = false;
+  double accept_mute_until = 0;
+
+  // The I/O thread fleet (created at Run(), joined at drain) and the
+  // per-thread "orders staged, kick before sleeping" flags.
+  std::vector<std::unique_ptr<IoThread>> io_threads;
+  // Final per-thread counters, captured when the threads are stopped.
+  std::vector<IoMetrics> io_metrics_final;
+  std::vector<char> kick_needed;
+  int next_io_thread = 0;
 
   int64_t next_session = 1;
   std::map<int64_t, Connection> connections;  // session -> connection.
+  // Connections with staged output / lifecycle transitions since the last
+  // ShipOutput pass.
+  std::vector<int64_t> dirty_sessions;
 
   std::vector<GraphUpdate> pending_updates;
   std::vector<PendingMeta> pending_meta;
@@ -360,6 +410,7 @@ struct Server::Impl {
   std::unique_ptr<repl::ChangeLogWriter> log_writer;
   std::unique_ptr<repl::Snapshotter> snapshotter;
   int64_t last_snapshot_trigger_seq = 0;
+  double last_snapshot_trigger_time = 0;  // clock seconds at last trigger.
   std::atomic<bool> promote_requested{false};
 
   // Follower upstream (TCP --follow): a non-blocking socket in the same
@@ -511,11 +562,21 @@ struct Server::Impl {
         ++frame.applied;
         SettleFrames(&conn);
       } else {
-        FillNextDeferred(&conn,
-                         meta.verb == Verb::kInsV
-                             ? "OK " + std::to_string(meta.assigned_id)
-                             : "OK",
-                         /*frame_slot=*/false);
+        Response* r = ClaimDeferred(&conn, /*frame_slot=*/false);
+        r->text.clear();
+        if (conn.binary) {
+          if (meta.verb == Verb::kInsV) {
+            AppendOkIdResponse(&r->text, meta.assigned_id);
+          } else {
+            AppendOkResponse(&r->text);
+          }
+        } else if (meta.verb == Verb::kInsV) {
+          r->text = "OK " + std::to_string(meta.assigned_id);
+        } else {
+          r->text = "OK";
+        }
+        r->ready = true;
+        DrainResponses(&conn);
       }
     }
     RecordAppliedBatch(pending_updates);
@@ -568,11 +629,21 @@ struct Server::Impl {
   // Copy-on-collect base snapshots: serialize on the loop thread (the only
   // thread that may touch the backend), hand the bytes to the background
   // writer. Runs at batch boundaries only, so the snapshot sits exactly at
-  // a change-log record edge.
+  // a change-log record edge. Two cadences, either of which can trip:
+  // every N applied batches (snapshot_every_batches) and/or every
+  // snapshot_interval_ms of wall time — the time-based one still waits for
+  // the next batch boundary, so an idle server writes nothing new.
   void MaybeTriggerSnapshot() {
-    if (snapshotter == nullptr || options.snapshot_every_batches <= 0) return;
-    if (next_seq - last_snapshot_trigger_seq < options.snapshot_every_batches)
-      return;
+    if (snapshotter == nullptr) return;
+    const bool batches_due =
+        options.snapshot_every_batches > 0 &&
+        next_seq - last_snapshot_trigger_seq >= options.snapshot_every_batches;
+    const double now = clock.ElapsedSeconds();
+    const bool interval_due =
+        options.snapshot_interval_ms > 0 &&
+        now - last_snapshot_trigger_time >=
+            static_cast<double>(options.snapshot_interval_ms) * 1e-3;
+    if (!batches_due && !interval_due) return;
     if (snapshotter->busy()) return;  // Try again at a later boundary.
     std::ostringstream out;
     const SnapshotStatus status = backend->SaveSnapshot(out);
@@ -583,6 +654,7 @@ struct Server::Impl {
     }
     if (snapshotter->Submit(next_seq, std::move(out).str())) {
       last_snapshot_trigger_seq = next_seq;
+      last_snapshot_trigger_time = now;
     }
   }
 
@@ -592,7 +664,7 @@ struct Server::Impl {
   void PushToSubscribers(int64_t seq, const std::vector<GraphUpdate>& updates) {
     for (auto& [session, conn] : connections) {
       if (!conn.subscriber || !conn.sub_live) continue;
-      if (conn.pending_out() > options.max_output_bytes) {
+      if (conn.pending_out_bytes() > options.max_output_bytes) {
         if (log_writer != nullptr) {
           auto cursor = std::make_unique<repl::ChangeLogCursor>();
           std::string error;
@@ -603,6 +675,7 @@ struct Server::Impl {
           }
         }
         conn.overloaded = true;
+        MarkDirty(&conn);
         continue;
       }
       AppendRBatch(&conn, seq, updates);
@@ -617,7 +690,8 @@ struct Server::Impl {
       frame += FormatCommandLine(update);
       frame += '\n';
     }
-    conn->out += frame;
+    conn->staged += frame;
+    MarkDirty(conn);
     ++metrics.repl_batches_streamed;
   }
 
@@ -626,7 +700,7 @@ struct Server::Impl {
   void PumpSubscribers() {
     for (auto& [session, conn] : connections) {
       if (!conn.subscriber || conn.sub_live) continue;
-      while (conn.pending_out() < options.max_output_bytes) {
+      while (conn.pending_out_bytes() < options.max_output_bytes) {
         if (conn.sub_cursor->next_seq() >= next_seq) {
           conn.sub_live = true;
           conn.sub_cursor.reset();
@@ -648,16 +722,22 @@ struct Server::Impl {
     }
   }
 
-  void FillNextDeferred(Connection* conn, std::string text, bool frame_slot) {
-    for (Response& r : conn->responses) {
-      if (!r.ready && r.frame_slot == frame_slot) {
-        r.ready = true;
-        r.text = std::move(text);
-        DrainResponses(conn);
-        return;
-      }
+  void MarkDirty(Connection* conn) {
+    if (conn->dirty) return;
+    conn->dirty = true;
+    dirty_sessions.push_back(conn->session);
+  }
+
+  // The oldest unready slot of the requested type; the caller encodes the
+  // response into it in place (slot strings keep their capacity), marks it
+  // ready, and calls DrainResponses.
+  Response* ClaimDeferred(Connection* conn, bool frame_slot) {
+    for (size_t i = 0; i < conn->responses.size(); ++i) {
+      Response& r = conn->responses[i];
+      if (!r.ready && r.frame_slot == frame_slot) return &r;
     }
     DYNMIS_CHECK(false);  // An applied op / ended frame always has its slot.
+    return nullptr;
   }
 
   // Acks every leading finished frame, strictly FIFO: a later frame whose
@@ -672,73 +752,181 @@ struct Server::Impl {
         continue;
       }
       if (!frame.end_seen) break;
-      std::string text = "OK " + std::to_string(frame.applied) + " " +
-                         std::to_string(frame.rejected);
-      for (const VertexId id : frame.insert_ids) {
-        text += ' ';
-        text += std::to_string(id);
+      Response* r = ClaimDeferred(conn, /*frame_slot=*/true);
+      r->text.clear();
+      if (conn->binary) {
+        AppendBatchAckResponse(&r->text, frame.applied, frame.rejected,
+                               frame.insert_ids);
+      } else {
+        r->text = "OK " + std::to_string(frame.applied) + " " +
+                  std::to_string(frame.rejected);
+        for (const VertexId id : frame.insert_ids) {
+          r->text += ' ';
+          r->text += std::to_string(id);
+        }
       }
+      r->ready = true;
       conn->frames.pop_front();
-      FillNextDeferred(conn, std::move(text), /*frame_slot=*/true);
+      DrainResponses(conn);
     }
   }
 
-  // Moves the ready prefix of the response stream into the socket buffer.
-  // Write-side backpressure lives here: a client that has not consumed
+  // Moves the ready prefix of the response stream into the staged output
+  // (shipped to the connection's I/O thread at ShipOutput). Write-side
+  // backpressure lives here: a client that has not consumed
   // max_output_bytes of earlier responses and still wants more is marked
   // overloaded instead of being allowed to grow server memory unboundedly.
   void DrainResponses(Connection* conn) {
     while (!conn->responses.empty() && conn->responses.front().ready) {
-      if (conn->pending_out() > options.max_output_bytes) {
+      if (conn->pending_out_bytes() > options.max_output_bytes) {
         conn->overloaded = true;
+        MarkDirty(conn);
         return;
       }
-      conn->out += conn->responses.front().text;
-      conn->out += '\n';
+      conn->staged += conn->responses.front().text;
+      if (!conn->binary) conn->staged += '\n';
       conn->responses.pop_front();
     }
+    MarkDirty(conn);
   }
 
+  // Text-protocol immediate response (`text` is the line, no newline).
   void Respond(Connection* conn, std::string text) {
-    conn->responses.push_back({true, false, std::move(text)});
+    Response& r = conn->responses.PushSlot();
+    r.ready = true;
+    r.frame_slot = false;
+    r.text = std::move(text);
+    DrainResponses(conn);
+  }
+
+  // Encoding-aware error response: "ERR <msg>" on text connections, a
+  // kBinRespErr frame on binary ones.
+  void RespondError(Connection* conn, const std::string& msg) {
+    if (!conn->binary) {
+      Respond(conn, "ERR " + msg);
+      return;
+    }
+    Response& r = conn->responses.PushSlot();
+    r.ready = true;
+    r.frame_slot = false;
+    r.text.clear();
+    AppendErrResponse(&r.text, msg);
+    DrainResponses(conn);
+  }
+
+  // Encoding-aware admission rejection ("ERR rejected: <why>" / kBinRespReject).
+  void RespondReject(Connection* conn, const std::string& why) {
+    if (!conn->binary) {
+      Respond(conn, "ERR rejected: " + why);
+      return;
+    }
+    Response& r = conn->responses.PushSlot();
+    r.ready = true;
+    r.frame_slot = false;
+    r.text.clear();
+    AppendRejectResponse(&r.text, why);
     DrainResponses(conn);
   }
 
   void RespondDeferred(Connection* conn, bool frame_slot) {
-    conn->responses.push_back({false, frame_slot, ""});
+    Response& r = conn->responses.PushSlot();
+    r.ready = false;
+    r.frame_slot = frame_slot;
+    r.text.clear();
   }
 
   // ---- Command handling -----------------------------------------------------
 
-  void HandleLine(Connection* conn, const std::string& line) {
-    Command cmd;
-    std::string error;
-    if (!ParseCommand(line, &cmd, &error)) {
-      ++metrics.protocol_errors;
-      if (conn->in_frame()) {
-        AbortFrame(conn, "ERR BATCH: " + error);
-        return;
-      }
-      Respond(conn, "ERR " + error);
-      if (!conn->handshaken) conn->close_after_write = true;
+  // An unparseable text line (the I/O thread reports it as kBadLine).
+  // Recoverable: the connection stays open unless it was the handshake.
+  void HandleBadLine(Connection* conn, const std::string& error) {
+    ++metrics.protocol_errors;
+    if (conn->close_after_write) return;
+    if (conn->in_frame()) {
+      AbortFrame(conn, "BATCH: " + error);
       return;
     }
+    Respond(conn, "ERR " + error);
+    if (!conn->handshaken) {
+      conn->close_after_write = true;
+      MarkDirty(conn);
+    }
+  }
+
+  // Protocol-fatal input (overlong line, malformed binary frame): one error
+  // response, then the connection winds down.
+  void HandleFatal(Connection* conn, const std::string& error) {
+    ++metrics.protocol_errors;
+    if (conn->close_after_write) return;
+    if (conn->in_frame()) {
+      AbortFrame(conn, "BATCH: " + error);
+    } else {
+      RespondError(conn, error);
+    }
+    conn->close_after_write = true;
+    MarkDirty(conn);
+  }
+
+  Frame& NewFrame(Connection* conn) {
+    Frame& frame = conn->frames.PushSlot();
+    frame.outstanding = 0;
+    frame.applied = 0;
+    frame.rejected = 0;
+    frame.insert_ids.clear();
+    frame.end_seen = false;
+    frame.aborted = false;
+    return frame;
+  }
+
+  // A binary BATCH frame rejected as a unit (readonly): swallow its decoded
+  // op commands and the closing kEnd so exactly one response frame answers
+  // the one request frame.
+  void ConsumeDiscard(Connection* conn, const Command& cmd) {
+    if (conn->discard_updates_left > 0) {
+      DYNMIS_CHECK(IsUpdateVerb(cmd.verb));  // Decoder guarantees shape.
+      if (--conn->discard_updates_left == 0) conn->discard_end = true;
+      return;
+    }
+    DYNMIS_CHECK(cmd.verb == Verb::kEnd);
+    conn->discard_end = false;
+  }
+
+  void HandleCommand(Connection* conn, Command& cmd) {
     ++metrics.commands[static_cast<int>(cmd.verb)];
 
     if (!conn->handshaken) {
-      if (cmd.verb != Verb::kHello || cmd.version != kProtocolVersion) {
+      const bool text_ok =
+          cmd.version == kProtocolVersion && !cmd.binary;
+      const bool bin_ok =
+          cmd.version == kBinaryProtocolVersion && cmd.binary;
+      if (cmd.verb != Verb::kHello || (!text_ok && !bin_ok)) {
         ++metrics.protocol_errors;
-        Respond(conn,
-                "ERR handshake: expected HELLO " +
-                    std::to_string(kProtocolVersion));
+        // The refusal is a text line either way: the upgrade never happened.
+        conn->staged += "ERR handshake: expected HELLO " +
+                        std::to_string(kProtocolVersion) + " or HELLO " +
+                        std::to_string(kBinaryProtocolVersion) + " BIN\n";
         conn->close_after_write = true;
+        MarkDirty(conn);
         return;
       }
       conn->handshaken = true;
-      Respond(conn, "OK DYNMIS " + std::to_string(kProtocolVersion) +
-                        " backend=" + backend->Kind() +
-                        " shards=" + std::to_string(backend->NumShards()) +
-                        " algorithm=" + backend->Stats().algorithm);
+      conn->binary = cmd.binary;
+      // The greeting is the connection's last text line; on a binary
+      // connection everything after it is framed.
+      conn->staged += "OK DYNMIS ";
+      conn->staged +=
+          std::to_string(conn->binary ? kBinaryProtocolVersion
+                                      : kProtocolVersion);
+      if (conn->binary) conn->staged += " BIN";
+      conn->staged += " backend=" + backend->Kind() +
+                      " shards=" + std::to_string(backend->NumShards()) +
+                      " algorithm=" + backend->Stats().algorithm + "\n";
+      MarkDirty(conn);
+      return;
+    }
+
+    if (conn->discarding()) {
+      ConsumeDiscard(conn, cmd);
       return;
     }
 
@@ -749,7 +937,7 @@ struct Server::Impl {
 
     switch (cmd.verb) {
       case Verb::kHello:
-        Respond(conn, "ERR already handshaken");
+        RespondError(conn, "already handshaken");
         return;
       case Verb::kIns:
       case Verb::kDel:
@@ -757,18 +945,30 @@ struct Server::Impl {
       case Verb::kDelV:
         if (read_only) {
           ++metrics.ops_rejected;
-          Respond(conn, "ERR readonly");
+          if (conn->binary) {
+            RespondReject(conn, "readonly");
+          } else {
+            Respond(conn, "ERR readonly");
+          }
           return;
         }
         AdmitSingle(conn, &cmd);
         return;
       case Verb::kBatch:
         if (read_only) {
-          Respond(conn, "ERR readonly");
+          if (conn->binary) {
+            // One reject answers the whole frame; its decoded ops and END
+            // are still in flight behind this command — discard them.
+            RespondReject(conn, "readonly");
+            conn->discard_updates_left = cmd.count;
+            conn->discard_end = false;
+          } else {
+            Respond(conn, "ERR readonly");
+          }
           return;
         }
         conn->frame_updates_left = cmd.count;
-        conn->frames.emplace_back();
+        NewFrame(conn);
         return;  // Acked as a unit at END.
       case Verb::kEnd:
         Respond(conn, "ERR END without BATCH");
@@ -796,6 +996,7 @@ struct Server::Impl {
         Flush(FlushReason::kBarrier);  // Deferred acks precede the goodbye.
         Respond(conn, "OK bye");
         conn->close_after_write = true;
+        MarkDirty(conn);
         return;
     }
   }
@@ -805,7 +1006,7 @@ struct Server::Impl {
     std::string why;
     if (!Validate(&cmd->update, &insv_id, &why)) {
       ++metrics.ops_rejected;
-      Respond(conn, "ERR rejected: " + why);
+      RespondReject(conn, why);
       return;
     }
     ++metrics.ops_admitted;
@@ -822,7 +1023,7 @@ struct Server::Impl {
     if (conn->awaiting_end) {
       if (cmd.verb != Verb::kEnd) {
         ++metrics.protocol_errors;
-        AbortFrame(conn, std::string("ERR BATCH: expected END, got ") +
+        AbortFrame(conn, std::string("BATCH: expected END, got ") +
                              VerbName(cmd.verb));
         return;
       }
@@ -835,7 +1036,7 @@ struct Server::Impl {
     }
     if (!IsUpdateVerb(cmd.verb)) {
       ++metrics.protocol_errors;
-      AbortFrame(conn, std::string("ERR BATCH: expected update line, got ") +
+      AbortFrame(conn, std::string("BATCH: expected update line, got ") +
                            VerbName(cmd.verb));
       return;
     }
@@ -860,10 +1061,11 @@ struct Server::Impl {
   }
 
   // The admitted ops of an aborted frame stay admitted (they were valid);
-  // only the frame-level ack is replaced by the error. The frame record
+  // only the frame-level ack is replaced by the error (`msg`, without the
+  // "ERR " prefix — RespondError adds the encoding). The frame record
   // survives until its in-flight ops apply, so Flush's FIFO accounting
   // stays exact.
-  void AbortFrame(Connection* conn, std::string error) {
+  void AbortFrame(Connection* conn, const std::string& msg) {
     conn->frame_updates_left = 0;
     conn->awaiting_end = false;
     DYNMIS_CHECK(!conn->frames.empty());
@@ -872,12 +1074,29 @@ struct Server::Impl {
     } else {
       conn->frames.back().aborted = true;
     }
-    Respond(conn, std::move(error));
+    RespondError(conn, msg);
   }
 
   void HandleQuery(Connection* conn, const Command& cmd) {
     const Timer query_timer;
     Flush(FlushReason::kBarrier);  // Read-your-writes for every client.
+    if (conn->binary) {
+      // Only QUERY has a binary request frame; the other query verbs are
+      // text-only and cannot arrive here.
+      DYNMIS_CHECK(cmd.verb == Verb::kQuery);
+      Response& r = conn->responses.PushSlot();
+      r.ready = true;
+      r.frame_slot = false;
+      r.text.clear();
+      if (!replica.IsVertexAlive(cmd.vertex)) {
+        AppendErrResponse(&r.text, "unknown vertex");
+      } else {
+        AppendQueryResponse(&r.text, backend->InSolution(cmd.vertex));
+      }
+      metrics.query_latency.Record(query_timer.ElapsedSeconds());
+      DrainResponses(conn);
+      return;
+    }
     std::string response;
     switch (cmd.verb) {
       case Verb::kQuery:
@@ -1027,9 +1246,11 @@ struct Server::Impl {
       }
     }
     if (!dir.empty() && snapshotter == nullptr &&
-        options.snapshot_every_batches > 0) {
+        (options.snapshot_every_batches > 0 ||
+         options.snapshot_interval_ms > 0)) {
       snapshotter = std::make_unique<repl::Snapshotter>(dir);
       last_snapshot_trigger_seq = next_seq;
+      last_snapshot_trigger_time = clock.ElapsedSeconds();
     }
     std::fprintf(stderr, "dynmis serve: promoted to primary at seq %lld\n",
                  static_cast<long long>(next_seq));
@@ -1086,6 +1307,10 @@ struct Server::Impl {
     upstream_fd = fd;
     upstream_state = UpstreamState::kGreeting;
     upstream_in = std::make_unique<LineBuffer>(options.max_line_bytes);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEngineUpstreamTag;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, upstream_fd, &ev);
     return true;
   }
 
@@ -1374,10 +1599,12 @@ struct Server::Impl {
         return false;
       }
       log_writer = std::move(writer);
-      if (options.snapshot_every_batches > 0) {
+      if (options.snapshot_every_batches > 0 ||
+          options.snapshot_interval_ms > 0) {
         snapshotter = std::make_unique<repl::Snapshotter>(
             options.change_log_dir);
         last_snapshot_trigger_seq = next_seq;
+        last_snapshot_trigger_time = clock.ElapsedSeconds();
       }
     }
     if (!options.follow_addr.empty()) return ConnectUpstream(error);
@@ -1456,6 +1683,39 @@ struct Server::Impl {
       JsonInt(&out, VerbName(static_cast<Verb>(i)), metrics.commands[i]);
     }
     out.push_back('}');
+    out.push_back('}');
+    JsonKey(&out, "io");
+    out.push_back('{');
+    JsonInt(&out, "threads", static_cast<int64_t>(io_threads.size()));
+    JsonKey(&out, "per_thread");
+    out.push_back('[');
+    for (size_t t = 0; t < io_threads.size(); ++t) {
+      if (t > 0) out.push_back(',');
+      const IoMetrics m = io_threads[t]->MetricsCopy();
+      out.push_back('{');
+      JsonInt(&out, "wakeups", m.wakeups);
+      JsonInt(&out, "frames_decoded", m.frames_decoded);
+      JsonInt(&out, "bytes_read", m.bytes_read);
+      JsonInt(&out, "bytes_written", m.bytes_written);
+      JsonInt(&out, "decode_errors", m.decode_errors);
+      JsonInt(&out, "connections", m.connections);
+      JsonInt(&out, "inbox_depth_high_water", m.inbox_depth_high_water);
+      JsonKey(&out, "decode_latency_us");
+      out.push_back('{');
+      for (int v = 0; v < kNumVerbs; ++v) {
+        const LatencyRecorder& rec = m.decode_latency[v];
+        if (rec.count() == 0) continue;
+        JsonKey(&out, VerbName(static_cast<Verb>(v)));
+        out.push_back('{');
+        JsonInt(&out, "count", rec.count());
+        JsonDouble(&out, "p50", rec.PercentileUs(0.50));
+        JsonDouble(&out, "p99", rec.PercentileUs(0.99));
+        out.push_back('}');
+      }
+      out.push_back('}');
+      out.push_back('}');
+    }
+    out.push_back(']');
     out.push_back('}');
     JsonKey(&out, "replication");
     out.push_back('{');
@@ -1571,22 +1831,57 @@ struct Server::Impl {
       *error = "cannot set listen socket non-blocking";
       return false;
     }
-    if (pipe(wake_fds) != 0 || !SetNonBlocking(wake_fds[0])) {
-      *error = "cannot create wake pipe";
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) {
+      *error = std::string("epoll_create1: ") + std::strerror(errno);
+      return false;
+    }
+    wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd < 0) {
+      *error = std::string("eventfd: ") + std::strerror(errno);
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEngineWakeTag;
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+      *error = std::string("epoll_ctl: ") + std::strerror(errno);
+      return false;
+    }
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEngineListenTag;
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) != 0) {
+      *error = std::string("epoll_ctl: ") + std::strerror(errno);
       return false;
     }
     return true;
+  }
+
+  void MuteListener() {
+    if (listener_muted) return;
+    // Out of descriptors: the queued connection stays on the backlog and
+    // level-triggered epoll would re-report it forever. Leave the epoll set
+    // and rejoin once the backoff deadline passes.
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+    listener_muted = true;
+    accept_mute_until = clock.ElapsedSeconds() + 0.1;
+  }
+
+  void MaybeUnmuteListener() {
+    if (!listener_muted || clock.ElapsedSeconds() < accept_mute_until) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEngineListenTag;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
+    listener_muted = false;
   }
 
   void Accept() {
     for (;;) {
       const int fd = accept(listen_fd, nullptr, nullptr);
       if (fd < 0) {
-        // Out of descriptors: the queued connection stays on the backlog
-        // and level-triggered poll would re-report it forever. Back off
-        // from the listener for a while instead of spinning.
-        if (errno == EMFILE || errno == ENFILE) accept_backoff = 256;
-        return;  // EAGAIN (or transient error): back to poll.
+        if (errno == EMFILE || errno == ENFILE) MuteListener();
+        return;  // EAGAIN (or transient error): back to epoll.
       }
       if (static_cast<int>(connections.size()) >= options.max_connections) {
         const char* msg = "ERR server full\n";
@@ -1598,241 +1893,259 @@ struct Server::Impl {
       const int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       const int64_t session = next_session++;
-      Connection conn(options.max_line_bytes);
-      conn.fd = fd;
+      Connection& conn = connections[session];
       conn.session = session;
-      connections.emplace(session, std::move(conn));
+      conn.io_thread = next_io_thread;
+      next_io_thread = (next_io_thread + 1) % static_cast<int>(io_threads.size());
+      // Hand the socket to its I/O thread; from here the engine only ever
+      // sees this fd through the session's mailboxes.
+      io_threads[conn.io_thread]->orders().Produce([&](IoOrder* o) {
+        o->kind = IoOrderKind::kAdopt;
+        o->session = session;
+        o->fd = fd;
+        o->bytes.clear();
+        o->pending_out = conn.pending_out;
+      });
+      kick_needed[conn.io_thread] = 1;
       ++metrics.connections_accepted;
     }
   }
 
-  void CloseConnection(int64_t session) {
-    auto it = connections.find(session);
-    if (it == connections.end()) return;
-    close(it->second.fd);
-    connections.erase(it);
+  // Drains every I/O thread's inbox and applies the events in arrival
+  // order. Commands run the same admission path the old in-loop parser fed;
+  // lifecycle events map onto the winding-down machinery.
+  void ProcessIoEvents() {
+    for (size_t t = 0; t < io_threads.size(); ++t) {
+      std::vector<IoEvent>* events = nullptr;
+      const size_t n = io_threads[t]->inbox().Drain(&events);
+      for (size_t i = 0; i < n; ++i) {
+        IoEvent& ev = (*events)[i];
+        auto it = connections.find(ev.session);
+        if (it == connections.end()) continue;  // Already torn down.
+        Connection& conn = it->second;
+        switch (ev.kind) {
+          case IoEventKind::kCommand:
+            // A winding-down connection (QUIT acked, protocol error) gets
+            // no further commands executed.
+            if (!conn.close_after_write) HandleCommand(&conn, ev.cmd);
+            break;
+          case IoEventKind::kBadLine:
+            HandleBadLine(&conn, ev.error);
+            break;
+          case IoEventKind::kFatal:
+            HandleFatal(&conn, ev.error);
+            break;
+          case IoEventKind::kEof:
+            // Orderly peer close; answer what was received, then close.
+            conn.close_after_write = true;
+            MarkDirty(&conn);
+            break;
+          case IoEventKind::kClosed:
+            connections.erase(it);  // Socket already gone on the I/O side.
+            break;
+        }
+      }
+    }
   }
 
-  // Reads and processes what is available. Lines are parsed after every
-  // chunk — not after the socket drains — so the input buffer never grows
-  // past max_line_bytes plus one chunk, and a half-closing peer
-  // (shutdown(SHUT_WR) after its last command) still gets its buffered
-  // commands executed and its responses flushed before the close. A
-  // per-call chunk budget keeps one firehose connection from starving the
-  // rest of the loop; level-triggered poll re-signals the leftovers.
-  // Returns false only when the connection is unusable (error).
-  bool ReadFrom(Connection* conn) {
-    // A connection that is winding down (QUIT acked, protocol error) gets
-    // no further commands executed, even if more bytes are buffered or
-    // still arriving while its responses drain.
-    if (conn->close_after_write) return true;
-    char buf[4096];
-    for (int chunks = 0; chunks < 64; ++chunks) {
-      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
-      if (n > 0) {
-        conn->in.Append(buf, static_cast<size_t>(n));
-        while (auto line = conn->in.NextLine()) {
-          HandleLine(conn, *line);
-          if (conn->close_after_write) return true;
-        }
-        if (conn->in.overflowed()) {
-          ++metrics.protocol_errors;
-          Respond(conn, "ERR line too long");
-          conn->close_after_write = true;
-          return true;
-        }
+  // Ships every dirty connection's staged bytes and lifecycle transitions
+  // to its I/O thread as orders, then kicks each thread that got any (and
+  // un-parks inboxes that hit their high-water mark). Runs once per loop
+  // pass, so N responses staged in one pass cost one order + one wakeup.
+  void ShipOutput() {
+    for (const int64_t session : dirty_sessions) {
+      auto it = connections.find(session);
+      if (it == connections.end()) continue;
+      Connection& conn = it->second;
+      conn.dirty = false;
+      IoThread& io = *io_threads[conn.io_thread];
+      if (conn.overloaded) {
+        ++metrics.protocol_errors;
+        io.orders().Produce([&](IoOrder* o) {
+          o->kind = IoOrderKind::kCloseNow;
+          o->session = session;
+          o->fd = -1;
+          o->bytes.clear();
+          o->pending_out.reset();
+        });
+        kick_needed[conn.io_thread] = 1;
+        connections.erase(it);
         continue;
       }
-      if (n == 0) {  // Orderly peer close; answer what was received.
-        conn->close_after_write = true;
-        return true;
+      if (!conn.staged.empty()) {
+        conn.pending_out->fetch_add(static_cast<int64_t>(conn.staged.size()),
+                                    std::memory_order_relaxed);
+        io.orders().Produce([&](IoOrder* o) {
+          o->kind = IoOrderKind::kAppend;
+          o->session = session;
+          o->fd = -1;
+          o->bytes.assign(conn.staged);  // Slot string keeps its capacity.
+          o->pending_out.reset();
+        });
+        conn.staged.clear();
+        kick_needed[conn.io_thread] = 1;
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      return false;
+      if (conn.close_after_write && !conn.close_order_sent &&
+          conn.responses.empty()) {
+        conn.close_order_sent = true;
+        io.orders().Produce([&](IoOrder* o) {
+          o->kind = IoOrderKind::kCloseAfterWrite;
+          o->session = session;
+          o->fd = -1;
+          o->bytes.clear();
+          o->pending_out.reset();
+        });
+        kick_needed[conn.io_thread] = 1;
+      }
     }
+    dirty_sessions.clear();
+    for (size_t t = 0; t < io_threads.size(); ++t) {
+      if (io_threads[t]->paused()) {
+        // Its inbox has been drained (ProcessIoEvents runs first); re-arm
+        // reads.
+        io_threads[t]->orders().Produce([](IoOrder* o) {
+          o->kind = IoOrderKind::kResume;
+          o->session = 0;
+          o->fd = -1;
+          o->bytes.clear();
+          o->pending_out.reset();
+        });
+        kick_needed[t] = 1;
+      }
+      if (kick_needed[t]) {
+        io_threads[t]->Kick();
+        kick_needed[t] = 0;
+      }
+    }
+  }
+
+  bool StartIoThreads(std::string* error) {
+    const int n = std::max(1, options.io_threads);
+    io_threads.reserve(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      IoThreadOptions io_options;
+      io_options.index = t;
+      io_options.max_line_bytes = options.max_line_bytes;
+      io_options.engine_wake_fd = wake_fd;
+      auto io = std::make_unique<IoThread>(io_options);
+      if (!io->Start(error)) {
+        StopIoThreads();
+        return false;
+      }
+      io_threads.push_back(std::move(io));
+    }
+    kick_needed.assign(io_threads.size(), 0);
     return true;
   }
 
-  // Writes what the socket accepts; returns false on a dead peer.
-  bool WriteTo(Connection* conn) {
-    while (conn->pending_out() > 0) {
-      const ssize_t n = send(conn->fd, conn->out.data() + conn->out_sent,
-                             conn->pending_out(), MSG_NOSIGNAL);
-      if (n > 0) {
-        conn->out_sent += static_cast<size_t>(n);
-        continue;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      return false;
+  // Asks every I/O thread to flush its remaining output (EPOLLOUT-driven,
+  // deadline-bounded inside the thread — no polling re-check loop here)
+  // and joins them.
+  void StopIoThreads() {
+    for (auto& io : io_threads) {
+      io->orders().Produce([](IoOrder* o) {
+        o->kind = IoOrderKind::kDrain;
+        o->session = 0;
+        o->fd = -1;
+        o->bytes.clear();
+        o->pending_out.reset();
+      });
+      io->Kick();
     }
-    if (conn->pending_out() == 0) {
-      conn->out.clear();
-      conn->out_sent = 0;
-    } else if (conn->out_sent > (1 << 20) &&
-               conn->out_sent > conn->out.size() / 2) {
-      conn->out.erase(0, conn->out_sent);
-      conn->out_sent = 0;
-    }
-    return true;
+    for (auto& io : io_threads) io->Join();
+    // Keep the final counters readable after the threads are gone (tests
+    // and operators inspect MetricsSnapshot() post-shutdown).
+    io_metrics_final.clear();
+    for (auto& io : io_threads) io_metrics_final.push_back(io->MetricsCopy());
+    io_threads.clear();
   }
 
   int RunLoop() {
-    std::vector<pollfd> fds;
-    std::vector<int64_t> fd_sessions;
+    std::string io_error;
+    if (!StartIoThreads(&io_error)) {
+      std::fprintf(stderr, "dynmis serve: %s\n", io_error.c_str());
+      return 1;
+    }
+    epoll_event events[16];
     while (true) {
       if (stopping) break;
-      fds.clear();
-      fd_sessions.clear();
-      short listen_events = POLLIN;
-      if (accept_backoff > 0) {
-        --accept_backoff;
-        listen_events = 0;
-      }
-      fds.push_back({listen_fd, listen_events, 0});
-      fds.push_back({wake_fds[0], POLLIN, 0});
-      for (auto& [session, conn] : connections) {
-        // A winding-down connection's reads are over; keeping POLLIN armed
-        // would spin on the peer's EOF until its parked acks flush.
-        short events = conn.close_after_write ? 0 : POLLIN;
-        if (conn.pending_out() > 0) events |= POLLOUT;
-        fds.push_back({conn.fd, events, 0});
-        fd_sessions.push_back(session);
-      }
-      int upstream_idx = -1;
-      if (upstream_fd >= 0) {
-        upstream_idx = static_cast<int>(fds.size());
-        fds.push_back({upstream_fd, POLLIN, 0});
-      }
 
       // Block until traffic — or the pending batch's flush deadline.
       int timeout_ms = -1;
+      const auto tighten = [&timeout_ms](int ms) {
+        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+      };
       if (!pending_meta.empty()) {
         const double deadline = pending_meta.front().enqueue_time +
                                 options.flush_deadline_us * 1e-6;
         const double remaining = deadline - clock.ElapsedSeconds();
-        if (remaining <= 0) {
-          timeout_ms = 0;
-        } else {
-          timeout_ms = static_cast<int>(remaining * 1e3) + 1;
-        }
+        tighten(remaining <= 0 ? 0 : static_cast<int>(remaining * 1e3) + 1);
       }
-      if (accept_backoff > 0) {
+      if (listener_muted) {
         // The muted listener must not turn into an indefinite block: keep
         // ticking so the backoff expires and accepting resumes.
-        timeout_ms = timeout_ms < 0 ? 50 : std::min(timeout_ms, 50);
+        tighten(50);
       }
       if (tail_cursor != nullptr || reshard != nullptr ||
           HasCatchingUpSubscriber()) {
         // Progress on these comes from disk or a worker thread, not socket
         // readiness; keep ticking to notice it.
-        timeout_ms = timeout_ms < 0 ? 50 : std::min(timeout_ms, 50);
+        tighten(50);
       }
-      const int ready = poll(fds.data(), fds.size(), timeout_ms);
-      if (ready < 0 && errno != EINTR) return 1;
+      const int ready = epoll_wait(epoll_fd, events, 16, timeout_ms);
+      if (ready < 0 && errno != EINTR) {
+        Drain();
+        return 1;
+      }
+
+      bool listener_ready = false;
+      bool upstream_ready = false;
+      for (int i = 0; i < std::max(ready, 0); ++i) {
+        switch (events[i].data.u64) {
+          case kEngineWakeTag: {
+            uint64_t drain = 0;
+            (void)!read(wake_fd, &drain, sizeof(drain));
+            break;
+          }
+          case kEngineListenTag:
+            listener_ready = true;
+            break;
+          case kEngineUpstreamTag:
+            upstream_ready = true;
+            break;
+        }
+      }
 
       if (promote_requested.exchange(false)) {
         Flush(FlushReason::kBarrier);
         DoPromote();
       }
+      ProcessIoEvents();
       if (!pending_meta.empty() &&
           clock.ElapsedSeconds() - pending_meta.front().enqueue_time >=
               options.flush_deadline_us * 1e-6) {
         Flush(FlushReason::kDeadline);
       }
-      SweepWindingDown();
-      if (upstream_idx >= 0 && upstream_fd >= 0 &&
-          (fds[upstream_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        ReadUpstream();
-      }
+      if (upstream_ready && upstream_fd >= 0) ReadUpstream();
       PumpDirTail();
       PumpSubscribers();
       CheckReshardCutover();
-      if (ready <= 0) continue;
-
-      if (fds[0].revents & POLLIN) Accept();
-      if (fds[1].revents & POLLIN) {
-        char drain[64];
-        while (read(wake_fds[0], drain, sizeof(drain)) > 0) {
-        }
-      }
-      for (size_t i = 2; i < 2 + fd_sessions.size(); ++i) {
-        const int64_t session = fd_sessions[i - 2];
-        auto it = connections.find(session);
-        if (it == connections.end()) continue;
-        Connection& conn = it->second;
-        bool alive = true;
-        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-          alive = ReadFrom(&conn);
-        }
-        if (alive) alive = WriteTo(&conn);
-        if (alive && conn.overloaded) {
-          ++metrics.protocol_errors;
-          alive = false;
-        }
-        if (!alive || (conn.close_after_write && conn.pending_out() == 0 &&
-                       conn.responses.empty())) {
-          CloseConnection(session);
-        }
-      }
+      if (listener_ready) Accept();
+      MaybeUnmuteListener();
+      ShipOutput();
     }
     Drain();
     return 0;
   }
 
-  // Winding-down connections (QUIT acked, protocol error, peer EOF) poll
-  // with reads muted, so a deadline flush — not socket readiness — may be
-  // what finally readies their parked acks; sweep them every pass.
-  void SweepWindingDown() {
-    std::vector<int64_t> winding;
-    for (const auto& [session, conn] : connections) {
-      if (conn.close_after_write) winding.push_back(session);
-    }
-    for (const int64_t session : winding) {
-      auto it = connections.find(session);
-      if (it == connections.end()) continue;
-      Connection& conn = it->second;
-      if (!WriteTo(&conn) ||
-          (conn.pending_out() == 0 && conn.responses.empty())) {
-        CloseConnection(session);
-      }
-    }
-  }
-
-  // Clean shutdown: apply the in-flight batch, push the resulting acks (and
-  // any other buffered bytes) out best-effort, then close everything.
+  // Clean shutdown: apply the in-flight batch, ship the resulting acks (and
+  // any other staged bytes) to the I/O threads, then have them flush and
+  // close everything under their drain deadline.
   void Drain() {
     Flush(FlushReason::kBarrier);
-    const Timer drain_timer;
-    while (drain_timer.ElapsedSeconds() < 2.0) {
-      bool outstanding = false;
-      std::vector<int64_t> dead;
-      for (auto& [session, conn] : connections) {
-        if (!WriteTo(&conn)) {
-          dead.push_back(session);
-        } else if (conn.pending_out() > 0) {
-          outstanding = true;
-        }
-      }
-      for (const int64_t session : dead) CloseConnection(session);
-      if (!outstanding) break;
-      pollfd pfd{};
-      std::vector<pollfd> wfds;
-      for (auto& [session, conn] : connections) {
-        if (conn.pending_out() > 0) {
-          pfd.fd = conn.fd;
-          pfd.events = POLLOUT;
-          wfds.push_back(pfd);
-        }
-      }
-      poll(wfds.data(), wfds.size(), 100);
-    }
-    std::vector<int64_t> sessions;
-    for (const auto& [session, conn] : connections) {
-      sessions.push_back(session);
-    }
-    for (const int64_t session : sessions) CloseConnection(session);
+    ShipOutput();
+    StopIoThreads();
+    connections.clear();
 
     // Replication teardown. The final barrier flush above already logged
     // the in-flight batch; fsync so a SIGTERM-initiated exit leaves a log
@@ -1858,10 +2171,11 @@ struct Server::Impl {
   }
 
   ~Impl() {
+    // Connection sockets are owned (and closed) by the I/O threads.
     if (listen_fd >= 0) close(listen_fd);
-    if (wake_fds[0] >= 0) close(wake_fds[0]);
-    if (wake_fds[1] >= 0) close(wake_fds[1]);
-    for (const auto& [session, conn] : connections) close(conn.fd);
+    if (epoll_fd >= 0) close(epoll_fd);
+    if (wake_fd >= 0) close(wake_fd);
+    if (upstream_fd >= 0) close(upstream_fd);
   }
 };
 
@@ -1889,10 +2203,9 @@ int Server::Run() { return impl_->RunLoop(); }
 
 void Server::Stop() {
   impl_->stopping = true;
-  if (impl_->wake_fds[1] >= 0) {
-    const char byte = 1;
-    (void)!write(impl_->wake_fds[1], &byte, 1);
-  }
+  // write() on an eventfd is async-signal-safe, so this is callable from
+  // the SIGINT/SIGTERM handlers.
+  if (impl_->wake_fd >= 0) WriteWakeEventFd(impl_->wake_fd);
 }
 
 const DynamicGraph& Server::replica_graph() const { return impl_->replica; }
@@ -1940,15 +2253,24 @@ ServingMetricsSnapshot Server::MetricsSnapshot() const {
   snap.repl_subscribers = impl_->CountSubscribers();
   snap.repl_promotions = m.repl_promotions;
   snap.repl_resharded = m.repl_resharded;
+  // Live per-thread counters while running; the final copies captured at
+  // shutdown afterwards.
+  std::vector<IoMetrics> io_all;
+  for (const auto& io : impl_->io_threads) io_all.push_back(io->MetricsCopy());
+  if (io_all.empty()) io_all = impl_->io_metrics_final;
+  snap.io_threads = static_cast<int64_t>(io_all.size());
+  for (const IoMetrics& io_metrics : io_all) {
+    snap.io_wakeups += io_metrics.wakeups;
+    snap.io_frames_decoded += io_metrics.frames_decoded;
+    snap.io_inbox_depth_high_water = std::max(
+        snap.io_inbox_depth_high_water, io_metrics.inbox_depth_high_water);
+  }
   return snap;
 }
 
 void Server::RequestPromote() {
   impl_->promote_requested.store(true);
-  if (impl_->wake_fds[1] >= 0) {
-    const char byte = 1;
-    (void)!write(impl_->wake_fds[1], &byte, 1);
-  }
+  if (impl_->wake_fd >= 0) WriteWakeEventFd(impl_->wake_fd);
 }
 
 ServingBackend& Server::backend() { return *impl_->backend; }

@@ -82,6 +82,10 @@ class TestServer {
 
  private:
   void Launch(std::unique_ptr<ServingBackend> backend, ServeOptions options) {
+    // Multi-threaded I/O everywhere: replication (SUBSCRIBE streams,
+    // PROMOTE, RESHARD) must behave identically through the mailbox
+    // transport.
+    options.io_threads = 4;
     std::string error;
     server_ = std::make_unique<Server>(std::move(backend), options);
     EXPECT_TRUE(server_->Start(&error)) << error;

@@ -1,10 +1,13 @@
 // Loopback end-to-end tests for the serving layer: a real Server on an
 // ephemeral port driven through real sockets — concurrent churn from
-// several clients, the handshake policy, client-batch framing, solution
-// verification, trace-faithful replay, and snapshot/restore warm failover
-// across a simulated process hand-off. Runs under ASan and TSan in CI (the
-// serving thread + client threads are exactly the concurrency TSan should
-// be watching).
+// several clients, the handshake policy, both wire protocols (newline text
+// and the HELLO 2 BIN length-prefixed binary upgrade), client-batch
+// framing, solution verification, trace-faithful replay, and
+// snapshot/restore warm failover across a simulated process hand-off. Every
+// server here runs with --io-threads 4, so the engine/I/O mailbox handoff
+// is always exercised multi-threaded. Runs under ASan and TSan in CI (the
+// serving thread + I/O threads + client threads are exactly the concurrency
+// TSan should be watching).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -27,6 +30,7 @@
 #include "gtest/gtest.h"
 #include "src/graph/generators.h"
 #include "src/graph/update_stream.h"
+#include "src/serve/binary.h"
 #include "src/serve/line_client.h"
 #include "src/serve/protocol.h"
 #include "src/serve/trace.h"
@@ -49,6 +53,9 @@ class TestServer {
   explicit TestServer(ServeOptions options,
                       const EdgeListGraph& base = TestGraph()) {
     options.port = 0;
+    // Always multi-threaded I/O: single-thread is just the degenerate case,
+    // and 4 threads is what CI's sanitizer legs should be watching.
+    options.io_threads = 4;
     std::string error;
     auto backend = MakeServingBackend(base, options, &error);
     EXPECT_NE(backend, nullptr) << error;
@@ -453,6 +460,212 @@ TEST(ServeE2eTest, QueriesSeeTheirOwnWrites) {
   ASSERT_TRUE(ack.rfind("OK ", 0) == 0) << ack;
   const VertexId id = std::atoi(ack.c_str() + 3);
   EXPECT_EQ(client.Ask("QUERY " + std::to_string(id)), "OK 1");
+}
+
+// --- Binary protocol ---------------------------------------------------------
+
+// Client for the binary protocol: text HELLO 2 BIN handshake, then
+// length-prefixed frames both ways.
+class BinaryTestClient {
+ public:
+  explicit BinaryTestClient(int port, bool handshake = true) {
+    std::string error;
+    EXPECT_TRUE(client_.Connect("127.0.0.1", port, &error)) << error;
+    if (handshake) {
+      EXPECT_TRUE(client_.SendLine("HELLO 2 BIN"));
+      ExpectGreeting();
+    }
+  }
+
+  void ExpectGreeting() {
+    std::string greeting;
+    EXPECT_TRUE(client_.ReadLine(&greeting));
+    EXPECT_TRUE(greeting.rfind("OK DYNMIS 2 BIN ", 0) == 0) << greeting;
+  }
+
+  void SendRaw(const std::string& bytes) {
+    EXPECT_TRUE(client_.SendAll(bytes));
+  }
+
+  // Reads and decodes the next response frame; reports closed=true (and a
+  // default response) once the peer is gone.
+  BinaryResponse ReadResponse(bool* closed = nullptr) {
+    BinaryResponse resp;
+    std::string frame;
+    if (!client_.ReadFrame(&frame)) {
+      if (closed != nullptr) {
+        *closed = true;
+      } else {
+        ADD_FAILURE() << "peer closed mid-read";
+      }
+      return resp;
+    }
+    if (closed != nullptr) *closed = false;
+    std::string error;
+    EXPECT_TRUE(DecodeResponseFrame(frame, &resp, &error)) << error;
+    return resp;
+  }
+
+  bool PeerClosed() {
+    std::string frame;
+    return !client_.ReadFrame(&frame);
+  }
+
+  LineClient& raw() { return client_; }
+
+ private:
+  LineClient client_;
+};
+
+TEST(ServeBinaryTest, UpgradeRoundTripsEveryVerb) {
+  TestServer server({});
+  BinaryTestClient client(server.port());
+
+  // INSV {0, 5}: first fresh id beyond the 150-vertex base.
+  std::string wire;
+  AppendInsVFrame(&wire, {0, 5});
+  client.SendRaw(wire);
+  const BinaryResponse insv = client.ReadResponse();
+  EXPECT_EQ(insv.code, kBinRespOkId);
+  EXPECT_EQ(insv.id, 150);
+
+  // Pipelined: edge insert + self-loop reject + query + edge delete + DELV.
+  wire.clear();
+  AppendInsFrame(&wire, 150, 3);
+  AppendInsFrame(&wire, 4, 4);
+  AppendQueryFrame(&wire, 150);
+  AppendDelFrame(&wire, 150, 3);
+  AppendDelVFrame(&wire, 150);
+  client.SendRaw(wire);
+  EXPECT_EQ(client.ReadResponse().code, kBinRespOk);
+  const BinaryResponse reject = client.ReadResponse();
+  EXPECT_EQ(reject.code, kBinRespReject);
+  EXPECT_NE(reject.message.find("self loop"), std::string::npos)
+      << reject.message;
+  EXPECT_EQ(client.ReadResponse().code, kBinRespQuery);
+  EXPECT_EQ(client.ReadResponse().code, kBinRespOk);
+  EXPECT_EQ(client.ReadResponse().code, kBinRespOk);
+
+  // Unknown vertex: an error response, but not fatal to the connection.
+  wire.clear();
+  AppendQueryFrame(&wire, 99999);
+  AppendQueryFrame(&wire, 0);
+  client.SendRaw(wire);
+  EXPECT_EQ(client.ReadResponse().code, kBinRespErr);
+  EXPECT_EQ(client.ReadResponse().code, kBinRespQuery);
+}
+
+TEST(ServeBinaryTest, PipelinedUpgradeInOnePacket) {
+  TestServer server({});
+  BinaryTestClient client(server.port(), /*handshake=*/false);
+  // HELLO line and binary frames in a single send: the server must hand the
+  // bytes behind the newline to the binary decoder, not drop them.
+  std::string wire = "HELLO 2 BIN\n";
+  AppendInsVFrame(&wire, {});
+  AppendQueryFrame(&wire, 0);
+  client.SendRaw(wire);
+  client.ExpectGreeting();
+  EXPECT_EQ(client.ReadResponse().code, kBinRespOkId);
+  EXPECT_EQ(client.ReadResponse().code, kBinRespQuery);
+}
+
+TEST(ServeBinaryTest, BatchFrameGetsOneAck) {
+  TestServer server({});
+  BinaryTestClient client(server.port());
+  // Ensure edge {3, 141} exists so the batch's DEL is definitely valid.
+  std::string wire;
+  AppendInsFrame(&wire, 3, 141);
+  client.SendRaw(wire);
+  const BinaryResponse setup = client.ReadResponse();
+  EXPECT_TRUE(setup.code == kBinRespOk || setup.code == kBinRespReject);
+
+  std::vector<GraphUpdate> updates(3);
+  updates[0] = {UpdateKind::kDeleteEdge, 3, 141, {}};
+  updates[1] = {UpdateKind::kInsertEdge, 5, 5, {}};  // Rejected.
+  updates[2] = {UpdateKind::kInsertVertex, kInvalidVertex, kInvalidVertex,
+                {7, 9}};
+  wire.clear();
+  AppendBatchFrame(&wire, updates, 0, updates.size());
+  client.SendRaw(wire);
+  const BinaryResponse ack = client.ReadResponse();
+  EXPECT_EQ(ack.code, kBinRespBatch);
+  EXPECT_EQ(ack.applied, 2);
+  EXPECT_EQ(ack.rejected, 1);
+  EXPECT_EQ(ack.insert_ids, (std::vector<VertexId>{150}));
+}
+
+TEST(ServeBinaryTest, BareHello2WithoutBinIsRejected) {
+  TestServer server({});
+  TestClient client(server.port(), /*handshake=*/false);
+  const std::string response = client.Ask("HELLO 2");
+  EXPECT_TRUE(response.rfind("ERR handshake", 0) == 0) << response;
+  EXPECT_EQ(client.ReadLine(), "");
+}
+
+TEST(ServeBinaryTest, GarbageOpcodeAnswersErrAndCloses) {
+  TestServer server({});
+  BinaryTestClient client(server.port());
+  std::string wire;
+  AppendFrameHeader(&wire, 0x7f, 0);
+  client.SendRaw(wire);
+  const BinaryResponse err = client.ReadResponse();
+  EXPECT_EQ(err.code, kBinRespErr);
+  EXPECT_TRUE(client.PeerClosed());
+}
+
+TEST(ServeBinaryTest, OversizedLengthPrefixAnswersErrAndCloses) {
+  ServeOptions options;
+  options.max_line_bytes = 128;  // Also caps binary frames.
+  TestServer server(options);
+  BinaryTestClient client(server.port());
+  std::string wire;
+  AppendU32(&wire, 1 << 20);  // Length prefix far beyond the cap.
+  wire.push_back(static_cast<char>(kBinOpQuery));
+  client.SendRaw(wire);
+  const BinaryResponse err = client.ReadResponse();
+  EXPECT_EQ(err.code, kBinRespErr);
+  EXPECT_TRUE(client.PeerClosed());
+}
+
+TEST(ServeBinaryTest, ConcurrentBinaryChurnStaysVerified) {
+  ServeOptions options;
+  options.batch_max_ops = 64;
+  options.flush_deadline_us = 500;
+  TestServer server(options);
+
+  const auto churn = [&server](uint64_t seed) {
+    BinaryTestClient client(server.port());
+    DynamicGraph mirror = TestGraph().ToDynamic();
+    UpdateStreamOptions stream;
+    stream.seed = seed;
+    UpdateStreamGenerator generator(stream);
+    std::string wire;
+    for (int i = 0; i < 300; ++i) {
+      const GraphUpdate update = generator.Next(mirror);
+      ApplyUpdate(&mirror, update);
+      wire.clear();
+      AppendUpdateFrame(&wire, update);
+      client.SendRaw(wire);
+      const BinaryResponse resp = client.ReadResponse();
+      EXPECT_TRUE(resp.code == kBinRespOk || resp.code == kBinRespOkId ||
+                  resp.code == kBinRespReject)
+          << static_cast<int>(resp.code);
+    }
+  };
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) clients.emplace_back(churn, 7100 + i);
+  for (std::thread& t : clients) t.join();
+
+  TestClient control(server.port());
+  EXPECT_NE(control.Ask("VERIFY").find("independent=1 maximal=1"),
+            std::string::npos);
+  const std::string stats = control.Ask("STATS");
+  EXPECT_NE(stats.find("\"io\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"frames_decoded\":"), std::string::npos) << stats;
+  EXPECT_EQ(server.StopAndJoin(), 0);
+  const ServingMetricsSnapshot metrics = server.server().MetricsSnapshot();
+  EXPECT_EQ(metrics.io_threads, 4);
+  EXPECT_GT(metrics.io_frames_decoded, 0);
 }
 
 }  // namespace

@@ -42,18 +42,23 @@
 //                    [--graph FILE | --scenario NAME | --restore SNAP]
 //                    [--algo NAME] [--backend engine|sharded] [--shards N]
 //                    [--batch-ops N] [--flush-us U] [--max-conns N]
-//                    [--record-trace]
-//       serve the engine over a newline-delimited TCP protocol. With no
-//       graph source the server starts on an empty graph (clients build it
-//       with INSV). SIGTERM/SIGINT drain in-flight batches and exit 0.
+//                    [--io-threads N] [--record-trace]
+//       serve the engine over TCP — newline text by default, with a
+//       length-prefixed binary protocol negotiated per connection (HELLO 2
+//       BIN; README "Serving"). --io-threads N spreads connection I/O over
+//       N epoll threads. With no graph source the server starts on an
+//       empty graph (clients build it with INSV). SIGTERM/SIGINT drain
+//       in-flight batches and exit 0.
 //
 // Replication (README "Replication"):
 //
 //   primary:   --change-log DIR [--log-segment-bytes N] [--snapshot-every N]
+//              [--snapshot-interval-ms MS]
 //       append every applied batch to a segmented change log under DIR and
-//       publish periodic background base snapshots. A primary restarted on a
-//       non-empty DIR recovers from the latest checkpoint (base + tail) and
-//       continues the sequence.
+//       publish periodic background base snapshots — every N batches,
+//       and/or whenever MS milliseconds have passed at a batch boundary. A
+//       primary restarted on a non-empty DIR recovers from the latest
+//       checkpoint (base + tail) and continues the sequence.
 //   follower:  --follow HOST:PORT [--bootstrap DIR]  |  --follow-dir DIR
 //       serve reads only (`ERR readonly` for writes), replaying the
 //       primary's batches — over TCP (REPL SUBSCRIBE) or by tailing its
@@ -532,9 +537,10 @@ int ServeUsage(const char* argv0) {
       "                [--graph FILE | --scenario NAME | --restore SNAP]\n"
       "                [--algo NAME] [--backend engine|sharded] [--shards N]\n"
       "                [--batch-ops N] [--flush-us U] [--max-conns N]\n"
-      "                [--record-trace] [--allow-file-commands]\n"
+      "                [--io-threads N] [--record-trace]\n"
+      "                [--allow-file-commands]\n"
       "                [--change-log DIR] [--log-segment-bytes N]\n"
-      "                [--snapshot-every N]\n"
+      "                [--snapshot-every N] [--snapshot-interval-ms MS]\n"
       "                [--follow HOST:PORT [--bootstrap DIR] |"
       " --follow-dir DIR]\n"
       "scenarios: smoke easy hard powerlaw (bench-driver graphs by name)\n",
@@ -600,6 +606,12 @@ int RunServeCommand(int argc, char** argv) {
     } else if (arg == "--snapshot-every") {
       if (!(v = next())) return ServeUsage(argv[0]);
       options.snapshot_every_batches = std::atoll(v);
+    } else if (arg == "--snapshot-interval-ms") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.snapshot_interval_ms = std::atoll(v);
+    } else if (arg == "--io-threads") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.io_threads = std::atoi(v);
     } else if (arg == "--follow") {
       if (!(v = next())) return ServeUsage(argv[0]);
       options.follow_addr = v;
@@ -616,7 +628,8 @@ int RunServeCommand(int argc, char** argv) {
   }
   if (options.batch_max_ops < 1 || options.shards < 1 ||
       options.max_connections < 1 || options.flush_deadline_us < 0 ||
-      options.log_segment_bytes < 1 || options.snapshot_every_batches < 0) {
+      options.log_segment_bytes < 1 || options.snapshot_every_batches < 0 ||
+      options.snapshot_interval_ms < 0 || options.io_threads < 1) {
     std::fprintf(stderr, "serve: non-positive sizing flag\n");
     return 2;
   }
@@ -651,8 +664,12 @@ int RunServeCommand(int argc, char** argv) {
                  "bootstrap from a checkpoint directory)\n");
     return 2;
   }
-  if (options.snapshot_every_batches > 0 && options.change_log_dir.empty()) {
-    std::fprintf(stderr, "serve: --snapshot-every requires --change-log\n");
+  if ((options.snapshot_every_batches > 0 ||
+       options.snapshot_interval_ms > 0) &&
+      options.change_log_dir.empty()) {
+    std::fprintf(stderr,
+                 "serve: --snapshot-every / --snapshot-interval-ms require "
+                 "--change-log\n");
     return 2;
   }
 

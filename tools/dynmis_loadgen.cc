@@ -24,8 +24,16 @@
 //
 //   dynmis_loadgen --port P [--host H] [--scenario NAME] [--connections N]
 //                  [--updates TOTAL] [--pipeline W] [--batch B] [--seed S]
-//                  [--algo NAME] [--out PATH] [--snapshot PATH]
-//                  [--resume-updates K] [--no-verify]
+//                  [--mode text|binary] [--sweep C1,C2,...] [--algo NAME]
+//                  [--out PATH] [--snapshot PATH] [--resume-updates K]
+//                  [--no-verify]
+//
+// --mode binary upgrades every worker connection with HELLO 2 BIN and
+// drives the length-prefixed binary protocol instead of text lines (same
+// ops, same acks, one frame per request). --sweep runs the load phase once
+// per listed connection count, prints a throughput/latency table, and
+// records the rows in the JSON ("sweep" array); verification runs once,
+// after the final stage.
 //
 // TRACE and SNAPSHOT name server-side paths: the tool assumes a loopback
 // server sharing the filesystem (its purpose is acceptance and CI, not
@@ -55,6 +63,7 @@
 #include "bench/bench_common.h"
 #include "bench/json_writer.h"
 #include "dynmis/dynmis.h"
+#include "src/serve/binary.h"
 #include "src/serve/line_client.h"
 #include "src/serve/protocol.h"
 #include "src/serve/trace.h"
@@ -80,6 +89,10 @@ struct LoadgenOptions {
   // achieved_qps/target_qps gap in the JSON shows it). 0 = closed loop.
   double target_qps = 0;
   uint64_t seed = 1;
+  bool binary = false;  // --mode binary: HELLO 2 BIN + framed requests.
+  // --sweep: run the load phase once per connection count listed here
+  // (overrides --connections for the load phase).
+  std::vector<int> sweep;
   // Replay-backend algorithm. Defaults to whatever the server's handshake
   // advertises; --algo overrides (needed when the advertised display name
   // is not a registry key).
@@ -164,12 +177,21 @@ struct WorkerResult {
 };
 
 void RunWorker(const LoadgenOptions& options,
-               const serve::ServeWorkload& workload, int index, int count,
-               WorkerResult* result) {
+               const serve::ServeWorkload& workload, int index,
+               uint64_t seed_salt, int count, WorkerResult* result) {
   LineClient client;
   std::string greeting;
-  if (!client.Connect(options.host, options.port, &result->error) ||
-      !Handshake(&client, &greeting, &result->error)) {
+  if (!client.Connect(options.host, options.port, &result->error)) return;
+  if (options.binary) {
+    if (!client.SendLine("HELLO 2 BIN") || !client.ReadLine(&greeting)) {
+      result->error = "connection lost during handshake";
+      return;
+    }
+    if (greeting.rfind("OK DYNMIS 2 BIN ", 0) != 0) {
+      result->error = "binary handshake rejected: " + greeting;
+      return;
+    }
+  } else if (!Handshake(&client, &greeting, &result->error)) {
     return;
   }
 
@@ -179,7 +201,7 @@ void RunWorker(const LoadgenOptions& options,
   // layer validates and rejects the stale ops, exactly as it would for any
   // set of concurrent writers.
   UpdateStreamOptions stream = workload.stream;
-  stream.seed = stream.seed + options.seed * 131 +
+  stream.seed = stream.seed + options.seed * 131 + seed_salt +
                 static_cast<uint64_t>(index + 1) * 7919;
   const std::vector<GraphUpdate> updates =
       MakeUpdateSequence(workload.base.ToDynamic(), count, stream);
@@ -203,9 +225,41 @@ void RunWorker(const LoadgenOptions& options,
     }
   };
 
-  // Single-op mode: one OK/ERR per op. Batch mode: one "OK <applied>
-  // <rejected> [ids...]" per frame.
+  // Single-op mode: one OK/ERR (or binary response frame) per op. Batch
+  // mode: one "OK <applied> <rejected> [ids...]" line or one batch-ack
+  // frame per request frame.
+  serve::BinaryResponse response;
   auto read_one = [&]() -> bool {
+    if (options.binary) {
+      if (!client.ReadFrame(&line)) {
+        result->error = "connection lost mid-stream";
+        return false;
+      }
+      std::string decode_error;
+      if (!serve::DecodeResponseFrame(line, &response, &decode_error)) {
+        result->error = "bad response frame: " + decode_error;
+        return false;
+      }
+      result->rtts.push_back(clock.ElapsedSeconds() - in_flight.front());
+      in_flight.pop_front();
+      switch (response.code) {
+        case serve::kBinRespOk:
+        case serve::kBinRespOkId:
+          ++result->acked;
+          break;
+        case serve::kBinRespReject:
+          ++result->rejected;
+          break;
+        case serve::kBinRespBatch:
+          result->acked += response.applied;
+          result->rejected += response.rejected;
+          break;
+        default:
+          result->error = "frame refused: " + response.message;
+          return false;
+      }
+      return true;
+    }
     if (!client.ReadLine(&line)) {
       result->error = "connection lost mid-stream";
       return false;
@@ -231,11 +285,19 @@ void RunWorker(const LoadgenOptions& options,
     return true;
   };
 
+  std::string wire;  // Reused request buffer (text line or binary frame).
   if (options.client_batch <= 1) {
     for (const GraphUpdate& update : updates) {
       pace(result->sent);
       in_flight.push_back(clock.ElapsedSeconds());
-      if (!client.SendAll(serve::FormatCommandLine(update) + "\n")) {
+      wire.clear();
+      if (options.binary) {
+        serve::AppendUpdateFrame(&wire, update);
+      } else {
+        wire = serve::FormatCommandLine(update);
+        wire += '\n';
+      }
+      if (!client.SendAll(wire)) {
         result->error = "send failed";
         return;
       }
@@ -250,15 +312,20 @@ void RunWorker(const LoadgenOptions& options,
          i += static_cast<size_t>(options.client_batch)) {
       const size_t end = std::min(
           updates.size(), i + static_cast<size_t>(options.client_batch));
-      std::string frame = "BATCH " + std::to_string(end - i) + "\n";
-      for (size_t j = i; j < end; ++j) {
-        frame += serve::FormatCommandLine(updates[j]);
-        frame += '\n';
+      wire.clear();
+      if (options.binary) {
+        serve::AppendBatchFrame(&wire, updates, i, end - i);
+      } else {
+        wire = "BATCH " + std::to_string(end - i) + "\n";
+        for (size_t j = i; j < end; ++j) {
+          wire += serve::FormatCommandLine(updates[j]);
+          wire += '\n';
+        }
+        wire += "END\n";
       }
-      frame += "END\n";
       pace(result->sent);
       in_flight.push_back(clock.ElapsedSeconds());
-      if (!client.SendAll(frame)) {
+      if (!client.SendAll(wire)) {
         result->error = "send failed";
         return;
       }
@@ -272,8 +339,61 @@ void RunWorker(const LoadgenOptions& options,
   while (!in_flight.empty()) {
     if (!read_one()) return;
   }
-  std::string goodbye;
-  client.Ask("QUIT", &goodbye);
+  if (options.binary) {
+    client.Close();  // QUIT is text-only; EOF closes a binary connection.
+  } else {
+    std::string goodbye;
+    client.Ask("QUIT", &goodbye);
+  }
+}
+
+// One load phase: `connections` workers splitting `total` updates. The
+// sweep runs this once per connection count; the plain path runs it once.
+struct LoadPhaseResult {
+  int connections = 0;
+  WorkerResult totals;
+  double elapsed = 0;
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+  bool failed = false;
+
+  double ops_per_sec() const {
+    return elapsed > 0 ? static_cast<double>(totals.acked) / elapsed : 0;
+  }
+};
+
+LoadPhaseResult RunLoadPhase(const LoadgenOptions& options,
+                             const serve::ServeWorkload& workload,
+                             int connections, int total, uint64_t seed_salt) {
+  LoadPhaseResult phase;
+  phase.connections = connections;
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  Timer load_timer;
+  for (int i = 0; i < connections; ++i) {
+    const int count =
+        total / connections + (i < total % connections ? 1 : 0);
+    workers.emplace_back(RunWorker, std::cref(options), std::cref(workload),
+                         i, seed_salt, count, &results[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  phase.elapsed = load_timer.ElapsedSeconds();
+
+  std::vector<double> rtts;
+  for (const WorkerResult& r : results) {
+    phase.totals.sent += r.sent;
+    phase.totals.acked += r.acked;
+    phase.totals.rejected += r.rejected;
+    rtts.insert(rtts.end(), r.rtts.begin(), r.rtts.end());
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "loadgen: worker error: %s\n", r.error.c_str());
+      phase.failed = true;
+    }
+  }
+  std::sort(rtts.begin(), rtts.end());
+  phase.rtt_p50_us = bench::Percentile(rtts, 0.50) * 1e6;
+  phase.rtt_p99_us = bench::Percentile(rtts, 0.99) * 1e6;
+  return phase;
 }
 
 // An in-process stand-in for the server's backend, for replay/resume checks.
@@ -369,7 +489,8 @@ int Usage() {
       "usage: dynmis_loadgen --port P [--host H] [--scenario NAME]\n"
       "                      [--connections N] [--updates TOTAL]\n"
       "                      [--pipeline W] [--batch B] [--seed S]\n"
-      "                      [--target-qps Q] [--algo NAME] [--out PATH]\n"
+      "                      [--target-qps Q] [--mode text|binary]\n"
+      "                      [--sweep C1,C2,...] [--algo NAME] [--out PATH]\n"
       "                      [--snapshot PATH] [--resume-updates K]\n"
       "                      [--no-verify]\n");
   return 2;
@@ -410,6 +531,29 @@ int Main(int argc, char** argv) {
     } else if (arg == "--target-qps") {
       if (!(v = next())) return Usage();
       options.target_qps = std::atof(v);
+    } else if (arg == "--mode") {
+      if (!(v = next())) return Usage();
+      if (std::string(v) == "binary") {
+        options.binary = true;
+      } else if (std::string(v) == "text") {
+        options.binary = false;
+      } else {
+        std::fprintf(stderr, "bad --mode (want text|binary): %s\n", v);
+        return Usage();
+      }
+    } else if (arg == "--sweep") {
+      if (!(v = next())) return Usage();
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        const long c = std::strtol(p, &end, 10);
+        if (end == p || c < 1) {
+          std::fprintf(stderr, "bad --sweep list: %s\n", v);
+          return Usage();
+        }
+        options.sweep.push_back(static_cast<int>(c));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (options.sweep.empty()) return Usage();
     } else if (arg == "--algo") {
       if (!(v = next())) return Usage();
       options.algo.algorithm = v;
@@ -479,42 +623,43 @@ int Main(int argc, char** argv) {
 
   // --- Load phase ------------------------------------------------------------
 
-  std::vector<WorkerResult> results(options.connections);
-  std::vector<std::thread> workers;
-  Timer load_timer;
-  for (int i = 0; i < options.connections; ++i) {
-    const int count = total / options.connections +
-                      (i < total % options.connections ? 1 : 0);
-    workers.emplace_back(RunWorker, std::cref(options), std::cref(workload),
-                         i, count, &results[i]);
-  }
-  for (std::thread& worker : workers) worker.join();
-  const double elapsed = load_timer.ElapsedSeconds();
-
-  WorkerResult totals;
-  std::vector<double> rtts;
+  // The sweep runs the load phase at each listed connection count; the
+  // plain path is a single-stage sweep at --connections. The JSON's main
+  // "serving" block reports the final stage.
+  std::vector<int> stages = options.sweep;
+  if (stages.empty()) stages.push_back(options.connections);
+  std::vector<LoadPhaseResult> phases;
   bool worker_failed = false;
-  for (const WorkerResult& r : results) {
-    totals.sent += r.sent;
-    totals.acked += r.acked;
-    totals.rejected += r.rejected;
-    rtts.insert(rtts.end(), r.rtts.begin(), r.rtts.end());
-    if (!r.error.empty()) {
-      std::fprintf(stderr, "loadgen: worker error: %s\n", r.error.c_str());
-      worker_failed = true;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const LoadPhaseResult phase = RunLoadPhase(
+        options, workload, stages[s], total, /*seed_salt=*/s * 104729);
+    std::fprintf(
+        stderr,
+        "loadgen: [%s, %d conn] %lld sent, %lld acked, %lld rejected in "
+        "%.3fs (%.0f ops/s client-side), rtt p50=%.1fus p99=%.1fus\n",
+        options.binary ? "binary" : "text", phase.connections,
+        static_cast<long long>(phase.totals.sent),
+        static_cast<long long>(phase.totals.acked),
+        static_cast<long long>(phase.totals.rejected), phase.elapsed,
+        phase.ops_per_sec(), phase.rtt_p50_us, phase.rtt_p99_us);
+    worker_failed = worker_failed || phase.failed;
+    phases.push_back(phase);
+  }
+  if (phases.size() > 1) {
+    std::fprintf(stderr,
+                 "loadgen: connection sweep (%s protocol)\n"
+                 "  conns    ops/s    p50_us    p99_us\n",
+                 options.binary ? "binary" : "text");
+    for (const LoadPhaseResult& phase : phases) {
+      std::fprintf(stderr, "  %5d %8.0f %9.1f %9.1f\n", phase.connections,
+                   phase.ops_per_sec(), phase.rtt_p50_us, phase.rtt_p99_us);
     }
   }
-  std::sort(rtts.begin(), rtts.end());
-  const double rtt_p50_us = bench::Percentile(rtts, 0.50) * 1e6;
-  const double rtt_p99_us = bench::Percentile(rtts, 0.99) * 1e6;
-  std::fprintf(stderr,
-               "loadgen: %lld sent, %lld acked, %lld rejected in %.3fs "
-               "(%.0f ops/s client-side), rtt p50=%.1fus p99=%.1fus\n",
-               static_cast<long long>(totals.sent),
-               static_cast<long long>(totals.acked),
-               static_cast<long long>(totals.rejected), elapsed,
-               elapsed > 0 ? static_cast<double>(totals.acked) / elapsed : 0,
-               rtt_p50_us, rtt_p99_us);
+  const LoadPhaseResult& last = phases.back();
+  const WorkerResult& totals = last.totals;
+  const double elapsed = last.elapsed;
+  const double rtt_p50_us = last.rtt_p50_us;
+  const double rtt_p99_us = last.rtt_p99_us;
 
   // --- Verification phase (control connection) -------------------------------
 
@@ -712,8 +857,10 @@ int Main(int argc, char** argv) {
   w.Int(shards);
   w.Key("algorithm");
   w.String(algorithm);
+  w.Key("protocol");
+  w.String(options.binary ? "binary" : "text");
   w.Key("connections");
-  w.Int(options.connections);
+  w.Int(last.connections);
   w.Key("pipeline");
   w.Int(options.pipeline);
   w.Key("client_batch");
@@ -736,6 +883,27 @@ int Main(int argc, char** argv) {
   w.Double(rtt_p50_us);
   w.Key("rtt_p99_us");
   w.Double(rtt_p99_us);
+  if (phases.size() > 1) {
+    w.Key("sweep");
+    w.BeginArray();
+    for (const LoadPhaseResult& phase : phases) {
+      w.BeginObject();
+      w.Key("connections");
+      w.Int(phase.connections);
+      w.Key("ops_per_sec");
+      w.Double(phase.ops_per_sec());
+      w.Key("rtt_p50_us");
+      w.Double(phase.rtt_p50_us);
+      w.Key("rtt_p99_us");
+      w.Double(phase.rtt_p99_us);
+      w.Key("acked");
+      w.Int(phase.totals.acked);
+      w.Key("rejected");
+      w.Int(phase.totals.rejected);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.Key("server");
   w.BeginObject();
   w.Key("ops_applied");
