@@ -174,15 +174,30 @@ std::vector<VertexId> SortedSolution(const MisEngine& engine) {
 // One sharded measurement (see the "sharded" block description up top).
 struct ShardedRunResult {
   int shards = 0;
+  std::string partition;
+  bool async_resolver = false;
   int64_t updates = 0;
   double total_seconds = 0;
   double ops_per_sec = 0;
+  // Number of CollectSolution barriers in the timed region (one per
+  // kBarrierEveryOps chunk, like a served workload's periodic queries).
+  int64_t barriers = 0;
+  // Cumulative wall time across those barriers (drain every shard and
+  // the resolver, then run the resolution pass) — the number the
+  // asynchronous resolver exists to shrink: the sequential resolver
+  // recomputes the full cut-edge conflict scan at every barrier, the
+  // asynchronous one only finalizes its standing conflict set.
+  double barrier_seconds = 0;
+  // Engine-reported time inside resolution passes only (both barriers:
+  // the post-Initialize one and the final one).
+  double resolve_seconds = 0;
   int64_t final_solution_size = 0;
   double quality_vs_greedy = 0;
   double cut_edge_fraction = 0;
   int64_t conflicts = 0;
   int64_t evictions = 0;
   int64_t readded = 0;
+  int64_t transitions_consumed = 0;
   bool verified_independent = false;
 };
 
@@ -205,27 +220,46 @@ bool VerifyIndependent(const DynamicGraph& g,
 ShardedRunResult RunSharded(const EdgeListGraph& base,
                             const std::vector<GraphUpdate>& updates,
                             const DynamicGraph& final_graph, int shards,
-                            int batch_size, int64_t greedy_reference) {
+                            int batch_size, int64_t greedy_reference,
+                            PartitionStrategy partition,
+                            bool async_resolver) {
   ShardedRunResult result;
   result.shards = shards;
+  result.partition = PartitionStrategyName(partition);
   result.updates = static_cast<int64_t>(updates.size());
 
   ShardedEngineOptions options;
   options.num_shards = shards;
   options.block_ops = batch_size;
+  options.partition = partition;
+  options.async_resolver = async_resolver;
   auto engine = ShardedMisEngine::Create(base, {"DyTwoSwap"}, options);
   DYNMIS_CHECK(engine != nullptr);
   engine->Initialize();
 
-  // Timed region: routing + shard work + the final barrier and resolution,
-  // so the sequential repair cost is charged to the throughput number. The
-  // whole sequence goes through one ApplyBatch — the engine itself chops it
-  // into `batch_size` worker blocks (ShardedEngineOptions::block_ops), so
-  // re-chunking here would only add copies.
+  // Timed region: routing + shard work + every barrier and resolution
+  // pass, so the repair cost is charged to the throughput number. The
+  // sequence is applied in chunks with a CollectSolution barrier after
+  // each one — the cadence a served workload imposes through periodic
+  // queries, and the regime the asynchronous resolver exists for: the
+  // sequential resolver recomputes the full cut-edge conflict scan at
+  // every barrier, while the asynchronous worker keeps a standing
+  // conflict set so each barrier only drains a tail and finalizes.
+  // barrier_seconds accumulates the wall time of all barriers.
+  constexpr size_t kBarrierEveryOps = 8192;
   Timer timer;
-  engine->ApplyBatch(updates);
-  engine->Flush();
-  const std::vector<VertexId> solution = engine->Solution();
+  std::vector<VertexId> solution;
+  for (size_t begin = 0; begin < updates.size();) {
+    const size_t end = std::min(updates.size(), begin + kBarrierEveryOps);
+    engine->ApplyBatch({updates.begin() + static_cast<ptrdiff_t>(begin),
+                        updates.begin() + static_cast<ptrdiff_t>(end)});
+    Timer barrier_timer;
+    engine->Flush();
+    solution = engine->Solution();
+    result.barrier_seconds += barrier_timer.ElapsedSeconds();
+    ++result.barriers;
+    begin = end;
+  }
   result.total_seconds = timer.ElapsedSeconds();
 
   result.ops_per_sec =
@@ -239,10 +273,13 @@ ShardedRunResult RunSharded(const EdgeListGraph& base,
                 static_cast<double>(greedy_reference)
           : 0;
   const ShardedStats stats = engine->ShardStats();
+  result.async_resolver = stats.async_resolver;
   result.cut_edge_fraction = stats.cut_edge_fraction;
+  result.resolve_seconds = stats.resolve_seconds;
   result.conflicts = stats.conflicts;
   result.evictions = stats.evictions;
   result.readded = stats.readded;
+  result.transitions_consumed = stats.transitions_consumed;
   result.verified_independent = VerifyIndependent(final_graph, solution);
   return result;
 }
@@ -364,7 +401,8 @@ RunResult RunOne(const EdgeListGraph& base,
 }
 
 int RunScenario(const Scenario& scenario, const std::string& out_path,
-                int snapshot_every, int sharded_shards) {
+                int snapshot_every, int sharded_shards,
+                PartitionStrategy partition) {
   std::printf("scenario %s: %s\n", scenario.name.c_str(),
               scenario.description.c_str());
   const EdgeListGraph base = scenario.make_graph();
@@ -416,10 +454,16 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
   }
 
   // Sharded measurement: the identical sequence through a vertex-
-  // partitioned multi-threaded engine, at 1 shard (the degenerate
-  // single-worker baseline) and at the requested count.
+  // partitioned multi-threaded engine — at 1 shard (the degenerate
+  // single-worker baseline), at the requested count under every partition
+  // plan (cut fraction and resolve cost are per-plan numbers), and once
+  // more under the selected plan with the sequential barrier-recompute
+  // resolver, which isolates what the asynchronous resolver buys at the
+  // final barrier.
   ShardedRunResult sharded_base;
   ShardedRunResult sharded;
+  ShardedRunResult sharded_sequential;
+  std::vector<ShardedRunResult> plan_runs;
   // Worker-block granularity for the sharded runs. Larger than the
   // single-engine batch regime on purpose: each posted block wakes a
   // worker, and on machines with few hardware threads the wakeup
@@ -427,26 +471,44 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
   // block-level pipelining wins back.
   const int sharded_batch = 8192;
   if (sharded_shards > 1) {
-    sharded_base = RunSharded(base, updates, scratch, 1, sharded_batch,
-                              greedy_reference);
-    sharded = RunSharded(base, updates, scratch, sharded_shards,
-                         sharded_batch, greedy_reference);
-    for (const ShardedRunResult* r : {&sharded_base, &sharded}) {
+    auto print_sharded = [&](const ShardedRunResult& r) {
       std::printf(
-          "  sharded x%-3d batch=%-5d %10.0f ops/s  cut=%4.1f%%  |I|=%lld "
-          "(%.3f of greedy)  %s\n",
-          r->shards, sharded_batch, r->ops_per_sec,
-          r->cut_edge_fraction * 100,
-          static_cast<long long>(r->final_solution_size),
-          r->quality_vs_greedy,
-          r->verified_independent ? "verified" : "NOT INDEPENDENT");
+          "  sharded x%-3d %-8s %-5s %9.0f ops/s  cut=%4.1f%%  "
+          "barrier=%6.1fms  |I|=%lld (%.3f of greedy)  %s\n",
+          r.shards, r.partition.c_str(), r.async_resolver ? "async" : "seq",
+          r.ops_per_sec, r.cut_edge_fraction * 100, r.barrier_seconds * 1e3,
+          static_cast<long long>(r.final_solution_size), r.quality_vs_greedy,
+          r.verified_independent ? "verified" : "NOT INDEPENDENT");
+    };
+    sharded_base = RunSharded(base, updates, scratch, 1, sharded_batch,
+                              greedy_reference, partition,
+                              /*async_resolver=*/true);
+    print_sharded(sharded_base);
+    for (const PartitionStrategy strategy :
+         {PartitionStrategy::kHash, PartitionStrategy::kRange,
+          PartitionStrategy::kLocality}) {
+      ShardedRunResult run =
+          RunSharded(base, updates, scratch, sharded_shards, sharded_batch,
+                     greedy_reference, strategy, /*async_resolver=*/true);
+      print_sharded(run);
+      if (strategy == partition) sharded = run;
+      plan_runs.push_back(std::move(run));
     }
+    sharded_sequential =
+        RunSharded(base, updates, scratch, sharded_shards, sharded_batch,
+                   greedy_reference, partition, /*async_resolver=*/false);
+    print_sharded(sharded_sequential);
     std::printf("  sharded scaling x%d vs x1: %.2fx (%u hardware threads)\n",
                 sharded.shards,
                 sharded_base.ops_per_sec > 0
                     ? sharded.ops_per_sec / sharded_base.ops_per_sec
                     : 0,
                 std::thread::hardware_concurrency());
+    std::printf(
+        "  barrier total over %lld barriers: async %.1fms vs sequential "
+        "%.1fms (%s plan)\n",
+        static_cast<long long>(sharded.barriers), sharded.barrier_seconds * 1e3,
+        sharded_sequential.barrier_seconds * 1e3, sharded.partition.c_str());
   }
 
   JsonWriter w;
@@ -527,6 +589,10 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
     auto emit_sharded_run = [&](const ShardedRunResult& r) {
       w.Key("shards");
       w.Int(r.shards);
+      w.Key("partition");
+      w.String(r.partition);
+      w.Key("async_resolver");
+      w.Bool(r.async_resolver);
       w.Key("updates");
       w.Int(r.updates);
       w.Key("total_seconds");
@@ -545,6 +611,14 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
       w.Int(r.evictions);
       w.Key("readded");
       w.Int(r.readded);
+      w.Key("barriers");
+      w.Int(r.barriers);
+      w.Key("barrier_seconds");
+      w.Double(r.barrier_seconds);
+      w.Key("resolve_seconds");
+      w.Double(r.resolve_seconds);
+      w.Key("transitions_consumed");
+      w.Int(r.transitions_consumed);
       w.Key("verified_independent");
       w.Bool(r.verified_independent);
     };
@@ -552,8 +626,6 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
     w.BeginObject();
     w.Key("algorithm");
     w.String("DyTwoSwap");
-    w.Key("partition");
-    w.String("hash");
     w.Key("batch_size");
     w.Int(sharded_batch);
     emit_sharded_run(sharded);
@@ -565,6 +637,23 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
     w.BeginObject();
     emit_sharded_run(sharded_base);
     w.EndObject();
+    // Same shard count + plan, sequential barrier-recompute resolver: the
+    // barrier_seconds delta against the headline run is the asynchronous
+    // resolver's payoff.
+    w.Key("sequential_resolver");
+    w.BeginObject();
+    emit_sharded_run(sharded_sequential);
+    w.EndObject();
+    // One async run per partition plan at the requested shard count, so
+    // cut-edge fraction and resolve cost are comparable across plans.
+    w.Key("plans");
+    w.BeginArray();
+    for (const ShardedRunResult& r : plan_runs) {
+      w.BeginObject();
+      emit_sharded_run(r);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   w.EndObject();
@@ -582,6 +671,7 @@ int Main(int argc, char** argv) {
   std::string out_path;
   int snapshot_every = 0;
   int sharded_shards = 0;
+  PartitionStrategy partition = PartitionStrategy::kHash;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -607,12 +697,22 @@ int Main(int argc, char** argv) {
                      "scaling baseline automatically)\n");
         return 2;
       }
+    } else if (arg == "--partition") {
+      const std::string name = next();
+      if (!ParsePartitionStrategy(name, &partition)) {
+        std::fprintf(stderr,
+                     "--partition expects hash, range, or locality (got "
+                     "'%s')\n",
+                     name.c_str());
+        return 2;
+      }
     } else if (arg == "--list") {
       list = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_driver --scenario NAME [--out PATH] "
-                   "[--snapshot-every N] [--shards N] | --list\n");
+                   "[--snapshot-every N] [--shards N] "
+                   "[--partition hash|range|locality] | --list\n");
       return 2;
     }
   }
@@ -628,7 +728,7 @@ int Main(int argc, char** argv) {
     if (s.name == scenario_name) {
       const std::string path =
           out_path.empty() ? "BENCH_" + s.name + ".json" : out_path;
-      return RunScenario(s, path, snapshot_every, sharded_shards);
+      return RunScenario(s, path, snapshot_every, sharded_shards, partition);
     }
   }
   std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",

@@ -14,7 +14,8 @@
 //   VERIFY                           server-side independence+maximality check
 //   REPL SUBSCRIBE seq / REPL STATUS change-log streaming (replication)
 //   PROMOTE                          follower -> primary (also on SIGUSR1)
-//   RESHARD n                        online backend swap to n shards
+//   RESHARD n [plan]                 online backend swap to n shards (plan:
+//                                    hash | range | locality)
 //   QUIT                             orderly goodbye
 //
 // Updates pass through an *admission layer*: each op is validated against a
@@ -63,6 +64,9 @@
 #include "src/graph/edge_list.h"
 
 namespace dynmis {
+
+class ShardedMisEngine;
+
 namespace serve {
 
 // Text protocol version; `HELLO 1` selects it. `HELLO 2 BIN` selects the
@@ -168,6 +172,10 @@ class ServingBackend {
   // Per-shard breakdown (empty for the single engine); same field meanings
   // as Stats(), restricted to one shard's local view.
   virtual std::vector<EngineStats> PerShardStats() { return {}; }
+  // The sharded engine behind this backend (nullptr for the single engine).
+  // STATS reads its ShardStats() for the resolver block, and RESHARD
+  // defaults the target partition plan to the current one.
+  virtual ShardedMisEngine* Sharded() { return nullptr; }
   virtual SnapshotStatus SaveSnapshot(std::ostream& out) = 0;
   // A standalone copy of the served graph whose id-space state matches the
   // backend's (future AddVertex ids agree). Seeds the admission replica.

@@ -1,21 +1,36 @@
 // ShardedMisEngine: the multi-threaded, vertex-partitioned counterpart of
-// MisEngine. Vertices are split across S shards by a PartitionPlan (hash or
-// contiguous-range, a pure function of the id); each shard owns a
+// MisEngine. Vertices are split across S shards by a PartitionPlan (hash,
+// contiguous-range, or streaming-greedy locality); each shard owns a
 // DynamicGraph of its intra-shard edges plus a registry maintainer, and
 // runs on a dedicated worker thread fed by a per-shard update queue.
-// Cross-shard edges never enter a shard graph: the sequential
-// CutEdgeResolver tracks them and, at every barrier, evicts one endpoint
-// of each conflicting cut edge (deterministic lower-degree-wins rule) and
-// re-extends around the evictions, so CollectSolution() always returns a
-// verified independent set — in fact a maximal one — of the global graph.
+// Cross-shard edges never enter a shard graph: the CutEdgeResolver tracks
+// them and repairs the conflicts they cause — evicting one endpoint of
+// each conflicting cut edge (deterministic lower-degree-wins rule),
+// re-extending around the evictions, and polishing with bounded 1-swaps —
+// so CollectSolution() always returns a verified independent set — in
+// fact a maximal one — of the global graph.
+//
+// The resolver runs in one of two modes. Asynchronously (the default,
+// when the maintainer can report status transitions): every shard ships
+// its maintainer's MoveIn/MoveOut transitions as it applies blocks, the
+// engine ships cut-edge mutations, and the resolver's own worker thread
+// folds both streams into a standing overlay + conflict set continuously —
+// a barrier drains the worker and finalizes the (mostly clean) frontier
+// instead of recomputing conflicts from scratch. Sequentially (baselines
+// that rebuild solutions wholesale): cut-edge ops apply inline and every
+// barrier recomputes the overlay.
 //
 // Calls route updates asynchronously: Apply/ApplyBatch classify each op in
-// O(1), apply cut-edge ops inline, and append intra-shard ops to per-shard
-// pending blocks that are posted to the workers as they fill. Queries
-// (Solution, Stats, SaveSnapshot, ...) impose a barrier — drain every
-// queue, then resolve. The final solution is a pure function of the update
-// sequence: neither thread scheduling nor block boundaries affect it, so
-// seeded runs replay identically (see tests/sharded_engine_test.cc).
+// O(1), forward cut-edge ops to the resolver, and append intra-shard ops
+// to per-shard pending blocks that are posted to the workers as they fill.
+// Queries (Solution, Stats, SaveSnapshot, ...) impose a barrier — drain
+// every queue and the resolver, then resolve. The final solution is a pure
+// function of the update sequence: neither thread scheduling nor block
+// boundaries affect it, so seeded runs replay identically (see
+// tests/sharded_engine_test.cc) — in async mode because each vertex's
+// transition stream has a single ordered producer (its owner shard) and
+// the drained overlay is therefore exact, and the barrier finalize sorts
+// every working set into a canonical order.
 //
 // With S = 1 every edge is intra-shard and the single worker replays
 // exactly what a MisEngine would: the degenerate case reproduces the
@@ -51,12 +66,21 @@ struct ShardedEngineOptions {
   // worker. A throughput knob only: the maintained solution is independent
   // of block boundaries.
   int block_ops = 1024;
+  // Run the CutEdgeResolver on its own worker thread, fed by shipped
+  // status transitions and cut-edge ops, so barriers finalize the standing
+  // conflict set instead of recomputing it. Falls back to the sequential
+  // resolver automatically when the maintainer cannot report transitions
+  // (the wholesale-rebuild baselines). A scheduling knob only: the
+  // maintained solution is identical in both modes for the same mode —
+  // i.e. replay-deterministic — though the two modes' polish passes may
+  // pick different (equally valid) verified-maximal solutions.
+  bool async_resolver = true;
 };
 
 // Sharding-specific counters, alongside the common EngineStats.
 struct ShardedStats {
   int num_shards = 0;
-  std::string partition;        // "hash" or "range".
+  std::string partition;        // "hash", "range", or "locality".
   int64_t intra_edges = 0;      // Sum over shard graphs.
   int64_t cut_edges = 0;
   double cut_edge_fraction = 0; // cut / (cut + intra).
@@ -66,6 +90,12 @@ struct ShardedStats {
   int64_t evictions = 0;
   int64_t readded = 0;
   int64_t swaps = 0;            // Polish-pass 1-swaps.
+  double resolve_seconds = 0;   // Wall time inside barrier resolutions.
+  // Asynchronous-resolver instrumentation (zeros in sequential mode).
+  bool async_resolver = false;      // Worker thread active.
+  int64_t resolver_backlog = 0;     // Unconsumed shipped ops right now.
+  int64_t resolver_conflicts = 0;   // Standing conflict-set size right now.
+  int64_t transitions_consumed = 0; // Lifetime transitions folded in.
   // Local (pre-resolution) solution size per shard at the last barrier.
   std::vector<int64_t> shard_solution_sizes;
 };
@@ -191,6 +221,12 @@ class ShardedMisEngine {
   void Barrier();
   // Barrier + resolution pass (cached until the next routed update).
   void EnsureResolved();
+  // Engages the asynchronous resolver when options allow and the
+  // maintainer supports status transitions: installs per-shard transition
+  // sinks, seeds the standing overlay from the current shard solutions,
+  // and starts the resolver worker. Call after every shard's maintainer
+  // exists (and has restored any state), before any shard Start().
+  void EnableAsyncResolver();
   bool LoadShards(SnapshotReader* reader);
   // Cross-structure consistency of freshly loaded shard/cut graphs.
   bool ValidateLoaded(SnapshotReader* reader) const;
@@ -203,11 +239,13 @@ class ShardedMisEngine {
   std::vector<Shard::Block> pending_;
 
   bool resolved_ = false;
+  bool async_active_ = false;
   CutEdgeResolver::Resolution resolution_;
 
   UpdateObserver observer_;
   int64_t updates_applied_ = 0;
   double update_seconds_ = 0;
+  double resolve_seconds_ = 0;
   int64_t barriers_ = 0;
   int64_t total_conflicts_ = 0;
   int64_t total_evictions_ = 0;

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <vector>
 
+#include "src/shard/partition_plan.h"
+
 namespace dynmis {
 namespace serve {
 namespace {
@@ -195,7 +197,10 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
     return false;
   }
   if (verb == "RESHARD") {
-    if (!WantArgs(tokens, 1, error)) return false;
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      *error = "RESHARD: expected <shards> [hash|range|locality]";
+      return false;
+    }
     int64_t shards = 0;
     if (!ParseInt(tokens[1], &shards) || shards < 1 || shards > 1024) {
       *error = "RESHARD: expected a shard count in [1, 1024]";
@@ -203,6 +208,16 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
     }
     cmd->verb = Verb::kReshard;
     cmd->count = static_cast<int>(shards);
+    cmd->path.clear();
+    if (tokens.size() == 3) {
+      PartitionStrategy strategy;
+      if (!ParsePartitionStrategy(std::string(tokens[2]), &strategy)) {
+        *error = "RESHARD: unknown partition plan '" + std::string(tokens[2]) +
+                 "' (expected hash, range, or locality)";
+        return false;
+      }
+      cmd->path.assign(tokens[2].data(), tokens[2].size());
+    }
     return true;
   }
   if (verb == "SNAPSHOT" || verb == "TRACE") {

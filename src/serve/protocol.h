@@ -41,7 +41,7 @@ enum class Verb {
   kEnd,       // END
   kRepl,      // REPL SUBSCRIBE <seq> | REPL STATUS
   kPromote,   // PROMOTE
-  kReshard,   // RESHARD <shards>
+  kReshard,   // RESHARD <shards> [hash|range|locality]
   kQuit,      // QUIT (keep last: kNumVerbs is defined off it)
 };
 
@@ -66,7 +66,8 @@ struct Command {
   // target shard count.
   int count = 0;
   // kSnapshot/kTrace: the target file path. kRepl: the subcommand
-  // ("SUBSCRIBE" or "STATUS").
+  // ("SUBSCRIBE" or "STATUS"). kReshard: the partition-plan name ("hash",
+  // "range", or "locality"; empty means keep the server's current plan).
   std::string path;
   // kRepl SUBSCRIBE: first change-log seq the subscriber wants.
   int64_t seq = 0;

@@ -107,6 +107,7 @@ class ShardedBackend : public ServingBackend {
   std::vector<EngineStats> PerShardStats() override {
     return engine_->PerShardStats();
   }
+  ShardedMisEngine* Sharded() override { return engine_.get(); }
   SnapshotStatus SaveSnapshot(std::ostream& out) override {
     return engine_->SaveSnapshot(out);
   }
@@ -437,6 +438,7 @@ struct Server::Impl {
   // backends at a barrier once the worker has caught up.
   struct ReshardTask {
     int target_shards = 0;
+    PartitionStrategy partition = PartitionStrategy::kHash;
     int64_t base_seq = 0;
     std::string base_bytes;
     std::thread thread;
@@ -1486,6 +1488,14 @@ struct Server::Impl {
     Flush(FlushReason::kBarrier);
     auto task = std::make_unique<ReshardTask>();
     task->target_shards = static_cast<int>(cmd.count);
+    // Partition plan for the rebuilt backend: the optional token on the
+    // RESHARD line, else whatever the current sharded backend runs (hash
+    // when resharding up from the single engine).
+    if (!cmd.path.empty()) {
+      DYNMIS_CHECK(ParsePartitionStrategy(cmd.path, &task->partition));
+    } else if (ShardedMisEngine* current = backend->Sharded()) {
+      task->partition = current->options().partition;
+    }
     task->base_seq = next_seq;
     std::ostringstream out;
     const SnapshotStatus status = backend->SaveSnapshot(out);
@@ -1496,8 +1506,10 @@ struct Server::Impl {
     task->base_bytes = std::move(out).str();
     reshard = std::move(task);
     reshard->thread = std::thread([this] { ReshardWorker(); });
-    Respond(conn,
-            "OK RESHARD started " + std::to_string(reshard->target_shards));
+    std::string ack =
+        "OK RESHARD started " + std::to_string(reshard->target_shards);
+    if (!cmd.path.empty()) ack += " " + cmd.path;
+    Respond(conn, ack);
   }
 
   // Worker thread: rebuild the backend at the target shard count from the
@@ -1524,6 +1536,7 @@ struct Server::Impl {
       }
       ShardedEngineOptions shard_options;
       shard_options.num_shards = task.target_shards;
+      shard_options.partition = task.partition;
       auto engine = ShardedMisEngine::CreateFromGraph(
           restored->ExportGraph(), restored->Config(), shard_options);
       if (engine == nullptr) {
@@ -1645,6 +1658,31 @@ struct Server::Impl {
         JsonEngineStats(&out, per_shard[i]);
       }
       out.push_back(']');
+    }
+    if (ShardedMisEngine* engine = backend->Sharded()) {
+      // Cut-edge resolver health: `resolver_backlog` (shipped ops the
+      // resolver worker has not yet consumed) and `resolver_conflicts`
+      // (standing conflict-set depth) are the two fields an operator
+      // should watch — a backlog that grows without bound means the
+      // resolver thread cannot keep up with update ingest.
+      const ShardedStats sharded = engine->ShardStats();
+      JsonKey(&out, "sharded");
+      out.push_back('{');
+      JsonStr(&out, "partition", sharded.partition);
+      JsonInt(&out, "intra_edges", sharded.intra_edges);
+      JsonInt(&out, "cut_edges", sharded.cut_edges);
+      JsonDouble(&out, "cut_edge_fraction", sharded.cut_edge_fraction);
+      JsonInt(&out, "barriers", sharded.barriers);
+      JsonInt(&out, "conflicts", sharded.conflicts);
+      JsonInt(&out, "evictions", sharded.evictions);
+      JsonInt(&out, "readded", sharded.readded);
+      JsonInt(&out, "swaps", sharded.swaps);
+      JsonDouble(&out, "resolve_seconds", sharded.resolve_seconds);
+      JsonInt(&out, "async_resolver", sharded.async_resolver ? 1 : 0);
+      JsonInt(&out, "resolver_backlog", sharded.resolver_backlog);
+      JsonInt(&out, "resolver_conflicts", sharded.resolver_conflicts);
+      JsonInt(&out, "transitions_consumed", sharded.transitions_consumed);
+      out.push_back('}');
     }
     JsonKey(&out, "serving");
     out.push_back('{');

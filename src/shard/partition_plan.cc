@@ -1,9 +1,45 @@
 #include "src/shard/partition_plan.h"
 
+#include <algorithm>
+
 namespace dynmis {
+namespace {
+
+// Balance-cap slack of the streaming-greedy assignment: a shard may hold at
+// most kBalanceSlackNum/kBalanceSlackDen times the ideal even share before
+// AssignVertex stops following the plurality there. Integer arithmetic so
+// the cap (and therefore every placement) is exactly reproducible.
+constexpr int64_t kBalanceSlackNum = 6;
+constexpr int64_t kBalanceSlackDen = 5;
+// Floor on the cap so tiny graphs don't ping-pong assignments on rounding.
+constexpr int64_t kBalanceCapFloor = 16;
+
+}  // namespace
 
 std::string PartitionStrategyName(PartitionStrategy strategy) {
-  return strategy == PartitionStrategy::kHash ? "hash" : "range";
+  switch (strategy) {
+    case PartitionStrategy::kHash:
+      return "hash";
+    case PartitionStrategy::kRange:
+      return "range";
+    case PartitionStrategy::kLocality:
+      return "locality";
+  }
+  return "hash";
+}
+
+bool ParsePartitionStrategy(const std::string& name,
+                            PartitionStrategy* strategy) {
+  if (name == "hash") {
+    *strategy = PartitionStrategy::kHash;
+  } else if (name == "range") {
+    *strategy = PartitionStrategy::kRange;
+  } else if (name == "locality") {
+    *strategy = PartitionStrategy::kLocality;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 PartitionPlan PartitionPlan::Hash(int num_shards) {
@@ -17,6 +53,59 @@ PartitionPlan PartitionPlan::Range(int num_shards, int expected_vertices) {
                                                     : num_shards;
   const int block = (spread + num_shards - 1) / num_shards;
   return PartitionPlan(PartitionStrategy::kRange, num_shards, block);
+}
+
+PartitionPlan PartitionPlan::Locality(int num_shards) {
+  DYNMIS_CHECK_GE(num_shards, 1);
+  return PartitionPlan(PartitionStrategy::kLocality, num_shards, 1);
+}
+
+int PartitionPlan::AssignVertex(VertexId v,
+                                const std::vector<VertexId>& neighbors) {
+  DYNMIS_CHECK(strategy_ == PartitionStrategy::kLocality);
+  DYNMIS_CHECK_GE(v, 0);
+  if (v >= static_cast<VertexId>(owners_.size())) {
+    owners_.resize(static_cast<size_t>(v) + 1, -1);
+  }
+  DYNMIS_CHECK(owners_[v] < 0);
+
+  // Plurality count over the already-owned neighbors (a neighbor list may
+  // legitimately reference the id being inserted in pathological client
+  // input; unowned ids simply don't vote).
+  for (const int s : counted_shards_) counts_[s] = 0;
+  counted_shards_.clear();
+  for (const VertexId n : neighbors) {
+    if (n == v || !HasOwner(n)) continue;
+    const int s = owners_[n];
+    if (counts_[s] == 0) counted_shards_.push_back(s);
+    ++counts_[s];
+  }
+
+  const int64_t cap =
+      std::max(kBalanceCapFloor,
+               ((alive_total_ + 1) * kBalanceSlackNum +
+                static_cast<int64_t>(num_shards_) * kBalanceSlackDen - 1) /
+                   (static_cast<int64_t>(num_shards_) * kBalanceSlackDen));
+
+  // Highest neighbor count below the cap wins; ties go to the lower shard
+  // id. With no eligible voted shard, fall back to the least-loaded shard.
+  int best = -1;
+  int32_t best_count = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    if (counts_[s] <= 0 || sizes_[s] >= cap) continue;
+    if (counts_[s] > best_count) {
+      best = s;
+      best_count = counts_[s];
+    }
+  }
+  if (best < 0) {
+    best = 0;
+    for (int s = 1; s < num_shards_; ++s) {
+      if (sizes_[s] < sizes_[best]) best = s;
+    }
+  }
+  owners_[v] = best;
+  return best;
 }
 
 }  // namespace dynmis

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "dynmis/registry.h"
+#include "src/util/check.h"
 #include "src/util/timer.h"
 
 namespace dynmis {
@@ -44,8 +45,23 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::Create(
       options.block_ops < 1) {
     return nullptr;
   }
-  const PartitionPlan plan =
+  PartitionPlan plan =
       PartitionPlan::Make(options.partition, options.num_shards, base.n);
+  if (plan.assigns_on_insert()) {
+    // Stream the base vertices through the greedy placement in id order,
+    // each voting with its already-placed neighbors — the same rule later
+    // vertex inserts follow, so creation is just the stream's prefix.
+    std::vector<std::vector<VertexId>> neighbors(
+        static_cast<size_t>(base.n));
+    for (const auto& [u, v] : base.edges) {
+      neighbors[u].push_back(v);
+      neighbors[v].push_back(u);
+    }
+    for (VertexId v = 0; v < base.n; ++v) {
+      plan.AssignVertex(v, neighbors[v]);
+      plan.OnVertexAdded(v);
+    }
+  }
   std::unique_ptr<ShardedMisEngine> engine(
       new ShardedMisEngine(std::move(config), options, plan, base.n));
 
@@ -66,8 +82,9 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::Create(
   }
   for (auto& shard : engine->shards_) {
     if (!shard->BuildMaintainer(engine->config_)) return nullptr;
-    shard->Start();
   }
+  engine->EnableAsyncResolver();
+  for (auto& shard : engine->shards_) shard->Start();
   return engine;
 }
 
@@ -79,8 +96,23 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::CreateFromGraph(
     return nullptr;
   }
   const int capacity = global.VertexCapacity();
-  const PartitionPlan plan =
+  PartitionPlan plan =
       PartitionPlan::Make(options.partition, options.num_shards, capacity);
+  if (plan.assigns_on_insert()) {
+    // Stream the alive vertices in id order; dead ids stay unowned and get
+    // assigned if their id is ever recycled.
+    std::vector<VertexId> neighbors;
+    for (VertexId v = 0; v < capacity; ++v) {
+      if (!global.IsVertexAlive(v)) continue;
+      neighbors.clear();
+      global.ForEachIncident(v,
+                             [&](VertexId u, EdgeId) {
+                               neighbors.push_back(u);
+                             });
+      plan.AssignVertex(v, neighbors);
+      plan.OnVertexAdded(v);
+    }
+  }
   std::unique_ptr<ShardedMisEngine> engine(
       new ShardedMisEngine(std::move(config), options, plan, capacity));
 
@@ -107,14 +139,44 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::CreateFromGraph(
   }
   for (auto& shard : engine->shards_) {
     if (!shard->BuildMaintainer(engine->config_)) return nullptr;
-    shard->Start();
   }
+  engine->EnableAsyncResolver();
+  for (auto& shard : engine->shards_) shard->Start();
   return engine;
+}
+
+void ShardedMisEngine::EnableAsyncResolver() {
+  if (!options_.async_resolver) return;
+  // All shards run the same algorithm, so probing one maintainer decides
+  // for all (a nullptr install is support detection, not an installation).
+  if (!shards_[0]->maintainer().SetStatusObserver(nullptr, nullptr)) return;
+  for (auto& shard : shards_) {
+    const bool installed = shard->SetTransitionSink(
+        [this](StatusTransitionBatch&& batch) {
+          resolver_.ShipTransitions(std::move(batch));
+        });
+    DYNMIS_CHECK(installed);
+  }
+  resolver_.SetBlockOps(options_.block_ops);
+  // Seed the standing overlay from whatever solutions the maintainers
+  // already hold — empty at creation, restored state after a snapshot load
+  // (which performs no observable MoveIns).
+  resolver_.SeedOverlay(shards_);
+  resolver_.StartWorker();
+  async_active_ = true;
 }
 
 void ShardedMisEngine::Initialize() {
   for (auto& shard : shards_) shard->PostInitialize();
   resolved_ = false;
+  if (async_active_) {
+    // Initialize() rebuilds the shard solutions wholesale (no MoveOut per
+    // displaced member), so re-seed the overlay instead of folding the
+    // initialize transitions into pre-initialize residue.
+    for (auto& shard : shards_) shard->WaitIdle();
+    resolver_.DrainWorker();
+    resolver_.SeedOverlay(shards_);
+  }
   EnsureResolved();
 }
 
@@ -153,6 +215,14 @@ VertexId ShardedMisEngine::Route(const GraphUpdate& update) {
       // once, and allocation order matches a single engine); the op the
       // shard receives carries only the intra-shard neighbor edges.
       const VertexId id = resolver_.AddVertex();
+      // A locality plan places a never-before-seen id now, voting with the
+      // vertex's current neighbors; a recycled id keeps its previous owner
+      // (in-flight queue consistency and the resolver's single-producer-
+      // per-vertex invariant both depend on it).
+      if (plan_.assigns_on_insert() && !plan_.HasOwner(id)) {
+        plan_.AssignVertex(id, update.neighbors);
+      }
+      plan_.OnVertexAdded(id);
       const int s = plan_.ShardOf(id);
       GraphUpdate local;
       local.kind = UpdateKind::kInsertVertex;
@@ -170,10 +240,12 @@ VertexId ShardedMisEngine::Route(const GraphUpdate& update) {
     }
     case UpdateKind::kDeleteVertex: {
       const int s = plan_.ShardOf(update.u);
-      // Inline: drops the cut edges and frees the global id for recycling
-      // (a recycled id maps back to the same shard, so the shard's queue
-      // order keeps delete-then-reinsert sequences consistent).
+      // Frees the global id for recycling and drops the cut edges — inline
+      // in sequential mode, via a shipped op in async mode (a recycled id
+      // maps back to the same shard, so the shard's queue order keeps
+      // delete-then-reinsert sequences consistent).
       resolver_.RemoveVertex(update.u);
+      plan_.OnVertexRemoved(update.u);
       append_edge_op(s);
       return kInvalidVertex;
     }
@@ -266,6 +338,10 @@ void ShardedMisEngine::Barrier() {
     }
   }
   for (auto& shard : shards_) shard->WaitIdle();
+  // Shards idle means every transition they will ever ship for the posted
+  // blocks is already in the resolver's inbox; draining now leaves the
+  // standing overlay and conflict set exact.
+  if (async_active_) resolver_.DrainWorker();
 }
 
 void ShardedMisEngine::Flush() { Barrier(); }
@@ -273,7 +349,10 @@ void ShardedMisEngine::Flush() { Barrier(); }
 void ShardedMisEngine::EnsureResolved() {
   if (resolved_) return;
   Barrier();
-  resolution_ = resolver_.Resolve(plan_, shards_);
+  Timer resolve_timer;
+  resolution_ = async_active_ ? resolver_.ResolveIncremental(plan_, shards_)
+                              : resolver_.Resolve(plan_, shards_);
+  resolve_seconds_ += resolve_timer.ElapsedSeconds();
   ++barriers_;
   total_conflicts_ += resolution_.conflicts;
   total_evictions_ += resolution_.evictions;
@@ -376,6 +455,13 @@ ShardedStats ShardedMisEngine::ShardStats() {
   stats.evictions = total_evictions_;
   stats.readded = total_readded_;
   stats.swaps = total_swaps_;
+  stats.resolve_seconds = resolve_seconds_;
+  stats.async_resolver = async_active_;
+  if (async_active_) {
+    stats.resolver_backlog = resolver_.BacklogOps();
+    stats.resolver_conflicts = resolver_.StandingConflicts();
+    stats.transitions_consumed = resolver_.TransitionsConsumed();
+  }
   return stats;
 }
 
@@ -393,13 +479,18 @@ SnapshotStatus ShardedMisEngine::SaveSnapshot(std::ostream& out) {
   writer.PutU8(static_cast<uint8_t>(plan_.strategy()));
   writer.PutI32(plan_.block_size());
   writer.PutI32(options_.block_ops);
+  writer.PutU8(options_.async_resolver ? 1 : 0);
   writer.PutI64(updates_applied_);
   writer.PutDouble(update_seconds_);
+  writer.PutDouble(resolve_seconds_);
   writer.PutI64(barriers_);
   writer.PutI64(total_conflicts_);
   writer.PutI64(total_evictions_);
   writer.PutI64(total_readded_);
   writer.PutI64(total_swaps_);
+  // Locality owner table, verbatim (-1 = never assigned); empty for the
+  // stateless hash/range plans.
+  writer.PutI32Array(plan_.owners());
   writer.EndSection();
   writer.SetSectionPrefix("cut/");
   resolver_.SaveTo(&writer);
@@ -452,6 +543,9 @@ bool ShardedMisEngine::ValidateLoaded(SnapshotReader* reader) const {
     }
     for (VertexId v = 0; v < g.VertexCapacity(); ++v) {
       if (!g.IsVertexAlive(v)) continue;
+      if (!plan_.HasOwner(v)) {
+        return fail("alive vertex missing a partition-plan owner");
+      }
       if (plan_.ShardOf(v) != s) {
         return fail("vertex alive in a shard the plan does not map it to");
       }
@@ -513,13 +607,20 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::LoadSnapshot(
   ShardedEngineOptions options;
   options.num_shards = num_shards;
   options.block_ops = reader.GetI32();
+  const uint8_t async_resolver = reader.GetU8();
   const int64_t updates_applied = reader.GetI64();
   const double update_seconds = reader.GetDouble();
+  const double resolve_seconds = reader.GetDouble();
   const int64_t barriers = reader.GetI64();
   const int64_t conflicts = reader.GetI64();
   const int64_t evictions = reader.GetI64();
   const int64_t readded = reader.GetI64();
   const int64_t swaps = reader.GetI64();
+  std::vector<int32_t> owners;
+  if (!reader.GetI32Array(&owners)) {
+    report(reader.status());
+    return nullptr;
+  }
   if (reader.ok() && !reader.AtSectionEnd()) {
     reader.Fail("snapshot: sharded: trailing bytes after the last field");
   }
@@ -535,15 +636,32 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::LoadSnapshot(
   }
   if (config.k < 1 || config.k > kMaxKSwapOrder ||
       config.recompute_every < 1 || num_shards < 1 ||
-      num_shards > kMaxShards || strategy > 1 || block_size < 1 ||
-      options.block_ops < 1) {
+      num_shards > kMaxShards || strategy > 2 || block_size < 1 ||
+      options.block_ops < 1 || async_resolver > 1) {
     report(SnapshotStatus::Error(
         "snapshot: sharded configuration out of range"));
     return nullptr;
   }
   options.partition = static_cast<PartitionStrategy>(strategy);
+  options.async_resolver = async_resolver != 0;
+  const bool locality = options.partition == PartitionStrategy::kLocality;
+  if (!locality && !owners.empty()) {
+    report(SnapshotStatus::Error(
+        "snapshot: sharded: owner table on a stateless partition plan"));
+    return nullptr;
+  }
+  for (const int32_t owner : owners) {
+    if (owner < -1 || owner >= num_shards) {
+      report(SnapshotStatus::Error(
+          "snapshot: sharded: owner table entry out of range"));
+      return nullptr;
+    }
+  }
   const PartitionPlan plan =
-      PartitionPlan::Restore(options.partition, num_shards, block_size);
+      locality
+          ? PartitionPlan::RestoreLocality(num_shards, std::move(owners))
+          : PartitionPlan::Restore(options.partition, num_shards,
+                                   block_size);
 
   std::unique_ptr<ShardedMisEngine> engine(new ShardedMisEngine(
       std::move(config), options, plan, /*initial_vertices=*/0));
@@ -553,9 +671,17 @@ std::unique_ptr<ShardedMisEngine> ShardedMisEngine::LoadSnapshot(
                        : reader.status());
     return nullptr;
   }
+  if (locality) {
+    // Rebuild the balance-cap load counters from the restored alive set.
+    for (VertexId v = 0; v < engine->resolver_.VertexCapacity(); ++v) {
+      if (engine->resolver_.IsVertexAlive(v)) engine->plan_.OnVertexAdded(v);
+    }
+  }
+  engine->EnableAsyncResolver();
   for (auto& shard : engine->shards_) shard->Start();
   engine->updates_applied_ = updates_applied;
   engine->update_seconds_ = update_seconds;
+  engine->resolve_seconds_ = resolve_seconds;
   engine->barriers_ = barriers;
   engine->total_conflicts_ = conflicts;
   engine->total_evictions_ = evictions;

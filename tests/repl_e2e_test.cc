@@ -325,6 +325,22 @@ TEST(ReplReshardTest, OnlineReshardDownAndUpUnderChurn) {
            stats.find("\"shards\":8,") != std::string::npos;
   }));
   ExpectVerifyOk(&client);
+
+  // A plan token on the RESHARD line switches the partition plan during
+  // the rebuild; STATS' sharded block reports the new plan plus resolver
+  // health (a drained backlog at this quiescent point).
+  EXPECT_EQ(client.Ask("RESHARD 4 locality"), "OK RESHARD started 4 locality");
+  ASSERT_TRUE(WaitUntil([&] {
+    const std::string stats = client.Ask("STATS");
+    return stats.find("\"resharded\":3") != std::string::npos &&
+           stats.find("\"shards\":4,") != std::string::npos &&
+           stats.find("\"partition\":\"locality\"") != std::string::npos;
+  }));
+  const std::string stats = client.Ask("STATS");
+  EXPECT_NE(stats.find("\"resolver_backlog\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"resolver_conflicts\":"), std::string::npos) << stats;
+  Churn(server.port(), 67, 40);
+  ExpectVerifyOk(&client);
 }
 
 }  // namespace

@@ -106,6 +106,25 @@ TEST(ProtocolParseTest, PathsAndBatch) {
   MustFail("BATCH 9999999999");
 }
 
+TEST(ProtocolParseTest, Reshard) {
+  const Command bare = MustParse("RESHARD 4");
+  EXPECT_EQ(bare.verb, Verb::kReshard);
+  EXPECT_EQ(bare.count, 4);
+  EXPECT_TRUE(bare.path.empty());  // Keep the server's current plan.
+  for (const char* plan : {"hash", "range", "locality"}) {
+    const Command cmd = MustParse(std::string("RESHARD 2 ") + plan);
+    EXPECT_EQ(cmd.verb, Verb::kReshard);
+    EXPECT_EQ(cmd.count, 2);
+    EXPECT_EQ(cmd.path, plan);
+  }
+  MustFail("RESHARD");
+  MustFail("RESHARD 0");
+  MustFail("RESHARD 1025");
+  MustFail("RESHARD 4 roundrobin");
+  MustFail("RESHARD 4 HASH");  // Plan names are case-sensitive.
+  MustFail("RESHARD 4 locality extra");
+}
+
 TEST(ProtocolParseTest, UnknownAndEmpty) {
   MustFail("");
   MustFail("   ");

@@ -7,7 +7,9 @@
 #include "dynmis/sharded_engine.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "dynmis/engine.h"
@@ -359,6 +361,223 @@ TEST(ShardedEngineTest, EmptyShardsSurviveSnapshotRoundTrip) {
   update.neighbors = {0};
   ApplyUpdate(&replica, update);
   EXPECT_TRUE(IsMaximalIndependentSet(replica, restored->Solution()));
+}
+
+// A graph with planted community structure on consecutive id blocks:
+// mostly intra-cluster edges plus a thin sprinkle of inter-cluster ones.
+// The streaming locality plan should keep clusters together; hash scatters
+// them by construction.
+EdgeListGraph ClusteredGraph(int clusters, int cluster_size,
+                             int intra_per_vertex, int inter_edges,
+                             uint64_t seed) {
+  Rng rng(seed);
+  EdgeListGraph g;
+  g.n = clusters * cluster_size;
+  std::set<std::pair<VertexId, VertexId>> seen;
+  auto add = [&](VertexId u, VertexId v) {
+    if (u == v) return;
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) g.edges.emplace_back(u, v);
+  };
+  for (int c = 0; c < clusters; ++c) {
+    const VertexId lo = static_cast<VertexId>(c) * cluster_size;
+    for (int i = 0; i < cluster_size * intra_per_vertex; ++i) {
+      add(lo + static_cast<VertexId>(
+                   rng.NextBounded(static_cast<uint64_t>(cluster_size))),
+          lo + static_cast<VertexId>(
+                   rng.NextBounded(static_cast<uint64_t>(cluster_size))));
+    }
+  }
+  for (int i = 0; i < inter_edges; ++i) {
+    add(static_cast<VertexId>(rng.NextBounded(static_cast<uint64_t>(g.n))),
+        static_cast<VertexId>(rng.NextBounded(static_cast<uint64_t>(g.n))));
+  }
+  return g;
+}
+
+// The asynchronous resolver's inbox drains at every barrier: after Flush()
+// the backlog is zero, the worker has consumed the shards' transition
+// streams, and the conflicts those streams produced were repaired before
+// Solution() returned (the solution is maximal-independent globally).
+TEST(ShardedEngineTest, AsyncResolverDrainsBacklogBeforeBarrier) {
+  const EdgeListGraph base = SmallGraph(47);
+  const std::vector<GraphUpdate> trace = ChurnTrace(base, 600, 53);
+
+  auto engine = ShardedMisEngine::Create(base, {"DyTwoSwap"}, Opts(4));
+  ASSERT_NE(engine, nullptr);
+  engine->Initialize();
+  EXPECT_TRUE(engine->resolver().worker_running());
+
+  DynamicGraph replica = base.ToDynamic();
+  // Route the whole stream without a single intermediate barrier, so the
+  // resolver worker really is consuming transitions concurrently with the
+  // shards (conflicts are injected mid-stream, not at a quiescent point).
+  for (const GraphUpdate& update : trace) {
+    engine->Apply(update);
+    ApplyUpdate(&replica, update);
+  }
+  engine->Flush();
+  EXPECT_EQ(engine->resolver().BacklogOps(), 0);
+  EXPECT_GT(engine->resolver().TransitionsConsumed(), 0);
+
+  EXPECT_TRUE(IsMaximalIndependentSet(replica, engine->Solution()));
+  const ShardedStats stats = engine->ShardStats();
+  EXPECT_TRUE(stats.async_resolver);
+  EXPECT_EQ(stats.resolver_backlog, 0);
+  EXPECT_GT(stats.transitions_consumed, 0);
+  // The churn actually produced cut conflicts (otherwise this test proves
+  // nothing about the repair path).
+  EXPECT_GT(stats.conflicts, 0);
+}
+
+// Both resolver modes maintain the verified-maximal invariant on the same
+// trace, and at S=1 (no cut edges, so the resolver never repairs anything)
+// they reproduce the single engine's solution bit-for-bit.
+TEST(ShardedEngineTest, SequentialResolverFallbackMatchesInvariants) {
+  const EdgeListGraph base = SmallGraph(59);
+  const std::vector<GraphUpdate> trace = ChurnTrace(base, 400, 61);
+
+  for (const bool async : {false, true}) {
+    ShardedEngineOptions options = Opts(4);
+    options.async_resolver = async;
+    auto engine = ShardedMisEngine::Create(base, {"DyTwoSwap"}, options);
+    ASSERT_NE(engine, nullptr);
+    engine->Initialize();
+    DynamicGraph replica = base.ToDynamic();
+    for (const GraphUpdate& update : trace) {
+      engine->Apply(update);
+      ApplyUpdate(&replica, update);
+    }
+    EXPECT_TRUE(IsMaximalIndependentSet(replica, engine->Solution()))
+        << (async ? "async" : "sequential");
+    EXPECT_EQ(engine->ShardStats().async_resolver, async);
+  }
+
+  std::vector<VertexId> solutions[2];
+  for (const bool async : {false, true}) {
+    ShardedEngineOptions options = Opts(1);
+    options.async_resolver = async;
+    auto engine = ShardedMisEngine::Create(base, {"DyTwoSwap"}, options);
+    ASSERT_NE(engine, nullptr);
+    engine->Initialize();
+    for (const GraphUpdate& update : trace) engine->Apply(update);
+    solutions[async ? 1 : 0] = engine->Solution();
+  }
+  EXPECT_EQ(solutions[0], solutions[1]);
+}
+
+// Replay determinism extends to the locality plan under the asynchronous
+// resolver: block size, batch chopping, and mid-stream barriers must not
+// change the final solution (the plan assigns ids in stream order, which
+// is identical across runs).
+TEST(ShardedEngineTest, LocalityPlanDeterministicReplayWithAsyncResolver) {
+  const EdgeListGraph base = SmallGraph(67);
+  const std::vector<GraphUpdate> trace = ChurnTrace(base, 500, 71);
+
+  auto run = [&](int block_ops, int chunk, int query_every) {
+    ShardedEngineOptions options = Opts(3, PartitionStrategy::kLocality);
+    options.block_ops = block_ops;
+    auto engine = ShardedMisEngine::Create(base, {"DyTwoSwap"}, options);
+    EXPECT_NE(engine, nullptr);
+    engine->Initialize();
+    size_t i = 0;
+    int since_query = 0;
+    while (i < trace.size()) {
+      const size_t end = std::min(trace.size(), i + chunk);
+      engine->ApplyBatch(
+          {trace.begin() + static_cast<long>(i),
+           trace.begin() + static_cast<long>(end)});
+      i = end;
+      if (query_every > 0 && ++since_query >= query_every) {
+        since_query = 0;
+        engine->SolutionSize();
+      }
+    }
+    return engine->Solution();
+  };
+
+  const std::vector<VertexId> a = run(1024, 97, 0);
+  const std::vector<VertexId> b = run(7, 1, 3);
+  const std::vector<VertexId> c = run(256, 500, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+// On a graph with planted communities, the streaming-greedy locality plan
+// cuts strictly fewer edges than hash scattering, while the maintained
+// solution stays maximal-independent under churn.
+TEST(ShardedEngineTest, LocalityPlanLowersCutFractionOnClusteredGraph) {
+  const EdgeListGraph base = ClusteredGraph(4, 60, 4, 80, 73);
+  const std::vector<GraphUpdate> trace = ChurnTrace(base, 300, 79);
+
+  double cut[2] = {0, 0};
+  int i = 0;
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kHash, PartitionStrategy::kLocality}) {
+    auto engine =
+        ShardedMisEngine::Create(base, {"DyTwoSwap"}, Opts(4, strategy));
+    ASSERT_NE(engine, nullptr);
+    engine->Initialize();
+    DynamicGraph replica = base.ToDynamic();
+    for (const GraphUpdate& update : trace) {
+      engine->Apply(update);
+      ApplyUpdate(&replica, update);
+    }
+    EXPECT_TRUE(IsMaximalIndependentSet(replica, engine->Solution()))
+        << PartitionStrategyName(strategy);
+    const ShardedStats stats = engine->ShardStats();
+    EXPECT_EQ(stats.partition, PartitionStrategyName(strategy));
+    cut[i++] = stats.cut_edge_fraction;
+  }
+  EXPECT_LT(cut[1], cut[0]);
+  // The balance cap keeps the plan honest: no shard may swallow the graph.
+  EXPECT_GT(cut[1], 0.0);
+}
+
+// The locality plan's owner table is state (unlike hash/range it cannot be
+// recomputed from ids), so it must round-trip through the snapshot: the
+// restored engine keeps every ownership decision, continues replaying
+// deterministically, and resharding via CreateFromGraph reassigns fresh
+// locality owners at the new shard count.
+TEST(ShardedEngineTest, LocalityPlanRoundTripsThroughSnapshotAndReshard) {
+  const EdgeListGraph base = ClusteredGraph(3, 50, 4, 60, 83);
+  const std::vector<GraphUpdate> trace = ChurnTrace(base, 400, 89);
+
+  auto engine = ShardedMisEngine::Create(
+      base, {"DyTwoSwap"}, Opts(3, PartitionStrategy::kLocality));
+  ASSERT_NE(engine, nullptr);
+  engine->Initialize();
+  for (size_t i = 0; i < 200; ++i) engine->Apply(trace[i]);
+
+  std::ostringstream sink;
+  ASSERT_TRUE(engine->SaveSnapshot(sink).ok);
+  std::istringstream source(sink.str());
+  SnapshotStatus status;
+  auto restored = ShardedMisEngine::LoadSnapshot(source, &status);
+  ASSERT_NE(restored, nullptr) << status.message;
+  EXPECT_EQ(restored->options().partition, PartitionStrategy::kLocality);
+  EXPECT_EQ(restored->Solution(), engine->Solution());
+  // Every ownership decision survived the round trip verbatim.
+  for (VertexId v : engine->Solution()) {
+    EXPECT_EQ(restored->plan().ShardOf(v), engine->plan().ShardOf(v)) << v;
+  }
+
+  for (size_t i = 200; i < trace.size(); ++i) {
+    const UpdateResult a = engine->Apply(trace[i]);
+    const UpdateResult b = restored->Apply(trace[i]);
+    EXPECT_EQ(a.new_vertices, b.new_vertices);
+  }
+  EXPECT_EQ(restored->Solution(), engine->Solution());
+
+  // The resharding primitive: rebuild at a different shard count with a
+  // fresh locality assignment over the live global graph.
+  DynamicGraph global = restored->BuildGlobalGraph();
+  auto resharded = ShardedMisEngine::CreateFromGraph(
+      global, {"DyTwoSwap"}, Opts(5, PartitionStrategy::kLocality));
+  ASSERT_NE(resharded, nullptr);
+  resharded->Initialize();
+  EXPECT_TRUE(IsMaximalIndependentSet(global, resharded->Solution()));
+  EXPECT_EQ(resharded->ShardStats().partition, "locality");
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (CI `docs` job).
+
+Two checks, both over committed files only (no network):
+
+1. Markdown link check. Every relative link in README.md, docs/*.md and
+   bench/EXPERIMENTS.md must point at a file that exists in the repo,
+   and every `#fragment` (same-file or cross-file) must resolve to a
+   heading in the target document, using GitHub's anchor slugging.
+
+2. Protocol verb drift. The verb table in docs/PROTOCOL.md must list
+   exactly the wire verbs the parser knows: the set extracted from the
+   `VerbName()` switch in src/serve/protocol.cc. A verb added to the
+   parser without a table row fails, and so does a documented verb the
+   parser no longer accepts.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Documents whose outgoing links (and heading anchors) are validated.
+CHECKED_DOCS = ["README.md", "docs", "bench/EXPERIMENTS.md"]
+
+PROTOCOL_DOC = REPO / "docs" / "PROTOCOL.md"
+PROTOCOL_SRC = REPO / "src" / "serve" / "protocol.cc"
+
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# [text](target) — target up to the first unescaped ')'; images included.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def gather_files():
+    files = []
+    for entry in CHECKED_DOCS:
+        path = REPO / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def github_slug(heading, taken):
+    """GitHub's heading-to-anchor slug, with duplicate suffixing."""
+    text = heading.lower()
+    text = re.sub(r"[`*]", "", text)
+    # Markdown links in headings anchor on their text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    if slug in taken:
+        taken[slug] += 1
+        slug = f"{slug}-{taken[slug]}"
+    else:
+        taken[slug] = 0
+    return slug
+
+
+def document_anchors(path, cache={}):
+    if path not in cache:
+        taken = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(github_slug(match.group(2), taken))
+        cache[path] = anchors
+    return cache[path]
+
+
+def iter_links(path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links(files):
+    problems = []
+    for doc in files:
+        rel = doc.relative_to(REPO)
+        for lineno, target in iter_links(doc):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            file_part, _, fragment = target.partition("#")
+            dest = doc if not file_part else (doc.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{rel}:{lineno}: broken link '{target}' "
+                    f"(no such file: {file_part})"
+                )
+                continue
+            if not fragment:
+                continue
+            if dest.suffix != ".md":
+                problems.append(
+                    f"{rel}:{lineno}: anchor link '{target}' into a "
+                    "non-markdown file"
+                )
+                continue
+            if fragment not in document_anchors(dest):
+                problems.append(
+                    f"{rel}:{lineno}: broken anchor '#{fragment}' — no such "
+                    f"heading in {dest.relative_to(REPO)}"
+                )
+    return problems
+
+
+def parser_verbs():
+    """Wire spellings from the VerbName() switch in protocol.cc."""
+    source = PROTOCOL_SRC.read_text(encoding="utf-8")
+    match = re.search(
+        r"const char\* VerbName\(.*?\n\}", source, flags=re.DOTALL
+    )
+    if not match:
+        return None
+    verbs = set(re.findall(r'return "([A-Z]+)";', match.group(0)))
+    return verbs or None
+
+
+def documented_verbs():
+    """First-column `VERB` entries of PROTOCOL.md's '### Verb table'."""
+    verbs = set()
+    in_table = False
+    for line in PROTOCOL_DOC.read_text(encoding="utf-8").splitlines():
+        if line.startswith("#"):
+            in_table = line.strip().lower().endswith("verb table")
+            continue
+        if in_table:
+            match = re.match(r"\|\s*`([A-Z]+)`\s*\|", line)
+            if match:
+                verbs.add(match.group(1))
+    return verbs
+
+
+def check_verbs():
+    problems = []
+    from_code = parser_verbs()
+    if from_code is None:
+        return [f"{PROTOCOL_SRC.relative_to(REPO)}: could not locate the "
+                "VerbName() switch (check_docs.py needs updating)"]
+    from_docs = documented_verbs()
+    if not from_docs:
+        return [f"{PROTOCOL_DOC.relative_to(REPO)}: found no '### Verb "
+                "table' rows (check_docs.py needs updating)"]
+    for verb in sorted(from_code - from_docs):
+        problems.append(
+            f"docs/PROTOCOL.md: verb '{verb}' exists in the parser "
+            "(src/serve/protocol.cc) but has no verb-table row"
+        )
+    for verb in sorted(from_docs - from_code):
+        problems.append(
+            f"docs/PROTOCOL.md: verb '{verb}' is documented but the parser "
+            "(src/serve/protocol.cc) does not know it"
+        )
+    return problems
+
+
+def main():
+    files = gather_files()
+    if not files:
+        print("check_docs.py: no documentation files found", file=sys.stderr)
+        return 1
+    problems = check_links(files) + check_verbs()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs.py: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    names = ", ".join(str(f.relative_to(REPO)) for f in files)
+    print(f"check_docs.py: OK — links + anchors clean in {names}; "
+          f"verb table in sync ({len(documented_verbs())} verbs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
