@@ -12,8 +12,11 @@
 //   QUERY u / SOLUTION / STATS       queries (impose a flush barrier)
 //   SNAPSHOT path / TRACE path       durable checkpoints / applied-op trace
 //   VERIFY                           server-side independence+maximality check
-//   REPL SUBSCRIBE seq / REPL STATUS change-log streaming (replication)
-//   PROMOTE                          follower -> primary (also on SIGUSR1)
+//   REPL SUBSCRIBE seq [EPOCH e]     change-log streaming (replication)
+//   REPL STATUS                      replication head + fencing epoch
+//   PROMOTE                          follower -> primary (also on SIGUSR1);
+//                                    claims a fresh fencing epoch
+
 //   RESHARD n [plan]                 online backend swap to n shards (plan:
 //                                    hash | range | locality)
 //   QUIT                             orderly goodbye
@@ -152,6 +155,14 @@ struct ServeOptions {
   // Seq of the base snapshot the follower booted from (-1: fresh start);
   // surfaced in STATS for observability.
   int64_t bootstrap_base_seq = -1;
+  // Highest fencing epoch observed by the bootstrap replay (epoch file,
+  // base-snapshot prologue, segment headers). A primary claims a strictly
+  // higher epoch at Start(); a follower adopts it as its starting term.
+  int64_t start_epoch = 0;
+  // Upper bound for the follower's upstream-reconnect backoff (the delay
+  // doubles from 50ms per consecutive failure, with +/-25% jitter, and is
+  // capped here).
+  int64_t reconnect_max_ms = 5000;
 };
 
 // The uniform surface the server drives. Both engines sit behind it; a new
@@ -228,7 +239,7 @@ struct ServingMetricsSnapshot {
   int64_t io_frames_decoded = 0;
   int64_t io_inbox_depth_high_water = 0;  // Max over threads.
   // Replication (zero / defaulted when replication is not configured).
-  std::string repl_role;         // "primary" or "follower".
+  std::string repl_role;         // "primary", "follower", or "fenced".
   int64_t repl_next_seq = 0;     // Batches applied == next log seq.
   int64_t repl_ops_logged = 0;   // Ops appended to the change log.
   int64_t repl_segments = 0;     // Segments created by this writer.
@@ -238,6 +249,12 @@ struct ServingMetricsSnapshot {
   int64_t repl_subscribers = 0;  // Live REPL SUBSCRIBE connections.
   int64_t repl_promotions = 0;   // PROMOTE/SIGUSR1 transitions taken.
   int64_t repl_resharded = 0;    // Completed online RESHARD swaps.
+  int64_t repl_epoch = 0;        // Highest fencing epoch observed.
+  int64_t repl_fenced = 0;       // 1 after a higher epoch fenced this server.
+  int64_t repl_reconnects = 0;   // Successful upstream re-establishments.
+  // Why writes are currently refused on a degraded primary (change-log
+  // append failure); empty while healthy.
+  std::string degraded_reason;
 };
 
 // The TCP server. Construct, Start(), then Run() on the engine thread;

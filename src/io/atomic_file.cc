@@ -1,0 +1,77 @@
+#include "src/io/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/faultfs.h"
+
+namespace dynmis {
+namespace io {
+namespace {
+
+bool SetErrno(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace
+
+bool SyncDir(const std::string& dir, std::string* error) {
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return SetErrno(error, "open dir " + dir);
+  int rc;
+  do {
+    rc = faultfs::Fsync(fd, dir.c_str());
+  } while (rc != 0 && errno == EINTR);
+  close(fd);
+  if (rc != 0) return SetErrno(error, "fsync dir " + dir);
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& bytes,
+                     std::string* error) {
+  const std::string tmp_path = path + ".tmp";
+  const int fd = open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return SetErrno(error, "open " + tmp_path);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = faultfs::Write(fd, bytes.data() + off,
+                                     bytes.size() - off, tmp_path.c_str());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetErrno(error, "write " + tmp_path);
+      close(fd);
+      unlink(tmp_path.c_str());
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  int rc;
+  do {
+    rc = faultfs::Fsync(fd, tmp_path.c_str());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    SetErrno(error, "fsync " + tmp_path);
+    close(fd);
+    unlink(tmp_path.c_str());
+    return false;
+  }
+  close(fd);
+  if (faultfs::Rename(tmp_path.c_str(), path.c_str()) != 0) {
+    SetErrno(error, "rename " + tmp_path);
+    unlink(tmp_path.c_str());
+    return false;
+  }
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  return SyncDir(dir, error);
+}
+
+}  // namespace io
+}  // namespace dynmis

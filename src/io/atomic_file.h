@@ -1,0 +1,30 @@
+// Crash-safe whole-file publication: write a sibling `.tmp`, fsync it,
+// rename over the final name, fsync the directory. A reader never observes
+// a half-written file — it sees either the old content or the new one —
+// and a crash at any point leaves at worst a stale `.tmp` beside intact
+// data. All syscalls route through the faultfs seam so tests can script
+// ENOSPC, fsync EIO, and torn-rename crashes against this exact path.
+
+#ifndef DYNMIS_SRC_IO_ATOMIC_FILE_H_
+#define DYNMIS_SRC_IO_ATOMIC_FILE_H_
+
+#include <string>
+
+namespace dynmis {
+namespace io {
+
+// Durably replaces `path` with `bytes`. On failure returns false with
+// *error set and removes the temp file (when the process survives to do
+// so — a crash can leave `path + ".tmp"` behind, which is why startup
+// scans ignore and clean stale `.tmp` names).
+bool WriteFileAtomic(const std::string& path, const std::string& bytes,
+                     std::string* error);
+
+// fsyncs the directory containing already-renamed entries (publication
+// durability point). Exposed for callers that batch several renames.
+bool SyncDir(const std::string& dir, std::string* error);
+
+}  // namespace io
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_IO_ATOMIC_FILE_H_

@@ -1,5 +1,6 @@
 #include "src/repl/bootstrap.h"
 
+#include <algorithm>
 #include <fstream>
 #include <utility>
 
@@ -13,17 +14,19 @@ bool BootstrapFromChangeLog(const std::string& dir, const EdgeListGraph& base,
                             BootstrapResult* out, std::string* error) {
   ChangeLogDirState state;
   if (!ScanChangeLogDir(dir, &state, error)) return false;
+  out->epoch = std::max(state.max_epoch, ReadEpochFile(dir));
 
   out->base_seq = -1;
   if (state.latest_base_seq >= 0) {
-    std::ifstream in(state.latest_base_path, std::ios::binary);
-    if (!in) {
-      *error = "cannot open base snapshot " + state.latest_base_path;
+    std::ifstream in;
+    int64_t base_epoch = 0;
+    if (!OpenBaseSnapshot(state.latest_base_path, &in, &base_epoch, error)) {
       return false;
     }
     out->backend = serve::RestoreServingBackend(in, error);
     if (out->backend == nullptr) return false;
     out->base_seq = state.latest_base_seq;
+    out->epoch = std::max(out->epoch, base_epoch);
   } else {
     serve::ServeOptions fresh = options;
     fresh.restore_path.clear();
@@ -44,6 +47,7 @@ bool BootstrapFromChangeLog(const std::string& dir, const EdgeListGraph& base,
     if (!cursor.Next(&batch, &available, error)) return false;
     if (!available) break;  // Reached the live tail: caught up on disk.
     out->backend->ApplyBatch(batch.updates);
+    out->epoch = std::max(out->epoch, batch.epoch);
     ++out->tail_batches;
     out->tail_ops += static_cast<int64_t>(batch.updates.size());
   }

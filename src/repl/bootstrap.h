@@ -27,6 +27,10 @@ struct BootstrapResult {
   int64_t base_seq = -1;       // Base snapshot restored (-1: fresh start).
   int64_t tail_batches = 0;    // Records replayed after the base.
   int64_t tail_ops = 0;        // Updates inside those records.
+  // Highest fencing epoch observed anywhere in the directory (epoch file,
+  // base-snapshot prologue, segment headers). A restarting primary must
+  // claim an epoch strictly above this before serving writes.
+  int64_t epoch = 0;
 };
 
 // Restores the newest checkpoint under `dir`. `base` and `options` describe

@@ -10,15 +10,22 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
+#include "src/io/atomic_file.h"
 #include "src/io/snapshot.h"
+#include "src/util/faultfs.h"
 
 namespace dynmis {
 namespace repl {
 namespace {
 
-constexpr char kSegmentMagic[8] = {'D', 'M', 'I', 'S', 'L', 'O', 'G', '1'};
-constexpr size_t kMagicBytes = sizeof(kSegmentMagic);
+constexpr char kSegmentMagicV1[8] = {'D', 'M', 'I', 'S', 'L', 'O', 'G', '1'};
+constexpr char kSegmentMagicV2[8] = {'D', 'M', 'I', 'S', 'L', 'O', 'G', '2'};
+constexpr char kBaseMagic[8] = {'D', 'M', 'I', 'S', 'B', 'A', 'S', '1'};
+constexpr size_t kMagicBytes = sizeof(kSegmentMagicV2);
+// V2 segment header: magic + u64 epoch. V1 is magic only.
+constexpr size_t kSegmentHeaderV2 = kMagicBytes + 8;
 constexpr size_t kRecordHeaderBytes = 8;  // payload_len u32 + crc u32.
 // A record holds one admission batch (bounded by batch_max_ops and the line
 // length limit); anything near this size is structurally impossible and
@@ -90,15 +97,6 @@ std::string SeqName(const char* prefix, int64_t seq, const char* suffix) {
   return buf;
 }
 
-bool SyncDirectory(const std::string& dir, std::string* error) {
-  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return SetErrno(error, "open dir " + dir);
-  const int rc = fsync(fd);
-  close(fd);
-  if (rc != 0) return SetErrno(error, "fsync dir " + dir);
-  return true;
-}
-
 // Reads exactly `size` bytes at `offset` unless the file ends first; returns
 // the byte count actually read, or -1 on error.
 ssize_t PreadFull(int fd, char* buf, size_t size, int64_t offset) {
@@ -114,6 +112,36 @@ ssize_t PreadFull(int fd, char* buf, size_t size, int64_t offset) {
     done += static_cast<size_t>(n);
   }
   return static_cast<ssize_t>(done);
+}
+
+// Classifies an open segment's header. Returns false only on a read error.
+// *header_bytes is where records start; *complete is false for an embryonic
+// header (too short) — a bad magic on a complete-length header is reported
+// through *bad_magic so callers can treat it as corruption.
+bool ReadSegmentHeader(int fd, int64_t* epoch, size_t* header_bytes,
+                       bool* complete, bool* bad_magic) {
+  *epoch = 0;
+  *header_bytes = 0;
+  *complete = false;
+  *bad_magic = false;
+  char header[kSegmentHeaderV2];
+  const ssize_t got = PreadFull(fd, header, sizeof(header), 0);
+  if (got < 0) return false;
+  if (static_cast<size_t>(got) < kMagicBytes) return true;  // Embryonic.
+  if (std::memcmp(header, kSegmentMagicV1, kMagicBytes) == 0) {
+    *header_bytes = kMagicBytes;
+    *complete = true;
+    return true;
+  }
+  if (std::memcmp(header, kSegmentMagicV2, kMagicBytes) != 0) {
+    *bad_magic = true;
+    return true;
+  }
+  if (static_cast<size_t>(got) < kSegmentHeaderV2) return true;  // Embryonic.
+  *epoch = static_cast<int64_t>(ReadU64(header + kMagicBytes));
+  *header_bytes = kSegmentHeaderV2;
+  *complete = true;
+  return true;
 }
 
 }  // namespace
@@ -186,13 +214,17 @@ bool ScanChangeLogDir(const std::string& dir, ChangeLogDirState* out,
   out->segments.clear();
   out->latest_base_seq = -1;
   out->latest_base_path.clear();
+  out->max_epoch = 0;
   DIR* handle = opendir(dir.c_str());
   if (handle == nullptr) return SetErrno(error, "opendir " + dir);
   while (dirent* entry = readdir(handle)) {
     const std::string name = entry->d_name;
     int64_t seq = ParseSeqName(name, "seg-", ".log");
     if (seq >= 0) {
-      out->segments.emplace_back(seq, dir + "/" + name);
+      SegmentInfo info;
+      info.first_seq = seq;
+      info.path = dir + "/" + name;
+      out->segments.push_back(std::move(info));
       continue;
     }
     seq = ParseSeqName(name, "base-", ".snap");
@@ -202,41 +234,96 @@ bool ScanChangeLogDir(const std::string& dir, ChangeLogDirState* out,
     }
   }
   closedir(handle);
-  std::sort(out->segments.begin(), out->segments.end());
+  std::sort(out->segments.begin(), out->segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.first_seq < b.first_seq;
+            });
+  for (SegmentInfo& info : out->segments) {
+    const int fd = open(info.path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      // Raced with deletion or unreadable: treat as embryonic (no records).
+      continue;
+    }
+    size_t header_bytes = 0;
+    bool bad_magic = false;
+    const bool ok = ReadSegmentHeader(fd, &info.epoch, &header_bytes,
+                                      &info.header_complete, &bad_magic);
+    close(fd);
+    // A bad magic surfaces later, when a cursor actually opens the file.
+    if (ok && info.header_complete && info.epoch > out->max_epoch) {
+      out->max_epoch = info.epoch;
+    }
+  }
   return true;
 }
 
-bool WriteBaseSnapshot(const std::string& dir, int64_t seq,
+bool WriteBaseSnapshot(const std::string& dir, int64_t seq, int64_t epoch,
                        const std::string& bytes, std::string* error) {
-  const std::string final_path = dir + "/" + BaseSnapshotFileName(seq);
-  const std::string tmp_path = final_path + ".tmp";
-  const int fd = open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) return SetErrno(error, "open " + tmp_path);
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      SetErrno(error, "write " + tmp_path);
-      close(fd);
-      unlink(tmp_path.c_str());
-      return false;
-    }
-    off += static_cast<size_t>(n);
+  std::string file;
+  file.reserve(kMagicBytes + 8 + bytes.size());
+  file.append(kBaseMagic, kMagicBytes);
+  AppendU64(&file, static_cast<uint64_t>(epoch));
+  file.append(bytes);
+  return io::WriteFileAtomic(dir + "/" + BaseSnapshotFileName(seq), file,
+                             error);
+}
+
+bool OpenBaseSnapshot(const std::string& path, std::ifstream* in,
+                      int64_t* epoch, std::string* error) {
+  *epoch = 0;
+  in->open(path, std::ios::binary);
+  if (!*in) return SetError(error, "cannot open base snapshot " + path);
+  char prologue[kMagicBytes + 8];
+  in->read(prologue, sizeof(prologue));
+  if (in->gcount() == static_cast<std::streamsize>(sizeof(prologue)) &&
+      std::memcmp(prologue, kBaseMagic, kMagicBytes) == 0) {
+    *epoch = static_cast<int64_t>(ReadU64(prologue + kMagicBytes));
+    return true;
   }
-  if (fsync(fd) != 0) {
-    SetErrno(error, "fsync " + tmp_path);
-    close(fd);
-    unlink(tmp_path.c_str());
-    return false;
-  }
+  // Legacy base snapshot: the container starts at byte 0.
+  in->clear();
+  in->seekg(0);
+  return true;
+}
+
+int64_t ReadEpochValue(const char* epoch_path) {
+  const int fd = open(epoch_path, O_RDONLY);
+  if (fd < 0) return 0;
+  char buf[8];
+  const ssize_t got = PreadFull(fd, buf, sizeof(buf), 0);
   close(fd);
-  if (rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    SetErrno(error, "rename " + tmp_path);
-    unlink(tmp_path.c_str());
-    return false;
+  if (got != static_cast<ssize_t>(sizeof(buf))) return 0;
+  return static_cast<int64_t>(ReadU64(buf));
+}
+
+int64_t ReadEpochFile(const std::string& dir) {
+  return ReadEpochValue((dir + "/epoch").c_str());
+}
+
+bool WriteEpochFile(const std::string& dir, int64_t epoch,
+                    std::string* error) {
+  // A restarting primary claims its epoch before opening the log, so this
+  // may be the first write into a brand-new directory.
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return SetErrno(error, "mkdir " + dir);
   }
-  return SyncDirectory(dir, error);
+  std::string bytes;
+  AppendU64(&bytes, static_cast<uint64_t>(epoch));
+  return io::WriteFileAtomic(dir + "/epoch", bytes, error);
+}
+
+int CleanStaleTmpFiles(const std::string& dir) {
+  DIR* handle = opendir(dir.c_str());
+  if (handle == nullptr) return 0;
+  int removed = 0;
+  while (dirent* entry = readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      if (unlink((dir + "/" + name).c_str()) == 0) ++removed;
+    }
+  }
+  closedir(handle);
+  return removed;
 }
 
 ChangeLogWriter::~ChangeLogWriter() {
@@ -244,12 +331,15 @@ ChangeLogWriter::~ChangeLogWriter() {
 }
 
 bool ChangeLogWriter::Open(const std::string& dir, int64_t segment_bytes,
-                           int64_t next_seq, std::string* error) {
+                           int64_t next_seq, int64_t epoch,
+                           std::string* error) {
   if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return SetErrno(error, "mkdir " + dir);
   }
   dir_ = dir;
   segment_bytes_ = segment_bytes > 0 ? segment_bytes : (4 << 20);
+  epoch_ = epoch;
+  CleanStaleTmpFiles(dir_);
   return OpenSegment(next_seq, error);
 }
 
@@ -257,7 +347,11 @@ bool ChangeLogWriter::OpenSegment(int64_t first_seq, std::string* error) {
   if (fd_ >= 0) {
     // Rotation durability point: the finished segment is synced before the
     // cursor-visible successor appears.
-    if (fsync(fd_) != 0) return SetErrno(error, "fsync segment");
+    int rc;
+    do {
+      rc = faultfs::Fsync(fd_, segment_path_.c_str());
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) return SetErrno(error, "fsync segment");
     close(fd_);
     fd_ = -1;
   }
@@ -267,16 +361,22 @@ bool ChangeLogWriter::OpenSegment(int64_t first_seq, std::string* error) {
   // log), so rewriting it is the correct recovery.
   fd_ = open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd_ < 0) return SetErrno(error, "open " + path);
+  segment_path_ = path;
+  char header[kSegmentHeaderV2];
+  std::memcpy(header, kSegmentMagicV2, kMagicBytes);
+  const uint64_t epoch = static_cast<uint64_t>(epoch_);
+  std::memcpy(header + kMagicBytes, &epoch, sizeof(epoch));
   size_t off = 0;
-  while (off < kMagicBytes) {
-    const ssize_t n = write(fd_, kSegmentMagic + off, kMagicBytes - off);
+  while (off < sizeof(header)) {
+    const ssize_t n = faultfs::Write(fd_, header + off, sizeof(header) - off,
+                                     segment_path_.c_str());
     if (n < 0) {
       if (errno == EINTR) continue;
-      return SetErrno(error, "write magic " + path);
+      return SetErrno(error, "write header " + path);
     }
     off += static_cast<size_t>(n);
   }
-  segment_size_ = static_cast<int64_t>(kMagicBytes);
+  segment_size_ = static_cast<int64_t>(sizeof(header));
   ++segments_created_;
   segment_starts_.push_back(first_seq);
   return true;
@@ -290,7 +390,9 @@ bool ChangeLogWriter::Append(const LogBatch& batch, std::string* error) {
   const std::string record = EncodeLogRecord(batch);
   size_t off = 0;
   while (off < record.size()) {
-    const ssize_t n = write(fd_, record.data() + off, record.size() - off);
+    const ssize_t n = faultfs::Write(fd_, record.data() + off,
+                                     record.size() - off,
+                                     segment_path_.c_str());
     if (n < 0) {
       if (errno == EINTR) continue;
       return SetErrno(error, "write record");
@@ -304,7 +406,11 @@ bool ChangeLogWriter::Append(const LogBatch& batch, std::string* error) {
 
 bool ChangeLogWriter::Sync(std::string* error) {
   if (fd_ < 0) return true;
-  if (fsync(fd_) != 0) return SetErrno(error, "fsync segment");
+  int rc;
+  do {
+    rc = faultfs::Fsync(fd_, segment_path_.c_str());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return SetErrno(error, "fsync segment");
   return true;
 }
 
@@ -325,18 +431,16 @@ bool ChangeLogCursor::Open(const std::string& dir, int64_t start_seq,
     }
     return true;  // Tail an as-yet-unstarted log.
   }
-  if (state.segments.front().first > start_seq) {
+  if (state.segments.front().first_seq > start_seq) {
     return SetError(error,
                     "change log " + dir + " starts at seq " +
-                        std::to_string(state.segments.front().first) +
+                        std::to_string(state.segments.front().first_seq) +
                         ", cannot serve seq " + std::to_string(start_seq));
   }
   bool found = false;
   if (!OpenSegmentFor(start_seq, &found, error)) return false;
-  if (!found) {
-    return SetError(error, "change log " + dir + " has no segment for seq " +
-                               std::to_string(start_seq));
-  }
+  // !found: only embryonic candidates — a writer died creating its first
+  // segment for start_seq. Next() keeps polling; this is a live tail.
   return true;
 }
 
@@ -345,29 +449,46 @@ bool ChangeLogCursor::OpenSegmentFor(int64_t seq, bool* found,
   *found = false;
   ChangeLogDirState state;
   if (!ScanChangeLogDir(dir_, &state, error)) return false;
-  // The containing segment is the one with the greatest first_seq <= seq.
-  int64_t best_seq = -1;
-  const std::string* best_path = nullptr;
-  for (const auto& [first_seq, path] : state.segments) {
-    if (first_seq <= seq) {
-      best_seq = first_seq;
-      best_path = &path;
+  // The authoritative segment for `seq` is the lexicographically greatest
+  // (epoch, first_seq) among complete segments with first_seq <= seq: a
+  // higher epoch owns every sequence from its first record onward, so a
+  // fenced writer's same-range segment loses even when it starts later.
+  const SegmentInfo* best = nullptr;
+  for (const SegmentInfo& info : state.segments) {
+    if (!info.header_complete || info.first_seq > seq) continue;
+    if (best == nullptr || info.epoch > best->epoch ||
+        (info.epoch == best->epoch && info.first_seq > best->first_seq)) {
+      best = &info;
     }
   }
-  if (best_path == nullptr) return true;
+  if (best == nullptr) return true;
   if (fd_ >= 0) close(fd_);
-  fd_ = open(best_path->c_str(), O_RDONLY);
-  if (fd_ < 0) return SetErrno(error, "open " + *best_path);
-  char magic[kMagicBytes];
-  const ssize_t n = PreadFull(fd_, magic, kMagicBytes, 0);
-  if (n < 0) return SetErrno(error, "read " + *best_path);
-  if (static_cast<size_t>(n) != kMagicBytes ||
-      std::memcmp(magic, kSegmentMagic, kMagicBytes) != 0) {
-    return SetError(error, "bad segment magic in " + *best_path);
+  fd_ = open(best->path.c_str(), O_RDONLY);
+  if (fd_ < 0) return SetErrno(error, "open " + best->path);
+  int64_t epoch = 0;
+  size_t header_bytes = 0;
+  bool complete = false;
+  bool bad_magic = false;
+  if (!ReadSegmentHeader(fd_, &epoch, &header_bytes, &complete, &bad_magic)) {
+    return SetErrno(error, "read " + best->path);
   }
-  offset_ = static_cast<int64_t>(kMagicBytes);
-  record_seq_ = best_seq;
-  segment_first_seq_ = best_seq;
+  if (bad_magic) return SetError(error, "bad segment magic in " + best->path);
+  if (!complete) {
+    // Shrank between scan and open (impossible for an append-only file,
+    // but a hostile dir is not a crash): treat as corruption.
+    return SetError(error, "truncated segment header in " + best->path);
+  }
+  offset_ = static_cast<int64_t>(header_bytes);
+  record_seq_ = best->first_seq;
+  segment_first_seq_ = best->first_seq;
+  segment_epoch_ = epoch;
+  // Where the next incarnation takes over: reading the current segment past
+  // this sequence would replay a fenced writer's diverged tail.
+  supersede_at_ = INT64_MAX;
+  for (const SegmentInfo& info : state.segments) {
+    if (!info.header_complete || info.epoch <= segment_epoch_) continue;
+    supersede_at_ = std::min(supersede_at_, info.first_seq);
+  }
   *found = true;
   return true;
 }
@@ -380,6 +501,30 @@ bool ChangeLogCursor::Next(LogBatch* out, bool* available, std::string* error) {
       bool found = false;
       if (!OpenSegmentFor(next_seq_, &found, error)) return false;
       if (!found) return true;  // Still nothing: live tail.
+    }
+    if (record_seq_ >= supersede_at_) {
+      // A higher epoch owns this sequence: jump to its segment instead of
+      // replaying the fenced writer's tail.
+      bool found = false;
+      if (!OpenSegmentFor(record_seq_, &found, error)) return false;
+      if (!found) {
+        return SetError(error, "segment for seq " +
+                                   std::to_string(record_seq_) +
+                                   " disappeared during epoch handoff");
+      }
+      if (segment_first_seq_ < next_seq_) {
+        // The new epoch forked below sequences the caller already consumed:
+        // that prefix was a fenced writer's diverged tail, so the caller's
+        // state cannot be patched forward — it must rebuild.
+        return SetError(error,
+                        "epoch " + std::to_string(segment_epoch_) +
+                            " forked at seq " +
+                            std::to_string(segment_first_seq_) +
+                            " below already-replayed seq " +
+                            std::to_string(next_seq_) +
+                            "; replica state diverged, rebuild required");
+      }
+      continue;
     }
     char header[kRecordHeaderBytes];
     const ssize_t got = PreadFull(fd_, header, kRecordHeaderBytes, offset_);
@@ -403,16 +548,50 @@ bool ChangeLogCursor::Next(LogBatch* out, bool* available, std::string* error) {
     }
     if (partial) {
       // Either a clean EOF at a record boundary (a rotation may have moved
-      // the writer to a successor segment starting at record_seq_) or an
-      // append in progress. Complete records never straddle a rotation, so
-      // torn bytes inside a rotated-away segment are corruption.
+      // the writer to a successor segment starting at record_seq_), an
+      // append in progress, or the torn last write of a writer that has
+      // since been superseded by a higher epoch.
       ChangeLogDirState state;
       if (!ScanChangeLogDir(dir_, &state, error)) return false;
-      bool has_successor = false;
-      for (const auto& [first_seq, path] : state.segments) {
-        if (first_seq == record_seq_) has_successor = true;
+      bool rotated_successor = false;  // Same epoch, next segment.
+      bool superseded = false;         // Higher epoch claims record_seq_.
+      for (const SegmentInfo& info : state.segments) {
+        if (!info.header_complete) continue;
+        if (info.epoch > segment_epoch_ && info.first_seq <= record_seq_) {
+          superseded = true;
+        }
+        if (info.epoch == segment_epoch_ && info.first_seq == record_seq_ &&
+            info.first_seq != segment_first_seq_) {
+          rotated_successor = true;
+        }
+        if (info.epoch > segment_epoch_) {
+          supersede_at_ = std::min(supersede_at_, info.first_seq);
+        }
       }
-      if (has_successor) {
+      if (superseded) {
+        // The torn/missing bytes belong to a fenced writer; the higher
+        // epoch owns this sequence now.
+        bool found = false;
+        if (!OpenSegmentFor(record_seq_, &found, error)) return false;
+        if (!found) {
+          return SetError(error, "segment for seq " +
+                                     std::to_string(record_seq_) +
+                                     " disappeared during epoch handoff");
+        }
+        if (segment_first_seq_ < next_seq_) {
+          return SetError(error,
+                          "epoch " + std::to_string(segment_epoch_) +
+                              " forked at seq " +
+                              std::to_string(segment_first_seq_) +
+                              " below already-replayed seq " +
+                              std::to_string(next_seq_) +
+                              "; replica state diverged, rebuild required");
+        }
+        continue;
+      }
+      if (rotated_successor) {
+        // Complete records never straddle a rotation, so torn bytes inside
+        // a rotated-away segment are corruption.
         if (got != 0) {
           return SetError(error, "torn record at seq " +
                                      std::to_string(record_seq_) +
@@ -444,6 +623,7 @@ bool ChangeLogCursor::Next(LogBatch* out, bool* available, std::string* error) {
                                  std::to_string(record_seq_) + ", found " +
                                  std::to_string(batch.seq));
     }
+    batch.epoch = segment_epoch_;
     offset_ += static_cast<int64_t>(kRecordHeaderBytes + payload_len);
     ++record_seq_;
     if (batch.seq >= next_seq_) {

@@ -9,14 +9,26 @@
 // record tail after it, so recovery work scales with the change rate, not
 // the history length.
 //
+// Every writer incarnation owns a fencing *epoch*: a monotonically
+// increasing integer stamped into each segment header, each base-snapshot
+// prologue, and the durable `epoch` file in the log directory. Promotion
+// (and primary restart) bumps the epoch before serving writes, so a
+// partitioned old primary can be recognized — and its unreplicated tail
+// discarded — purely from the directory: where two segments both claim a
+// sequence number, the higher epoch wins from its first record onward.
+//
 // Directory layout (one directory per log):
 //
-//   seg-<%016llx first_seq>.log    segments, named by their first record seq
+//   seg-<%016llx first_seq>.log   segments, named by their first record seq
 //   base-<%016llx seq>.snap       base snapshots; seq = batches they contain
+//   epoch                         8-byte LE epoch of the newest incarnation
+//   *.tmp                         in-flight atomic publishes; stale ones are
+//                                 ignored by scans and cleaned by the writer
 //
 // Segment format (all integers little-endian, fixed width):
 //
-//   magic     8 bytes  "DMISLOG1"
+//   magic     8 bytes  "DMISLOG2" ("DMISLOG1" = legacy, epoch 0, no field)
+//   epoch     u64      fencing epoch of the writer incarnation
 //   records   repeated { payload_len u32, crc32(payload) u32, payload }
 //
 // Record payload:
@@ -25,20 +37,26 @@
 //   num_ops    u32
 //   per op: kind u8, u i32, v i32, num_neighbors u32, neighbors i32[]
 //
+// Base snapshot format: prologue "DMISBAS1" + epoch u64, then the engine
+// snapshot container (files without the prologue are legacy, epoch 0).
+//
 // Writers use plain write(2) so records become visible to same-host readers
 // immediately (page cache), and fsync only on Sync() — the drain path and
 // segment rotation sync, steady-state appends do not. Readers (tailing
 // cursors) tolerate a partial record at the tail of the *last* segment —
 // that is an append in progress, not corruption — but treat a CRC mismatch
 // on a complete record, a sequence gap, or a torn record followed by a
-// newer segment as corruption.
+// same-epoch successor segment as corruption. A torn or diverging tail
+// followed by a *higher-epoch* segment claiming the same sequence is the
+// fencing case: the dead writer's unreplicated bytes are skipped and the
+// cursor continues in the higher epoch.
 
 #ifndef DYNMIS_SRC_REPL_CHANGE_LOG_H_
 #define DYNMIS_SRC_REPL_CHANGE_LOG_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "src/graph/update_stream.h"
@@ -46,10 +64,11 @@
 namespace dynmis {
 namespace repl {
 
-// One logged ApplyBatch: its sequence number and the updates it applied, in
-// admission order.
+// One logged ApplyBatch: its sequence number, the fencing epoch of the
+// segment it was read from, and the updates it applied, in admission order.
 struct LogBatch {
   int64_t seq = 0;
+  int64_t epoch = 0;
   std::vector<GraphUpdate> updates;
 };
 
@@ -64,24 +83,58 @@ bool DecodeLogPayload(const char* data, size_t size, LogBatch* out);
 std::string SegmentFileName(int64_t first_seq);
 std::string BaseSnapshotFileName(int64_t seq);
 
+// One scanned segment. `header_complete` is false for an embryonic segment
+// (created but its header never fully written — a crash inside segment
+// creation); such a file provably holds no records and is skipped by
+// cursors and rewritten by the next writer.
+struct SegmentInfo {
+  int64_t first_seq = 0;
+  int64_t epoch = 0;
+  bool header_complete = false;
+  std::string path;
+};
+
 // A snapshot of the change-log directory: segments in ascending first-seq
 // order plus the newest base snapshot (if any).
 struct ChangeLogDirState {
-  // (first_seq, absolute path), sorted ascending by first_seq.
-  std::vector<std::pair<int64_t, std::string>> segments;
+  std::vector<SegmentInfo> segments;
   int64_t latest_base_seq = -1;  // -1 when no base snapshot exists.
   std::string latest_base_path;
+  int64_t max_epoch = 0;  // Highest epoch across segment headers.
 };
 
-// Lists segments and base snapshots under `dir`. A missing directory is an
-// error; an empty one yields an empty state.
+// Lists segments (reading each header for its epoch) and base snapshots
+// under `dir`. A missing directory is an error; an empty one yields an
+// empty state.
 bool ScanChangeLogDir(const std::string& dir, ChangeLogDirState* out,
                       std::string* error);
 
 // Durably publishes a base snapshot covering batches [0, seq): writes
-// base-<seq>.snap.tmp, fsyncs, renames into place, fsyncs the directory.
-bool WriteBaseSnapshot(const std::string& dir, int64_t seq,
+// base-<seq>.snap.tmp with an epoch prologue, fsyncs, renames into place,
+// fsyncs the directory.
+bool WriteBaseSnapshot(const std::string& dir, int64_t seq, int64_t epoch,
                        const std::string& bytes, std::string* error);
+
+// Opens a base snapshot, consumes its epoch prologue (legacy files without
+// one read as epoch 0), and leaves `in` positioned at the engine snapshot
+// container.
+bool OpenBaseSnapshot(const std::string& path, std::ifstream* in,
+                      int64_t* epoch, std::string* error);
+
+// The durable fencing epoch of `dir`. A missing or unreadable epoch file
+// reads as 0 (pre-fencing logs). `ReadEpochValue` takes the full file path
+// and performs no allocation — the serving loop polls it per applied batch.
+int64_t ReadEpochValue(const char* epoch_path);
+int64_t ReadEpochFile(const std::string& dir);
+
+// Durably records `epoch` as the newest incarnation of `dir` (atomic
+// tmp+rename+dir-fsync). Promotion must not serve writes until this
+// succeeds.
+bool WriteEpochFile(const std::string& dir, int64_t epoch, std::string* error);
+
+// Removes stale `*.tmp` files (crashed atomic publishes) under `dir`.
+// Returns the number removed. Only the directory's writer may call this.
+int CleanStaleTmpFiles(const std::string& dir);
 
 // Appends records to size-rotated segments. Single-threaded (the serving
 // event loop is the sole producer).
@@ -94,9 +147,10 @@ class ChangeLogWriter {
   ChangeLogWriter& operator=(const ChangeLogWriter&) = delete;
 
   // Opens (creating `dir` if needed) a fresh segment whose first record will
-  // be `next_seq`. Existing segments with earlier records are left in place.
+  // be `next_seq`, stamped with fencing epoch `epoch`. Existing segments
+  // with earlier records are left in place; stale `.tmp` files are cleaned.
   bool Open(const std::string& dir, int64_t segment_bytes, int64_t next_seq,
-            std::string* error);
+            int64_t epoch, std::string* error);
 
   // Appends one record; rotates to a new segment first when the current one
   // has reached the size threshold (rotation fsyncs the finished segment).
@@ -107,6 +161,7 @@ class ChangeLogWriter {
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& dir() const { return dir_; }
+  int64_t epoch() const { return epoch_; }
   int64_t segments_created() const { return segments_created_; }
   int64_t records_appended() const { return records_appended_; }
   // First seqs of the segments this writer opened, in order (replication
@@ -120,7 +175,9 @@ class ChangeLogWriter {
 
   std::string dir_;
   int64_t segment_bytes_ = 4 << 20;
+  int64_t epoch_ = 0;
   int fd_ = -1;
+  std::string segment_path_;  // Current segment (faultfs tag + errors).
   int64_t segment_size_ = 0;
   int64_t segments_created_ = 0;
   int64_t records_appended_ = 0;
@@ -129,8 +186,10 @@ class ChangeLogWriter {
 
 // Sequential reader over a change-log directory, starting at a given
 // sequence number and able to tail a live log: Next() distinguishes "no
-// complete record available yet" from corruption, and rescans the directory
-// for newly rotated segments as earlier ones are exhausted.
+// complete record available yet" from corruption, rescans the directory
+// for newly rotated segments as earlier ones are exhausted, and switches
+// to a higher-epoch segment the moment one claims the next sequence
+// number (discarding a fenced writer's unreplicated tail).
 class ChangeLogCursor {
  public:
   ChangeLogCursor() = default;
@@ -156,9 +215,14 @@ class ChangeLogCursor {
   // First seq of the currently open segment (-1 before any segment opens).
   int64_t segment_first_seq() const { return segment_first_seq_; }
 
+  // Epoch of the currently open segment (0 before any segment opens).
+  int64_t segment_epoch() const { return segment_epoch_; }
+
  private:
-  // Opens the segment expected to contain next_seq_; *found=false when it
-  // does not exist yet.
+  // Opens the authoritative segment for `seq` — among segments whose first
+  // seq is <= seq, the lexicographically greatest (epoch, first_seq) —
+  // and records where the next higher epoch takes over. *found=false when
+  // no such segment exists yet.
   bool OpenSegmentFor(int64_t seq, bool* found, std::string* error);
 
   std::string dir_;
@@ -167,6 +231,10 @@ class ChangeLogCursor {
   int64_t record_seq_ = 0;  // Seq expected at offset_ (contiguity check).
   int64_t next_seq_ = 0;    // First seq the caller still wants.
   int64_t segment_first_seq_ = -1;  // First seq of the open segment.
+  int64_t segment_epoch_ = 0;       // Epoch of the open segment.
+  // First seq of the nearest higher-epoch segment: the cursor must leave
+  // the current segment before reading that seq from it.
+  int64_t supersede_at_ = INT64_MAX;
 };
 
 }  // namespace repl

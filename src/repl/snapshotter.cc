@@ -21,13 +21,14 @@ Snapshotter::~Snapshotter() {
   if (thread_.joinable()) thread_.join();
 }
 
-bool Snapshotter::Submit(int64_t seq, std::string bytes) {
+bool Snapshotter::Submit(int64_t seq, int64_t epoch, std::string bytes) {
   if (busy_.load(std::memory_order_acquire)) return false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (pending_ || stop_) return false;
     pending_ = true;
     pending_seq_ = seq;
+    pending_epoch_ = epoch;
     pending_bytes_ = std::move(bytes);
     busy_.store(true, std::memory_order_release);
   }
@@ -43,18 +44,20 @@ void Snapshotter::WaitIdle() {
 void Snapshotter::Worker() {
   for (;;) {
     int64_t seq = 0;
+    int64_t epoch = 0;
     std::string bytes;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return pending_ || stop_; });
       if (!pending_ && stop_) return;
       seq = pending_seq_;
+      epoch = pending_epoch_;
       bytes = std::move(pending_bytes_);
       pending_bytes_.clear();
       pending_ = false;
     }
     std::string error;
-    if (WriteBaseSnapshot(dir_, seq, bytes, &error)) {
+    if (WriteBaseSnapshot(dir_, seq, epoch, bytes, &error)) {
       snapshots_written_.fetch_add(1, std::memory_order_relaxed);
       last_base_seq_.store(seq, std::memory_order_relaxed);
     } else {

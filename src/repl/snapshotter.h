@@ -31,10 +31,11 @@ class Snapshotter {
   Snapshotter(const Snapshotter&) = delete;
   Snapshotter& operator=(const Snapshotter&) = delete;
 
-  // Queues `bytes` to be published as base-<seq>.snap. Returns false (and
-  // drops nothing — the caller keeps ownership semantics trivial by just
+  // Queues `bytes` to be published as base-<seq>.snap, stamped with the
+  // submitting incarnation's fencing epoch. Returns false (and drops
+  // nothing — the caller keeps ownership semantics trivial by just
   // retrying later) when a snapshot is already in flight.
-  bool Submit(int64_t seq, std::string bytes);
+  bool Submit(int64_t seq, int64_t epoch, std::string bytes);
 
   // True while a snapshot is queued or being written.
   bool busy() const { return busy_.load(std::memory_order_acquire); }
@@ -62,6 +63,7 @@ class Snapshotter {
   bool stop_ = false;
   bool pending_ = false;
   int64_t pending_seq_ = 0;
+  int64_t pending_epoch_ = 0;
   std::string pending_bytes_;
   std::atomic<bool> busy_{false};
   std::atomic<int64_t> snapshots_written_{0};

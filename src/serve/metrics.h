@@ -74,6 +74,7 @@ struct ServeMetrics {
   int64_t repl_batches_applied = 0;   // Follower: upstream batches applied.
   int64_t repl_promotions = 0;
   int64_t repl_resharded = 0;
+  int64_t repl_reconnects = 0;  // Successful upstream re-establishments.
 
   // Enqueue -> batch-applied time per update op; whole-command time for
   // queries (QUERY/SOLUTION/STATS/VERIFY).

@@ -182,18 +182,30 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
       return true;
     }
     if (tokens.size() >= 2 && tokens[1] == "SUBSCRIBE") {
-      if (!WantArgs(tokens, 2, error)) return false;
+      if (tokens.size() != 3 && tokens.size() != 5) {
+        *error = "REPL SUBSCRIBE: expected <seq> [EPOCH <epoch>]";
+        return false;
+      }
       int64_t seq = 0;
       if (!ParseInt(tokens[2], &seq) || seq < 0) {
         *error = "REPL SUBSCRIBE: expected a non-negative sequence number";
         return false;
       }
+      int64_t epoch = -1;
+      if (tokens.size() == 5) {
+        if (tokens[3] != "EPOCH" || !ParseInt(tokens[4], &epoch) ||
+            epoch < 0) {
+          *error = "REPL SUBSCRIBE: expected EPOCH <non-negative epoch>";
+          return false;
+        }
+      }
       cmd->verb = Verb::kRepl;
       cmd->path = "SUBSCRIBE";
       cmd->seq = seq;
+      cmd->epoch = epoch;
       return true;
     }
-    *error = "REPL: expected SUBSCRIBE <seq> or STATUS";
+    *error = "REPL: expected SUBSCRIBE <seq> [EPOCH <e>] or STATUS";
     return false;
   }
   if (verb == "RESHARD") {

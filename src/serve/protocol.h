@@ -39,7 +39,7 @@ enum class Verb {
   kVerify,    // VERIFY
   kBatch,     // BATCH <n>
   kEnd,       // END
-  kRepl,      // REPL SUBSCRIBE <seq> | REPL STATUS
+  kRepl,      // REPL SUBSCRIBE <seq> [EPOCH <e>] | REPL STATUS
   kPromote,   // PROMOTE
   kReshard,   // RESHARD <shards> [hash|range|locality]
   kQuit,      // QUIT (keep last: kNumVerbs is defined off it)
@@ -71,6 +71,11 @@ struct Command {
   std::string path;
   // kRepl SUBSCRIBE: first change-log seq the subscriber wants.
   int64_t seq = 0;
+  // kRepl SUBSCRIBE: highest fencing epoch the subscriber has observed
+  // (`EPOCH <e>`); -1 when the subscriber announced none. A primary that
+  // sees an epoch above its own here fences itself (docs/OPERATIONS.md
+  // "Failure modes & fencing").
+  int64_t epoch = -1;
 };
 
 // Parses one complete line (already stripped of its newline). Returns false

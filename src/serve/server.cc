@@ -39,6 +39,7 @@
 #include <utility>
 
 #include "dynmis/sharded_engine.h"
+#include "src/io/atomic_file.h"
 #include "src/io/snapshot.h"
 #include "src/repl/change_log.h"
 #include "src/repl/snapshotter.h"
@@ -50,6 +51,8 @@
 #include "src/serve/trace.h"
 #include "src/serve/verify.h"
 #include "src/util/check.h"
+#include "src/util/faultfs.h"
+#include "src/util/random.h"
 #include "src/util/timer.h"
 
 namespace dynmis {
@@ -414,6 +417,35 @@ struct Server::Impl {
   double last_snapshot_trigger_time = 0;  // clock seconds at last trigger.
   std::atomic<bool> promote_requested{false};
 
+  // Fencing epoch: the highest writer term this server has observed. A
+  // healthy primary's own term lives here (claimed durably in the epoch
+  // file before the first write is acked); a follower tracks the upstream's
+  // term. Observing a term above our own while writable fences the server:
+  // writes answer `ERR fenced <epoch>` and nothing further is appended —
+  // acking even one more batch could hand a client a write the new
+  // primary's history never saw.
+  int64_t epoch = 0;
+  bool fenced = false;
+  // "<change-log dir>/epoch" when this server writes a log; prebuilt so the
+  // per-flush fencing probe stays allocation-free.
+  std::string epoch_path;
+  double next_epoch_check = 0;  // Clock seconds of the next idle probe.
+
+  // Degraded mode: a change-log append failed (ENOSPC/EIO). The already-
+  // applied batch sits in `unlogged_batches` (it cannot be un-applied), new
+  // writes answer `ERR readonly`, and every retry tick re-appends the
+  // buffer; once a Sync succeeds the server returns to normal service.
+  bool degraded = false;
+  std::string degraded_reason;
+  std::deque<repl::LogBatch> unlogged_batches;
+  double next_degraded_retry = 0;
+
+  // Upstream reconnect (--follow): exponential backoff with jitter,
+  // resubscribing from next_seq. reconnect_at < 0 means no attempt is due.
+  double reconnect_at = -1;
+  int reconnect_attempts = 0;
+  Rng reconnect_rng{0x9e3779b97f4a7c15ULL};
+
   // Follower upstream (TCP --follow): a non-blocking socket in the same
   // poll loop. The handshake lines are sent eagerly at Start(); responses
   // are consumed by a tiny state machine.
@@ -520,6 +552,14 @@ struct Server::Impl {
   enum class FlushReason { kFull, kDeadline, kBarrier };
   void Flush(FlushReason reason) {
     if (pending_updates.empty()) return;
+    // Fencing barrier: if a newer primary claimed the epoch file after
+    // these ops were admitted, refuse the whole batch now — the apply/ack
+    // below is exactly the step a fenced server must not take.
+    CheckEpochFile();
+    if (fenced) {
+      RefusePendingBatch();
+      return;
+    }
     const UpdateResult result = backend->ApplyBatch(pending_updates);
     const double now = clock.ElapsedSeconds();
     DYNMIS_CHECK(result.applied ==
@@ -586,6 +626,105 @@ struct Server::Impl {
     pending_meta.clear();
   }
 
+  // Fills every pending deferred ack with a fencing error instead of
+  // applying the batch. The admission replica already holds these ops and
+  // cannot roll back, so a fenced server's replica may run ahead of its
+  // backend by this one batch — harmless, because a fenced server exists
+  // only to be decommissioned or re-promoted (which rebuilds nothing from
+  // its live state).
+  void RefusePendingBatch() {
+    for (const PendingMeta& meta : pending_meta) {
+      ++metrics.ops_rejected;
+      auto it = connections.find(meta.session);
+      if (it == connections.end()) continue;
+      Connection& conn = it->second;
+      if (meta.in_frame) {
+        DYNMIS_CHECK(!conn.frames.empty());
+        Frame& frame = conn.frames.front();
+        --frame.outstanding;
+        ++frame.rejected;
+        SettleFrames(&conn);
+      } else {
+        Response* r = ClaimDeferred(&conn, /*frame_slot=*/false);
+        r->text.clear();
+        if (conn.binary) {
+          AppendRejectResponse(&r->text, "fenced");
+        } else {
+          r->text = "ERR fenced " + std::to_string(epoch);
+        }
+        r->ready = true;
+        DrainResponses(&conn);
+      }
+    }
+    pending_updates.clear();
+    pending_meta.clear();
+  }
+
+  // Transition to the fenced state: a writer term above our own exists, so
+  // a newer primary owns the history from here on. Read queries keep
+  // working; writes answer `ERR fenced <epoch>`; the change log is closed
+  // so not one more record lands in the shared directory.
+  void Fence(int64_t observed_epoch, const char* how) {
+    epoch = std::max(epoch, observed_epoch);
+    if (fenced) return;
+    fenced = true;
+    read_only = true;
+    log_writer.reset();
+    degraded = false;
+    degraded_reason.clear();
+    unlogged_batches.clear();
+    std::fprintf(stderr,
+                 "dynmis serve: fenced by epoch %lld (%s) at seq %lld; "
+                 "read-only until PROMOTE\n",
+                 static_cast<long long>(epoch), how,
+                 static_cast<long long>(next_seq));
+  }
+
+  // Shared-directory fencing probe: one open+pread of the epoch file. Runs
+  // before every batch ack and periodically while idle, so an old primary
+  // flips to `ERR fenced` promptly after a new one claims the directory.
+  // Allocation-free on the steady path (the file path is prebuilt).
+  void CheckEpochFile() {
+    if (epoch_path.empty() || fenced) return;
+    const int64_t seen = repl::ReadEpochValue(epoch_path.c_str());
+    if (seen > epoch) {
+      if (read_only) {
+        AdoptEpoch(seen);  // A follower just tracks the new term.
+      } else {
+        Fence(seen, "epoch file");
+      }
+    }
+  }
+
+  // Follower-side epoch adoption: the upstream (or the tailed directory)
+  // moved to a new term. Records applied from here on belong to it, so a
+  // follower that keeps its own change-log copy rotates to a segment whose
+  // header carries the new epoch, and persists the term for its own
+  // restart bootstrap.
+  void AdoptEpoch(int64_t new_epoch) {
+    if (new_epoch <= epoch) return;
+    epoch = new_epoch;
+    if (options.change_log_dir.empty()) return;
+    std::string error;
+    if (!repl::WriteEpochFile(options.change_log_dir, epoch, &error)) {
+      std::fprintf(stderr, "dynmis serve: cannot persist epoch %lld: %s\n",
+                   static_cast<long long>(epoch), error.c_str());
+    }
+    if (log_writer != nullptr) {
+      auto writer = std::make_unique<repl::ChangeLogWriter>();
+      if (writer->Open(options.change_log_dir, options.log_segment_bytes,
+                       next_seq, epoch, &error)) {
+        log_writer = std::move(writer);
+      } else {
+        std::fprintf(stderr,
+                     "dynmis serve: cannot restamp change log at epoch "
+                     "%lld: %s\n",
+                     static_cast<long long>(epoch), error.c_str());
+        log_writer.reset();
+      }
+    }
+  }
+
   // Post-apply bookkeeping shared by the admission path (Flush) and the
   // follower path (ApplyReplBatch): assigns the batch its sequence number
   // and fans it out to every consumer that tracks the applied stream —
@@ -601,17 +740,23 @@ struct Server::Impl {
     if (log_writer != nullptr) {
       repl::LogBatch batch;
       batch.seq = seq;
+      batch.epoch = epoch;
       batch.updates = updates;
-      std::string error;
-      if (log_writer->Append(batch, &error)) {
-        ++metrics.repl_batches_logged;
-        metrics.repl_ops_logged += static_cast<int64_t>(updates.size());
+      if (degraded) {
+        // Already degraded: the batch was applied (a follower's upstream
+        // stream cannot be refused), so buffer it for the retry tick.
+        unlogged_batches.push_back(std::move(batch));
       } else {
-        // A dead change log must not take serving down with it: log once
-        // and stop appending (followers fall back to full resync).
-        std::fprintf(stderr, "dynmis serve: change log failed: %s\n",
-                     error.c_str());
-        log_writer.reset();
+        std::string error;
+        if (log_writer->Append(batch, &error)) {
+          ++metrics.repl_batches_logged;
+          metrics.repl_ops_logged += static_cast<int64_t>(updates.size());
+        } else {
+          // A failing change log (ENOSPC, EIO) must not take serving down,
+          // but silently dropping records would desync every follower:
+          // refuse new writes and keep retrying until the log recovers.
+          EnterDegraded(error, std::move(batch));
+        }
       }
     }
     PushToSubscribers(seq, updates);
@@ -628,6 +773,55 @@ struct Server::Impl {
     MaybeTriggerSnapshot();
   }
 
+  void EnterDegraded(const std::string& why, repl::LogBatch batch) {
+    degraded = true;
+    degraded_reason = why;
+    unlogged_batches.push_back(std::move(batch));
+    next_degraded_retry = clock.ElapsedSeconds() + 0.05;
+    std::fprintf(stderr,
+                 "dynmis serve: change-log append failed (%s); refusing "
+                 "writes until the log recovers\n",
+                 why.c_str());
+  }
+
+  // Degraded-mode retry tick: re-append everything the log refused, then
+  // require one successful Sync before accepting writes again — "recovered"
+  // must mean the records are durable, not merely buffered by the kernel.
+  void RetryDegradedLog() {
+    if (!degraded) return;
+    if (log_writer == nullptr) {  // Fenced or torn down meanwhile.
+      degraded = false;
+      degraded_reason.clear();
+      unlogged_batches.clear();
+      return;
+    }
+    const double now = clock.ElapsedSeconds();
+    if (now < next_degraded_retry) return;
+    std::string error;
+    while (!unlogged_batches.empty()) {
+      const repl::LogBatch& batch = unlogged_batches.front();
+      if (!log_writer->Append(batch, &error)) {
+        degraded_reason = error;
+        next_degraded_retry = now + 0.25;
+        return;
+      }
+      ++metrics.repl_batches_logged;
+      metrics.repl_ops_logged += static_cast<int64_t>(batch.updates.size());
+      unlogged_batches.pop_front();
+    }
+    if (!log_writer->Sync(&error)) {
+      degraded_reason = error;
+      next_degraded_retry = now + 0.25;
+      return;
+    }
+    degraded = false;
+    degraded_reason.clear();
+    std::fprintf(stderr,
+                 "dynmis serve: change log recovered at seq %lld; accepting "
+                 "writes again\n",
+                 static_cast<long long>(next_seq));
+  }
+
   // Copy-on-collect base snapshots: serialize on the loop thread (the only
   // thread that may touch the backend), hand the bytes to the background
   // writer. Runs at batch boundaries only, so the snapshot sits exactly at
@@ -636,7 +830,7 @@ struct Server::Impl {
   // snapshot_interval_ms of wall time — the time-based one still waits for
   // the next batch boundary, so an idle server writes nothing new.
   void MaybeTriggerSnapshot() {
-    if (snapshotter == nullptr) return;
+    if (snapshotter == nullptr || fenced || degraded) return;
     const bool batches_due =
         options.snapshot_every_batches > 0 &&
         next_seq - last_snapshot_trigger_seq >= options.snapshot_every_batches;
@@ -654,7 +848,7 @@ struct Server::Impl {
                    status.message.c_str());
       return;
     }
-    if (snapshotter->Submit(next_seq, std::move(out).str())) {
+    if (snapshotter->Submit(next_seq, epoch, std::move(out).str())) {
       last_snapshot_trigger_seq = next_seq;
       last_snapshot_trigger_time = now;
     }
@@ -680,14 +874,15 @@ struct Server::Impl {
         MarkDirty(&conn);
         continue;
       }
-      AppendRBatch(&conn, seq, updates);
+      AppendRBatch(&conn, seq, epoch, updates);
     }
   }
 
-  void AppendRBatch(Connection* conn, int64_t seq,
+  void AppendRBatch(Connection* conn, int64_t seq, int64_t batch_epoch,
                     const std::vector<GraphUpdate>& updates) {
     std::string frame = "RBATCH " + std::to_string(seq) + " " +
-                        std::to_string(updates.size()) + "\n";
+                        std::to_string(updates.size()) + " " +
+                        std::to_string(batch_epoch) + "\n";
     for (const GraphUpdate& update : updates) {
       frame += FormatCommandLine(update);
       frame += '\n';
@@ -719,7 +914,7 @@ struct Server::Impl {
           break;
         }
         if (!available) break;  // Writer not caught up on disk yet.
-        AppendRBatch(&conn, batch.seq, batch.updates);
+        AppendRBatch(&conn, batch.seq, batch.epoch, batch.updates);
       }
     }
   }
@@ -828,6 +1023,19 @@ struct Server::Impl {
     r.text.clear();
     AppendRejectResponse(&r.text, why);
     DrainResponses(conn);
+  }
+
+  // Write refusal in the current failure mode: `ERR fenced <epoch>` once a
+  // newer primary exists (the epoch tells the client where to go), plain
+  // `ERR readonly` for an unpromoted follower or a degraded primary.
+  void RefuseWrite(Connection* conn) {
+    if (conn->binary) {
+      RespondReject(conn, fenced ? "fenced" : "readonly");
+    } else if (fenced) {
+      Respond(conn, "ERR fenced " + std::to_string(epoch));
+    } else {
+      Respond(conn, "ERR readonly");
+    }
   }
 
   void RespondDeferred(Connection* conn, bool frame_slot) {
@@ -945,27 +1153,23 @@ struct Server::Impl {
       case Verb::kDel:
       case Verb::kInsV:
       case Verb::kDelV:
-        if (read_only) {
+        if (read_only || degraded) {
           ++metrics.ops_rejected;
-          if (conn->binary) {
-            RespondReject(conn, "readonly");
-          } else {
-            Respond(conn, "ERR readonly");
-          }
+          RefuseWrite(conn);
           return;
         }
         AdmitSingle(conn, &cmd);
         return;
       case Verb::kBatch:
-        if (read_only) {
+        if (read_only || degraded) {
           if (conn->binary) {
             // One reject answers the whole frame; its decoded ops and END
             // are still in flight behind this command — discard them.
-            RespondReject(conn, "readonly");
+            RespondReject(conn, fenced ? "fenced" : "readonly");
             conn->discard_updates_left = cmd.count;
             conn->discard_end = false;
           } else {
-            Respond(conn, "ERR readonly");
+            RefuseWrite(conn);
           }
           return;
         }
@@ -988,8 +1192,13 @@ struct Server::Impl {
         return;
       case Verb::kPromote:
         Flush(FlushReason::kBarrier);
-        DoPromote();
-        Respond(conn, "OK PROMOTED " + std::to_string(next_seq));
+        if (DoPromote()) {
+          Respond(conn, "OK PROMOTED " + std::to_string(next_seq) +
+                            " EPOCH " + std::to_string(epoch));
+        } else {
+          Respond(conn, "ERR promote: cannot claim a fresh epoch "
+                        "(see server log)");
+        }
         return;
       case Verb::kReshard:
         HandleReshard(conn, cmd);
@@ -1130,17 +1339,20 @@ struct Server::Impl {
           response = kFileCommandsRefused;
           break;
         }
-        std::ofstream out(cmd.path, std::ios::binary);
-        if (!out) {
-          response = "ERR cannot open " + cmd.path;
+        // Crash-safe publish: serialize, then tmp-write/fsync/rename so a
+        // crash mid-command can never leave a torn snapshot at `path`.
+        std::ostringstream out;
+        const SnapshotStatus status = backend->SaveSnapshot(out);
+        if (!status.ok) {
+          response = "ERR snapshot: " + status.message;
           break;
         }
-        const SnapshotStatus status = backend->SaveSnapshot(out);
-        out.flush();
-        if (!status.ok || !out) {
-          response = "ERR snapshot: " + status.message;
+        const std::string bytes = std::move(out).str();
+        std::string publish_error;
+        if (!io::WriteFileAtomic(cmd.path, bytes, &publish_error)) {
+          response = "ERR snapshot: " + publish_error;
         } else {
-          response = "OK " + std::to_string(static_cast<int64_t>(out.tellp()));
+          response = "OK " + std::to_string(static_cast<int64_t>(bytes.size()));
         }
         break;
       }
@@ -1182,10 +1394,28 @@ struct Server::Impl {
   void HandleRepl(Connection* conn, const Command& cmd) {
     Flush(FlushReason::kBarrier);  // next_seq must reflect admitted writes.
     if (cmd.path == "STATUS") {
-      Respond(conn, "OK REPL " + std::to_string(next_seq));
+      Respond(conn, "OK REPL " + std::to_string(next_seq) + " EPOCH " +
+                        std::to_string(epoch));
       return;
     }
-    // SUBSCRIBE <seq>.
+    // SUBSCRIBE <seq> [EPOCH <e>].
+    // Fencing handshake: a subscriber announcing a term above ours has seen
+    // a newer primary — a reconnecting follower after a failover, say. A
+    // writable server must fence itself rather than keep acking writes the
+    // new history will never contain; a follower just adopts the term.
+    if (cmd.epoch > epoch) {
+      if (!read_only) {
+        Fence(cmd.epoch, "subscriber handshake");
+      } else {
+        epoch = cmd.epoch;
+      }
+    }
+    if (fenced) {
+      // Streaming from a fenced server would hand out records the new
+      // primary's history may have superseded.
+      Respond(conn, "ERR fenced " + std::to_string(epoch));
+      return;
+    }
     if (conn->subscriber) {
       Respond(conn, "ERR already subscribed");
       return;
@@ -1198,7 +1428,8 @@ struct Server::Impl {
     if (cmd.seq == next_seq) {
       conn->subscriber = true;
       conn->sub_live = true;
-      Respond(conn, "OK REPL " + std::to_string(next_seq));
+      Respond(conn, "OK REPL " + std::to_string(next_seq) + " EPOCH " +
+                        std::to_string(epoch));
       return;
     }
     // Historical start: catch up from the change log, then go live.
@@ -1217,28 +1448,76 @@ struct Server::Impl {
     conn->subscriber = true;
     conn->sub_live = false;
     conn->sub_cursor = std::move(cursor);
-    Respond(conn, "OK REPL " + std::to_string(cmd.seq));
+    Respond(conn, "OK REPL " + std::to_string(cmd.seq) + " EPOCH " +
+                      std::to_string(epoch));
   }
 
   // Follower -> primary transition. Idempotent; callable from the PROMOTE
-  // verb or SIGUSR1. The upstream link (if any) is dropped, and when a log
-  // directory is configured the new primary continues the change log with a
-  // fresh segment starting at next_seq. Only promote after the old primary
-  // is dead: two writers appending different histories to one sequence
-  // space is a split brain no log format can repair.
-  void DoPromote() {
-    if (!read_only) return;
-    read_only = false;
-    ++metrics.repl_promotions;
-    CloseUpstream();
-    tail_cursor.reset();
+  // verb or SIGUSR1, and the recovery path for a fenced server. The new
+  // incarnation claims a fencing epoch strictly above everything it has
+  // observed AND above the directory's epoch file, and makes the claim
+  // durable *before* serving writes — any still-running old primary that
+  // probes the file fences itself, and a crash right after the claim merely
+  // burns a term. Returns false (still read-only) when the claim cannot be
+  // made durable. Only promote after the old primary is dead or reachable
+  // through the shared directory: two writers on one sequence space with
+  // neither able to observe the other's epoch is a split brain no log
+  // format can repair.
+  bool DoPromote() {
+    if (!read_only && !fenced) return true;
     const std::string& dir = !options.change_log_dir.empty()
                                  ? options.change_log_dir
                                  : options.follow_dir;
-    if (!dir.empty() && log_writer == nullptr) {
+    int64_t new_epoch = epoch;
+    if (!dir.empty()) {
+      new_epoch = std::max(new_epoch, repl::ReadEpochFile(dir));
+    }
+    if (!options.follow_dir.empty() && options.follow_dir != dir) {
+      new_epoch = std::max(new_epoch, repl::ReadEpochFile(options.follow_dir));
+    }
+    ++new_epoch;
+    if (!dir.empty()) {
+      std::string error;
+      if (!repl::WriteEpochFile(dir, new_epoch, &error)) {
+        std::fprintf(stderr,
+                     "dynmis serve: promote aborted: cannot claim epoch "
+                     "%lld: %s\n",
+                     static_cast<long long>(new_epoch), error.c_str());
+        return false;
+      }
+    }
+    if (!options.follow_dir.empty() && options.follow_dir != dir) {
+      // The followed directory is the coordination point an old primary
+      // probes; leave the claim there too. Best-effort — that host may
+      // already be gone, which is exactly why we are promoting.
+      std::string error;
+      if (!repl::WriteEpochFile(options.follow_dir, new_epoch, &error)) {
+        std::fprintf(stderr,
+                     "dynmis serve: promote: cannot fence old primary via "
+                     "%s: %s\n",
+                     options.follow_dir.c_str(), error.c_str());
+      }
+    }
+    epoch = new_epoch;
+    fenced = false;
+    read_only = false;
+    degraded = false;
+    degraded_reason.clear();
+    unlogged_batches.clear();
+    ++metrics.repl_promotions;
+    CloseUpstream();
+    reconnect_at = -1;
+    reconnect_attempts = 0;
+    tail_cursor.reset();
+    if (!dir.empty()) {
+      // Fresh segment stamped with the new term, even if this server
+      // already had a writer (a fenced ex-primary's writer was closed; a
+      // logging follower's carries the old epoch in its open segment).
+      log_writer.reset();
       auto writer = std::make_unique<repl::ChangeLogWriter>();
       std::string error;
-      if (writer->Open(dir, options.log_segment_bytes, next_seq, &error)) {
+      if (writer->Open(dir, options.log_segment_bytes, next_seq, epoch,
+                       &error)) {
         log_writer = std::move(writer);
         options.change_log_dir = dir;  // Subscribers catch up from here.
       } else {
@@ -1246,6 +1525,7 @@ struct Server::Impl {
                      "dynmis serve: promote: cannot open change log: %s\n",
                      error.c_str());
       }
+      epoch_path = dir + "/epoch";
     }
     if (!dir.empty() && snapshotter == nullptr &&
         (options.snapshot_every_batches > 0 ||
@@ -1254,13 +1534,18 @@ struct Server::Impl {
       last_snapshot_trigger_seq = next_seq;
       last_snapshot_trigger_time = clock.ElapsedSeconds();
     }
-    std::fprintf(stderr, "dynmis serve: promoted to primary at seq %lld\n",
-                 static_cast<long long>(next_seq));
+    std::fprintf(stderr,
+                 "dynmis serve: promoted to primary at seq %lld epoch %lld\n",
+                 static_cast<long long>(next_seq),
+                 static_cast<long long>(epoch));
+    return true;
   }
 
   // ---- Follower upstream (TCP) ----------------------------------------------
 
-  bool ConnectUpstream(std::string* error) {
+  // host:port -> sockaddr. Fails only on malformed configuration, which —
+  // unlike a refused connection — is not worth retrying.
+  bool ParseFollowAddr(sockaddr_in* addr, std::string* error) {
     const size_t colon = options.follow_addr.rfind(':');
     if (colon == std::string::npos) {
       *error = "--follow expects host:port";
@@ -1268,33 +1553,40 @@ struct Server::Impl {
     }
     const std::string host = options.follow_addr.substr(0, colon);
     const int port = std::atoi(options.follow_addr.c_str() + colon + 1);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
       *error = "--follow host must be an IPv4 address: " + host;
       return false;
     }
+    return true;
+  }
+
+  bool ConnectUpstream(std::string* error) {
+    sockaddr_in addr{};
+    if (!ParseFollowAddr(&addr, error)) return false;
     const int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       *error = std::string("socket: ") + std::strerror(errno);
       return false;
     }
-    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
+    if (faultfs::Connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr), options.follow_addr.c_str()) != 0) {
       *error = "connect " + options.follow_addr + ": " + std::strerror(errno);
       close(fd);
       return false;
     }
     // Handshake + subscription sent eagerly while the socket is still
-    // blocking; everything after is async in the poll loop.
+    // blocking; everything after is async in the poll loop. The announced
+    // epoch lets a stale primary fence itself on our reconnect.
     const std::string hello = "HELLO " + std::to_string(kProtocolVersion) +
                               "\nREPL SUBSCRIBE " + std::to_string(next_seq) +
-                              "\n";
+                              " EPOCH " + std::to_string(epoch) + "\n";
     size_t sent = 0;
     while (sent < hello.size()) {
       const ssize_t n =
           send(fd, hello.data() + sent, hello.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
         *error = "send to " + options.follow_addr + ": " +
                  std::strerror(errno);
@@ -1329,13 +1621,58 @@ struct Server::Impl {
   }
 
   // A lost upstream is survivable: the follower keeps serving reads at its
-  // current sequence and waits for an operator PROMOTE (or SIGUSR1).
+  // current sequence and retries the connection with exponential backoff
+  // (resubscribing from next_seq) until the primary returns or an operator
+  // PROMOTEs this server.
   void UpstreamFailed(const std::string& why) {
     std::fprintf(stderr,
                  "dynmis serve: upstream lost (%s); read-only at seq %lld, "
-                 "PROMOTE to accept writes\n",
+                 "reconnecting with backoff (PROMOTE to accept writes)\n",
                  why.c_str(), static_cast<long long>(next_seq));
     CloseUpstream();
+    ScheduleReconnect();
+  }
+
+  // Next attempt at 50ms * 2^attempts, capped at --reconnect-max-ms, with
+  // +/-25% jitter so a fleet of followers does not hammer a recovering
+  // primary in lockstep.
+  void ScheduleReconnect() {
+    if (options.follow_addr.empty() || !read_only || fenced) return;
+    const int64_t cap = std::max<int64_t>(options.reconnect_max_ms, 50);
+    int64_t base_ms = 50;
+    for (int i = 0; i < reconnect_attempts && base_ms < cap; ++i) {
+      base_ms *= 2;
+    }
+    base_ms = std::min(base_ms, cap);
+    const int64_t jitter =
+        static_cast<int64_t>(reconnect_rng.NextBounded(
+            static_cast<uint64_t>(base_ms / 2 + 1))) -
+        base_ms / 4;
+    reconnect_at = clock.ElapsedSeconds() +
+                   static_cast<double>(base_ms + jitter) * 1e-3;
+    ++reconnect_attempts;
+  }
+
+  void MaybeReconnectUpstream() {
+    if (reconnect_at < 0 || upstream_fd >= 0) return;
+    if (!read_only || fenced) {
+      reconnect_at = -1;  // Promoted (or fenced) meanwhile; stop trying.
+      return;
+    }
+    if (clock.ElapsedSeconds() < reconnect_at) return;
+    reconnect_at = -1;
+    std::string error;
+    if (ConnectUpstream(&error)) {
+      ++metrics.repl_reconnects;
+      std::fprintf(stderr,
+                   "dynmis serve: upstream reconnected, resubscribed from "
+                   "seq %lld (attempt %d)\n",
+                   static_cast<long long>(next_seq), reconnect_attempts);
+    } else {
+      std::fprintf(stderr, "dynmis serve: reconnect failed: %s\n",
+                   error.c_str());
+      ScheduleReconnect();
+    }
   }
 
   void ReadUpstream() {
@@ -1381,13 +1718,19 @@ struct Server::Impl {
         return true;
       case UpstreamState::kSubscribeAck: {
         long long seq = -1;
-        if (std::sscanf(line.c_str(), "OK REPL %lld", &seq) != 1 ||
-            seq != next_seq) {
+        long long ack_epoch = -1;
+        const int got = std::sscanf(line.c_str(), "OK REPL %lld EPOCH %lld",
+                                    &seq, &ack_epoch);
+        if (got < 1 || seq != next_seq) {
           *error = "subscribe refused: " + line;
           return false;
         }
+        // The primary's term becomes ours: a restarted primary opens a new
+        // epoch, and every record we now apply belongs to it.
+        if (got == 2 && ack_epoch > epoch) AdoptEpoch(ack_epoch);
         upstream_head = seq;
         upstream_state = UpstreamState::kStreaming;
+        reconnect_attempts = 0;  // Backoff restarts small next time.
         return true;
       }
       case UpstreamState::kStreaming: {
@@ -1407,8 +1750,10 @@ struct Server::Impl {
         }
         long long seq = -1;
         long long count = -1;
-        if (std::sscanf(line.c_str(), "RBATCH %lld %lld", &seq, &count) != 2 ||
-            count < 0) {
+        long long frame_epoch = -1;
+        const int got = std::sscanf(line.c_str(), "RBATCH %lld %lld %lld",
+                                    &seq, &count, &frame_epoch);
+        if (got < 2 || count < 0) {
           *error = "expected RBATCH frame, got: " + line;
           return false;
         }
@@ -1417,6 +1762,15 @@ struct Server::Impl {
                    " at local seq " + std::to_string(next_seq);
           return false;
         }
+        // Epoch discipline: records from a term below what we have already
+        // observed come from a stale primary and must never apply; a term
+        // above ours is a legitimate new incarnation we adopt.
+        if (got == 3 && frame_epoch < epoch) {
+          *error = "stale epoch " + std::to_string(frame_epoch) +
+                   " at local epoch " + std::to_string(epoch);
+          return false;
+        }
+        if (got == 3 && frame_epoch > epoch) AdoptEpoch(frame_epoch);
         upstream_head = seq + 1;
         rbatch_seq = seq;
         rbatch_left = static_cast<int>(count);
@@ -1470,6 +1824,22 @@ struct Server::Impl {
       }
       if (!available) return;
       DYNMIS_CHECK(batch.seq == next_seq);
+      // Same epoch discipline as the TCP stream: never apply a record from
+      // a term below one already observed; adopt a newer term (the cursor
+      // follows the promoted writer's segments across the handoff).
+      if (batch.epoch < epoch) {
+        std::fprintf(stderr,
+                     "dynmis serve: change-log tail: stale epoch %lld at "
+                     "seq %lld (local epoch %lld); read-only at seq %lld, "
+                     "PROMOTE to accept writes\n",
+                     static_cast<long long>(batch.epoch),
+                     static_cast<long long>(batch.seq),
+                     static_cast<long long>(epoch),
+                     static_cast<long long>(next_seq));
+        tail_cursor.reset();
+        return;
+      }
+      if (batch.epoch > epoch) AdoptEpoch(batch.epoch);
       ApplyReplBatch(batch.updates);
     }
   }
@@ -1605,10 +1975,29 @@ struct Server::Impl {
   // ---- Replication startup --------------------------------------------------
 
   bool StartReplication(std::string* error) {
+    epoch = options.start_epoch;
+    reconnect_rng.Seed(0x9e3779b97f4a7c15ULL ^
+                       (static_cast<uint64_t>(getpid()) << 17) ^
+                       static_cast<uint64_t>(bound_port));
     if (!options.change_log_dir.empty()) {
+      if (!read_only) {
+        // Every writer incarnation is a new term: strictly above whatever
+        // the bootstrap replay saw AND whatever the directory's epoch file
+        // holds, made durable before the first write can be acked. A
+        // crashed-and-restarted primary therefore always outranks its own
+        // torn tail, and a stale twin still probing the file fences.
+        epoch = std::max(options.start_epoch,
+                         repl::ReadEpochFile(options.change_log_dir)) +
+                1;
+        if (!repl::WriteEpochFile(options.change_log_dir, epoch, error)) {
+          *error = "cannot claim epoch: " + *error;
+          return false;
+        }
+      }
+      epoch_path = options.change_log_dir + "/epoch";
       auto writer = std::make_unique<repl::ChangeLogWriter>();
       if (!writer->Open(options.change_log_dir, options.log_segment_bytes,
-                        next_seq, error)) {
+                        next_seq, epoch, error)) {
         return false;
       }
       log_writer = std::move(writer);
@@ -1620,7 +2009,21 @@ struct Server::Impl {
         last_snapshot_trigger_time = clock.ElapsedSeconds();
       }
     }
-    if (!options.follow_addr.empty()) return ConnectUpstream(error);
+    if (!options.follow_addr.empty()) {
+      sockaddr_in addr{};
+      if (!ParseFollowAddr(&addr, error)) return false;  // Config error.
+      std::string connect_error;
+      if (!ConnectUpstream(&connect_error)) {
+        // A dead primary at follower startup is an ordering hazard, not a
+        // configuration one: come up read-only and keep retrying.
+        std::fprintf(stderr,
+                     "dynmis serve: upstream unavailable (%s); retrying "
+                     "with backoff\n",
+                     connect_error.c_str());
+        ScheduleReconnect();
+      }
+      return true;
+    }
     if (!options.follow_dir.empty()) {
       auto cursor = std::make_unique<repl::ChangeLogCursor>();
       if (!cursor->Open(options.follow_dir, next_seq, error)) return false;
@@ -1757,7 +2160,13 @@ struct Server::Impl {
     out.push_back('}');
     JsonKey(&out, "replication");
     out.push_back('{');
-    JsonStr(&out, "role", read_only ? "follower" : "primary");
+    JsonStr(&out, "role",
+            fenced ? "fenced" : (read_only ? "follower" : "primary"));
+    JsonInt(&out, "epoch", epoch);
+    JsonInt(&out, "fenced", fenced ? 1 : 0);
+    JsonInt(&out, "degraded", degraded ? 1 : 0);
+    JsonStr(&out, "degraded_reason", degraded_reason);
+    JsonInt(&out, "reconnects", metrics.repl_reconnects);
     JsonInt(&out, "next_seq", next_seq);
     JsonInt(&out, "batches_logged", metrics.repl_batches_logged);
     JsonInt(&out, "ops_logged", metrics.repl_ops_logged);
@@ -2130,6 +2539,16 @@ struct Server::Impl {
         // readiness; keep ticking to notice it.
         tighten(50);
       }
+      if (degraded) tighten(50);  // Change-log retry tick.
+      if (reconnect_at >= 0) {
+        const double remaining = reconnect_at - clock.ElapsedSeconds();
+        tighten(remaining <= 0 ? 0 : static_cast<int>(remaining * 1e3) + 1);
+      }
+      if (!epoch_path.empty() && !fenced) {
+        // Idle fencing probe: without traffic no Flush runs, so keep
+        // ticking coarsely to notice a new primary's epoch claim.
+        tighten(500);
+      }
       const int ready = epoll_wait(epoll_fd, events, 16, timeout_ms);
       if (ready < 0 && errno != EINTR) {
         Drain();
@@ -2165,8 +2584,15 @@ struct Server::Impl {
         Flush(FlushReason::kDeadline);
       }
       if (upstream_ready && upstream_fd >= 0) ReadUpstream();
+      MaybeReconnectUpstream();
       PumpDirTail();
       PumpSubscribers();
+      RetryDegradedLog();
+      if (!epoch_path.empty() && !fenced &&
+          clock.ElapsedSeconds() >= next_epoch_check) {
+        CheckEpochFile();
+        next_epoch_check = clock.ElapsedSeconds() + 0.5;
+      }
       CheckReshardCutover();
       if (listener_ready) Accept();
       MaybeUnmuteListener();
@@ -2273,8 +2699,13 @@ ServingMetricsSnapshot Server::MetricsSnapshot() const {
   snap.update_p99_us = m.update_latency.PercentileUs(0.99);
   snap.query_p50_us = m.query_latency.PercentileUs(0.50);
   snap.query_p99_us = m.query_latency.PercentileUs(0.99);
-  snap.repl_role = impl_->read_only ? "follower" : "primary";
+  snap.repl_role = impl_->fenced ? "fenced"
+                                 : (impl_->read_only ? "follower" : "primary");
   snap.repl_next_seq = impl_->next_seq;
+  snap.repl_epoch = impl_->epoch;
+  snap.repl_fenced = impl_->fenced ? 1 : 0;
+  snap.repl_reconnects = m.repl_reconnects;
+  snap.degraded_reason = impl_->degraded_reason;
   snap.repl_ops_logged = m.repl_ops_logged;
   snap.repl_segments = impl_->log_writer != nullptr
                            ? impl_->log_writer->segments_created()

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,7 +34,11 @@ bool WriteServeTrace(const ServeTrace& trace, const std::string& path) {
   DYNMIS_CHECK(idx == trace.updates.size());
   bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
   ok = std::fflush(out) == 0 && ok;
-  ok = fsync(fileno(out)) == 0 && ok;
+  int rc;
+  do {
+    rc = fsync(fileno(out));  // EINTR leaves durability unknown: retry.
+  } while (rc != 0 && errno == EINTR);
+  ok = rc == 0 && ok;
   ok = std::fclose(out) == 0 && ok;
   return ok;
 }

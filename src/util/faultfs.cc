@@ -1,0 +1,273 @@
+#include "src/util/faultfs.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace dynmis {
+namespace faultfs {
+namespace {
+
+enum class Mode { kEnospc, kEio, kEintr, kShort, kReset, kTorn };
+
+struct Rule {
+  Op op = Op::kWrite;
+  Mode mode = Mode::kEio;
+  int64_t nth = 1;    // 1-based index among matching calls.
+  int64_t count = 1;  // Consecutive faults from nth; 0 = unbounded.
+  std::string substr;
+  int64_t seen = 0;  // Matching calls observed so far.
+};
+
+// All armed-path state lives behind one mutex: the slow path only exists
+// while a test has armed a plan, so contention is irrelevant and simplicity
+// wins (the snapshotter thread and the event loop both reach this).
+std::mutex g_mutex;
+std::vector<Rule> g_rules;
+int64_t g_calls[kNumOps] = {0, 0, 0, 0};
+int64_t g_faults[kNumOps] = {0, 0, 0, 0};
+
+bool ParseOp(const std::string& text, Op* op) {
+  if (text == "write") {
+    *op = Op::kWrite;
+  } else if (text == "fsync") {
+    *op = Op::kFsync;
+  } else if (text == "rename") {
+    *op = Op::kRename;
+  } else if (text == "connect") {
+    *op = Op::kConnect;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseMode(const std::string& text, Mode* mode) {
+  if (text == "enospc") {
+    *mode = Mode::kEnospc;
+  } else if (text == "eio") {
+    *mode = Mode::kEio;
+  } else if (text == "eintr") {
+    *mode = Mode::kEintr;
+  } else if (text == "short") {
+    *mode = Mode::kShort;
+  } else if (text == "reset") {
+    *mode = Mode::kReset;
+  } else if (text == "torn") {
+    *mode = Mode::kTorn;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseRule(const std::string& text, Rule* rule, std::string* error) {
+  // op ':' mode ['@' nth] ['x' count] ['~' substr]
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    if (error != nullptr) *error = "fault rule missing ':': " + text;
+    return false;
+  }
+  if (!ParseOp(text.substr(0, colon), &rule->op)) {
+    if (error != nullptr) *error = "unknown fault op in rule: " + text;
+    return false;
+  }
+  size_t end = text.size();
+  const size_t tilde = text.find('~', colon + 1);
+  if (tilde != std::string::npos) {
+    rule->substr = text.substr(tilde + 1);
+    end = tilde;
+  }
+  size_t mode_end = end;
+  const size_t at = text.find('@', colon + 1);
+  const size_t x = text.find('x', colon + 1);
+  if (at != std::string::npos && at < mode_end) mode_end = at;
+  if (x != std::string::npos && x < mode_end) mode_end = x;
+  if (!ParseMode(text.substr(colon + 1, mode_end - colon - 1), &rule->mode)) {
+    if (error != nullptr) *error = "unknown fault mode in rule: " + text;
+    return false;
+  }
+  const auto parse_int = [&](size_t from, size_t to, int64_t* out) {
+    if (from >= to) return false;
+    int64_t value = 0;
+    for (size_t i = from; i < to; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      value = value * 10 + (text[i] - '0');
+    }
+    *out = value;
+    return true;
+  };
+  if (at != std::string::npos && at < end) {
+    const size_t stop = (x != std::string::npos && x < end && x > at) ? x : end;
+    if (!parse_int(at + 1, stop, &rule->nth) || rule->nth < 1) {
+      if (error != nullptr) *error = "bad @nth in fault rule: " + text;
+      return false;
+    }
+  }
+  if (x != std::string::npos && x < end) {
+    if (!parse_int(x + 1, end, &rule->count)) {
+      if (error != nullptr) *error = "bad xcount in fault rule: " + text;
+      return false;
+    }
+  }
+  return true;
+}
+
+// Decides whether this call faults, under g_mutex. Returns the matched mode.
+bool ShouldFault(Op op, const char* tag, Mode* mode) {
+  g_calls[static_cast<int>(op)]++;
+  for (Rule& rule : g_rules) {
+    if (rule.op != op) continue;
+    if (!rule.substr.empty() &&
+        (tag == nullptr || std::strstr(tag, rule.substr.c_str()) == nullptr)) {
+      continue;
+    }
+    rule.seen++;
+    if (rule.seen < rule.nth) continue;
+    if (rule.count > 0 && rule.seen >= rule.nth + rule.count) continue;
+    *mode = rule.mode;
+    g_faults[static_cast<int>(op)]++;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_armed{false};
+
+ssize_t ArmedWrite(int fd, const void* buf, size_t count, const char* tag) {
+  Mode mode;
+  bool fault;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    fault = ShouldFault(Op::kWrite, tag, &mode);
+  }
+  if (!fault) return ::write(fd, buf, count);
+  switch (mode) {
+    case Mode::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    case Mode::kEintr:
+      errno = EINTR;
+      return -1;
+    case Mode::kShort:
+      if (count >= 2) return ::write(fd, buf, count / 2);
+      errno = EINTR;
+      return -1;
+    case Mode::kTorn:
+      _exit(kCrashExitCode);
+    case Mode::kEio:
+    case Mode::kReset:
+      errno = EIO;
+      return -1;
+  }
+  errno = EIO;
+  return -1;
+}
+
+int ArmedFsync(int fd, const char* tag) {
+  Mode mode;
+  bool fault;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    fault = ShouldFault(Op::kFsync, tag, &mode);
+  }
+  if (!fault) return ::fsync(fd);
+  switch (mode) {
+    case Mode::kEintr:
+      errno = EINTR;
+      return -1;
+    case Mode::kTorn:
+      _exit(kCrashExitCode);
+    default:
+      errno = EIO;
+      return -1;
+  }
+}
+
+int ArmedRename(const char* oldpath, const char* newpath) {
+  Mode mode;
+  bool fault;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    // Match against the destination: that is the name callers publish.
+    fault = ShouldFault(Op::kRename, newpath, &mode);
+  }
+  if (!fault) return std::rename(oldpath, newpath);
+  if (mode == Mode::kTorn) _exit(kCrashExitCode);
+  errno = EIO;
+  return -1;
+}
+
+int ArmedConnect(int fd, const struct sockaddr* addr, socklen_t len,
+                 const char* tag) {
+  Mode mode;
+  bool fault;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    fault = ShouldFault(Op::kConnect, tag, &mode);
+  }
+  if (!fault) return ::connect(fd, addr, len);
+  if (mode == Mode::kTorn) _exit(kCrashExitCode);
+  errno = ECONNREFUSED;
+  return -1;
+}
+
+}  // namespace internal
+
+bool ArmPlan(const std::string& plan, std::string* error) {
+  std::vector<Rule> rules;
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    size_t semi = plan.find(';', pos);
+    if (semi == std::string::npos) semi = plan.size();
+    if (semi > pos) {
+      Rule rule;
+      if (!ParseRule(plan.substr(pos, semi - pos), &rule, error)) return false;
+      rules.push_back(std::move(rule));
+    }
+    pos = semi + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_rules = std::move(rules);
+  for (int i = 0; i < kNumOps; ++i) g_calls[i] = g_faults[i] = 0;
+  internal::g_armed.store(!g_rules.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+bool ArmFromEnvironment(std::string* error) {
+  const char* plan = std::getenv("DYNMIS_FAULT_PLAN");
+  if (plan == nullptr || plan[0] == '\0') return true;
+  return ArmPlan(plan, error);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  internal::g_armed.store(false, std::memory_order_relaxed);
+  g_rules.clear();
+}
+
+bool armed() { return internal::g_armed.load(std::memory_order_relaxed); }
+
+int64_t FaultsInjected() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  int64_t total = 0;
+  for (int i = 0; i < kNumOps; ++i) total += g_faults[i];
+  return total;
+}
+
+OpCounters CountersFor(Op op) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  OpCounters counters;
+  counters.calls = g_calls[static_cast<int>(op)];
+  counters.faults = g_faults[static_cast<int>(op)];
+  return counters;
+}
+
+}  // namespace faultfs
+}  // namespace dynmis

@@ -1,0 +1,126 @@
+// faultfs: a deterministic fault-injection seam over the file and socket
+// syscalls the durability paths depend on (write/fsync/rename/connect).
+//
+// Production code calls the wrappers below unconditionally. When no plan is
+// armed — the only state release builds ever see — each wrapper is a single
+// predicted branch on one relaxed atomic load in front of the raw syscall:
+// no allocation, no lock, no extra syscall. Tests and tools arm a *plan*
+// (programmatically or via the DYNMIS_FAULT_PLAN environment variable /
+// `--fault-plan`) that scripts exactly which calls fail and how, so crash
+// and error paths become deterministic unit-test subjects instead of
+// hope-it-never-happens code.
+//
+// Plan grammar (whitespace-free; rules separated by ';'):
+//
+//   plan := rule (';' rule)*
+//   rule := op ':' mode ['@' nth] ['x' count] ['~' substr]
+//
+//   op     write | fsync | rename | connect
+//   mode   enospc  fail with ENOSPC (write)
+//          eio     fail with EIO (write/fsync/rename)
+//          eintr   fail with EINTR (write/fsync) — loops must retry
+//          short   write only half the buffer (write) — loops must resume
+//          reset   fail with ECONNREFUSED (connect)
+//          torn    _exit(86) *before* the syscall: simulates dying between
+//                  a tmp write and its rename (or mid-record). The process
+//                  does not return.
+//   nth    1-based index among calls matching this rule (default 1)
+//   count  consecutive matching calls faulted from nth on; 0 = every one
+//          from nth on (default 1)
+//   substr only calls whose tag (usually the target path) contains this
+//          substring match the rule
+//
+// Examples:
+//   fsync:eio@2            second fsync anywhere fails with EIO
+//   write:enospc@5x0~seg-  every segment write from the 5th on hits ENOSPC
+//   rename:torn~.snap      die just before publishing a snapshot rename
+//   connect:reset@1x3      first three connect attempts are refused
+
+#ifndef DYNMIS_SRC_UTIL_FAULTFS_H_
+#define DYNMIS_SRC_UTIL_FAULTFS_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dynmis {
+namespace faultfs {
+
+enum class Op : int { kWrite = 0, kFsync = 1, kRename = 2, kConnect = 3 };
+inline constexpr int kNumOps = 4;
+
+// Exit status used by `torn` (crash-before-syscall) injections, so harnesses
+// can tell a scripted crash from a genuine failure.
+inline constexpr int kCrashExitCode = 86;
+
+struct OpCounters {
+  int64_t calls = 0;   // Calls routed through the armed slow path.
+  int64_t faults = 0;  // Calls that had a fault injected.
+};
+
+// Parses and arms `plan`. Replaces any previously armed plan. Returns false
+// (nothing armed) with *error set on a malformed plan.
+bool ArmPlan(const std::string& plan, std::string* error);
+
+// Arms DYNMIS_FAULT_PLAN when the variable is set and non-empty. Returns
+// false only on a malformed plan; an unset variable is a no-op success.
+bool ArmFromEnvironment(std::string* error);
+
+// Disarms all rules; wrappers go back to the raw-syscall fast path.
+void Disarm();
+
+bool armed();
+int64_t FaultsInjected();
+OpCounters CountersFor(Op op);
+
+namespace internal {
+
+extern std::atomic<bool> g_armed;
+
+ssize_t ArmedWrite(int fd, const void* buf, size_t count, const char* tag);
+int ArmedFsync(int fd, const char* tag);
+int ArmedRename(const char* oldpath, const char* newpath);
+int ArmedConnect(int fd, const struct sockaddr* addr, socklen_t len,
+                 const char* tag);
+
+inline bool Armed() {
+  return __builtin_expect(g_armed.load(std::memory_order_relaxed), 0);
+}
+
+}  // namespace internal
+
+// `tag` names the target for plan matching (usually the destination path;
+// nullptr matches only substring-free rules). Return values and errno follow
+// the underlying syscall's conventions exactly.
+
+inline ssize_t Write(int fd, const void* buf, size_t count,
+                     const char* tag = nullptr) {
+  if (!internal::Armed()) return ::write(fd, buf, count);
+  return internal::ArmedWrite(fd, buf, count, tag);
+}
+
+inline int Fsync(int fd, const char* tag = nullptr) {
+  if (!internal::Armed()) return ::fsync(fd);
+  return internal::ArmedFsync(fd, tag);
+}
+
+inline int Rename(const char* oldpath, const char* newpath) {
+  if (!internal::Armed()) return std::rename(oldpath, newpath);
+  return internal::ArmedRename(oldpath, newpath);
+}
+
+inline int Connect(int fd, const struct sockaddr* addr, socklen_t len,
+                   const char* tag = nullptr) {
+  if (!internal::Armed()) return ::connect(fd, addr, len);
+  return internal::ArmedConnect(fd, addr, len, tag);
+}
+
+}  // namespace faultfs
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_UTIL_FAULTFS_H_

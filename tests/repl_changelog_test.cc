@@ -1,7 +1,8 @@
 // Unit tests for the replication foundation: change-log record encoding,
-// segment rotation, torn-tail tolerance vs corruption, base-snapshot
-// discovery, checkpoint bootstrap (base + tail replay), and the
-// CreateFromGraph resharding primitive's id-space exactness.
+// segment rotation, torn-tail tolerance vs corruption, fencing epochs
+// (segment supersession, divergence detection, the durable epoch file),
+// base-snapshot discovery, checkpoint bootstrap (base + tail replay), and
+// the CreateFromGraph resharding primitive's id-space exactness.
 
 #include <filesystem>
 #include <fstream>
@@ -84,7 +85,7 @@ TEST(ChangeLogWriterTest, WriteReadRoundtrip) {
   const std::string dir = FreshDir("cl_roundtrip");
   ChangeLogWriter writer;
   std::string error;
-  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, /*epoch=*/3, &error)) << error;
   for (int64_t seq = 0; seq < 20; ++seq) {
     ASSERT_TRUE(writer.Append(MakeBatch(seq), &error)) << error;
   }
@@ -98,6 +99,8 @@ TEST(ChangeLogWriterTest, WriteReadRoundtrip) {
     ASSERT_TRUE(cursor.Next(&batch, &available, &error)) << error;
     ASSERT_TRUE(available) << "seq " << seq;
     ExpectBatchEq(MakeBatch(seq), batch);
+    // The cursor stamps each batch with its segment's fencing epoch.
+    EXPECT_EQ(batch.epoch, 3);
   }
   // At the live tail: no record, no error.
   LogBatch batch;
@@ -113,7 +116,7 @@ TEST(ChangeLogWriterTest, RotatesSegmentsAndCursorFollows) {
   std::string error;
   // Tiny threshold: every record lands past it, so each batch gets its own
   // segment after the first.
-  ASSERT_TRUE(writer.Open(dir, 1, 0, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 1, 0, /*epoch=*/1, &error)) << error;
   for (int64_t seq = 0; seq < 10; ++seq) {
     ASSERT_TRUE(writer.Append(MakeBatch(seq), &error)) << error;
   }
@@ -121,7 +124,9 @@ TEST(ChangeLogWriterTest, RotatesSegmentsAndCursorFollows) {
   ASSERT_TRUE(ScanChangeLogDir(dir, &state, &error)) << error;
   // Every record lands in its own segment once the threshold trips.
   EXPECT_EQ(state.segments.size(), 10u);
-  EXPECT_EQ(state.segments.front().first, 0);
+  EXPECT_EQ(state.segments.front().first_seq, 0);
+  EXPECT_EQ(state.segments.front().epoch, 1);
+  EXPECT_EQ(state.max_epoch, 1);
 
   ChangeLogCursor cursor;
   ASSERT_TRUE(cursor.Open(dir, 0, &error)) << error;
@@ -138,7 +143,7 @@ TEST(ChangeLogCursorTest, MidLogStartSkipsEarlierRecords) {
   const std::string dir = FreshDir("cl_midstart");
   ChangeLogWriter writer;
   std::string error;
-  ASSERT_TRUE(writer.Open(dir, 256, 0, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 256, 0, /*epoch=*/1, &error)) << error;
   for (int64_t seq = 0; seq < 12; ++seq) {
     ASSERT_TRUE(writer.Append(MakeBatch(seq), &error)) << error;
   }
@@ -155,7 +160,7 @@ TEST(ChangeLogCursorTest, TornTailIsLiveNotCorrupt) {
   const std::string dir = FreshDir("cl_torn_tail");
   ChangeLogWriter writer;
   std::string error;
-  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, /*epoch=*/1, &error)) << error;
   ASSERT_TRUE(writer.Append(MakeBatch(0), &error)) << error;
 
   // Simulate an append in progress: half a record at the newest segment.
@@ -193,7 +198,10 @@ TEST(ChangeLogCursorTest, TornRecordBeforeNewerSegmentIsCorruption) {
   const std::string dir = FreshDir("cl_torn_mid");
   ChangeLogWriter writer;
   std::string error;
-  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, &error)) << error;
+  // Epoch 0 writer: the hand-written V1 successor below (header-only, no
+  // epoch field) also reads as epoch 0, so this is a same-epoch rotation —
+  // the fencing escape hatch must not kick in.
+  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, /*epoch=*/0, &error)) << error;
   ASSERT_TRUE(writer.Append(MakeBatch(0), &error)) << error;
   const std::string record = EncodeLogRecord(MakeBatch(1));
   {
@@ -201,8 +209,8 @@ TEST(ChangeLogCursorTest, TornRecordBeforeNewerSegmentIsCorruption) {
                       std::ios::binary | std::ios::app);
     out.write(record.data(), static_cast<std::streamsize>(record.size() / 2));
   }
-  // A successor segment claims seq 1 lives there: the torn bytes can no
-  // longer be an append in progress.
+  // A same-epoch successor segment claims seq 1 lives there: the torn bytes
+  // can no longer be an append in progress.
   {
     std::ofstream out(dir + "/" + SegmentFileName(1), std::ios::binary);
     out << "DMISLOG1";
@@ -221,16 +229,17 @@ TEST(ChangeLogCursorTest, CorruptPayloadFailsCrc) {
   const std::string dir = FreshDir("cl_crc");
   ChangeLogWriter writer;
   std::string error;
-  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 4 << 20, 0, /*epoch=*/1, &error)) << error;
   ASSERT_TRUE(writer.Append(MakeBatch(0), &error)) << error;
 
   const std::string path = dir + "/" + SegmentFileName(0);
   std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
-  // Flip one payload byte (past the 8-byte magic + 8-byte header).
-  file.seekp(20);
+  // Flip one payload byte (past the 16-byte V2 segment header + 8-byte
+  // record header).
+  file.seekp(28);
   char byte = 0;
   file.read(&byte, 1);
-  file.seekp(20);
+  file.seekp(28);
   byte = static_cast<char>(byte ^ 0x5a);
   file.write(&byte, 1);
   file.close();
@@ -248,24 +257,166 @@ TEST(ChangeLogCursorTest, OpenBeforeRetainedHistoryFails) {
   ChangeLogWriter writer;
   std::string error;
   // Writer starts at seq 10 (earlier history never existed here).
-  ASSERT_TRUE(writer.Open(dir, 4 << 20, 10, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 4 << 20, 10, /*epoch=*/1, &error)) << error;
   ASSERT_TRUE(writer.Append(MakeBatch(10), &error)) << error;
   ChangeLogCursor cursor;
   EXPECT_FALSE(cursor.Open(dir, 3, &error));
 }
 
-TEST(BaseSnapshotTest, ScanFindsNewestBase) {
+TEST(ChangeLogCursorTest, HigherEpochSupersedesFencedTail) {
+  const std::string dir = FreshDir("cl_fence");
+  std::string error;
+  // Writer A (epoch 1) logs seqs 0..3 — but its seq-3 batch was never
+  // replicated before the failover, and the new primary logged a different
+  // seq 3.
+  {
+    ChangeLogWriter old_primary;
+    ASSERT_TRUE(old_primary.Open(dir, 4 << 20, 0, /*epoch=*/1, &error))
+        << error;
+    for (int64_t seq = 0; seq < 3; ++seq) {
+      ASSERT_TRUE(old_primary.Append(MakeBatch(seq), &error)) << error;
+    }
+    LogBatch diverged = MakeBatch(100);
+    diverged.seq = 3;
+    ASSERT_TRUE(old_primary.Append(diverged, &error)) << error;
+  }
+  // Writer B (epoch 2) takes over from the last replicated seq.
+  ChangeLogWriter new_primary;
+  ASSERT_TRUE(new_primary.Open(dir, 4 << 20, 3, /*epoch=*/2, &error)) << error;
+  ASSERT_TRUE(new_primary.Append(MakeBatch(3), &error)) << error;
+  ASSERT_TRUE(new_primary.Sync(&error)) << error;
+
+  // A replica that stopped at seq 3 replays A's prefix, then jumps to B's
+  // segment for seq 3 — never seeing the fenced writer's diverged record.
+  ChangeLogCursor cursor;
+  ASSERT_TRUE(cursor.Open(dir, 0, &error)) << error;
+  for (int64_t seq = 0; seq < 3; ++seq) {
+    LogBatch batch;
+    bool available = false;
+    ASSERT_TRUE(cursor.Next(&batch, &available, &error)) << error;
+    ASSERT_TRUE(available);
+    EXPECT_EQ(batch.epoch, 1);
+    ExpectBatchEq(MakeBatch(seq), batch);
+  }
+  LogBatch batch;
+  bool available = false;
+  ASSERT_TRUE(cursor.Next(&batch, &available, &error)) << error;
+  ASSERT_TRUE(available);
+  EXPECT_EQ(batch.epoch, 2);
+  ExpectBatchEq(MakeBatch(3), batch);
+}
+
+TEST(ChangeLogCursorTest, EpochForkBelowReplayedSeqIsDivergence) {
+  const std::string dir = FreshDir("cl_diverge");
+  std::string error;
+  {
+    ChangeLogWriter old_primary;
+    ASSERT_TRUE(old_primary.Open(dir, 4 << 20, 0, /*epoch=*/1, &error))
+        << error;
+    for (int64_t seq = 0; seq < 5; ++seq) {
+      ASSERT_TRUE(old_primary.Append(MakeBatch(seq), &error)) << error;
+    }
+  }
+  // This replica consumed all five records before the failover...
+  ChangeLogCursor cursor;
+  ASSERT_TRUE(cursor.Open(dir, 0, &error)) << error;
+  for (int64_t seq = 0; seq < 5; ++seq) {
+    LogBatch batch;
+    bool available = false;
+    ASSERT_TRUE(cursor.Next(&batch, &available, &error)) << error;
+    ASSERT_TRUE(available);
+  }
+  // ...but the new primary (epoch 2) forked at seq 3: records 3 and 4 the
+  // replica already applied came from the fenced writer's unreplicated
+  // tail. The replica cannot be patched forward — it must rebuild.
+  ChangeLogWriter new_primary;
+  ASSERT_TRUE(new_primary.Open(dir, 4 << 20, 3, /*epoch=*/2, &error)) << error;
+  ASSERT_TRUE(new_primary.Append(MakeBatch(3), &error)) << error;
+  ASSERT_TRUE(new_primary.Sync(&error)) << error;
+  LogBatch batch;
+  bool available = false;
+  EXPECT_FALSE(cursor.Next(&batch, &available, &error));
+  EXPECT_NE(error.find("diverged"), std::string::npos) << error;
+}
+
+TEST(ChangeLogCursorTest, LegacyV1SegmentReadsAsEpochZero) {
+  const std::string dir = FreshDir("cl_v1");
+  {
+    std::ofstream out(dir + "/" + SegmentFileName(0), std::ios::binary);
+    out << "DMISLOG1";
+    const std::string record = EncodeLogRecord(MakeBatch(0));
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  }
+  std::string error;
+  ChangeLogDirState state;
+  ASSERT_TRUE(ScanChangeLogDir(dir, &state, &error)) << error;
+  ASSERT_EQ(state.segments.size(), 1u);
+  EXPECT_TRUE(state.segments[0].header_complete);
+  EXPECT_EQ(state.segments[0].epoch, 0);
+  ChangeLogCursor cursor;
+  ASSERT_TRUE(cursor.Open(dir, 0, &error)) << error;
+  LogBatch batch;
+  bool available = false;
+  ASSERT_TRUE(cursor.Next(&batch, &available, &error)) << error;
+  ASSERT_TRUE(available);
+  EXPECT_EQ(batch.epoch, 0);
+  ExpectBatchEq(MakeBatch(0), batch);
+}
+
+TEST(EpochFileTest, RoundTripAndMissingReadsAsZero) {
+  const std::string dir = FreshDir("cl_epoch");
+  EXPECT_EQ(ReadEpochFile(dir), 0);  // No file yet: pre-fencing log.
+  std::string error;
+  ASSERT_TRUE(WriteEpochFile(dir, 7, &error)) << error;
+  EXPECT_EQ(ReadEpochFile(dir), 7);
+  EXPECT_EQ(ReadEpochValue((dir + "/epoch").c_str()), 7);
+  ASSERT_TRUE(WriteEpochFile(dir, 8, &error)) << error;
+  EXPECT_EQ(ReadEpochFile(dir), 8);
+}
+
+TEST(CleanStaleTmpFilesTest, RemovesOnlyTmpFiles) {
+  const std::string dir = FreshDir("cl_tmp");
+  { std::ofstream(dir + "/base-0000000000000005.snap.tmp") << "torn"; }
+  { std::ofstream(dir + "/epoch.tmp") << "torn"; }
+  { std::ofstream(dir + "/" + SegmentFileName(0)) << "DMISLOG1"; }
+  EXPECT_EQ(CleanStaleTmpFiles(dir), 2);
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/base-0000000000000005.snap.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + SegmentFileName(0)));
+}
+
+TEST(BaseSnapshotTest, ScanFindsNewestBaseAndPrologueCarriesEpoch) {
   const std::string dir = FreshDir("cl_base");
   std::string error;
-  ASSERT_TRUE(WriteBaseSnapshot(dir, 5, "five", &error)) << error;
-  ASSERT_TRUE(WriteBaseSnapshot(dir, 12, "twelve", &error)) << error;
+  ASSERT_TRUE(WriteBaseSnapshot(dir, 5, /*epoch=*/1, "five", &error)) << error;
+  ASSERT_TRUE(WriteBaseSnapshot(dir, 12, /*epoch=*/2, "twelve", &error))
+      << error;
   ChangeLogDirState state;
   ASSERT_TRUE(ScanChangeLogDir(dir, &state, &error)) << error;
   EXPECT_EQ(state.latest_base_seq, 12);
-  std::ifstream in(state.latest_base_path, std::ios::binary);
+  std::ifstream in;
+  int64_t epoch = -1;
+  ASSERT_TRUE(OpenBaseSnapshot(state.latest_base_path, &in, &epoch, &error))
+      << error;
+  EXPECT_EQ(epoch, 2);
   std::stringstream bytes;
   bytes << in.rdbuf();
   EXPECT_EQ(bytes.str(), "twelve");
+}
+
+TEST(BaseSnapshotTest, LegacyFileWithoutPrologueReadsAsEpochZero) {
+  const std::string dir = FreshDir("cl_base_v1");
+  { std::ofstream(dir + "/" + BaseSnapshotFileName(3)) << "legacy-bytes"; }
+  std::ifstream in;
+  int64_t epoch = -1;
+  std::string error;
+  ASSERT_TRUE(OpenBaseSnapshot(dir + "/" + BaseSnapshotFileName(3), &in,
+                               &epoch, &error))
+      << error;
+  EXPECT_EQ(epoch, 0);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(bytes.str(), "legacy-bytes");
 }
 
 // Checkpoint = newest base snapshot + record tail: bootstrap must land on
@@ -283,7 +434,7 @@ TEST(BootstrapTest, BaseSnapshotPlusTailReplaysToProducerState) {
   ASSERT_NE(primary, nullptr) << error;
 
   ChangeLogWriter writer;
-  ASSERT_TRUE(writer.Open(dir, 1 << 12, 0, &error)) << error;
+  ASSERT_TRUE(writer.Open(dir, 1 << 12, 0, /*epoch=*/4, &error)) << error;
   DynamicGraph mirror = base.ToDynamic();
   UpdateStreamOptions stream;
   stream.seed = 99;
@@ -303,7 +454,9 @@ TEST(BootstrapTest, BaseSnapshotPlusTailReplaysToProducerState) {
       // batches [0, 25).
       std::ostringstream snap;
       ASSERT_TRUE(primary->SaveSnapshot(snap).ok);
-      ASSERT_TRUE(WriteBaseSnapshot(dir, 25, std::move(snap).str(), &error))
+      ASSERT_TRUE(
+          WriteBaseSnapshot(dir, 25, /*epoch=*/4, std::move(snap).str(),
+                            &error))
           << error;
     }
   }
@@ -315,6 +468,7 @@ TEST(BootstrapTest, BaseSnapshotPlusTailReplaysToProducerState) {
   EXPECT_EQ(boot.base_seq, 25);
   EXPECT_EQ(boot.tail_batches, 15);
   EXPECT_EQ(boot.next_seq, 40);
+  EXPECT_EQ(boot.epoch, 4);
 
   std::vector<VertexId> want;
   primary->CollectSolution(&want);

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +21,8 @@
 #include "src/core/k_swap.h"
 #include "src/core/one_swap.h"
 #include "src/core/two_swap.h"
+#include "src/io/atomic_file.h"
+#include "src/util/faultfs.h"
 #include "tests/verifiers.h"
 
 namespace dynmis {
@@ -434,6 +438,37 @@ TEST(SnapshotTest, RejectsStructurallyInvalidGraphSections) {
   EXPECT_FALSE(status.ok);
   EXPECT_NE(status.message.find("graph"), std::string::npos)
       << status.message;
+}
+
+// The SNAPSHOT verb publishes through io::WriteFileAtomic (tmp + fsync +
+// rename). A crash between the tmp write and its rename — scripted here
+// with faultfs's `torn` mode — must leave the previously published
+// snapshot byte-identical and only the stale .tmp behind, never a
+// half-written file under the published name.
+TEST(AtomicPublishDeathTest, TornRenameLeavesPublishedSnapshotIntact) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string dir = ::testing::TempDir() + "/snap_torn_publish";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/state.snap";
+  std::string error;
+  ASSERT_TRUE(io::WriteFileAtomic(path, "generation-1", &error)) << error;
+  EXPECT_EXIT(
+      {
+        std::string plan_error;
+        if (!faultfs::ArmPlan("rename:torn~state.snap", &plan_error)) {
+          _exit(3);
+        }
+        io::WriteFileAtomic(path, "generation-2", &plan_error);
+        _exit(4);  // Unreachable: torn kills the process pre-rename.
+      },
+      ::testing::ExitedWithCode(faultfs::kCrashExitCode), "");
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(bytes.str(), "generation-1");
+  // The in-flight generation is parked under .tmp, invisible to readers.
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
 }
 
 }  // namespace

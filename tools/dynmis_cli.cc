@@ -79,6 +79,7 @@
 #include "src/repl/bootstrap.h"
 #include "src/repl/change_log.h"
 #include "src/serve/workload.h"
+#include "src/util/faultfs.h"
 
 namespace dynmis {
 namespace {
@@ -543,7 +544,11 @@ int ServeUsage(const char* argv0) {
       "                [--snapshot-every N] [--snapshot-interval-ms MS]\n"
       "                [--follow HOST:PORT [--bootstrap DIR] |"
       " --follow-dir DIR]\n"
-      "scenarios: smoke easy hard powerlaw (bench-driver graphs by name)\n",
+      "                [--reconnect-max-ms MS] [--fault-plan PLAN]\n"
+      "scenarios: smoke easy hard powerlaw (bench-driver graphs by name)\n"
+      "fault plans (testing): op:mode[@nth][xcount][~substr];... with op in\n"
+      "  write|fsync|rename|connect and mode in\n"
+      "  enospc|eio|eintr|short|reset|torn (also via DYNMIS_FAULT_PLAN)\n",
       argv0);
   return 2;
 }
@@ -621,6 +626,17 @@ int RunServeCommand(int argc, char** argv) {
     } else if (arg == "--bootstrap") {
       if (!(v = next())) return ServeUsage(argv[0]);
       bootstrap_dir = v;
+    } else if (arg == "--reconnect-max-ms") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.reconnect_max_ms = std::atoll(v);
+    } else if (arg == "--fault-plan") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      std::string fault_error;
+      if (!faultfs::ArmPlan(v, &fault_error)) {
+        std::fprintf(stderr, "serve: --fault-plan: %s\n",
+                     fault_error.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return ServeUsage(argv[0]);
@@ -629,7 +645,8 @@ int RunServeCommand(int argc, char** argv) {
   if (options.batch_max_ops < 1 || options.shards < 1 ||
       options.max_connections < 1 || options.flush_deadline_us < 0 ||
       options.log_segment_bytes < 1 || options.snapshot_every_batches < 0 ||
-      options.snapshot_interval_ms < 0 || options.io_threads < 1) {
+      options.snapshot_interval_ms < 0 || options.io_threads < 1 ||
+      options.reconnect_max_ms < 1) {
     std::fprintf(stderr, "serve: non-positive sizing flag\n");
     return 2;
   }
@@ -715,6 +732,7 @@ int RunServeCommand(int argc, char** argv) {
     backend = std::move(boot.backend);
     options.repl_start_seq = boot.next_seq;
     options.bootstrap_base_seq = boot.base_seq;
+    options.start_epoch = boot.epoch;
     std::fprintf(stderr,
                  "bootstrap: base seq %lld + %lld batches (%lld ops) from %s "
                  "-> seq %lld\n",
@@ -777,6 +795,13 @@ int RunServeCommand(int argc, char** argv) {
 }  // namespace dynmis
 
 int main(int argc, char** argv) {
+  // Scripted fault injection (DYNMIS_FAULT_PLAN): armed before any file or
+  // socket syscall so torture harnesses can target startup paths too.
+  std::string fault_error;
+  if (!dynmis::faultfs::ArmFromEnvironment(&fault_error)) {
+    std::fprintf(stderr, "DYNMIS_FAULT_PLAN: %s\n", fault_error.c_str());
+    return 2;
+  }
   if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
     return dynmis::RunSnapshotCommand(argc, argv);
   }
