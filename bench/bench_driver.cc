@@ -33,6 +33,14 @@
 // records how many hardware threads the measuring machine exposed, since
 // shard scaling numbers are meaningless without it.
 //
+// The "massive" scenario pulls its graph through the streaming ingester
+// (src/ingest) — a generated ~2.2M-edge power-law edge file, or
+// $DYNMIS_MASSIVE_EDGES when set — and adds an "ingest" block to the JSON
+// (load time, bytes/edge, peak RSS). The "temporal" and "storm" scenarios
+// replace the random update stream with a sliding-window stream where every
+// insert expires after a TTL, and add a "temporal" block (deletion share,
+// window peak, expiry backlog).
+//
 // --snapshot-every N (single-op regime only) measures the durability tax:
 // every N applied updates the engine is serialized to an in-memory sink
 // inside the timed loop, and after the run the last snapshot is restored
@@ -53,6 +61,7 @@
 #include "bench/bench_common.h"
 #include "bench/json_writer.h"
 #include "dynmis/dynmis.h"
+#include "dynmis/workload.h"
 #include "src/serve/workload.h"
 #include "src/util/timer.h"
 
@@ -72,6 +81,15 @@ struct Scenario {
   UpdateStreamOptions stream;
   // Batch regimes to run; 1 = single-op (per-op latency percentiles).
   std::vector<int> batch_sizes = {1, 1024};
+  // Ingested scenario: the graph comes through the streaming ingester
+  // (src/ingest) instead of an in-memory generator, and the JSON gains an
+  // "ingest" block with the memory-budget numbers.
+  bool ingested = false;
+  // Temporal scenario: the update sequence is a sliding-window stream
+  // (every insert expires after a TTL) and the JSON gains a "temporal"
+  // block with the window shape.
+  bool temporal = false;
+  ingest::TemporalStreamOptions window;
 };
 
 // Graphs and stream seeds come from the shared scenario definitions in
@@ -85,6 +103,23 @@ Scenario FromWorkload(const std::string& name) {
   s.make_graph = [name] { return serve::BuildServeWorkloadGraph(name); };
   s.stream = serve::ServeWorkloadStream(name);
   return s;
+}
+
+// The TTL tracks DYNMIS_BENCH_SCALE like the update counts do: a scaled-
+// down run still pushes a comparable fraction of its stream past the TTL,
+// so quick CI runs exercise real expiries instead of an all-insert prefix.
+ingest::TemporalStreamOptions ServeWindowScaled(const std::string& name) {
+  ingest::TemporalStreamOptions window = serve::ServeWorkloadWindow(name);
+  window.ttl_ticks = std::max<uint32_t>(
+      64, static_cast<uint32_t>(window.ttl_ticks * BenchScale()));
+  // Scale the storm burst with the update budget too, so a reduced-scale
+  // run still fits several insert-expire cycles (and thus real deletion
+  // batches) into its shortened stream.
+  if (window.storm) {
+    window.storm_burst = std::max<int>(
+        8, static_cast<int>(window.storm_burst * BenchScale()));
+  }
+  return window;
 }
 
 std::vector<Scenario> BuildScenarios() {
@@ -129,6 +164,47 @@ std::vector<Scenario> BuildScenarios() {
     s.graph_name = "plrg-12000";
     s.algos = {"DyOneSwap", "DyTwoSwap", "KSwap3"};
     s.base_updates = 20000;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // SNAP-scale ingested graph (>= 2M edges through the streaming
+    // ingester): the scenario the paper's real-dataset tables run at, with
+    // the ingest memory budget reported alongside the update numbers.
+    Scenario s = FromWorkload("massive");
+    s.ingested = true;
+    s.description =
+        "ingested ~2.2M-edge power-law edge file (streaming ingester)";
+    s.graph_name = "ingested-powerlaw-200k";
+    s.algos = {"DyTwoSwap"};
+    s.updates_from_m = [](int64_t m) {
+      return ScaledUpdates(static_cast<int>(m / 20));
+    };
+    s.batch_sizes = {1, 4096};
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Sliding-window stream: inserts expire after a TTL, so the workload
+    // turns deletion-heavy in the steady state.
+    Scenario s = FromWorkload("temporal");
+    s.temporal = true;
+    s.window = ServeWindowScaled("temporal");
+    s.description = "sliding-window stream: every insert expires after a TTL";
+    s.graph_name = "chung-lu-20000";
+    s.algos = {"DyOneSwap", "DyTwoSwap"};
+    s.base_updates = 40000;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Adversarial variant: aligned insert bursts make whole batches expire
+    // on a single tick, the worst case for the expiry backlog.
+    Scenario s = FromWorkload("storm");
+    s.temporal = true;
+    s.window = ServeWindowScaled("storm");
+    s.description =
+        "deletion storm: aligned insert bursts expire as one batch";
+    s.graph_name = "chung-lu-20000";
+    s.algos = {"DyTwoSwap"};
+    s.base_updates = 40000;
     scenarios.push_back(std::move(s));
   }
   return scenarios;
@@ -405,7 +481,18 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
                 PartitionStrategy partition) {
   std::printf("scenario %s: %s\n", scenario.name.c_str(),
               scenario.description.c_str());
-  const EdgeListGraph base = scenario.make_graph();
+  ingest::IngestReport ingest_report;
+  const EdgeListGraph base =
+      scenario.ingested ? serve::BuildMassiveWorkloadGraph(&ingest_report)
+                        : scenario.make_graph();
+  if (scenario.ingested) {
+    std::printf(
+        "  ingest: %lld edges in %.2fs, %.1f bytes/edge, peak RSS %zu MB%s\n",
+        static_cast<long long>(ingest_report.edges),
+        ingest_report.load_seconds, ingest_report.bytes_per_edge,
+        ingest_report.peak_rss_bytes >> 20,
+        ingest_report.header_reserved ? " (header reserved)" : "");
+  }
   const int num_updates =
       scenario.updates_from_m
           ? scenario.updates_from_m(base.NumEdges())
@@ -417,8 +504,22 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
   // One shared update sequence: every (algorithm, regime) run replays the
   // identical ops, so numbers are comparable within and across scenarios.
   DynamicGraph scratch = base.ToDynamic();
+  ingest::TemporalStats temporal_stats;
   const std::vector<GraphUpdate> updates =
-      MakeUpdateSequence(scratch, num_updates, scenario.stream);
+      scenario.temporal
+          ? ingest::MakeTemporalSequence(scratch, num_updates,
+                                         scenario.window, &temporal_stats)
+          : MakeUpdateSequence(scratch, num_updates, scenario.stream);
+  if (scenario.temporal) {
+    std::printf(
+        "  temporal: ttl=%u, %lld inserts / %lld expiries (%.0f%% "
+        "deletions), window peak %zu edges, expiry backlog peak %zu\n",
+        temporal_stats.ttl_ticks,
+        static_cast<long long>(temporal_stats.inserts),
+        static_cast<long long>(temporal_stats.expiries),
+        temporal_stats.deletion_share * 100, temporal_stats.window_peak_edges,
+        temporal_stats.expiry_backlog_peak);
+  }
 
   // Greedy quality reference on the final graph (the sequence is
   // deterministic, so every run ends on the same graph).
@@ -539,6 +640,54 @@ int RunScenario(const Scenario& scenario, const std::string& out_path,
   w.Int(num_updates);
   w.Key("greedy_reference");
   w.Int(greedy_reference);
+  // Memory budget of the streaming ingest (environment-dependent, like the
+  // "serving" block: the regression checker pops it).
+  if (scenario.ingested) {
+    w.Key("ingest");
+    w.BeginObject();
+    w.Key("vertices");
+    w.Int(ingest_report.vertices);
+    w.Key("edges");
+    w.Int(ingest_report.edges);
+    w.Key("dropped_self_loops");
+    w.Int(ingest_report.dropped_self_loops);
+    w.Key("dropped_duplicates");
+    w.Int(ingest_report.dropped_duplicates);
+    w.Key("header_reserved");
+    w.Bool(ingest_report.header_reserved);
+    w.Key("gzip");
+    w.Bool(ingest_report.gzip);
+    w.Key("load_seconds");
+    w.Double(ingest_report.load_seconds);
+    w.Key("graph_bytes");
+    w.Uint(ingest_report.graph_bytes);
+    w.Key("bytes_per_edge");
+    w.Double(ingest_report.bytes_per_edge);
+    w.Key("peak_rss_bytes");
+    w.Uint(ingest_report.peak_rss_bytes);
+    w.EndObject();
+  }
+  // Shape of the sliding-window stream the runs replayed (deterministic,
+  // but scale-dependent: the regression checker pops it too).
+  if (scenario.temporal) {
+    w.Key("temporal");
+    w.BeginObject();
+    w.Key("ttl_ticks");
+    w.Int(temporal_stats.ttl_ticks);
+    w.Key("inserts");
+    w.Int(temporal_stats.inserts);
+    w.Key("expiries");
+    w.Int(temporal_stats.expiries);
+    w.Key("deletion_share");
+    w.Double(temporal_stats.deletion_share);
+    w.Key("window_peak_edges");
+    w.Uint(temporal_stats.window_peak_edges);
+    w.Key("expiry_backlog_peak");
+    w.Uint(temporal_stats.expiry_backlog_peak);
+    w.Key("storm");
+    w.Bool(scenario.window.storm);
+    w.EndObject();
+  }
   w.Key("runs");
   w.BeginArray();
   for (const RunResult& run : runs) {

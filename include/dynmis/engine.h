@@ -127,6 +127,12 @@ class MisEngine {
   // Format and compatibility policy: README "Snapshots".
   SnapshotStatus SaveSnapshot(std::ostream& out) const;
 
+  // Appends the engine's sections to an open writer without serializing the
+  // container, so composite producers (the serving layer's snapshot path)
+  // can put engine state and their own sections — the external-key map —
+  // into one container. SaveSnapshot is SaveTo + WriteTo.
+  void SaveTo(SnapshotWriter* writer) const;
+
   // Rebuilds an engine from a snapshot stream: the maintainer is resolved
   // through MaintainerRegistry::Global() by the algorithm key stored in the
   // snapshot, the graph is restored verbatim (ids preserved), and the

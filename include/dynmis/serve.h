@@ -65,6 +65,7 @@
 #include "dynmis/engine.h"
 #include "dynmis/snapshot.h"
 #include "src/graph/edge_list.h"
+#include "src/ingest/key_map.h"
 
 namespace dynmis {
 
@@ -124,6 +125,13 @@ struct ServeOptions {
   // enabled automatically on loopback listeners and refused elsewhere
   // unless this is explicitly set.
   bool allow_file_commands = false;
+
+  // Temporal sliding window: when > 0, every admitted edge insert is
+  // scheduled for deletion this many wall-clock milliseconds later. Expiry
+  // batches flow through the normal admission/apply/replication path, so a
+  // follower sees the same deletions the primary applied. 0 disables the
+  // window (edges live forever, the classic behaviour).
+  int64_t window_ttl_ms = 0;
 
   // --- Replication (README "Replication") ---
 
@@ -188,6 +196,10 @@ class ServingBackend {
   // defaults the target partition plan to the current one.
   virtual ShardedMisEngine* Sharded() { return nullptr; }
   virtual SnapshotStatus SaveSnapshot(std::ostream& out) = 0;
+  // Appends the backend's sections to an open writer (SaveSnapshot is
+  // SaveTo + WriteTo). The server's snapshot path composes this with its
+  // own sections (the external-key map) into one container.
+  virtual void SaveTo(SnapshotWriter* writer) = 0;
   // A standalone copy of the served graph whose id-space state matches the
   // backend's (future AddVertex ids agree). Seeds the admission replica.
   virtual DynamicGraph ExportGraph() = 0;
@@ -207,10 +219,13 @@ std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
 // Restores a backend from a snapshot stream, auto-detecting the container
 // flavour ("sharded" section present -> ShardedMisEngine, else MisEngine).
 // The replication bootstrap path uses this to load base snapshots without
-// knowing which backend wrote them. Returns nullptr with `*error` set on a
-// malformed or incompatible snapshot.
-std::unique_ptr<ServingBackend> RestoreServingBackend(std::istream& in,
-                                                      std::string* error);
+// knowing which backend wrote them. When `keymap` is non-null and the
+// container carries a "keymap" section (servers with keyed clients write
+// one), it is restored into `*keymap`; containers without one leave it
+// empty. Returns nullptr with `*error` set on a malformed or incompatible
+// snapshot.
+std::unique_ptr<ServingBackend> RestoreServingBackend(
+    std::istream& in, std::string* error, ingest::KeyMap* keymap = nullptr);
 
 // Live serving counters, exposed via STATS (JSON) and Server::StatsJson().
 struct ServingMetricsSnapshot {
@@ -255,6 +270,11 @@ struct ServingMetricsSnapshot {
   // Why writes are currently refused on a degraded primary (change-log
   // append failure); empty while healthy.
   std::string degraded_reason;
+  // External-key / temporal-window layer (docs/OPERATIONS.md has the alert
+  // thresholds).
+  int64_t keymap_entries = 0;  // Live key -> id bindings.
+  int64_t window_edges = 0;    // Edges currently inside the TTL window.
+  int64_t expired_ops = 0;     // TTL deletions applied over the lifetime.
 };
 
 // The TCP server. Construct, Start(), then Run() on the engine thread;
@@ -293,6 +313,14 @@ class Server {
   // every applied update has been validated against. Read-only interop for
   // verification; meaningless while Run() is mid-loop on another thread.
   const DynamicGraph& replica_graph() const;
+
+  // The external-key map (KINS/KDEL/KQUERY bindings). Same caveats as
+  // replica_graph().
+  const ingest::KeyMap& key_map() const;
+
+  // Seeds the key map before Run() — the replication bootstrap path hands
+  // over the bindings it restored from the base snapshot + tail replay.
+  void AdoptKeyMap(ingest::KeyMap keymap);
 
   // The STATS payload (one-line JSON), for tooling that has no socket.
   std::string StatsJson();

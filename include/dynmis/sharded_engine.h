@@ -180,6 +180,11 @@ class ShardedMisEngine {
   // prefixed graph + maintainer state). Restoring is O(state) per shard.
   SnapshotStatus SaveSnapshot(std::ostream& out);
 
+  // Appends the engine's sections to an open writer (barrier included);
+  // SaveSnapshot is SaveTo + WriteTo. Lets the serving layer add its own
+  // sections (the external-key map) to the same container.
+  void SaveTo(SnapshotWriter* writer);
+
   // Rebuilds a sharded engine from a snapshot stream. Returns nullptr on
   // any structural problem (reason in `*status`), including cross-section
   // inconsistencies a crafted payload could smuggle in (a vertex alive in

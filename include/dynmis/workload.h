@@ -1,0 +1,16 @@
+// Public workload surface: the ingest subsystem behind the massive-graph
+// and temporal scenarios — SNAP-scale edge-list ingestion with memory-budget
+// reporting (plus the deterministic power-law file generator CI uses instead
+// of the network), the timing-wheel sliding-window stream driver, and the
+// external-key map backing the KINS/KDEL/KQUERY serving verbs. Applications
+// include this (or the dynmis/dynmis.h umbrella) instead of reaching into
+// src/.
+
+#ifndef DYNMIS_INCLUDE_DYNMIS_WORKLOAD_H_
+#define DYNMIS_INCLUDE_DYNMIS_WORKLOAD_H_
+
+#include "src/ingest/ingest.h"
+#include "src/ingest/key_map.h"
+#include "src/ingest/temporal.h"
+
+#endif  // DYNMIS_INCLUDE_DYNMIS_WORKLOAD_H_

@@ -90,19 +90,23 @@ UpdateResult MisEngine::DeleteVertex(VertexId v) {
 
 SnapshotStatus MisEngine::SaveSnapshot(std::ostream& out) const {
   SnapshotWriter writer;
-  writer.BeginSection("engine");
-  writer.PutString(config_.algorithm);
-  writer.PutString(maintainer_->Name());
-  writer.PutI32(config_.k);
-  writer.PutU8(config_.lazy ? 1 : 0);
-  writer.PutU8(config_.perturb ? 1 : 0);
-  writer.PutI32(config_.recompute_every);
-  writer.PutI64(updates_applied_);
-  writer.PutDouble(update_seconds_);
-  writer.EndSection();
-  graph_->SaveTo(&writer);
-  maintainer_->SaveState(&writer);
+  SaveTo(&writer);
   return writer.WriteTo(out);
+}
+
+void MisEngine::SaveTo(SnapshotWriter* writer) const {
+  writer->BeginSection("engine");
+  writer->PutString(config_.algorithm);
+  writer->PutString(maintainer_->Name());
+  writer->PutI32(config_.k);
+  writer->PutU8(config_.lazy ? 1 : 0);
+  writer->PutU8(config_.perturb ? 1 : 0);
+  writer->PutI32(config_.recompute_every);
+  writer->PutI64(updates_applied_);
+  writer->PutDouble(update_seconds_);
+  writer->EndSection();
+  graph_->SaveTo(writer);
+  maintainer_->SaveState(writer);
 }
 
 bool MisEngine::ReadEngineMeta(SnapshotReader* r, SnapshotEngineMeta* meta) {

@@ -35,6 +35,11 @@ struct GraphUpdate {
   VertexId u = kInvalidVertex;
   VertexId v = kInvalidVertex;
   std::vector<VertexId> neighbors;
+  // External key binding, meaningful only on kInsertVertex (bind the new
+  // vertex's id to `key`) and kDeleteVertex (the vertex was named by `key`;
+  // `u` carries the resolved id). Empty means unkeyed — the common case —
+  // and short keys stay in the SSO buffer, so unkeyed hot paths pay nothing.
+  std::string key;
 
   std::string DebugString() const;
 };

@@ -1,0 +1,211 @@
+#include "src/ingest/key_map.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace dynmis {
+namespace ingest {
+namespace {
+
+constexpr size_t kInitialSlots = 16;
+constexpr uint64_t kEmpty = 0;
+constexpr uint64_t kTombstone = 1;
+
+}  // namespace
+
+KeyMap::KeyMap() : slots_(kInitialSlots) {}
+
+uint64_t KeyMap::HashKey(std::string_view key) {
+  // FNV-1a, with the two state-marker values remapped into real hashes.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h < 2 ? h + 2 : h;
+}
+
+size_t KeyMap::Probe(std::string_view key, uint64_t hash, bool* found) const {
+  const size_t mask = slots_.size() - 1;
+  size_t idx = static_cast<size_t>(hash) & mask;
+  size_t first_free = slots_.size();  // First tombstone seen, if any.
+  while (true) {
+    const Slot& s = slots_[idx];
+    if (s.hash == kEmpty) {
+      *found = false;
+      return first_free < slots_.size() ? first_free : idx;
+    }
+    if (s.hash == kTombstone) {
+      if (first_free == slots_.size()) first_free = idx;
+    } else if (s.hash == hash && SlotKey(s) == key) {
+      *found = true;
+      return idx;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+bool KeyMap::Bind(std::string_view key, VertexId id) {
+  if (key.empty() || id < 0) return false;
+  if (static_cast<size_t>(id) < id_to_slot_.size() && id_to_slot_[id] >= 0) {
+    return false;  // The id already carries a key.
+  }
+  const uint64_t hash = HashKey(key);
+  bool found = false;
+  size_t idx = Probe(key, hash, &found);
+  if (found) return false;
+  // Keep the probe chains short: grow at 7/8 combined (live + tombstone)
+  // load, compact in place when tombstones alone pass 1/4.
+  if ((size_ + tombstones_ + 1) * 8 > slots_.size() * 7) {
+    Rebuild(/*grow=*/true);
+    idx = Probe(key, hash, &found);
+    DYNMIS_CHECK(!found);
+  }
+  Slot& s = slots_[idx];
+  if (s.hash == kTombstone) --tombstones_;
+  s.hash = hash;
+  s.offset = static_cast<uint32_t>(arena_.size());
+  s.len = static_cast<uint32_t>(key.size());
+  s.id = id;
+  arena_.insert(arena_.end(), key.begin(), key.end());
+  if (static_cast<size_t>(id) >= id_to_slot_.size()) {
+    id_to_slot_.resize(id + 1, -1);
+  }
+  id_to_slot_[id] = static_cast<int32_t>(idx);
+  ++size_;
+  return true;
+}
+
+VertexId KeyMap::Lookup(std::string_view key) const {
+  if (key.empty() || size_ == 0) return kInvalidVertex;
+  bool found = false;
+  const size_t idx = Probe(key, HashKey(key), &found);
+  return found ? slots_[idx].id : kInvalidVertex;
+}
+
+VertexId KeyMap::Release(std::string_view key) {
+  if (key.empty() || size_ == 0) return kInvalidVertex;
+  bool found = false;
+  const size_t idx = Probe(key, HashKey(key), &found);
+  if (!found) return kInvalidVertex;
+  Slot& s = slots_[idx];
+  const VertexId id = s.id;
+  dead_bytes_ += s.len;
+  s.hash = kTombstone;
+  s.id = kInvalidVertex;
+  ++tombstones_;
+  --size_;
+  id_to_slot_[id] = -1;
+  // Compact once dead arena bytes dominate the live ones (or tombstones
+  // clog the table); the spare buffers absorb it without allocating once
+  // they are warm.
+  if (dead_bytes_ > 64 && dead_bytes_ * 2 > arena_.size()) {
+    Rebuild(/*grow=*/false);
+  } else if (tombstones_ * 4 > slots_.size()) {
+    Rebuild(/*grow=*/false);
+  }
+  return id;
+}
+
+bool KeyMap::ReleaseId(VertexId id) {
+  if (id < 0 || static_cast<size_t>(id) >= id_to_slot_.size()) return false;
+  const int32_t idx = id_to_slot_[id];
+  if (idx < 0) return false;
+  return Release(SlotKey(slots_[idx])) != kInvalidVertex;
+}
+
+std::string_view KeyMap::KeyOf(VertexId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= id_to_slot_.size()) return {};
+  const int32_t idx = id_to_slot_[id];
+  if (idx < 0) return {};
+  return SlotKey(slots_[idx]);
+}
+
+void KeyMap::Reserve(size_t n, size_t avg_key_bytes) {
+  size_t target = kInitialSlots;
+  while (target * 7 < (n + 1) * 8) target *= 2;
+  if (target > slots_.size()) {
+    spare_slots_.reserve(target);
+    Rebuild(/*grow=*/false);  // Compact first so the grow is exact.
+    std::vector<Slot> bigger(target);
+    spare_slots_.swap(bigger);
+    Rebuild(/*grow=*/false);  // Swaps the bigger table in.
+  }
+  arena_.reserve(n * avg_key_bytes);
+  spare_arena_.reserve(n * avg_key_bytes);
+}
+
+size_t KeyMap::MemoryUsageBytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         spare_slots_.capacity() * sizeof(Slot) + arena_.capacity() +
+         spare_arena_.capacity() + id_to_slot_.capacity() * sizeof(int32_t);
+}
+
+void KeyMap::Rebuild(bool grow) {
+  const size_t want = grow ? slots_.size() * 2
+                           : std::max(spare_slots_.size(), slots_.size());
+  spare_slots_.clear();
+  spare_slots_.resize(want);
+  spare_arena_.clear();
+  spare_arena_.reserve(arena_.size() - dead_bytes_);
+  const size_t mask = want - 1;
+  for (Slot& s : slots_) {
+    if (s.hash == kEmpty || s.hash == kTombstone) continue;
+    const uint32_t offset = static_cast<uint32_t>(spare_arena_.size());
+    spare_arena_.insert(spare_arena_.end(), arena_.begin() + s.offset,
+                        arena_.begin() + s.offset + s.len);
+    size_t idx = static_cast<size_t>(s.hash) & mask;
+    while (spare_slots_[idx].hash != kEmpty) idx = (idx + 1) & mask;
+    spare_slots_[idx] = s;
+    spare_slots_[idx].offset = offset;
+    id_to_slot_[s.id] = static_cast<int32_t>(idx);
+  }
+  slots_.swap(spare_slots_);
+  arena_.swap(spare_arena_);
+  tombstones_ = 0;
+  dead_bytes_ = 0;
+}
+
+void KeyMap::SaveTo(SnapshotWriter* w) const {
+  w->BeginSection("keymap");
+  w->PutU64(size_);
+  std::string key;
+  for (size_t id = 0; id < id_to_slot_.size(); ++id) {
+    const int32_t idx = id_to_slot_[id];
+    if (idx < 0) continue;
+    const Slot& s = slots_[idx];
+    key.assign(arena_.data() + s.offset, s.len);
+    w->PutString(key);
+    w->PutU32(static_cast<uint32_t>(id));
+  }
+  w->EndSection();
+}
+
+bool KeyMap::LoadFrom(SnapshotReader* r) {
+  if (!r->OpenSection("keymap")) return false;
+  const uint64_t count = r->GetU64();
+  KeyMap fresh;
+  fresh.Reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count && r->ok(); ++i) {
+    const std::string key = r->GetString();
+    const VertexId id = static_cast<VertexId>(r->GetU32());
+    if (!r->ok()) break;
+    if (!fresh.Bind(key, id)) {
+      r->Fail("keymap: duplicate key or id in snapshot");
+      return false;
+    }
+  }
+  if (!r->ok()) return false;
+  if (!r->AtSectionEnd()) {
+    r->Fail("keymap: trailing bytes");
+    return false;
+  }
+  *this = std::move(fresh);
+  return true;
+}
+
+}  // namespace ingest
+}  // namespace dynmis

@@ -1,0 +1,114 @@
+// KeyMap: external string key -> vertex id binding for the serving admission
+// layer (the GRIN `primarykey.h` idiom — real clients name vertices by
+// usernames/SKUs, the server owns the raw ids).
+//
+// Design constraints, in order:
+//  * Allocation-free steady state. Open addressing over a power-of-two slot
+//    array; key bytes live in an append-only arena. Release leaves a
+//    tombstone + dead arena bytes; when either passes a load threshold the
+//    map rebuilds itself into spare buffers that are *swapped*, not freed,
+//    so a warm map churns KINS/KDEL forever without touching malloc.
+//  * Deterministic persistence. SaveTo emits entries in ascending id order
+//    (via the reverse map), so a primary and a follower holding the same
+//    bindings serialize byte-identical "keymap" sections.
+//  * Reverse lookup. id -> key is a flat array, so an *unkeyed* DELV of a
+//    keyed vertex can release the stale binding in O(1), and SOLUTION-style
+//    listings can name ids.
+//
+// Not thread-safe; the serving engine thread owns it.
+
+#ifndef DYNMIS_SRC_INGEST_KEY_MAP_H_
+#define DYNMIS_SRC_INGEST_KEY_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/dynamic_graph.h"
+#include "src/io/snapshot.h"
+
+namespace dynmis {
+namespace ingest {
+
+class KeyMap {
+ public:
+  KeyMap();
+
+  KeyMap(const KeyMap&) = default;
+  KeyMap& operator=(const KeyMap&) = default;
+  KeyMap(KeyMap&&) = default;
+  KeyMap& operator=(KeyMap&&) = default;
+
+  // Binds `key` -> `id`. Returns false (no change) if the key is already
+  // bound or the id already carries a key. Empty keys are invalid.
+  bool Bind(std::string_view key, VertexId id);
+
+  // The id bound to `key`, or kInvalidVertex.
+  VertexId Lookup(std::string_view key) const;
+
+  // Unbinds `key`. Returns the id it was bound to, or kInvalidVertex.
+  VertexId Release(std::string_view key);
+
+  // Unbinds whatever key maps to `id` (used when a keyed vertex dies via an
+  // unkeyed DELV). Returns true if a binding was released.
+  bool ReleaseId(VertexId id);
+
+  // The key bound to `id`, or an empty view. The view is invalidated by the
+  // next mutating call.
+  std::string_view KeyOf(VertexId id) const;
+
+  size_t Size() const { return size_; }
+
+  // Pre-sizes for `n` bindings of about `avg_key_bytes` each.
+  void Reserve(size_t n, size_t avg_key_bytes = 16);
+
+  // Bytes held by the slot arrays and arenas (capacity accounting).
+  size_t MemoryUsageBytes() const;
+
+  // Writes the "keymap" snapshot section: u64 count, then (key, u32 id)
+  // pairs in ascending id order.
+  void SaveTo(SnapshotWriter* w) const;
+
+  // Replaces this map with the "keymap" section of `r`. Returns false (with
+  // the reader failed) on malformed payloads; missing sections are the
+  // caller's concern (probe with SnapshotReader::HasSection).
+  bool LoadFrom(SnapshotReader* r);
+
+ private:
+  // hash doubles as the slot state: 0 = empty, 1 = tombstone, else occupied
+  // (real hashes are forced >= 2).
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t offset = 0;
+    uint32_t len = 0;
+    VertexId id = kInvalidVertex;
+  };
+
+  static uint64_t HashKey(std::string_view key);
+  std::string_view SlotKey(const Slot& s) const {
+    return std::string_view(arena_.data() + s.offset, s.len);
+  }
+  // Finds the slot holding `key` (occupied) or the first insertable slot
+  // (empty/tombstone) on miss. Returns the slot index.
+  size_t Probe(std::string_view key, uint64_t hash, bool* found) const;
+  // Re-inserts every live entry into spare_slots_/spare_arena_ and swaps
+  // them in, clearing tombstones and dead arena bytes. Grows the slot array
+  // when `grow` (otherwise same capacity — pure compaction).
+  void Rebuild(bool grow);
+
+  std::vector<Slot> slots_;       // Power-of-two length.
+  std::vector<char> arena_;       // Live + dead key bytes, append-only.
+  std::vector<Slot> spare_slots_; // Rebuild targets, kept warm across
+  std::vector<char> spare_arena_; // rebuilds for allocation-free churn.
+  std::vector<int32_t> id_to_slot_;  // -1 = id carries no key.
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  size_t dead_bytes_ = 0;
+};
+
+}  // namespace ingest
+}  // namespace dynmis
+
+#endif  // DYNMIS_SRC_INGEST_KEY_MAP_H_

@@ -23,7 +23,7 @@ bool BootstrapFromChangeLog(const std::string& dir, const EdgeListGraph& base,
     if (!OpenBaseSnapshot(state.latest_base_path, &in, &base_epoch, error)) {
       return false;
     }
-    out->backend = serve::RestoreServingBackend(in, error);
+    out->backend = serve::RestoreServingBackend(in, error, &out->keymap);
     if (out->backend == nullptr) return false;
     out->base_seq = state.latest_base_seq;
     out->epoch = std::max(out->epoch, base_epoch);
@@ -46,7 +46,27 @@ bool BootstrapFromChangeLog(const std::string& dir, const EdgeListGraph& base,
     bool available = false;
     if (!cursor.Next(&batch, &available, error)) return false;
     if (!available) break;  // Reached the live tail: caught up on disk.
-    out->backend->ApplyBatch(batch.updates);
+    const UpdateResult result = out->backend->ApplyBatch(batch.updates);
+    // Replay the batch's key bindings too: the log records carry each keyed
+    // op's key (and the delete's primary-resolved id), so the map lands at
+    // exactly the primary's state for this seq.
+    size_t insv = 0;
+    for (const GraphUpdate& update : batch.updates) {
+      if (update.kind == UpdateKind::kInsertVertex) {
+        if (insv >= result.new_vertices.size()) {
+          *error = "bootstrap: replayed batch lost a vertex-insert id";
+          return false;
+        }
+        const VertexId id = result.new_vertices[insv++];
+        if (!update.key.empty()) out->keymap.Bind(update.key, id);
+      } else if (update.kind == UpdateKind::kDeleteVertex) {
+        if (!update.key.empty()) {
+          out->keymap.Release(update.key);
+        } else {
+          out->keymap.ReleaseId(update.u);
+        }
+      }
+    }
     out->epoch = std::max(out->epoch, batch.epoch);
     ++out->tail_batches;
     out->tail_ops += static_cast<int64_t>(batch.updates.size());

@@ -17,12 +17,17 @@
 
 #include "dynmis/serve.h"
 #include "src/graph/edge_list.h"
+#include "src/ingest/key_map.h"
 
 namespace dynmis {
 namespace repl {
 
 struct BootstrapResult {
   std::unique_ptr<serve::ServingBackend> backend;
+  // External-key bindings at next_seq: the base snapshot's "keymap" section
+  // plus every keyed op in the replayed tail. Hand to Server::AdoptKeyMap
+  // so the follower resolves KQUERY exactly as the primary did.
+  ingest::KeyMap keymap;
   int64_t next_seq = 0;        // First seq the follower still needs.
   int64_t base_seq = -1;       // Base snapshot restored (-1: fresh start).
   int64_t tail_batches = 0;    // Records replayed after the base.

@@ -146,17 +146,32 @@ bool ReadSegmentHeader(int fd, int64_t* epoch, size_t* header_bytes,
 
 }  // namespace
 
+// High bit of the kind byte: the op carries an external-key suffix
+// (u32 length + bytes after the neighbor list). Only vertex inserts and
+// deletes can be keyed; readers without the bit set decode exactly the old
+// format, so unkeyed logs stay byte-identical across versions.
+constexpr uint8_t kKeyedKindFlag = 0x80;
+
 std::string EncodeLogRecord(const LogBatch& batch) {
   std::string payload;
   AppendU64(&payload, static_cast<uint64_t>(batch.seq));
   AppendU32(&payload, static_cast<uint32_t>(batch.updates.size()));
   for (const GraphUpdate& update : batch.updates) {
-    payload.push_back(static_cast<char>(update.kind));
+    const bool keyed = !update.key.empty() &&
+                       (update.kind == UpdateKind::kInsertVertex ||
+                        update.kind == UpdateKind::kDeleteVertex);
+    uint8_t kind = static_cast<uint8_t>(update.kind);
+    if (keyed) kind |= kKeyedKindFlag;
+    payload.push_back(static_cast<char>(kind));
     AppendU32(&payload, static_cast<uint32_t>(update.u));
     AppendU32(&payload, static_cast<uint32_t>(update.v));
     AppendU32(&payload, static_cast<uint32_t>(update.neighbors.size()));
     for (const VertexId neighbor : update.neighbors) {
       AppendU32(&payload, static_cast<uint32_t>(neighbor));
+    }
+    if (keyed) {
+      AppendU32(&payload, static_cast<uint32_t>(update.key.size()));
+      payload.append(update.key);
     }
   }
   std::string record;
@@ -180,9 +195,15 @@ bool DecodeLogPayload(const char* data, size_t size, LogBatch* out) {
   for (uint32_t i = 0; i < num_ops; ++i) {
     if (remaining() < 13) return false;
     GraphUpdate update;
-    const uint8_t kind = static_cast<uint8_t>(data[pos]);
+    const uint8_t raw_kind = static_cast<uint8_t>(data[pos]);
+    const bool keyed = (raw_kind & kKeyedKindFlag) != 0;
+    const uint8_t kind = raw_kind & static_cast<uint8_t>(~kKeyedKindFlag);
     if (kind > static_cast<uint8_t>(UpdateKind::kDeleteVertex)) return false;
     update.kind = static_cast<UpdateKind>(kind);
+    if (keyed && update.kind != UpdateKind::kInsertVertex &&
+        update.kind != UpdateKind::kDeleteVertex) {
+      return false;
+    }
     pos += 1;
     update.u = static_cast<VertexId>(ReadU32(data + pos));
     pos += 4;
@@ -195,6 +216,14 @@ bool DecodeLogPayload(const char* data, size_t size, LogBatch* out) {
     for (uint32_t j = 0; j < num_neighbors; ++j) {
       update.neighbors.push_back(static_cast<VertexId>(ReadU32(data + pos)));
       pos += 4;
+    }
+    if (keyed) {
+      if (remaining() < 4) return false;
+      const uint32_t key_len = ReadU32(data + pos);
+      pos += 4;
+      if (key_len == 0 || remaining() < key_len) return false;
+      update.key.assign(data + pos, key_len);
+      pos += key_len;
     }
     out->updates.push_back(std::move(update));
   }

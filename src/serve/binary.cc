@@ -56,6 +56,27 @@ void AppendQueryFrame(std::string* out, VertexId u) {
   AppendU32(out, static_cast<uint32_t>(u));
 }
 
+void AppendKInsFrame(std::string* out, std::string_view key,
+                     const std::vector<VertexId>& neighbors) {
+  AppendFrameHeader(out, kBinOpKIns, 8 + key.size() + 4 * neighbors.size());
+  AppendU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+  AppendU32(out, static_cast<uint32_t>(neighbors.size()));
+  for (const VertexId n : neighbors) AppendU32(out, static_cast<uint32_t>(n));
+}
+
+void AppendKDelFrame(std::string* out, std::string_view key) {
+  AppendFrameHeader(out, kBinOpKDel, 4 + key.size());
+  AppendU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+}
+
+void AppendKQueryFrame(std::string* out, std::string_view key) {
+  AppendFrameHeader(out, kBinOpKQuery, 4 + key.size());
+  AppendU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+}
+
 namespace {
 
 void AppendNestedOp(std::string* out, const GraphUpdate& update) {
@@ -71,6 +92,16 @@ void AppendNestedOp(std::string* out, const GraphUpdate& update) {
       AppendU32(out, static_cast<uint32_t>(update.v));
       return;
     case UpdateKind::kInsertVertex:
+      if (!update.key.empty()) {
+        out->push_back(static_cast<char>(kBinOpKIns));
+        AppendU32(out, static_cast<uint32_t>(update.key.size()));
+        out->append(update.key);
+        AppendU32(out, static_cast<uint32_t>(update.neighbors.size()));
+        for (const VertexId n : update.neighbors) {
+          AppendU32(out, static_cast<uint32_t>(n));
+        }
+        return;
+      }
       out->push_back(static_cast<char>(kBinOpInsV));
       AppendU32(out, static_cast<uint32_t>(update.neighbors.size()));
       for (const VertexId n : update.neighbors) {
@@ -78,6 +109,12 @@ void AppendNestedOp(std::string* out, const GraphUpdate& update) {
       }
       return;
     case UpdateKind::kDeleteVertex:
+      if (!update.key.empty()) {
+        out->push_back(static_cast<char>(kBinOpKDel));
+        AppendU32(out, static_cast<uint32_t>(update.key.size()));
+        out->append(update.key);
+        return;
+      }
       out->push_back(static_cast<char>(kBinOpDelV));
       AppendU32(out, static_cast<uint32_t>(update.u));
       return;
@@ -90,8 +127,12 @@ size_t NestedOpBytes(const GraphUpdate& update) {
     case UpdateKind::kDeleteEdge:
       return 9;
     case UpdateKind::kInsertVertex:
+      if (!update.key.empty()) {
+        return 9 + update.key.size() + 4 * update.neighbors.size();
+      }
       return 5 + 4 * update.neighbors.size();
     case UpdateKind::kDeleteVertex:
+      if (!update.key.empty()) return 5 + update.key.size();
       return 5;
   }
   return 0;
@@ -117,9 +158,17 @@ void AppendUpdateFrame(std::string* out, const GraphUpdate& update) {
       AppendDelFrame(out, update.u, update.v);
       return;
     case UpdateKind::kInsertVertex:
+      if (!update.key.empty()) {
+        AppendKInsFrame(out, update.key, update.neighbors);
+        return;
+      }
       AppendInsVFrame(out, update.neighbors);
       return;
     case UpdateKind::kDeleteVertex:
+      if (!update.key.empty()) {
+        AppendKDelFrame(out, update.key);
+        return;
+      }
       AppendDelVFrame(out, update.u);
       return;
   }
@@ -150,6 +199,12 @@ void AppendBatchAckResponse(std::string* out, int64_t applied, int64_t rejected,
 
 void AppendQueryResponse(std::string* out, bool in_solution) {
   AppendFrameHeader(out, kBinRespQuery, 1);
+  out->push_back(in_solution ? 1 : 0);
+}
+
+void AppendKQueryResponse(std::string* out, VertexId id, bool in_solution) {
+  AppendFrameHeader(out, kBinRespKQuery, 5);
+  AppendU32(out, static_cast<uint32_t>(id));
   out->push_back(in_solution ? 1 : 0);
 }
 
@@ -205,6 +260,22 @@ bool RequestFrameDecoder::TakeVertex(VertexId* v, std::string* error,
   return true;
 }
 
+bool RequestFrameDecoder::TakeKey(std::string* key, std::string* error) {
+  uint32_t len = 0;
+  if (!TakeU32(&len) || static_cast<size_t>(len) > body_.size() - pos_) {
+    *error = "bad key length";
+    return false;
+  }
+  const std::string_view raw = body_.substr(pos_, len);
+  if (!IsValidKey(raw)) {
+    *error = "bad key: expected 1..256 printable non-whitespace ASCII bytes";
+    return false;
+  }
+  key->assign(raw.data(), raw.size());
+  pos_ += len;
+  return true;
+}
+
 bool RequestFrameDecoder::Begin(std::string_view payload, std::string* error) {
   body_ = payload.substr(1);
   pos_ = 0;
@@ -216,6 +287,9 @@ bool RequestFrameDecoder::Begin(std::string_view payload, std::string* error) {
     case kBinOpInsV:
     case kBinOpDelV:
     case kBinOpQuery:
+    case kBinOpKIns:
+    case kBinOpKDel:
+    case kBinOpKQuery:
       state_ = State::kSingle;
       return true;
     case kBinOpBatch:
@@ -263,6 +337,31 @@ bool RequestFrameDecoder::DecodeOp(uint8_t code, Command* cmd,
     case kBinOpQuery:
       cmd->verb = Verb::kQuery;
       return TakeVertex(&cmd->vertex, error, "vertex");
+    case kBinOpKIns: {
+      cmd->verb = Verb::kKIns;
+      cmd->update.kind = UpdateKind::kInsertVertex;
+      if (!TakeKey(&cmd->update.key, error)) return false;
+      uint32_t n = 0;
+      if (!TakeU32(&n) || static_cast<size_t>(n) > (body_.size() - pos_) / 4) {
+        *error = "KINS: bad neighbor count";
+        return false;
+      }
+      cmd->update.neighbors.clear();
+      cmd->update.neighbors.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        VertexId v = kInvalidVertex;
+        if (!TakeVertex(&v, error, "neighbor")) return false;
+        cmd->update.neighbors.push_back(v);
+      }
+      return true;
+    }
+    case kBinOpKDel:
+      cmd->verb = Verb::kKDel;
+      cmd->update.kind = UpdateKind::kDeleteVertex;
+      return TakeKey(&cmd->update.key, error);
+    case kBinOpKQuery:
+      cmd->verb = Verb::kKQuery;
+      return TakeKey(&cmd->update.key, error);
     default:
       *error = "bad nested opcode " + std::to_string(code);
       return false;
@@ -306,7 +405,7 @@ RequestFrameDecoder::Step RequestFrameDecoder::Next(Command* cmd,
         return Step::kError;
       }
       const uint8_t op = static_cast<uint8_t>(body_[pos_++]);
-      if (op == kBinOpBatch || op == kBinOpQuery) {
+      if (op == kBinOpBatch || op == kBinOpQuery || op == kBinOpKQuery) {
         *error = "BATCH: nested op must be an update";
         state_ = State::kDone;
         return Step::kError;
@@ -373,6 +472,11 @@ bool DecodeResponseFrame(std::string_view payload, BinaryResponse* out,
     case kBinRespQuery:
       if (body.size() != 1) break;
       out->in_solution = body[0] != 0;
+      return true;
+    case kBinRespKQuery:
+      if (body.size() != 5) break;
+      out->id = static_cast<VertexId>(ReadU32(body.data()));
+      out->in_solution = body[4] != 0;
       return true;
     default:
       *error = "unknown response code " + std::to_string(out->code);

@@ -13,8 +13,11 @@
 //   0x03  n, n neighbor ids                        INSV n1 ... nn
 //   0x04  u                                        DELV u
 //   0x05  count, then count nested [u8 op][body]   BATCH count ... END
-//         records with op in {0x01..0x04}
+//         records with op in {0x01..0x04, 0x07, 0x08}
 //   0x06  u                                        QUERY u
+//   0x07  klen, klen key bytes, n, n neighbor ids  KINS key n1 ... nn
+//   0x08  klen, klen key bytes                     KDEL key
+//   0x09  klen, klen key bytes                     KQUERY key
 //
 // Response codes (one response frame per request frame; a BATCH is acked as
 // one frame, so a pipelining client pays no per-op round trips):
@@ -25,6 +28,7 @@
 //   0x83  applied, rejected, n, n insert ids       OK a r id...   (BATCH)
 //   0x84  u8 in_solution                           OK 1 / OK 0    (QUERY)
 //   0x85  message bytes                            ERR ... (fatal; closes)
+//   0x86  id, u8 in_solution                       OK <id> 0/1    (KQUERY)
 //
 // Malformed input (bad code, truncated body, trailing bytes, oversized
 // length prefix) is a clean protocol error — the decoder reports it and the
@@ -52,6 +56,9 @@ inline constexpr uint8_t kBinOpInsV = 0x03;
 inline constexpr uint8_t kBinOpDelV = 0x04;
 inline constexpr uint8_t kBinOpBatch = 0x05;
 inline constexpr uint8_t kBinOpQuery = 0x06;
+inline constexpr uint8_t kBinOpKIns = 0x07;
+inline constexpr uint8_t kBinOpKDel = 0x08;
+inline constexpr uint8_t kBinOpKQuery = 0x09;
 
 inline constexpr uint8_t kBinRespOk = 0x80;
 inline constexpr uint8_t kBinRespOkId = 0x81;
@@ -59,6 +66,7 @@ inline constexpr uint8_t kBinRespReject = 0x82;
 inline constexpr uint8_t kBinRespBatch = 0x83;
 inline constexpr uint8_t kBinRespQuery = 0x84;
 inline constexpr uint8_t kBinRespErr = 0x85;
+inline constexpr uint8_t kBinRespKQuery = 0x86;
 
 // Same cap as text BATCH.
 inline constexpr int64_t kBinMaxBatchOps = 1 << 20;
@@ -75,6 +83,10 @@ void AppendDelFrame(std::string* out, VertexId u, VertexId v);
 void AppendInsVFrame(std::string* out, const std::vector<VertexId>& neighbors);
 void AppendDelVFrame(std::string* out, VertexId u);
 void AppendQueryFrame(std::string* out, VertexId u);
+void AppendKInsFrame(std::string* out, std::string_view key,
+                     const std::vector<VertexId>& neighbors);
+void AppendKDelFrame(std::string* out, std::string_view key);
+void AppendKQueryFrame(std::string* out, std::string_view key);
 // One BATCH frame holding all of `updates` (acked as a unit).
 void AppendBatchFrame(std::string* out, const std::vector<GraphUpdate>& updates,
                       size_t first, size_t count);
@@ -88,6 +100,7 @@ void AppendRejectResponse(std::string* out, std::string_view reason);
 void AppendBatchAckResponse(std::string* out, int64_t applied, int64_t rejected,
                             const std::vector<VertexId>& insert_ids);
 void AppendQueryResponse(std::string* out, bool in_solution);
+void AppendKQueryResponse(std::string* out, VertexId id, bool in_solution);
 void AppendErrResponse(std::string* out, std::string_view message);
 
 // --- Incremental framing over a byte stream ----------------------------------
@@ -137,6 +150,7 @@ class RequestFrameDecoder {
   bool DecodeOp(uint8_t code, Command* cmd, std::string* error);
   bool TakeU32(uint32_t* v);
   bool TakeVertex(VertexId* v, std::string* error, const char* what);
+  bool TakeKey(std::string* key, std::string* error);
 
   std::string_view body_;
   size_t pos_ = 0;
@@ -149,11 +163,11 @@ class RequestFrameDecoder {
 
 struct BinaryResponse {
   uint8_t code = 0;
-  VertexId id = kInvalidVertex;       // kBinRespOkId
+  VertexId id = kInvalidVertex;       // kBinRespOkId / kBinRespKQuery
   int64_t applied = 0;                // kBinRespBatch
   int64_t rejected = 0;               // kBinRespBatch
   std::vector<VertexId> insert_ids;   // kBinRespBatch
-  bool in_solution = false;           // kBinRespQuery
+  bool in_solution = false;           // kBinRespQuery / kBinRespKQuery
   std::string message;                // kBinRespReject / kBinRespErr
 };
 

@@ -52,11 +52,33 @@ bool WantArgs(const std::vector<std::string_view>& tokens, size_t n,
   return false;
 }
 
+// External keys are opaque but bounded tokens: printable ASCII with no
+// whitespace (the tokenizer splits on it anyway), at most 256 bytes. The
+// same validation runs on the binary opcodes so the two framings accept
+// identical key spaces.
+bool ParseKey(std::string_view token, std::string* out, std::string* error) {
+  if (!IsValidKey(token)) {
+    *error =
+        "bad key: expected 1..256 printable non-whitespace ASCII bytes";
+    return false;
+  }
+  out->assign(token.data(), token.size());
+  return true;
+}
+
 }  // namespace
+
+bool IsValidKey(std::string_view key) {
+  if (key.empty() || key.size() > kMaxKeyBytes) return false;
+  for (const char c : key) {
+    if (c <= 0x20 || c >= 0x7F) return false;
+  }
+  return true;
+}
 
 bool IsUpdateVerb(Verb verb) {
   return verb == Verb::kIns || verb == Verb::kDel || verb == Verb::kInsV ||
-         verb == Verb::kDelV;
+         verb == Verb::kDelV || verb == Verb::kKIns || verb == Verb::kKDel;
 }
 
 const char* VerbName(Verb verb) {
@@ -93,6 +115,12 @@ const char* VerbName(Verb verb) {
       return "PROMOTE";
     case Verb::kReshard:
       return "RESHARD";
+    case Verb::kKIns:
+      return "KINS";
+    case Verb::kKDel:
+      return "KDEL";
+    case Verb::kKQuery:
+      return "KQUERY";
     case Verb::kQuit:
       return "QUIT";
   }
@@ -155,6 +183,37 @@ bool ParseCommand(std::string_view line, Command* cmd, std::string* error) {
     if (!WantArgs(tokens, 1, error)) return false;
     cmd->verb = Verb::kQuery;
     return ParseVertex(tokens[1], &cmd->vertex, error, "vertex");
+  }
+  if (verb == "KINS") {
+    // KINS <key> [n1 n2 ...] — a keyed vertex insert. The neighbors are
+    // numeric vertex ids (mixing keys into the adjacency list would make
+    // every admission a multi-key resolve; clients that only know keys
+    // resolve them first with KQUERY).
+    if (tokens.size() < 2) {
+      *error = "KINS: expected <key> [n1 n2 ...]";
+      return false;
+    }
+    cmd->verb = Verb::kKIns;
+    cmd->update.kind = UpdateKind::kInsertVertex;
+    if (!ParseKey(tokens[1], &cmd->update.key, error)) return false;
+    cmd->update.neighbors.reserve(tokens.size() - 2);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      VertexId v = kInvalidVertex;
+      if (!ParseVertex(tokens[i], &v, error, "neighbor")) return false;
+      cmd->update.neighbors.push_back(v);
+    }
+    return true;
+  }
+  if (verb == "KDEL") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    cmd->verb = Verb::kKDel;
+    cmd->update.kind = UpdateKind::kDeleteVertex;
+    return ParseKey(tokens[1], &cmd->update.key, error);
+  }
+  if (verb == "KQUERY") {
+    if (!WantArgs(tokens, 1, error)) return false;
+    cmd->verb = Verb::kKQuery;
+    return ParseKey(tokens[1], &cmd->update.key, error);
   }
   if (verb == "SOLUTION" || verb == "STATS" || verb == "VERIFY" ||
       verb == "END" || verb == "PROMOTE" || verb == "QUIT") {
@@ -271,7 +330,11 @@ std::string FormatCommandLine(const GraphUpdate& update) {
       return "DEL " + std::to_string(update.u) + " " +
              std::to_string(update.v);
     case UpdateKind::kInsertVertex: {
-      std::string line = "INSV";
+      // A keyed insert keeps its key through the change log and the
+      // replication stream, so followers bind the same key to the id their
+      // own deterministic allocation produces.
+      std::string line =
+          update.key.empty() ? std::string("INSV") : "KINS " + update.key;
       for (const VertexId n : update.neighbors) {
         line += ' ';
         line += std::to_string(n);
@@ -279,6 +342,7 @@ std::string FormatCommandLine(const GraphUpdate& update) {
       return line;
     }
     case UpdateKind::kDeleteVertex:
+      if (!update.key.empty()) return "KDEL " + update.key;
       return "DELV " + std::to_string(update.u);
   }
   return "";

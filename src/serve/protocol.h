@@ -42,21 +42,33 @@ enum class Verb {
   kRepl,      // REPL SUBSCRIBE <seq> [EPOCH <e>] | REPL STATUS
   kPromote,   // PROMOTE
   kReshard,   // RESHARD <shards> [hash|range|locality]
+  kKIns,      // KINS <key> [n1 n2 ...]
+  kKDel,      // KDEL <key>
+  kKQuery,    // KQUERY <key>
   kQuit,      // QUIT (keep last: kNumVerbs is defined off it)
 };
 
-// True for the four verbs that mutate the graph (and are therefore legal
-// inside a BATCH frame and subject to admission batching).
+// True for the verbs that mutate the graph (and are therefore legal inside
+// a BATCH frame and subject to admission batching): INS/DEL/INSV/DELV plus
+// the keyed KINS/KDEL.
 bool IsUpdateVerb(Verb verb);
 
 // Display name of `verb` (the wire spelling).
 const char* VerbName(Verb verb);
 
+// External keys (KINS/KDEL/KQUERY) are opaque tokens of 1..kMaxKeyBytes
+// printable, non-whitespace ASCII bytes; both framings enforce this.
+inline constexpr size_t kMaxKeyBytes = 256;
+bool IsValidKey(std::string_view key);
+
 struct Command {
   Verb verb = Verb::kQuit;
   // kIns/kDel/kInsV/kDelV: the graph update (ids validated non-negative).
+  // kKIns/kKDel: update.key carries the external key (KINS neighbors are
+  // numeric vertex ids in update.neighbors; KDEL's update.u is resolved by
+  // the admission layer).
   GraphUpdate update;
-  // kQuery: the queried vertex.
+  // kQuery: the queried vertex. kKQuery: update.key carries the key.
   VertexId vertex = kInvalidVertex;
   // kHello: the client's protocol version.
   int version = 0;

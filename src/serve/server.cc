@@ -39,6 +39,7 @@
 #include <utility>
 
 #include "dynmis/sharded_engine.h"
+#include "src/ingest/temporal.h"
 #include "src/io/atomic_file.h"
 #include "src/io/snapshot.h"
 #include "src/repl/change_log.h"
@@ -79,6 +80,7 @@ class EngineBackend : public ServingBackend {
   SnapshotStatus SaveSnapshot(std::ostream& out) override {
     return engine_->SaveSnapshot(out);
   }
+  void SaveTo(SnapshotWriter* writer) override { engine_->SaveTo(writer); }
   DynamicGraph ExportGraph() override { return engine_->graph(); }
   const MaintainerConfig& Config() const override {
     return engine_->config();
@@ -114,6 +116,7 @@ class ShardedBackend : public ServingBackend {
   SnapshotStatus SaveSnapshot(std::ostream& out) override {
     return engine_->SaveSnapshot(out);
   }
+  void SaveTo(SnapshotWriter* writer) override { engine_->SaveTo(writer); }
   DynamicGraph ExportGraph() override { return engine_->BuildGlobalGraph(); }
   const MaintainerConfig& Config() const override {
     return engine_->config();
@@ -239,8 +242,8 @@ std::unique_ptr<ServingBackend> MakeServingBackend(const EdgeListGraph& base,
   return std::make_unique<EngineBackend>(std::move(engine));
 }
 
-std::unique_ptr<ServingBackend> RestoreServingBackend(std::istream& in,
-                                                      std::string* error) {
+std::unique_ptr<ServingBackend> RestoreServingBackend(
+    std::istream& in, std::string* error, ingest::KeyMap* keymap) {
   error->clear();
   // Buffer the container once: the flavour probe and the engine loader each
   // need to read it from the top.
@@ -253,6 +256,13 @@ std::unique_ptr<ServingBackend> RestoreServingBackend(std::istream& in,
     const SnapshotStatus status = probe.ReadFrom(stream);
     if (!status.ok) {
       *error = "restore failed: " + status.message;
+      return nullptr;
+    }
+  }
+  if (keymap != nullptr) {
+    *keymap = ingest::KeyMap();
+    if (probe.HasSection("keymap") && !keymap->LoadFrom(&probe)) {
+      *error = "restore failed: " + probe.status().message;
       return nullptr;
     }
   }
@@ -367,6 +377,17 @@ struct Server::Impl {
   ServeOptions options;
   ServeMetrics metrics;
   Timer clock;
+
+  // External-key bindings (KINS/KDEL/KQUERY). Mutated eagerly at admission
+  // alongside the replica, so every admitted op saw a consistent map.
+  ingest::KeyMap keymap;
+
+  // Temporal sliding window (ServeOptions::window_ttl_ms): a wall-clock
+  // timing wheel at 1ms/tick over the admitted edge inserts. Null when the
+  // window is off.
+  std::unique_ptr<ingest::TimingWheel> window_wheel;
+  std::vector<std::pair<VertexId, VertexId>> window_scratch;
+  int64_t expired_ops = 0;  // TTL deletions applied over the lifetime.
 
   int listen_fd = -1;
   int bound_port = 0;
@@ -487,6 +508,95 @@ struct Server::Impl {
 
   // ---- Admission ------------------------------------------------------------
 
+  // Resolves a keyed command against the map before graph validation: KINS
+  // must introduce a fresh key; KDEL names an existing one (the bound id
+  // lands in update.u, turning it into a plain vertex delete downstream).
+  bool ResolveKeyed(Command* cmd, std::string* why) {
+    if (cmd->verb == Verb::kKIns) {
+      if (keymap.Lookup(cmd->update.key) != kInvalidVertex) {
+        *why = "key exists";
+        return false;
+      }
+      return true;
+    }
+    if (cmd->verb == Verb::kKDel) {
+      const VertexId id = keymap.Lookup(cmd->update.key);
+      if (id == kInvalidVertex) {
+        *why = "unknown key";
+        return false;
+      }
+      cmd->update.u = id;
+    }
+    return true;
+  }
+
+  // Mirrors an admitted op's key effect into the map, as eagerly as
+  // Validate mutates the replica: bind the fresh vertex's id, release a
+  // dying vertex's binding (whether the client named it by key or raw id).
+  void CommitKeyed(const GraphUpdate& update, VertexId insv_id) {
+    if (update.kind == UpdateKind::kInsertVertex) {
+      if (!update.key.empty()) keymap.Bind(update.key, insv_id);
+    } else if (update.kind == UpdateKind::kDeleteVertex) {
+      if (!update.key.empty()) {
+        keymap.Release(update.key);
+      } else {
+        keymap.ReleaseId(update.u);
+      }
+    }
+  }
+
+  // Schedules an admitted edge insert for TTL expiry when the sliding
+  // window is on.
+  void MaybeScheduleWindow(const GraphUpdate& update) {
+    if (window_wheel != nullptr && update.kind == UpdateKind::kInsertEdge) {
+      window_wheel->Schedule(update.u, update.v);
+    }
+  }
+
+  // Advances the wall-clock wheel to `now` and feeds the expired edges
+  // through the same pending batch as client writes (no response slots —
+  // Flush acks via pending_meta, which these ops never enter), so expiries
+  // apply, replicate, and snapshot exactly like client deletions.
+  void AdvanceWindow() {
+    if (window_wheel == nullptr || read_only || fenced || degraded) return;
+    const uint64_t target =
+        static_cast<uint64_t>(clock.ElapsedSeconds() * 1e3);
+    // An empty wheel skips its backlog wholesale (a follower's cursor
+    // would otherwise spin through every tick of its read-only stretch at
+    // promotion).
+    if (window_wheel->scheduled() == 0) window_wheel->FastForward(target);
+    bool expired_any = false;
+    while (window_wheel->now() < target) {
+      window_scratch.clear();
+      window_wheel->Advance(&window_scratch);
+      for (const auto& edge : window_scratch) {
+        if (!replica.IsVertexAlive(edge.first) ||
+            !replica.IsVertexAlive(edge.second) ||
+            !replica.HasEdge(edge.first, edge.second)) {
+          continue;  // Gone before its TTL; nothing left to expire.
+        }
+        replica.RemoveEdgeBetween(edge.first, edge.second);
+        GraphUpdate update;
+        update.kind = UpdateKind::kDeleteEdge;
+        update.u = edge.first;
+        update.v = edge.second;
+        pending_updates.push_back(std::move(update));
+        ++expired_ops;
+        expired_any = true;
+        if (static_cast<int>(pending_updates.size()) >=
+            options.batch_max_ops) {
+          Flush(FlushReason::kFull);
+          expired_any = false;
+        }
+      }
+    }
+    // A pure-expiry batch has no client flush deadline to trip; apply it
+    // now so the window lags the clock by at most one loop pass.
+    if (expired_any && pending_meta.empty() && !pending_updates.empty()) {
+      Flush(FlushReason::kDeadline);
+    }
+  }
+
   // Validates `update` against the replica. Returns true and applies it to
   // the replica (assigning *insv_id for vertex inserts); on false, `*why`
   // names the violated precondition.
@@ -586,7 +696,9 @@ struct Server::Impl {
     for (size_t i = 0; i < pending_meta.size(); ++i) {
       const PendingMeta& meta = pending_meta[i];
       metrics.update_latency.Record(now - meta.enqueue_time);
-      if (meta.verb == Verb::kInsV) {
+      const bool vertex_insert =
+          meta.verb == Verb::kInsV || meta.verb == Verb::kKIns;
+      if (vertex_insert) {
         DYNMIS_CHECK(insv < result.new_vertices.size());
         DYNMIS_CHECK(result.new_vertices[insv] == meta.assigned_id);
         ++insv;
@@ -607,12 +719,12 @@ struct Server::Impl {
         Response* r = ClaimDeferred(&conn, /*frame_slot=*/false);
         r->text.clear();
         if (conn.binary) {
-          if (meta.verb == Verb::kInsV) {
+          if (vertex_insert) {
             AppendOkIdResponse(&r->text, meta.assigned_id);
           } else {
             AppendOkResponse(&r->text);
           }
-        } else if (meta.verb == Verb::kInsV) {
+        } else if (vertex_insert) {
           r->text = "OK " + std::to_string(meta.assigned_id);
         } else {
           r->text = "OK";
@@ -822,6 +934,17 @@ struct Server::Impl {
                  static_cast<long long>(next_seq));
   }
 
+  // One container holding the backend's sections plus the server's own
+  // "keymap" section, so a warm restart or follower bootstrap restores the
+  // external-key bindings along with the graph. Engine-only loaders skip
+  // the extra section.
+  SnapshotStatus SaveServerSnapshot(std::ostream& out) {
+    SnapshotWriter writer;
+    backend->SaveTo(&writer);
+    keymap.SaveTo(&writer);
+    return writer.WriteTo(out);
+  }
+
   // Copy-on-collect base snapshots: serialize on the loop thread (the only
   // thread that may touch the backend), hand the bytes to the background
   // writer. Runs at batch boundaries only, so the snapshot sits exactly at
@@ -842,7 +965,7 @@ struct Server::Impl {
     if (!batches_due && !interval_due) return;
     if (snapshotter->busy()) return;  // Try again at a later boundary.
     std::ostringstream out;
-    const SnapshotStatus status = backend->SaveSnapshot(out);
+    const SnapshotStatus status = SaveServerSnapshot(out);
     if (!status.ok) {
       std::fprintf(stderr, "dynmis serve: snapshot serialize failed: %s\n",
                    status.message.c_str());
@@ -1153,6 +1276,8 @@ struct Server::Impl {
       case Verb::kDel:
       case Verb::kInsV:
       case Verb::kDelV:
+      case Verb::kKIns:
+      case Verb::kKDel:
         if (read_only || degraded) {
           ++metrics.ops_rejected;
           RefuseWrite(conn);
@@ -1180,6 +1305,7 @@ struct Server::Impl {
         Respond(conn, "ERR END without BATCH");
         return;
       case Verb::kQuery:
+      case Verb::kKQuery:
       case Verb::kSolution:
       case Verb::kStats:
       case Verb::kVerify:
@@ -1215,11 +1341,14 @@ struct Server::Impl {
   void AdmitSingle(Connection* conn, Command* cmd) {
     VertexId insv_id = kInvalidVertex;
     std::string why;
-    if (!Validate(&cmd->update, &insv_id, &why)) {
+    if (!ResolveKeyed(cmd, &why) ||
+        !Validate(&cmd->update, &insv_id, &why)) {
       ++metrics.ops_rejected;
       RespondReject(conn, why);
       return;
     }
+    CommitKeyed(cmd->update, insv_id);
+    MaybeScheduleWindow(cmd->update);
     ++metrics.ops_admitted;
     RespondDeferred(conn, /*frame_slot=*/false);
     pending_updates.push_back(std::move(cmd->update));
@@ -1254,13 +1383,18 @@ struct Server::Impl {
     Frame& frame = conn->frames.back();
     VertexId insv_id = kInvalidVertex;
     std::string why;
-    if (!Validate(&cmd.update, &insv_id, &why)) {
+    if (!ResolveKeyed(&cmd, &why) ||
+        !Validate(&cmd.update, &insv_id, &why)) {
       ++metrics.ops_rejected;
       ++frame.rejected;
     } else {
+      CommitKeyed(cmd.update, insv_id);
+      MaybeScheduleWindow(cmd.update);
       ++metrics.ops_admitted;
       ++frame.outstanding;
-      if (cmd.verb == Verb::kInsV) frame.insert_ids.push_back(insv_id);
+      if (cmd.verb == Verb::kInsV || cmd.verb == Verb::kKIns) {
+        frame.insert_ids.push_back(insv_id);
+      }
       pending_updates.push_back(std::move(cmd.update));
       pending_meta.push_back({conn->session, cmd.verb, clock.ElapsedSeconds(),
                               insv_id, /*in_frame=*/true});
@@ -1292,14 +1426,21 @@ struct Server::Impl {
     const Timer query_timer;
     Flush(FlushReason::kBarrier);  // Read-your-writes for every client.
     if (conn->binary) {
-      // Only QUERY has a binary request frame; the other query verbs are
-      // text-only and cannot arrive here.
-      DYNMIS_CHECK(cmd.verb == Verb::kQuery);
+      // Only QUERY and KQUERY have binary request frames; the other query
+      // verbs are text-only and cannot arrive here.
+      DYNMIS_CHECK(cmd.verb == Verb::kQuery || cmd.verb == Verb::kKQuery);
       Response& r = conn->responses.PushSlot();
       r.ready = true;
       r.frame_slot = false;
       r.text.clear();
-      if (!replica.IsVertexAlive(cmd.vertex)) {
+      if (cmd.verb == Verb::kKQuery) {
+        const VertexId id = keymap.Lookup(cmd.update.key);
+        if (id == kInvalidVertex) {
+          AppendErrResponse(&r.text, "unknown key");
+        } else {
+          AppendKQueryResponse(&r.text, id, backend->InSolution(id));
+        }
+      } else if (!replica.IsVertexAlive(cmd.vertex)) {
         AppendErrResponse(&r.text, "unknown vertex");
       } else {
         AppendQueryResponse(&r.text, backend->InSolution(cmd.vertex));
@@ -1317,6 +1458,16 @@ struct Server::Impl {
           response = backend->InSolution(cmd.vertex) ? "OK 1" : "OK 0";
         }
         break;
+      case Verb::kKQuery: {
+        const VertexId id = keymap.Lookup(cmd.update.key);
+        if (id == kInvalidVertex) {
+          response = "ERR unknown key";
+        } else {
+          response = "OK " + std::to_string(id) +
+                     (backend->InSolution(id) ? " 1" : " 0");
+        }
+        break;
+      }
       case Verb::kSolution: {
         std::vector<VertexId> solution;
         backend->CollectSolution(&solution);
@@ -1342,7 +1493,7 @@ struct Server::Impl {
         // Crash-safe publish: serialize, then tmp-write/fsync/rename so a
         // crash mid-command can never leave a torn snapshot at `path`.
         std::ostringstream out;
-        const SnapshotStatus status = backend->SaveSnapshot(out);
+        const SnapshotStatus status = SaveServerSnapshot(out);
         if (!status.ok) {
           response = "ERR snapshot: " + status.message;
           break;
@@ -1742,7 +1893,7 @@ struct Server::Impl {
           }
           rbatch_updates.push_back(std::move(cmd.update));
           if (--rbatch_left == 0) {
-            ApplyReplBatch(rbatch_updates);
+            ApplyReplBatch(&rbatch_updates);
             rbatch_updates.clear();
             rbatch_seq = -1;
           }
@@ -1775,7 +1926,7 @@ struct Server::Impl {
         rbatch_seq = seq;
         rbatch_left = static_cast<int>(count);
         rbatch_updates.clear();
-        if (rbatch_left == 0) ApplyReplBatch(rbatch_updates);
+        if (rbatch_left == 0) ApplyReplBatch(&rbatch_updates);
         return true;
       }
       case UpstreamState::kDown:
@@ -1789,21 +1940,42 @@ struct Server::Impl {
   // ApplyBatch call per RBATCH, so the batch partition (and therefore the
   // final solution) is identical — and mirrors it into the admission
   // replica, checking that vertex-insert ids come out byte-for-byte equal.
-  void ApplyReplBatch(const std::vector<GraphUpdate>& updates) {
-    const UpdateResult result = backend->ApplyBatch(updates);
-    DYNMIS_CHECK(result.applied == static_cast<int64_t>(updates.size()));
+  // Keyed ops go through the follower's own key map: a keyed delete's id is
+  // re-resolved locally (the RBATCH text spelling carries only the key),
+  // and a keyed insert binds the locally assigned id — which the id checks
+  // above prove equals the primary's, so the two maps stay byte-identical.
+  void ApplyReplBatch(std::vector<GraphUpdate>* updates) {
+    for (GraphUpdate& update : *updates) {
+      if (update.kind == UpdateKind::kDeleteVertex && !update.key.empty()) {
+        const VertexId id = keymap.Lookup(update.key);
+        DYNMIS_CHECK(id != kInvalidVertex);  // Divergence: unknown key.
+        // Change-log records carry the primary's resolved id; it must match
+        // this replica's own resolution or the maps have diverged.
+        DYNMIS_CHECK(update.u == kInvalidVertex || update.u == id);
+        update.u = id;
+      }
+    }
+    const UpdateResult result = backend->ApplyBatch(*updates);
+    DYNMIS_CHECK(result.applied == static_cast<int64_t>(updates->size()));
     size_t insv = 0;
-    for (const GraphUpdate& update : updates) {
+    for (const GraphUpdate& update : *updates) {
       const VertexId id = ApplyUpdate(&replica, update);
       if (update.kind == UpdateKind::kInsertVertex) {
         DYNMIS_CHECK(insv < result.new_vertices.size());
         DYNMIS_CHECK(result.new_vertices[insv] == id);
         ++insv;
+        if (!update.key.empty()) keymap.Bind(update.key, id);
+      } else if (update.kind == UpdateKind::kDeleteVertex) {
+        if (!update.key.empty()) {
+          keymap.Release(update.key);
+        } else {
+          keymap.ReleaseId(update.u);
+        }
       }
     }
-    metrics.ops_applied += static_cast<int64_t>(updates.size());
+    metrics.ops_applied += static_cast<int64_t>(updates->size());
     ++metrics.repl_batches_applied;
-    RecordAppliedBatch(updates);
+    RecordAppliedBatch(*updates);
   }
 
   // Follower --follow-dir: drain whatever complete records the primary has
@@ -1840,7 +2012,7 @@ struct Server::Impl {
         return;
       }
       if (batch.epoch > epoch) AdoptEpoch(batch.epoch);
-      ApplyReplBatch(batch.updates);
+      ApplyReplBatch(&batch.updates);
     }
   }
 
@@ -2101,6 +2273,12 @@ struct Server::Impl {
     JsonInt(&out, "flushes_full", metrics.flushes_full);
     JsonInt(&out, "flushes_deadline", metrics.flushes_deadline);
     JsonInt(&out, "flushes_barrier", metrics.flushes_barrier);
+    JsonInt(&out, "keymap_entries", static_cast<int64_t>(keymap.Size()));
+    JsonInt(&out, "window_edges",
+            window_wheel != nullptr
+                ? static_cast<int64_t>(window_wheel->scheduled())
+                : 0);
+    JsonInt(&out, "expired_ops", expired_ops);
     const double uptime = clock.ElapsedSeconds();
     JsonDouble(&out, "uptime_seconds", uptime);
     JsonDouble(&out, "ops_per_sec",
@@ -2540,6 +2718,12 @@ struct Server::Impl {
         tighten(50);
       }
       if (degraded) tighten(50);  // Change-log retry tick.
+      if (window_wheel != nullptr && !read_only && !fenced &&
+          window_wheel->scheduled() > 0) {
+        // TTL expiries are clock-driven; tick at a few ms so the window
+        // tracks wall time even on an otherwise idle server.
+        tighten(5);
+      }
       if (reconnect_at >= 0) {
         const double remaining = reconnect_at - clock.ElapsedSeconds();
         tighten(remaining <= 0 ? 0 : static_cast<int>(remaining * 1e3) + 1);
@@ -2578,6 +2762,7 @@ struct Server::Impl {
         DoPromote();
       }
       ProcessIoEvents();
+      AdvanceWindow();
       if (!pending_meta.empty() &&
           clock.ElapsedSeconds() - pending_meta.front().enqueue_time >=
               options.flush_deadline_us * 1e-6) {
@@ -2652,6 +2837,27 @@ Server::Server(std::unique_ptr<ServingBackend> backend, ServeOptions options)
                      !impl_->options.follow_dir.empty();
   impl_->next_seq = impl_->options.repl_start_seq;
   impl_->last_snapshot_trigger_seq = impl_->next_seq;
+  if (impl_->options.window_ttl_ms > 0) {
+    impl_->window_wheel = std::make_unique<ingest::TimingWheel>(
+        static_cast<uint32_t>(impl_->options.window_ttl_ms));
+  }
+  // Warm restart: the snapshot the backend was restored from may carry a
+  // "keymap" section (SaveServerSnapshot writes one); reload the bindings
+  // so keyed clients survive the restart. AdoptKeyMap overrides this for
+  // the replication bootstrap path.
+  if (!impl_->options.restore_path.empty()) {
+    std::ifstream in(impl_->options.restore_path, std::ios::binary);
+    SnapshotReader reader;
+    if (in && reader.ReadFrom(in).ok && reader.HasSection("keymap")) {
+      if (!impl_->keymap.LoadFrom(&reader)) {
+        std::fprintf(stderr,
+                     "dynmis serve: keymap restore failed: %s (starting "
+                     "with no key bindings)\n",
+                     reader.status().message.c_str());
+        impl_->keymap = ingest::KeyMap();
+      }
+    }
+  }
 }
 
 Server::~Server() = default;
@@ -2674,6 +2880,12 @@ void Server::Stop() {
 
 const DynamicGraph& Server::replica_graph() const { return impl_->replica; }
 
+const ingest::KeyMap& Server::key_map() const { return impl_->keymap; }
+
+void Server::AdoptKeyMap(ingest::KeyMap keymap) {
+  impl_->keymap = std::move(keymap);
+}
+
 std::string Server::StatsJson() { return impl_->StatsJson(); }
 
 ServingMetricsSnapshot Server::MetricsSnapshot() const {
@@ -2690,6 +2902,12 @@ ServingMetricsSnapshot Server::MetricsSnapshot() const {
   snap.flushes_full = m.flushes_full;
   snap.flushes_deadline = m.flushes_deadline;
   snap.flushes_barrier = m.flushes_barrier;
+  snap.keymap_entries = static_cast<int64_t>(impl_->keymap.Size());
+  snap.window_edges =
+      impl_->window_wheel != nullptr
+          ? static_cast<int64_t>(impl_->window_wheel->scheduled())
+          : 0;
+  snap.expired_ops = impl_->expired_ops;
   snap.uptime_seconds = impl_->clock.ElapsedSeconds();
   snap.ops_per_sec =
       snap.uptime_seconds > 0

@@ -1,5 +1,11 @@
 #include "src/serve/workload.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include <unistd.h>
+
 #include "src/graph/datasets.h"
 #include "src/graph/generators.h"
 #include "src/util/check.h"
@@ -9,13 +15,69 @@ namespace dynmis {
 namespace serve {
 namespace {
 
+// The "massive" edge-file parameters. Expected edge count is n * d / 2 =
+// ~2.2M; the parameters are part of the cached file name below.
+constexpr int kMassiveNodes = 200000;
+constexpr double kMassiveAvgDegree = 22.0;
+constexpr double kMassiveBeta = 2.3;
+constexpr uint64_t kMassiveSeed = 9;
+
 EdgeListGraph NamedDataset(const std::string& name) {
   const DatasetSpec* spec = FindDataset(name);
   DYNMIS_CHECK(spec != nullptr);
   return GenerateDataset(*spec);
 }
 
+// Returns the edge file the massive workload ingests, generating the
+// default one under /tmp when neither the env override nor a previous
+// generation provides it. Generation writes to a pid-suffixed temp name and
+// renames, so two processes racing to warm the cache (a server and a load
+// generator started together) never ingest a half-written file.
+std::string MassiveEdgeFile() {
+  const char* env = std::getenv("DYNMIS_MASSIVE_EDGES");
+  if (env != nullptr && env[0] != '\0') return env;
+  const std::string path = "/tmp/dynmis-massive-n200000-d22-b2.3-s9.txt";
+  if (std::ifstream(path).good()) return path;
+  const std::string staging = path + ".tmp." + std::to_string(getpid());
+  std::string error;
+  DYNMIS_CHECK(ingest::GeneratePowerLawEdgeFile(
+                   staging, kMassiveNodes, kMassiveAvgDegree, kMassiveBeta,
+                   kMassiveSeed, &error) >= 0);
+  DYNMIS_CHECK(std::rename(staging.c_str(), path.c_str()) == 0);
+  return path;
+}
+
 }  // namespace
+
+EdgeListGraph BuildMassiveWorkloadGraph(ingest::IngestReport* report) {
+  EdgeListGraph graph;
+  ingest::IngestReport local;
+  std::string error;
+  if (!ingest::IngestEdgeList(MassiveEdgeFile(), &graph,
+                              report != nullptr ? report : &local, &error)) {
+    std::fprintf(stderr, "massive workload: %s\n", error.c_str());
+    DYNMIS_CHECK(false);
+  }
+  return graph;
+}
+
+ingest::TemporalStreamOptions ServeWorkloadWindow(const std::string& name) {
+  ingest::TemporalStreamOptions window;
+  if (name == "temporal") {
+    window.ttl_ticks = 4096;
+    window.inserts_per_tick = 2;
+    window.seed = 47;
+  } else if (name == "storm") {
+    window.storm = true;
+    window.ttl_ticks = 4096;
+    window.storm_burst = 512;
+    window.storm_period = 128;
+    window.seed = 53;
+  } else {
+    DYNMIS_CHECK(false);
+  }
+  return window;
+}
 
 EdgeListGraph BuildServeWorkloadGraph(const std::string& name) {
   if (name == "smoke") {
@@ -27,6 +89,13 @@ EdgeListGraph BuildServeWorkloadGraph(const std::string& name) {
   if (name == "powerlaw") {
     Rng rng(777);
     return PowerLawRandomGraph(12000, 2.3, 2, 120, &rng);
+  }
+  if (name == "massive") return BuildMassiveWorkloadGraph(nullptr);
+  if (name == "temporal" || name == "storm") {
+    // Mid-size base for the sliding-window scenarios: the interesting churn
+    // is the TTL-expiry stream, not the base graph.
+    Rng rng(5150);
+    return ChungLuPowerLaw(20000, 2.3, 8.0, &rng);
   }
   DYNMIS_CHECK(false);
   return {};
@@ -43,6 +112,17 @@ UpdateStreamOptions ServeWorkloadStream(const std::string& name) {
     stream.bias = EndpointBias::kDegreeProportional;
   } else if (name == "powerlaw") {
     stream.seed = 31;
+  } else if (name == "massive") {
+    stream.seed = 37;
+    stream.bias = EndpointBias::kDegreeProportional;
+  } else if (name == "temporal" || name == "storm") {
+    // Insert-only edge churn: when a server runs these with a TTL window,
+    // every deletion is a server-side expiry, so the client stream stays
+    // pure inserts (MakeTemporalSequence pre-draws the expiring variant for
+    // the bench driver).
+    stream.edge_op_fraction = 1.0;
+    stream.insert_fraction = 1.0;
+    stream.seed = name == "temporal" ? 41 : 43;
   } else {
     DYNMIS_CHECK(false);
   }
@@ -67,6 +147,10 @@ bool BuildServeWorkload(const std::string& name, ServeWorkload* out) {
     out->default_updates = static_cast<int>(out->base.NumEdges() / 10);
   } else if (name == "hard") {
     out->default_updates = static_cast<int>(out->base.NumEdges() / 2);
+  } else if (name == "massive") {
+    // Light churn: the scenario's point is serving a graph of this size,
+    // not the stream volume.
+    out->default_updates = static_cast<int>(out->base.NumEdges() / 50);
   } else {
     out->default_updates = 20000;
   }
@@ -74,7 +158,7 @@ bool BuildServeWorkload(const std::string& name, ServeWorkload* out) {
 }
 
 std::vector<std::string> ServeWorkloadNames() {
-  return {"smoke", "easy", "hard", "powerlaw"};
+  return {"smoke", "easy", "hard", "powerlaw", "massive", "temporal", "storm"};
 }
 
 }  // namespace serve

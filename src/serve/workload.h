@@ -17,6 +17,8 @@
 
 #include "src/graph/edge_list.h"
 #include "src/graph/update_stream.h"
+#include "src/ingest/ingest.h"
+#include "src/ingest/temporal.h"
 
 namespace dynmis {
 namespace serve {
@@ -30,8 +32,8 @@ struct ServeWorkload {
   int default_updates = 0;
 };
 
-// Builds the named workload (smoke / easy / hard / powerlaw). Returns false
-// on an unknown name.
+// Builds the named workload (smoke / easy / hard / powerlaw / massive /
+// temporal / storm). Returns false on an unknown name.
 bool BuildServeWorkload(const std::string& name, ServeWorkload* out);
 
 // The two pieces both sides must agree on, individually — the bench driver
@@ -39,6 +41,20 @@ bool BuildServeWorkload(const std::string& name, ServeWorkload* out);
 // stream seeds have exactly one definition. Both CHECK on unknown names.
 EdgeListGraph BuildServeWorkloadGraph(const std::string& name);
 UpdateStreamOptions ServeWorkloadStream(const std::string& name);
+
+// The "massive" graph with its ingest report: a >= 2M-edge power-law edge
+// file pushed through the streaming ingester. The file is
+// $DYNMIS_MASSIVE_EDGES when set (CI generates one with `dynmis_cli
+// genedges`); otherwise a deterministic file is generated under /tmp on
+// first use (the parameters are baked into the cached file's name, so a
+// stale cache is impossible). BuildServeWorkloadGraph("massive") is this
+// with the report discarded.
+EdgeListGraph BuildMassiveWorkloadGraph(ingest::IngestReport* report);
+
+// Sliding-window stream parameters for the temporal scenarios ("temporal"
+// and "storm"); the bench driver feeds these to MakeTemporalSequence.
+// CHECKs on other names.
+ingest::TemporalStreamOptions ServeWorkloadWindow(const std::string& name);
 
 // The accepted names, for --help text.
 std::vector<std::string> ServeWorkloadNames();

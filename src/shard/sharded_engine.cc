@@ -466,41 +466,45 @@ ShardedStats ShardedMisEngine::ShardStats() {
 }
 
 SnapshotStatus ShardedMisEngine::SaveSnapshot(std::ostream& out) {
-  EnsureResolved();  // Quiescent: every queue drained, workers idle.
   SnapshotWriter writer;
-  writer.BeginSection("sharded");
-  writer.PutString(config_.algorithm);
-  writer.PutString(shards_[0]->maintainer().Name());
-  writer.PutI32(config_.k);
-  writer.PutU8(config_.lazy ? 1 : 0);
-  writer.PutU8(config_.perturb ? 1 : 0);
-  writer.PutI32(config_.recompute_every);
-  writer.PutI32(plan_.num_shards());
-  writer.PutU8(static_cast<uint8_t>(plan_.strategy()));
-  writer.PutI32(plan_.block_size());
-  writer.PutI32(options_.block_ops);
-  writer.PutU8(options_.async_resolver ? 1 : 0);
-  writer.PutI64(updates_applied_);
-  writer.PutDouble(update_seconds_);
-  writer.PutDouble(resolve_seconds_);
-  writer.PutI64(barriers_);
-  writer.PutI64(total_conflicts_);
-  writer.PutI64(total_evictions_);
-  writer.PutI64(total_readded_);
-  writer.PutI64(total_swaps_);
+  SaveTo(&writer);
+  return writer.WriteTo(out);
+}
+
+void ShardedMisEngine::SaveTo(SnapshotWriter* writer) {
+  EnsureResolved();  // Quiescent: every queue drained, workers idle.
+  writer->BeginSection("sharded");
+  writer->PutString(config_.algorithm);
+  writer->PutString(shards_[0]->maintainer().Name());
+  writer->PutI32(config_.k);
+  writer->PutU8(config_.lazy ? 1 : 0);
+  writer->PutU8(config_.perturb ? 1 : 0);
+  writer->PutI32(config_.recompute_every);
+  writer->PutI32(plan_.num_shards());
+  writer->PutU8(static_cast<uint8_t>(plan_.strategy()));
+  writer->PutI32(plan_.block_size());
+  writer->PutI32(options_.block_ops);
+  writer->PutU8(options_.async_resolver ? 1 : 0);
+  writer->PutI64(updates_applied_);
+  writer->PutDouble(update_seconds_);
+  writer->PutDouble(resolve_seconds_);
+  writer->PutI64(barriers_);
+  writer->PutI64(total_conflicts_);
+  writer->PutI64(total_evictions_);
+  writer->PutI64(total_readded_);
+  writer->PutI64(total_swaps_);
   // Locality owner table, verbatim (-1 = never assigned); empty for the
   // stateless hash/range plans.
-  writer.PutI32Array(plan_.owners());
-  writer.EndSection();
-  writer.SetSectionPrefix("cut/");
-  resolver_.SaveTo(&writer);
+  writer->PutI32Array(plan_.owners());
+  writer->EndSection();
+  writer->SetSectionPrefix("cut/");
+  resolver_.SaveTo(writer);
   for (int s = 0; s < plan_.num_shards(); ++s) {
-    writer.SetSectionPrefix(ShardPrefix(s));
-    shards_[s]->graph().SaveTo(&writer);
-    shards_[s]->maintainer().SaveState(&writer);
+    writer->SetSectionPrefix(ShardPrefix(s));
+    shards_[s]->graph().SaveTo(writer);
+    shards_[s]->maintainer().SaveState(writer);
   }
-  writer.SetSectionPrefix("");
-  return writer.WriteTo(out);
+  writer->SetSectionPrefix("");
 }
 
 bool ShardedMisEngine::LoadShards(SnapshotReader* reader) {

@@ -11,8 +11,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -23,6 +26,8 @@
 #include "gtest/gtest.h"
 #include "src/graph/generators.h"
 #include "src/graph/update_stream.h"
+#include "src/ingest/key_map.h"
+#include "src/io/snapshot.h"
 #include "src/repl/bootstrap.h"
 #include "src/repl/change_log.h"
 #include "src/serve/line_client.h"
@@ -341,6 +346,209 @@ TEST(ReplReshardTest, OnlineReshardDownAndUpUnderChurn) {
   EXPECT_NE(stats.find("\"resolver_conflicts\":"), std::string::npos) << stats;
   Churn(server.port(), 67, 40);
   ExpectVerifyOk(&client);
+}
+
+// Loads the "keymap" section of the snapshot container at `path` and
+// returns its canonical serialization (SaveTo emits ascending id order, so
+// equal bindings mean equal bytes).
+std::string KeymapSectionBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  SnapshotReader reader;
+  EXPECT_TRUE(reader.ReadFrom(in).ok);
+  EXPECT_TRUE(reader.HasSection("keymap"));
+  ingest::KeyMap map;
+  EXPECT_TRUE(map.LoadFrom(&reader));
+  SnapshotWriter writer;
+  map.SaveTo(&writer);
+  std::ostringstream out;
+  EXPECT_TRUE(writer.WriteTo(out).ok);
+  return out.str();
+}
+
+// External-key bindings persist through the snapshot container: a server
+// restored from SNAPSHOT answers KQUERY byte-identically to the primary at
+// checkpoint time (post-checkpoint keyed churn must not leak in), and its
+// re-serialized keymap section is byte-identical to the checkpoint's.
+TEST(ReplKeyedTest, KeymapSnapshotRoundTrip) {
+  ServeOptions options;
+  TestServer server(options);
+  TestClient client(server.port());
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "item-" + std::to_string(i);
+    std::string cmd = "KINS " + key;
+    if (i % 3 == 0) cmd += " 1 2 3";
+    const std::string reply = client.Ask(cmd);
+    ASSERT_TRUE(reply.rfind("OK ", 0) == 0) << reply;
+    keys.push_back(key);
+  }
+  EXPECT_EQ(client.Ask("KDEL item-3"), "OK");
+
+  std::map<std::string, std::string> answers;
+  for (const std::string& key : keys) {
+    answers[key] = client.Ask("KQUERY " + key);
+  }
+  EXPECT_TRUE(answers["item-3"].rfind("ERR unknown key", 0) == 0);
+
+  const std::string snap = ::testing::TempDir() + "/repl_keyed.snap";
+  const std::string snap2 = ::testing::TempDir() + "/repl_keyed2.snap";
+  std::remove(snap.c_str());
+  std::remove(snap2.c_str());
+  ASSERT_TRUE(client.Ask("SNAPSHOT " + snap).rfind("OK", 0) == 0);
+
+  // Post-checkpoint keyed churn the restore must NOT reflect.
+  ASSERT_TRUE(client.Ask("KINS after-snap").rfind("OK ", 0) == 0);
+  EXPECT_EQ(client.Ask("KDEL item-1"), "OK");
+  server.StopAndJoin();
+
+  ServeOptions ropts;
+  ropts.restore_path = snap;
+  TestServer restored(ropts, EdgeListGraph{});
+  TestClient rc(restored.port());
+  for (const std::string& key : keys) {
+    EXPECT_EQ(rc.Ask("KQUERY " + key), answers[key]) << key;
+  }
+  EXPECT_TRUE(rc.Ask("KQUERY after-snap").rfind("ERR unknown key", 0) == 0);
+  const std::string stats = rc.Ask("STATS");
+  EXPECT_NE(stats.find("\"keymap_entries\":11"), std::string::npos) << stats;
+
+  // Re-checkpoint before any mutation: the keymap section must round-trip
+  // byte-identically through save -> load -> save.
+  ASSERT_TRUE(rc.Ask("SNAPSHOT " + snap2).rfind("OK", 0) == 0);
+  EXPECT_EQ(KeymapSectionBytes(snap), KeymapSectionBytes(snap2));
+
+  // The restored map is live, both directions.
+  EXPECT_EQ(rc.Ask("KDEL item-2"), "OK");
+  EXPECT_TRUE(rc.Ask("KQUERY item-2").rfind("ERR unknown key", 0) == 0);
+  ASSERT_TRUE(rc.Ask("KINS item-3 1 2").rfind("OK ", 0) == 0);
+  EXPECT_TRUE(rc.Ask("KQUERY item-3").rfind("OK ", 0) == 0);
+  ExpectVerifyOk(&rc);
+}
+
+// The keyed acceptance path: keyed ops replicate through the change-log, a
+// follower resolves every key byte-identically to the primary, keeps doing
+// so after the primary dies and it is promoted, and then takes keyed
+// writes itself. Also pins the dir-bootstrap keymap (base "keymap" section
+// + keyed tail replay) to the primary's checkpoint bytes.
+TEST(ReplKeyedTest, FollowerResolvesKeysByteIdenticalThroughPromotion) {
+  const std::string dir = FreshDir("repl_e2e_keyed");
+  ServeOptions popts;
+  popts.backend = "sharded";
+  popts.shards = 4;
+  popts.change_log_dir = dir;
+  popts.snapshot_every_batches = 8;
+  TestServer primary(popts);
+  Churn(primary.port(), 71, 60);
+
+  TestClient pc(primary.port());
+  // Keys with edges among themselves: neighbors are ids of earlier keyed
+  // vertices, which are guaranteed alive at admission time (the churn
+  // stream might have deleted any particular base vertex).
+  std::vector<std::string> keys;
+  std::vector<std::string> key_ids;
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "user-" + std::to_string(i);
+    std::string cmd = "KINS " + key;
+    if (i % 3 == 0 && i >= 2) {
+      cmd += " " + key_ids[i - 1] + " " + key_ids[i - 2];
+    }
+    const std::string reply = pc.Ask(cmd);
+    ASSERT_TRUE(reply.rfind("OK ", 0) == 0) << reply;
+    keys.push_back(key);
+    key_ids.push_back(reply.substr(3));
+  }
+  // Keyed deletes, a rebind (the key returns under a fresh binding), and an
+  // unkeyed DELV of a keyed vertex (the binding must die with the vertex —
+  // on the follower too).
+  for (int i = 0; i < 20; i += 5) {
+    EXPECT_EQ(pc.Ask("KDEL user-" + std::to_string(i)), "OK");
+  }
+  ASSERT_TRUE(pc.Ask("KINS user-0").rfind("OK ", 0) == 0);
+  const std::string q7 = pc.Ask("KQUERY user-7");
+  long long id7 = -1;
+  ASSERT_EQ(std::sscanf(q7.c_str(), "OK %lld", &id7), 1) << q7;
+  EXPECT_EQ(pc.Ask("DELV " + std::to_string(id7)), "OK");
+  Churn(primary.port(), 72, 40);
+
+  std::map<std::string, std::string> answers;
+  for (const std::string& key : keys) {
+    answers[key] = pc.Ask("KQUERY " + key);
+  }
+  EXPECT_TRUE(answers["user-7"].rfind("ERR unknown key", 0) == 0);
+  EXPECT_TRUE(answers["user-0"].rfind("OK ", 0) == 0);
+  const int64_t head = ReplSeq(&pc);
+  const std::string psol = pc.Ask("SOLUTION");
+
+  ServeOptions fopts;
+  fopts.backend = "sharded";
+  fopts.shards = 4;
+  fopts.follow_addr = "127.0.0.1:" + std::to_string(primary.port());
+  TestServer follower(fopts);
+  TestClient fc(follower.port());
+  ASSERT_TRUE(WaitUntil([&] { return ReplSeq(&fc) == head; }));
+  EXPECT_EQ(fc.Ask("SOLUTION"), psol);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(fc.Ask("KQUERY " + key), answers[key]) << key;
+  }
+  // The keyed write surface is read-only on a follower like everything
+  // else.
+  EXPECT_TRUE(fc.Ask("KINS nope").rfind("ERR readonly", 0) == 0);
+  EXPECT_TRUE(fc.Ask("KDEL user-1").rfind("ERR readonly", 0) == 0);
+
+  // Independent check on the persistence path: bootstrapping from the
+  // primary's checkpoint directory rebuilds a keymap whose serialization is
+  // byte-identical to the one the live follower would save — both must
+  // match the primary's bindings at `head`.
+  ASSERT_TRUE(WaitUntil([&] {
+    repl::ChangeLogDirState state;
+    std::string error;
+    return repl::ScanChangeLogDir(dir, &state, &error) &&
+           state.latest_base_seq > 0;
+  }));
+  repl::BootstrapResult boot;
+  std::string error;
+  ASSERT_TRUE(
+      repl::BootstrapFromChangeLog(dir, TestGraph(), popts, &boot, &error))
+      << error;
+  if (boot.next_seq == head) {
+    for (const std::string& key : keys) {
+      const VertexId id = boot.keymap.Lookup(key);
+      if (answers[key].rfind("ERR", 0) == 0) {
+        EXPECT_EQ(id, kInvalidVertex) << key;
+      } else {
+        EXPECT_EQ("OK " + std::to_string(id),
+                  answers[key].substr(0, answers[key].rfind(' ')))
+            << key;
+      }
+    }
+  }
+
+  // Kill the primary and promote: resolution must not change.
+  primary.StopAndJoin();
+  const std::string promoted = fc.Ask("PROMOTE");
+  EXPECT_TRUE(promoted.rfind("OK PROMOTED ", 0) == 0) << promoted;
+  for (const std::string& key : keys) {
+    EXPECT_EQ(fc.Ask("KQUERY " + key), answers[key]) << key;
+  }
+
+  // The promoted keymap is live: keyed writes flow and resolve. Pick a key
+  // that is still bound (the unkeyed churn may have reaped any given one).
+  std::string bound_key;
+  for (const std::string& key : keys) {
+    if (key != "user-5" && answers[key].rfind("OK ", 0) == 0) {
+      bound_key = key;
+      break;
+    }
+  }
+  ASSERT_FALSE(bound_key.empty());
+  EXPECT_EQ(fc.Ask("KDEL " + bound_key), "OK");
+  EXPECT_TRUE(
+      fc.Ask("KQUERY " + bound_key).rfind("ERR unknown key", 0) == 0);
+  ASSERT_TRUE(fc.Ask("KINS user-5").rfind("OK ", 0) == 0);
+  EXPECT_TRUE(fc.Ask("KQUERY user-5").rfind("OK ", 0) == 0);
+  ExpectVerifyOk(&fc);
 }
 
 }  // namespace

@@ -26,7 +26,9 @@ depends on the hardware-thread count recorded in `cpu_count`), so the gate
 ignores it entirely: the top-level "sharded" object is never compared, and
 any run entry carrying a "shards" field is dropped before keying. The
 top-level "serving" block (dynmis_loadgen's socket-side measurement, which
-rides on connection count and kernel scheduling) gets the same treatment.
+rides on connection count and kernel scheduling) gets the same treatment,
+as do the "ingest" and "temporal" blocks the workload scenarios emit
+(load-time memory budget and stream shape, not engine throughput).
 
 Pass --candidate several times to gate on the best of N repeated runs
 (per (algorithm, batch_size) the maximum ops_per_sec is used), which keeps
@@ -62,6 +64,8 @@ def load(path):
     doc.pop("sharded", None)  # Informational blocks: never gated.
     doc.pop("serving", None)
     doc.pop("replication", None)
+    doc.pop("ingest", None)  # Load-time memory budget; machine-sensitive.
+    doc.pop("temporal", None)  # Stream shape, not a perf measurement.
     runs = [run for run in doc.get("runs") or [] if "shards" not in run]
     doc["runs"] = runs
     if not runs:

@@ -64,6 +64,19 @@
 //       primary's batches — over TCP (REPL SUBSCRIBE) or by tailing its
 //       change-log directory. --bootstrap/--follow-dir restore the latest
 //       local checkpoint first. SIGUSR1 or the PROMOTE verb promotes.
+//
+// Workload subcommands (README "Workloads"):
+//
+//   dynmis_cli genedges --out FILE [--n N] [--avg-degree D] [--beta B]
+//                       [--seed S]
+//       write a deterministic power-law edge list in SNAP header format
+//       (CI's no-network stand-in for a real SNAP download).
+//   dynmis_cli ingest --graph FILE [--json]
+//       stream FILE (plain or .gz) through the SNAP-scale ingester and
+//       report the memory budget (load time, bytes/edge, peak RSS).
+//   dynmis_cli serve --window-ttl MS ...
+//       sliding-window serving: every admitted edge insert is expired
+//       (deleted) MS milliseconds later by a server-side timing wheel.
 
 #include <algorithm>
 #include <cstdio>
@@ -75,6 +88,7 @@
 #include <vector>
 
 #include "dynmis/dynmis.h"
+#include "dynmis/workload.h"
 #include "src/harness/experiment.h"
 #include "src/repl/bootstrap.h"
 #include "src/repl/change_log.h"
@@ -529,6 +543,135 @@ int RunSnapshotCommand(int argc, char** argv) {
   return SnapshotUsage(argv[0]);
 }
 
+// --- Ingest subcommands ------------------------------------------------------
+
+int IngestUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s genedges --out FILE [--n N] [--avg-degree D] [--beta B]\n"
+      "                   [--seed S]\n"
+      "           write a deterministic Chung-Lu power-law edge list in\n"
+      "           SNAP header format (the no-network stand-in for a real\n"
+      "           SNAP download; defaults give ~2M edges)\n"
+      "       %s ingest --graph FILE [--json]\n"
+      "           stream FILE (plain or .gz) through the ingester and print\n"
+      "           the memory-budget report; --json emits one JSON object on\n"
+      "           stdout for CI gates\n",
+      argv0, argv0);
+  return 2;
+}
+
+int RunGenEdgesCommand(int argc, char** argv) {
+  std::string out_path;
+  int n = 200000;
+  double avg_degree = 22.0;
+  double beta = 2.3;
+  uint64_t seed = 9;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--out") {
+      if (!(v = next())) return IngestUsage(argv[0]);
+      out_path = v;
+    } else if (arg == "--n") {
+      if (!(v = next())) return IngestUsage(argv[0]);
+      n = std::atoi(v);
+    } else if (arg == "--avg-degree") {
+      if (!(v = next())) return IngestUsage(argv[0]);
+      avg_degree = std::atof(v);
+    } else if (arg == "--beta") {
+      if (!(v = next())) return IngestUsage(argv[0]);
+      beta = std::atof(v);
+    } else if (arg == "--seed") {
+      if (!(v = next())) return IngestUsage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return IngestUsage(argv[0]);
+    }
+  }
+  if (out_path.empty() || n < 2 || avg_degree <= 0 || beta <= 1) {
+    return IngestUsage(argv[0]);
+  }
+  Timer timer;
+  std::string error;
+  const int64_t edges =
+      ingest::GeneratePowerLawEdgeFile(out_path, n, avg_degree, beta, seed,
+                                       &error);
+  if (edges < 0) {
+    std::fprintf(stderr, "genedges: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "genedges: wrote %lld edges to %s (%.2fs)\n",
+               static_cast<long long>(edges), out_path.c_str(),
+               timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunIngestCommand(int argc, char** argv) {
+  std::string graph_path;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--graph") {
+      const char* v = next();
+      if (v == nullptr) return IngestUsage(argv[0]);
+      graph_path = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return IngestUsage(argv[0]);
+    }
+  }
+  if (graph_path.empty()) return IngestUsage(argv[0]);
+  EdgeListGraph graph;
+  ingest::IngestReport report;
+  std::string error;
+  if (!ingest::IngestEdgeList(graph_path, &graph, &report, &error)) {
+    std::fprintf(stderr, "ingest: %s\n", error.c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf(
+        "{\"vertices\":%lld,\"edges\":%lld,\"lines\":%lld,"
+        "\"dropped_self_loops\":%lld,\"dropped_duplicates\":%lld,"
+        "\"header_reserved\":%s,\"gzip\":%s,\"load_seconds\":%.6f,"
+        "\"graph_bytes\":%zu,\"bytes_per_edge\":%.2f,"
+        "\"peak_rss_bytes\":%zu}\n",
+        static_cast<long long>(report.vertices),
+        static_cast<long long>(report.edges),
+        static_cast<long long>(report.lines),
+        static_cast<long long>(report.dropped_self_loops),
+        static_cast<long long>(report.dropped_duplicates),
+        report.header_reserved ? "true" : "false",
+        report.gzip ? "true" : "false", report.load_seconds,
+        report.graph_bytes, report.bytes_per_edge, report.peak_rss_bytes);
+  } else {
+    std::fprintf(stderr,
+                 "ingest: n=%lld m=%lld (%lld lines, %lld self-loops, %lld "
+                 "duplicates dropped)%s%s\n"
+                 "        %.2fs, %.1f bytes/edge, graph %s, peak RSS %s\n",
+                 static_cast<long long>(report.vertices),
+                 static_cast<long long>(report.edges),
+                 static_cast<long long>(report.lines),
+                 static_cast<long long>(report.dropped_self_loops),
+                 static_cast<long long>(report.dropped_duplicates),
+                 report.header_reserved ? ", header reserved" : "",
+                 report.gzip ? ", gzip" : "", report.load_seconds,
+                 report.bytes_per_edge,
+                 FormatBytes(report.graph_bytes).c_str(),
+                 FormatBytes(report.peak_rss_bytes).c_str());
+  }
+  return 0;
+}
+
 // --- Serve subcommand --------------------------------------------------------
 
 int ServeUsage(const char* argv0) {
@@ -538,14 +681,17 @@ int ServeUsage(const char* argv0) {
       "                [--graph FILE | --scenario NAME | --restore SNAP]\n"
       "                [--algo NAME] [--backend engine|sharded] [--shards N]\n"
       "                [--batch-ops N] [--flush-us U] [--max-conns N]\n"
-      "                [--io-threads N] [--record-trace]\n"
+      "                [--io-threads N] [--window-ttl MS] [--record-trace]\n"
       "                [--allow-file-commands]\n"
       "                [--change-log DIR] [--log-segment-bytes N]\n"
       "                [--snapshot-every N] [--snapshot-interval-ms MS]\n"
       "                [--follow HOST:PORT [--bootstrap DIR] |"
       " --follow-dir DIR]\n"
       "                [--reconnect-max-ms MS] [--fault-plan PLAN]\n"
-      "scenarios: smoke easy hard powerlaw (bench-driver graphs by name)\n"
+      "scenarios: smoke easy hard powerlaw massive temporal storm\n"
+      "           (bench-driver graphs by name)\n"
+      "--window-ttl MS expires every admitted edge insert MS milliseconds\n"
+      "  after admission (sliding-window serving; 0 disables)\n"
       "fault plans (testing): op:mode[@nth][xcount][~substr];... with op in\n"
       "  write|fsync|rename|connect and mode in\n"
       "  enospc|eio|eintr|short|reset|torn (also via DYNMIS_FAULT_PLAN)\n",
@@ -598,6 +744,9 @@ int RunServeCommand(int argc, char** argv) {
     } else if (arg == "--max-conns") {
       if (!(v = next())) return ServeUsage(argv[0]);
       options.max_connections = std::atoi(v);
+    } else if (arg == "--window-ttl") {
+      if (!(v = next())) return ServeUsage(argv[0]);
+      options.window_ttl_ms = std::atoll(v);
     } else if (arg == "--record-trace") {
       options.record_trace = true;
     } else if (arg == "--allow-file-commands") {
@@ -646,7 +795,7 @@ int RunServeCommand(int argc, char** argv) {
       options.max_connections < 1 || options.flush_deadline_us < 0 ||
       options.log_segment_bytes < 1 || options.snapshot_every_batches < 0 ||
       options.snapshot_interval_ms < 0 || options.io_threads < 1 ||
-      options.reconnect_max_ms < 1) {
+      options.reconnect_max_ms < 1 || options.window_ttl_ms < 0) {
     std::fprintf(stderr, "serve: non-positive sizing flag\n");
     return 2;
   }
@@ -722,6 +871,8 @@ int RunServeCommand(int argc, char** argv) {
       checkpoint_dir = options.change_log_dir;
     }
   }
+  ingest::KeyMap boot_keymap;
+  bool have_boot_keymap = false;
   if (!checkpoint_dir.empty()) {
     repl::BootstrapResult boot;
     if (!repl::BootstrapFromChangeLog(checkpoint_dir, base, options, &boot,
@@ -730,17 +881,19 @@ int RunServeCommand(int argc, char** argv) {
       return 1;
     }
     backend = std::move(boot.backend);
+    boot_keymap = std::move(boot.keymap);
+    have_boot_keymap = true;
     options.repl_start_seq = boot.next_seq;
     options.bootstrap_base_seq = boot.base_seq;
     options.start_epoch = boot.epoch;
     std::fprintf(stderr,
                  "bootstrap: base seq %lld + %lld batches (%lld ops) from %s "
-                 "-> seq %lld\n",
+                 "-> seq %lld (%zu keys)\n",
                  static_cast<long long>(boot.base_seq),
                  static_cast<long long>(boot.tail_batches),
                  static_cast<long long>(boot.tail_ops),
                  checkpoint_dir.c_str(),
-                 static_cast<long long>(boot.next_seq));
+                 static_cast<long long>(boot.next_seq), boot_keymap.Size());
   } else {
     backend = serve::MakeServingBackend(base, options, &error);
   }
@@ -750,6 +903,9 @@ int RunServeCommand(int argc, char** argv) {
   }
   const EngineStats stats = backend->Stats();
   serve::Server server(std::move(backend), options);
+  // The bootstrap's key bindings (base snapshot "keymap" section + keyed
+  // tail ops) make the follower resolve KQUERY exactly as the primary.
+  if (have_boot_keymap) server.AdoptKeyMap(std::move(boot_keymap));
   if (!server.Start(&error)) {
     std::fprintf(stderr, "serve: %s\n", error.c_str());
     return 1;
@@ -807,6 +963,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return dynmis::RunServeCommand(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "genedges") == 0) {
+    return dynmis::RunGenEdgesCommand(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "ingest") == 0) {
+    return dynmis::RunIngestCommand(argc, argv);
   }
   dynmis::CliOptions options;
   bool list_algos = false;

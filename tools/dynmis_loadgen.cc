@@ -24,13 +24,19 @@
 //
 //   dynmis_loadgen --port P [--host H] [--scenario NAME] [--connections N]
 //                  [--updates TOTAL] [--pipeline W] [--batch B] [--seed S]
-//                  [--mode text|binary] [--sweep C1,C2,...] [--algo NAME]
+//                  [--mode text|binary|keyed] [--sweep C1,C2,...] [--algo NAME]
 //                  [--out PATH] [--snapshot PATH] [--resume-updates K]
 //                  [--no-verify]
 //
 // --mode binary upgrades every worker connection with HELLO 2 BIN and
 // drives the length-prefixed binary protocol instead of text lines (same
-// ops, same acks, one frame per request). --sweep runs the load phase once
+// ops, same acks, one frame per request). --mode keyed drives the
+// external-key admission path instead of the scenario stream: KINS with
+// fresh worker-unique keys and KDEL of live ones, each worker recording
+// the server-assigned ids from the acks; verification then KQUERYs every
+// live key and requires the server's id and in-solution flag to match the
+// client-side replica (plus server keymap_entries == live keys). The JSON
+// "serving" block gains a "keyed" object. --sweep runs the load phase once
 // per listed connection count, prints a throughput/latency table, and
 // records the rows in the JSON ("sweep" array); verification runs once,
 // after the final stage.
@@ -69,6 +75,7 @@
 #include "src/serve/trace.h"
 #include "src/serve/verify.h"
 #include "src/serve/workload.h"
+#include "src/util/random.h"
 #include "src/util/timer.h"
 
 namespace dynmis {
@@ -90,6 +97,14 @@ struct LoadgenOptions {
   double target_qps = 0;
   uint64_t seed = 1;
   bool binary = false;  // --mode binary: HELLO 2 BIN + framed requests.
+  // --mode keyed: drive the external-key admission path instead of the
+  // scenario stream — KINS with fresh worker-unique keys (neighbors drawn
+  // from the base graph) mixed with KDEL of live ones, each worker
+  // recording the server-assigned ids from the acks. The verification
+  // phase then KQUERYs every live key and requires the server to resolve
+  // it to the recorded id, with the in-solution flag consistent with
+  // SOLUTION.
+  bool keyed = false;
   // --sweep: run the load phase once per connection count listed here
   // (overrides --connections for the load phase).
   std::vector<int> sweep;
@@ -174,7 +189,113 @@ struct WorkerResult {
   int64_t rejected = 0;
   std::vector<double> rtts;  // Seconds per request (op or frame).
   std::string error;         // Non-empty on connection failure.
+  // Keyed mode: the bindings this worker believes are live (key ->
+  // server-assigned id, recorded from KINS acks, erased on KDEL acks),
+  // plus op counters for the JSON block.
+  std::vector<std::pair<std::string, VertexId>> live_keys;
+  int64_t keys_inserted = 0;
+  int64_t keys_deleted = 0;
 };
+
+// Keyed-mode worker: its own closed loop over KINS/KDEL lines. Acks settle
+// FIFO, so a deque of (is_insert, key) pending entries pairs each response
+// with its op; KINS acks carry the assigned id, which is the client-side
+// replica the verification phase checks the server against.
+void RunKeyedWorker(const LoadgenOptions& options,
+                    const serve::ServeWorkload& workload, int index,
+                    uint64_t seed_salt, int count, WorkerResult* result) {
+  LineClient client;
+  std::string greeting;
+  if (!client.Connect(options.host, options.port, &result->error)) return;
+  if (!Handshake(&client, &greeting, &result->error)) return;
+
+  Rng rng(SplitMix64(options.seed * 131 + seed_salt +
+                     static_cast<uint64_t>(index + 1) * 7919));
+  const std::string prefix =
+      "w" + std::to_string(index) + "s" + std::to_string(seed_salt) + "-";
+  int64_t next_key = 0;
+  std::vector<std::pair<std::string, VertexId>> live;
+  // Keys sent but not yet acked cannot be KDELed (their binding is still
+  // unknown client-side), so deletions draw from `live` only.
+  std::deque<std::pair<bool, std::string>> pending;
+
+  std::deque<double> in_flight;
+  Timer clock;
+  std::string line;
+  result->rtts.reserve(static_cast<size_t>(count) + 1);
+  auto read_one = [&]() -> bool {
+    if (!client.ReadLine(&line)) {
+      result->error = "connection lost mid-stream";
+      return false;
+    }
+    result->rtts.push_back(clock.ElapsedSeconds() - in_flight.front());
+    in_flight.pop_front();
+    const auto [is_insert, key] = std::move(pending.front());
+    pending.pop_front();
+    if (line.rfind("OK", 0) != 0) {
+      ++result->rejected;
+      return true;
+    }
+    ++result->acked;
+    if (is_insert) {
+      ++result->keys_inserted;
+      live.emplace_back(key,
+                        static_cast<VertexId>(std::atoll(line.c_str() + 3)));
+    } else {
+      ++result->keys_deleted;
+    }
+    return true;
+  };
+
+  std::string wire;
+  for (int i = 0; i < count; ++i) {
+    wire.clear();
+    // ~1 in 4 ops deletes a live key; the rest insert a fresh key attached
+    // to up to three base-graph vertices (always alive: keyed runs never
+    // delete base vertices, so the neighbors stay valid).
+    const bool do_delete = !live.empty() && rng.NextBool(0.25);
+    bool is_insert = true;
+    std::string key;
+    if (do_delete) {
+      is_insert = false;
+      // Erased from `live` at send time: a key is deleted at most once, and
+      // only after its KINS was acked — per-connection FIFO then guarantees
+      // the server still holds the binding, so no KDEL is ever rejected.
+      const size_t at = rng.NextBounded(live.size());
+      key = std::move(live[at].first);
+      live[at] = std::move(live.back());
+      live.pop_back();
+      wire = "KDEL " + key;
+    } else {
+      key = prefix + std::to_string(next_key++);
+      wire = "KINS " + key;
+      const int degree = static_cast<int>(rng.NextBounded(4));
+      for (int d = 0; d < degree; ++d) {
+        wire += ' ';
+        wire += std::to_string(rng.NextBounded(
+            static_cast<uint64_t>(workload.base.n)));
+      }
+    }
+    wire += '\n';
+    in_flight.push_back(clock.ElapsedSeconds());
+    pending.emplace_back(is_insert, std::move(key));
+    if (!client.SendAll(wire)) {
+      result->error = "send failed";
+      return;
+    }
+    ++result->sent;
+    if (static_cast<int>(in_flight.size()) >= options.pipeline &&
+        !read_one()) {
+      return;
+    }
+  }
+  while (!in_flight.empty()) {
+    if (!read_one()) return;
+  }
+  result->live_keys = std::move(live);
+  std::string goodbye;
+  client.Ask("QUIT", &goodbye);
+}
 
 void RunWorker(const LoadgenOptions& options,
                const serve::ServeWorkload& workload, int index,
@@ -356,6 +477,8 @@ struct LoadPhaseResult {
   double rtt_p50_us = 0;
   double rtt_p99_us = 0;
   bool failed = false;
+  // Keyed mode: every binding the workers believe is live after the phase.
+  std::vector<std::pair<std::string, VertexId>> live_keys;
 
   double ops_per_sec() const {
     return elapsed > 0 ? static_cast<double>(totals.acked) / elapsed : 0;
@@ -373,17 +496,23 @@ LoadPhaseResult RunLoadPhase(const LoadgenOptions& options,
   for (int i = 0; i < connections; ++i) {
     const int count =
         total / connections + (i < total % connections ? 1 : 0);
-    workers.emplace_back(RunWorker, std::cref(options), std::cref(workload),
-                         i, seed_salt, count, &results[i]);
+    workers.emplace_back(options.keyed ? RunKeyedWorker : RunWorker,
+                         std::cref(options), std::cref(workload), i,
+                         seed_salt, count, &results[i]);
   }
   for (std::thread& worker : workers) worker.join();
   phase.elapsed = load_timer.ElapsedSeconds();
 
   std::vector<double> rtts;
-  for (const WorkerResult& r : results) {
+  for (WorkerResult& r : results) {
     phase.totals.sent += r.sent;
     phase.totals.acked += r.acked;
     phase.totals.rejected += r.rejected;
+    phase.totals.keys_inserted += r.keys_inserted;
+    phase.totals.keys_deleted += r.keys_deleted;
+    phase.live_keys.insert(phase.live_keys.end(),
+                           std::make_move_iterator(r.live_keys.begin()),
+                           std::make_move_iterator(r.live_keys.end()));
     rtts.insert(rtts.end(), r.rtts.begin(), r.rtts.end());
     if (!r.error.empty()) {
       std::fprintf(stderr, "loadgen: worker error: %s\n", r.error.c_str());
@@ -489,7 +618,7 @@ int Usage() {
       "usage: dynmis_loadgen --port P [--host H] [--scenario NAME]\n"
       "                      [--connections N] [--updates TOTAL]\n"
       "                      [--pipeline W] [--batch B] [--seed S]\n"
-      "                      [--target-qps Q] [--mode text|binary]\n"
+      "                      [--target-qps Q] [--mode text|binary|keyed]\n"
       "                      [--sweep C1,C2,...] [--algo NAME] [--out PATH]\n"
       "                      [--snapshot PATH] [--resume-updates K]\n"
       "                      [--no-verify]\n");
@@ -535,10 +664,15 @@ int Main(int argc, char** argv) {
       if (!(v = next())) return Usage();
       if (std::string(v) == "binary") {
         options.binary = true;
+        options.keyed = false;
       } else if (std::string(v) == "text") {
         options.binary = false;
+        options.keyed = false;
+      } else if (std::string(v) == "keyed") {
+        options.binary = false;
+        options.keyed = true;
       } else {
-        std::fprintf(stderr, "bad --mode (want text|binary): %s\n", v);
+        std::fprintf(stderr, "bad --mode (want text|binary|keyed): %s\n", v);
         return Usage();
       }
     } else if (arg == "--sweep") {
@@ -661,6 +795,19 @@ int Main(int argc, char** argv) {
   const double rtt_p50_us = last.rtt_p50_us;
   const double rtt_p99_us = last.rtt_p99_us;
 
+  // Keyed mode: every stage's surviving bindings, and the op totals across
+  // stages (the server's key map accumulates across the whole run).
+  std::vector<std::pair<std::string, VertexId>> all_live_keys;
+  int64_t keys_inserted_total = 0;
+  int64_t keys_deleted_total = 0;
+  for (LoadPhaseResult& phase : phases) {
+    keys_inserted_total += phase.totals.keys_inserted;
+    keys_deleted_total += phase.totals.keys_deleted;
+    all_live_keys.insert(all_live_keys.end(),
+                         std::make_move_iterator(phase.live_keys.begin()),
+                         std::make_move_iterator(phase.live_keys.end()));
+  }
+
   // --- Verification phase (control connection) -------------------------------
 
   bool checks_ok = !worker_failed;
@@ -750,6 +897,51 @@ int Main(int argc, char** argv) {
                  trace.updates.size(), trace.batch_sizes.size(),
                  client_verified ? 1 : 0, replay_matches ? 1 : 0);
     if (!client_verified || !replay_matches) checks_ok = false;
+  }
+
+  // Keyed verification: the server must resolve every live key to the id
+  // it assigned at KINS time (the client-side replica of the bindings),
+  // and the KQUERY in-solution flag must agree with the SOLUTION set. The
+  // run has no concurrent writers at this point, so both are exact.
+  int64_t keys_verified = 0;
+  int64_t key_mismatches = 0;
+  if (options.keyed) {
+    std::vector<VertexId> sorted_solution = server_solution;
+    std::sort(sorted_solution.begin(), sorted_solution.end());
+    for (const auto& [key, id] : all_live_keys) {
+      std::string reply;
+      if (!control.Ask("KQUERY " + key, &reply)) {
+        std::fprintf(stderr, "loadgen: KQUERY failed\n");
+        return 1;
+      }
+      long long reply_id = -1;
+      int in_solution = -1;
+      const bool in_set = std::binary_search(sorted_solution.begin(),
+                                             sorted_solution.end(), id);
+      if (std::sscanf(reply.c_str(), "OK %lld %d", &reply_id, &in_solution) !=
+              2 ||
+          reply_id != static_cast<long long>(id) ||
+          in_solution != (in_set ? 1 : 0)) {
+        ++key_mismatches;
+        if (key_mismatches <= 5) {
+          std::fprintf(stderr,
+                       "loadgen: key mismatch: %s -> \"%s\" (client id %lld, "
+                       "in_solution %d)\n",
+                       key.c_str(), reply.c_str(),
+                       static_cast<long long>(id), in_set ? 1 : 0);
+        }
+      } else {
+        ++keys_verified;
+      }
+    }
+    std::fprintf(stderr,
+                 "loadgen: keyed — %lld inserted, %lld deleted, %zu live, "
+                 "%lld verified, %lld mismatches\n",
+                 static_cast<long long>(keys_inserted_total),
+                 static_cast<long long>(keys_deleted_total),
+                 all_live_keys.size(), static_cast<long long>(keys_verified),
+                 static_cast<long long>(key_mismatches));
+    if (key_mismatches > 0) checks_ok = false;
   }
 
   // Snapshot / warm-failover check.
@@ -858,7 +1050,7 @@ int Main(int argc, char** argv) {
   w.Key("algorithm");
   w.String(algorithm);
   w.Key("protocol");
-  w.String(options.binary ? "binary" : "text");
+  w.String(options.binary ? "binary" : (options.keyed ? "keyed" : "text"));
   w.Key("connections");
   w.Int(last.connections);
   w.Key("pipeline");
@@ -949,6 +1141,35 @@ int Main(int argc, char** argv) {
     w.Int(options.resume_updates);
     w.Key("resume_matches");
     w.Bool(resume_matches);
+    w.EndObject();
+  }
+  if (options.keyed) {
+    // The server's own binding count must equal the client-side replica:
+    // this run is the only writer, so any drift is a bug.
+    const int64_t keymap_entries = static_cast<int64_t>(
+        ExtractJsonNumber(server_json, "keymap_entries"));
+    if (keymap_entries != static_cast<int64_t>(all_live_keys.size())) {
+      std::fprintf(stderr,
+                   "loadgen: keymap drift — server holds %lld entries, "
+                   "clients hold %zu\n",
+                   static_cast<long long>(keymap_entries),
+                   all_live_keys.size());
+      checks_ok = false;
+    }
+    w.Key("keyed");
+    w.BeginObject();
+    w.Key("keys_inserted");
+    w.Int(keys_inserted_total);
+    w.Key("keys_deleted");
+    w.Int(keys_deleted_total);
+    w.Key("keys_live");
+    w.Int(static_cast<int64_t>(all_live_keys.size()));
+    w.Key("keys_verified");
+    w.Int(keys_verified);
+    w.Key("key_mismatches");
+    w.Int(key_mismatches);
+    w.Key("keymap_entries");
+    w.Int(keymap_entries);
     w.EndObject();
   }
   w.EndObject();
